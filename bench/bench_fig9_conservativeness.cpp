@@ -1,0 +1,66 @@
+//===- bench_fig9_conservativeness.cpp - Figure 9 --------------------------===//
+//
+// Regenerates Figure 9: conservativeness rate and multi-level pointer
+// accuracy for Retypd and the two baselines, on the coreutils-like
+// cluster, the large-program clusters, and the whole suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace retypd;
+using namespace retypd::bench;
+
+int main() {
+  Lattice Lat = makeDefaultLattice();
+  std::printf("Figure 9: conservativeness and pointer accuracy\n");
+  std::printf("(paper: Retypd 95%% / 88%% overall, 98%% on coreutils; "
+              "SecondWrite 96%% / 73%%; TIE 94%%)\n\n");
+
+  auto All = runSuite(Lat);
+
+  auto PrintRows = [&](const char *Scope,
+                       const std::vector<ClusterScores> &Set) {
+    MetricSummary R, U, T;
+    for (const ClusterScores &CS : Set) {
+      R.merge(CS.Retypd);
+      U.merge(CS.Unification);
+      T.merge(CS.Interval);
+    }
+    std::printf("%-12s %-24s %14s %14s\n", Scope, "engine", "conservative",
+                "ptr accuracy");
+    std::printf("%-12s %-24s %13.1f%% %13.1f%%\n", "", "Retypd",
+                100 * R.conservativeness(), 100 * R.pointerAccuracy());
+    std::printf("%-12s %-24s %13.1f%% %13.1f%%\n", "",
+                "TIE-proxy (interval)", 100 * T.conservativeness(),
+                100 * T.pointerAccuracy());
+    std::printf("%-12s %-24s %13.1f%% %13.1f%%\n", "",
+                "SecondWrite-proxy (unif)", 100 * U.conservativeness(),
+                100 * U.pointerAccuracy());
+    std::printf("\n");
+  };
+
+  std::vector<ClusterScores> Coreutils, Large;
+  for (const ClusterScores &CS : All) {
+    if (CS.Name == "coreutils")
+      Coreutils.push_back(CS);
+    else if (CS.Instructions / CS.Programs >= 1000)
+      Large.push_back(CS);
+  }
+  PrintRows("coreutils", Coreutils);
+  PrintRows("large", Large);
+  PrintRows("all", All);
+
+  MetricSummary R, U;
+  for (const ClusterScores &CS : All) {
+    R.merge(CS.Retypd);
+    U.merge(CS.Unification);
+  }
+  bool ConsHigh = R.conservativeness() >= 0.90;
+  bool PtrWin = R.pointerAccuracy() > U.pointerAccuracy();
+  std::printf("shape check: Retypd conservativeness >= 90%%: %s\n",
+              ConsHigh ? "yes (matches paper)" : "NO");
+  std::printf("shape check: Retypd pointer accuracy beats unification: %s\n",
+              PtrWin ? "yes (matches paper)" : "NO");
+  return ConsHigh && PtrWin ? 0 : 1;
+}

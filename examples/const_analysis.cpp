@@ -1,0 +1,74 @@
+//===- const_analysis.cpp - Recovering const annotations (§6.4) ---------------===//
+//
+// Retypd was the first machine-code type-inference system to recover
+// pointer const-ness (paper §6.4, 98% recall). The policy is a direct
+// consequence of splitting pointer capabilities: a parameter at location L
+// is const iff the solved constraints prove VAR F.inL.load but not
+// VAR F.inL.store.
+//
+// This example generates a synthetic program with known const truth, runs
+// the pipeline, and prints the per-parameter comparison.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Metrics.h"
+#include "frontend/Pipeline.h"
+#include "synth/Synth.h"
+
+#include <cstdio>
+
+using namespace retypd;
+
+int main() {
+  Lattice Lat = makeDefaultLattice();
+  SynthGenerator Gen;
+  SynthOptions Opts;
+  Opts.Seed = 2016; // the year of the paper
+  Opts.TargetInstructions = 250;
+  SynthProgram P = Gen.generate("const_demo", Opts);
+
+  Pipeline Pipe(Lat);
+  TypeReport R = Pipe.run(P.M);
+
+  std::printf("%-20s %-7s %-12s %-12s %s\n", "function", "param",
+              "declared", "recovered", "verdict");
+
+  unsigned Truth = 0, Found = 0, Extra = 0;
+  for (uint32_t F = 0; F < P.M.Funcs.size(); ++F) {
+    auto TIt = P.Truth->Funcs.find(P.M.Funcs[F].Name);
+    const FunctionTypes *FT = R.typesOf(F);
+    if (TIt == P.Truth->Funcs.end() || !FT || FT->CType == NoCType)
+      continue;
+    const CType &Fn = R.Pool.get(FT->CType);
+    for (size_t K = 0; K < TIt->second.Params.size(); ++K) {
+      bool DeclaredConst = TIt->second.Params[K].IsConstPtr;
+      bool RecoveredConst = K < Fn.ParamConst.size() && Fn.ParamConst[K];
+      // Only pointer parameters are interesting here.
+      bool TruthPtr =
+          TIt->second.Params[K].Type != NoCType &&
+          P.Truth->Pool.get(TIt->second.Params[K].Type).K ==
+              CType::Kind::Pointer;
+      if (!TruthPtr)
+        continue;
+      const char *Verdict =
+          DeclaredConst == RecoveredConst
+              ? "match"
+              : (RecoveredConst ? "extra const (§6.4 note)" : "MISSED");
+      std::printf("%-20s %-7zu %-12s %-12s %s\n",
+                  P.M.Funcs[F].Name.c_str(), K,
+                  DeclaredConst ? "const" : "mutable",
+                  RecoveredConst ? "const" : "mutable", Verdict);
+      Truth += DeclaredConst;
+      Found += DeclaredConst && RecoveredConst;
+      Extra += !DeclaredConst && RecoveredConst;
+    }
+  }
+  std::printf("\nrecall: %u/%u declared const parameters recovered "
+              "(paper: 98%%)\n",
+              Found, Truth);
+  std::printf("additional const annotations beyond the source: %u\n"
+              "(the paper notes source code under-annotates const, so "
+              "extras are often correct)\n",
+              Extra);
+  return 0;
+}

@@ -1,0 +1,126 @@
+//===- decompiler.cpp - Stripped binary in, C header out ----------------------===//
+//
+// A miniature decompiler front end built on the public API:
+//
+//   1. assemble a multi-procedure program,
+//   2. encode it to a flat *stripped* binary image (names and function
+//      boundaries erased, imports kept — like a real executable),
+//   3. disassemble the image back by recursive descent,
+//   4. run Retypd over the recovered IR,
+//   5. print a C header for everything that was discovered.
+//
+// This is the scenario the paper targets: no source, no symbols, no debug
+// info — types from bytes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Pipeline.h"
+#include "loader/BinaryImage.h"
+#include "mir/AsmParser.h"
+
+#include <cstdio>
+
+using namespace retypd;
+
+int main() {
+  const char *Asm = R"(
+extern malloc
+extern close
+extern strlen
+
+; struct session { int fd; char *name; }
+fn session_new:
+  push 8
+  call malloc
+  add esp, 4
+  mov esi, eax
+  load eax, [esp+4]       ; fd argument
+  store [esi+0], eax
+  load eax, [esp+8]       ; name argument
+  store [esi+4], eax
+  mov eax, esi
+  ret
+
+fn session_fd:
+  load edx, [esp+4]
+  load eax, [edx+0]
+  ret
+
+fn session_close:
+  load edx, [esp+4]
+  load eax, [edx+0]
+  push eax
+  call close
+  add esp, 4
+  ret
+
+fn name_len:
+  load edx, [esp+4]
+  load eax, [edx+4]
+  push eax
+  call strlen
+  add esp, 4
+  ret
+
+fn main:
+  push 0
+  push 3
+  call session_new
+  add esp, 8
+  mov esi, eax            ; keep the session
+  push esi
+  call session_fd
+  add esp, 4
+  push esi
+  call name_len
+  add esp, 4
+  push esi
+  call session_close
+  add esp, 4
+  halt
+)";
+
+  AsmParser Parser;
+  auto Source = Parser.parse(Asm);
+  if (!Source) {
+    std::fprintf(stderr, "parse error: %s\n", Parser.error().c_str());
+    return 1;
+  }
+  Source->EntryFunc = *Source->findFunction("main");
+
+  // --- Strip it. ---
+  EncodedImage Img = encodeModule(*Source);
+  std::printf("encoded image: %zu bytes\n", Img.Bytes.size());
+
+  // --- Disassemble. ---
+  DecodeReport Rep;
+  auto Recovered = decodeImage(Img.Bytes, Rep);
+  if (!Recovered) {
+    std::fprintf(stderr, "decode error: %s\n", Rep.Error.c_str());
+    return 1;
+  }
+  std::printf("disassembly: %u functions discovered, %u imports, "
+              "%u bad instructions\n\n",
+              Rep.FunctionsDiscovered, Rep.ImportsResolved,
+              Rep.BadInstructions);
+
+  // --- Infer types. ---
+  Lattice Lat = makeDefaultLattice();
+  Pipeline Pipe(Lat);
+  TypeReport Report = Pipe.run(*Recovered);
+
+  // --- Print the header. ---
+  std::printf("/* recovered from the stripped image — note the names are\n"
+              "   gone but the types are back */\n\n");
+  std::vector<CTypeId> Roots;
+  for (const auto &[F, T] : Report.Funcs)
+    if (T.CType != NoCType)
+      Roots.push_back(T.CType);
+  std::printf("%s\n", Report.Pool.structDefinitions(Roots).c_str());
+  for (const auto &[F, T] : Report.Funcs) {
+    if (Recovered->Funcs[F].IsExternal)
+      continue;
+    std::printf("%s;\n", Report.prototypeOf(F, *Recovered).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+//===- pointer_subtyping.cpp - §3.3: sound pointers under subtyping -----------===//
+//
+// A tour of the paper's most subtle design decision. With a unary Ptr(T)
+// constructor, subtyping through pointers collapses to type equality; by
+// splitting pointers into a covariant .load and a contravariant .store
+// capability (with the S-POINTER consistency rule), both Figure 4 programs
+// type-check with the correct value flow — and only the correct flow.
+//
+// This example works at the constraint level: it shows the constraint sets
+// for both programs, asks the saturated graph which flows are derivable,
+// and prints the derivation summary.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ConstraintGraph.h"
+#include "core/ConstraintParser.h"
+
+#include <cstdio>
+
+using namespace retypd;
+
+namespace {
+
+bool derivable(SymbolTable &Syms, const Lattice &Lat,
+               const ConstraintSet &C, const char *Lhs, const char *Rhs) {
+  ConstraintParser P(Syms, Lat);
+  auto L = P.parseDtv(Lhs);
+  auto R = P.parseDtv(Rhs);
+  ConstraintSet C2 = C;
+  C2.addVar(*L);
+  C2.addVar(*R);
+  ConstraintGraph G(C2);
+  G.saturate();
+  GraphNodeId Ln = G.lookup(*L, Variance::Covariant);
+  GraphNodeId Rn = G.lookup(*R, Variance::Covariant);
+  if (Ln == ConstraintGraph::NoNode || Rn == ConstraintGraph::NoNode)
+    return false;
+  for (GraphNodeId N : G.oneReachableFrom(Ln))
+    if (N == Rn)
+      return true;
+  return false;
+}
+
+} // namespace
+
+int main() {
+  Lattice Lat = makeDefaultLattice();
+  SymbolTable Syms;
+  ConstraintParser Parser(Syms, Lat);
+
+  struct Demo {
+    const char *Title;
+    const char *Source;
+    const char *Constraints;
+  };
+  Demo Demos[2] = {
+      {"Figure 4, f()", "{ p = q; *p = x; y = *q; }",
+       "q <= p\nx <= p.store\nq.load <= y\n"},
+      {"Figure 4, g()", "{ p = q; *q = x; y = *p; }",
+       "q <= p\nx <= q.store\np.load <= y\n"},
+  };
+
+  for (const Demo &D : Demos) {
+    auto C = Parser.parse(D.Constraints);
+    std::printf("=== %s  %s ===\nconstraints:\n%s\n", D.Title, D.Source,
+                C->str(Syms, Lat).c_str());
+
+    ConstraintGraph G(*C);
+    G.saturate();
+    std::printf("saturation added %zu shortcut edges "
+                "(S-POINTER at work)\n",
+                G.numSaturationEdges());
+
+    bool Fwd = derivable(Syms, Lat, *C, "x", "y");
+    bool Bwd = derivable(Syms, Lat, *C, "y", "x");
+    std::printf("derivable: x <= y: %s   y <= x: %s\n\n",
+                Fwd ? "YES (the program copies x into y)" : "no",
+                Bwd ? "YES (would be unsound!)" : "no (correct)");
+  }
+
+  std::printf(
+      "With a unified Ptr(T) constructor, Ptr(β) <= Ptr(α) must entail\n"
+      "α = β (the paper's §3.3 'catastrophe'): both directions would be\n"
+      "derivable in both programs. The load/store split keeps subtyping\n"
+      "through pointers sound and directional.\n");
+  return 0;
+}

@@ -1,0 +1,234 @@
+//===- ConcreteInterp.cpp - Concrete machine semantics ----------------------===//
+
+#include "absint/ConcreteInterp.h"
+
+#include <cassert>
+
+using namespace retypd;
+
+namespace {
+constexpr uint32_t StackTop = 0x0ff00000u;
+constexpr uint32_t DataBase = 0x10000000u;
+} // namespace
+
+ConcreteInterp::ConcreteInterp(const Module &Mod) : M(Mod) {
+  Regs.assign(NumRegs, 0);
+  setReg(Reg::Esp, StackTop);
+  uint32_t Next = DataBase;
+  for (const GlobalVar &G : M.Globals) {
+    GlobalAddrs.push_back(Next);
+    Next += std::max<uint32_t>(4, G.Size);
+  }
+  CurFunc = M.EntryFunc;
+
+  // Default external models.
+  setExternal("malloc", [](ConcreteInterp &CI) {
+    return CI.allocate(CI.arg(0));
+  });
+  setExternal("free", [](ConcreteInterp &) { return 0u; });
+  setExternal("close", [](ConcreteInterp &) { return 0u; });
+}
+
+void ConcreteInterp::setExternal(const std::string &Name, Handler H) {
+  Externals[Name] = std::move(H);
+}
+
+uint32_t ConcreteInterp::arg(unsigned K) const {
+  return load(reg(Reg::Esp) + 4 * K, 4);
+}
+
+uint32_t ConcreteInterp::allocate(uint32_t Size) {
+  uint32_t Addr = HeapNext;
+  HeapNext += (Size + 15u) & ~15u;
+  return Addr;
+}
+
+uint32_t ConcreteInterp::load(uint32_t Addr, unsigned Size) const {
+  uint32_t V = 0;
+  for (unsigned I = 0; I < Size && I < 4; ++I) {
+    auto It = Mem.find(Addr + I);
+    uint8_t Byte = It == Mem.end() ? 0 : It->second;
+    V |= uint32_t(Byte) << (8 * I);
+  }
+  return V;
+}
+
+void ConcreteInterp::store(uint32_t Addr, uint32_t Value, unsigned Size) {
+  for (unsigned I = 0; I < Size && I < 4; ++I)
+    Mem[Addr + I] = static_cast<uint8_t>(Value >> (8 * I));
+}
+
+bool ConcreteInterp::flagTaken(Cond C) const {
+  switch (C) {
+  case Cond::Z:
+    return FlagsLhs == FlagsRhs;
+  case Cond::Nz:
+    return FlagsLhs != FlagsRhs;
+  case Cond::Lt:
+    return FlagsLhs < FlagsRhs;
+  case Cond::Ge:
+    return FlagsLhs >= FlagsRhs;
+  case Cond::Le:
+    return FlagsLhs <= FlagsRhs;
+  case Cond::Gt:
+    return FlagsLhs > FlagsRhs;
+  }
+  return false;
+}
+
+bool ConcreteInterp::step() {
+  const Function &F = M.Funcs[CurFunc];
+  if (CurInstr >= F.Body.size()) {
+    Err = "fell off the end of " + F.Name;
+    return false;
+  }
+  const Instr &I = F.Body[CurInstr];
+  uint32_t Next = CurInstr + 1;
+
+  auto MemAddr = [&](const MemRef &Mm) -> uint32_t {
+    uint32_t Base = Mm.isGlobal() ? GlobalAddrs[Mm.GlobalSym]
+                                  : reg(Mm.Base);
+    return Base + static_cast<uint32_t>(Mm.Disp);
+  };
+
+  switch (I.Op) {
+  case Opcode::Mov:
+    setReg(I.Dst, reg(I.Src));
+    break;
+  case Opcode::MovImm:
+    setReg(I.Dst, static_cast<uint32_t>(I.Imm));
+    break;
+  case Opcode::MovGlobal:
+    setReg(I.Dst, GlobalAddrs[I.Target]);
+    break;
+  case Opcode::Load:
+    setReg(I.Dst, load(MemAddr(I.Mem), I.Mem.Size));
+    break;
+  case Opcode::Store:
+    store(MemAddr(I.Mem), reg(I.Src), I.Mem.Size);
+    break;
+  case Opcode::StoreImm:
+    store(MemAddr(I.Mem), static_cast<uint32_t>(I.Imm), I.Mem.Size);
+    break;
+  case Opcode::Lea:
+    setReg(I.Dst, MemAddr(I.Mem));
+    break;
+  case Opcode::Add:
+    setReg(I.Dst, reg(I.Dst) + reg(I.Src));
+    break;
+  case Opcode::AddImm:
+    setReg(I.Dst, reg(I.Dst) + static_cast<uint32_t>(I.Imm));
+    break;
+  case Opcode::Sub:
+    setReg(I.Dst, reg(I.Dst) - reg(I.Src));
+    break;
+  case Opcode::SubImm:
+    setReg(I.Dst, reg(I.Dst) - static_cast<uint32_t>(I.Imm));
+    break;
+  case Opcode::And:
+    setReg(I.Dst, reg(I.Dst) & reg(I.Src));
+    break;
+  case Opcode::AndImm:
+    setReg(I.Dst, reg(I.Dst) & static_cast<uint32_t>(I.Imm));
+    break;
+  case Opcode::Or:
+    setReg(I.Dst, reg(I.Dst) | reg(I.Src));
+    break;
+  case Opcode::OrImm:
+    setReg(I.Dst, reg(I.Dst) | static_cast<uint32_t>(I.Imm));
+    break;
+  case Opcode::Xor:
+    setReg(I.Dst, reg(I.Dst) ^ reg(I.Src));
+    break;
+  case Opcode::Cmp:
+    FlagsLhs = static_cast<int32_t>(reg(I.Dst));
+    FlagsRhs = static_cast<int32_t>(reg(I.Src));
+    break;
+  case Opcode::CmpImm:
+    FlagsLhs = static_cast<int32_t>(reg(I.Dst));
+    FlagsRhs = I.Imm;
+    break;
+  case Opcode::Test:
+    FlagsLhs = static_cast<int32_t>(reg(I.Dst) & reg(I.Src));
+    FlagsRhs = 0;
+    break;
+  case Opcode::Push:
+    setReg(Reg::Esp, reg(Reg::Esp) - 4);
+    store(reg(Reg::Esp), reg(I.Src), 4);
+    break;
+  case Opcode::PushImm:
+    setReg(Reg::Esp, reg(Reg::Esp) - 4);
+    store(reg(Reg::Esp), static_cast<uint32_t>(I.Imm), 4);
+    break;
+  case Opcode::Pop:
+    setReg(I.Dst, load(reg(Reg::Esp), 4));
+    setReg(Reg::Esp, reg(Reg::Esp) + 4);
+    break;
+  case Opcode::Jmp:
+    Next = I.Target;
+    break;
+  case Opcode::Jcc:
+    if (flagTaken(I.CC))
+      Next = I.Target;
+    break;
+  case Opcode::Call: {
+    if (I.Target >= M.Funcs.size()) {
+      Err = "call to bad function id";
+      return false;
+    }
+    const Function &Callee = M.Funcs[I.Target];
+    if (Callee.IsExternal) {
+      auto It = Externals.find(Callee.Name);
+      if (It == Externals.end()) {
+        Err = "no model for external " + Callee.Name;
+        return false;
+      }
+      setReg(Reg::Eax, It->second(*this));
+      break;
+    }
+    // Push a return-address marker so the callee's frame matches the ABI:
+    // [esp] = return address, arguments from [esp+4].
+    setReg(Reg::Esp, reg(Reg::Esp) - 4);
+    store(reg(Reg::Esp), 0xdeadbeefu, 4);
+    CallStack.push_back({CurFunc, Next});
+    CurFunc = I.Target;
+    CurInstr = 0;
+    return true;
+  }
+  case Opcode::CallInd:
+    Err = "indirect call not supported by the concrete model";
+    return false;
+  case Opcode::Ret:
+    if (CallStack.empty()) {
+      Halted = true;
+      return true;
+    }
+    setReg(Reg::Esp, reg(Reg::Esp) + 4); // pop the return address
+    CurFunc = CallStack.back().first;
+    CurInstr = CallStack.back().second;
+    CallStack.pop_back();
+    return true;
+  case Opcode::Halt:
+    Halted = true;
+    return true;
+  case Opcode::Nop:
+    break;
+  }
+  CurInstr = Next;
+  return true;
+}
+
+bool ConcreteInterp::run(uint64_t MaxSteps) {
+  CurFunc = M.EntryFunc;
+  CurInstr = 0;
+  Halted = false;
+  while (!Halted) {
+    if (++Steps > MaxSteps) {
+      Err = "step budget exhausted";
+      return false;
+    }
+    if (!step())
+      return false;
+  }
+  return true;
+}

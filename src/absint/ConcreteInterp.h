@@ -1,0 +1,91 @@
+//===- ConcreteInterp.h - Concrete machine semantics ----------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete evaluator for the machine IR. In TSL terms this is the
+/// concrete interpretation from which the abstract ones are derived (§4.1);
+/// here it serves to *execute* synthetic binaries so tests can check that
+/// idiom programs actually compute what their ground truth claims, and so
+/// examples can demo end-to-end runs.
+///
+/// Externals are simulated by built-in models (malloc is a bump allocator,
+/// close/free record their argument, memcpy copies) registered by name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_ABSINT_CONCRETEINTERP_H
+#define RETYPD_ABSINT_CONCRETEINTERP_H
+
+#include "mir/MIR.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace retypd {
+
+/// The concrete machine.
+class ConcreteInterp {
+public:
+  explicit ConcreteInterp(const Module &M);
+
+  /// Registers a model for an external function. The handler receives the
+  /// machine (to read stack arguments) and returns the eax result.
+  using Handler = std::function<uint32_t(ConcreteInterp &)>;
+  void setExternal(const std::string &Name, Handler H);
+
+  /// Runs from the module entry. Returns false on fault (bad memory, bad
+  /// target, step budget exhausted — see error()).
+  bool run(uint64_t MaxSteps = 1u << 20);
+
+  /// Reads the k-th stack argument of the current call (for handlers).
+  uint32_t arg(unsigned K) const;
+
+  uint32_t reg(Reg R) const { return Regs[static_cast<unsigned>(R)]; }
+  void setReg(Reg R, uint32_t V) { Regs[static_cast<unsigned>(R)] = V; }
+
+  uint32_t load(uint32_t Addr, unsigned Size) const;
+  void store(uint32_t Addr, uint32_t Value, unsigned Size);
+
+  /// Address of a named global.
+  uint32_t globalAddr(uint32_t GlobalId) const {
+    return GlobalAddrs[GlobalId];
+  }
+
+  /// Bump-allocates \p Size bytes of heap (used by the malloc model).
+  uint32_t allocate(uint32_t Size);
+
+  uint64_t stepsExecuted() const { return Steps; }
+  const std::string &error() const { return Err; }
+
+private:
+  bool step();
+  bool flagTaken(Cond C) const;
+
+  const Module &M;
+  std::vector<uint32_t> Regs;
+  std::unordered_map<uint32_t, uint8_t> Mem;
+  std::vector<uint32_t> GlobalAddrs;
+  std::unordered_map<std::string, Handler> Externals;
+
+  // Execution position: function id + instruction index; call stack of
+  // return positions.
+  uint32_t CurFunc = 0;
+  uint32_t CurInstr = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> CallStack;
+
+  int32_t FlagsLhs = 0, FlagsRhs = 0; // last cmp/test operands
+  uint32_t HeapNext = 0x20000000u;
+  uint64_t Steps = 0;
+  bool Halted = false;
+  std::string Err;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_ABSINT_CONCRETEINTERP_H

@@ -1,0 +1,516 @@
+//===- ConstraintGen.cpp - Type-constraint generation (App. A) --------------===//
+
+#include "absint/ConstraintGen.h"
+
+#include "analysis/ReachingDefs.h"
+#include "analysis/RegEffects.h"
+#include "analysis/StackAnalysis.h"
+#include "mir/Cfg.h"
+
+#include <cassert>
+
+using namespace retypd;
+
+TypeVariable ConstraintGenerator::procVar(uint32_t FuncId) {
+  return TypeVariable::var(Syms.intern(M.Funcs[FuncId].Name));
+}
+
+TypeVariable ConstraintGenerator::globalVar(uint32_t GlobalId) {
+  return TypeVariable::var(Syms.intern("g!" + M.Globals[GlobalId].Name));
+}
+
+ConstraintSet ConstraintGenerator::instantiate(const TypeScheme &Scheme,
+                                               TypeVariable CallsiteVar) {
+  std::unordered_map<TypeVariable, TypeVariable> Map;
+  Map[Scheme.ProcVar] = CallsiteVar;
+  for (TypeVariable Ex : Scheme.Existentials)
+    Map[Ex] = TypeVariable::var(
+        Syms.intern("ex$" + std::to_string(FreshCounter++)));
+
+  auto Rename = [&](const DerivedTypeVariable &D) {
+    auto It = Map.find(D.base());
+    if (It == Map.end())
+      return D;
+    return DerivedTypeVariable(
+        It->second, std::vector<Label>(D.labels().begin(),
+                                       D.labels().end()));
+  };
+
+  ConstraintSet Out;
+  for (const SubtypeConstraint &SC : Scheme.Constraints.subtypes())
+    Out.addSubtype(Rename(SC.Lhs), Rename(SC.Rhs));
+  for (const DerivedTypeVariable &V : Scheme.Constraints.vars())
+    Out.addVar(Rename(V));
+  for (const AddSubConstraint &AC : Scheme.Constraints.addSubs())
+    Out.addAddSub(AddSubConstraint{AC.IsSub, Rename(AC.X), Rename(AC.Y),
+                                   Rename(AC.Z)});
+  return Out;
+}
+
+namespace {
+
+/// The abstract value tracked for a register during the walk: a type
+/// variable plus a constant byte offset (translation tracking, A.2).
+struct AbsVal {
+  TypeVariable Var;
+  int32_t Off = 0;
+  /// Born from `mov r, imm` or `xor r, r`: a semi-syntactic constant whose
+  /// flows carry no type information (§2.1).
+  bool IsConst = false;
+};
+
+} // namespace
+
+GenResult ConstraintGenerator::generate(
+    uint32_t FuncId, const std::unordered_map<uint32_t, TypeScheme> &Schemes,
+    const std::set<uint32_t> &SccMates) {
+  const Function &F = M.Funcs[FuncId];
+  GenResult R;
+  R.ProcVar = procVar(FuncId);
+  R.NumParams = F.NumStackParams + F.RegParams.size();
+
+  if (F.IsExternal || F.Body.empty())
+    return R;
+
+  Cfg G(F);
+  StackAnalysis SA(F, G);
+  ReachingDefs RD(F, G, SA);
+
+  const std::string Fn = F.Name + "!";
+
+  auto LocName = [&](const Location &L) -> std::string {
+    switch (L.K) {
+    case Location::Kind::Register:
+      return regName(static_cast<Reg>(L.Key));
+    case Location::Kind::StackSlot:
+      return "stk" + std::to_string(L.Key);
+    case Location::Kind::Global:
+      return "g!" + M.Globals[L.Key].Name;
+    }
+    return "?";
+  };
+
+  /// Type variable for a definition of \p L at site \p Def.
+  auto DefVar = [&](const Location &L, uint32_t Def) -> TypeVariable {
+    // Globals are module-level variables: their entry definition *is* the
+    // shared global variable (flow into/out of it links procedures).
+    if (L.K == Location::Kind::Global && Def == EntryDef)
+      return TypeVariable::var(Syms.intern(LocName(L)));
+    std::string Site = Def == EntryDef ? "in" : std::to_string(Def);
+    return TypeVariable::var(Syms.intern(Fn + LocName(L) + "@" + Site));
+  };
+
+  auto Fresh = [&](const char *Tag) {
+    return TypeVariable::var(
+        Syms.intern(Fn + Tag + "$" + std::to_string(FreshCounter++)));
+  };
+
+  auto Dtv = [](TypeVariable V) { return DerivedTypeVariable(V); };
+
+  // Reads of a location: single def -> its variable; several defs -> a
+  // fresh variable above all of them (Example A.2).
+  DefState S;
+  auto ReadLoc = [&](const Location &L) -> TypeVariable {
+    auto It = S.find(L);
+    if (It == S.end() || It->second.empty()) {
+      // Never defined: for globals this is the shared variable; otherwise
+      // a synthetic entry definition.
+      return DefVar(L, EntryDef);
+    }
+    if (It->second.size() == 1)
+      return DefVar(L, It->second[0]);
+    TypeVariable T = Fresh("merge");
+    for (uint32_t D : It->second)
+      R.C.addSubtype(Dtv(DefVar(L, D)), Dtv(T));
+    return T;
+  };
+
+  // ---- Interface bindings (locators, A.4) ----
+  // Parameter k: stack params first (slot 4+4k), then register params.
+  for (unsigned K = 0; K < F.NumStackParams; ++K)
+    R.C.addSubtype(
+        DerivedTypeVariable(R.ProcVar, {Label::in(K)}),
+        Dtv(DefVar(Location::slot(4 + 4 * static_cast<int32_t>(K)),
+                   EntryDef)));
+  for (size_t J = 0; J < F.RegParams.size(); ++J)
+    R.C.addSubtype(
+        DerivedTypeVariable(R.ProcVar,
+                            {Label::in(F.NumStackParams +
+                                       static_cast<unsigned>(J))}),
+        Dtv(DefVar(Location::reg(F.RegParams[J]), EntryDef)));
+
+  // ---- Walk blocks in reverse post order ----
+  AbsVal RegVal[NumRegs];
+  bool RegKnown[NumRegs];
+
+  for (uint32_t B : G.rpo()) {
+    const BasicBlock &BB = G.blocks()[B];
+    S = RD.blockIn(B);
+    for (unsigned I = 0; I < NumRegs; ++I)
+      RegKnown[I] = false;
+
+    auto ReadReg = [&](Reg Rr) -> AbsVal {
+      unsigned Idx = static_cast<unsigned>(Rr);
+      if (!RegKnown[Idx]) {
+        RegVal[Idx] = AbsVal{ReadLoc(Location::reg(Rr)), 0};
+        RegKnown[Idx] = true;
+      }
+      return RegVal[Idx];
+    };
+    auto WriteReg = [&](Reg Rr, AbsVal V) {
+      unsigned Idx = static_cast<unsigned>(Rr);
+      RegVal[Idx] = V;
+      RegKnown[Idx] = true;
+    };
+
+    for (uint32_t Idx = BB.Begin; Idx < BB.End; ++Idx) {
+      const Instr &Ins = F.Body[Idx];
+
+      // The canonical variable for a register defined here (cross-block
+      // consumers read it via reaching definitions).
+      auto DefRegVar = [&](Reg Rr) {
+        return DefVar(Location::reg(Rr), Idx);
+      };
+
+      // Resolve a memory operand: stack slot, global, or pointer deref.
+      enum class MemKind { Slot, Global, Pointer };
+      Location MemLoc = Location::slot(0);
+      AbsVal PtrBase;
+      auto ClassifyMem = [&](const MemRef &Mem) -> MemKind {
+        if (Mem.isGlobal()) {
+          MemLoc = Location::global(Mem.GlobalSym);
+          return MemKind::Global;
+        }
+        if (auto Slot = SA.slotFor(Idx, Mem)) {
+          MemLoc = Location::slot(*Slot);
+          return MemKind::Slot;
+        }
+        PtrBase = ReadReg(Mem.Base);
+        return MemKind::Pointer;
+      };
+
+      switch (Ins.Op) {
+      case Opcode::Mov: {
+        if (Ins.Dst == Reg::Esp || Ins.Dst == Reg::Ebp)
+          break; // frame plumbing
+        if (Ins.Src == Reg::Esp || Ins.Src == Reg::Ebp) {
+          // Taking the stack pointer into a GP register: a fresh value.
+          WriteReg(Ins.Dst, AbsVal{DefRegVar(Ins.Dst), 0});
+          break;
+        }
+        AbsVal V = ReadReg(Ins.Src);
+        // Cross-block consumers see the def-site variable; constants stay
+        // silent (§2.1).
+        if (!V.IsConst)
+          R.C.addSubtype(Dtv(V.Var), Dtv(DefRegVar(Ins.Dst)));
+        WriteReg(Ins.Dst, V); // local flow keeps the offset
+        break;
+      }
+      case Opcode::MovImm:
+        // Semi-syntactic constants carry no type information (§2.1).
+        WriteReg(Ins.Dst, AbsVal{DefRegVar(Ins.Dst), 0, /*IsConst=*/true});
+        break;
+      case Opcode::MovGlobal: {
+        // Address-of a data symbol: the result is a readable/writable
+        // pointer to the global's storage.
+        TypeVariable P = DefRegVar(Ins.Dst);
+        TypeVariable Gv = globalVar(Ins.Target);
+        uint16_t Bits = static_cast<uint16_t>(
+            std::min<uint32_t>(4, M.Globals[Ins.Target].Size) * 8);
+        R.C.addSubtype(Dtv(Gv),
+                       DerivedTypeVariable(
+                           P, {Label::load(), Label::field(Bits, 0)}));
+        R.C.addSubtype(DerivedTypeVariable(
+                           P, {Label::store(), Label::field(Bits, 0)}),
+                       Dtv(Gv));
+        R.Interesting.insert(Gv);
+        WriteReg(Ins.Dst, AbsVal{P, 0});
+        break;
+      }
+      case Opcode::Load: {
+        TypeVariable D = DefRegVar(Ins.Dst);
+        switch (ClassifyMem(Ins.Mem)) {
+        case MemKind::Slot:
+        case MemKind::Global: {
+          TypeVariable V = ReadLoc(MemLoc);
+          R.C.addSubtype(Dtv(V), Dtv(D));
+          if (MemLoc.K == Location::Kind::Global)
+            R.Interesting.insert(DefVar(MemLoc, EntryDef));
+          break;
+        }
+        case MemKind::Pointer: {
+          DerivedTypeVariable Access(
+              PtrBase.Var,
+              {Label::load(), Label::field(Ins.Mem.Size * 8,
+                                           PtrBase.Off + Ins.Mem.Disp)});
+          R.C.addSubtype(Access, Dtv(D));
+          break;
+        }
+        }
+        WriteReg(Ins.Dst, AbsVal{D, 0});
+        break;
+      }
+      case Opcode::Store:
+      case Opcode::StoreImm: {
+        // Stored immediates carry no type information.
+        if (Ins.Op == Opcode::StoreImm) {
+          if (ClassifyMem(Ins.Mem) == MemKind::Pointer) {
+            // Even an immediate store establishes the store capability.
+            R.C.addVar(DerivedTypeVariable(
+                PtrBase.Var,
+                {Label::store(), Label::field(Ins.Mem.Size * 8,
+                                              PtrBase.Off + Ins.Mem.Disp)}));
+          }
+          break;
+        }
+        AbsVal V = ReadReg(Ins.Src);
+        switch (ClassifyMem(Ins.Mem)) {
+        case MemKind::Slot:
+          if (!V.IsConst)
+            R.C.addSubtype(Dtv(V.Var), Dtv(DefVar(MemLoc, Idx)));
+          break;
+        case MemKind::Global:
+          if (!V.IsConst) {
+            R.C.addSubtype(Dtv(V.Var), Dtv(DefVar(MemLoc, Idx)));
+            // Also flow into the module-level variable so other procedures
+            // observe it.
+            R.C.addSubtype(Dtv(V.Var), Dtv(DefVar(MemLoc, EntryDef)));
+          }
+          R.Interesting.insert(DefVar(MemLoc, EntryDef));
+          break;
+        case MemKind::Pointer: {
+          DerivedTypeVariable Access(
+              PtrBase.Var,
+              {Label::store(), Label::field(Ins.Mem.Size * 8,
+                                            PtrBase.Off + Ins.Mem.Disp)});
+          if (V.IsConst)
+            R.C.addVar(Access); // capability only, no flow
+          else
+            R.C.addSubtype(Dtv(V.Var), Access);
+          break;
+        }
+        }
+        break;
+      }
+      case Opcode::Lea: {
+        if (Ins.Dst == Reg::Esp || Ins.Dst == Reg::Ebp)
+          break;
+        if (Ins.Mem.isGlobal()) {
+          // Like MovGlobal but with a displacement.
+          TypeVariable P = DefRegVar(Ins.Dst);
+          TypeVariable Gv = globalVar(Ins.Mem.GlobalSym);
+          R.C.addSubtype(Dtv(Gv),
+                         DerivedTypeVariable(P, {Label::load(),
+                                                 Label::field(32,
+                                                              Ins.Mem.Disp)}));
+          R.Interesting.insert(Gv);
+          WriteReg(Ins.Dst, AbsVal{P, 0});
+          break;
+        }
+        if (Ins.Mem.Base == Reg::Esp || Ins.Mem.Base == Reg::Ebp) {
+          // Address of a stack object: a fresh pointer whose pointee is
+          // the slot (enables pointer-to-local idioms).
+          if (auto Slot = SA.slotFor(Idx, Ins.Mem)) {
+            TypeVariable P = DefRegVar(Ins.Dst);
+            TypeVariable SlotVar = ReadLoc(Location::slot(*Slot));
+            R.C.addSubtype(Dtv(SlotVar),
+                           DerivedTypeVariable(P, {Label::load(),
+                                                   Label::field(32, 0)}));
+            R.C.addSubtype(DerivedTypeVariable(P, {Label::store(),
+                                                   Label::field(32, 0)}),
+                           Dtv(DefVar(Location::slot(*Slot), Idx)));
+            WriteReg(Ins.Dst, AbsVal{P, 0});
+          } else {
+            WriteReg(Ins.Dst, AbsVal{DefRegVar(Ins.Dst), 0});
+          }
+          break;
+        }
+        // lea r, [r2+d]: translation of a pointer (A.2).
+        AbsVal Base = ReadReg(Ins.Mem.Base);
+        TypeVariable D = DefRegVar(Ins.Dst);
+        WriteReg(Ins.Dst, AbsVal{Base.Var, Base.Off + Ins.Mem.Disp});
+        (void)D; // cross-block consumers of a translated pointer see an
+                 // unconstrained variable; see DESIGN.md §5.
+        break;
+      }
+      case Opcode::AddImm:
+      case Opcode::SubImm: {
+        if (Ins.Dst == Reg::Esp || Ins.Dst == Reg::Ebp)
+          break;
+        // Constant translation: keep the base, slide the offset (A.2). The
+        // def-site variable still participates in an additive constraint so
+        // pointer/integer classification survives across blocks.
+        AbsVal V = ReadReg(Ins.Dst);
+        int32_t Delta = Ins.Op == Opcode::AddImm ? Ins.Imm : -Ins.Imm;
+        TypeVariable ImmVar = Fresh("imm");
+        R.C.addSubtype(Dtv(ImmVar),
+                       Dtv(TypeVariable::constant(*Lat.lookup("num32"))));
+        R.C.addAddSub(AddSubConstraint{Ins.Op == Opcode::SubImm, Dtv(V.Var),
+                                       Dtv(ImmVar),
+                                       Dtv(DefRegVar(Ins.Dst))});
+        WriteReg(Ins.Dst, AbsVal{V.Var, V.Off + Delta});
+        break;
+      }
+      case Opcode::Add:
+      case Opcode::Sub: {
+        if (Ins.Dst == Reg::Esp || Ins.Dst == Reg::Ebp)
+          break;
+        AbsVal A = ReadReg(Ins.Dst);
+        AbsVal Bv = ReadReg(Ins.Src);
+        TypeVariable D = DefRegVar(Ins.Dst);
+        R.C.addAddSub(AddSubConstraint{Ins.Op == Opcode::Sub, Dtv(A.Var),
+                                       Dtv(Bv.Var), Dtv(D)});
+        WriteReg(Ins.Dst, AbsVal{D, 0});
+        break;
+      }
+      case Opcode::And:
+      case Opcode::Or: {
+        AbsVal A = ReadReg(Ins.Dst);
+        AbsVal Bv = ReadReg(Ins.Src);
+        (void)A;
+        (void)Bv;
+        TypeVariable D = DefRegVar(Ins.Dst);
+        // Bit manipulation: integral result (A.5.2).
+        R.C.addSubtype(Dtv(D),
+                       Dtv(TypeVariable::constant(*Lat.lookup("num32"))));
+        WriteReg(Ins.Dst, AbsVal{D, 0});
+        break;
+      }
+      case Opcode::AndImm:
+      case Opcode::OrImm: {
+        // Pointer-tag idioms (`and r, -4`, `or r, 1`) act as the identity
+        // (A.5.2); other masks are integral.
+        AbsVal V = ReadReg(Ins.Dst);
+        bool TagIdiom = (Ins.Op == Opcode::AndImm &&
+                         (Ins.Imm == -4 || Ins.Imm == -2 || Ins.Imm == -8)) ||
+                        (Ins.Op == Opcode::OrImm &&
+                         (Ins.Imm == 1 || Ins.Imm == 2 || Ins.Imm == 3));
+        if (TagIdiom) {
+          R.C.addSubtype(Dtv(V.Var), Dtv(DefRegVar(Ins.Dst)));
+          WriteReg(Ins.Dst, AbsVal{V.Var, V.Off});
+        } else {
+          TypeVariable D = DefRegVar(Ins.Dst);
+          R.C.addSubtype(Dtv(D),
+                         Dtv(TypeVariable::constant(*Lat.lookup("num32"))));
+          WriteReg(Ins.Dst, AbsVal{D, 0});
+        }
+        break;
+      }
+      case Opcode::Xor: {
+        if (Ins.Dst == Ins.Src) {
+          // Zeroing idiom: a fresh, unconstrained value (§2.1).
+          WriteReg(Ins.Dst, AbsVal{DefRegVar(Ins.Dst), 0, /*IsConst=*/true});
+          break;
+        }
+        TypeVariable D = DefRegVar(Ins.Dst);
+        R.C.addSubtype(Dtv(D),
+                       Dtv(TypeVariable::constant(*Lat.lookup("num32"))));
+        WriteReg(Ins.Dst, AbsVal{D, 0});
+        break;
+      }
+      case Opcode::Cmp:
+      case Opcode::CmpImm:
+      case Opcode::Test:
+        // Flag-only: discard (A.5.2).
+        break;
+      case Opcode::Push: {
+        if (Ins.Src == Reg::Esp || Ins.Src == Reg::Ebp)
+          break;
+        AbsVal V = ReadReg(Ins.Src);
+        if (!V.IsConst)
+          if (auto E = SA.espAt(Idx))
+            R.C.addSubtype(Dtv(V.Var),
+                           Dtv(DefVar(Location::slot(*E - 4), Idx)));
+        break;
+      }
+      case Opcode::PushImm:
+        break; // constant: no flow
+      case Opcode::Pop: {
+        if (Ins.Dst == Reg::Esp || Ins.Dst == Reg::Ebp)
+          break;
+        TypeVariable D = DefRegVar(Ins.Dst);
+        if (auto E = SA.espAt(Idx)) {
+          TypeVariable V = ReadLoc(Location::slot(*E));
+          R.C.addSubtype(Dtv(V), Dtv(D));
+        }
+        WriteReg(Ins.Dst, AbsVal{D, 0});
+        break;
+      }
+      case Opcode::Call: {
+        uint32_t Callee = Ins.Target;
+        if (Callee >= M.Funcs.size())
+          break;
+        const Function &CF = M.Funcs[Callee];
+
+        // Choose the callee variable: same-SCC -> monomorphic; otherwise a
+        // callsite-tagged instance (A.4).
+        TypeVariable CalleeVar;
+        if (SccMates.count(Callee)) {
+          CalleeVar = procVar(Callee);
+          R.Interesting.insert(CalleeVar);
+        } else {
+          CalleeVar = TypeVariable::var(Syms.intern(
+              Fn + CF.Name + "@" + std::to_string(Idx)));
+          auto SchemeIt = Schemes.find(Callee);
+          if (SchemeIt != Schemes.end())
+            R.C.merge(instantiate(SchemeIt->second, CalleeVar));
+        }
+
+        // Actual-ins: stack arguments sit at [esp+0], [esp+4], ... at the
+        // callsite.
+        if (auto E = SA.espAt(Idx)) {
+          for (unsigned K = 0; K < CF.NumStackParams; ++K) {
+            TypeVariable Actual =
+                ReadLoc(Location::slot(*E + 4 * static_cast<int32_t>(K)));
+            R.C.addSubtype(Dtv(Actual),
+                           DerivedTypeVariable(CalleeVar, {Label::in(K)}));
+          }
+        }
+        // Register actual-ins (constants stay silent, §2.1).
+        for (size_t J = 0; J < CF.RegParams.size(); ++J) {
+          AbsVal V = ReadReg(CF.RegParams[J]);
+          if (V.IsConst)
+            continue;
+          R.C.addSubtype(
+              Dtv(V.Var),
+              DerivedTypeVariable(
+                  CalleeVar,
+                  {Label::in(CF.NumStackParams +
+                             static_cast<unsigned>(J))}));
+        }
+        // Return value.
+        TypeVariable D = DefVar(Location::reg(Reg::Eax), Idx);
+        if (CF.ReturnsValue)
+          R.C.addSubtype(DerivedTypeVariable(CalleeVar, {Label::out()}),
+                         Dtv(D));
+        WriteReg(Reg::Eax, AbsVal{D, 0});
+        break;
+      }
+      case Opcode::CallInd: {
+        // Unknown target: the result is unconstrained.
+        WriteReg(Reg::Eax,
+                 AbsVal{DefVar(Location::reg(Reg::Eax), Idx), 0});
+        break;
+      }
+      case Opcode::Ret: {
+        if (F.ReturnsValue) {
+          AbsVal V = ReadReg(Reg::Eax);
+          R.C.addSubtype(Dtv(V.Var),
+                         DerivedTypeVariable(R.ProcVar, {Label::out()}));
+        }
+        break;
+      }
+      case Opcode::Jmp:
+      case Opcode::Jcc:
+      case Opcode::Halt:
+      case Opcode::Nop:
+        break;
+      }
+
+      // Every case that defines a register refreshed the cache via
+      // WriteReg; advance the reaching-definition state.
+      RD.step(S, Idx);
+    }
+  }
+  return R;
+}

@@ -1,0 +1,90 @@
+//===- ConstraintGen.h - Type-constraint generation (App. A) --*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract interpretation TYPE_A of Appendix A: walks a procedure's
+/// instructions and emits subtype constraints. The parameter analysis `A`
+/// is the reaching-definitions analysis (Example A.2): every read of a
+/// register or stack slot resolves to the type variables of its reaching
+/// definition sites, so unrelated reuses of one physical location never
+/// share a type variable (§2.1).
+///
+/// Key behaviours, with their paper sections:
+///  - value copies emit Y <= X, never unification (§2.5);
+///  - loads/stores through non-stack pointers emit
+///    p.load.σN@k <= v / v <= p.store.σN@k (A.3);
+///  - constant pointer arithmetic is tracked as a (base, offset) pair so
+///    field accesses after `add reg, imm` keep their offsets (A.2);
+///  - non-constant add/sub emit three-place Add/Sub constraints (A.6);
+///  - `xor r, r` and `mov r, imm` produce no flow (semi-syntactic
+///    constants, §2.1); flag-only computations are discarded (A.5.2);
+///  - bit-twiddling idioms `and r, -4` / `or r, 1` act as the identity
+///    (pointer tag stealing, A.5.2);
+///  - calls instantiate the callee's type scheme with callsite-tagged
+///    fresh variables (let-polymorphism, A.4); calls to same-SCC members
+///    use the callee's own variable monomorphically (§4.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_ABSINT_CONSTRAINTGEN_H
+#define RETYPD_ABSINT_CONSTRAINTGEN_H
+
+#include "core/ConstraintSet.h"
+#include "mir/MIR.h"
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace retypd {
+
+/// Constraints generated for one procedure.
+struct GenResult {
+  ConstraintSet C;
+  TypeVariable ProcVar;
+  /// Base variables that must survive simplification: globals and same-SCC
+  /// callee procedure variables.
+  std::unordered_set<TypeVariable> Interesting;
+  /// Total parameter count (stack params first, then register params).
+  unsigned NumParams = 0;
+};
+
+/// Generates constraint sets for procedures of a module.
+class ConstraintGenerator {
+public:
+  ConstraintGenerator(SymbolTable &Syms, const Lattice &Lat,
+                      const Module &M)
+      : Syms(Syms), Lat(Lat), M(M) {}
+
+  /// Generates constraints for \p FuncId. \p Schemes maps already-
+  /// summarized functions to their type schemes (instantiated per callsite
+  /// here); \p SccMates lists functions of the current SCC, which are
+  /// referenced monomorphically.
+  GenResult generate(uint32_t FuncId,
+                     const std::unordered_map<uint32_t, TypeScheme> &Schemes,
+                     const std::set<uint32_t> &SccMates);
+
+  /// The procedure variable for a function (its name, interned).
+  TypeVariable procVar(uint32_t FuncId);
+
+  /// The module-level variable of a global symbol.
+  TypeVariable globalVar(uint32_t GlobalId);
+
+  /// Instantiates \p Scheme at a callsite: the procedure variable maps to
+  /// \p CallsiteVar and every existential gets a fresh name (A.4).
+  ConstraintSet instantiate(const TypeScheme &Scheme,
+                            TypeVariable CallsiteVar);
+
+private:
+  SymbolTable &Syms;
+  const Lattice &Lat;
+  const Module &M;
+  unsigned FreshCounter = 0;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_ABSINT_CONSTRAINTGEN_H

@@ -1,0 +1,56 @@
+//===- CallGraph.h - Call graph and SCC condensation ----------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The module call graph and its Tarjan SCC condensation. Type-scheme
+/// inference walks the SCCs bottom-up (callees before callers, Algorithm
+/// F.1); sketch solving walks them top-down (Algorithm F.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_ANALYSIS_CALLGRAPH_H
+#define RETYPD_ANALYSIS_CALLGRAPH_H
+
+#include "mir/MIR.h"
+
+#include <vector>
+
+namespace retypd {
+
+/// Call graph with SCC condensation.
+class CallGraph {
+public:
+  explicit CallGraph(const Module &M);
+
+  /// Direct callees of a function (deduplicated).
+  const std::vector<uint32_t> &callees(uint32_t Func) const {
+    return Callees[Func];
+  }
+
+  /// SCC id of a function.
+  uint32_t sccOf(uint32_t Func) const { return SccId[Func]; }
+
+  /// Members of each SCC.
+  const std::vector<std::vector<uint32_t>> &sccs() const { return Sccs; }
+
+  /// SCC ids in bottom-up order (callees before callers).
+  const std::vector<uint32_t> &bottomUp() const { return BottomUp; }
+
+  /// SCC ids in top-down order (callers before callees).
+  std::vector<uint32_t> topDown() const {
+    return std::vector<uint32_t>(BottomUp.rbegin(), BottomUp.rend());
+  }
+
+private:
+  std::vector<std::vector<uint32_t>> Callees;
+  std::vector<uint32_t> SccId;
+  std::vector<std::vector<uint32_t>> Sccs;
+  std::vector<uint32_t> BottomUp;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_ANALYSIS_CALLGRAPH_H

@@ -1,0 +1,92 @@
+//===- InterfaceRecovery.cpp - Formal-in/out discovery ----------------------===//
+
+#include "analysis/InterfaceRecovery.h"
+
+#include "analysis/Liveness.h"
+#include "analysis/ReachingDefs.h"
+#include "analysis/RegEffects.h"
+#include "analysis/StackAnalysis.h"
+#include "mir/Cfg.h"
+
+#include <algorithm>
+
+using namespace retypd;
+
+namespace {
+
+void recoverOne(Function &F) {
+  Cfg G(F);
+  StackAnalysis SA(F, G);
+
+  // Stack parameters: reads of entry-relative slots above the return
+  // address. Parameter i lives at slot 4 + 4i.
+  unsigned MaxParam = 0;
+  bool AnyParam = false;
+  for (uint32_t I = 0; I < F.Body.size(); ++I) {
+    const Instr &Ins = F.Body[I];
+    if (Ins.Op != Opcode::Load && Ins.Op != Opcode::Lea)
+      continue;
+    auto Slot = SA.slotFor(I, Ins.Mem);
+    if (!Slot || *Slot < 4)
+      continue;
+    AnyParam = true;
+    MaxParam = std::max(MaxParam, static_cast<unsigned>((*Slot - 4) / 4));
+  }
+  F.NumStackParams = AnyParam ? MaxParam + 1 : 0;
+
+  // Register parameters: registers live into the entry block, minus the
+  // stack plumbing registers.
+  Liveness LV(F, G);
+  F.RegParams.clear();
+  auto Live = LV.liveAtEntry();
+  for (unsigned R = 0; R < NumRegs; ++R) {
+    Reg Rr = static_cast<Reg>(R);
+    if (Rr == Reg::Esp || Rr == Reg::Ebp || Rr == Reg::Eax)
+      continue; // eax is handled below as the return channel
+    if (Live[R])
+      F.RegParams.push_back(Rr);
+  }
+  // eax read before written is also a register parameter.
+  if (Live[static_cast<unsigned>(Reg::Eax)]) {
+    // Distinguish a genuine read from the implicit `ret` use: scan for an
+    // explicit use of eax before any def along the entry block.
+    bool Defined = false, Read = false;
+    for (const Instr &Ins : F.Body) {
+      for (Reg U : regUses(Ins))
+        if (U == Reg::Eax && !Defined && Ins.Op != Opcode::Ret)
+          Read = true;
+      if (defines(Ins, Reg::Eax))
+        Defined = true;
+      if (Defined || Read)
+        break;
+    }
+    if (Read)
+      F.RegParams.push_back(Reg::Eax);
+  }
+
+  // Return value: some ret is reached by a non-entry definition of eax.
+  ReachingDefs RD(F, G, SA);
+  F.ReturnsValue = false;
+  for (size_t B = 0; B < G.size(); ++B) {
+    const BasicBlock &BB = G.blocks()[B];
+    DefState S = RD.blockIn(static_cast<uint32_t>(B));
+    for (uint32_t I = BB.Begin; I < BB.End; ++I) {
+      if (F.Body[I].Op == Opcode::Ret) {
+        auto It = S.find(Location::reg(Reg::Eax));
+        if (It != S.end())
+          for (uint32_t D : It->second)
+            if (D != EntryDef)
+              F.ReturnsValue = true;
+      }
+      RD.step(S, I);
+    }
+  }
+}
+
+} // namespace
+
+void retypd::recoverInterfaces(Module &M) {
+  for (Function &F : M.Funcs)
+    if (!F.IsExternal && !F.Body.empty())
+      recoverOne(F);
+}

@@ -1,0 +1,31 @@
+//===- InterfaceRecovery.h - Formal-in/out discovery ----------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recovers each procedure's interface — the "locators" of Appendix A.4:
+/// how many stack parameters it reads, which registers it consumes without
+/// defining (undeclared register parameters, including the occasional false
+/// positive that §2.5 warns about), and whether it produces a value in eax.
+/// In the paper this information comes from CodeSurfer's earlier analysis
+/// phases; here it is recovered from the IR directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_ANALYSIS_INTERFACERECOVERY_H
+#define RETYPD_ANALYSIS_INTERFACERECOVERY_H
+
+#include "mir/MIR.h"
+
+namespace retypd {
+
+/// Fills NumStackParams / RegParams / ReturnsValue on every non-external
+/// function of \p M. External functions are expected to be described by
+/// known-function summaries instead (frontend/KnownFunctions).
+void recoverInterfaces(Module &M);
+
+} // namespace retypd
+
+#endif // RETYPD_ANALYSIS_INTERFACERECOVERY_H

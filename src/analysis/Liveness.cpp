@@ -1,0 +1,51 @@
+//===- Liveness.cpp - Backward register liveness ---------------------------===//
+
+#include "analysis/Liveness.h"
+
+#include "analysis/RegEffects.h"
+
+#include <deque>
+
+using namespace retypd;
+
+Liveness::Liveness(const Function &F, const Cfg &G) {
+  size_t NB = G.size();
+  LiveIn.assign(NB, {});
+  LiveOut.assign(NB, {});
+
+  // Per-block USE (read before written) and DEF (written) sets.
+  std::vector<RegSet> Use(NB), Def(NB);
+  for (size_t B = 0; B < NB; ++B) {
+    const BasicBlock &BB = G.blocks()[B];
+    for (uint32_t I = BB.Begin; I < BB.End; ++I) {
+      const Instr &Ins = F.Body[I];
+      for (Reg R : regUses(Ins)) {
+        unsigned Idx = static_cast<unsigned>(R);
+        if (!Def[B][Idx])
+          Use[B][Idx] = true;
+      }
+      // ret uses eax by convention, but only if a value was produced: the
+      // regUses model includes it, which is conservative in the right
+      // direction for register-parameter discovery.
+      for (Reg R : regDefs(Ins))
+        Def[B][static_cast<unsigned>(R)] = true;
+    }
+  }
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Iterate blocks in reverse order for faster convergence.
+    for (size_t B = NB; B-- > 0;) {
+      RegSet Out;
+      for (uint32_t S : G.blocks()[B].Succs)
+        Out |= LiveIn[S];
+      RegSet In = Use[B] | (Out & ~Def[B]);
+      if (In != LiveIn[B] || Out != LiveOut[B]) {
+        LiveIn[B] = In;
+        LiveOut[B] = Out;
+        Changed = true;
+      }
+    }
+  }
+}

@@ -1,0 +1,43 @@
+//===- Liveness.h - Backward register liveness ----------------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic backward may-liveness over registers. Used by interface recovery
+/// to find undeclared register parameters: a register that is live into the
+/// function entry is read before being written, which on optimized binaries
+/// indicates (sometimes spuriously — §2.5) a register argument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_ANALYSIS_LIVENESS_H
+#define RETYPD_ANALYSIS_LIVENESS_H
+
+#include "mir/Cfg.h"
+
+#include <bitset>
+#include <vector>
+
+namespace retypd {
+
+/// Register liveness per basic block.
+class Liveness {
+public:
+  using RegSet = std::bitset<NumRegs>;
+
+  Liveness(const Function &F, const Cfg &G);
+
+  RegSet liveInto(uint32_t Block) const { return LiveIn[Block]; }
+
+  /// Registers live into the function entry (potential register params).
+  RegSet liveAtEntry() const { return LiveIn[0]; }
+
+private:
+  std::vector<RegSet> LiveIn, LiveOut;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_ANALYSIS_LIVENESS_H

@@ -1,0 +1,99 @@
+//===- ReachingDefs.cpp - Register & stack-slot reaching defs --------------===//
+
+#include "analysis/ReachingDefs.h"
+
+#include "analysis/RegEffects.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace retypd;
+
+std::vector<Location> ReachingDefs::locationsDefined(uint32_t InstrIdx) const {
+  const Instr &I = F.Body[InstrIdx];
+  std::vector<Location> Locs;
+  for (Reg R : regDefs(I))
+    if (R != Reg::Esp)
+      Locs.push_back(Location::reg(R));
+  switch (I.Op) {
+  case Opcode::Store:
+  case Opcode::StoreImm:
+    if (I.Mem.isGlobal()) {
+      Locs.push_back(Location::global(I.Mem.GlobalSym));
+    } else if (auto Slot = SA.slotFor(InstrIdx, I.Mem)) {
+      Locs.push_back(Location::slot(*Slot));
+    }
+    break;
+  case Opcode::Push:
+  case Opcode::PushImm:
+    // push writes the slot just below the current esp.
+    if (auto E = SA.espAt(InstrIdx))
+      Locs.push_back(Location::slot(*E - 4));
+    break;
+  case Opcode::Pop:
+    // The register def is already included via regDefs.
+    break;
+  default:
+    break;
+  }
+  return Locs;
+}
+
+void ReachingDefs::step(DefState &S, uint32_t InstrIdx) const {
+  for (const Location &L : locationsDefined(InstrIdx))
+    S[L] = {InstrIdx};
+}
+
+ReachingDefs::ReachingDefs(const Function &Fn, const Cfg &G,
+                           const StackAnalysis &SAIn)
+    : F(Fn), SA(SAIn) {
+  BlockIn.resize(G.size());
+
+  // Entry state: every register and every parameter-ish slot is defined at
+  // entry. Slots are added lazily on first read instead; registers here.
+  DefState Entry;
+  for (unsigned R = 0; R < NumRegs; ++R)
+    Entry[Location::reg(static_cast<Reg>(R))] = {EntryDef};
+  BlockIn[0] = std::move(Entry);
+
+  auto MergeInto = [](DefState &Into, const DefState &From) {
+    bool Changed = false;
+    for (const auto &[Loc, Defs] : From) {
+      auto &Tgt = Into[Loc];
+      for (uint32_t D : Defs)
+        if (std::find(Tgt.begin(), Tgt.end(), D) == Tgt.end()) {
+          Tgt.push_back(D);
+          Changed = true;
+        }
+    }
+    return Changed;
+  };
+
+  std::deque<uint32_t> Work{0};
+  std::vector<bool> Reached(G.size(), false);
+  Reached[0] = true;
+  while (!Work.empty()) {
+    uint32_t B = Work.front();
+    Work.pop_front();
+    DefState S = BlockIn[B];
+    const BasicBlock &BB = G.blocks()[B];
+    for (uint32_t I = BB.Begin; I < BB.End; ++I)
+      step(S, I);
+    for (uint32_t Succ : BB.Succs) {
+      bool Changed = false;
+      if (!Reached[Succ]) {
+        Reached[Succ] = true;
+        BlockIn[Succ] = S;
+        Changed = true;
+      } else {
+        Changed = MergeInto(BlockIn[Succ], S);
+      }
+      if (Changed)
+        Work.push_back(Succ);
+    }
+  }
+  // Sort def lists for determinism.
+  for (DefState &S : BlockIn)
+    for (auto &[Loc, Defs] : S)
+      std::sort(Defs.begin(), Defs.end());
+}

@@ -1,0 +1,86 @@
+//===- ReachingDefs.h - Register & stack-slot reaching defs ---*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flow-sensitive reaching definitions for registers and entry-relative
+/// stack slots. This is the analysis `A` that parameterizes the constraint
+/// generator in Appendix A (Example A.2): the type variable chosen for a
+/// register read is tagged with the reaching definition site, so that
+/// unrelated reuses of one physical location get unrelated type variables
+/// (§2.1: stack-slot reuse must not conflate types).
+///
+/// Locations are registers (eax..edi) and stack slots (entry-relative
+/// offsets resolved by StackAnalysis). A definition site is an instruction
+/// index; the sentinel EntryDef marks values live-in at function entry
+/// (parameters, undeclared register arguments).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_ANALYSIS_REACHINGDEFS_H
+#define RETYPD_ANALYSIS_REACHINGDEFS_H
+
+#include "analysis/StackAnalysis.h"
+#include "mir/Cfg.h"
+
+#include <map>
+#include <vector>
+
+namespace retypd {
+
+/// An abstract storage location within one function.
+struct Location {
+  enum class Kind : uint8_t { Register, StackSlot, Global } K;
+  int32_t Key; ///< register id, slot offset, or global symbol id
+
+  static Location reg(Reg R) {
+    return {Kind::Register, static_cast<int32_t>(R)};
+  }
+  static Location slot(int32_t Offset) { return {Kind::StackSlot, Offset}; }
+  static Location global(uint32_t Sym) {
+    return {Kind::Global, static_cast<int32_t>(Sym)};
+  }
+
+  friend bool operator<(const Location &A, const Location &B) {
+    if (A.K != B.K)
+      return A.K < B.K;
+    return A.Key < B.Key;
+  }
+  friend bool operator==(const Location &A, const Location &B) {
+    return A.K == B.K && A.Key == B.Key;
+  }
+};
+
+/// The reaching-definition state at one program point: for each location,
+/// the set of definition sites (instruction indices; EntryDef for live-in).
+using DefState = std::map<Location, std::vector<uint32_t>>;
+
+constexpr uint32_t EntryDef = 0xffffffffu;
+
+/// Computes block-entry states; clients replay instructions within a block
+/// with step().
+class ReachingDefs {
+public:
+  ReachingDefs(const Function &F, const Cfg &G, const StackAnalysis &SA);
+
+  /// The state at the entry of block \p B.
+  const DefState &blockIn(uint32_t B) const { return BlockIn[B]; }
+
+  /// Advances \p S over instruction \p InstrIdx.
+  void step(DefState &S, uint32_t InstrIdx) const;
+
+  /// The locations written by an instruction (registers, plus the stack
+  /// slot for stack stores and push).
+  std::vector<Location> locationsDefined(uint32_t InstrIdx) const;
+
+private:
+  const Function &F;
+  const StackAnalysis &SA;
+  std::vector<DefState> BlockIn;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_ANALYSIS_REACHINGDEFS_H

@@ -1,0 +1,105 @@
+//===- RegEffects.cpp - Per-instruction register uses/defs -----------------===//
+
+#include "analysis/RegEffects.h"
+
+#include <algorithm>
+
+using namespace retypd;
+
+std::vector<Reg> retypd::regUses(const Instr &I) {
+  std::vector<Reg> Uses;
+  auto Add = [&](Reg R) {
+    if (R != Reg::None)
+      Uses.push_back(R);
+  };
+  switch (I.Op) {
+  case Opcode::Mov:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Cmp:
+  case Opcode::Test:
+    Add(I.Src);
+    if (I.Op != Opcode::Mov)
+      Add(I.Dst);
+    break;
+  case Opcode::Xor:
+    // xor r, r zeroes r without reading it (semi-syntactic constant, §2.1).
+    if (I.Src != I.Dst)
+      Add(I.Src), Add(I.Dst);
+    break;
+  case Opcode::AddImm:
+  case Opcode::SubImm:
+  case Opcode::AndImm:
+  case Opcode::OrImm:
+  case Opcode::CmpImm:
+    Add(I.Dst);
+    break;
+  case Opcode::Load:
+  case Opcode::Lea:
+    if (!I.Mem.isGlobal())
+      Add(I.Mem.Base);
+    break;
+  case Opcode::Store:
+    Add(I.Src);
+    if (!I.Mem.isGlobal())
+      Add(I.Mem.Base);
+    break;
+  case Opcode::StoreImm:
+    if (!I.Mem.isGlobal())
+      Add(I.Mem.Base);
+    break;
+  case Opcode::Push:
+    Add(I.Src);
+    break;
+  case Opcode::CallInd:
+    Add(I.Src);
+    break;
+  case Opcode::Ret:
+    // By convention the return value travels in eax; treating ret as a use
+    // keeps the value live.
+    Uses.push_back(Reg::Eax);
+    break;
+  default:
+    break;
+  }
+  // esp/ebp frame plumbing is handled by the stack analysis, not as data.
+  Uses.erase(std::remove_if(Uses.begin(), Uses.end(),
+                            [](Reg R) { return R == Reg::Esp; }),
+             Uses.end());
+  return Uses;
+}
+
+std::vector<Reg> retypd::regDefs(const Instr &I) {
+  switch (I.Op) {
+  case Opcode::Mov:
+  case Opcode::MovImm:
+  case Opcode::MovGlobal:
+  case Opcode::Load:
+  case Opcode::Lea:
+  case Opcode::Add:
+  case Opcode::AddImm:
+  case Opcode::Sub:
+  case Opcode::SubImm:
+  case Opcode::And:
+  case Opcode::AndImm:
+  case Opcode::Or:
+  case Opcode::OrImm:
+  case Opcode::Xor:
+  case Opcode::Pop:
+    return {I.Dst};
+  case Opcode::Call:
+  case Opcode::CallInd:
+    return {Reg::Eax}; // the return value
+  default:
+    return {};
+  }
+}
+
+bool retypd::defines(const Instr &I, Reg R) {
+  for (Reg D : regDefs(I))
+    if (D == R)
+      return true;
+  return false;
+}

@@ -1,0 +1,38 @@
+//===- RegEffects.h - Per-instruction register uses/defs ------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared use/def model of the instruction set, consumed by reaching
+/// definitions, liveness, interface recovery, and constraint generation.
+///
+/// Calling convention (cdecl-like): arguments on the stack, return value in
+/// eax, all other registers preserved by callees. A call therefore defines
+/// eax; undeclared register arguments (the §2.5 hazard) show up as
+/// registers that are live into a function without a prior definition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_ANALYSIS_REGEFFECTS_H
+#define RETYPD_ANALYSIS_REGEFFECTS_H
+
+#include "mir/MIR.h"
+
+#include <vector>
+
+namespace retypd {
+
+/// Registers read by \p I (excluding the implicit esp of push/pop/call).
+std::vector<Reg> regUses(const Instr &I);
+
+/// Registers written by \p I (excluding esp adjustments).
+std::vector<Reg> regDefs(const Instr &I);
+
+/// True if \p I writes \p R.
+bool defines(const Instr &I, Reg R);
+
+} // namespace retypd
+
+#endif // RETYPD_ANALYSIS_REGEFFECTS_H

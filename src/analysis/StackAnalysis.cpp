@@ -1,0 +1,156 @@
+//===- StackAnalysis.cpp - esp/ebp affine offset tracking ------------------===//
+
+#include "analysis/StackAnalysis.h"
+
+#include "analysis/RegEffects.h"
+
+#include <deque>
+
+using namespace retypd;
+
+namespace {
+
+struct State {
+  std::optional<int32_t> Esp, Ebp;
+  bool Reached = false;
+};
+
+State merge(const State &A, const State &B) {
+  State Out;
+  Out.Reached = true;
+  if (A.Esp && B.Esp && *A.Esp == *B.Esp)
+    Out.Esp = A.Esp;
+  if (A.Ebp && B.Ebp && *A.Ebp == *B.Ebp)
+    Out.Ebp = A.Ebp;
+  return Out;
+}
+
+bool sameState(const State &A, const State &B) {
+  return A.Reached == B.Reached && A.Esp == B.Esp && A.Ebp == B.Ebp;
+}
+
+} // namespace
+
+StackAnalysis::StackAnalysis(const Function &F, const Cfg &G) {
+  size_t N = F.Body.size();
+  EspIn.assign(N, std::nullopt);
+  EbpIn.assign(N, std::nullopt);
+  if (N == 0)
+    return;
+
+  std::vector<State> BlockIn(G.size());
+  BlockIn[0].Reached = true;
+  BlockIn[0].Esp = 0;
+
+  auto Transfer = [&](State S, const Instr &I) -> State {
+    auto Bump = [&](int32_t D) {
+      if (S.Esp)
+        S.Esp = *S.Esp + D;
+    };
+    switch (I.Op) {
+    case Opcode::Push:
+    case Opcode::PushImm:
+      Bump(-4);
+      break;
+    case Opcode::Pop:
+      if (I.Dst == Reg::Esp)
+        S.Esp = std::nullopt;
+      else
+        Bump(4);
+      if (I.Dst == Reg::Ebp)
+        S.Ebp = std::nullopt; // popped value is not tracked
+      break;
+    case Opcode::AddImm:
+      if (I.Dst == Reg::Esp)
+        Bump(I.Imm);
+      else if (I.Dst == Reg::Ebp) {
+        if (S.Ebp)
+          S.Ebp = *S.Ebp + I.Imm;
+      }
+      break;
+    case Opcode::SubImm:
+      if (I.Dst == Reg::Esp)
+        Bump(-I.Imm);
+      else if (I.Dst == Reg::Ebp) {
+        if (S.Ebp)
+          S.Ebp = *S.Ebp - I.Imm;
+      }
+      break;
+    case Opcode::Mov:
+      if (I.Dst == Reg::Ebp)
+        S.Ebp = I.Src == Reg::Esp ? S.Esp : std::nullopt;
+      else if (I.Dst == Reg::Esp)
+        S.Esp = I.Src == Reg::Ebp ? S.Ebp : std::nullopt;
+      break;
+    case Opcode::Lea:
+      if (I.Dst == Reg::Esp) {
+        if (!I.Mem.isGlobal() && I.Mem.Base == Reg::Esp && S.Esp)
+          S.Esp = *S.Esp + I.Mem.Disp;
+        else if (!I.Mem.isGlobal() && I.Mem.Base == Reg::Ebp && S.Ebp)
+          S.Esp = *S.Ebp + I.Mem.Disp;
+        else
+          S.Esp = std::nullopt;
+      } else if (I.Dst == Reg::Ebp) {
+        if (!I.Mem.isGlobal() && I.Mem.Base == Reg::Esp && S.Esp)
+          S.Ebp = *S.Esp + I.Mem.Disp;
+        else
+          S.Ebp = std::nullopt;
+      }
+      break;
+    default:
+      // Other writes to esp/ebp lose tracking.
+      if (defines(I, Reg::Esp))
+        S.Esp = std::nullopt;
+      if (defines(I, Reg::Ebp))
+        S.Ebp = std::nullopt;
+      break;
+    }
+    // A call pushes and pops the return address; cdecl callees do not
+    // adjust the caller's esp beyond that, so esp is unchanged.
+    return S;
+  };
+
+  // Worklist over blocks.
+  std::deque<uint32_t> Work{0};
+  while (!Work.empty()) {
+    uint32_t B = Work.front();
+    Work.pop_front();
+    State S = BlockIn[B];
+    if (!S.Reached)
+      continue;
+    const BasicBlock &BB = G.blocks()[B];
+    for (uint32_t I = BB.Begin; I < BB.End; ++I) {
+      EspIn[I] = S.Esp;
+      EbpIn[I] = S.Ebp;
+      if (F.Body[I].Op == Opcode::Ret && (!S.Esp || *S.Esp != 0))
+        Balanced = false;
+      S = Transfer(S, F.Body[I]);
+    }
+    for (uint32_t Succ : BB.Succs) {
+      State Merged =
+          BlockIn[Succ].Reached ? merge(BlockIn[Succ], S) : S;
+      Merged.Reached = true;
+      if (!sameState(Merged, BlockIn[Succ])) {
+        BlockIn[Succ] = Merged;
+        Work.push_back(Succ);
+      }
+    }
+  }
+}
+
+std::optional<int32_t> StackAnalysis::slotFor(uint32_t InstrIdx,
+                                              const MemRef &Mem) const {
+  if (Mem.isGlobal())
+    return std::nullopt;
+  if (Mem.Base == Reg::Esp) {
+    if (auto E = EspIn[InstrIdx])
+      return *E + Mem.Disp;
+    return std::nullopt;
+  }
+  if (Mem.Base == Reg::Ebp) {
+    if (auto E = EbpIn[InstrIdx])
+      return *E + Mem.Disp;
+    return std::nullopt;
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,61 @@
+//===- StackAnalysis.h - esp/ebp affine offset tracking -------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tracks the affine relation between esp/ebp and the entry stack pointer
+/// (the "affine relations between the stack and frame pointers" analysis
+/// the paper's evaluation enables, §6.1). The result maps each memory
+/// access of the form [esp+d] or [ebp+d] to an entry-relative stack slot:
+///
+///   slot  0           the return address
+///   slot  4, 8, ...   stack parameters
+///   slot -4, -8, ...  locals
+///
+/// This is the minimal points-to knowledge Retypd requires: "no points-to
+/// analysis beyond the simpler problem of tracking the stack pointer"
+/// (§2.7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_ANALYSIS_STACKANALYSIS_H
+#define RETYPD_ANALYSIS_STACKANALYSIS_H
+
+#include "mir/Cfg.h"
+#include "mir/MIR.h"
+
+#include <optional>
+#include <vector>
+
+namespace retypd {
+
+/// Per-instruction esp/ebp deltas (value of reg minus entry esp, at the
+/// *start* of the instruction). nullopt = not a statically known offset.
+class StackAnalysis {
+public:
+  StackAnalysis(const Function &F, const Cfg &G);
+
+  std::optional<int32_t> espAt(uint32_t InstrIdx) const {
+    return EspIn[InstrIdx];
+  }
+  std::optional<int32_t> ebpAt(uint32_t InstrIdx) const {
+    return EbpIn[InstrIdx];
+  }
+
+  /// Resolves a [reg+disp] access at \p InstrIdx to an entry-relative slot
+  /// offset, if the base register's offset is known.
+  std::optional<int32_t> slotFor(uint32_t InstrIdx, const MemRef &Mem) const;
+
+  /// True when the analysis found a consistent esp offset at every ret.
+  bool balanced() const { return Balanced; }
+
+private:
+  std::vector<std::optional<int32_t>> EspIn, EbpIn;
+  bool Balanced = true;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_ANALYSIS_STACKANALYSIS_H

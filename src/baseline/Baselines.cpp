@@ -1,0 +1,389 @@
+//===- Baselines.cpp - Unification & interval baselines ---------------------===//
+
+#include "baseline/Baselines.h"
+
+#include "absint/ConstraintGen.h"
+#include "analysis/InterfaceRecovery.h"
+#include "core/ShapeGraph.h"
+#include "frontend/KnownFunctions.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace retypd;
+
+namespace {
+
+/// Generates the whole-module constraint pool with *monomorphic* linking:
+/// every function is in one "SCC", so callsites share callee variables
+/// directly (no scheme instantiation, no polymorphism).
+ConstraintSet monomorphicConstraints(Module &M, SymbolTable &Syms,
+                                     const Lattice &Lat) {
+  recoverInterfaces(M);
+  std::unordered_map<uint32_t, TypeScheme> Schemes;
+  registerKnownFunctions(M, Syms, Lat, Schemes);
+
+  ConstraintGenerator Gen(Syms, Lat, M);
+  std::set<uint32_t> All;
+  for (uint32_t F = 0; F < M.Funcs.size(); ++F)
+    All.insert(F);
+
+  ConstraintSet C;
+  for (uint32_t F = 0; F < M.Funcs.size(); ++F) {
+    if (M.Funcs[F].IsExternal)
+      continue;
+    GenResult R = Gen.generate(F, Schemes, All);
+    C.merge(R.C);
+  }
+  // Monomorphic known-function summaries: instantiate each scheme exactly
+  // once, on the callee's own variable.
+  for (const auto &[FId, Scheme] : Schemes)
+    C.merge(Gen.instantiate(Scheme, Gen.procVar(FId)));
+  return C;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// UnificationInference
+//===----------------------------------------------------------------------===//
+
+BaselineResult UnificationInference::run(Module &M) {
+  BaselineResult Out;
+  Out.Syms = std::make_shared<SymbolTable>();
+  SymbolTable &Syms = *Out.Syms;
+
+  ConstraintSet C = monomorphicConstraints(M, Syms, Lat);
+
+  // Unification: the Steensgaard quotient *is* the solution. Every subtype
+  // edge became an equality.
+  ShapeGraph Shapes(C);
+
+  // Collect the constants inhabiting each class. Under unification all
+  // members are equal, so multiple distinct constants are a conflict.
+  std::map<uint32_t, std::vector<LatticeElem>> ClassConsts;
+  for (const auto &[Dtv, Raw] : Shapes.nodes()) {
+    if (!Dtv.base().isConstant() || !Dtv.isBaseOnly())
+      continue;
+    uint32_t Cls = Shapes.canonical(Raw);
+    auto &V = ClassConsts[Cls];
+    LatticeElem E = Dtv.base().latticeElem();
+    if (std::find(V.begin(), V.end(), E) == V.end())
+      V.push_back(E);
+  }
+
+  // Convert a class to a C type (memoized; recursion-safe).
+  std::map<uint32_t, CTypeId> Done;
+  std::set<uint32_t> InProgress;
+  unsigned StructCounter = 0;
+
+  auto Slot = [&](uint32_t Cls) {
+    BaselineSlot S;
+    if (Cls == ShapeGraph::NoClass)
+      return S;
+    auto It = ClassConsts.find(Cls);
+    if (It != ClassConsts.end() && !It->second.empty()) {
+      // Unification folds every bound into one point.
+      LatticeElem E = It->second[0];
+      for (LatticeElem O : It->second)
+        E = Lat.join(E, O);
+      S.Lower = S.Upper = E;
+    }
+    S.Pointer = Shapes.isPointerClass(Cls);
+    return S;
+  };
+
+  auto Convert = [&](auto &&Self, uint32_t Cls) -> CTypeId {
+    if (Cls == ShapeGraph::NoClass)
+      return Out.Pool.unknownType();
+    Cls = Shapes.canonical(Cls);
+    auto DoneIt = Done.find(Cls);
+    if (DoneIt != Done.end())
+      return DoneIt->second;
+    if (!InProgress.insert(Cls).second) {
+      // Recursive structure: a named shell.
+      CType Shell;
+      Shell.K = CType::Kind::Struct;
+      Shell.Name = "UStruct_" + std::to_string(StructCounter++);
+      CTypeId Id = Out.Pool.make(std::move(Shell));
+      Done[Cls] = Id;
+      return Id;
+    }
+
+    CTypeId Result;
+    const auto &Kids = Shapes.childrenOf(Cls);
+    auto LoadIt = Kids.find(Label::load());
+    auto StoreIt = Kids.find(Label::store());
+    if (LoadIt != Kids.end() || StoreIt != Kids.end()) {
+      uint32_t P = Shapes.canonical(
+          LoadIt != Kids.end() ? LoadIt->second : StoreIt->second);
+      // Pointee: fields of the pointed-to class.
+      std::vector<std::pair<int32_t, uint32_t>> Fields;
+      for (const auto &[L, Child] : Shapes.childrenOf(P))
+        if (L.isField())
+          Fields.push_back({L.offset(), Shapes.canonical(Child)});
+      std::sort(Fields.begin(), Fields.end());
+      CTypeId Pointee;
+      if (Fields.empty()) {
+        Pointee = Out.Pool.unknownType();
+      } else if (Fields.size() == 1 && Fields[0].first == 0) {
+        Pointee = Self(Self, Fields[0].second);
+      } else {
+        CType St;
+        St.K = CType::Kind::Struct;
+        St.Name = "UStruct_" + std::to_string(StructCounter++);
+        CTypeId StId = Out.Pool.make(std::move(St));
+        Done[Cls] = StId; // provisional, refined below
+        std::vector<CType::Field> Built;
+        for (auto &[Off, ChildCls] : Fields)
+          Built.push_back(CType::Field{Off, Self(Self, ChildCls)});
+        Out.Pool.get(StId).Fields = std::move(Built);
+        Pointee = StId;
+      }
+      Result = Out.Pool.pointerTo(Pointee);
+    } else {
+      BaselineSlot S = Slot(Cls);
+      if (S.Lower != Lattice::Bottom && S.Lower != Lattice::Top &&
+          !Lat.isTag(S.Lower)) {
+        const std::string &Name = Lat.name(S.Lower);
+        if (Name == "int" || Name == "num32")
+          Result = Out.Pool.intType(32, true);
+        else if (Name == "uint")
+          Result = Out.Pool.intType(32, false);
+        else if (Name == "str") {
+          CType Ch;
+          Ch.K = CType::Kind::Int;
+          Ch.Bits = 8;
+          Ch.Name = "char";
+          Result = Out.Pool.pointerTo(Out.Pool.make(std::move(Ch)));
+        } else
+          Result = Out.Pool.typedefType(Name, 32);
+      } else if (S.Lower != Lattice::Bottom && Lat.isTag(S.Lower)) {
+        CType T;
+        T.K = CType::Kind::Int;
+        T.Bits = 32;
+        T.Name = Lat.name(S.Lower);
+        Result = Out.Pool.make(std::move(T));
+      } else {
+        Result = Out.Pool.unknownType();
+      }
+    }
+    InProgress.erase(Cls);
+    Done[Cls] = Result;
+    return Result;
+  };
+
+  ConstraintGenerator Gen(Syms, Lat, M);
+  for (uint32_t F = 0; F < M.Funcs.size(); ++F) {
+    if (M.Funcs[F].IsExternal)
+      continue;
+    BaselineFunc BF;
+    TypeVariable PV = Gen.procVar(F);
+    unsigned NumParams = M.Funcs[F].NumStackParams +
+                         static_cast<unsigned>(M.Funcs[F].RegParams.size());
+    for (unsigned K = 0; K < NumParams; ++K) {
+      uint32_t Cls =
+          Shapes.classOf(DerivedTypeVariable(PV, {Label::in(K)}));
+      BaselineSlot S = Slot(Cls);
+      S.Type = Convert(Convert, Cls);
+      BF.Params.push_back(S);
+    }
+    BF.HasRet = M.Funcs[F].ReturnsValue;
+    if (BF.HasRet) {
+      uint32_t Cls = Shapes.classOf(DerivedTypeVariable(PV, {Label::out()}));
+      BF.Ret = Slot(Cls);
+      BF.Ret.Type = Convert(Convert, Cls);
+    }
+    Out.Funcs.emplace(F, std::move(BF));
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// IntervalInference
+//===----------------------------------------------------------------------===//
+
+BaselineResult IntervalInference::run(Module &M) {
+  BaselineResult Out;
+  Out.Syms = std::make_shared<SymbolTable>();
+  SymbolTable &Syms = *Out.Syms;
+
+  ConstraintSet C = monomorphicConstraints(M, Syms, Lat);
+
+  // Bounds per *mentioned* DTV — no derived capabilities, no recursion:
+  // TIE's flat treatment.
+  std::map<DerivedTypeVariable, std::pair<LatticeElem, LatticeElem>> Bounds;
+  auto BoundsOf = [&](const DerivedTypeVariable &D)
+      -> std::pair<LatticeElem, LatticeElem> & {
+    auto It = Bounds.find(D);
+    if (It == Bounds.end())
+      It = Bounds
+               .emplace(D, std::make_pair(Lattice::Bottom, Lattice::Top))
+               .first;
+    return It->second;
+  };
+
+  bool Changed = true;
+  unsigned Rounds = 0;
+  while (Changed && Rounds++ < 4 * Lat.height()) {
+    Changed = false;
+    for (const SubtypeConstraint &SC : C.subtypes()) {
+      LatticeElem LhsConst =
+          SC.Lhs.base().isConstant() && SC.Lhs.isBaseOnly()
+              ? SC.Lhs.base().latticeElem()
+              : Lattice::Top;
+      LatticeElem RhsConst =
+          SC.Rhs.base().isConstant() && SC.Rhs.isBaseOnly()
+              ? SC.Rhs.base().latticeElem()
+              : Lattice::Bottom;
+
+      if (SC.Lhs.base().isConstant() && SC.Rhs.base().isConstant())
+        continue;
+      if (SC.Lhs.base().isConstant()) {
+        auto &B = BoundsOf(SC.Rhs);
+        LatticeElem NewLower = Lat.join(B.first, LhsConst == Lattice::Top
+                                                     ? Lattice::Bottom
+                                                     : LhsConst);
+        if (NewLower != B.first) {
+          B.first = NewLower;
+          Changed = true;
+        }
+        continue;
+      }
+      if (SC.Rhs.base().isConstant()) {
+        auto &B = BoundsOf(SC.Lhs);
+        LatticeElem NewUpper = Lat.meet(B.second, RhsConst == Lattice::Bottom
+                                                      ? Lattice::Top
+                                                      : RhsConst);
+        if (NewUpper != B.second) {
+          B.second = NewUpper;
+          Changed = true;
+        }
+        continue;
+      }
+      auto &L = BoundsOf(SC.Lhs);
+      auto &R = BoundsOf(SC.Rhs);
+      LatticeElem NewLower = Lat.join(R.first, L.first);
+      LatticeElem NewUpper = Lat.meet(L.second, R.second);
+      if (NewLower != R.first) {
+        R.first = NewLower;
+        Changed = true;
+      }
+      if (NewUpper != L.second) {
+        L.second = NewUpper;
+        Changed = true;
+      }
+    }
+  }
+
+  // Pointer capabilities: only direct mentions (flat model).
+  std::set<TypeVariable> PointerVars;
+  std::map<TypeVariable, DerivedTypeVariable> PointeeOf;
+  for (const DerivedTypeVariable &D : C.mentionedDtvs()) {
+    if (D.size() < 1)
+      continue;
+    for (size_t I = 0; I < D.size(); ++I) {
+      Label L = D.labels()[I];
+      if (L.isLoad() || L.isStore()) {
+        DerivedTypeVariable Base = D.prefix(I);
+        if (Base.isBaseOnly()) {
+          PointerVars.insert(Base.base());
+          if (I + 2 == D.size())
+            PointeeOf.emplace(Base.base(), D);
+        }
+      }
+    }
+  }
+
+  auto SlotFor = [&](const DerivedTypeVariable &D) {
+    BaselineSlot S;
+    auto It = Bounds.find(D);
+    if (It != Bounds.end()) {
+      S.Lower = It->second.first;
+      S.Upper = It->second.second;
+    }
+    return S;
+  };
+
+  // TIE's display policy: prefer the upper bound when informative, else
+  // the lower bound.
+  auto TypeFor = [&](BaselineSlot &S, bool IsPointerVar,
+                     const DerivedTypeVariable *Pointee) {
+    if (IsPointerVar) {
+      S.Pointer = true;
+      CTypeId Inner = Out.Pool.unknownType();
+      if (Pointee) {
+        BaselineSlot PS = SlotFor(*Pointee);
+        LatticeElem Pick = PS.Upper != Lattice::Top ? PS.Upper : PS.Lower;
+        if (Pick != Lattice::Top && Pick != Lattice::Bottom) {
+          if (Lat.isTag(Pick)) {
+            CType T;
+            T.K = CType::Kind::Int;
+            T.Bits = 32;
+            T.Name = Lat.name(Pick);
+            Inner = Out.Pool.make(std::move(T));
+          } else if (Lat.name(Pick) == "int" || Lat.name(Pick) == "num32") {
+            Inner = Out.Pool.intType(32, true);
+          } else {
+            Inner = Out.Pool.typedefType(Lat.name(Pick), 32);
+          }
+        }
+      }
+      S.Type = Out.Pool.pointerTo(Inner);
+      return;
+    }
+    LatticeElem Pick = S.Upper != Lattice::Top ? S.Upper : S.Lower;
+    if (Pick == Lattice::Top || Pick == Lattice::Bottom) {
+      S.Type = Out.Pool.unknownType();
+    } else if (Lat.isTag(Pick)) {
+      CType T;
+      T.K = CType::Kind::Int;
+      T.Bits = 32;
+      T.Name = Lat.name(Pick);
+      S.Type = Out.Pool.make(std::move(T));
+    } else if (Lat.name(Pick) == "int" || Lat.name(Pick) == "num32") {
+      S.Type = Out.Pool.intType(32, true);
+    } else if (Lat.name(Pick) == "uint") {
+      S.Type = Out.Pool.intType(32, false);
+    } else if (Lat.name(Pick) == "str") {
+      CType Ch;
+      Ch.K = CType::Kind::Int;
+      Ch.Bits = 8;
+      Ch.Name = "char";
+      S.Type = Out.Pool.pointerTo(Out.Pool.make(std::move(Ch)));
+    } else {
+      S.Type = Out.Pool.typedefType(Lat.name(Pick), 32);
+    }
+  };
+
+  // One shared quotient for flat pointer detection (built once).
+  ShapeGraph Shapes(C);
+  ConstraintGenerator Gen(Syms, Lat, M);
+  for (uint32_t F = 0; F < M.Funcs.size(); ++F) {
+    if (M.Funcs[F].IsExternal)
+      continue;
+    BaselineFunc BF;
+    TypeVariable PV = Gen.procVar(F);
+    unsigned NumParams = M.Funcs[F].NumStackParams +
+                         static_cast<unsigned>(M.Funcs[F].RegParams.size());
+    for (unsigned K = 0; K < NumParams; ++K) {
+      DerivedTypeVariable D(PV, {Label::in(K)});
+      BaselineSlot S = SlotFor(D);
+      uint32_t Cls = Shapes.classOf(D);
+      bool IsPtr = Cls != ShapeGraph::NoClass && Shapes.isPointerClass(Cls);
+      TypeFor(S, IsPtr, nullptr);
+      BF.Params.push_back(S);
+    }
+    BF.HasRet = M.Funcs[F].ReturnsValue;
+    if (BF.HasRet) {
+      DerivedTypeVariable D(PV, {Label::out()});
+      BF.Ret = SlotFor(D);
+      uint32_t Cls = Shapes.classOf(D);
+      bool IsPtr =
+          Cls != ShapeGraph::NoClass && Shapes.isPointerClass(Cls);
+      TypeFor(BF.Ret, IsPtr, nullptr);
+    }
+    Out.Funcs.emplace(F, std::move(BF));
+  }
+  return Out;
+}

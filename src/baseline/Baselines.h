@@ -1,0 +1,85 @@
+//===- Baselines.h - Unification & interval baselines ---------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two comparison algorithms from the paper's evaluation (§6.5):
+///
+///  - UnificationInference: a SecondWrite-style engine. The same constraint
+///    front end, but subtyping degenerates to unification (the (T,≡) model
+///    of §3.5's note) and calls are monomorphic: every callsite shares the
+///    callee's variables. This reproduces the over-unification failure
+///    modes of §2.5: one bad link poisons whole equivalence classes.
+///
+///  - IntervalInference: a TIE-style engine. Subtype edges propagate upper
+///    and lower bounds over the scalar lattice, with single-level pointer
+///    structure, but no polymorphism and no recursive types.
+///
+/// Both are deliberately faithful to the *published designs* of the
+/// comparison systems, not to their closed implementations (see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_BASELINE_BASELINES_H
+#define RETYPD_BASELINE_BASELINES_H
+
+#include "ctypes/CType.h"
+#include "lattice/Lattice.h"
+#include "mir/MIR.h"
+#include "support/SymbolTable.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace retypd {
+
+/// Per-slot inference output shared by both baselines (and adapted from
+/// Retypd's sketches by the evaluation harness).
+struct BaselineSlot {
+  CTypeId Type = NoCType;
+  LatticeElem Lower = Lattice::Bottom;
+  LatticeElem Upper = Lattice::Top;
+  bool Pointer = false;
+  bool IsConst = false;
+};
+
+/// Per-function baseline results.
+struct BaselineFunc {
+  std::vector<BaselineSlot> Params;
+  BaselineSlot Ret;
+  bool HasRet = false;
+};
+
+/// Whole-module baseline results.
+struct BaselineResult {
+  std::shared_ptr<SymbolTable> Syms;
+  CTypePool Pool;
+  std::map<uint32_t, BaselineFunc> Funcs;
+};
+
+/// SecondWrite-style unification inference.
+class UnificationInference {
+public:
+  explicit UnificationInference(const Lattice &Lat) : Lat(Lat) {}
+  BaselineResult run(Module &M);
+
+private:
+  const Lattice &Lat;
+};
+
+/// TIE-style upper/lower-bound inference.
+class IntervalInference {
+public:
+  explicit IntervalInference(const Lattice &Lat) : Lat(Lat) {}
+  BaselineResult run(Module &M);
+
+private:
+  const Lattice &Lat;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_BASELINE_BASELINES_H

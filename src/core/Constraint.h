@@ -1,0 +1,67 @@
+//===- Constraint.h - Subtype and additive constraints --------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constraints of the type system (paper Definition 3.3 and Appendix A.6):
+///
+///   X <= Y          subtype constraint between derived type variables
+///   var X           existence of a derived type variable (a capability)
+///   Add(X, Y; Z)    Z = X + Y, used to propagate pointer/integer facts
+///   Sub(X, Y; Z)    Z = X - Y
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_CORE_CONSTRAINT_H
+#define RETYPD_CORE_CONSTRAINT_H
+
+#include "core/DerivedTypeVariable.h"
+
+#include <string>
+
+namespace retypd {
+
+/// X <= Y between derived type variables.
+struct SubtypeConstraint {
+  DerivedTypeVariable Lhs;
+  DerivedTypeVariable Rhs;
+
+  std::string str(const SymbolTable &Syms, const Lattice &Lat) const;
+
+  friend bool operator==(const SubtypeConstraint &A,
+                         const SubtypeConstraint &B) {
+    return A.Lhs == B.Lhs && A.Rhs == B.Rhs;
+  }
+  friend bool operator<(const SubtypeConstraint &A,
+                        const SubtypeConstraint &B) {
+    if (A.Lhs != B.Lhs)
+      return A.Lhs < B.Lhs;
+    return A.Rhs < B.Rhs;
+  }
+};
+
+/// Add(X, Y; Z) or Sub(X, Y; Z) — the three-place additive constraints of
+/// Appendix A.2/A.6, used to conditionally propagate pointerness.
+struct AddSubConstraint {
+  bool IsSub = false;
+  DerivedTypeVariable X, Y, Z; // Z is the result.
+
+  std::string str(const SymbolTable &Syms, const Lattice &Lat) const;
+
+  friend bool operator==(const AddSubConstraint &A,
+                         const AddSubConstraint &B) {
+    return A.IsSub == B.IsSub && A.X == B.X && A.Y == B.Y && A.Z == B.Z;
+  }
+};
+
+} // namespace retypd
+
+template <> struct std::hash<retypd::SubtypeConstraint> {
+  size_t operator()(const retypd::SubtypeConstraint &C) const noexcept {
+    return C.Lhs.hashValue() * 2654435761u ^ C.Rhs.hashValue();
+  }
+};
+
+#endif // RETYPD_CORE_CONSTRAINT_H

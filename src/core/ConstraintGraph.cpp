@@ -1,0 +1,196 @@
+//===- ConstraintGraph.cpp - Pushdown-system encoding of C ----------------===//
+
+#include "core/ConstraintGraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace retypd;
+
+static size_t hashNode(const DerivedTypeVariable &Dtv, Variance Tag) {
+  return Dtv.hashValue() * 2 + (Tag == Variance::Contravariant ? 1 : 0);
+}
+
+GraphNodeId ConstraintGraph::lookup(const DerivedTypeVariable &Dtv,
+                                    Variance Tag) const {
+  auto It = Index.find(hashNode(Dtv, Tag));
+  if (It == Index.end())
+    return NoNode;
+  for (GraphNodeId Id : It->second)
+    if (Nodes[Id].Tag == Tag && Nodes[Id].Dtv == Dtv)
+      return Id;
+  return NoNode;
+}
+
+GraphNodeId ConstraintGraph::getOrCreateNode(const DerivedTypeVariable &Dtv,
+                                             Variance Tag) {
+  GraphNodeId Existing = lookup(Dtv, Tag);
+  if (Existing != NoNode)
+    return Existing;
+
+  GraphNodeId Id = static_cast<GraphNodeId>(Nodes.size());
+  Nodes.push_back(GraphNode{Dtv, Tag});
+  Out.emplace_back();
+  Index[hashNode(Dtv, Tag)].push_back(Id);
+
+  // Recursively ensure the prefix chain exists and connect it with
+  // recall/forget edges. Stripping the last label ℓ composes the tag with
+  // ⟨ℓ⟩ (see file header).
+  if (!Dtv.isBaseOnly()) {
+    Label Last = Dtv.lastLabel();
+    Variance ParentTag = compose(Tag, Last.variance());
+    GraphNodeId Parent = getOrCreateNode(Dtv.parent(), ParentTag);
+    addEdge(Parent, Id, EdgeKind::Recall, Last);
+    addEdge(Id, Parent, EdgeKind::Forget, Last);
+  }
+  return Id;
+}
+
+bool ConstraintGraph::addEdge(GraphNodeId From, GraphNodeId To, EdgeKind Kind,
+                              Label L) {
+  auto Key = std::make_tuple(From, To, static_cast<uint8_t>(Kind), L.raw());
+  if (!EdgeSet.insert(Key).second)
+    return false;
+  Out[From].push_back(GraphEdge{To, Kind, L});
+  return true;
+}
+
+ConstraintGraph::ConstraintGraph(const ConstraintSet &C) {
+  for (const SubtypeConstraint &SC : C.subtypes()) {
+    GraphNodeId LhsCo = getOrCreateNode(SC.Lhs, Variance::Covariant);
+    GraphNodeId RhsCo = getOrCreateNode(SC.Rhs, Variance::Covariant);
+    GraphNodeId LhsContra = getOrCreateNode(SC.Lhs, Variance::Contravariant);
+    GraphNodeId RhsContra = getOrCreateNode(SC.Rhs, Variance::Contravariant);
+    addEdge(LhsCo, RhsCo, EdgeKind::One, Label());
+    addEdge(RhsContra, LhsContra, EdgeKind::One, Label());
+  }
+  // Capability declarations create nodes (and their prefix chains) so that
+  // recall/forget edges exist even without subtype constraints on them.
+  for (const DerivedTypeVariable &V : C.vars()) {
+    getOrCreateNode(V, Variance::Covariant);
+    getOrCreateNode(V, Variance::Contravariant);
+  }
+}
+
+void ConstraintGraph::saturate() {
+  if (Saturated)
+    return;
+  Saturated = true;
+
+  // Reaching-forget sets: R[n] holds (ℓ, z) if there is a path
+  // z --forget ℓ--> m --1*--> n.
+  std::vector<std::set<std::pair<uint64_t, GraphNodeId>>> R(Nodes.size());
+
+  // Label decoding helper for the lazy S-POINTER clause.
+  const uint64_t LoadRaw = Label::load().raw();
+  const uint64_t StoreRaw = Label::store().raw();
+
+  // Seed from forget edges.
+  for (GraphNodeId N = 0; N < Nodes.size(); ++N)
+    for (const GraphEdge &E : Out[N])
+      if (E.Kind == EdgeKind::Forget)
+        R[E.To].insert({E.L.raw(), N});
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+
+    // Propagate along 1-edges.
+    for (GraphNodeId N = 0; N < Nodes.size(); ++N) {
+      if (R[N].empty())
+        continue;
+      for (const GraphEdge &E : Out[N]) {
+        if (E.Kind != EdgeKind::One)
+          continue;
+        for (const auto &Entry : R[N])
+          if (R[E.To].insert(Entry).second)
+            Changed = true;
+      }
+    }
+
+    // Lazy S-POINTER: a pending .store at a contravariant node becomes a
+    // pending .load at its covariant twin, and vice versa.
+    for (GraphNodeId N = 0; N < Nodes.size(); ++N) {
+      if (Nodes[N].Tag != Variance::Contravariant || R[N].empty())
+        continue;
+      GraphNodeId Twin = lookup(Nodes[N].Dtv, Variance::Covariant);
+      if (Twin == NoNode)
+        continue;
+      for (const auto &Entry : R[N]) {
+        if (Entry.first == StoreRaw) {
+          if (R[Twin].insert({LoadRaw, Entry.second}).second)
+            Changed = true;
+        } else if (Entry.first == LoadRaw) {
+          if (R[Twin].insert({StoreRaw, Entry.second}).second)
+            Changed = true;
+        }
+      }
+    }
+
+    // Consume: a pending forget met by a matching recall yields a shortcut
+    // 1-edge from the forget's origin to the recall's target.
+    for (GraphNodeId N = 0; N < Nodes.size(); ++N) {
+      if (R[N].empty())
+        continue;
+      for (const GraphEdge &E : Out[N]) {
+        if (E.Kind != EdgeKind::Recall)
+          continue;
+        for (const auto &Entry : R[N]) {
+          if (Entry.first != E.L.raw())
+            continue;
+          if (addEdge(Entry.second, E.To, EdgeKind::One, Label())) {
+            ++SaturationEdges;
+            Changed = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<GraphNodeId>
+ConstraintGraph::oneReachableFrom(GraphNodeId From) const {
+  std::vector<GraphNodeId> Result;
+  std::vector<bool> Seen(Nodes.size(), false);
+  std::deque<GraphNodeId> Work{From};
+  Seen[From] = true;
+  while (!Work.empty()) {
+    GraphNodeId N = Work.front();
+    Work.pop_front();
+    Result.push_back(N);
+    for (const GraphEdge &E : Out[N]) {
+      if (E.Kind != EdgeKind::One || Seen[E.To])
+        continue;
+      Seen[E.To] = true;
+      Work.push_back(E.To);
+    }
+  }
+  return Result;
+}
+
+std::string ConstraintGraph::str(const SymbolTable &Syms,
+                                 const Lattice &Lat) const {
+  std::string S;
+  for (GraphNodeId N = 0; N < Nodes.size(); ++N) {
+    for (const GraphEdge &E : Out[N]) {
+      S += Nodes[N].Dtv.str(Syms, Lat);
+      S += Nodes[N].Tag == Variance::Covariant ? ".+" : ".-";
+      switch (E.Kind) {
+      case EdgeKind::One:
+        S += " --1--> ";
+        break;
+      case EdgeKind::Recall:
+        S += " --recall " + E.L.str() + "--> ";
+        break;
+      case EdgeKind::Forget:
+        S += " --forget " + E.L.str() + "--> ";
+        break;
+      }
+      S += Nodes[E.To].Dtv.str(Syms, Lat);
+      S += Nodes[E.To].Tag == Variance::Covariant ? ".+" : ".-";
+      S += '\n';
+    }
+  }
+  return S;
+}

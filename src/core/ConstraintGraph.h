@@ -1,0 +1,124 @@
+//===- ConstraintGraph.h - Pushdown-system encoding of C ------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graph encoding of a constraint set, following Appendix D of the paper.
+/// Nodes are (derived type variable, variance tag) pairs; edges are:
+///
+///   - 1-edges (`One`): for each constraint A <= B, an edge (A,⊕) → (B,⊕)
+///     and the mirror edge (B,⊖) → (A,⊖).
+///   - `Recall ℓ` edges (x.w, t·⟨ℓ⟩) → (x.w.ℓ, t): traversing one spells a
+///     label of the left-hand side of a derivable constraint.
+///   - `Forget ℓ` edges (x.w.ℓ, t) → (x.w, t·⟨ℓ⟩): traversing one spells a
+///     label of the right-hand side.
+///
+/// A path from (X,s) to (Y,e) whose recall labels spell u (in order) and
+/// whose forget labels spell v (in reverse), with every recall preceding
+/// every forget, witnesses the derivable constraint
+///
+///     X.u <= Y.v     when s·⟨u⟩ = ⊕,   or
+///     Y.v <= X.u     when s·⟨u⟩ = ⊖.
+///
+/// saturate() implements Algorithm D.2: it adds 1-edge shortcuts for every
+/// matched forget-then-recall pattern so that the canonical recall*-forget*
+/// paths lose no derivations, maintaining reaching-forget sets R(n). The
+/// S-POINTER rule (x.store <= x.load for every derived type variable) has
+/// infinitely many instances, so it is applied lazily during saturation:
+/// a pending `.store` at a contravariant node (v,⊖) transfers to a pending
+/// `.load` at the covariant twin (v,⊕), and symmetrically. See the worked
+/// Figure 4 / Figure 14 checks in tests/core/SaturationTest.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_CORE_CONSTRAINTGRAPH_H
+#define RETYPD_CORE_CONSTRAINTGRAPH_H
+
+#include "core/ConstraintSet.h"
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace retypd {
+
+/// Dense id of a graph node.
+using GraphNodeId = uint32_t;
+
+/// One node: a derived type variable with a variance tag.
+struct GraphNode {
+  DerivedTypeVariable Dtv;
+  Variance Tag = Variance::Covariant;
+};
+
+/// Kind of a graph edge.
+enum class EdgeKind : uint8_t {
+  One,    ///< ε / subtype edge
+  Recall, ///< spell a label onto the LHS word
+  Forget  ///< spell a label onto the RHS word
+};
+
+/// One outgoing edge.
+struct GraphEdge {
+  GraphNodeId To = 0;
+  EdgeKind Kind = EdgeKind::One;
+  Label L; // valid for Recall/Forget
+};
+
+/// The saturated constraint graph for one constraint set.
+class ConstraintGraph {
+public:
+  /// Builds the graph (nodes, 1-edges, recall/forget edges) from \p C.
+  /// Additive constraints are ignored here; they are handled by the shape
+  /// solver.
+  explicit ConstraintGraph(const ConstraintSet &C);
+
+  /// Runs Algorithm D.2 until fixpoint. Idempotent.
+  void saturate();
+
+  /// Returns the node id for (dtv, tag), or NoNode if absent.
+  static constexpr GraphNodeId NoNode = 0xffffffffu;
+  GraphNodeId lookup(const DerivedTypeVariable &Dtv, Variance Tag) const;
+
+  size_t numNodes() const { return Nodes.size(); }
+  const GraphNode &node(GraphNodeId Id) const { return Nodes[Id]; }
+  const std::vector<GraphEdge> &edgesFrom(GraphNodeId Id) const {
+    return Out[Id];
+  }
+
+  /// All nodes (n,⊕) 1-reachable from (From,⊕); includes From itself.
+  /// Used for the lattice-bound queries of Algorithm F.2.
+  std::vector<GraphNodeId> oneReachableFrom(GraphNodeId From) const;
+
+  /// Number of 1-edges added by saturation (for tests and stats).
+  size_t numSaturationEdges() const { return SaturationEdges; }
+
+  /// Renders the graph for debugging.
+  std::string str(const SymbolTable &Syms, const Lattice &Lat) const;
+
+private:
+  GraphNodeId getOrCreateNode(const DerivedTypeVariable &Dtv, Variance Tag);
+  bool addEdge(GraphNodeId From, GraphNodeId To, EdgeKind Kind, Label L);
+
+  struct NodeKey {
+    size_t Hash;
+    GraphNodeId Id;
+  };
+
+  std::vector<GraphNode> Nodes;
+  std::vector<std::vector<GraphEdge>> Out;
+  // Map from (dtv,tag) hash to candidate node ids (manual bucket to avoid
+  // storing DTVs twice).
+  std::unordered_map<size_t, std::vector<GraphNodeId>> Index;
+  // Edge dedup: (from, to, kind, label-raw).
+  std::set<std::tuple<GraphNodeId, GraphNodeId, uint8_t, uint64_t>> EdgeSet;
+  size_t SaturationEdges = 0;
+  bool Saturated = false;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_CORE_CONSTRAINTGRAPH_H

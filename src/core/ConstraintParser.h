@@ -1,0 +1,60 @@
+//===- ConstraintParser.h - Textual constraint syntax ---------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual constraint syntax used by tests and examples:
+///
+///   x.load.s32@0 <= y       subtype constraint
+///   var p.in0.store         capability declaration
+///   add(a, b; c)            additive constraint
+///   sub(a, b; c)
+///
+/// Labels: `load`, `store`, `inN`, `out` / `outN`, `sBITS@OFFSET`.
+/// A base name resolves to a lattice constant when the lattice knows it
+/// (e.g. `int`, `#FileDescriptor`); otherwise it is interned as a variable.
+/// `#`-prefixed names must exist in the lattice. Comments start with `;` or
+/// `//` and run to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_CORE_CONSTRAINTPARSER_H
+#define RETYPD_CORE_CONSTRAINTPARSER_H
+
+#include "core/ConstraintSet.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace retypd {
+
+/// Parses constraints; reports the first error with line information.
+class ConstraintParser {
+public:
+  ConstraintParser(SymbolTable &Syms, const Lattice &Lat)
+      : Syms(Syms), Lat(Lat) {}
+
+  /// Parses a single derived type variable like "F.in0.load.s32@4".
+  std::optional<DerivedTypeVariable> parseDtv(std::string_view Text);
+
+  /// Parses a whole constraint set, one constraint per line.
+  std::optional<ConstraintSet> parse(std::string_view Text);
+
+  /// Human-readable description of the last error.
+  const std::string &error() const { return Err; }
+
+private:
+  bool parseLine(std::string_view Line, unsigned LineNo, ConstraintSet &Out);
+  bool fail(unsigned LineNo, const std::string &Msg);
+
+  SymbolTable &Syms;
+  const Lattice &Lat;
+  std::string Err;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_CORE_CONSTRAINTPARSER_H

@@ -1,0 +1,129 @@
+//===- ConstraintSet.cpp - Finite collections of constraints -------------===//
+
+#include "core/ConstraintSet.h"
+
+#include <algorithm>
+
+using namespace retypd;
+
+std::string DerivedTypeVariable::str(const SymbolTable &Syms,
+                                     const Lattice &Lat) const {
+  std::string S;
+  if (!Base.isValid())
+    S = "<invalid>";
+  else if (Base.isConstant())
+    S = Lat.name(Base.latticeElem());
+  else
+    S = Syms.name(Base.symbol());
+  S += wordStr(Word);
+  return S;
+}
+
+std::string SubtypeConstraint::str(const SymbolTable &Syms,
+                                   const Lattice &Lat) const {
+  return Lhs.str(Syms, Lat) + " <= " + Rhs.str(Syms, Lat);
+}
+
+std::string AddSubConstraint::str(const SymbolTable &Syms,
+                                  const Lattice &Lat) const {
+  return std::string(IsSub ? "sub(" : "add(") + X.str(Syms, Lat) + ", " +
+         Y.str(Syms, Lat) + "; " + Z.str(Syms, Lat) + ")";
+}
+
+bool ConstraintSet::addSubtype(DerivedTypeVariable Lhs,
+                               DerivedTypeVariable Rhs) {
+  SubtypeConstraint C{std::move(Lhs), std::move(Rhs)};
+  if (!SubIndex.insert(C).second)
+    return false;
+  Subs.push_back(std::move(C));
+  return true;
+}
+
+bool ConstraintSet::addVar(DerivedTypeVariable V) {
+  if (!VarIndex.insert(V).second)
+    return false;
+  Vars.push_back(std::move(V));
+  return true;
+}
+
+void ConstraintSet::addAddSub(AddSubConstraint C) {
+  AddSubs.push_back(std::move(C));
+}
+
+void ConstraintSet::merge(const ConstraintSet &Other) {
+  for (const SubtypeConstraint &C : Other.Subs)
+    addSubtype(C.Lhs, C.Rhs);
+  for (const DerivedTypeVariable &V : Other.Vars)
+    addVar(V);
+  for (const AddSubConstraint &C : Other.AddSubs)
+    addAddSub(C);
+}
+
+std::vector<DerivedTypeVariable> ConstraintSet::mentionedDtvs() const {
+  std::vector<DerivedTypeVariable> Out;
+  std::unordered_set<DerivedTypeVariable> Seen;
+  auto Note = [&](const DerivedTypeVariable &V) {
+    if (Seen.insert(V).second)
+      Out.push_back(V);
+  };
+  for (const SubtypeConstraint &C : Subs) {
+    Note(C.Lhs);
+    Note(C.Rhs);
+  }
+  for (const DerivedTypeVariable &V : Vars)
+    Note(V);
+  for (const AddSubConstraint &C : AddSubs) {
+    Note(C.X);
+    Note(C.Y);
+    Note(C.Z);
+  }
+  return Out;
+}
+
+std::string ConstraintSet::str(const SymbolTable &Syms,
+                               const Lattice &Lat) const {
+  std::vector<std::string> Lines;
+  for (const SubtypeConstraint &C : Subs)
+    Lines.push_back(C.str(Syms, Lat));
+  for (const DerivedTypeVariable &V : Vars)
+    Lines.push_back("var " + V.str(Syms, Lat));
+  for (const AddSubConstraint &C : AddSubs)
+    Lines.push_back(C.str(Syms, Lat));
+  std::sort(Lines.begin(), Lines.end());
+  std::string S;
+  for (const std::string &L : Lines) {
+    S += L;
+    S += '\n';
+  }
+  return S;
+}
+
+std::string TypeScheme::str(const SymbolTable &Syms,
+                            const Lattice &Lat) const {
+  std::string S = "forall ";
+  S += Syms.name(ProcVar.symbol());
+  if (!Existentials.empty()) {
+    S += ". exists";
+    for (TypeVariable V : Existentials) {
+      S += ' ';
+      S += Syms.name(V.symbol());
+    }
+  }
+  S += ". {\n";
+  std::string Body = Constraints.str(Syms, Lat);
+  // Indent the body two spaces.
+  size_t Pos = 0;
+  while (Pos < Body.size()) {
+    size_t End = Body.find('\n', Pos);
+    S += "  ";
+    if (End == std::string::npos) {
+      S += Body.substr(Pos);
+      S += '\n';
+      break;
+    }
+    S += Body.substr(Pos, End - Pos + 1);
+    Pos = End + 1;
+  }
+  S += "}";
+  return S;
+}

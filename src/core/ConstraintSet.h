@@ -1,0 +1,78 @@
+//===- ConstraintSet.h - Finite collections of constraints ----*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A constraint set over a set of base type variables (paper Definition
+/// 3.3): deduplicated subtype constraints, explicit capability (var)
+/// declarations, and additive constraints.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_CORE_CONSTRAINTSET_H
+#define RETYPD_CORE_CONSTRAINTSET_H
+
+#include "core/Constraint.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace retypd {
+
+/// An order-preserving, deduplicating collection of constraints.
+class ConstraintSet {
+public:
+  /// Adds X <= Y; returns false if it was already present.
+  bool addSubtype(DerivedTypeVariable Lhs, DerivedTypeVariable Rhs);
+
+  /// Declares existence of a derived type variable (var X).
+  bool addVar(DerivedTypeVariable V);
+
+  /// Adds an additive constraint.
+  void addAddSub(AddSubConstraint C);
+
+  const std::vector<SubtypeConstraint> &subtypes() const { return Subs; }
+  const std::vector<DerivedTypeVariable> &vars() const { return Vars; }
+  const std::vector<AddSubConstraint> &addSubs() const { return AddSubs; }
+
+  bool empty() const {
+    return Subs.empty() && Vars.empty() && AddSubs.empty();
+  }
+  size_t size() const { return Subs.size() + Vars.size() + AddSubs.size(); }
+
+  /// Merges all constraints of \p Other into this set.
+  void merge(const ConstraintSet &Other);
+
+  /// Returns every derived type variable mentioned anywhere in the set
+  /// (including both sides of subtype constraints and var declarations, but
+  /// not their prefixes).
+  std::vector<DerivedTypeVariable> mentionedDtvs() const;
+
+  /// Renders one constraint per line (sorted for determinism).
+  std::string str(const SymbolTable &Syms, const Lattice &Lat) const;
+
+private:
+  std::vector<SubtypeConstraint> Subs;
+  std::vector<DerivedTypeVariable> Vars;
+  std::vector<AddSubConstraint> AddSubs;
+  std::unordered_set<SubtypeConstraint> SubIndex;
+  std::unordered_set<DerivedTypeVariable> VarIndex;
+};
+
+/// ∀ quantified type scheme for a procedure (Definition 3.4):
+/// `forall <vars>. C => <proc var>`. Existential internal variables (the τ
+/// of Figure 2) appear in \c Existentials.
+struct TypeScheme {
+  TypeVariable ProcVar;
+  std::vector<TypeVariable> Existentials;
+  ConstraintSet Constraints;
+
+  std::string str(const SymbolTable &Syms, const Lattice &Lat) const;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_CORE_CONSTRAINTSET_H

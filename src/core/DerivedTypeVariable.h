@@ -1,0 +1,106 @@
+//===- DerivedTypeVariable.h - αw: variable + label word ------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A derived type variable is an expression αw with α a base type variable
+/// and w ∈ Σ* a word of field labels (paper Definition 3.1). For example
+/// `F.in0.load.s32@4` denotes the 32-bit field at offset 4 of the memory
+/// pointed to by F's first input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_CORE_DERIVEDTYPEVARIABLE_H
+#define RETYPD_CORE_DERIVEDTYPEVARIABLE_H
+
+#include "core/Label.h"
+#include "core/TypeVariable.h"
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace retypd {
+
+/// αw — a base variable plus a (possibly empty) word of field labels.
+class DerivedTypeVariable {
+public:
+  DerivedTypeVariable() = default;
+  explicit DerivedTypeVariable(TypeVariable Base) : Base(Base) {}
+  DerivedTypeVariable(TypeVariable Base, std::vector<Label> Word)
+      : Base(Base), Word(std::move(Word)) {}
+
+  TypeVariable base() const { return Base; }
+  std::span<const Label> labels() const { return Word; }
+  size_t size() const { return Word.size(); }
+  bool isBaseOnly() const { return Word.empty(); }
+
+  /// Variance of the whole access word (Definition 3.2).
+  Variance variance() const { return wordVariance(Word); }
+
+  /// Returns this DTV extended by one more label (α.w.ℓ).
+  DerivedTypeVariable extended(Label L) const {
+    std::vector<Label> W = Word;
+    W.push_back(L);
+    return DerivedTypeVariable(Base, std::move(W));
+  }
+
+  /// Returns the prefix of length \p Len.
+  DerivedTypeVariable prefix(size_t Len) const {
+    assert(Len <= Word.size() && "prefix longer than word");
+    return DerivedTypeVariable(
+        Base, std::vector<Label>(Word.begin(), Word.begin() + Len));
+  }
+
+  /// The immediate prefix (drops the last label). Requires !isBaseOnly().
+  DerivedTypeVariable parent() const {
+    assert(!Word.empty() && "base-only DTV has no parent");
+    return prefix(Word.size() - 1);
+  }
+
+  Label lastLabel() const {
+    assert(!Word.empty() && "base-only DTV has no labels");
+    return Word.back();
+  }
+
+  /// Renders e.g. "F.in0.load.s32@4" (or "#SuccessZ" for constants).
+  std::string str(const SymbolTable &Syms, const Lattice &Lat) const;
+
+  friend bool operator==(const DerivedTypeVariable &A,
+                         const DerivedTypeVariable &B) {
+    return A.Base == B.Base && A.Word == B.Word;
+  }
+  friend bool operator!=(const DerivedTypeVariable &A,
+                         const DerivedTypeVariable &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const DerivedTypeVariable &A,
+                        const DerivedTypeVariable &B) {
+    if (A.Base != B.Base)
+      return A.Base < B.Base;
+    return A.Word < B.Word;
+  }
+
+  size_t hashValue() const {
+    size_t H = std::hash<TypeVariable>()(Base);
+    for (Label L : Word)
+      H = H * 1000003u + std::hash<Label>()(L);
+    return H;
+  }
+
+private:
+  TypeVariable Base;
+  std::vector<Label> Word;
+};
+
+} // namespace retypd
+
+template <> struct std::hash<retypd::DerivedTypeVariable> {
+  size_t operator()(const retypd::DerivedTypeVariable &V) const noexcept {
+    return V.hashValue();
+  }
+};
+
+#endif // RETYPD_CORE_DERIVEDTYPEVARIABLE_H

@@ -1,0 +1,35 @@
+//===- Label.cpp - Field labels (type capabilities) -----------------------===//
+
+#include "core/Label.h"
+
+using namespace retypd;
+
+std::string Label::str() const {
+  switch (kind()) {
+  case Kind::In:
+    return ".in" + std::to_string(index());
+  case Kind::Out:
+    return index() == 0 ? ".out" : ".out" + std::to_string(index());
+  case Kind::Load:
+    return ".load";
+  case Kind::Store:
+    return ".store";
+  case Kind::Field:
+    return ".s" + std::to_string(bits()) + "@" + std::to_string(offset());
+  }
+  return ".<invalid>";
+}
+
+Variance retypd::wordVariance(std::span<const Label> Word) {
+  Variance V = Variance::Covariant;
+  for (Label L : Word)
+    V = compose(V, L.variance());
+  return V;
+}
+
+std::string retypd::wordStr(std::span<const Label> Word) {
+  std::string S;
+  for (Label L : Word)
+    S += L.str();
+  return S;
+}

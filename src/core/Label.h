@@ -1,0 +1,122 @@
+//===- Label.h - Field labels (type capabilities) -------------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Field labels from the alphabet Σ (paper Table 1):
+///
+///   .in_i      ⊖  function input in location i
+///   .out_i     ⊕  function output in location i
+///   .load      ⊕  readable pointer
+///   .store     ⊖  writable pointer
+///   .σN@k      ⊕  N-bit field at offset k
+///
+/// A label packs into a single uint64 for cheap comparison and hashing. The
+/// alphabet is unbounded (any N, k, i), matching the paper's requirement
+/// that Σ need not be finite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_CORE_LABEL_H
+#define RETYPD_CORE_LABEL_H
+
+#include "core/Variance.h"
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+namespace retypd {
+
+/// One field label from Σ.
+class Label {
+public:
+  enum class Kind : uint8_t {
+    In = 0,   ///< .in_i   (contravariant)
+    Out = 1,  ///< .out_i  (covariant)
+    Load = 2, ///< .load   (covariant)
+    Store = 3,///< .store  (contravariant)
+    Field = 4 ///< .σN@k   (covariant)
+  };
+
+  Label() : Raw(0) {}
+
+  static Label in(uint32_t Index) { return Label(Kind::In, 0, Index); }
+  static Label out(uint32_t Index = 0) { return Label(Kind::Out, 0, Index); }
+  static Label load() { return Label(Kind::Load, 0, 0); }
+  static Label store() { return Label(Kind::Store, 0, 0); }
+  /// An N-bit field at byte offset k ("σN@k").
+  static Label field(uint16_t Bits, int32_t Offset) {
+    return Label(Kind::Field, Bits, static_cast<uint32_t>(Offset));
+  }
+
+  Kind kind() const { return static_cast<Kind>(Raw >> 48); }
+  bool isIn() const { return kind() == Kind::In; }
+  bool isOut() const { return kind() == Kind::Out; }
+  bool isLoad() const { return kind() == Kind::Load; }
+  bool isStore() const { return kind() == Kind::Store; }
+  bool isField() const { return kind() == Kind::Field; }
+
+  /// For In/Out labels: the location index.
+  uint32_t index() const {
+    assert((isIn() || isOut()) && "index() on non-in/out label");
+    return static_cast<uint32_t>(Raw & 0xffffffffu);
+  }
+
+  /// For Field labels: the width in bits.
+  uint16_t bits() const {
+    assert(isField() && "bits() on non-field label");
+    return static_cast<uint16_t>((Raw >> 32) & 0xffff);
+  }
+
+  /// For Field labels: the byte offset.
+  int32_t offset() const {
+    assert(isField() && "offset() on non-field label");
+    return static_cast<int32_t>(Raw & 0xffffffffu);
+  }
+
+  /// Variance per Table 1: In and Store are contravariant.
+  Variance variance() const {
+    Kind K = kind();
+    return (K == Kind::In || K == Kind::Store) ? Variance::Contravariant
+                                               : Variance::Covariant;
+  }
+
+  /// Renders e.g. ".load", ".in0", ".s32@4".
+  std::string str() const;
+
+  friend bool operator==(Label A, Label B) { return A.Raw == B.Raw; }
+  friend bool operator!=(Label A, Label B) { return A.Raw != B.Raw; }
+  friend bool operator<(Label A, Label B) { return A.Raw < B.Raw; }
+
+  uint64_t raw() const { return Raw; }
+
+private:
+  Label(Kind K, uint32_t A, uint32_t B)
+      : Raw((static_cast<uint64_t>(K) << 48) |
+            (static_cast<uint64_t>(A & 0xffff) << 32) | B) {}
+
+  // Layout: [63..48] kind, [47..32] small operand (field bits),
+  //         [31..0] wide operand (in/out index or field offset).
+  uint64_t Raw;
+};
+
+/// Variance of a word of labels: the sign-monoid product (Definition 3.2).
+Variance wordVariance(std::span<const Label> Word);
+
+/// Renders a word as ".load.s32@0".
+std::string wordStr(std::span<const Label> Word);
+
+} // namespace retypd
+
+template <> struct std::hash<retypd::Label> {
+  size_t operator()(retypd::Label L) const noexcept {
+    return std::hash<uint64_t>()(L.raw());
+  }
+};
+
+#endif // RETYPD_CORE_LABEL_H

@@ -1,0 +1,108 @@
+//===- ShapeGraph.cpp - Steensgaard-style shape inference -----------------===//
+
+#include "core/ShapeGraph.h"
+
+#include <cassert>
+
+using namespace retypd;
+
+uint32_t ShapeGraph::getOrCreateNode(const DerivedTypeVariable &Dtv) {
+  auto It = NodeOf.find(Dtv);
+  if (It != NodeOf.end())
+    return It->second;
+  uint32_t Id = UF.makeSet();
+  Children.emplace_back();
+  NodeOf.emplace(Dtv, Id);
+  if (!Dtv.isBaseOnly()) {
+    uint32_t Parent = getOrCreateNode(Dtv.parent());
+    // Note: parent may have been unified already; record the edge at its
+    // representative.
+    uint32_t Rep = UF.find(Parent);
+    auto [EdgeIt, Inserted] = Children[Rep].emplace(Dtv.lastLabel(), Id);
+    if (!Inserted)
+      unify(EdgeIt->second, Id);
+  }
+  return Id;
+}
+
+void ShapeGraph::unify(uint32_t A, uint32_t B) {
+  std::vector<std::pair<uint32_t, uint32_t>> Work{{A, B}};
+  while (!Work.empty()) {
+    auto [X, Y] = Work.back();
+    Work.pop_back();
+    X = UF.find(X);
+    Y = UF.find(Y);
+    if (X == Y)
+      continue;
+    uint32_t Winner = UF.unite(X, Y);
+    uint32_t Loser = Winner == X ? Y : X;
+
+    // Merge the loser's out-edges into the winner, queueing recursive
+    // unifications on label collisions (congruence closure).
+    std::map<Label, uint32_t> LoserEdges = std::move(Children[Loser]);
+    Children[Loser].clear();
+    for (const auto &[L, Child] : LoserEdges) {
+      auto [It, Inserted] = Children[Winner].emplace(L, Child);
+      if (!Inserted)
+        Work.push_back({It->second, Child});
+    }
+
+    // S-POINTER twist: within one class, the .load and .store children have
+    // the same shape.
+    auto LoadIt = Children[Winner].find(Label::load());
+    auto StoreIt = Children[Winner].find(Label::store());
+    if (LoadIt != Children[Winner].end() &&
+        StoreIt != Children[Winner].end() &&
+        UF.find(LoadIt->second) != UF.find(StoreIt->second))
+      Work.push_back({LoadIt->second, StoreIt->second});
+  }
+}
+
+ShapeGraph::ShapeGraph(const ConstraintSet &C) {
+  // Create nodes for every mentioned DTV (prefix creation is recursive).
+  for (const DerivedTypeVariable &Dtv : C.mentionedDtvs())
+    getOrCreateNode(Dtv);
+  // Quotient by the subtype constraints.
+  for (const SubtypeConstraint &SC : C.subtypes())
+    unify(NodeOf.at(SC.Lhs), NodeOf.at(SC.Rhs));
+  // Re-check the load/store twist on every class (a class may have gained
+  // both edges without ever being merged).
+  for (const auto &[Dtv, Id] : NodeOf) {
+    uint32_t Rep = UF.find(Id);
+    auto LoadIt = Children[Rep].find(Label::load());
+    auto StoreIt = Children[Rep].find(Label::store());
+    if (LoadIt != Children[Rep].end() && StoreIt != Children[Rep].end())
+      unify(LoadIt->second, StoreIt->second);
+  }
+}
+
+uint32_t ShapeGraph::classOf(const DerivedTypeVariable &Dtv) const {
+  auto It = NodeOf.find(Dtv);
+  if (It != NodeOf.end())
+    return UF.find(It->second);
+  // The DTV itself may be absent while still being a valid capability path
+  // (e.g. x.load.s32@0 where only x.load and a unified alias of the field
+  // exist). Walk down from the base through class edges.
+  if (Dtv.isBaseOnly())
+    return NoClass;
+  uint32_t Class = classOf(DerivedTypeVariable(Dtv.base()));
+  if (Class == NoClass)
+    return NoClass;
+  for (Label L : Dtv.labels()) {
+    const auto &Edges = Children[UF.find(Class)];
+    auto EIt = Edges.find(L);
+    if (EIt == Edges.end())
+      return NoClass;
+    Class = UF.find(EIt->second);
+  }
+  return Class;
+}
+
+const std::map<Label, uint32_t> &ShapeGraph::childrenOf(uint32_t Class) const {
+  return Children[UF.find(Class)];
+}
+
+bool ShapeGraph::isPointerClass(uint32_t Class) const {
+  const auto &Edges = Children[UF.find(Class)];
+  return Edges.count(Label::load()) || Edges.count(Label::store());
+}

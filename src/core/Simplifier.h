@@ -1,0 +1,69 @@
+//===- Simplifier.h - Constraint-set simplification (§5) ------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Infers a procedure's type scheme by eliminating uninteresting type
+/// variables from its constraint set (paper §5, Appendix D).
+///
+/// Pipeline:
+///  1. Build the constraint graph and saturate it (Algorithm D.2), so every
+///     derivable interesting-to-interesting relation is witnessed by a path
+///     whose recalls all precede its forgets.
+///  2. Trim the graph against the two-phase (recall-phase then forget-phase)
+///     discipline: keep only nodes that lie on some path from an interesting
+///     source to an interesting sink — the "elementary proof" restriction of
+///     Definition D.1.
+///  3. Emit one constraint per surviving 1-edge, rewriting uninteresting
+///     base variables to fresh existential variables (the τ of Figure 2),
+///     per Algorithm D.3.
+///  4. Tidy: inline existential variables that only relay base-only chains
+///     (the Fähndrich–Aiken style simplifications the paper refers to).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_CORE_SIMPLIFIER_H
+#define RETYPD_CORE_SIMPLIFIER_H
+
+#include "core/ConstraintGraph.h"
+#include "core/ConstraintSet.h"
+
+#include <unordered_set>
+
+namespace retypd {
+
+/// Options controlling the tidy pass.
+struct SimplifyOptions {
+  /// Maximum tidy iterations; each pass can eliminate many variables.
+  unsigned MaxTidyIterations = 64;
+  /// An eliminated variable with I predecessors and O successors is inlined
+  /// only when I*O <= I+O+BloatSlack (avoids quadratic blowup).
+  unsigned BloatSlack = 2;
+};
+
+/// Stateless simplification engine (fresh existential names are drawn from
+/// the shared symbol table).
+class Simplifier {
+public:
+  Simplifier(SymbolTable &Syms, const Lattice &Lat,
+             SimplifyOptions Opts = SimplifyOptions())
+      : Syms(Syms), Lat(Lat), Opts(Opts) {}
+
+  /// Computes a type scheme for \p ProcVar from \p C. \p Interesting lists
+  /// the base variables that must be preserved (formals are reached from
+  /// ProcVar via .in/.out labels; globals and type constants are always
+  /// preserved). ProcVar itself is implicitly interesting.
+  TypeScheme simplify(const ConstraintSet &C, TypeVariable ProcVar,
+                      const std::unordered_set<TypeVariable> &Interesting);
+
+private:
+  SymbolTable &Syms;
+  const Lattice &Lat;
+  SimplifyOptions Opts;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_CORE_SIMPLIFIER_H

@@ -1,0 +1,341 @@
+//===- Sketch.cpp - Regular trees labeled by lattice elements -------------===//
+
+#include "core/Sketch.h"
+
+#include <cassert>
+#include <deque>
+#include <set>
+
+using namespace retypd;
+
+std::optional<uint32_t> Sketch::stateAt(std::span<const Label> W) const {
+  uint32_t S = root();
+  for (Label L : W) {
+    auto It = Nodes[S].Children.find(L);
+    if (It == Nodes[S].Children.end())
+      return std::nullopt;
+    S = It->second;
+  }
+  return S;
+}
+
+bool Sketch::hasPath(std::span<const Label> W) const {
+  return stateAt(W).has_value();
+}
+
+LatticeElem Sketch::markAt(std::span<const Label> W) const {
+  auto S = stateAt(W);
+  assert(S && "markAt on absent path");
+  return Nodes[*S].Mark;
+}
+
+namespace {
+
+/// Key for product-automaton states; ~0u marks an absent side.
+struct PairKey {
+  uint32_t A, B;
+  Variance V;
+  bool operator<(const PairKey &O) const {
+    if (A != O.A)
+      return A < O.A;
+    if (B != O.B)
+      return B < O.B;
+    return static_cast<int>(V) < static_cast<int>(O.V);
+  }
+};
+
+constexpr uint32_t Absent = 0xffffffffu;
+
+} // namespace
+
+/// Shared implementation of meet and join as a product construction. For
+/// meet the result follows edges present on either side (language union,
+/// copying one-sided subtrees); for join only edges present on both sides
+/// survive (language intersection).
+static Sketch combine(const Sketch &A, const Sketch &B, const Lattice &Lat,
+                      bool IsMeet) {
+  Sketch Result;
+  std::map<PairKey, uint32_t> States;
+  std::deque<PairKey> Work;
+
+  auto CombineMark = [&](uint32_t Na, uint32_t Nb, Variance V) {
+    if (Na == Absent)
+      return B.node(Nb).Mark;
+    if (Nb == Absent)
+      return A.node(Na).Mark;
+    LatticeElem Ma = A.node(Na).Mark;
+    LatticeElem Mb = B.node(Nb).Mark;
+    bool TakeMeet = IsMeet == (V == Variance::Covariant);
+    return TakeMeet ? Lat.meet(Ma, Mb) : Lat.join(Ma, Mb);
+  };
+  auto CombineFlags = [&](uint32_t Out, uint32_t Na, uint32_t Nb) {
+    Sketch::Node &N = Result.node(Out);
+    if (Na != Absent) {
+      N.PointerLike |= A.node(Na).PointerLike;
+      N.IntegerLike |= A.node(Na).IntegerLike;
+      N.Lower = A.node(Na).Lower;
+      N.Upper = A.node(Na).Upper;
+    }
+    if (Nb != Absent) {
+      N.PointerLike |= B.node(Nb).PointerLike;
+      N.IntegerLike |= B.node(Nb).IntegerLike;
+      N.Lower = Na != Absent ? Lat.join(N.Lower, B.node(Nb).Lower)
+                             : B.node(Nb).Lower;
+      N.Upper = Na != Absent ? Lat.meet(N.Upper, B.node(Nb).Upper)
+                             : B.node(Nb).Upper;
+    }
+  };
+
+  PairKey RootKey{A.root(), B.root(), Variance::Covariant};
+  States[RootKey] = Result.root();
+  Result.node(Result.root()).Mark =
+      CombineMark(RootKey.A, RootKey.B, RootKey.V);
+  CombineFlags(Result.root(), RootKey.A, RootKey.B);
+  Work.push_back(RootKey);
+
+  auto GetState = [&](PairKey K) {
+    auto It = States.find(K);
+    if (It != States.end())
+      return It->second;
+    uint32_t Id = Result.addNode(CombineMark(K.A, K.B, K.V));
+    CombineFlags(Id, K.A, K.B);
+    States.emplace(K, Id);
+    Work.push_back(K);
+    return Id;
+  };
+
+  while (!Work.empty()) {
+    PairKey K = Work.front();
+    Work.pop_front();
+    uint32_t Out = States[K];
+
+    // Gather candidate labels from whichever sides are present.
+    std::set<Label> Labels;
+    if (K.A != Absent)
+      for (const auto &[L, C] : A.node(K.A).Children)
+        Labels.insert(L);
+    if (K.B != Absent)
+      for (const auto &[L, C] : B.node(K.B).Children)
+        Labels.insert(L);
+
+    for (Label L : Labels) {
+      uint32_t Ca = Absent, Cb = Absent;
+      if (K.A != Absent) {
+        auto It = A.node(K.A).Children.find(L);
+        if (It != A.node(K.A).Children.end())
+          Ca = It->second;
+      }
+      if (K.B != Absent) {
+        auto It = B.node(K.B).Children.find(L);
+        if (It != B.node(K.B).Children.end())
+          Cb = It->second;
+      }
+      bool Both = Ca != Absent && Cb != Absent;
+      if (!IsMeet && !Both)
+        continue; // join keeps only common capabilities
+      Variance CV = compose(K.V, L.variance());
+      Result.addEdge(Out, L, GetState(PairKey{Ca, Cb, CV}));
+    }
+  }
+  return Result;
+}
+
+Sketch Sketch::meet(const Sketch &A, const Sketch &B, const Lattice &Lat) {
+  return combine(A, B, Lat, /*IsMeet=*/true);
+}
+
+Sketch Sketch::join(const Sketch &A, const Sketch &B, const Lattice &Lat) {
+  return combine(A, B, Lat, /*IsMeet=*/false);
+}
+
+bool Sketch::leq(const Sketch &A, const Sketch &B, const Lattice &Lat) {
+  // A ⊑ B iff every capability of B is a capability of A and at every
+  // common word w: ν_A(w) <= ν_B(w) covariantly, the reverse contravariantly.
+  std::set<PairKey> Seen;
+  std::deque<PairKey> Work{PairKey{A.root(), B.root(), Variance::Covariant}};
+  while (!Work.empty()) {
+    PairKey K = Work.front();
+    Work.pop_front();
+    if (!Seen.insert(K).second)
+      continue;
+    LatticeElem Ma = A.node(K.A).Mark;
+    LatticeElem Mb = B.node(K.B).Mark;
+    if (K.V == Variance::Covariant ? !Lat.leq(Ma, Mb) : !Lat.leq(Mb, Ma))
+      return false;
+    for (const auto &[L, Cb] : B.node(K.B).Children) {
+      auto It = A.node(K.A).Children.find(L);
+      if (It == A.node(K.A).Children.end())
+        return false; // B has a capability A lacks
+      Work.push_back(PairKey{It->second, Cb, compose(K.V, L.variance())});
+    }
+  }
+  return true;
+}
+
+bool Sketch::equal(const Sketch &A, const Sketch &B, const Lattice &Lat) {
+  return leq(A, B, Lat) && leq(B, A, Lat);
+}
+
+namespace {
+
+/// Copies the part of \p Src reachable from \p From into \p Dst, returning
+/// the id of the copied root. \p Map memoizes already-copied states.
+uint32_t copyInto(const Sketch &Src, uint32_t From, Sketch &Dst,
+                  std::map<uint32_t, uint32_t> &Map) {
+  auto It = Map.find(From);
+  if (It != Map.end())
+    return It->second;
+  uint32_t Id = Dst.addNode();
+  Map[From] = Id;
+  Dst.node(Id) = Sketch::Node{Src.node(From).Mark,
+                              Src.node(From).Lower,
+                              Src.node(From).Upper,
+                              Src.node(From).PointerLike,
+                              Src.node(From).IntegerLike,
+                              Src.node(From).Conflicts,
+                              {}};
+  for (const auto &[L, C] : Src.node(From).Children)
+    Dst.addEdge(Id, L, copyInto(Src, C, Dst, Map));
+  return Id;
+}
+
+} // namespace
+
+std::optional<Sketch> Sketch::subsketch(Label L) const {
+  auto It = Nodes[root()].Children.find(L);
+  if (It == Nodes[root()].Children.end())
+    return std::nullopt;
+  Sketch Out;
+  std::map<uint32_t, uint32_t> Map;
+  // Seed the root mapping so cycles through the child close correctly.
+  Map[It->second] = Out.root();
+  Out.node(Out.root()) = Node{node(It->second).Mark,
+                              node(It->second).Lower,
+                              node(It->second).Upper,
+                              node(It->second).PointerLike,
+                              node(It->second).IntegerLike,
+                              node(It->second).Conflicts,
+                              {}};
+  for (const auto &[CL, CC] : node(It->second).Children)
+    Out.addEdge(Out.root(), CL, copyInto(*this, CC, Out, Map));
+  return Out;
+}
+
+Sketch Sketch::withChild(Label L, const Sketch &Child) const {
+  Sketch Out = *this;
+  std::map<uint32_t, uint32_t> Map;
+  uint32_t Grafted = copyInto(Child, Child.root(), Out, Map);
+  Out.addEdge(Out.root(), L, Grafted);
+  return Out;
+}
+
+Sketch Sketch::minimized() const {
+  // Partition-refinement (Moore-style) over reachable states.
+  std::vector<uint32_t> Reach;
+  std::map<uint32_t, size_t> Index;
+  Reach.push_back(root());
+  Index[root()] = 0;
+  for (size_t I = 0; I < Reach.size(); ++I)
+    for (const auto &[L, C] : Nodes[Reach[I]].Children)
+      if (!Index.count(C)) {
+        Index[C] = Reach.size();
+        Reach.push_back(C);
+      }
+
+  size_t N = Reach.size();
+  // Initial blocks: group by (mark, flags, child label set).
+  std::vector<uint32_t> Block(N);
+  {
+    std::map<std::tuple<LatticeElem, bool, bool, std::vector<uint64_t>>,
+             uint32_t>
+        Groups;
+    for (size_t I = 0; I < N; ++I) {
+      const Node &Nd = Nodes[Reach[I]];
+      std::vector<uint64_t> Labels;
+      for (const auto &[L, C] : Nd.Children)
+        Labels.push_back(L.raw());
+      auto Key = std::make_tuple(Nd.Mark, Nd.PointerLike, Nd.IntegerLike,
+                                 std::move(Labels));
+      auto [It, Inserted] =
+          Groups.emplace(Key, static_cast<uint32_t>(Groups.size()));
+      (void)Inserted;
+      Block[I] = It->second;
+    }
+  }
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::map<std::pair<uint32_t, std::vector<std::pair<uint64_t, uint32_t>>>,
+             uint32_t>
+        Groups;
+    std::vector<uint32_t> Next(N);
+    for (size_t I = 0; I < N; ++I) {
+      std::vector<std::pair<uint64_t, uint32_t>> Sig;
+      for (const auto &[L, C] : Nodes[Reach[I]].Children)
+        Sig.push_back({L.raw(), Block[Index.at(C)]});
+      auto Key = std::make_pair(Block[I], std::move(Sig));
+      auto [It, Inserted] =
+          Groups.emplace(Key, static_cast<uint32_t>(Groups.size()));
+      (void)Inserted;
+      Next[I] = It->second;
+    }
+    if (Next != Block) {
+      Block = std::move(Next);
+      Changed = true;
+    }
+  }
+
+  // Build the quotient, rooted at the root's block.
+  uint32_t NumBlocks = 0;
+  for (uint32_t B : Block)
+    NumBlocks = std::max(NumBlocks, B + 1);
+  Sketch Out;
+  // Block of the root must become state 0: remap block ids.
+  std::vector<uint32_t> Remap(NumBlocks, 0xffffffffu);
+  Remap[Block[0]] = Out.root();
+  for (uint32_t B = 0; B < NumBlocks; ++B)
+    if (Remap[B] == 0xffffffffu)
+      Remap[B] = Out.addNode();
+  for (size_t I = 0; I < N; ++I) {
+    uint32_t Dst = Remap[Block[I]];
+    Out.node(Dst) = Node{Nodes[Reach[I]].Mark,
+                         Nodes[Reach[I]].Lower,
+                         Nodes[Reach[I]].Upper,
+                         Nodes[Reach[I]].PointerLike,
+                         Nodes[Reach[I]].IntegerLike,
+                         Nodes[Reach[I]].Conflicts,
+                         {}};
+  }
+  for (size_t I = 0; I < N; ++I)
+    for (const auto &[L, C] : Nodes[Reach[I]].Children)
+      Out.addEdge(Remap[Block[I]], L, Remap[Block[Index.at(C)]]);
+  return Out;
+}
+
+static void strImpl(const Sketch &S, const Lattice &Lat, uint32_t State,
+                    std::string &Prefix, unsigned Depth, std::string &Out) {
+  Out += Prefix.empty() ? std::string("<root>") : Prefix;
+  Out += ": ";
+  Out += Lat.name(S.node(State).Mark);
+  if (S.node(State).PointerLike)
+    Out += " [ptr]";
+  if (S.node(State).IntegerLike)
+    Out += " [int]";
+  Out += '\n';
+  if (Depth == 0)
+    return;
+  for (const auto &[L, Child] : S.node(State).Children) {
+    size_t Mark = Prefix.size();
+    Prefix += L.str();
+    strImpl(S, Lat, Child, Prefix, Depth - 1, Out);
+    Prefix.resize(Mark);
+  }
+}
+
+std::string Sketch::str(const Lattice &Lat, unsigned MaxDepth) const {
+  std::string Out;
+  std::string Prefix;
+  strImpl(*this, Lat, root(), Prefix, MaxDepth, Out);
+  return Out;
+}

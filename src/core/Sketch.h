@@ -1,0 +1,120 @@
+//===- Sketch.h - Regular trees labeled by lattice elements ---*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sketches (paper §3.5, Appendix E): possibly infinite Σ-labeled trees with
+/// nodes marked by elements of the auxiliary lattice Λ, represented as
+/// deterministic finite automata (Definition 3.5). The language of a sketch
+/// is the set of capability words of the value it models; the marks carry
+/// the scalar/semantic type information.
+///
+/// The set of sketches forms a lattice (Figure 18):
+///   L(X ⊓ Y) = L(X) ∪ L(Y)   marks: ∧ at covariant, ∨ at contravariant
+///   L(X ⊔ Y) = L(X) ∩ L(Y)   marks: ∨ at covariant, ∧ at contravariant
+/// with X ⊑ Y (written leq) iff X ⊓ Y = X.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_CORE_SKETCH_H
+#define RETYPD_CORE_SKETCH_H
+
+#include "core/Label.h"
+#include "lattice/Lattice.h"
+#include "support/SymbolTable.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace retypd {
+
+/// A sketch: a rooted DFA over Σ with Λ-marked states.
+class Sketch {
+public:
+  struct Node {
+    LatticeElem Mark = Lattice::Top;
+    /// The raw interval [Lower, Upper] of constant bounds, kept alongside
+    /// the displayed Mark for the TIE-style interval-size metric (§6.5).
+    LatticeElem Lower = Lattice::Bottom;
+    LatticeElem Upper = Lattice::Top;
+    bool PointerLike = false; ///< classified as pointer by ADD/SUB analysis
+    bool IntegerLike = false; ///< classified as integer
+    /// When the node's scalar bounds are mutually incompatible (their meet
+    /// is ⊥), the maximal antichain of bounds is kept here so the C-type
+    /// conversion can emit a union (Example 4.2).
+    std::vector<LatticeElem> Conflicts;
+    std::map<Label, uint32_t> Children;
+  };
+
+  /// The trivial sketch: language {ε}, root marked ⊤.
+  Sketch() { Nodes.push_back(Node{}); }
+
+  uint32_t root() const { return 0; }
+  const Node &node(uint32_t Id) const { return Nodes[Id]; }
+  Node &node(uint32_t Id) { return Nodes[Id]; }
+  size_t size() const { return Nodes.size(); }
+
+  /// Appends a fresh node and returns its id.
+  uint32_t addNode(LatticeElem Mark = Lattice::Top) {
+    Nodes.push_back(Node{});
+    Nodes.back().Mark = Mark;
+    return static_cast<uint32_t>(Nodes.size() - 1);
+  }
+
+  /// Adds (or retargets) an edge.
+  void addEdge(uint32_t From, Label L, uint32_t To) {
+    Nodes[From].Children[L] = To;
+  }
+
+  /// True if the word \p W is in the sketch's language.
+  bool hasPath(std::span<const Label> W) const;
+
+  /// The state reached by \p W, if any.
+  std::optional<uint32_t> stateAt(std::span<const Label> W) const;
+
+  /// The mark ν(W) at the node reached by \p W (requires hasPath(W)).
+  LatticeElem markAt(std::span<const Label> W) const;
+
+  /// Lattice meet: union of languages (more capabilities = lower).
+  static Sketch meet(const Sketch &A, const Sketch &B, const Lattice &Lat);
+
+  /// Lattice join: intersection of languages.
+  static Sketch join(const Sketch &A, const Sketch &B, const Lattice &Lat);
+
+  /// Partial order: A ⊑ B iff L(A) ⊇ L(B) with compatible marks.
+  static bool leq(const Sketch &A, const Sketch &B, const Lattice &Lat);
+
+  /// Structural equality up to bisimulation.
+  static bool equal(const Sketch &A, const Sketch &B, const Lattice &Lat);
+
+  /// The sub-sketch rooted at the \p L child of the root (copied and
+  /// re-rooted), or nullopt when absent. Used by parameter refinement
+  /// (Algorithm F.3) to treat each formal-in/out as a standalone sketch.
+  std::optional<Sketch> subsketch(Label L) const;
+
+  /// Returns a copy of this sketch whose \p L child of the root is replaced
+  /// by (a grafted copy of) \p Child.
+  Sketch withChild(Label L, const Sketch &Child) const;
+
+  /// Returns the bisimulation quotient: the minimal DFA accepting the same
+  /// language with the same marks (Definition 3.5 collapses isomorphic
+  /// subtrees; this collapses bisimilar states). Also drops unreachable
+  /// states left behind by withChild grafting.
+  Sketch minimized() const;
+
+  /// Renders a bounded unfolding, one path per line: ".load.s32@0: int".
+  std::string str(const Lattice &Lat, unsigned MaxDepth = 4) const;
+
+private:
+  std::vector<Node> Nodes;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_CORE_SKETCH_H

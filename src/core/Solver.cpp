@@ -1,0 +1,264 @@
+//===- Solver.cpp - Constraint solving into sketches ----------------------===//
+
+#include "core/Solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+
+using namespace retypd;
+
+const Sketch &SketchSolution::sketchFor(TypeVariable V) const {
+  static const Sketch Trivial;
+  auto It = Sketches.find(V);
+  return It == Sketches.end() ? Trivial : It->second;
+}
+
+namespace {
+
+/// Per-shape-class information gathered before sketch extraction.
+struct ClassInfo {
+  // Join of type constants known to be lower bounds / meet of uppers.
+  LatticeElem Lower = Lattice::Bottom;
+  LatticeElem Upper = Lattice::Top;
+  bool HasLower = false;
+  bool HasUpper = false;
+  bool PointerLike = false;
+  bool IntegerLike = false;
+  // All distinct upper-bound constants, for union resolution when their
+  // meet collapses to ⊥ (Example 4.2).
+  std::vector<LatticeElem> UpperList;
+};
+
+} // namespace
+
+bool SketchSolver::hasCapability(const ConstraintSet &C,
+                                 const DerivedTypeVariable &Dtv) {
+  ShapeGraph Shapes(C);
+  return Shapes.classOf(Dtv) != ShapeGraph::NoClass;
+}
+
+SketchSolution SketchSolver::solve(const ConstraintSet &C,
+                                   std::span<const TypeVariable> Wanted) const {
+  ShapeGraph Shapes(C);
+
+  ConstraintGraph G(C);
+  G.saturate();
+
+  // ---- Lattice bounds (Appendix D.4) ----
+  std::unordered_map<uint32_t, ClassInfo> Info;
+  auto ClassOfNode = [&](GraphNodeId N) -> uint32_t {
+    return Shapes.classOf(G.node(N).Dtv);
+  };
+  for (GraphNodeId N = 0; N < G.numNodes(); ++N) {
+    const GraphNode &Node = G.node(N);
+    if (!Node.Dtv.base().isConstant() || !Node.Dtv.isBaseOnly())
+      continue;
+    LatticeElem Kappa = Node.Dtv.base().latticeElem();
+    if (Node.Tag == Variance::Covariant) {
+      // 1-paths (κ,⊕) → (n,⊕) witness κ <= dtv(n): lower bounds.
+      for (GraphNodeId M : G.oneReachableFrom(N)) {
+        if (M == N)
+          continue;
+        uint32_t Cls = ClassOfNode(M);
+        if (Cls == ShapeGraph::NoClass)
+          continue;
+        ClassInfo &CI = Info[Cls];
+        CI.Lower = CI.HasLower ? Lat.join(CI.Lower, Kappa) : Kappa;
+        CI.HasLower = true;
+      }
+    } else {
+      // Mirror paths (κ,⊖) → (n,⊖) witness dtv(n) <= κ: upper bounds.
+      for (GraphNodeId M : G.oneReachableFrom(N)) {
+        if (M == N)
+          continue;
+        uint32_t Cls = ClassOfNode(M);
+        if (Cls == ShapeGraph::NoClass)
+          continue;
+        ClassInfo &CI = Info[Cls];
+        CI.Upper = CI.HasUpper ? Lat.meet(CI.Upper, Kappa) : Kappa;
+        CI.HasUpper = true;
+        if (std::find(CI.UpperList.begin(), CI.UpperList.end(), Kappa) ==
+            CI.UpperList.end())
+          CI.UpperList.push_back(Kappa);
+      }
+    }
+  }
+
+  // ---- Pointer/integer classification (Figure 13) ----
+  // Seeds: classes with load/store capabilities are pointers; classes with
+  // numeric lattice bounds are integers.
+  auto ClassOfDtv = [&](const DerivedTypeVariable &D) {
+    return Shapes.classOf(D);
+  };
+  for (const auto &Entry : Shapes.nodes()) {
+    uint32_t Cls = Shapes.canonical(Entry.second);
+    if (Shapes.isPointerClass(Cls))
+      Info[Cls].PointerLike = true;
+  }
+  for (auto &[Cls, CI] : Info) {
+    if (CI.HasLower && CI.Lower != Lattice::Bottom && Lat.isNumeric(CI.Lower))
+      CI.IntegerLike = true;
+    if (CI.HasUpper && CI.Upper != Lattice::Top && Lat.isNumeric(CI.Upper))
+      CI.IntegerLike = true;
+  }
+  // Fixpoint over the ADD/SUB rules.
+  bool Changed = true;
+  auto Mark = [&](uint32_t Cls, bool Ptr, bool Int) {
+    if (Cls == ShapeGraph::NoClass)
+      return;
+    ClassInfo &CI = Info[Cls];
+    if (Ptr && !CI.PointerLike) {
+      CI.PointerLike = true;
+      Changed = true;
+    }
+    if (Int && !CI.IntegerLike) {
+      CI.IntegerLike = true;
+      Changed = true;
+    }
+  };
+  auto IsPtr = [&](uint32_t Cls) {
+    return Cls != ShapeGraph::NoClass && Info.count(Cls) &&
+           Info[Cls].PointerLike;
+  };
+  auto IsInt = [&](uint32_t Cls) {
+    return Cls != ShapeGraph::NoClass && Info.count(Cls) &&
+           Info[Cls].IntegerLike;
+  };
+  while (Changed) {
+    Changed = false;
+    for (const AddSubConstraint &AC : C.addSubs()) {
+      uint32_t X = ClassOfDtv(AC.X), Y = ClassOfDtv(AC.Y),
+               Z = ClassOfDtv(AC.Z);
+      if (!AC.IsSub) {
+        // Z = X + Y (Figure 13, ADD columns).
+        if (IsInt(X) && IsInt(Y))
+          Mark(Z, false, true);
+        if (IsPtr(X)) {
+          Mark(Z, true, false);
+          Mark(Y, false, true);
+        }
+        if (IsPtr(Y)) {
+          Mark(Z, true, false);
+          Mark(X, false, true);
+        }
+        if (IsInt(Z)) {
+          Mark(X, false, true);
+          Mark(Y, false, true);
+        }
+        if (IsPtr(Z) && IsInt(X))
+          Mark(Y, true, false);
+        if (IsPtr(Z) && IsInt(Y))
+          Mark(X, true, false);
+      } else {
+        // Z = X - Y (Figure 13, SUB columns).
+        if (IsInt(X) && IsInt(Y))
+          Mark(Z, false, true);
+        if (IsPtr(X) && IsInt(Y))
+          Mark(Z, true, false);
+        if (IsPtr(X) && IsPtr(Y))
+          Mark(Z, false, true);
+        if (IsPtr(Z)) {
+          Mark(X, true, false);
+          Mark(Y, false, true);
+        }
+        if (IsInt(Z) && IsPtr(X))
+          Mark(Y, true, false);
+      }
+    }
+  }
+
+  // Post-fixpoint defaults (display-policy downgrades, §4.3): a value that
+  // flows through addition/subtraction with no pointer evidence anywhere is
+  // an integer; integer-like classes with no scalar upper bound get num32.
+  for (const AddSubConstraint &AC : C.addSubs()) {
+    uint32_t X = ClassOfDtv(AC.X), Y = ClassOfDtv(AC.Y), Z = ClassOfDtv(AC.Z);
+    if (!IsPtr(X) && !IsPtr(Y) && !IsPtr(Z)) {
+      Mark(X, false, true);
+      Mark(Y, false, true);
+      Mark(Z, false, true);
+    }
+  }
+  if (auto Num32 = Lat.lookup("num32")) {
+    for (auto &[Cls, CI] : Info) {
+      if (CI.IntegerLike && !CI.PointerLike && !CI.HasUpper) {
+        CI.Upper = *Num32;
+        CI.HasUpper = true;
+      }
+    }
+  }
+
+  // ---- Sketch extraction ----
+  SketchSolution Solution;
+  for (TypeVariable V : Wanted) {
+    uint32_t Root = Shapes.classOf(DerivedTypeVariable(V));
+    Sketch S;
+    if (Root == ShapeGraph::NoClass) {
+      Solution.Sketches.emplace(V, std::move(S));
+      continue;
+    }
+    // States are (class, variance) pairs; BFS from the root.
+    std::map<std::pair<uint32_t, Variance>, uint32_t> States;
+    std::deque<std::pair<uint32_t, Variance>> Work;
+    auto Decorate = [&](uint32_t SketchNode, uint32_t Cls, Variance Var) {
+      Sketch::Node &N = S.node(SketchNode);
+      auto It = Info.find(Cls);
+      if (It == Info.end()) {
+        N.Mark = Lattice::Top;
+        return;
+      }
+      const ClassInfo &CI = It->second;
+      if (Var == Variance::Covariant)
+        N.Mark = CI.HasLower ? CI.Lower : (CI.HasUpper ? CI.Upper
+                                                       : Lattice::Top);
+      else
+        N.Mark = CI.HasUpper ? CI.Upper : (CI.HasLower ? CI.Lower
+                                                       : Lattice::Top);
+      if (CI.HasLower)
+        N.Lower = CI.Lower;
+      if (CI.HasUpper)
+        N.Upper = CI.Upper;
+      N.PointerLike = CI.PointerLike;
+      N.IntegerLike = CI.IntegerLike;
+      // Conflicting scalar bounds: keep the minimal antichain for union
+      // resolution (Example 4.2).
+      if (CI.HasUpper && CI.Upper == Lattice::Bottom &&
+          CI.UpperList.size() > 1) {
+        for (LatticeElem E : CI.UpperList) {
+          bool Minimal = true;
+          for (LatticeElem F : CI.UpperList)
+            if (F != E && Lat.leq(F, E))
+              Minimal = false;
+          if (Minimal)
+            N.Conflicts.push_back(E);
+        }
+      }
+    };
+
+    auto RootKey = std::make_pair(Root, Variance::Covariant);
+    States[RootKey] = S.root();
+    Decorate(S.root(), Root, Variance::Covariant);
+    Work.push_back(RootKey);
+    while (!Work.empty()) {
+      auto [Cls, Var] = Work.front();
+      Work.pop_front();
+      uint32_t From = States[{Cls, Var}];
+      for (const auto &[L, RawChild] : Shapes.childrenOf(Cls)) {
+        uint32_t Child = Shapes.canonical(RawChild);
+        Variance CV = compose(Var, L.variance());
+        auto Key = std::make_pair(Child, CV);
+        auto It = States.find(Key);
+        if (It == States.end()) {
+          uint32_t Id = S.addNode();
+          Decorate(Id, Child, CV);
+          It = States.emplace(Key, Id).first;
+          Work.push_back(Key);
+        }
+        S.addEdge(From, L, It->second);
+      }
+    }
+    Solution.Sketches.emplace(V, std::move(S));
+  }
+  return Solution;
+}

@@ -1,0 +1,61 @@
+//===- Solver.h - Constraint solving into sketches ------------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SOLVE procedure of Algorithm F.2: given a constraint set, compute a
+/// sketch for each requested type variable. The tree structure comes from
+/// the Steensgaard-style shape quotient (Algorithm E.1); the Λ marks come
+/// from lattice-bound queries against the saturated constraint graph
+/// (Appendix D.4): a constant κ lower-bounds a derived type variable iff a
+/// pure 1-edge path connects their covariant nodes after saturation, and
+/// dually for upper bounds via the contravariant nodes.
+///
+/// The ADD/SUB classification rules of Figure 13 run as a small fixpoint on
+/// the shape classes; the resulting pointer/integer marks are carried on
+/// sketch nodes for the C-type conversion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_CORE_SOLVER_H
+#define RETYPD_CORE_SOLVER_H
+
+#include "core/ConstraintGraph.h"
+#include "core/ShapeGraph.h"
+#include "core/Sketch.h"
+
+#include <span>
+#include <unordered_map>
+
+namespace retypd {
+
+/// Sketch bindings for a solved constraint set.
+struct SketchSolution {
+  std::unordered_map<TypeVariable, Sketch> Sketches;
+
+  /// Returns the sketch bound to \p V, or the trivial sketch.
+  const Sketch &sketchFor(TypeVariable V) const;
+};
+
+/// Solves constraint sets into sketch bindings.
+class SketchSolver {
+public:
+  SketchSolver(const Lattice &Lat) : Lat(Lat) {}
+
+  /// Solves \p C for the variables in \p Wanted.
+  SketchSolution solve(const ConstraintSet &C,
+                       std::span<const TypeVariable> Wanted) const;
+
+  /// Capability query: does C entail VAR \p Dtv? (Uses the shape quotient.)
+  static bool hasCapability(const ConstraintSet &C,
+                            const DerivedTypeVariable &Dtv);
+
+private:
+  const Lattice &Lat;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_CORE_SOLVER_H

@@ -1,0 +1,85 @@
+//===- TypeVariable.h - Base type variables and constants -----*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A base type variable is either an interned symbol (program-derived
+/// variable such as `eax@0x8048420` or `close_last`) or a *type constant*:
+/// a symbolic reference to an element of the lattice Λ (paper §3.1, "within
+/// V we assume there is a distinguished set of type constants").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_CORE_TYPEVARIABLE_H
+#define RETYPD_CORE_TYPEVARIABLE_H
+
+#include "lattice/Lattice.h"
+#include "support/SymbolTable.h"
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+
+namespace retypd {
+
+/// A base type variable: either an interned name or a lattice constant.
+class TypeVariable {
+public:
+  TypeVariable() : Raw(Invalid) {}
+
+  static TypeVariable var(SymbolId Id) {
+    assert(Id < ConstantBit && "symbol id too large");
+    return TypeVariable(Id);
+  }
+
+  static TypeVariable constant(LatticeElem E) {
+    assert(E < ConstantBit && "lattice element too large");
+    return TypeVariable(E | ConstantBit);
+  }
+
+  bool isValid() const { return Raw != Invalid; }
+  bool isConstant() const { return isValid() && (Raw & ConstantBit) != 0; }
+  bool isVar() const { return isValid() && (Raw & ConstantBit) == 0; }
+
+  SymbolId symbol() const {
+    assert(isVar() && "not a program variable");
+    return Raw;
+  }
+
+  LatticeElem latticeElem() const {
+    assert(isConstant() && "not a type constant");
+    return Raw & ~ConstantBit;
+  }
+
+  friend bool operator==(TypeVariable A, TypeVariable B) {
+    return A.Raw == B.Raw;
+  }
+  friend bool operator!=(TypeVariable A, TypeVariable B) {
+    return A.Raw != B.Raw;
+  }
+  friend bool operator<(TypeVariable A, TypeVariable B) {
+    return A.Raw < B.Raw;
+  }
+
+  uint32_t raw() const { return Raw; }
+
+private:
+  explicit TypeVariable(uint32_t R) : Raw(R) {}
+
+  static constexpr uint32_t ConstantBit = 0x80000000u;
+  static constexpr uint32_t Invalid = 0x7fffffffu;
+
+  uint32_t Raw;
+};
+
+} // namespace retypd
+
+template <> struct std::hash<retypd::TypeVariable> {
+  size_t operator()(retypd::TypeVariable V) const noexcept {
+    return std::hash<uint32_t>()(V.raw());
+  }
+};
+
+#endif // RETYPD_CORE_TYPEVARIABLE_H

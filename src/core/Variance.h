@@ -1,0 +1,43 @@
+//===- Variance.h - The sign monoid {⊕,⊖} ---------------------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two-element sign monoid of paper Definition 3.2. Words of field
+/// labels compose their variances; `Covariant` is the identity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_CORE_VARIANCE_H
+#define RETYPD_CORE_VARIANCE_H
+
+#include <cstdint>
+
+namespace retypd {
+
+/// Variance of a field label or label word (Definition 3.2).
+enum class Variance : uint8_t {
+  Covariant = 0,  // ⊕
+  Contravariant = 1 // ⊖
+};
+
+/// Sign-monoid composition: ⊕·⊕ = ⊖·⊖ = ⊕ and ⊕·⊖ = ⊖·⊕ = ⊖.
+constexpr Variance compose(Variance A, Variance B) {
+  return static_cast<Variance>(static_cast<uint8_t>(A) ^
+                               static_cast<uint8_t>(B));
+}
+
+/// The inverse image: variance such that compose(A, flip(A)) == Covariant.
+/// In a two-element group every element is its own inverse, so this is the
+/// identity function; it exists for readability at call sites.
+constexpr Variance inverse(Variance A) { return A; }
+
+constexpr const char *varianceName(Variance V) {
+  return V == Variance::Covariant ? "co" : "contra";
+}
+
+} // namespace retypd
+
+#endif // RETYPD_CORE_VARIANCE_H

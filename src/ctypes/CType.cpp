@@ -1,0 +1,217 @@
+//===- CType.cpp - A small C type model ------------------------------------===//
+
+#include "ctypes/CType.h"
+
+#include <cassert>
+#include <set>
+
+using namespace retypd;
+
+CTypeId CTypePool::voidType() {
+  CType T;
+  T.K = CType::Kind::Void;
+  T.Bits = 0;
+  return make(std::move(T));
+}
+
+CTypeId CTypePool::intType(uint16_t Bits, bool Signed) {
+  CType T;
+  T.K = Signed ? CType::Kind::Int : CType::Kind::UInt;
+  T.Bits = Bits;
+  return make(std::move(T));
+}
+
+CTypeId CTypePool::floatType(uint16_t Bits) {
+  CType T;
+  T.K = CType::Kind::Float;
+  T.Bits = Bits;
+  return make(std::move(T));
+}
+
+CTypeId CTypePool::pointerTo(CTypeId Pointee, bool PointeeConst) {
+  CType T;
+  T.K = CType::Kind::Pointer;
+  T.Pointee = Pointee;
+  T.PointeeConst = PointeeConst;
+  return make(std::move(T));
+}
+
+CTypeId CTypePool::typedefType(const std::string &Name, uint16_t Bits) {
+  CType T;
+  T.K = CType::Kind::Typedef;
+  T.Name = Name;
+  T.Bits = Bits;
+  return make(std::move(T));
+}
+
+CTypeId CTypePool::unknownType(uint16_t Bits) {
+  CType T;
+  T.K = CType::Kind::Unknown;
+  T.Bits = Bits;
+  return make(std::move(T));
+}
+
+std::string CTypePool::typeName(CTypeId Id) const {
+  const CType &T = get(Id);
+  switch (T.K) {
+  case CType::Kind::Void:
+    return "void";
+  case CType::Kind::Int: {
+    std::string Base;
+    switch (T.Bits) {
+    case 8:
+      Base = "int8_t";
+      break;
+    case 16:
+      Base = "int16_t";
+      break;
+    case 64:
+      Base = "int64_t";
+      break;
+    default:
+      Base = "int";
+      break;
+    }
+    if (T.Name == "char")
+      Base = "char";
+    else if (!T.Name.empty())
+      Base += " /*" + T.Name + "*/";
+    return Base;
+  }
+  case CType::Kind::UInt:
+    switch (T.Bits) {
+    case 8:
+      return "uint8_t";
+    case 16:
+      return "uint16_t";
+    case 64:
+      return "uint64_t";
+    default:
+      return "unsigned int";
+    }
+  case CType::Kind::Float:
+    return T.Bits == 64 ? "double" : "float";
+  case CType::Kind::Pointer: {
+    std::string Inner = typeName(T.Pointee);
+    if (!T.PointeeConst)
+      return Inner + " *";
+    // `const` on a pointer pointee: "const int *", but when the pointee is
+    // itself a pointer the qualifier binds to it: "int * const *".
+    if (!Inner.empty() && Inner.back() == '*')
+      return Inner + "const *";
+    return "const " + Inner + " *";
+  }
+  case CType::Kind::Struct:
+    return T.Name;
+  case CType::Kind::Union: {
+    std::string S = "union { ";
+    for (size_t I = 0; I < T.Members.size(); ++I) {
+      S += declare(T.Members[I], "m" + std::to_string(I));
+      S += "; ";
+    }
+    S += "}";
+    return S;
+  }
+  case CType::Kind::Function: {
+    // Only used nested behind a pointer; prototype() is the toplevel form.
+    std::string S = typeName(T.Return) + " (*)(";
+    for (size_t I = 0; I < T.Params.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += typeName(T.Params[I]);
+    }
+    S += ")";
+    return S;
+  }
+  case CType::Kind::Typedef:
+    return T.Name;
+  case CType::Kind::Unknown:
+    switch (T.Bits) {
+    case 8:
+      return "uint8_t";
+    case 16:
+      return "uint16_t";
+    case 64:
+      return "uint64_t";
+    default:
+      return "uint32_t";
+    }
+  }
+  return "<?>";
+}
+
+std::string CTypePool::declare(CTypeId Id, const std::string &VarName) const {
+  const CType &T = get(Id);
+  if (T.K == CType::Kind::Function) {
+    std::string S = typeName(T.Return) + " (" + VarName + ")(";
+    for (size_t I = 0; I < T.Params.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += typeName(T.Params[I]);
+    }
+    S += ")";
+    return S;
+  }
+  std::string N = typeName(Id);
+  if (!N.empty() && N.back() == '*')
+    return N + VarName;
+  return N + " " + VarName;
+}
+
+std::string
+CTypePool::structDefinitions(const std::vector<CTypeId> &Roots) const {
+  // Collect reachable structs in dependency (post-) order.
+  std::vector<CTypeId> Order;
+  std::set<CTypeId> Visited;
+  auto Visit = [&](auto &&Self, CTypeId Id) -> void {
+    if (Id == NoCType || !Visited.insert(Id).second)
+      return;
+    const CType &T = get(Id);
+    Self(Self, T.Pointee);
+    Self(Self, T.Return);
+    for (const CType::Field &F : T.Fields)
+      Self(Self, F.Type);
+    for (CTypeId M : T.Members)
+      Self(Self, M);
+    for (CTypeId P : T.Params)
+      Self(Self, P);
+    if (T.K == CType::Kind::Struct)
+      Order.push_back(Id);
+  };
+  for (CTypeId R : Roots)
+    Visit(Visit, R);
+
+  std::string S;
+  // Forward declarations first (recursive structs need them).
+  for (CTypeId Id : Order)
+    S += "typedef struct " + get(Id).Name + " " + get(Id).Name + ";\n";
+  for (CTypeId Id : Order) {
+    const CType &T = get(Id);
+    S += "struct " + T.Name + " {\n";
+    for (const CType::Field &F : T.Fields) {
+      S += "  " + declare(F.Type, "field_" + std::to_string(F.Offset));
+      S += ";\n";
+    }
+    S += "};\n";
+  }
+  return S;
+}
+
+std::string CTypePool::prototype(CTypeId Fn, const std::string &Name) const {
+  const CType &T = get(Fn);
+  assert(T.K == CType::Kind::Function && "prototype of non-function");
+  std::string S = (T.Return == NoCType ? std::string("void")
+                                       : typeName(T.Return));
+  S += " " + Name + "(";
+  if (T.Params.empty())
+    S += "void";
+  for (size_t I = 0; I < T.Params.size(); ++I) {
+    if (I)
+      S += ", ";
+    // const annotations on pointer parameters are rendered on the pointee
+    // (they come from the §6.4 policy).
+    S += typeName(T.Params[I]);
+  }
+  S += ")";
+  return S;
+}

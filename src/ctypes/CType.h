@@ -1,0 +1,99 @@
+//===- CType.h - A small C type model --------------------------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact model of the C types emitted by the final resolution phase
+/// (paper §4.3). Types live in a CTypePool and reference each other by id,
+/// which makes recursive structs (linked lists, trees) straightforward:
+/// a struct's field can reference the struct itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_CTYPES_CTYPE_H
+#define RETYPD_CTYPES_CTYPE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace retypd {
+
+/// Id of a type within a CTypePool.
+using CTypeId = uint32_t;
+constexpr CTypeId NoCType = 0xffffffffu;
+
+/// One C type node.
+struct CType {
+  enum class Kind : uint8_t {
+    Void,
+    Int,     ///< signed integer of Bits width
+    UInt,    ///< unsigned integer of Bits width
+    Float,   ///< floating point of Bits width
+    Pointer, ///< Pointee, possibly PointeeConst
+    Struct,  ///< named record with Fields
+    Union,   ///< unnamed union of Members
+    Function,///< Params -> Return
+    Typedef, ///< a named opaque type (HANDLE, FILE, ...) of Bits width
+    Unknown  ///< no information (rendered as a sized int or void*)
+  };
+
+  struct Field {
+    int32_t Offset = 0; ///< byte offset within the struct
+    CTypeId Type = NoCType;
+  };
+
+  Kind K = Kind::Unknown;
+  uint16_t Bits = 32;      ///< scalar width; pointer width for Pointer
+  bool PointeeConst = false;
+  CTypeId Pointee = NoCType;
+  std::string Name;        ///< struct tag / typedef name / semantic comment
+  std::vector<Field> Fields;        ///< Struct fields
+  std::vector<CTypeId> Members;     ///< Union members
+  std::vector<CTypeId> Params;      ///< Function parameters
+  std::vector<bool> ParamConst;     ///< per-parameter const annotation
+  CTypeId Return = NoCType;         ///< Function return type
+};
+
+/// Owns all CType nodes of one conversion.
+class CTypePool {
+public:
+  CTypeId make(CType T) {
+    Types.push_back(std::move(T));
+    return static_cast<CTypeId>(Types.size() - 1);
+  }
+
+  const CType &get(CTypeId Id) const { return Types[Id]; }
+  CType &get(CTypeId Id) { return Types[Id]; }
+  size_t size() const { return Types.size(); }
+
+  // Convenience constructors.
+  CTypeId voidType();
+  CTypeId intType(uint16_t Bits, bool Signed);
+  CTypeId floatType(uint16_t Bits);
+  CTypeId pointerTo(CTypeId Pointee, bool PointeeConst = false);
+  CTypeId typedefType(const std::string &Name, uint16_t Bits);
+  CTypeId unknownType(uint16_t Bits = 32);
+
+  /// Renders the type as a C declarator for \p VarName ("int x",
+  /// "const Struct_0 *p", "int (*f)(char*)").
+  std::string declare(CTypeId Id, const std::string &VarName) const;
+
+  /// Renders all struct definitions referenced (transitively) by \p Roots
+  /// as C typedefs, in dependency order.
+  std::string structDefinitions(const std::vector<CTypeId> &Roots) const;
+
+  /// Renders a function type as a C prototype.
+  std::string prototype(CTypeId Fn, const std::string &Name) const;
+
+private:
+  std::string typeName(CTypeId Id) const;
+
+  std::vector<CType> Types;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_CTYPES_CTYPE_H

@@ -1,0 +1,275 @@
+//===- Conversion.cpp - Sketch → C type policies (§4.3) --------------------===//
+
+#include "ctypes/Conversion.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace retypd;
+
+/// Maps a lattice mark to a scalar C type. Tags and typedef-like names keep
+/// their name as an annotation.
+CTypeId CTypeConverter::scalarFromMark(const Sketch::Node &N, uint16_t Bits) {
+  LatticeElem Mark = N.Mark;
+
+  // Incompatible bounds: union of the alternatives (Example 4.2).
+  if (Opts.EmitUnions && !N.Conflicts.empty()) {
+    CType U;
+    U.K = CType::Kind::Union;
+    for (LatticeElem E : N.Conflicts) {
+      Sketch::Node Alt;
+      Alt.Mark = E;
+      U.Members.push_back(scalarFromMark(Alt, Bits));
+    }
+    return Pool.make(std::move(U));
+  }
+
+  const std::string &Name = Mark == Lattice::Top || Mark == Lattice::Bottom
+                                ? std::string()
+                                : Lat.name(Mark);
+  auto Named = [&](CType::Kind K, uint16_t B) {
+    CType T;
+    T.K = K;
+    T.Bits = B;
+    return Pool.make(std::move(T));
+  };
+
+  if (Name.empty()) {
+    if (N.IntegerLike)
+      return Named(CType::Kind::Int, Bits);
+    return Pool.unknownType(Bits);
+  }
+
+  // Tags annotate their underlying scalar (rendered as `int /*#Tag*/`).
+  if (Lat.isTag(Mark)) {
+    CType T;
+    T.K = CType::Kind::Int;
+    T.Bits = Bits;
+    T.Name = Name;
+    return Pool.make(std::move(T));
+  }
+
+  if (Name == "int" || Name == "num32")
+    return Named(CType::Kind::Int, 32);
+  if (Name == "uint")
+    return Named(CType::Kind::UInt, 32);
+  if (Name == "int8" || Name == "num8")
+    return Named(CType::Kind::Int, 8);
+  if (Name == "uint8")
+    return Named(CType::Kind::UInt, 8);
+  if (Name == "char") {
+    CType T;
+    T.K = CType::Kind::Int;
+    T.Bits = 8;
+    T.Name = "char";
+    return Pool.make(std::move(T));
+  }
+  if (Name == "int16" || Name == "num16")
+    return Named(CType::Kind::Int, 16);
+  if (Name == "uint16")
+    return Named(CType::Kind::UInt, 16);
+  if (Name == "int64" || Name == "num64")
+    return Named(CType::Kind::Int, 64);
+  if (Name == "uint64")
+    return Named(CType::Kind::UInt, 64);
+  if (Name == "bool")
+    return Named(CType::Kind::Int, 8);
+  if (Name == "float")
+    return Pool.floatType(32);
+  if (Name == "double" || Name == "float-family")
+    return Pool.floatType(64);
+  if (Name == "str") {
+    CType Ch;
+    Ch.K = CType::Kind::Int;
+    Ch.Bits = 8;
+    Ch.Name = "char";
+    return Pool.pointerTo(Pool.make(std::move(Ch)));
+  }
+  // Everything else (HANDLE, FILE, size_t, LPARAM, ...) is an opaque
+  // typedef of the appropriate width.
+  return Pool.typedefType(Name, Bits);
+}
+
+CTypeId CTypeConverter::pointeeFor(const Sketch &S, uint32_t PointeeState,
+                                   uint32_t SecondaryState) {
+  auto It = StructCache.find(PointeeState);
+  if (It != StructCache.end())
+    return It->second;
+
+  // Re-entry through a cycle of single-field cells: materialize a named
+  // struct shell now; the outer invocation fills its fields.
+  if (!InProgress.insert(PointeeState).second) {
+    CType Shell;
+    Shell.K = CType::Kind::Struct;
+    Shell.Name = "Struct_" + std::to_string(NextStructId++);
+    CTypeId Id = Pool.make(std::move(Shell));
+    StructCache[PointeeState] = Id;
+    return Id;
+  }
+
+  // Collect σN@k fields from the primary (load) view, supplemented by the
+  // secondary (store) view: after parameter refinement the two views may
+  // have different field sets (the shape quotient only unifies them within
+  // one constraint solve).
+  std::vector<std::pair<int32_t, std::pair<uint16_t, uint32_t>>> Fields;
+  auto AddFields = [&](uint32_t State) {
+    if (State == 0xffffffffu)
+      return;
+    for (const auto &[L, Child] : S.node(State).Children) {
+      if (!L.isField())
+        continue;
+      bool Present = false;
+      for (const auto &F : Fields)
+        if (F.first == L.offset())
+          Present = true;
+      if (!Present)
+        Fields.push_back({L.offset(), {L.bits(), Child}});
+    }
+  };
+  AddFields(PointeeState);
+  AddFields(SecondaryState);
+  std::sort(Fields.begin(), Fields.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+
+  // A single field at offset 0 denotes a plain pointee, not a struct —
+  // unless the field's own subtree points back here (a recursive cell needs
+  // a named struct to be expressible in C).
+  if (Fields.empty()) {
+    CTypeId R = convertState(S, PointeeState, 32);
+    InProgress.erase(PointeeState);
+    return R;
+  }
+  if (Fields.size() == 1 && Fields[0].first == 0 &&
+      Fields[0].second.second != PointeeState) {
+    CTypeId Inner =
+        convertState(S, Fields[0].second.second, Fields[0].second.first);
+    InProgress.erase(PointeeState);
+    // A shell may have appeared while recursing (recursive chain): fill it.
+    auto Cycled = StructCache.find(PointeeState);
+    if (Cycled != StructCache.end()) {
+      Pool.get(Cycled->second).Fields = {CType::Field{0, Inner}};
+      return Cycled->second;
+    }
+    return Inner;
+  }
+
+  // General case: a named struct; memoize before filling so recursive
+  // references (lists, trees) resolve to the struct itself.
+  CTypeId Id;
+  auto Cycled = StructCache.find(PointeeState);
+  if (Cycled != StructCache.end()) {
+    Id = Cycled->second;
+  } else {
+    CType Shell;
+    Shell.K = CType::Kind::Struct;
+    Shell.Name = "Struct_" + std::to_string(NextStructId++);
+    Id = Pool.make(std::move(Shell));
+    StructCache[PointeeState] = Id;
+  }
+
+  std::vector<CType::Field> Built;
+  for (const auto &[Offset, BitsChild] : Fields) {
+    CType::Field F;
+    F.Offset = Offset;
+    F.Type = convertState(S, BitsChild.second, BitsChild.first);
+    Built.push_back(F);
+  }
+  Pool.get(Id).Fields = std::move(Built);
+  InProgress.erase(PointeeState);
+  return Id;
+}
+
+CTypeId CTypeConverter::convertState(const Sketch &S, uint32_t State,
+                                     uint16_t Bits) {
+  // Depth backstop for pathological sketches (e.g. function types cycling
+  // through their own parameters).
+  if (Depth > 64)
+    return Pool.unknownType(Bits);
+  struct DepthGuard {
+    unsigned &D;
+    ~DepthGuard() { --D; }
+  } Guard{++Depth};
+
+  const Sketch::Node &N = S.node(State);
+
+  // Function pointer: in/out capabilities below a load.
+  bool HasInOut = false;
+  for (const auto &[L, C] : N.Children)
+    if (L.isIn() || L.isOut())
+      HasInOut = true;
+
+  auto LoadIt = N.Children.find(Label::load());
+  auto StoreIt = N.Children.find(Label::store());
+  bool IsPointer = LoadIt != N.Children.end() || StoreIt != N.Children.end();
+
+  if (HasInOut && !IsPointer) {
+    // A code value: render as a function type (used behind pointers).
+    CType Fn;
+    Fn.K = CType::Kind::Function;
+    Fn.Return = Pool.voidType();
+    for (unsigned I = 0; I < Opts.MaxParams; ++I) {
+      auto PIt = N.Children.find(Label::in(I));
+      if (PIt == N.Children.end())
+        break;
+      Fn.Params.push_back(convertState(S, PIt->second, 32));
+      Fn.ParamConst.push_back(false);
+    }
+    auto OIt = N.Children.find(Label::out());
+    if (OIt != N.Children.end())
+      Fn.Return = convertState(S, OIt->second, 32);
+    return Pool.make(std::move(Fn));
+  }
+
+  if (IsPointer) {
+    uint32_t PointeeState =
+        LoadIt != N.Children.end() ? LoadIt->second : StoreIt->second;
+    uint32_t SecondaryState =
+        LoadIt != N.Children.end() && StoreIt != N.Children.end()
+            ? StoreIt->second
+            : 0xffffffffu;
+    CTypeId Pointee = pointeeFor(S, PointeeState, SecondaryState);
+
+    // Mixed pointer/integer evidence: a union of both views (§2.6).
+    if (Opts.EmitUnions && N.IntegerLike) {
+      CType U;
+      U.K = CType::Kind::Union;
+      U.Members.push_back(Pool.intType(Bits, /*Signed=*/true));
+      U.Members.push_back(Pool.pointerTo(Pointee));
+      return Pool.make(std::move(U));
+    }
+    // const pointee when the value is only ever loaded through (§6.4).
+    bool Const = Opts.InferConst && LoadIt != N.Children.end() &&
+                 StoreIt == N.Children.end();
+    return Pool.pointerTo(Pointee, Const);
+  }
+
+  return scalarFromMark(N, Bits);
+}
+
+CTypeId CTypeConverter::convertValue(const Sketch &S) {
+  StructCache.clear();
+  InProgress.clear();
+  return convertState(S, S.root(), Opts.PointerBits);
+}
+
+CTypeId CTypeConverter::convertFunction(const Sketch &S) {
+  StructCache.clear();
+  InProgress.clear();
+  const Sketch::Node &Root = S.node(S.root());
+
+  CType Fn;
+  Fn.K = CType::Kind::Function;
+  for (unsigned I = 0; I < Opts.MaxParams; ++I) {
+    auto It = Root.Children.find(Label::in(I));
+    if (It == Root.Children.end())
+      break;
+    CTypeId P = convertState(S, It->second, 32);
+    Fn.Params.push_back(P);
+    Fn.ParamConst.push_back(Pool.get(P).K == CType::Kind::Pointer &&
+                            Pool.get(P).PointeeConst);
+  }
+  auto OIt = Root.Children.find(Label::out());
+  Fn.Return = OIt != Root.Children.end() ? convertState(S, OIt->second, 32)
+                                         : Pool.voidType();
+  return Pool.make(std::move(Fn));
+}

@@ -1,0 +1,86 @@
+//===- Conversion.h - Sketch → C type policies (§4.3) ---------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heuristic final phase that downgrades sketches to human-readable C
+/// types (paper §4.3). The policies implemented here are:
+///
+///  - Pointer recovery: a node with .load/.store capabilities becomes a
+///    pointer; its pointee is a struct built from the σN@k fields, a scalar
+///    when only σN@0 exists, or an opaque unit.
+///  - Recursive structs: sketch states are memoized to struct definitions,
+///    so list/tree sketches roll back into `struct S { struct S *next; }`
+///    automatically (the reroll policy of Example G.3 falls out of the
+///    automaton representation).
+///  - const inference (§6.4, Example 4.1): a pointer parameter at location
+///    L is const when the solved sketch has F.inL.load but not F.inL.store.
+///  - Union resolution (Example 4.2): incompatible scalar bounds or mixed
+///    pointer/integer evidence produce a union of the alternatives.
+///  - Scalar naming: lattice marks map to C scalar names; semantic tags
+///    (#FileDescriptor) and API typedefs (HANDLE) are preserved as
+///    annotations, as in Figure 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_CTYPES_CONVERSION_H
+#define RETYPD_CTYPES_CONVERSION_H
+
+#include "core/Sketch.h"
+#include "ctypes/CType.h"
+
+#include <map>
+#include <set>
+
+namespace retypd {
+
+/// Tunable policy switches for the conversion phase.
+struct ConversionOptions {
+  bool InferConst = true;  ///< apply the §6.4 const policy
+  bool EmitUnions = true;  ///< apply the Example 4.2 union policy
+  uint16_t PointerBits = 32;
+  unsigned MaxParams = 16; ///< ignore absurd in-indices from bad IR
+};
+
+/// Converts solved sketches into C types within one CTypePool.
+class CTypeConverter {
+public:
+  CTypeConverter(CTypePool &Pool, const Lattice &Lat,
+                 ConversionOptions Opts = ConversionOptions())
+      : Pool(Pool), Lat(Lat), Opts(Opts) {}
+
+  /// Converts a procedure sketch (root has .in_i / .out children) into a
+  /// Function CType.
+  CTypeId convertFunction(const Sketch &S);
+
+  /// Converts a value sketch into the C type of the value itself.
+  CTypeId convertValue(const Sketch &S);
+
+  /// Number of struct definitions synthesized so far.
+  unsigned structCount() const { return NextStructId; }
+
+private:
+  CTypeId convertState(const Sketch &S, uint32_t State, uint16_t Bits);
+  CTypeId scalarFromMark(const Sketch::Node &N, uint16_t Bits);
+  CTypeId pointeeFor(const Sketch &S, uint32_t PointeeState,
+                     uint32_t SecondaryState = 0xffffffffu);
+
+  CTypePool &Pool;
+  const Lattice &Lat;
+  ConversionOptions Opts;
+  // Sketch state -> struct type (per convertFunction/convertValue call
+  // sequence; states from different sketches never collide because the
+  // cache is cleared per conversion).
+  std::map<uint32_t, CTypeId> StructCache;
+  // States currently being converted; a re-entry means a recursive type
+  // and forces materialization of a named struct.
+  std::set<uint32_t> InProgress;
+  unsigned Depth = 0;
+  unsigned NextStructId = 0;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_CTYPES_CONVERSION_H

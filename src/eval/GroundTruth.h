@@ -1,0 +1,44 @@
+//===- GroundTruth.h - Source-level truth for evaluation ------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declared source types for synthetic programs: the stand-in for the
+/// DWARF/PDB side channel of the paper's evaluation (§6.2). Ground truth is
+/// exact by construction — the synthesizer records the types it compiled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_EVAL_GROUNDTRUTH_H
+#define RETYPD_EVAL_GROUNDTRUTH_H
+
+#include "ctypes/CType.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace retypd {
+
+/// Declared types for one function.
+struct FuncTruth {
+  struct Param {
+    CTypeId Type = NoCType;
+    bool IsConstPtr = false; ///< `const T*` in the source
+  };
+  std::vector<Param> Params;
+  CTypeId Ret = NoCType;
+  bool HasRet = false;
+};
+
+/// Declared types for a whole synthetic program.
+struct GroundTruth {
+  CTypePool Pool;
+  std::map<std::string, FuncTruth> Funcs; // keyed by function name
+};
+
+} // namespace retypd
+
+#endif // RETYPD_EVAL_GROUNDTRUTH_H

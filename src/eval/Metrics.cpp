@@ -1,0 +1,336 @@
+//===- Metrics.cpp - TIE-style evaluation metrics ---------------------------===//
+
+#include "eval/Metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace retypd;
+
+void MetricSummary::merge(const MetricSummary &O) {
+  SumDistance += O.SumDistance;
+  SumInterval += O.SumInterval;
+  Conservative += O.Conservative;
+  Slots += O.Slots;
+  SumPtrAccuracy += O.SumPtrAccuracy;
+  PtrSlots += O.PtrSlots;
+  ConstTruth += O.ConstTruth;
+  ConstFound += O.ConstFound;
+}
+
+unsigned Evaluator::pointerLevels(const CTypePool &P, CTypeId T,
+                                  unsigned Depth) {
+  unsigned Levels = 0;
+  while (Depth-- > 0 && T != NoCType) {
+    const CType &Ty = P.get(T);
+    if (Ty.K == CType::Kind::Pointer) {
+      ++Levels;
+      T = Ty.Pointee;
+    } else if (Ty.K == CType::Kind::Struct && !Ty.Fields.empty() &&
+               Ty.Fields[0].Offset == 0) {
+      // Follow the leading field (physical subtyping view).
+      T = Ty.Fields[0].Type;
+    } else {
+      break;
+    }
+  }
+  return Levels;
+}
+
+double Evaluator::typeDistance(const CTypePool &PA, CTypeId A,
+                               const CTypePool &PB, CTypeId B,
+                               unsigned Depth) const {
+  if (Depth == 0)
+    return 0;
+  if (A == NoCType || B == NoCType)
+    return A == B ? 0 : 2;
+  const CType &TA = PA.get(A);
+  const CType &TB = PB.get(B);
+  using K = CType::Kind;
+
+  // Unions: best-matching member plus a small penalty.
+  if (TA.K == K::Union || TB.K == K::Union) {
+    const CType &U = TA.K == K::Union ? TA : TB;
+    const CTypePool &UP = TA.K == K::Union ? PA : PB;
+    CTypeId Other = TA.K == K::Union ? B : A;
+    const CTypePool &OP = TA.K == K::Union ? PB : PA;
+    double Best = 4;
+    for (CTypeId Mem : U.Members)
+      Best = std::min(Best,
+                      typeDistance(UP, Mem, OP, Other, Depth - 1));
+    return std::min(4.0, Best + 0.5);
+  }
+
+  if (TA.K == K::Unknown || TB.K == K::Unknown)
+    return 2;
+
+  if (TA.K == K::Pointer && TB.K == K::Pointer)
+    return 0.5 * typeDistance(PA, TA.Pointee, PB, TB.Pointee, Depth - 1);
+
+  if (TA.K == K::Struct && TB.K == K::Struct) {
+    // Field-wise average over the union of offsets; a missing field costs
+    // the maximum.
+    double Sum = 0;
+    unsigned N = 0;
+    auto FieldAt = [](const CType &T, int32_t Off) -> CTypeId {
+      for (const CType::Field &F : T.Fields)
+        if (F.Offset == Off)
+          return F.Type;
+      return NoCType;
+    };
+    std::vector<int32_t> Offsets;
+    for (const CType::Field &F : TA.Fields)
+      Offsets.push_back(F.Offset);
+    for (const CType::Field &F : TB.Fields)
+      if (std::find(Offsets.begin(), Offsets.end(), F.Offset) ==
+          Offsets.end())
+        Offsets.push_back(F.Offset);
+    for (int32_t Off : Offsets) {
+      CTypeId FA = FieldAt(TA, Off);
+      CTypeId FB = FieldAt(TB, Off);
+      Sum += (FA == NoCType || FB == NoCType)
+                 ? 4
+                 : typeDistance(PA, FA, PB, FB, Depth - 1);
+      ++N;
+    }
+    return N ? 0.5 * (Sum / N) : 0;
+  }
+
+  // A struct against the type of its first member (pointer-to-struct vs
+  // pointer-to-first-member, §2.4): compare through the leading field.
+  if (TA.K == K::Struct && !TA.Fields.empty() && TA.Fields[0].Offset == 0)
+    return std::min(4.0, 1 + typeDistance(PA, TA.Fields[0].Type, PB, B,
+                                          Depth - 1));
+  if (TB.K == K::Struct && !TB.Fields.empty() && TB.Fields[0].Offset == 0)
+    return std::min(4.0, 1 + typeDistance(PA, A, PB, TB.Fields[0].Type,
+                                          Depth - 1));
+
+  bool PtrA = TA.K == K::Pointer, PtrB = TB.K == K::Pointer;
+  if (PtrA != PtrB)
+    return 4;
+
+  if (TA.K == K::Function && TB.K == K::Function) {
+    double Sum = typeDistance(PA, TA.Return, PB, TB.Return, Depth - 1);
+    unsigned N = 1;
+    for (size_t I = 0; I < std::max(TA.Params.size(), TB.Params.size());
+         ++I) {
+      if (I >= TA.Params.size() || I >= TB.Params.size()) {
+        Sum += 4;
+      } else {
+        Sum += typeDistance(PA, TA.Params[I], PB, TB.Params[I], Depth - 1);
+      }
+      ++N;
+    }
+    return Sum / N;
+  }
+
+  // Scalars.
+  auto ScalarClass = [](const CType &T) {
+    switch (T.K) {
+    case K::Int:
+      return 0;
+    case K::UInt:
+      return 1;
+    case K::Float:
+      return 2;
+    case K::Typedef:
+      return 3;
+    case K::Void:
+      return 4;
+    default:
+      return 5;
+    }
+  };
+  if (TA.K == TB.K) {
+    if (TA.K == K::Typedef)
+      return TA.Name == TB.Name ? 0 : 1;
+    if (TA.Bits == TB.Bits) {
+      // Same kind and width; annotations (tags) may differ slightly.
+      return TA.Name == TB.Name ? 0 : 0.5;
+    }
+    return 1; // width mismatch within one kind
+  }
+  int CA = ScalarClass(TA), CB = ScalarClass(TB);
+  if ((CA == 0 && CB == 1) || (CA == 1 && CB == 0))
+    return TA.Bits == TB.Bits ? 1 : 1.5; // signedness mismatch
+  if (CA == 3 || CB == 3)
+    return 1.5; // typedef vs plain scalar
+  return 3;
+}
+
+double Evaluator::intervalSize(LatticeElem Lower, LatticeElem Upper) const {
+  if (Lower == Lattice::Bottom && Upper == Lattice::Top)
+    return 4;
+  if (Lower == Upper)
+    return 0;
+  if (!Lat.leq(Lower, Upper))
+    return 4; // inconsistent interval
+  // Fraction of the lattice spanned by the interval (a proxy for the
+  // stratified-lattice distance of TIE), scaled to [0, 4].
+  unsigned Between = 0;
+  for (LatticeElem E = 0; E < Lat.size(); ++E)
+    if (E != Lower && E != Upper && Lat.leq(Lower, E) && Lat.leq(E, Upper))
+      ++Between;
+  double Span = 4.0 * Between / std::max<double>(1.0, Lat.size() - 2.0);
+  return std::min(4.0, 0.5 + Span);
+}
+
+LatticeElem Evaluator::elemFor(const CTypePool &P, CTypeId T) const {
+  if (T == NoCType)
+    return Lattice::Top;
+  const CType &Ty = P.get(T);
+  auto Find = [&](const char *N) {
+    auto E = Lat.lookup(N);
+    return E ? *E : Lattice::Top;
+  };
+  switch (Ty.K) {
+  case CType::Kind::Int:
+    if (!Ty.Name.empty() && Ty.Name[0] == '#') {
+      auto E = Lat.lookup(Ty.Name);
+      if (E)
+        return *E;
+    }
+    return Ty.Bits == 32 ? Find("int")
+                         : Ty.Bits == 8 ? Find("int8")
+                                        : Ty.Bits == 16 ? Find("int16")
+                                                        : Find("int64");
+  case CType::Kind::UInt:
+    return Ty.Bits == 32 ? Find("uint") : Find("num32");
+  case CType::Kind::Float:
+    return Ty.Bits == 32 ? Find("float") : Find("double");
+  case CType::Kind::Typedef: {
+    auto E = Lat.lookup(Ty.Name);
+    return E ? *E : Lattice::Top;
+  }
+  default:
+    return Lattice::Top;
+  }
+}
+
+void Evaluator::scoreSlot(MetricSummary &S, const CTypePool &InfPool,
+                          CTypeId Inf, LatticeElem Lower, LatticeElem Upper,
+                          bool InfPointer, bool InfConst,
+                          const CTypePool &TruthPool, CTypeId Truth,
+                          bool TruthConst) const {
+  ++S.Slots;
+  S.SumDistance += typeDistance(InfPool, Inf, TruthPool, Truth);
+
+  bool TruthPtr = Truth != NoCType &&
+                  TruthPool.get(Truth).K == CType::Kind::Pointer;
+  bool InfIsPtr =
+      InfPointer ||
+      (Inf != NoCType && InfPool.get(Inf).K == CType::Kind::Pointer);
+
+  // Interval size: pointers with recovered structure count as tight.
+  if (TruthPtr || InfIsPtr)
+    S.SumInterval += InfIsPtr == TruthPtr ? intervalSize(Lower, Upper) * 0.25
+                                          : 4;
+  else
+    S.SumInterval += intervalSize(Lower, Upper);
+
+  // Conservativeness: the interval (or pointer claim) must overapproximate
+  // the truth.
+  bool Cons;
+  if (TruthPtr) {
+    // Claiming a scalar interval for a pointer is unsound unless the
+    // interval is uninformative.
+    Cons = InfIsPtr ||
+           (Lower == Lattice::Bottom && Upper == Lattice::Top);
+  } else {
+    LatticeElem T = elemFor(TruthPool, Truth);
+    Cons = !InfIsPtr && Lat.leq(Lower, T) && Lat.leq(T, Upper);
+    if (InfIsPtr)
+      Cons = false;
+  }
+  if (Cons)
+    ++S.Conservative;
+
+  // Multi-level pointer accuracy.
+  unsigned TruthLevels = pointerLevels(TruthPool, Truth);
+  if (TruthLevels > 0) {
+    ++S.PtrSlots;
+    unsigned InfLevels = pointerLevels(InfPool, Inf);
+    S.SumPtrAccuracy +=
+        double(std::min(InfLevels, TruthLevels)) / TruthLevels;
+  }
+
+  // const recall.
+  if (TruthConst) {
+    ++S.ConstTruth;
+    if (InfConst)
+      ++S.ConstFound;
+  }
+}
+
+MetricSummary Evaluator::scoreRetypd(const Module &M, const TypeReport &R,
+                                     const GroundTruth &Truth) const {
+  MetricSummary S;
+  for (uint32_t F = 0; F < M.Funcs.size(); ++F) {
+    auto TIt = Truth.Funcs.find(M.Funcs[F].Name);
+    const FunctionTypes *FT = R.typesOf(F);
+    if (TIt == Truth.Funcs.end() || !FT || FT->CType == NoCType)
+      continue;
+    const FuncTruth &FTruth = TIt->second;
+    const CType &Fn = R.Pool.get(FT->CType);
+
+    for (size_t K = 0; K < FTruth.Params.size(); ++K) {
+      CTypeId Inf = K < Fn.Params.size() ? Fn.Params[K] : NoCType;
+      bool InfConst = K < Fn.ParamConst.size() && Fn.ParamConst[K];
+      LatticeElem Lower = Lattice::Bottom, Upper = Lattice::Top;
+      bool Ptr = false;
+      auto InState =
+          FT->FuncSketch.stateAt(std::vector<Label>{Label::in(unsigned(K))});
+      if (InState) {
+        const Sketch::Node &N = FT->FuncSketch.node(*InState);
+        Lower = N.Lower;
+        Upper = N.Upper;
+        Ptr = N.PointerLike || N.Children.count(Label::load()) ||
+              N.Children.count(Label::store());
+      }
+      scoreSlot(S, R.Pool, Inf, Lower, Upper, Ptr, InfConst, Truth.Pool,
+                FTruth.Params[K].Type, FTruth.Params[K].IsConstPtr);
+    }
+    if (FTruth.HasRet) {
+      LatticeElem Lower = Lattice::Bottom, Upper = Lattice::Top;
+      bool Ptr = false;
+      auto OutState =
+          FT->FuncSketch.stateAt(std::vector<Label>{Label::out()});
+      if (OutState) {
+        const Sketch::Node &N = FT->FuncSketch.node(*OutState);
+        Lower = N.Lower;
+        Upper = N.Upper;
+        Ptr = N.PointerLike || N.Children.count(Label::load()) ||
+              N.Children.count(Label::store());
+      }
+      scoreSlot(S, R.Pool, Fn.Return, Lower, Upper, Ptr, false, Truth.Pool,
+                FTruth.Ret, false);
+    }
+  }
+  return S;
+}
+
+MetricSummary Evaluator::scoreBaseline(const Module &M,
+                                       const BaselineResult &R,
+                                       const GroundTruth &Truth) const {
+  MetricSummary S;
+  for (uint32_t F = 0; F < M.Funcs.size(); ++F) {
+    auto TIt = Truth.Funcs.find(M.Funcs[F].Name);
+    auto RIt = R.Funcs.find(F);
+    if (TIt == Truth.Funcs.end() || RIt == R.Funcs.end())
+      continue;
+    const FuncTruth &FTruth = TIt->second;
+    const BaselineFunc &BF = RIt->second;
+
+    for (size_t K = 0; K < FTruth.Params.size(); ++K) {
+      BaselineSlot Slot =
+          K < BF.Params.size() ? BF.Params[K] : BaselineSlot{};
+      scoreSlot(S, R.Pool, Slot.Type, Slot.Lower, Slot.Upper, Slot.Pointer,
+                Slot.IsConst, Truth.Pool, FTruth.Params[K].Type,
+                FTruth.Params[K].IsConstPtr);
+    }
+    if (FTruth.HasRet)
+      scoreSlot(S, R.Pool, BF.Ret.Type, BF.Ret.Lower, BF.Ret.Upper,
+                BF.Ret.Pointer, false, Truth.Pool, FTruth.Ret, false);
+  }
+  return S;
+}

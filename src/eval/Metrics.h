@@ -1,0 +1,100 @@
+//===- Metrics.h - TIE-style evaluation metrics ---------------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics of the paper's evaluation (§6.5, defined by Lee et al. and
+/// reused by SecondWrite and the paper):
+///
+///  - distance: lattice distance (0..4) between the displayed type and the
+///    declared type, with a recursive formula for pointers and structs;
+///  - interval size: distance between the inferred upper and lower bounds
+///    (0 = tight, 4 = no information);
+///  - conservativeness: does [lower, upper] overapproximate the truth;
+///  - multi-level pointer accuracy: fraction of declared pointer levels
+///    recovered;
+///  - const recall: recovered / declared `const` pointer parameters (§6.4).
+///
+/// One Evaluator instance scores one engine run against one ground truth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_EVAL_METRICS_H
+#define RETYPD_EVAL_METRICS_H
+
+#include "baseline/Baselines.h"
+#include "eval/GroundTruth.h"
+#include "frontend/Pipeline.h"
+
+#include <string>
+
+namespace retypd {
+
+/// Aggregated metric values over a set of typed slots.
+struct MetricSummary {
+  double SumDistance = 0;
+  double SumInterval = 0;
+  unsigned Conservative = 0;
+  unsigned Slots = 0;
+  double SumPtrAccuracy = 0;
+  unsigned PtrSlots = 0;
+  unsigned ConstTruth = 0;
+  unsigned ConstFound = 0;
+
+  double meanDistance() const { return Slots ? SumDistance / Slots : 0; }
+  double meanInterval() const { return Slots ? SumInterval / Slots : 0; }
+  double conservativeness() const {
+    return Slots ? double(Conservative) / Slots : 1;
+  }
+  double pointerAccuracy() const {
+    return PtrSlots ? SumPtrAccuracy / PtrSlots : 1;
+  }
+  double constRecall() const {
+    return ConstTruth ? double(ConstFound) / ConstTruth : 1;
+  }
+
+  void merge(const MetricSummary &O);
+};
+
+/// Scores engines against ground truth.
+class Evaluator {
+public:
+  Evaluator(const Lattice &Lat) : Lat(Lat) {}
+
+  /// Recursive TIE-style type distance in [0, 4].
+  double typeDistance(const CTypePool &PA, CTypeId A, const CTypePool &PB,
+                      CTypeId B, unsigned Depth = 4) const;
+
+  /// Lattice-interval size in [0, 4].
+  double intervalSize(LatticeElem Lower, LatticeElem Upper) const;
+
+  /// Scores a Retypd TypeReport for the functions present in \p Truth.
+  MetricSummary scoreRetypd(const Module &M, const TypeReport &R,
+                            const GroundTruth &Truth) const;
+
+  /// Scores a baseline result.
+  MetricSummary scoreBaseline(const Module &M, const BaselineResult &R,
+                              const GroundTruth &Truth) const;
+
+private:
+  /// Per-slot scoring shared by both adapters.
+  void scoreSlot(MetricSummary &S, const CTypePool &InfPool, CTypeId Inf,
+                 LatticeElem Lower, LatticeElem Upper, bool InfPointer,
+                 bool InfConst, const CTypePool &TruthPool, CTypeId Truth,
+                 bool TruthConst) const;
+
+  /// Scalar lattice element approximating a C type (for conservativeness).
+  LatticeElem elemFor(const CTypePool &P, CTypeId T) const;
+
+  /// Number of pointer levels of a type (int** = 2).
+  static unsigned pointerLevels(const CTypePool &P, CTypeId T,
+                                unsigned Depth = 8);
+
+  const Lattice &Lat;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_EVAL_METRICS_H

@@ -1,0 +1,159 @@
+//===- KnownFunctions.cpp - Pre-computed library schemes -------------------===//
+
+#include "frontend/KnownFunctions.h"
+
+#include <cassert>
+
+using namespace retypd;
+
+namespace {
+
+/// Small helper to assemble a scheme for one external.
+class SchemeBuilder {
+public:
+  SchemeBuilder(SymbolTable &Syms, const Lattice &Lat,
+                const std::string &Name)
+      : Lat(Lat) {
+    S.ProcVar = TypeVariable::var(Syms.intern(Name));
+  }
+
+  DerivedTypeVariable in(unsigned K, std::vector<Label> More = {}) {
+    std::vector<Label> W{Label::in(K)};
+    W.insert(W.end(), More.begin(), More.end());
+    return DerivedTypeVariable(S.ProcVar, std::move(W));
+  }
+  DerivedTypeVariable out(std::vector<Label> More = {}) {
+    std::vector<Label> W{Label::out()};
+    W.insert(W.end(), More.begin(), More.end());
+    return DerivedTypeVariable(S.ProcVar, std::move(W));
+  }
+  /// Marks parameter K as a string: bounded by `str` and readable.
+  void strParam(unsigned K) {
+    sub(in(K), this->k("str"));
+    var(in(K, {Label::load(), Label::field(8, 0)}));
+    sub(in(K, {Label::load(), Label::field(8, 0)}), this->k("char"));
+  }
+
+  DerivedTypeVariable k(const char *Name) {
+    auto E = Lat.lookup(Name);
+    assert(E && "unknown lattice constant in known-function table");
+    return DerivedTypeVariable(TypeVariable::constant(*E));
+  }
+
+  void sub(DerivedTypeVariable A, DerivedTypeVariable B) {
+    S.Constraints.addSubtype(std::move(A), std::move(B));
+  }
+  void var(DerivedTypeVariable V) { S.Constraints.addVar(std::move(V)); }
+
+  TypeScheme take() { return std::move(S); }
+
+private:
+  const Lattice &Lat;
+  TypeScheme S;
+};
+
+} // namespace
+
+void retypd::registerKnownFunctions(
+    Module &M, SymbolTable &Syms, const Lattice &Lat,
+    std::unordered_map<uint32_t, TypeScheme> &Schemes) {
+  for (uint32_t FId = 0; FId < M.Funcs.size(); ++FId) {
+    Function &F = M.Funcs[FId];
+    if (!F.IsExternal)
+      continue;
+    SchemeBuilder B(Syms, Lat, F.Name);
+    const std::string &N = F.Name;
+
+    if (N == "malloc" || N == "calloc") {
+      // ∀τ. size_t → τ* — the return stays free, so every callsite gets an
+      // independent pointee type (§2.2).
+      F.NumStackParams = N == "calloc" ? 2 : 1;
+      F.ReturnsValue = true;
+      B.sub(B.in(0), B.k("size_t"));
+      if (N == "calloc")
+        B.sub(B.in(1), B.k("size_t"));
+    } else if (N == "free") {
+      // ∀τ. τ* → void: the parameter is an (unconstrained) pointer.
+      F.NumStackParams = 1;
+      F.ReturnsValue = false;
+      B.var(B.in(0, {Label::load(), Label::field(8, 0)}));
+    } else if (N == "memcpy") {
+      // ∀α,β. (β <= α) ⇒ α* × β* × size_t → α* (§2.2).
+      F.NumStackParams = 3;
+      F.ReturnsValue = true;
+      B.sub(B.in(1, {Label::load(), Label::field(8, 0)}),
+            B.in(0, {Label::store(), Label::field(8, 0)}));
+      B.sub(B.in(2), B.k("size_t"));
+      B.sub(B.in(0), B.out());
+    } else if (N == "memset") {
+      F.NumStackParams = 3;
+      F.ReturnsValue = true;
+      B.var(B.in(0, {Label::store(), Label::field(8, 0)}));
+      B.sub(B.in(1), B.k("int"));
+      B.sub(B.in(2), B.k("size_t"));
+      B.sub(B.in(0), B.out());
+    } else if (N == "strlen") {
+      F.NumStackParams = 1;
+      F.ReturnsValue = true;
+      B.strParam(0);
+      B.sub(B.k("size_t"), B.out());
+    } else if (N == "atoi") {
+      F.NumStackParams = 1;
+      F.ReturnsValue = true;
+      B.strParam(0);
+      B.sub(B.k("int"), B.out());
+    } else if (N == "getenv") {
+      F.NumStackParams = 1;
+      F.ReturnsValue = true;
+      B.strParam(0);
+      B.sub(B.k("str"), B.out());
+    } else if (N == "open") {
+      F.NumStackParams = 2;
+      F.ReturnsValue = true;
+      B.strParam(0);
+      B.sub(B.in(1), B.k("int"));
+      B.sub(B.k("#FileDescriptor"), B.out());
+    } else if (N == "close") {
+      F.NumStackParams = 1;
+      F.ReturnsValue = true;
+      B.sub(B.in(0), B.k("#FileDescriptor"));
+      B.sub(B.in(0), B.k("int"));
+      B.sub(B.k("#SuccessZ"), B.out());
+    } else if (N == "read" || N == "write") {
+      F.NumStackParams = 3;
+      F.ReturnsValue = true;
+      B.sub(B.in(0), B.k("#FileDescriptor"));
+      if (N == "read")
+        B.var(B.in(1, {Label::store(), Label::field(8, 0)}));
+      else
+        B.var(B.in(1, {Label::load(), Label::field(8, 0)}));
+      B.sub(B.in(2), B.k("size_t"));
+      B.sub(B.k("int"), B.out());
+    } else if (N == "socket") {
+      F.NumStackParams = 3;
+      F.ReturnsValue = true;
+      for (unsigned K = 0; K < 3; ++K)
+        B.sub(B.in(K), B.k("int"));
+      B.sub(B.k("#SocketDescriptor"), B.out());
+    } else if (N == "signal") {
+      F.NumStackParams = 2;
+      F.ReturnsValue = true;
+      B.sub(B.in(0), B.k("#signal-number"));
+      B.sub(B.in(0), B.k("int"));
+    } else if (N == "fopen") {
+      F.NumStackParams = 2;
+      F.ReturnsValue = true;
+      B.strParam(0);
+      B.strParam(1);
+      B.sub(B.k("FILE"), B.out({Label::load(), Label::field(32, 0)}));
+    } else if (N == "fclose") {
+      F.NumStackParams = 1;
+      F.ReturnsValue = true;
+      B.sub(B.in(0, {Label::load(), Label::field(32, 0)}), B.k("FILE"));
+      B.sub(B.k("#SuccessZ"), B.out());
+    } else {
+      continue; // unknown external: interface must be set by the caller
+    }
+    Schemes.emplace(FId, B.take());
+  }
+}

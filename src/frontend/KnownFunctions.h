@@ -1,0 +1,37 @@
+//===- KnownFunctions.h - Pre-computed library schemes --------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pre-computed type schemes for externally linked functions (paper §4.2:
+/// "pre-computed type schemes for externally linked functions may be
+/// inserted at this stage"). Polymorphic signatures fall out naturally:
+/// malloc's scheme constrains only its size parameter, so each callsite's
+/// instantiation gets an independent return type — ∀τ. size_t → τ*.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_FRONTEND_KNOWNFUNCTIONS_H
+#define RETYPD_FRONTEND_KNOWNFUNCTIONS_H
+
+#include "core/ConstraintSet.h"
+#include "mir/MIR.h"
+
+#include <unordered_map>
+
+namespace retypd {
+
+/// For every external function of \p M with a known name, fills in its
+/// interface (parameter count, return flag) and inserts its type scheme
+/// into \p Schemes (keyed by function id).
+///
+/// Known functions: malloc, calloc, free, memcpy, memset, strlen, atoi,
+/// getenv, open, close, read, write, socket, signal, fopen, fclose.
+void registerKnownFunctions(Module &M, SymbolTable &Syms, const Lattice &Lat,
+                            std::unordered_map<uint32_t, TypeScheme> &Schemes);
+
+} // namespace retypd
+
+#endif // RETYPD_FRONTEND_KNOWNFUNCTIONS_H

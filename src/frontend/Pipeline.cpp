@@ -1,0 +1,174 @@
+//===- Pipeline.cpp - The end-to-end Retypd pipeline ------------------------===//
+
+#include "frontend/Pipeline.h"
+
+#include "absint/ConstraintGen.h"
+#include "analysis/CallGraph.h"
+#include "analysis/InterfaceRecovery.h"
+#include "frontend/KnownFunctions.h"
+
+#include <algorithm>
+
+using namespace retypd;
+
+TypeReport Pipeline::run(Module &M) {
+  TypeReport Report;
+  Report.Syms = std::make_shared<SymbolTable>();
+  SymbolTable &Syms = *Report.Syms;
+
+  // ---- Phase 0: IR-level interface recovery + library summaries ----
+  recoverInterfaces(M);
+  std::unordered_map<uint32_t, TypeScheme> Schemes;
+  registerKnownFunctions(M, Syms, Lat, Schemes);
+
+  CallGraph CG(M);
+  ConstraintGenerator Gen(Syms, Lat, M);
+  Simplifier Simp(Syms, Lat, Opts.Simplify);
+
+  // Cached per-SCC combined constraint sets for the solving phase.
+  std::vector<ConstraintSet> SccConstraints(CG.sccs().size());
+  std::vector<std::unordered_set<TypeVariable>> SccInteresting(
+      CG.sccs().size());
+
+  // ---- Phase 1: bottom-up scheme inference (Algorithm F.1) ----
+  for (uint32_t S : CG.bottomUp()) {
+    const std::vector<uint32_t> &Members = CG.sccs()[S];
+    std::set<uint32_t> Mates(Members.begin(), Members.end());
+
+    ConstraintSet Combined;
+    std::unordered_set<TypeVariable> Interesting;
+    for (uint32_t F : Members) {
+      if (M.Funcs[F].IsExternal)
+        continue;
+      GenResult R = Gen.generate(F, Schemes, Mates);
+      Combined.merge(R.C);
+      Interesting.insert(R.Interesting.begin(), R.Interesting.end());
+    }
+    Report.ConstraintsGenerated += Combined.size();
+
+    for (uint32_t F : Members) {
+      if (M.Funcs[F].IsExternal)
+        continue;
+      // The member's scheme keeps its SCC-mates and globals interesting.
+      std::unordered_set<TypeVariable> Keep = Interesting;
+      for (uint32_t Mate : Members)
+        if (Mate != F)
+          Keep.insert(Gen.procVar(Mate));
+      TypeScheme Scheme = Simp.simplify(Combined, Gen.procVar(F), Keep);
+      Schemes[F] = Scheme;
+      FunctionTypes &FT = Report.Funcs[F];
+      FT.Scheme = std::move(Scheme);
+      FT.NumParams =
+          M.Funcs[F].NumStackParams +
+          static_cast<unsigned>(M.Funcs[F].RegParams.size());
+    }
+    SccConstraints[S] = std::move(Combined);
+    SccInteresting[S] = std::move(Interesting);
+  }
+
+  // ---- Phase 2: top-down sketch solving (Algorithm F.2) ----
+  SketchSolver Solver(Lat);
+  // Join of actual-in/out sketches observed at callsites, per callee
+  // (Algorithm F.3 accumulators).
+  std::map<uint32_t, std::vector<Sketch>> ActualSketches;
+
+  for (uint32_t S : CG.topDown()) {
+    const std::vector<uint32_t> &Members = CG.sccs()[S];
+    const ConstraintSet &C = SccConstraints[S];
+    if (C.empty())
+      continue;
+
+    // Solve for the member procedure variables and for every callsite
+    // variable (needed for parameter refinement of callees).
+    std::vector<TypeVariable> Wanted;
+    std::vector<std::pair<uint32_t, TypeVariable>> CallsiteVars;
+    for (uint32_t F : Members) {
+      if (M.Funcs[F].IsExternal)
+        continue;
+      Wanted.push_back(Gen.procVar(F));
+      for (uint32_t Idx = 0; Idx < M.Funcs[F].Body.size(); ++Idx) {
+        const Instr &I = M.Funcs[F].Body[Idx];
+        if (I.Op != Opcode::Call || I.Target >= M.Funcs.size())
+          continue;
+        if (std::find(Members.begin(), Members.end(), I.Target) !=
+            Members.end())
+          continue;
+        SymbolId Sym;
+        std::string Name = M.Funcs[F].Name + "!" +
+                           M.Funcs[I.Target].Name + "@" +
+                           std::to_string(Idx);
+        if (!Syms.lookup(Name, Sym))
+          continue;
+        TypeVariable V = TypeVariable::var(Sym);
+        Wanted.push_back(V);
+        CallsiteVars.push_back({I.Target, V});
+      }
+    }
+
+    SketchSolution Sol = Solver.solve(C, Wanted);
+
+    for (uint32_t F : Members) {
+      if (M.Funcs[F].IsExternal)
+        continue;
+      Sketch Sk = Sol.sketchFor(Gen.procVar(F));
+
+      // ---- Algorithm F.3: refine formals by observed actuals ----
+      if (Opts.RefineParameters) {
+        auto It = ActualSketches.find(F);
+        if (It != ActualSketches.end() && !It->second.empty()) {
+          const FunctionTypes &FT = Report.Funcs[F];
+          for (unsigned K = 0; K < FT.NumParams; ++K) {
+            std::optional<Sketch> Acc;
+            for (const Sketch &CallSk : It->second) {
+              auto ActualIn = CallSk.subsketch(Label::in(K));
+              if (!ActualIn)
+                continue;
+              Acc = Acc ? Sketch::join(*Acc, *ActualIn, Lat)
+                        : std::move(*ActualIn);
+            }
+            if (!Acc)
+              continue;
+            auto FormalIn = Sk.subsketch(Label::in(K));
+            Sketch Refined = FormalIn ? Sketch::meet(*FormalIn, *Acc, Lat)
+                                      : std::move(*Acc);
+            Sk = Sk.withChild(Label::in(K), Refined);
+          }
+          // Outputs: the capabilities every caller exercises on the
+          // returned value specialize the (possibly fully polymorphic)
+          // return — how a malloc wrapper's ∀τ.τ* becomes a visible
+          // pointer (Example 4.3).
+          if (M.Funcs[F].ReturnsValue) {
+            std::optional<Sketch> AccOut;
+            for (const Sketch &CallSk : It->second) {
+              auto ActualOut = CallSk.subsketch(Label::out());
+              if (!ActualOut)
+                continue;
+              AccOut = AccOut ? Sketch::join(*AccOut, *ActualOut, Lat)
+                              : std::move(*ActualOut);
+            }
+            if (AccOut) {
+              auto FormalOut = Sk.subsketch(Label::out());
+              Sketch Refined = FormalOut
+                                   ? Sketch::meet(*FormalOut, *AccOut, Lat)
+                                   : std::move(*AccOut);
+              Sk = Sk.withChild(Label::out(), Refined);
+            }
+          }
+        }
+      }
+
+      Report.Funcs[F].FuncSketch = std::move(Sk);
+    }
+
+    // Record callsite sketches for later (deeper) SCCs.
+    for (const auto &[Callee, Var] : CallsiteVars)
+      ActualSketches[Callee].push_back(Sol.sketchFor(Var));
+  }
+
+  // ---- Phase 3: C type conversion (§4.3) ----
+  CTypeConverter Conv(Report.Pool, Lat, Opts.Conversion);
+  for (auto &[F, FT] : Report.Funcs)
+    FT.CType = Conv.convertFunction(FT.FuncSketch);
+
+  return Report;
+}

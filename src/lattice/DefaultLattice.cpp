@@ -1,0 +1,81 @@
+//===- DefaultLattice.cpp - The stock lattice of type constants ----------===//
+//
+// The default Λ mirrors the flavor of the paper's large auxiliary lattice
+// (§3.5): standard C scalar names, common typedefs from POSIX and Windows
+// APIs (modelling the ad-hoc typedef hierarchies of §2.8), and semantic tags
+// such as #FileDescriptor and #SuccessZ from Figure 2.
+//
+// The user-facing order is a tree under `top` (plus the implicit bottom), so
+// the structure is a lattice by construction; LatticeBuilder::build still
+// validates it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lattice/Lattice.h"
+
+#include <cassert>
+
+using namespace retypd;
+
+Lattice retypd::makeDefaultLattice() {
+  LatticeBuilder B;
+  const LatticeElem Top = Lattice::Top;
+
+  // Generic machine words. LPARAM/WPARAM-style typedefs are *supertypes* of
+  // the scalars they may carry (§2.8): they sit between `top` and the
+  // 32-bit numeric family.
+  LatticeElem Word32 = B.add("LPARAM", Top); // generic 32-bit value
+  LatticeElem Num32 = B.add("num32", Word32, /*Numeric=*/true);
+  LatticeElem Int32 = B.add("int", Num32);
+  LatticeElem UInt32 = B.add("uint", Num32);
+  B.add("WPARAM", Word32);
+
+  // Semantic tags from the paper sit under the scalar they refine.
+  B.add("#FileDescriptor", Int32);
+  B.add("#SuccessZ", Int32);
+  B.add("#SocketDescriptor", Int32);
+  B.add("#signal-number", Int32);
+  B.add("bool", Int32);
+
+  LatticeElem SizeT = B.add("size_t", UInt32);
+  B.add("#ByteCount", SizeT);
+  B.add("uintptr_t", UInt32);
+  B.add("DWORD", UInt32);
+
+  // Narrow and wide integers.
+  LatticeElem Num8 = B.add("num8", Top, /*Numeric=*/true);
+  B.add("int8", Num8);
+  LatticeElem UInt8 = B.add("uint8", Num8);
+  B.add("char", UInt8);
+  LatticeElem Num16 = B.add("num16", Top, /*Numeric=*/true);
+  B.add("int16", Num16);
+  B.add("uint16", Num16);
+  LatticeElem Num64 = B.add("num64", Top, /*Numeric=*/true);
+  B.add("int64", Num64);
+  B.add("uint64", Num64);
+
+  // Floating point.
+  LatticeElem Float = B.add("float-family", Top);
+  B.add("float", Float);
+  B.add("double", Float);
+
+  // Opaque handle typedefs (Windows-style ad-hoc hierarchy, §2.8):
+  // HGDI is a generic GDI handle with more specific handles below it.
+  LatticeElem Handle = B.add("HANDLE", Top);
+  LatticeElem HGdi = B.add("HGDI", Handle);
+  B.add("HBRUSH", HGdi);
+  B.add("HPEN", HGdi);
+  B.add("HWND", Handle);
+
+  // String-ish and file-ish opaque purposes used by known-function schemes.
+  B.add("str", Top);
+  B.add("FILE", Top);
+  B.add("code", Top);
+
+  Lattice L;
+  std::string Err;
+  bool Ok = B.build(L, Err);
+  assert(Ok && "default lattice must validate");
+  (void)Ok;
+  return L;
+}

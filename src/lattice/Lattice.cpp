@@ -1,0 +1,195 @@
+//===- Lattice.cpp - The auxiliary lattice Λ of type constants -----------===//
+
+#include "lattice/Lattice.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace retypd;
+
+std::optional<LatticeElem> Lattice::lookup(std::string_view Name) const {
+  auto It = ByName.find(std::string(Name));
+  if (It == ByName.end())
+    return std::nullopt;
+  return It->second;
+}
+
+const std::string &Lattice::name(LatticeElem E) const {
+  assert(E < Names.size() && "lattice element out of range");
+  return Names[E];
+}
+
+bool Lattice::leq(LatticeElem A, LatticeElem B) const {
+  assert(A < Names.size() && B < Names.size());
+  return upContains(A, B);
+}
+
+LatticeElem Lattice::join(LatticeElem A, LatticeElem B) const {
+  if (leq(A, B))
+    return B;
+  if (leq(B, A))
+    return A;
+  // The least element of upset(A) ∩ upset(B). Uniqueness was validated at
+  // build time, so the minimal common upper bound is unique.
+  LatticeElem Best = Top;
+  for (LatticeElem C = 0; C < Names.size(); ++C)
+    if (upContains(A, C) && upContains(B, C) && leq(C, Best))
+      Best = C;
+  return Best;
+}
+
+LatticeElem Lattice::meet(LatticeElem A, LatticeElem B) const {
+  if (leq(A, B))
+    return A;
+  if (leq(B, A))
+    return B;
+  LatticeElem Best = Bottom;
+  for (LatticeElem C = 0; C < Names.size(); ++C)
+    if (upContains(C, A) && upContains(C, B) && leq(Best, C))
+      Best = C;
+  return Best;
+}
+
+LatticeBuilder::LatticeBuilder() {
+  Names.emplace_back("top");
+  Parents.emplace_back();
+  Numeric.push_back(false);
+  Names.emplace_back("bottom");
+  Parents.emplace_back(); // Bottom's order is implicit: below everything.
+  Numeric.push_back(false);
+}
+
+LatticeElem LatticeBuilder::add(std::string_view Name, LatticeElem Parent,
+                                bool IsNumeric) {
+  return addMultiParent(Name, {Parent}, IsNumeric);
+}
+
+LatticeElem
+LatticeBuilder::addMultiParent(std::string_view Name,
+                               const std::vector<LatticeElem> &Ps,
+                               bool IsNumeric) {
+  assert(!Ps.empty() && "element needs at least one parent");
+  for (LatticeElem P : Ps) {
+    assert(P < Names.size() && "parent must be added first");
+    assert(P != Lattice::Bottom && "nothing may sit below bottom");
+    (void)P;
+  }
+  LatticeElem Id = static_cast<LatticeElem>(Names.size());
+  Names.emplace_back(Name);
+  Parents.push_back(Ps);
+  // Numeric-ness is inherited from any numeric parent.
+  bool Flag = IsNumeric;
+  for (LatticeElem P : Ps)
+    Flag = Flag || Numeric[P];
+  Numeric.push_back(Flag);
+  return Id;
+}
+
+bool LatticeBuilder::build(Lattice &Out, std::string &Err) const {
+  size_t N = Names.size();
+  size_t Words = (N + 63) / 64;
+
+  // Detect duplicate names.
+  {
+    std::unordered_map<std::string, LatticeElem> Seen;
+    for (LatticeElem E = 0; E < N; ++E) {
+      auto [It, Inserted] = Seen.emplace(Names[E], E);
+      (void)It;
+      if (!Inserted) {
+        Err = "duplicate lattice element name: " + Names[E];
+        return false;
+      }
+    }
+  }
+
+  // Compute up-sets by transitive closure over parent edges. Elements were
+  // appended parents-first, so a reverse sweep reaches a fixpoint... except
+  // that ids are increasing, so a single forward pass (parents have smaller
+  // ids) suffices.
+  std::vector<std::vector<uint64_t>> Up(N, std::vector<uint64_t>(Words, 0));
+  auto Set = [&](std::vector<uint64_t> &BS, LatticeElem B) {
+    BS[B >> 6] |= uint64_t(1) << (B & 63);
+  };
+  auto Get = [&](const std::vector<uint64_t> &BS, LatticeElem B) {
+    return (BS[B >> 6] >> (B & 63)) & 1;
+  };
+
+  Set(Up[Lattice::Top], Lattice::Top);
+  for (LatticeElem E = 2; E < N; ++E) {
+    Set(Up[E], E);
+    for (LatticeElem P : Parents[E]) {
+      assert(P < E && "parents must precede children");
+      for (size_t W = 0; W < Words; ++W)
+        Up[E][W] |= Up[P][W];
+    }
+  }
+  // Bottom is below everything: its up-set is all elements.
+  for (size_t W = 0; W < Words; ++W)
+    Up[Lattice::Bottom][W] = ~uint64_t(0);
+  if (N % 64 != 0)
+    Up[Lattice::Bottom][Words - 1] = (uint64_t(1) << (N % 64)) - 1;
+
+  auto Leq = [&](LatticeElem A, LatticeElem B) { return Get(Up[A], B) != 0; };
+
+  // Validate unique lub/glb for every pair. With a tree-plus-bottom this is
+  // automatic, but multi-parent elements can break it.
+  for (LatticeElem A = 0; A < N; ++A) {
+    for (LatticeElem B = A + 1; B < N; ++B) {
+      if (Leq(A, B) || Leq(B, A))
+        continue;
+      // Minimal common upper bounds.
+      unsigned MinUpper = 0;
+      for (LatticeElem C = 0; C < N; ++C) {
+        if (!(Leq(A, C) && Leq(B, C)))
+          continue;
+        bool Minimal = true;
+        for (LatticeElem D = 0; D < N && Minimal; ++D)
+          if (D != C && Leq(A, D) && Leq(B, D) && Leq(D, C))
+            Minimal = false;
+        if (Minimal)
+          ++MinUpper;
+      }
+      if (MinUpper != 1) {
+        Err = "no unique join for '" + Names[A] + "' and '" + Names[B] + "'";
+        return false;
+      }
+      unsigned MaxLower = 0;
+      for (LatticeElem C = 0; C < N; ++C) {
+        if (!(Leq(C, A) && Leq(C, B)))
+          continue;
+        bool Maximal = true;
+        for (LatticeElem D = 0; D < N && Maximal; ++D)
+          if (D != C && Leq(D, A) && Leq(D, B) && Leq(C, D))
+            Maximal = false;
+        if (Maximal)
+          ++MaxLower;
+      }
+      if (MaxLower != 1) {
+        Err = "no unique meet for '" + Names[A] + "' and '" + Names[B] + "'";
+        return false;
+      }
+    }
+  }
+
+  // Height: longest chain, computed as longest path over the <= DAG.
+  std::vector<unsigned> Depth(N, 1);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (LatticeElem A = 0; A < N; ++A)
+      for (LatticeElem B = 0; B < N; ++B)
+        if (A != B && Leq(A, B) && Depth[B] < Depth[A] + 1) {
+          Depth[B] = Depth[A] + 1;
+          Changed = true;
+        }
+  }
+
+  Out.Names = Names;
+  Out.UpSets = std::move(Up);
+  Out.ByName.clear();
+  for (LatticeElem E = 0; E < N; ++E)
+    Out.ByName.emplace(Names[E], E);
+  Out.NumericFlags = Numeric;
+  Out.Height = *std::max_element(Depth.begin(), Depth.end());
+  return true;
+}

@@ -1,0 +1,138 @@
+//===- Lattice.h - The auxiliary lattice Λ of type constants --*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The customizable lattice Λ of atomic type constants (paper §2.8, §3.5,
+/// Appendix E). Elements are symbolic names — C scalar type names, API
+/// typedefs such as HANDLE, and user-defined semantic tags such as
+/// #FileDescriptor. Sketch nodes are decorated with Λ elements, and the
+/// constraint solver reduces satisfiability to scalar comparisons in Λ.
+///
+/// The lattice is built once through LatticeBuilder and immutable afterward;
+/// meet/join/leq queries are O(number of elements) bitset scans.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_LATTICE_LATTICE_H
+#define RETYPD_LATTICE_LATTICE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace retypd {
+
+/// Dense id of a lattice element. Id 0 is always Top and id 1 always Bottom.
+using LatticeElem = uint32_t;
+
+/// An immutable finite lattice of type constants.
+///
+/// Invariants established by LatticeBuilder::build():
+///  - element 0 is Top, element 1 is Bottom;
+///  - every element is <= Top and >= Bottom;
+///  - every pair of elements has a unique least upper bound and a unique
+///    greatest lower bound (checked at build time).
+class Lattice {
+public:
+  static constexpr LatticeElem Top = 0;
+  static constexpr LatticeElem Bottom = 1;
+
+  /// Returns the element named \p Name, if any.
+  std::optional<LatticeElem> lookup(std::string_view Name) const;
+
+  /// Returns the name of \p E.
+  const std::string &name(LatticeElem E) const;
+
+  /// Partial order query: is \p A <= \p B?
+  bool leq(LatticeElem A, LatticeElem B) const;
+
+  /// Least upper bound.
+  LatticeElem join(LatticeElem A, LatticeElem B) const;
+
+  /// Greatest lower bound.
+  LatticeElem meet(LatticeElem A, LatticeElem B) const;
+
+  /// True for user-defined semantic tags (names starting with '#').
+  bool isTag(LatticeElem E) const { return name(E)[0] == '#'; }
+
+  /// True for elements marked numeric at build time (or below one that is).
+  /// Drives the ADD/SUB pointer-vs-integer propagation of Appendix A.6.
+  bool isNumeric(LatticeElem E) const { return NumericFlags[E]; }
+
+  size_t size() const { return Names.size(); }
+
+  /// Height of the lattice (longest chain), useful for fixpoint bounds.
+  unsigned height() const { return Height; }
+
+private:
+  friend class LatticeBuilder;
+
+  // Leq[A] is a bitset (as vector<uint64_t>) of all B with A <= B.
+  std::vector<std::string> Names;
+  std::vector<std::vector<uint64_t>> UpSets;
+  std::unordered_map<std::string, LatticeElem> ByName;
+  std::vector<bool> NumericFlags;
+  unsigned Height = 1;
+
+  bool upContains(LatticeElem A, LatticeElem B) const {
+    return (UpSets[A][B >> 6] >> (B & 63)) & 1;
+  }
+};
+
+/// Incrementally describes a lattice, then validates and freezes it.
+///
+/// Usage:
+/// \code
+///   LatticeBuilder B;
+///   LatticeElem Num = B.add("num32", Lattice::Top);
+///   LatticeElem Int = B.add("int32", Num);
+///   B.add("#FileDescriptor", Int);
+///   Lattice L;
+///   std::string Err;
+///   bool Ok = B.build(L, Err);
+/// \endcode
+class LatticeBuilder {
+public:
+  LatticeBuilder();
+
+  /// Adds an element under a single parent. Because the user-facing order is
+  /// a tree rooted at Top (plus the implicit Bottom below everything), the
+  /// result is guaranteed to be a lattice. \p Numeric marks the element (and
+  /// implicitly everything later added below it) as integer-like.
+  LatticeElem add(std::string_view Name, LatticeElem Parent,
+                  bool Numeric = false);
+
+  /// Adds an element with several parents. The build() call verifies that
+  /// unique meets and joins still exist.
+  LatticeElem addMultiParent(std::string_view Name,
+                             const std::vector<LatticeElem> &Parents,
+                             bool Numeric = false);
+
+  /// Validates lattice laws and freezes the result into \p Out. On failure
+  /// returns false and describes the offending pair in \p Err.
+  bool build(Lattice &Out, std::string &Err) const;
+
+  /// Number of elements added so far (including Top and Bottom).
+  size_t size() const { return Names.size(); }
+
+private:
+  std::vector<std::string> Names;
+  std::vector<std::vector<LatticeElem>> Parents;
+  std::vector<bool> Numeric;
+};
+
+/// Builds the default lattice used throughout the reproduction: C scalar
+/// types, common POSIX/Windows typedefs, and the semantic tags appearing in
+/// the paper (#FileDescriptor, #SuccessZ, ...). See DefaultLattice.cpp for
+/// the full inventory.
+Lattice makeDefaultLattice();
+
+} // namespace retypd
+
+#endif // RETYPD_LATTICE_LATTICE_H

@@ -1,0 +1,366 @@
+//===- BinaryImage.cpp - Flat binary encode / decode / disassemble ---------===//
+
+#include "loader/BinaryImage.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <set>
+
+using namespace retypd;
+
+namespace {
+
+void putU32(std::vector<uint8_t> &B, uint32_t V) {
+  B.push_back(V & 0xff);
+  B.push_back((V >> 8) & 0xff);
+  B.push_back((V >> 16) & 0xff);
+  B.push_back((V >> 24) & 0xff);
+}
+
+uint32_t getU32(const std::vector<uint8_t> &B, size_t Off) {
+  return uint32_t(B[Off]) | uint32_t(B[Off + 1]) << 8 |
+         uint32_t(B[Off + 2]) << 16 | uint32_t(B[Off + 3]) << 24;
+}
+
+constexpr uint8_t GlobalBaseMarker = 0xfe;
+
+} // namespace
+
+EncodedImage retypd::encodeModule(const Module &M) {
+  EncodedImage Out;
+
+  // Assign addresses: imports first (synthetic thunk addresses), then code
+  // laid out contiguously, then data.
+  std::vector<uint32_t> FuncAddr(M.Funcs.size(), 0);
+  uint32_t NextImport = ImageLayout::ImportBase;
+  uint32_t NextCode = ImageLayout::CodeBase;
+  for (size_t F = 0; F < M.Funcs.size(); ++F) {
+    if (M.Funcs[F].IsExternal) {
+      FuncAddr[F] = NextImport;
+      NextImport += ImageLayout::InstrBytes;
+    } else {
+      FuncAddr[F] = NextCode;
+      NextCode += static_cast<uint32_t>(M.Funcs[F].Body.size()) *
+                  ImageLayout::InstrBytes;
+    }
+    Out.FunctionAddrs[M.Funcs[F].Name] = FuncAddr[F];
+  }
+  std::vector<uint32_t> GlobalAddr(M.Globals.size(), 0);
+  uint32_t NextData = ImageLayout::DataBase;
+  for (size_t G = 0; G < M.Globals.size(); ++G) {
+    GlobalAddr[G] = NextData;
+    NextData += std::max<uint32_t>(4, M.Globals[G].Size);
+    Out.GlobalAddrs[M.Globals[G].Name] = GlobalAddr[G];
+  }
+
+  // Header: magic, entry address, import count, code bytes, data bytes.
+  std::vector<uint8_t> &B = Out.Bytes;
+  putU32(B, ImageLayout::Magic);
+  putU32(B, FuncAddr[M.EntryFunc]);
+  uint32_t NumImports = 0;
+  for (const Function &F : M.Funcs)
+    NumImports += F.IsExternal;
+  putU32(B, NumImports);
+  putU32(B, NextCode - ImageLayout::CodeBase);
+  putU32(B, NextData - ImageLayout::DataBase);
+
+  // Import table: address + name (real binaries keep import names).
+  for (size_t F = 0; F < M.Funcs.size(); ++F) {
+    if (!M.Funcs[F].IsExternal)
+      continue;
+    putU32(B, FuncAddr[F]);
+    putU32(B, static_cast<uint32_t>(M.Funcs[F].Name.size()));
+    for (char C : M.Funcs[F].Name)
+      B.push_back(static_cast<uint8_t>(C));
+  }
+
+  // Code.
+  for (size_t F = 0; F < M.Funcs.size(); ++F) {
+    const Function &Fn = M.Funcs[F];
+    if (Fn.IsExternal)
+      continue;
+    for (const Instr &I : Fn.Body) {
+      B.push_back(static_cast<uint8_t>(I.Op));
+      B.push_back(static_cast<uint8_t>(I.Dst));
+      B.push_back(static_cast<uint8_t>(I.Src));
+      B.push_back(static_cast<uint8_t>(I.CC));
+      // Memory base: register id, or GlobalBaseMarker for data refs.
+      if (I.Mem.isGlobal()) {
+        B.push_back(GlobalBaseMarker);
+      } else {
+        B.push_back(static_cast<uint8_t>(I.Mem.Base));
+      }
+      B.push_back(I.Mem.Size);
+      B.push_back(0);
+      B.push_back(0);
+      putU32(B, static_cast<uint32_t>(I.Imm));
+
+      // Target word: branch -> absolute code address; call -> callee
+      // address; global memory/addr -> data address (+Disp folded in by
+      // the decoder); reg memory -> displacement.
+      uint32_t T = 0;
+      switch (I.Op) {
+      case Opcode::Jmp:
+      case Opcode::Jcc:
+        T = FuncAddr[F] + I.Target * ImageLayout::InstrBytes;
+        break;
+      case Opcode::Call:
+        T = FuncAddr[I.Target];
+        break;
+      case Opcode::MovGlobal:
+        T = GlobalAddr[I.Target];
+        break;
+      case Opcode::Load:
+      case Opcode::Store:
+      case Opcode::StoreImm:
+      case Opcode::Lea:
+        T = I.Mem.isGlobal()
+                ? GlobalAddr[I.Mem.GlobalSym] + static_cast<uint32_t>(I.Mem.Disp)
+                : static_cast<uint32_t>(I.Mem.Disp);
+        break;
+      default:
+        break;
+      }
+      putU32(B, T);
+    }
+  }
+  return Out;
+}
+
+std::optional<Module>
+retypd::decodeImage(const std::vector<uint8_t> &Bytes, DecodeReport &Report) {
+  if (Bytes.size() < 20 || getU32(Bytes, 0) != ImageLayout::Magic) {
+    Report.Error = "bad magic or truncated header";
+    return std::nullopt;
+  }
+  uint32_t EntryAddr = getU32(Bytes, 4);
+  uint32_t NumImports = getU32(Bytes, 8);
+  uint32_t CodeBytes = getU32(Bytes, 12);
+  uint32_t DataBytes = getU32(Bytes, 16);
+
+  Module M;
+
+  // Import table.
+  size_t Off = 20;
+  std::map<uint32_t, uint32_t> FuncIdByAddr; // address -> module func id
+  for (uint32_t I = 0; I < NumImports; ++I) {
+    if (Off + 8 > Bytes.size()) {
+      Report.Error = "truncated import table";
+      return std::nullopt;
+    }
+    uint32_t Addr = getU32(Bytes, Off);
+    uint32_t Len = getU32(Bytes, Off + 4);
+    Off += 8;
+    if (Off + Len > Bytes.size() || Len > 4096) {
+      Report.Error = "truncated import name";
+      return std::nullopt;
+    }
+    Function F;
+    F.Name.assign(reinterpret_cast<const char *>(&Bytes[Off]), Len);
+    F.IsExternal = true;
+    Off += Len;
+    FuncIdByAddr[Addr] = M.addFunction(std::move(F));
+    ++Report.ImportsResolved;
+  }
+
+  size_t CodeOff = Off;
+  if (CodeOff + CodeBytes > Bytes.size()) {
+    Report.Error = "truncated code section";
+    return std::nullopt;
+  }
+  uint32_t NumInstrs = CodeBytes / ImageLayout::InstrBytes;
+
+  // Synthesize data symbols: one per 4-byte data cell would be noise; the
+  // disassembler instead synthesizes one symbol per *referenced* address,
+  // which mirrors how real IR recovery delineates globals on demand.
+  std::map<uint32_t, uint32_t> GlobalIdByAddr;
+  auto GlobalFor = [&](uint32_t Addr) -> uint32_t {
+    auto It = GlobalIdByAddr.find(Addr);
+    if (It != GlobalIdByAddr.end())
+      return It->second;
+    GlobalVar G;
+    G.Name = "g_" + std::to_string(Addr - ImageLayout::DataBase);
+    G.Size = 4;
+    uint32_t Id = M.addGlobal(std::move(G));
+    GlobalIdByAddr[Addr] = Id;
+    return Id;
+  };
+
+  auto DecodeAt = [&](uint32_t InstrIdx, Instr &I) -> bool {
+    size_t P = CodeOff + size_t(InstrIdx) * ImageLayout::InstrBytes;
+    uint8_t Op = Bytes[P];
+    if (Op > static_cast<uint8_t>(Opcode::Nop))
+      return false;
+    I.Op = static_cast<Opcode>(Op);
+    uint8_t D = Bytes[P + 1], S = Bytes[P + 2], CC = Bytes[P + 3];
+    uint8_t MemBase = Bytes[P + 4], MemSize = Bytes[P + 5];
+    if (D > static_cast<uint8_t>(Reg::None) ||
+        S > static_cast<uint8_t>(Reg::None))
+      return false;
+    if (CC > static_cast<uint8_t>(Cond::Gt))
+      return false;
+    I.Dst = static_cast<Reg>(D);
+    I.Src = static_cast<Reg>(S);
+    I.CC = static_cast<Cond>(CC);
+    I.Imm = static_cast<int32_t>(getU32(Bytes, P + 8));
+    I.Target = getU32(Bytes, P + 12);
+    I.Mem = MemRef{};
+    bool UsesMem = I.Op == Opcode::Load || I.Op == Opcode::Store ||
+                   I.Op == Opcode::StoreImm || I.Op == Opcode::Lea;
+    if (UsesMem) {
+      if (MemSize != 1 && MemSize != 2 && MemSize != 4 && MemSize != 8)
+        return false;
+      I.Mem.Size = MemSize;
+      if (MemBase == GlobalBaseMarker) {
+        if (I.Target < ImageLayout::DataBase ||
+            I.Target >= ImageLayout::DataBase + DataBytes)
+          return false;
+        I.Mem.Base = Reg::None;
+        I.Mem.GlobalSym = GlobalFor(I.Target);
+        I.Mem.Disp = 0;
+      } else {
+        if (MemBase >= NumRegs)
+          return false;
+        I.Mem.Base = static_cast<Reg>(MemBase);
+        I.Mem.Disp = static_cast<int32_t>(I.Target);
+      }
+    }
+    return true;
+  };
+
+  // Recursive descent: discover function entries from the image entry and
+  // call targets; within a function, follow branches.
+  std::deque<uint32_t> FuncWork{EntryAddr};
+  std::set<uint32_t> FuncSeen{EntryAddr};
+
+  auto AddrToIdx = [&](uint32_t Addr) -> std::optional<uint32_t> {
+    if (Addr < ImageLayout::CodeBase)
+      return std::nullopt;
+    uint32_t Rel = Addr - ImageLayout::CodeBase;
+    if (Rel % ImageLayout::InstrBytes != 0)
+      return std::nullopt;
+    uint32_t Idx = Rel / ImageLayout::InstrBytes;
+    if (Idx >= NumInstrs)
+      return std::nullopt;
+    return Idx;
+  };
+
+  struct PendingCall {
+    uint32_t FuncId;
+    uint32_t InstrIdx;
+    uint32_t TargetAddr;
+  };
+  std::vector<PendingCall> Calls;
+
+  while (!FuncWork.empty()) {
+    uint32_t Entry = FuncWork.front();
+    FuncWork.pop_front();
+    auto EntryIdx = AddrToIdx(Entry);
+    if (!EntryIdx) {
+      ++Report.BadInstructions;
+      continue;
+    }
+
+    // Explore intra-procedural flow; collect the reachable index range.
+    std::set<uint32_t> Visited;
+    std::deque<uint32_t> Work{*EntryIdx};
+    bool Bad = false;
+    while (!Work.empty()) {
+      uint32_t Idx = Work.front();
+      Work.pop_front();
+      if (!Visited.insert(Idx).second)
+        continue;
+      Instr I;
+      if (Idx >= NumInstrs || !DecodeAt(Idx, I)) {
+        ++Report.BadInstructions;
+        Bad = true;
+        Visited.erase(Idx);
+        continue;
+      }
+      switch (I.Op) {
+      case Opcode::Jmp:
+      case Opcode::Jcc: {
+        auto T = AddrToIdx(I.Target);
+        if (T)
+          Work.push_back(*T);
+        else
+          ++Report.BadInstructions;
+        if (I.Op == Opcode::Jcc)
+          Work.push_back(Idx + 1);
+        break;
+      }
+      case Opcode::Ret:
+      case Opcode::Halt:
+        break;
+      default:
+        Work.push_back(Idx + 1);
+        break;
+      }
+    }
+    (void)Bad;
+    if (Visited.empty())
+      continue;
+
+    // Function extent: contiguous [min, max] of visited instructions
+    // (unvisited gaps become nops — alignment padding in real binaries).
+    uint32_t Lo = *Visited.begin();
+    uint32_t Hi = *Visited.rbegin();
+    Function Fn;
+    Fn.Name = "sub_" +
+              std::to_string(ImageLayout::CodeBase +
+                             Lo * ImageLayout::InstrBytes);
+    uint32_t FnId = M.addFunction(std::move(Fn));
+    Function &F = M.Funcs[FnId];
+    FuncIdByAddr[ImageLayout::CodeBase + Lo * ImageLayout::InstrBytes] =
+        FnId;
+    for (uint32_t Idx = Lo; Idx <= Hi; ++Idx) {
+      Instr I;
+      if (!Visited.count(Idx) || !DecodeAt(Idx, I)) {
+        I = Instr{};
+        I.Op = Opcode::Nop;
+      }
+      // Rewrite branch targets to local indices.
+      if (I.isBranch()) {
+        auto T = AddrToIdx(I.Target);
+        I.Target = T && *T >= Lo && *T <= Hi ? *T - Lo : 0;
+      } else if (I.Op == Opcode::Call) {
+        Calls.push_back({FnId, static_cast<uint32_t>(F.Body.size()),
+                         I.Target});
+        // Imports are already registered; only code addresses need
+        // traversal.
+        if (!FuncIdByAddr.count(I.Target) &&
+            FuncSeen.insert(I.Target).second)
+          FuncWork.push_back(I.Target);
+      } else if (I.Op == Opcode::MovGlobal) {
+        if (I.Target >= ImageLayout::DataBase &&
+            I.Target < ImageLayout::DataBase + DataBytes) {
+          I.Target = GlobalFor(I.Target);
+        } else {
+          ++Report.BadInstructions;
+          I.Op = Opcode::Nop;
+        }
+      }
+      F.Body.push_back(I);
+    }
+    ++Report.FunctionsDiscovered;
+  }
+
+  // Resolve call targets to function ids. Calls into the middle of a
+  // discovered function (or to garbage) are left dangling as Nop.
+  for (const PendingCall &C : Calls) {
+    auto It = FuncIdByAddr.find(C.TargetAddr);
+    if (It != FuncIdByAddr.end()) {
+      M.Funcs[C.FuncId].Body[C.InstrIdx].Target = It->second;
+    } else {
+      M.Funcs[C.FuncId].Body[C.InstrIdx] = Instr{}; // nop out
+      ++Report.BadInstructions;
+    }
+  }
+
+  // Entry: the function discovered first from EntryAddr.
+  auto EntryIt = FuncIdByAddr.find(EntryAddr);
+  M.EntryFunc = EntryIt != FuncIdByAddr.end() ? EntryIt->second : 0;
+  return M;
+}

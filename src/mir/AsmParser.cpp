@@ -1,0 +1,431 @@
+//===- AsmParser.cpp - Textual assembly front end ---------------------------===//
+
+#include "mir/AsmParser.h"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <vector>
+
+using namespace retypd;
+
+namespace {
+
+struct PendingBranch {
+  size_t InstrIdx;
+  std::string Label;
+  unsigned LineNo;
+};
+
+std::string_view trim(std::string_view S) {
+  while (!S.empty() && std::isspace(static_cast<unsigned char>(S.front())))
+    S.remove_prefix(1);
+  while (!S.empty() && std::isspace(static_cast<unsigned char>(S.back())))
+    S.remove_suffix(1);
+  return S;
+}
+
+bool parseImm(std::string_view S, int32_t &Out) {
+  S = trim(S);
+  if (S.empty())
+    return false;
+  int64_t V = 0;
+  bool Neg = false;
+  size_t I = 0;
+  if (S[0] == '-' || S[0] == '+') {
+    Neg = S[0] == '-';
+    I = 1;
+  }
+  if (I >= S.size())
+    return false;
+  if (S.size() > I + 2 && S[I] == '0' && (S[I + 1] == 'x' || S[I + 1] == 'X')) {
+    auto [P, Ec] = std::from_chars(S.data() + I + 2, S.data() + S.size(), V, 16);
+    if (Ec != std::errc() || P != S.data() + S.size())
+      return false;
+  } else {
+    auto [P, Ec] = std::from_chars(S.data() + I, S.data() + S.size(), V);
+    if (Ec != std::errc() || P != S.data() + S.size())
+      return false;
+  }
+  Out = static_cast<int32_t>(Neg ? -V : V);
+  return true;
+}
+
+/// Splits "a, b" at the top-level comma (no nesting in this syntax).
+bool splitOperands(std::string_view S, std::string_view &A,
+                   std::string_view &B) {
+  size_t Comma = S.find(',');
+  if (Comma == std::string_view::npos)
+    return false;
+  A = trim(S.substr(0, Comma));
+  B = trim(S.substr(Comma + 1));
+  return !A.empty() && !B.empty();
+}
+
+} // namespace
+
+std::optional<Module> AsmParser::parse(std::string_view Text) {
+  Module M;
+  // Index of the function being parsed (-1 outside); an index is used
+  // instead of a pointer because Funcs may reallocate on addFunction.
+  int CurIdx = -1;
+  auto Cur = [&]() -> Function & { return M.Funcs[CurIdx]; };
+  std::map<std::string, uint32_t> Labels; // within current function
+  std::vector<PendingBranch> Pending;
+  std::vector<std::pair<size_t, std::pair<std::string, unsigned>>>
+      PendingCalls; // (func idx . instr idx) -> callee name
+  std::vector<std::pair<size_t, size_t>> CallSites;
+
+  auto Fail = [&](unsigned LineNo, const std::string &Msg) {
+    Err = "line " + std::to_string(LineNo) + ": " + Msg;
+    return std::nullopt;
+  };
+
+  auto ResolveFunction = [&]() -> bool {
+    // Resolve labels of the function just finished.
+    if (CurIdx < 0)
+      return true;
+    for (const PendingBranch &P : Pending) {
+      auto It = Labels.find(P.Label);
+      if (It == Labels.end()) {
+        Err = "line " + std::to_string(P.LineNo) + ": unknown label '" +
+              P.Label + "'";
+        return false;
+      }
+      Cur().Body[P.InstrIdx].Target = It->second;
+    }
+    Pending.clear();
+    Labels.clear();
+    return true;
+  };
+
+  /// Parses a memory operand "[reg+disp]" or "[@glob+disp]".
+  auto ParseMem = [&](std::string_view S, MemRef &Mem,
+                      unsigned LineNo) -> bool {
+    S = trim(S);
+    if (S.size() < 3 || S.front() != '[' || S.back() != ']') {
+      Err = "line " + std::to_string(LineNo) + ": expected [mem] operand";
+      return false;
+    }
+    S = trim(S.substr(1, S.size() - 2));
+    // Find +/- separating base and displacement (not at position 0).
+    size_t Split = std::string_view::npos;
+    for (size_t I = 1; I < S.size(); ++I)
+      if (S[I] == '+' || S[I] == '-') {
+        Split = I;
+        break;
+      }
+    std::string_view BaseStr =
+        Split == std::string_view::npos ? S : trim(S.substr(0, Split));
+    std::string_view DispStr =
+        Split == std::string_view::npos ? std::string_view()
+                                        : trim(S.substr(Split));
+    Mem.Disp = 0;
+    if (!DispStr.empty() && !parseImm(DispStr, Mem.Disp)) {
+      Err = "line " + std::to_string(LineNo) + ": bad displacement";
+      return false;
+    }
+    if (!BaseStr.empty() && BaseStr[0] == '@') {
+      std::string Name(BaseStr.substr(1));
+      auto It = M.GlobalByName.find(Name);
+      if (It == M.GlobalByName.end()) {
+        Err = "line " + std::to_string(LineNo) + ": unknown global '" +
+              Name + "'";
+        return false;
+      }
+      Mem.Base = Reg::None;
+      Mem.GlobalSym = It->second;
+      return true;
+    }
+    auto R = regByName(std::string(BaseStr));
+    if (!R) {
+      Err = "line " + std::to_string(LineNo) + ": bad base register '" +
+            std::string(BaseStr) + "'";
+      return false;
+    }
+    Mem.Base = *R;
+    Mem.GlobalSym = 0xffffffffu;
+    return true;
+  };
+
+  unsigned LineNo = 0;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    std::string_view Line = End == std::string_view::npos
+                                ? Text.substr(Pos)
+                                : Text.substr(Pos, End - Pos);
+    ++LineNo;
+    Pos = End == std::string_view::npos ? Text.size() + 1 : End + 1;
+
+    // Comments.
+    size_t Semi = Line.find(';');
+    if (Semi != std::string_view::npos)
+      Line = Line.substr(0, Semi);
+    size_t Sl = Line.find("//");
+    if (Sl != std::string_view::npos)
+      Line = Line.substr(0, Sl);
+    Line = trim(Line);
+    if (Line.empty())
+      continue;
+
+    // Module-level directives.
+    if (Line.starts_with("global ")) {
+      std::string_view A, B;
+      if (!splitOperands(Line.substr(7), A, B))
+        return Fail(LineNo, "expected: global name, size");
+      int32_t Size = 0;
+      if (!parseImm(B, Size) || Size <= 0)
+        return Fail(LineNo, "bad global size");
+      GlobalVar G;
+      G.Name = std::string(A);
+      G.Size = static_cast<uint32_t>(Size);
+      M.addGlobal(std::move(G));
+      continue;
+    }
+    if (Line.starts_with("extern ")) {
+      Function F;
+      F.Name = std::string(trim(Line.substr(7)));
+      F.IsExternal = true;
+      M.addFunction(std::move(F));
+      continue;
+    }
+    if (Line.starts_with("fn ")) {
+      if (!ResolveFunction())
+        return std::nullopt;
+      std::string_view Name = trim(Line.substr(3));
+      if (Name.empty() || Name.back() != ':')
+        return Fail(LineNo, "expected: fn name:");
+      Name = trim(Name.substr(0, Name.size() - 1));
+      Function F;
+      F.Name = std::string(Name);
+      CurIdx = static_cast<int>(M.addFunction(std::move(F)));
+      continue;
+    }
+
+    // Label?
+    if (Line.back() == ':') {
+      if (CurIdx < 0)
+        return Fail(LineNo, "label outside a function");
+      Labels[std::string(trim(Line.substr(0, Line.size() - 1)))] =
+          static_cast<uint32_t>(Cur().Body.size());
+      continue;
+    }
+
+    if (CurIdx < 0)
+      return Fail(LineNo, "instruction outside a function");
+
+    // Mnemonic.
+    size_t Space = Line.find_first_of(" \t");
+    std::string Mn(Line.substr(0, Space));
+    std::string_view Rest =
+        Space == std::string_view::npos ? std::string_view()
+                                        : trim(Line.substr(Space));
+
+    Instr I;
+    auto Emit = [&]() { Cur().Body.push_back(I); };
+
+    auto RegOp = [&](std::string_view S, Reg &Out) -> bool {
+      auto R = regByName(std::string(trim(S)));
+      if (!R) {
+        Err = "line " + std::to_string(LineNo) + ": bad register '" +
+              std::string(trim(S)) + "'";
+        return false;
+      }
+      Out = *R;
+      return true;
+    };
+
+    // reg, (reg|imm) instruction family.
+    auto BinOp = [&](Opcode RegForm, Opcode ImmForm) -> bool {
+      std::string_view A, B;
+      if (!splitOperands(Rest, A, B)) {
+        Err = "line " + std::to_string(LineNo) + ": expected two operands";
+        return false;
+      }
+      if (!RegOp(A, I.Dst))
+        return false;
+      if (auto R = regByName(std::string(B))) {
+        I.Op = RegForm;
+        I.Src = *R;
+        return true;
+      }
+      if (ImmForm == Opcode::Nop) {
+        Err = "line " + std::to_string(LineNo) +
+              ": immediate form not allowed";
+        return false;
+      }
+      if (!parseImm(B, I.Imm)) {
+        Err = "line " + std::to_string(LineNo) + ": bad operand '" +
+              std::string(B) + "'";
+        return false;
+      }
+      I.Op = ImmForm;
+      return true;
+    };
+
+    auto Branch = [&](Opcode Op, Cond CC) {
+      I.Op = Op;
+      I.CC = CC;
+      Pending.push_back(
+          {Cur().Body.size(), std::string(trim(Rest)), LineNo});
+      Emit();
+    };
+
+    if (Mn == "mov") {
+      std::string_view A, B;
+      if (!splitOperands(Rest, A, B))
+        return Fail(LineNo, "expected: mov dst, src");
+      if (!RegOp(A, I.Dst))
+        return std::nullopt;
+      if (!B.empty() && B[0] == '@') {
+        auto It = M.GlobalByName.find(std::string(B.substr(1)));
+        if (It == M.GlobalByName.end())
+          return Fail(LineNo, "unknown global");
+        I.Op = Opcode::MovGlobal;
+        I.Target = It->second;
+      } else if (auto R = regByName(std::string(B))) {
+        I.Op = Opcode::Mov;
+        I.Src = *R;
+      } else if (parseImm(B, I.Imm)) {
+        I.Op = Opcode::MovImm;
+      } else {
+        return Fail(LineNo, "bad mov source");
+      }
+      Emit();
+    } else if (Mn == "load" || Mn == "load1" || Mn == "load2" ||
+               Mn == "load8") {
+      std::string_view A, B;
+      if (!splitOperands(Rest, A, B))
+        return Fail(LineNo, "expected: load dst, [mem]");
+      if (!RegOp(A, I.Dst))
+        return std::nullopt;
+      if (!ParseMem(B, I.Mem, LineNo))
+        return std::nullopt;
+      I.Mem.Size = Mn == "load1" ? 1 : Mn == "load2" ? 2
+                   : Mn == "load8" ? 8 : 4;
+      I.Op = Opcode::Load;
+      Emit();
+    } else if (Mn == "store" || Mn == "store1" || Mn == "store2" ||
+               Mn == "store8") {
+      std::string_view A, B;
+      if (!splitOperands(Rest, A, B))
+        return Fail(LineNo, "expected: store [mem], src");
+      if (!ParseMem(A, I.Mem, LineNo))
+        return std::nullopt;
+      I.Mem.Size = Mn == "store1" ? 1 : Mn == "store2" ? 2
+                   : Mn == "store8" ? 8 : 4;
+      if (auto R = regByName(std::string(B))) {
+        I.Op = Opcode::Store;
+        I.Src = *R;
+      } else if (parseImm(B, I.Imm)) {
+        I.Op = Opcode::StoreImm;
+      } else {
+        return Fail(LineNo, "bad store source");
+      }
+      Emit();
+    } else if (Mn == "lea") {
+      std::string_view A, B;
+      if (!splitOperands(Rest, A, B))
+        return Fail(LineNo, "expected: lea dst, [mem]");
+      if (!RegOp(A, I.Dst))
+        return std::nullopt;
+      if (!ParseMem(B, I.Mem, LineNo))
+        return std::nullopt;
+      I.Op = Opcode::Lea;
+      Emit();
+    } else if (Mn == "add") {
+      if (!BinOp(Opcode::Add, Opcode::AddImm))
+        return std::nullopt;
+      Emit();
+    } else if (Mn == "sub") {
+      if (!BinOp(Opcode::Sub, Opcode::SubImm))
+        return std::nullopt;
+      Emit();
+    } else if (Mn == "and") {
+      if (!BinOp(Opcode::And, Opcode::AndImm))
+        return std::nullopt;
+      Emit();
+    } else if (Mn == "or") {
+      if (!BinOp(Opcode::Or, Opcode::OrImm))
+        return std::nullopt;
+      Emit();
+    } else if (Mn == "xor") {
+      if (!BinOp(Opcode::Xor, Opcode::Nop))
+        return std::nullopt;
+      Emit();
+    } else if (Mn == "cmp") {
+      if (!BinOp(Opcode::Cmp, Opcode::CmpImm))
+        return std::nullopt;
+      Emit();
+    } else if (Mn == "test") {
+      if (!BinOp(Opcode::Test, Opcode::Nop))
+        return std::nullopt;
+      Emit();
+    } else if (Mn == "push") {
+      if (auto R = regByName(std::string(trim(Rest)))) {
+        I.Op = Opcode::Push;
+        I.Src = *R;
+      } else if (parseImm(Rest, I.Imm)) {
+        I.Op = Opcode::PushImm;
+      } else {
+        return Fail(LineNo, "bad push operand");
+      }
+      Emit();
+    } else if (Mn == "pop") {
+      if (!RegOp(Rest, I.Dst))
+        return std::nullopt;
+      I.Op = Opcode::Pop;
+      Emit();
+    } else if (Mn == "jmp") {
+      Branch(Opcode::Jmp, Cond::Z);
+    } else if (Mn == "jz" || Mn == "jnz" || Mn == "jlt" || Mn == "jge" ||
+               Mn == "jle" || Mn == "jgt") {
+      Cond CC = Mn == "jz"    ? Cond::Z
+                : Mn == "jnz" ? Cond::Nz
+                : Mn == "jlt" ? Cond::Lt
+                : Mn == "jge" ? Cond::Ge
+                : Mn == "jle" ? Cond::Le
+                              : Cond::Gt;
+      Branch(Opcode::Jcc, CC);
+    } else if (Mn == "call") {
+      I.Op = Opcode::Call;
+      PendingCalls.push_back({static_cast<size_t>(CurIdx),
+                              {std::string(trim(Rest)), LineNo}});
+      CallSites.push_back({static_cast<size_t>(CurIdx), Cur().Body.size()});
+      Emit();
+    } else if (Mn == "calli") {
+      if (!RegOp(Rest, I.Src))
+        return std::nullopt;
+      I.Op = Opcode::CallInd;
+      Emit();
+    } else if (Mn == "ret") {
+      I.Op = Opcode::Ret;
+      Emit();
+    } else if (Mn == "halt") {
+      I.Op = Opcode::Halt;
+      Emit();
+    } else if (Mn == "nop") {
+      I.Op = Opcode::Nop;
+      Emit();
+    } else {
+      return Fail(LineNo, "unknown mnemonic '" + Mn + "'");
+    }
+  }
+
+  if (!ResolveFunction())
+    return std::nullopt;
+
+  // Resolve call targets (callees may be defined after their callers).
+  for (size_t K = 0; K < PendingCalls.size(); ++K) {
+    const auto &[FIdx, NameLine] = PendingCalls[K];
+    auto Callee = M.findFunction(NameLine.first);
+    if (!Callee) {
+      Err = "line " + std::to_string(NameLine.second) +
+            ": unknown function '" + NameLine.first + "'";
+      return std::nullopt;
+    }
+    M.Funcs[CallSites[K].first].Body[CallSites[K].second].Target = *Callee;
+  }
+  return M;
+}

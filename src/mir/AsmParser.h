@@ -1,0 +1,54 @@
+//===- AsmParser.h - Textual assembly front end ---------------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual assembly used by tests and examples into a Module.
+///
+/// Syntax (one statement per line; ';' and '//' start comments):
+///
+///   global buf, 16          data-section symbol
+///   extern malloc           imported function
+///   fn close_last:          begin procedure
+///   loop:                   label
+///     load edx, [esp+4]     4-byte load ([reg+disp] or [@global+disp])
+///     load1 al?, ...        sized variants: load1 / load2 / load8
+///     store [edx+4], eax
+///     mov eax, 5 | mov eax, ebx | mov eax, @buf
+///     add/sub/and/or/xor reg, (reg|imm)
+///     cmp/test reg, (reg|imm)
+///     push eax | push 0 | pop eax
+///     jmp loop | jz/jnz/jlt/jge/jle/jgt loop
+///     call malloc | calli eax
+///     ret | halt | nop
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_MIR_ASMPARSER_H
+#define RETYPD_MIR_ASMPARSER_H
+
+#include "mir/MIR.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace retypd {
+
+/// Parses assembly text into a Module.
+class AsmParser {
+public:
+  /// Parses \p Text; returns the module or nullopt (see error()).
+  std::optional<Module> parse(std::string_view Text);
+
+  const std::string &error() const { return Err; }
+
+private:
+  std::string Err;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_MIR_ASMPARSER_H

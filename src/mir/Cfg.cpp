@@ -1,0 +1,92 @@
+//===- Cfg.cpp - Control-flow graph recovery --------------------------------===//
+
+#include "mir/Cfg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace retypd;
+
+Cfg::Cfg(const Function &F) {
+  size_t N = F.Body.size();
+  if (N == 0) {
+    Blocks.push_back(BasicBlock{0, 0, {}, {}});
+    Rpo.push_back(0);
+    return;
+  }
+
+  // Leaders: entry, branch targets, and instructions after terminators or
+  // conditional branches.
+  std::set<uint32_t> Leaders{0};
+  for (size_t I = 0; I < N; ++I) {
+    const Instr &Ins = F.Body[I];
+    if (Ins.isBranch())
+      Leaders.insert(Ins.Target);
+    if (Ins.isBranch() || Ins.Op == Opcode::Ret || Ins.Op == Opcode::Halt)
+      if (I + 1 < N)
+        Leaders.insert(static_cast<uint32_t>(I + 1));
+  }
+
+  BlockOfInstr.assign(N, 0);
+  std::vector<uint32_t> Sorted(Leaders.begin(), Leaders.end());
+  for (size_t B = 0; B < Sorted.size(); ++B) {
+    BasicBlock BB;
+    BB.Begin = Sorted[B];
+    BB.End = B + 1 < Sorted.size() ? Sorted[B + 1]
+                                   : static_cast<uint32_t>(N);
+    for (uint32_t I = BB.Begin; I < BB.End; ++I)
+      BlockOfInstr[I] = static_cast<uint32_t>(B);
+    Blocks.push_back(std::move(BB));
+  }
+
+  // Edges.
+  for (size_t B = 0; B < Blocks.size(); ++B) {
+    BasicBlock &BB = Blocks[B];
+    if (BB.Begin == BB.End)
+      continue;
+    const Instr &Last = F.Body[BB.End - 1];
+    auto AddEdge = [&](uint32_t TargetInstr) {
+      uint32_t T = BlockOfInstr[TargetInstr];
+      BB.Succs.push_back(T);
+      Blocks[T].Preds.push_back(static_cast<uint32_t>(B));
+    };
+    switch (Last.Op) {
+    case Opcode::Jmp:
+      AddEdge(Last.Target);
+      break;
+    case Opcode::Jcc:
+      AddEdge(Last.Target);
+      if (BB.End < N)
+        AddEdge(BB.End);
+      break;
+    case Opcode::Ret:
+    case Opcode::Halt:
+      break;
+    default:
+      if (BB.End < N)
+        AddEdge(BB.End);
+      break;
+    }
+  }
+
+  // Reverse post order by DFS from block 0.
+  std::vector<uint8_t> State(Blocks.size(), 0);
+  std::vector<uint32_t> Post;
+  std::vector<std::pair<uint32_t, size_t>> Stack{{0, 0}};
+  State[0] = 1;
+  while (!Stack.empty()) {
+    auto &[B, NextSucc] = Stack.back();
+    if (NextSucc < Blocks[B].Succs.size()) {
+      uint32_t S = Blocks[B].Succs[NextSucc++];
+      if (!State[S]) {
+        State[S] = 1;
+        Stack.push_back({S, 0});
+      }
+    } else {
+      Post.push_back(B);
+      Stack.pop_back();
+    }
+  }
+  Rpo.assign(Post.rbegin(), Post.rend());
+}

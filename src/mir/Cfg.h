@@ -1,0 +1,52 @@
+//===- Cfg.h - Control-flow graph recovery ---------------------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic-block construction over the flat instruction vector of a Function,
+/// plus the traversal orders the dataflow analyses need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_MIR_CFG_H
+#define RETYPD_MIR_CFG_H
+
+#include "mir/MIR.h"
+
+#include <vector>
+
+namespace retypd {
+
+/// A basic block: instruction indices [Begin, End).
+struct BasicBlock {
+  uint32_t Begin = 0;
+  uint32_t End = 0;
+  std::vector<uint32_t> Succs;
+  std::vector<uint32_t> Preds;
+};
+
+/// The CFG of one function.
+class Cfg {
+public:
+  explicit Cfg(const Function &F);
+
+  const std::vector<BasicBlock> &blocks() const { return Blocks; }
+  size_t size() const { return Blocks.size(); }
+
+  /// Block containing instruction \p InstrIdx.
+  uint32_t blockOf(uint32_t InstrIdx) const { return BlockOfInstr[InstrIdx]; }
+
+  /// Reverse post order from the entry block (good for forward dataflow).
+  const std::vector<uint32_t> &rpo() const { return Rpo; }
+
+private:
+  std::vector<BasicBlock> Blocks;
+  std::vector<uint32_t> BlockOfInstr;
+  std::vector<uint32_t> Rpo;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_MIR_CFG_H

@@ -1,0 +1,219 @@
+//===- MIR.cpp - Machine IR for the disassembly substrate ------------------===//
+
+#include "mir/MIR.h"
+
+#include <array>
+#include <cassert>
+
+using namespace retypd;
+
+static const std::array<const char *, 9> RegNames = {
+    "eax", "ebx", "ecx", "edx", "esi", "edi", "ebp", "esp", "<none>"};
+
+const char *retypd::regName(Reg R) {
+  return RegNames[static_cast<uint8_t>(R)];
+}
+
+std::optional<Reg> retypd::regByName(const std::string &Name) {
+  for (unsigned I = 0; I < NumRegs; ++I)
+    if (Name == RegNames[I])
+      return static_cast<Reg>(I);
+  return std::nullopt;
+}
+
+const char *retypd::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mov:
+  case Opcode::MovImm:
+  case Opcode::MovGlobal:
+    return "mov";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+  case Opcode::StoreImm:
+    return "store";
+  case Opcode::Lea:
+    return "lea";
+  case Opcode::Add:
+  case Opcode::AddImm:
+    return "add";
+  case Opcode::Sub:
+  case Opcode::SubImm:
+    return "sub";
+  case Opcode::And:
+  case Opcode::AndImm:
+    return "and";
+  case Opcode::Or:
+  case Opcode::OrImm:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Cmp:
+  case Opcode::CmpImm:
+    return "cmp";
+  case Opcode::Test:
+    return "test";
+  case Opcode::Push:
+  case Opcode::PushImm:
+    return "push";
+  case Opcode::Pop:
+    return "pop";
+  case Opcode::Jmp:
+    return "jmp";
+  case Opcode::Jcc:
+    return "jcc";
+  case Opcode::Call:
+  case Opcode::CallInd:
+    return "call";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Halt:
+    return "halt";
+  case Opcode::Nop:
+    return "nop";
+  }
+  return "<?>";
+}
+
+static std::string memStr(const Module &M, const MemRef &Mem) {
+  std::string S = "[";
+  if (Mem.isGlobal()) {
+    S += "@" + M.Globals[Mem.GlobalSym].Name;
+    if (Mem.Disp > 0)
+      S += "+" + std::to_string(Mem.Disp);
+    else if (Mem.Disp < 0)
+      S += std::to_string(Mem.Disp);
+  } else {
+    S += regName(Mem.Base);
+    if (Mem.Disp > 0)
+      S += "+" + std::to_string(Mem.Disp);
+    else if (Mem.Disp < 0)
+      S += std::to_string(Mem.Disp);
+  }
+  S += "]";
+  return S;
+}
+
+static const char *condSuffix(Cond C) {
+  switch (C) {
+  case Cond::Z:
+    return "z";
+  case Cond::Nz:
+    return "nz";
+  case Cond::Lt:
+    return "lt";
+  case Cond::Ge:
+    return "ge";
+  case Cond::Le:
+    return "le";
+  case Cond::Gt:
+    return "gt";
+  }
+  return "?";
+}
+
+static std::string sizeSuffix(uint8_t Size) {
+  return Size == 4 ? "" : std::to_string(unsigned(Size));
+}
+
+std::string retypd::instrStr(const Module &M, const Function &F,
+                             const Instr &I) {
+  switch (I.Op) {
+  case Opcode::Mov:
+    return std::string("mov ") + regName(I.Dst) + ", " + regName(I.Src);
+  case Opcode::MovImm:
+    return std::string("mov ") + regName(I.Dst) + ", " +
+           std::to_string(I.Imm);
+  case Opcode::MovGlobal:
+    return std::string("mov ") + regName(I.Dst) + ", @" +
+           M.Globals[I.Target].Name;
+  case Opcode::Load:
+    return "load" + sizeSuffix(I.Mem.Size) + " " + regName(I.Dst) + ", " +
+           memStr(M, I.Mem);
+  case Opcode::Store:
+    return "store" + sizeSuffix(I.Mem.Size) + " " + memStr(M, I.Mem) +
+           ", " + regName(I.Src);
+  case Opcode::StoreImm:
+    return "store" + sizeSuffix(I.Mem.Size) + " " + memStr(M, I.Mem) +
+           ", " + std::to_string(I.Imm);
+  case Opcode::Lea:
+    return std::string("lea ") + regName(I.Dst) + ", " + memStr(M, I.Mem);
+  case Opcode::Add:
+    return std::string("add ") + regName(I.Dst) + ", " + regName(I.Src);
+  case Opcode::AddImm:
+    return std::string("add ") + regName(I.Dst) + ", " +
+           std::to_string(I.Imm);
+  case Opcode::Sub:
+    return std::string("sub ") + regName(I.Dst) + ", " + regName(I.Src);
+  case Opcode::SubImm:
+    return std::string("sub ") + regName(I.Dst) + ", " +
+           std::to_string(I.Imm);
+  case Opcode::And:
+    return std::string("and ") + regName(I.Dst) + ", " + regName(I.Src);
+  case Opcode::AndImm:
+    return std::string("and ") + regName(I.Dst) + ", " +
+           std::to_string(I.Imm);
+  case Opcode::Or:
+    return std::string("or ") + regName(I.Dst) + ", " + regName(I.Src);
+  case Opcode::OrImm:
+    return std::string("or ") + regName(I.Dst) + ", " +
+           std::to_string(I.Imm);
+  case Opcode::Xor:
+    return std::string("xor ") + regName(I.Dst) + ", " + regName(I.Src);
+  case Opcode::Cmp:
+    return std::string("cmp ") + regName(I.Dst) + ", " + regName(I.Src);
+  case Opcode::CmpImm:
+    return std::string("cmp ") + regName(I.Dst) + ", " +
+           std::to_string(I.Imm);
+  case Opcode::Test:
+    return std::string("test ") + regName(I.Dst) + ", " + regName(I.Src);
+  case Opcode::Push:
+    return std::string("push ") + regName(I.Src);
+  case Opcode::PushImm:
+    return std::string("push ") + std::to_string(I.Imm);
+  case Opcode::Pop:
+    return std::string("pop ") + regName(I.Dst);
+  case Opcode::Jmp:
+    return "jmp L" + std::to_string(I.Target);
+  case Opcode::Jcc:
+    return std::string("j") + condSuffix(I.CC) + " L" +
+           std::to_string(I.Target);
+  case Opcode::Call:
+    return "call " + (I.Target < M.Funcs.size() ? M.Funcs[I.Target].Name
+                                                : std::string("<bad>"));
+  case Opcode::CallInd:
+    return std::string("calli ") + regName(I.Src);
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Halt:
+    return "halt";
+  case Opcode::Nop:
+    return "nop";
+  }
+  (void)F;
+  return "<?>";
+}
+
+std::string retypd::moduleStr(const Module &M) {
+  std::string S;
+  for (const GlobalVar &G : M.Globals)
+    S += "global " + G.Name + ", " + std::to_string(G.Size) + "\n";
+  for (const Function &F : M.Funcs) {
+    if (F.IsExternal) {
+      S += "extern " + F.Name + "\n";
+      continue;
+    }
+    S += "fn " + F.Name + ":\n";
+    // Collect jump targets so labels can be printed.
+    std::vector<bool> IsTarget(F.Body.size() + 1, false);
+    for (const Instr &I : F.Body)
+      if (I.isBranch())
+        IsTarget[I.Target] = true;
+    for (size_t Idx = 0; Idx < F.Body.size(); ++Idx) {
+      if (IsTarget[Idx])
+        S += "L" + std::to_string(Idx) + ":\n";
+      S += "  " + instrStr(M, F, F.Body[Idx]) + "\n";
+    }
+  }
+  return S;
+}

@@ -1,0 +1,191 @@
+//===- MIR.h - Machine IR for the disassembly substrate -------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 32-bit x86-flavoured machine IR. This is the substrate standing in for
+/// the IR that CodeSurfer recovers from real binaries (paper §4.1): untyped
+/// registers, an explicit stack manipulated by push/pop/call/ret, and sized
+/// loads and stores. Type information is entirely absent, exactly as in a
+/// stripped binary.
+///
+/// The IR deliberately keeps the properties that make machine-code type
+/// inference hard (§2): stack slots can be reused for unrelated variables,
+/// calling conventions may pass arguments in registers without declaration,
+/// the same register can carry values of several source types, and pointers
+/// are indistinguishable from integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_MIR_MIR_H
+#define RETYPD_MIR_MIR_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace retypd {
+
+/// General-purpose registers (32-bit).
+enum class Reg : uint8_t {
+  Eax = 0,
+  Ebx,
+  Ecx,
+  Edx,
+  Esi,
+  Edi,
+  Ebp,
+  Esp,
+  None
+};
+
+constexpr unsigned NumRegs = 8;
+
+const char *regName(Reg R);
+std::optional<Reg> regByName(const std::string &Name);
+
+/// A memory operand [Base + Disp], accessing Size bytes. Base==None with
+/// GlobalSym set denotes an absolute data-section reference.
+struct MemRef {
+  Reg Base = Reg::None;
+  int32_t Disp = 0;
+  uint8_t Size = 4; ///< bytes: 1, 2, 4, or 8
+  uint32_t GlobalSym = 0xffffffffu;
+
+  bool isGlobal() const { return GlobalSym != 0xffffffffu; }
+};
+
+/// Instruction opcodes. The set is small but sufficient to express every
+/// idiom from paper §2 (see synth/Idioms.cpp).
+enum class Opcode : uint8_t {
+  Mov,     ///< mov dst, src
+  MovImm,  ///< mov dst, imm
+  MovGlobal, ///< mov dst, @global  (address-of data symbol)
+  Load,    ///< load dst, [mem]
+  Store,   ///< store [mem], src
+  StoreImm,///< store [mem], imm
+  Lea,     ///< lea dst, [base+disp]
+  Add,     ///< add dst, src
+  AddImm,  ///< add dst, imm
+  Sub,     ///< sub dst, src
+  SubImm,  ///< sub dst, imm
+  And,     ///< and dst, src
+  AndImm,
+  Or,      ///< or dst, src
+  OrImm,
+  Xor,     ///< xor dst, src (xor r,r is the well-known zeroing idiom)
+  Cmp,     ///< compare, sets flags only
+  CmpImm,
+  Test,    ///< bitwise test, sets flags only
+  Push,    ///< push reg
+  PushImm, ///< push imm
+  Pop,     ///< pop reg
+  Jmp,     ///< unconditional jump to Target (instruction index)
+  Jcc,     ///< conditional jump
+  Call,    ///< direct call; Target is a function id within the module
+  CallInd, ///< indirect call through a register
+  Ret,     ///< return (eax carries the result by convention)
+  Halt,    ///< stop (program exit)
+  Nop
+};
+
+const char *opcodeName(Opcode Op);
+
+/// Condition codes for Jcc.
+enum class Cond : uint8_t { Z = 0, Nz, Lt, Ge, Le, Gt };
+
+/// One machine instruction.
+struct Instr {
+  Opcode Op = Opcode::Nop;
+  Reg Dst = Reg::None;
+  Reg Src = Reg::None;
+  Cond CC = Cond::Z;
+  int32_t Imm = 0;
+  MemRef Mem;
+  /// Jump: instruction index within the function. Call: function id.
+  uint32_t Target = 0;
+
+  bool isTerminator() const {
+    return Op == Opcode::Jmp || Op == Opcode::Ret || Op == Opcode::Halt;
+  }
+  bool isBranch() const { return Op == Opcode::Jmp || Op == Opcode::Jcc; }
+  bool isCall() const {
+    return Op == Opcode::Call || Op == Opcode::CallInd;
+  }
+};
+
+/// A procedure: a flat instruction vector plus interface metadata that the
+/// analyses (not the producer) are responsible for filling in.
+struct Function {
+  std::string Name;
+  std::vector<Instr> Body;
+  bool IsExternal = false;
+
+  // --- Filled by interface recovery (analysis/InterfaceRecovery) ---
+  /// Number of 4-byte stack parameters.
+  unsigned NumStackParams = 0;
+  /// Registers used as undeclared register parameters (possibly spurious,
+  /// modelling §2.5 false positives).
+  std::vector<Reg> RegParams;
+  /// Whether eax carries a return value.
+  bool ReturnsValue = false;
+};
+
+/// A data-section symbol.
+struct GlobalVar {
+  std::string Name;
+  uint32_t Size = 4;
+};
+
+/// A whole program.
+struct Module {
+  std::vector<Function> Funcs;
+  std::vector<GlobalVar> Globals;
+  uint32_t EntryFunc = 0;
+
+  std::unordered_map<std::string, uint32_t> FuncByName;
+  std::unordered_map<std::string, uint32_t> GlobalByName;
+
+  uint32_t addFunction(Function F) {
+    uint32_t Id = static_cast<uint32_t>(Funcs.size());
+    FuncByName[F.Name] = Id;
+    Funcs.push_back(std::move(F));
+    return Id;
+  }
+
+  uint32_t addGlobal(GlobalVar G) {
+    uint32_t Id = static_cast<uint32_t>(Globals.size());
+    GlobalByName[G.Name] = Id;
+    Globals.push_back(std::move(G));
+    return Id;
+  }
+
+  std::optional<uint32_t> findFunction(const std::string &Name) const {
+    auto It = FuncByName.find(Name);
+    if (It == FuncByName.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  /// Total instruction count (the N of Figures 11 and 12).
+  size_t instructionCount() const {
+    size_t N = 0;
+    for (const Function &F : Funcs)
+      N += F.Body.size();
+    return N;
+  }
+};
+
+/// Renders one instruction in the textual assembly syntax.
+std::string instrStr(const Module &M, const Function &F, const Instr &I);
+
+/// Renders a whole module in parseable assembly.
+std::string moduleStr(const Module &M);
+
+} // namespace retypd
+
+#endif // RETYPD_MIR_MIR_H

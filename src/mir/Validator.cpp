@@ -1,0 +1,88 @@
+//===- Validator.cpp - Module well-formedness checks -------------------------===//
+
+#include "mir/Validator.h"
+
+#include "mir/Cfg.h"
+
+using namespace retypd;
+
+std::vector<ValidationIssue> retypd::validateModule(const Module &M) {
+  std::vector<ValidationIssue> Issues;
+  auto Error = [&](uint32_t F, uint32_t I, std::string Msg) {
+    Issues.push_back({ValidationIssue::Severity::Error, F, I,
+                      std::move(Msg)});
+  };
+  auto Warn = [&](uint32_t F, uint32_t I, std::string Msg) {
+    Issues.push_back({ValidationIssue::Severity::Warning, F, I,
+                      std::move(Msg)});
+  };
+
+  if (M.EntryFunc >= M.Funcs.size() && !M.Funcs.empty())
+    Error(0, 0, "entry function id out of range");
+
+  for (uint32_t F = 0; F < M.Funcs.size(); ++F) {
+    const Function &Fn = M.Funcs[F];
+    if (Fn.IsExternal) {
+      if (!Fn.Body.empty())
+        Error(F, 0, "external function has a body");
+      continue;
+    }
+    if (Fn.Body.empty()) {
+      Warn(F, 0, "empty function body");
+      continue;
+    }
+
+    bool RangesOk = true;
+    for (uint32_t I = 0; I < Fn.Body.size(); ++I) {
+      const Instr &Ins = Fn.Body[I];
+      if (Ins.isBranch() && Ins.Target >= Fn.Body.size()) {
+        Error(F, I, "branch target out of range");
+        RangesOk = false;
+      }
+      if (Ins.Op == Opcode::Call && Ins.Target >= M.Funcs.size())
+        Error(F, I, "call target out of range");
+      if (Ins.Op == Opcode::MovGlobal && Ins.Target >= M.Globals.size())
+        Error(F, I, "global reference out of range");
+      bool UsesMem = Ins.Op == Opcode::Load || Ins.Op == Opcode::Store ||
+                     Ins.Op == Opcode::StoreImm || Ins.Op == Opcode::Lea;
+      if (UsesMem) {
+        if (Ins.Mem.isGlobal() && Ins.Mem.GlobalSym >= M.Globals.size())
+          Error(F, I, "memory global symbol out of range");
+        if (Ins.Mem.Size != 1 && Ins.Mem.Size != 2 && Ins.Mem.Size != 4 &&
+            Ins.Mem.Size != 8)
+          Error(F, I, "bad memory access size");
+      }
+    }
+
+    // Every path must end at a terminator: the final instruction of a
+    // function must not fall off the end.
+    const Instr &Last = Fn.Body.back();
+    if (!Last.isTerminator() && Last.Op != Opcode::Jcc)
+      Warn(F, static_cast<uint32_t>(Fn.Body.size() - 1),
+           "function may fall off its end");
+    if (Last.Op == Opcode::Jcc)
+      Error(F, static_cast<uint32_t>(Fn.Body.size() - 1),
+            "conditional branch falls off the function end");
+
+    // Unreachable code is suspicious in generated IR (real disassembly
+    // produces it routinely, hence a warning). The CFG can only be built
+    // once branch ranges are known good.
+    if (!RangesOk)
+      continue;
+    Cfg G(Fn);
+    std::vector<bool> Reached(G.size(), false);
+    for (uint32_t B : G.rpo())
+      Reached[B] = true;
+    for (uint32_t B = 0; B < G.size(); ++B)
+      if (!Reached[B] && G.blocks()[B].Begin < G.blocks()[B].End)
+        Warn(F, G.blocks()[B].Begin, "unreachable block");
+  }
+  return Issues;
+}
+
+bool retypd::isStructurallyValid(const Module &M) {
+  for (const ValidationIssue &I : validateModule(M))
+    if (I.Sev == ValidationIssue::Severity::Error)
+      return false;
+  return true;
+}

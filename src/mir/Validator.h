@@ -1,0 +1,45 @@
+//===- Validator.h - Module well-formedness checks ------------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural validation for modules, whether hand-written, generated, or
+/// disassembled: branch targets in range, call/global references valid,
+/// terminated function bodies, and balanced stack discipline on every
+/// return path. Downstream passes assume these invariants; the validator
+/// makes violations loud instead of latent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_MIR_VALIDATOR_H
+#define RETYPD_MIR_VALIDATOR_H
+
+#include "mir/MIR.h"
+
+#include <string>
+#include <vector>
+
+namespace retypd {
+
+/// One validation finding.
+struct ValidationIssue {
+  enum class Severity : uint8_t { Error, Warning } Sev;
+  uint32_t Func = 0;
+  uint32_t Instr = 0;
+  std::string Message;
+};
+
+/// Checks \p M; returns all findings (empty = clean). Errors indicate
+/// structurally broken IR; warnings indicate suspicious-but-analyzable
+/// shapes (e.g. an unbalanced stack at ret, which real optimized code can
+/// exhibit).
+std::vector<ValidationIssue> validateModule(const Module &M);
+
+/// True when validateModule reports no errors (warnings allowed).
+bool isStructurallyValid(const Module &M);
+
+} // namespace retypd
+
+#endif // RETYPD_MIR_VALIDATOR_H

@@ -1,0 +1,68 @@
+//===- SymbolTable.h - String interning -----------------------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns strings to dense 32-bit ids. Type variables, register names, and
+/// procedure names are all represented as interned symbols so the solver can
+/// use them as array indices and cheap hash keys.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_SUPPORT_SYMBOLTABLE_H
+#define RETYPD_SUPPORT_SYMBOLTABLE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace retypd {
+
+/// A dense id for an interned string. Ids are only meaningful relative to the
+/// SymbolTable that produced them.
+using SymbolId = uint32_t;
+
+/// Bidirectional map between strings and dense SymbolIds.
+class SymbolTable {
+public:
+  /// Returns the id for \p S, interning it on first use.
+  SymbolId intern(std::string_view S) {
+    auto It = Ids.find(std::string(S));
+    if (It != Ids.end())
+      return It->second;
+    SymbolId Id = static_cast<SymbolId>(Names.size());
+    Names.emplace_back(S);
+    Ids.emplace(Names.back(), Id);
+    return Id;
+  }
+
+  /// Returns the string for a previously interned id.
+  const std::string &name(SymbolId Id) const {
+    assert(Id < Names.size() && "symbol id out of range");
+    return Names[Id];
+  }
+
+  /// Returns the id for \p S if it was interned before, without interning.
+  bool lookup(std::string_view S, SymbolId &Out) const {
+    auto It = Ids.find(std::string(S));
+    if (It == Ids.end())
+      return false;
+    Out = It->second;
+    return true;
+  }
+
+  size_t size() const { return Names.size(); }
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, SymbolId> Ids;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_SUPPORT_SYMBOLTABLE_H

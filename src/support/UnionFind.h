@@ -1,0 +1,91 @@
+//===- UnionFind.h - Disjoint set forest ----------------------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A union-find (disjoint set) structure with path compression and union by
+/// rank. Used by the Steensgaard-style shape inference (Algorithm E.1) and by
+/// the unification baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_SUPPORT_UNIONFIND_H
+#define RETYPD_SUPPORT_UNIONFIND_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace retypd {
+
+/// Disjoint set forest over dense uint32_t keys.
+class UnionFind {
+public:
+  UnionFind() = default;
+  explicit UnionFind(size_t N) { grow(N); }
+
+  /// Ensures keys [0, N) exist.
+  void grow(size_t N) {
+    size_t Old = Parent.size();
+    if (N <= Old)
+      return;
+    Parent.resize(N);
+    Rank.resize(N, 0);
+    std::iota(Parent.begin() + Old, Parent.end(),
+              static_cast<uint32_t>(Old));
+  }
+
+  /// Adds a fresh singleton set and returns its key.
+  uint32_t makeSet() {
+    uint32_t Key = static_cast<uint32_t>(Parent.size());
+    Parent.push_back(Key);
+    Rank.push_back(0);
+    return Key;
+  }
+
+  /// Returns the representative of \p X's set.
+  uint32_t find(uint32_t X) const {
+    assert(X < Parent.size() && "key out of range");
+    uint32_t Root = X;
+    while (Parent[Root] != Root)
+      Root = Parent[Root];
+    // Path compression.
+    while (Parent[X] != Root) {
+      uint32_t Next = Parent[X];
+      Parent[X] = Root;
+      X = Next;
+    }
+    return Root;
+  }
+
+  /// Merges the sets of \p A and \p B; returns the surviving representative.
+  uint32_t unite(uint32_t A, uint32_t B) {
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      return A;
+    if (Rank[A] < Rank[B])
+      std::swap(A, B);
+    Parent[B] = A;
+    if (Rank[A] == Rank[B])
+      ++Rank[A];
+    return A;
+  }
+
+  bool same(uint32_t A, uint32_t B) const { return find(A) == find(B); }
+
+  size_t size() const { return Parent.size(); }
+
+private:
+  mutable std::vector<uint32_t> Parent;
+  std::vector<uint8_t> Rank;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_SUPPORT_UNIONFIND_H

@@ -1,0 +1,630 @@
+//===- Synth.cpp - Synthetic binary generator --------------------------------===//
+
+#include "synth/Synth.h"
+
+#include "mir/AsmParser.h"
+
+#include <cassert>
+#include <set>
+#include <sstream>
+
+using namespace retypd;
+
+namespace {
+
+/// Builds one program: accumulates assembly text, ground truth, and a list
+/// of entry calls for main.
+class ProgramBuilder {
+public:
+  ProgramBuilder(uint64_t Seed) : Rng(static_cast<unsigned>(Seed)) {
+    Truth = std::make_shared<GroundTruth>();
+  }
+
+  unsigned roll(unsigned N) { return std::uniform_int_distribution<unsigned>(0, N - 1)(Rng); }
+
+  std::string fresh(const std::string &Base) {
+    return Base + "_" + std::to_string(Counter++);
+  }
+
+  void needExtern(const std::string &Name) {
+    if (Externs.insert(Name).second)
+      Header += "extern " + Name + "\n";
+  }
+
+  void emit(const std::string &Text) {
+    Body += Text;
+    // Incremental instruction count: lines indented by two spaces.
+    for (size_t I = 0; I + 2 < Text.size(); ++I)
+      if (Text[I] == '\n' && Text[I + 1] == ' ' && Text[I + 2] == ' ')
+        ++InstrCount;
+  }
+
+  /// Records truth for a function.
+  FuncTruth &truthFor(const std::string &Fn) { return Truth->Funcs[Fn]; }
+
+  CTypePool &pool() { return Truth->Pool; }
+
+  // -- Common truth types (created lazily, shared) --
+  CTypeId intT() {
+    if (IntT == NoCType)
+      IntT = pool().intType(32, true);
+    return IntT;
+  }
+  CTypeId uintT() {
+    if (UIntT == NoCType)
+      UIntT = pool().intType(32, false);
+    return UIntT;
+  }
+  CTypeId charPtrT() {
+    if (CharPtrT == NoCType) {
+      CType Ch;
+      Ch.K = CType::Kind::Int;
+      Ch.Bits = 8;
+      Ch.Name = "char";
+      CharPtrT = pool().pointerTo(pool().make(std::move(Ch)));
+    }
+    return CharPtrT;
+  }
+  CTypeId fdT() {
+    if (FdT == NoCType) {
+      CType T;
+      T.K = CType::Kind::Int;
+      T.Bits = 32;
+      T.Name = "#FileDescriptor";
+      FdT = pool().make(std::move(T));
+    }
+    return FdT;
+  }
+  CTypeId sizeT() {
+    if (SizeT == NoCType)
+      SizeT = pool().typedefType("size_t", 32);
+    return SizeT;
+  }
+
+  /// A fresh struct type with \p NumFields int fields (field 0 may be a
+  /// self pointer when \p Recursive).
+  CTypeId structT(unsigned NumFields, bool Recursive) {
+    CType St;
+    St.K = CType::Kind::Struct;
+    St.Name = fresh("TS");
+    CTypeId Id = pool().make(std::move(St));
+    std::vector<CType::Field> Fields;
+    for (unsigned K = 0; K < NumFields; ++K) {
+      CTypeId FT = K == 0 && Recursive ? pool().pointerTo(Id) : intT();
+      Fields.push_back(CType::Field{static_cast<int32_t>(4 * K), FT});
+    }
+    pool().get(Id).Fields = std::move(Fields);
+    return Id;
+  }
+
+  /// Registers a call for main: `push <args>; call fn; add esp, 4*n`.
+  void callFromMain(const std::string &Fn, unsigned NumArgs) {
+    MainCalls.push_back({Fn, NumArgs});
+  }
+
+  SynthProgram finish(const std::string &Name) {
+    // Split the dispatcher into chunks of 50 calls so no function becomes
+    // disproportionately large (real programs have no 10k-instruction
+    // straight-line main either).
+    std::string MainText;
+    std::vector<std::string> Chunks;
+    for (size_t Base = 0; Base < MainCalls.size(); Base += 50) {
+      std::string Chunk = "run" + std::to_string(Base / 50) + "_x";
+      Chunks.push_back(Chunk);
+      MainText += "fn " + Chunk + ":\n";
+      for (size_t I = Base; I < std::min(MainCalls.size(), Base + 50);
+           ++I) {
+        const auto &[Fn, NArgs] = MainCalls[I];
+        for (unsigned K = 0; K < NArgs; ++K)
+          MainText += "  push 0\n";
+        MainText += "  call " + Fn + "\n";
+        if (NArgs)
+          MainText += "  add esp, " + std::to_string(4 * NArgs) + "\n";
+      }
+      MainText += "  ret\n";
+    }
+    MainText += "fn main:\n";
+    for (const std::string &Chunk : Chunks)
+      MainText += "  call " + Chunk + "\n";
+    MainText += "  halt\n";
+
+    SynthProgram P;
+    P.Name = Name;
+    P.AsmText = Header + Body + MainText;
+    AsmParser Parser;
+    auto M = Parser.parse(P.AsmText);
+    assert(M && "generated assembly must parse");
+    P.M = std::move(*M);
+    P.M.EntryFunc = *P.M.findFunction("main");
+    P.Truth = Truth;
+    return P;
+  }
+
+  size_t bodyInstructions() const { return InstrCount; }
+
+  std::mt19937 Rng;
+
+private:
+  std::string Header, Body;
+  std::set<std::string> Externs;
+  std::vector<std::pair<std::string, unsigned>> MainCalls;
+  std::shared_ptr<GroundTruth> Truth;
+  size_t InstrCount = 0;
+  unsigned Counter = 0;
+  CTypeId IntT = NoCType, UIntT = NoCType, CharPtrT = NoCType,
+          FdT = NoCType, SizeT = NoCType;
+};
+
+//===----------------------------------------------------------------------===//
+// Idiom templates (§2 catalog)
+//===----------------------------------------------------------------------===//
+
+/// §2.3/Figure 2: traverse a linked list, close the final handle.
+void emitListClose(ProgramBuilder &B) {
+  B.needExtern("close");
+  std::string Fn = B.fresh("list_close");
+  B.emit("fn " + Fn + ":\n"
+         "  load edx, [esp+4]\n"
+         "  jmp " + Fn + "_check\n" +
+         Fn + "_adv:\n"
+         "  mov edx, eax\n" +
+         Fn + "_check:\n"
+         "  load eax, [edx+0]\n"
+         "  test eax, eax\n"
+         "  jnz " + Fn + "_adv\n"
+         "  load eax, [edx+4]\n"
+         "  push eax\n"
+         "  call close\n"
+         "  add esp, 4\n"
+         "  ret\n");
+  FuncTruth &T = B.truthFor(Fn);
+  CType LL;
+  LL.K = CType::Kind::Struct;
+  LL.Name = Fn + "_LL";
+  CTypeId LLId = B.pool().make(std::move(LL));
+  B.pool().get(LLId).Fields = {
+      CType::Field{0, B.pool().pointerTo(LLId)},
+      CType::Field{4, B.fdT()}};
+  T.Params.push_back({B.pool().pointerTo(LLId), /*IsConstPtr=*/true});
+  T.HasRet = true;
+  T.Ret = B.intT();
+  B.callFromMain(Fn, 1);
+}
+
+/// §2.2/G.2: a getter — sums the fields of a struct parameter (real code
+/// eventually touches every field of a live struct).
+void emitGetter(ProgramBuilder &B) {
+  unsigned NumFields = 2 + B.roll(3);
+  std::string Fn = B.fresh("get");
+  std::string Text = "fn " + Fn + ":\n"
+                     "  load edx, [esp+4]\n"
+                     "  load eax, [edx+0]\n";
+  for (unsigned K = 1; K < NumFields; ++K) {
+    Text += "  load ebx, [edx+" + std::to_string(4 * K) + "]\n";
+    Text += "  add eax, ebx\n";
+  }
+  Text += "  ret\n";
+  B.emit(Text);
+  FuncTruth &T = B.truthFor(Fn);
+  CTypeId St = B.structT(NumFields, false);
+  T.Params.push_back({B.pool().pointerTo(St), true});
+  T.HasRet = true;
+  T.Ret = B.intT();
+  B.callFromMain(Fn, 1);
+}
+
+/// Mutating setter: initializes every field; the parameter must NOT be
+/// const (§6.4 negative case).
+void emitSetter(ProgramBuilder &B) {
+  unsigned NumFields = 2 + B.roll(3);
+  std::string Fn = B.fresh("set");
+  std::string Text = "fn " + Fn + ":\n"
+                     "  load edx, [esp+4]\n"
+                     "  load eax, [esp+8]\n";
+  for (unsigned K = 0; K < NumFields; ++K)
+    Text += "  store [edx+" + std::to_string(4 * K) + "], eax\n";
+  Text += "  ret\n";
+  B.emit(Text);
+  FuncTruth &T = B.truthFor(Fn);
+  CTypeId St = B.structT(NumFields, false);
+  T.Params.push_back({B.pool().pointerTo(St), false});
+  T.Params.push_back({B.intT(), false});
+  B.callFromMain(Fn, 2);
+}
+
+/// §2.2: a malloc wrapper — must stay polymorphic.
+std::string emitAllocWrapper(ProgramBuilder &B) {
+  B.needExtern("malloc");
+  std::string Fn = B.fresh("xalloc");
+  B.emit("fn " + Fn + ":\n"
+         "  load eax, [esp+4]\n"
+         "  push eax\n"
+         "  call malloc\n"
+         "  add esp, 4\n"
+         "  ret\n");
+  FuncTruth &T = B.truthFor(Fn);
+  T.Params.push_back({B.sizeT(), false});
+  T.HasRet = true;
+  T.Ret = B.pool().pointerTo(B.pool().unknownType());
+  return Fn;
+}
+
+/// Two uses of one allocator with different pointee types (§2.2): a
+/// unification engine conflates them.
+void emitPolymorphicUse(ProgramBuilder &B) {
+  std::string Alloc = emitAllocWrapper(B);
+  std::string Fn = B.fresh("mkpair");
+  B.emit("fn " + Fn + ":\n"
+         "  push 4\n"
+         "  call " + Alloc + "\n"
+         "  add esp, 4\n"
+         "  mov esi, eax\n"
+         "  load eax, [esp+4]\n"
+         "  store [esi], eax\n"       // int cell
+         "  push 4\n"
+         "  call " + Alloc + "\n"
+         "  add esp, 4\n"
+         "  store [eax], esi\n"       // pointer cell
+         "  ret\n");
+  FuncTruth &T = B.truthFor(Fn);
+  T.Params.push_back({B.intT(), false});
+  T.HasRet = true;
+  T.Ret = B.pool().pointerTo(B.pool().pointerTo(B.intT()));
+  B.callFromMain(Fn, 1);
+}
+
+/// memcpy user: void copy(char* dst, const char* src, size_t n).
+void emitMemcpyUser(ProgramBuilder &B) {
+  B.needExtern("memcpy");
+  std::string Fn = B.fresh("copybuf");
+  B.emit("fn " + Fn + ":\n"
+         "  load eax, [esp+12]\n"
+         "  push eax\n"
+         "  load eax, [esp+12]\n" // src (esp moved by 4)
+         "  push eax\n"
+         "  load eax, [esp+12]\n" // dst (esp moved by 8)
+         "  push eax\n"
+         "  call memcpy\n"
+         "  add esp, 12\n"
+         "  ret\n");
+  FuncTruth &T = B.truthFor(Fn);
+  T.Params.push_back({B.charPtrT(), false});
+  T.Params.push_back({B.charPtrT(), true});
+  T.Params.push_back({B.sizeT(), false});
+  B.callFromMain(Fn, 3);
+}
+
+/// File-descriptor pipeline: semantic tags flow through (§3.5).
+void emitFdPipeline(ProgramBuilder &B) {
+  B.needExtern("open");
+  B.needExtern("read");
+  B.needExtern("close");
+  std::string Fn = B.fresh("slurp");
+  B.emit("fn " + Fn + ":\n"
+         "  push 0\n"
+         "  load eax, [esp+8]\n"
+         "  push eax\n"
+         "  call open\n"
+         "  add esp, 8\n"
+         "  mov esi, eax\n"        // fd
+         "  push 16\n"
+         "  load eax, [esp+12]\n"  // buf
+         "  push eax\n"
+         "  push esi\n"
+         "  call read\n"
+         "  add esp, 12\n"
+         "  push esi\n"
+         "  call close\n"
+         "  add esp, 4\n"
+         "  ret\n");
+  FuncTruth &T = B.truthFor(Fn);
+  T.Params.push_back({B.charPtrT(), true});
+  T.Params.push_back({B.charPtrT(), false});
+  T.HasRet = true;
+  T.Ret = B.intT();
+  B.callFromMain(Fn, 2);
+}
+
+/// §2.1: one stack slot, two unrelated variables.
+void emitStackReuse(ProgramBuilder &B) {
+  std::string Fn = B.fresh("slotreuse");
+  B.emit("fn " + Fn + ":\n"
+         "  sub esp, 4\n"
+         "  load eax, [esp+12]\n"  // int param (entry slot 8)
+         "  store [esp], eax\n"    // slot holds the int
+         "  load ebx, [esp]\n"
+         "  load eax, [esp+8]\n"   // pointer param (entry slot 4)
+         "  store [esp], eax\n"    // slot reused for the pointer
+         "  load edx, [esp]\n"
+         "  load eax, [edx+0]\n"   // deref proves pointerness
+         "  add eax, ebx\n"
+         "  add esp, 4\n"
+         "  ret\n");
+  FuncTruth &T = B.truthFor(Fn);
+  T.Params.push_back({B.pool().pointerTo(B.intT()), true});
+  T.Params.push_back({B.intT(), false});
+  T.HasRet = true;
+  T.Ret = B.intT();
+  B.callFromMain(Fn, 2);
+}
+
+/// §2.1: f(0, NULL) — the zero must not unify int with pointer.
+void emitSemiSyntactic(ProgramBuilder &B) {
+  std::string Callee = B.fresh("takes2");
+  B.emit("fn " + Callee + ":\n"
+         "  load eax, [esp+4]\n"   // int
+         "  load edx, [esp+8]\n"   // char*
+         "  test edx, edx\n"
+         "  jz " + Callee + "_out\n"
+         "  load1 ebx, [edx+0]\n"
+         "  add eax, ebx\n" +
+         Callee + "_out:\n"
+         "  ret\n");
+  FuncTruth &T = B.truthFor(Callee);
+  T.Params.push_back({B.intT(), false});
+  T.Params.push_back({B.charPtrT(), true});
+  T.HasRet = true;
+  T.Ret = B.intT();
+
+  std::string Fn = B.fresh("callzero");
+  B.emit("fn " + Fn + ":\n"
+         "  xor eax, eax\n"
+         "  push eax\n"
+         "  push eax\n"
+         "  call " + Callee + "\n"
+         "  add esp, 8\n"
+         "  ret\n");
+  FuncTruth &T2 = B.truthFor(Fn);
+  T2.HasRet = true;
+  T2.Ret = B.intT();
+  B.callFromMain(Fn, 0);
+}
+
+/// Figure 1: early return of a callee's value along the error path.
+void emitEarlyReturn(ProgramBuilder &B) {
+  std::string GetS = B.fresh("get_s");
+  B.needExtern("malloc");
+  B.emit("fn " + GetS + ":\n"
+         "  push 8\n"
+         "  call malloc\n"
+         "  add esp, 4\n"
+         "  ret\n");
+  FuncTruth &TS = B.truthFor(GetS);
+  TS.HasRet = true;
+  TS.Ret = B.pool().pointerTo(B.structT(2, false));
+
+  std::string Fn = B.fresh("get_t");
+  B.emit("fn " + Fn + ":\n"
+         "  call " + GetS + "\n"
+         "  test eax, eax\n"
+         "  jz " + Fn + "_out\n"
+         "  load eax, [eax+4]\n" +
+         Fn + "_out:\n"
+         "  ret\n");
+  FuncTruth &T = B.truthFor(Fn);
+  T.HasRet = true;
+  T.Ret = B.intT();
+  B.callFromMain(Fn, 0);
+}
+
+/// §2.5: push-ecx stack-slot reservation looks like a register param.
+void emitFalseRegParam(ProgramBuilder &B) {
+  std::string Reserve = B.fresh("reserve");
+  B.emit("fn " + Reserve + ":\n"
+         "  push ecx\n"
+         "  mov eax, 0\n"
+         "  store [esp], eax\n"
+         "  add esp, 4\n"
+         "  ret\n");
+  B.truthFor(Reserve); // no params in truth: ecx is spurious
+
+  std::string C1 = B.fresh("res_c1");
+  B.emit("fn " + C1 + ":\n"
+         "  load ecx, [esp+4]\n"
+         "  call " + Reserve + "\n"
+         "  mov eax, ecx\n"
+         "  ret\n");
+  FuncTruth &T1 = B.truthFor(C1);
+  T1.Params.push_back({B.intT(), false});
+  T1.HasRet = true;
+  T1.Ret = B.intT();
+  B.callFromMain(C1, 1);
+
+  std::string C2 = B.fresh("res_c2");
+  B.needExtern("malloc");
+  B.emit("fn " + C2 + ":\n"
+         "  push 4\n"
+         "  call malloc\n"
+         "  add esp, 4\n"
+         "  mov ecx, eax\n"
+         "  call " + Reserve + "\n"
+         "  load eax, [ecx+0]\n"
+         "  ret\n");
+  FuncTruth &T2 = B.truthFor(C2);
+  T2.HasRet = true;
+  T2.Ret = B.intT();
+  B.callFromMain(C2, 0);
+}
+
+/// §2.6: hash a value by treating it as untyped bits.
+void emitXorHash(ProgramBuilder &B) {
+  std::string Fn = B.fresh("hash");
+  B.emit("fn " + Fn + ":\n"
+         "  load edx, [esp+4]\n"
+         "  mov eax, 0\n"
+         "  mov ecx, 4\n" +
+         Fn + "_loop:\n"
+         "  load ebx, [edx+0]\n"
+         "  xor eax, ebx\n"
+         "  add edx, 4\n"
+         "  sub ecx, 1\n"
+         "  cmp ecx, 0\n"
+         "  jnz " + Fn + "_loop\n"
+         "  ret\n");
+  FuncTruth &T = B.truthFor(Fn);
+  T.Params.push_back({B.pool().pointerTo(B.uintT()), true});
+  T.HasRet = true;
+  T.Ret = B.uintT();
+  B.callFromMain(Fn, 1);
+}
+
+/// Globals: an int counter and a pointer table (module-level variables).
+void emitGlobals(ProgramBuilder &B) {
+  std::string G = B.fresh("counter");
+  std::string Fn = B.fresh("bump");
+  B.emit("global " + G + ", 4\n"
+         "fn " + Fn + ":\n"
+         "  load eax, [@" + G + "]\n"
+         "  add eax, 1\n"
+         "  store [@" + G + "], eax\n"
+         "  ret\n");
+  FuncTruth &T = B.truthFor(Fn);
+  T.HasRet = true;
+  T.Ret = B.intT();
+  B.callFromMain(Fn, 0);
+}
+
+/// §2.4: pass a pointer into the middle of a struct.
+void emitOffsetPointer(ProgramBuilder &B) {
+  std::string Inner = B.fresh("useint");
+  B.emit("fn " + Inner + ":\n"
+         "  load edx, [esp+4]\n"
+         "  load eax, [edx+0]\n"
+         "  ret\n");
+  FuncTruth &TI = B.truthFor(Inner);
+  TI.Params.push_back({B.pool().pointerTo(B.intT()), true});
+  TI.HasRet = true;
+  TI.Ret = B.intT();
+
+  std::string Fn = B.fresh("usefield");
+  B.emit("fn " + Fn + ":\n"
+         "  load edx, [esp+4]\n"
+         "  lea eax, [edx+8]\n"
+         "  push eax\n"
+         "  call " + Inner + "\n"
+         "  add esp, 4\n"
+         "  ret\n");
+  FuncTruth &T = B.truthFor(Fn);
+  T.Params.push_back({B.pool().pointerTo(B.structT(3, false)), true});
+  T.HasRet = true;
+  T.Ret = B.intT();
+  B.callFromMain(Fn, 1);
+}
+
+/// Plain integer arithmetic (filler with easy truth).
+void emitArith(ProgramBuilder &B) {
+  std::string Fn = B.fresh("mix");
+  unsigned Ops = 3 + B.roll(6);
+  std::string Text = "fn " + Fn + ":\n"
+                     "  load eax, [esp+4]\n"
+                     "  load ebx, [esp+8]\n";
+  for (unsigned K = 0; K < Ops; ++K) {
+    switch (B.roll(3)) {
+    case 0:
+      Text += "  add eax, ebx\n";
+      break;
+    case 1:
+      Text += "  sub eax, ebx\n";
+      break;
+    default:
+      Text += "  add eax, " + std::to_string(1 + B.roll(9)) + "\n";
+      break;
+    }
+  }
+  Text += "  ret\n";
+  B.emit(Text);
+  FuncTruth &T = B.truthFor(Fn);
+  T.Params.push_back({B.intT(), false});
+  T.Params.push_back({B.intT(), false});
+  T.HasRet = true;
+  T.Ret = B.intT();
+  B.callFromMain(Fn, 2);
+}
+
+/// strlen user with a string parameter.
+void emitStrUser(ProgramBuilder &B) {
+  B.needExtern("strlen");
+  std::string Fn = B.fresh("len2");
+  B.emit("fn " + Fn + ":\n"
+         "  load eax, [esp+4]\n"
+         "  push eax\n"
+         "  call strlen\n"
+         "  add esp, 4\n"
+         "  add eax, 1\n"
+         "  ret\n");
+  FuncTruth &T = B.truthFor(Fn);
+  T.Params.push_back({B.charPtrT(), true});
+  T.HasRet = true;
+  T.Ret = B.sizeT();
+  B.callFromMain(Fn, 1);
+}
+
+} // namespace
+
+SynthProgram SynthGenerator::generate(const std::string &Name,
+                                      const SynthOptions &Opts) {
+  ProgramBuilder B(Opts.Seed);
+
+  using Emitter = void (*)(ProgramBuilder &);
+  std::vector<Emitter> Templates{
+      emitListClose,   emitGetter,       emitSetter,
+      emitPolymorphicUse, emitMemcpyUser, emitFdPipeline,
+      emitStackReuse,  emitSemiSyntactic, emitEarlyReturn,
+      emitGlobals,     emitOffsetPointer, emitArith,
+      emitStrUser};
+  if (Opts.IncludeTypeUnsafe)
+    Templates.push_back(emitXorHash);
+  if (Opts.IncludeFalseRegParams)
+    Templates.push_back(emitFalseRegParam);
+
+  // One pass over all templates for coverage, then random fill to size.
+  for (Emitter E : Templates)
+    E(B);
+  while (B.bodyInstructions() < Opts.TargetInstructions)
+    Templates[B.roll(static_cast<unsigned>(Templates.size()))](B);
+
+  return B.finish(Name);
+}
+
+std::vector<SynthProgram>
+SynthGenerator::generateCluster(const std::string &ClusterName,
+                                unsigned Count, unsigned AvgInstructions,
+                                uint64_t Seed) {
+  std::vector<SynthProgram> Programs;
+  for (unsigned P = 0; P < Count; ++P) {
+    // The shared utility base: same seed across the cluster, covering
+    // roughly 60% of each program (coreutils-style correlation, §6.2).
+    SynthOptions Common;
+    Common.Seed = Seed;
+    Common.TargetInstructions = AvgInstructions * 3 / 5;
+    // The program-specific remainder.
+    SynthOptions Unique;
+    Unique.Seed = Seed * 7919 + P + 1;
+    Unique.TargetInstructions = AvgInstructions;
+
+    // Build both parts into one program by seeding the generator twice:
+    // reuse generate() for the common part, then extend with unique
+    // instances by regenerating at the full target with a different seed
+    // stream appended deterministically.
+    ProgramBuilder B(Common.Seed);
+    using Emitter = void (*)(ProgramBuilder &);
+    std::vector<Emitter> Templates{
+        emitListClose,   emitGetter,       emitSetter,
+        emitPolymorphicUse, emitMemcpyUser, emitFdPipeline,
+        emitStackReuse,  emitSemiSyntactic, emitEarlyReturn,
+        emitGlobals,     emitOffsetPointer, emitArith,
+        emitStrUser,     emitXorHash,      emitFalseRegParam};
+    for (Emitter E : Templates)
+      E(B);
+    while (B.bodyInstructions() < Common.TargetInstructions)
+      Templates[B.roll(static_cast<unsigned>(Templates.size()))](B);
+    // Re-seed for the program-unique tail.
+    B.Rng.seed(static_cast<unsigned>(Unique.Seed));
+    while (B.bodyInstructions() < Unique.TargetInstructions)
+      Templates[B.roll(static_cast<unsigned>(Templates.size()))](B);
+
+    Programs.push_back(
+        B.finish(ClusterName + "_" + std::to_string(P)));
+  }
+  return Programs;
+}

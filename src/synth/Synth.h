@@ -1,0 +1,71 @@
+//===- Synth.h - Synthetic binary generator -------------------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates synthetic machine-code programs with exact ground truth — the
+/// replacement for the paper's 160-binary corpus (§6.2). Programs are
+/// assembled from idiom templates drawn from the paper's §2 catalog:
+///
+///   list traversal (recursive types, §2.3), struct getters/setters
+///   (polymorphic accessors, §2.2/4.3), malloc wrappers (polymorphic
+///   allocation), memcpy users, file-descriptor pipelines (semantic tags),
+///   stack-slot reuse (§2.1), semi-syntactic constants (§2.1), fortuitous
+///   return-value reuse (Figure 1), false register parameters (§2.5),
+///   xor hashing (type-unsafe §2.6), globals, offset pointers (§2.4),
+///   plain arithmetic.
+///
+/// Cluster generation mirrors Figure 10: programs of one cluster share a
+/// common statically-linked "utility" code base (as coreutils does), which
+/// correlates their results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_SYNTH_SYNTH_H
+#define RETYPD_SYNTH_SYNTH_H
+
+#include "eval/GroundTruth.h"
+#include "mir/MIR.h"
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace retypd {
+
+/// Knobs for one generated program.
+struct SynthOptions {
+  uint64_t Seed = 1;
+  unsigned TargetInstructions = 500;
+  bool IncludeTypeUnsafe = true;     ///< xor hashing etc. (§2.6)
+  bool IncludeFalseRegParams = true; ///< push-ecx idiom (§2.5)
+};
+
+/// One generated program plus its declared types.
+struct SynthProgram {
+  std::string Name;
+  Module M;
+  std::shared_ptr<GroundTruth> Truth;
+  std::string AsmText; ///< the program source, for inspection
+};
+
+/// The generator.
+class SynthGenerator {
+public:
+  /// Generates one program of roughly TargetInstructions instructions.
+  SynthProgram generate(const std::string &Name, const SynthOptions &Opts);
+
+  /// Generates a cluster of \p Count programs sharing a common utility
+  /// base, each of roughly \p AvgInstructions instructions.
+  std::vector<SynthProgram> generateCluster(const std::string &ClusterName,
+                                            unsigned Count,
+                                            unsigned AvgInstructions,
+                                            uint64_t Seed);
+};
+
+} // namespace retypd
+
+#endif // RETYPD_SYNTH_SYNTH_H

@@ -1,0 +1,194 @@
+//===- ConcreteInterpTest.cpp - Concrete evaluator tests ---------------------===//
+
+#include "absint/ConcreteInterp.h"
+#include "mir/AsmParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace retypd;
+
+namespace {
+
+Module parseOk(const std::string &Text) {
+  AsmParser P;
+  auto M = P.parse(Text);
+  if (!M) {
+    ADD_FAILURE() << P.error();
+    return Module();
+  }
+  return *M;
+}
+
+} // namespace
+
+TEST(ConcreteInterp, ArithmeticAndHalt) {
+  Module M = parseOk(R"(
+fn main:
+  mov eax, 6
+  mov ebx, 7
+  add eax, ebx
+  halt
+)");
+  M.EntryFunc = 0;
+  ConcreteInterp CI(M);
+  ASSERT_TRUE(CI.run()) << CI.error();
+  EXPECT_EQ(CI.reg(Reg::Eax), 13u);
+}
+
+TEST(ConcreteInterp, LoopComputesSum) {
+  Module M = parseOk(R"(
+fn main:
+  mov eax, 0
+  mov ecx, 5
+loop:
+  add eax, ecx
+  sub ecx, 1
+  cmp ecx, 0
+  jnz loop
+  halt
+)");
+  M.EntryFunc = 0;
+  ConcreteInterp CI(M);
+  ASSERT_TRUE(CI.run()) << CI.error();
+  EXPECT_EQ(CI.reg(Reg::Eax), 15u);
+}
+
+TEST(ConcreteInterp, CallAndReturn) {
+  Module M = parseOk(R"(
+fn main:
+  push 5
+  push 9
+  call addxy
+  add esp, 8
+  halt
+fn addxy:
+  load eax, [esp+4]
+  load ebx, [esp+8]
+  add eax, ebx
+  ret
+)");
+  M.EntryFunc = 0;
+  ConcreteInterp CI(M);
+  ASSERT_TRUE(CI.run()) << CI.error();
+  EXPECT_EQ(CI.reg(Reg::Eax), 14u);
+}
+
+TEST(ConcreteInterp, MallocModelAndHeap) {
+  Module M = parseOk(R"(
+extern malloc
+fn main:
+  push 8
+  call malloc
+  add esp, 4
+  store [eax], eax
+  load ebx, [eax]
+  halt
+)");
+  M.EntryFunc = *M.findFunction("main");
+  ConcreteInterp CI(M);
+  ASSERT_TRUE(CI.run()) << CI.error();
+  EXPECT_EQ(CI.reg(Reg::Ebx), CI.reg(Reg::Eax));
+}
+
+TEST(ConcreteInterp, GlobalsReadWrite) {
+  Module M = parseOk(R"(
+global counter, 4
+fn main:
+  mov eax, 41
+  store [@counter], eax
+  load ebx, [@counter]
+  add ebx, 1
+  store [@counter], ebx
+  load ecx, [@counter]
+  halt
+)");
+  M.EntryFunc = 0;
+  ConcreteInterp CI(M);
+  ASSERT_TRUE(CI.run()) << CI.error();
+  EXPECT_EQ(CI.reg(Reg::Ecx), 42u);
+}
+
+TEST(ConcreteInterp, LinkedListTraversal) {
+  // Build a 3-cell list in memory via malloc, then walk it — the runtime
+  // twin of close_last.
+  Module M = parseOk(R"(
+extern malloc
+fn main:
+  ; cell c (last): next = 0, payload = 30
+  push 8
+  call malloc
+  add esp, 4
+  store [eax], 0
+  store [eax+4], 30
+  mov esi, eax
+  ; cell b: next = c, payload = 20
+  push 8
+  call malloc
+  add esp, 4
+  store [eax], esi
+  store [eax+4], 20
+  mov esi, eax
+  ; cell a: next = b, payload = 10
+  push 8
+  call malloc
+  add esp, 4
+  store [eax], esi
+  store [eax+4], 10
+  mov edx, eax
+  ; walk to the last cell
+check:
+  load ebx, [edx]
+  test ebx, ebx
+  jz done
+  mov edx, ebx
+  jmp check
+done:
+  load eax, [edx+4]
+  halt
+)");
+  M.EntryFunc = *M.findFunction("main");
+  ConcreteInterp CI(M);
+  ASSERT_TRUE(CI.run()) << CI.error();
+  EXPECT_EQ(CI.reg(Reg::Eax), 30u);
+}
+
+TEST(ConcreteInterp, ByteSizedAccess) {
+  Module M = parseOk(R"(
+global buf, 4
+fn main:
+  mov eax, 0x11223344
+  store [@buf], eax
+  load1 ebx, [@buf+2]
+  halt
+)");
+  M.EntryFunc = 0;
+  ConcreteInterp CI(M);
+  ASSERT_TRUE(CI.run()) << CI.error();
+  EXPECT_EQ(CI.reg(Reg::Ebx), 0x22u);
+}
+
+TEST(ConcreteInterp, BudgetStopsRunaway) {
+  Module M = parseOk(R"(
+fn main:
+spin:
+  jmp spin
+)");
+  M.EntryFunc = 0;
+  ConcreteInterp CI(M);
+  EXPECT_FALSE(CI.run(1000));
+  EXPECT_NE(CI.error().find("budget"), std::string::npos);
+}
+
+TEST(ConcreteInterp, CustomExternalHandler) {
+  Module M = parseOk(R"(
+extern magic
+fn main:
+  call magic
+  halt
+)");
+  M.EntryFunc = *M.findFunction("main");
+  ConcreteInterp CI(M);
+  CI.setExternal("magic", [](ConcreteInterp &) { return 1234u; });
+  ASSERT_TRUE(CI.run()) << CI.error();
+  EXPECT_EQ(CI.reg(Reg::Eax), 1234u);
+}

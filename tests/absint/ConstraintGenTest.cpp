@@ -1,0 +1,386 @@
+//===- ConstraintGenTest.cpp - Appendix A constraint generation tests --------===//
+
+#include "absint/ConstraintGen.h"
+#include "analysis/InterfaceRecovery.h"
+#include "core/ConstraintGraph.h"
+#include "core/ConstraintParser.h"
+#include "mir/AsmParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace retypd;
+
+namespace {
+
+class GenTest : public ::testing::Test {
+protected:
+  GenTest() : Lat(makeDefaultLattice()), Parser(Syms, Lat) {}
+
+  Module parseModule(const std::string &Text) {
+    AsmParser P;
+    auto M = P.parse(Text);
+    if (!M) {
+      ADD_FAILURE() << P.error();
+      return Module();
+    }
+    recoverInterfaces(*M);
+    return *M;
+  }
+
+  GenResult genFor(Module &M, const std::string &Name) {
+    ConstraintGenerator Gen(Syms, Lat, M);
+    auto Id = M.findFunction(Name);
+    EXPECT_TRUE(Id.has_value());
+    return Gen.generate(*Id, {}, {});
+  }
+
+  /// Does the generated set entail Lhs <= Rhs? The queried DTVs are
+  /// declared (var L / var R) so their nodes exist in the graph even when
+  /// the constraint set only mentions aliases of them.
+  bool derives(const ConstraintSet &C, const std::string &Lhs,
+               const std::string &Rhs) {
+    auto L = Parser.parseDtv(Lhs);
+    auto R = Parser.parseDtv(Rhs);
+    EXPECT_TRUE(L && R) << Parser.error();
+    if (!L || !R)
+      return false;
+    ConstraintSet C2 = C;
+    C2.addVar(*L);
+    C2.addVar(*R);
+    ConstraintGraph G(C2);
+    G.saturate();
+    GraphNodeId Ln = G.lookup(*L, Variance::Covariant);
+    GraphNodeId Rn = G.lookup(*R, Variance::Covariant);
+    if (Ln == ConstraintGraph::NoNode || Rn == ConstraintGraph::NoNode)
+      return false;
+    for (GraphNodeId N : G.oneReachableFrom(Ln))
+      if (N == Rn)
+        return true;
+    return false;
+  }
+
+  SymbolTable Syms;
+  Lattice Lat;
+  ConstraintParser Parser;
+};
+
+} // namespace
+
+TEST_F(GenTest, ParameterFlowsToReturn) {
+  Module M = parseModule(R"(
+fn id:
+  load eax, [esp+4]
+  ret
+)");
+  GenResult R = genFor(M, "id");
+  EXPECT_EQ(R.NumParams, 1u);
+  EXPECT_TRUE(derives(R.C, "id.in0", "id.out")) << R.C.str(Syms, Lat);
+}
+
+TEST_F(GenTest, PointerFieldLoad) {
+  // *(p+4) read as a 4-byte field.
+  Module M = parseModule(R"(
+fn get4:
+  load edx, [esp+4]
+  load eax, [edx+4]
+  ret
+)");
+  GenResult R = genFor(M, "get4");
+  EXPECT_TRUE(derives(R.C, "get4.in0.load.s32@4", "get4.out"))
+      << R.C.str(Syms, Lat);
+}
+
+TEST_F(GenTest, PointerFieldStore) {
+  Module M = parseModule(R"(
+fn set0:
+  load edx, [esp+4]
+  load eax, [esp+8]
+  store [edx], eax
+  ret
+)");
+  GenResult R = genFor(M, "set0");
+  EXPECT_TRUE(derives(R.C, "set0.in1", "set0.in0.store.s32@0"))
+      << R.C.str(Syms, Lat);
+}
+
+TEST_F(GenTest, OffsetTranslationTracksFields) {
+  // add edx, 8 then load [edx+4]: the access is at offset 12 (A.2).
+  Module M = parseModule(R"(
+fn f:
+  load edx, [esp+4]
+  add edx, 8
+  load eax, [edx+4]
+  ret
+)");
+  GenResult R = genFor(M, "f");
+  EXPECT_TRUE(derives(R.C, "f.in0.load.s32@12", "f.out"))
+      << R.C.str(Syms, Lat);
+}
+
+TEST_F(GenTest, SizedAccessesKeepWidths) {
+  Module M = parseModule(R"(
+fn f:
+  load edx, [esp+4]
+  load1 eax, [edx+2]
+  ret
+)");
+  GenResult R = genFor(M, "f");
+  EXPECT_TRUE(derives(R.C, "f.in0.load.s8@2", "f.out"))
+      << R.C.str(Syms, Lat);
+}
+
+TEST_F(GenTest, StackSlotReuseDoesNotConflate) {
+  // Two lifetimes in one slot (§2.1): writes at different sites produce
+  // different variables; the second load must not see the first store.
+  Module M = parseModule(R"(
+fn f:
+  load eax, [esp+4]
+  store [esp-4], eax
+  load ebx, [esp-4]
+  load eax, [esp+8]
+  store [esp-4], eax
+  load ecx, [esp-4]
+  store [esp-8], ecx
+  ret
+)");
+  GenResult R = genFor(M, "f");
+  std::string Text = R.C.str(Syms, Lat);
+  // in0 flows to the first reload's consumer chain; in1 to the second.
+  EXPECT_TRUE(derives(R.C, "f.in0", "f!stk-4@1"));
+  EXPECT_TRUE(derives(R.C, "f.in1", "f!stk-4@4"));
+  EXPECT_FALSE(derives(R.C, "f.in0", "f!stk-4@4")) << Text;
+  EXPECT_FALSE(derives(R.C, "f.in1", "f!stk-4@1")) << Text;
+}
+
+TEST_F(GenTest, XorZeroIdiomProducesNoFlow) {
+  Module M = parseModule(R"(
+fn f:
+  xor eax, eax
+  push eax
+  call g
+  add esp, 4
+  ret
+fn g:
+  load eax, [esp+4]
+  ret
+)");
+  recoverInterfaces(M);
+  ConstraintGenerator Gen(Syms, Lat, M);
+  GenResult R = Gen.generate(*M.findFunction("f"), {}, {});
+  // eax's zeroed value flows into g's parameter but carries no constant
+  // bound and no connection to any other value.
+  EXPECT_FALSE(derives(R.C, "int", "f!g@2.in0"));
+}
+
+TEST_F(GenTest, CallsInstantiateSchemes) {
+  Module M = parseModule(R"(
+extern id32
+fn caller:
+  push 7
+  call id32
+  add esp, 4
+  ret
+)");
+  // Build a little scheme for id32: forall F. F.in0 <= F.out.
+  M.Funcs[*M.findFunction("id32")].NumStackParams = 1;
+  M.Funcs[*M.findFunction("id32")].ReturnsValue = true;
+
+  TypeScheme Scheme;
+  Scheme.ProcVar = TypeVariable::var(Syms.intern("id32"));
+  Scheme.Constraints.addSubtype(
+      DerivedTypeVariable(Scheme.ProcVar, {Label::in(0)}),
+      DerivedTypeVariable(Scheme.ProcVar, {Label::out()}));
+
+  ConstraintGenerator Gen(Syms, Lat, M);
+  std::unordered_map<uint32_t, TypeScheme> Schemes;
+  Schemes[*M.findFunction("id32")] = Scheme;
+  GenResult R = Gen.generate(*M.findFunction("caller"), Schemes, {});
+
+  // The callsite instance links the (pushed) actual to caller.out through
+  // the instantiated scheme.
+  EXPECT_TRUE(derives(R.C, "caller!id32@1.in0", "caller.out"))
+      << R.C.str(Syms, Lat);
+}
+
+TEST_F(GenTest, TwoCallsitesAreIndependent) {
+  // Let-polymorphism (A.4): two malloc-like calls must not share variables.
+  Module M = parseModule(R"(
+extern alloc
+fn f:
+  push 8
+  call alloc
+  add esp, 4
+  mov ebx, eax
+  push 16
+  call alloc
+  add esp, 4
+  mov ecx, eax
+  ret
+)");
+  M.Funcs[*M.findFunction("alloc")].NumStackParams = 1;
+  M.Funcs[*M.findFunction("alloc")].ReturnsValue = true;
+  ConstraintGenerator Gen(Syms, Lat, M);
+  GenResult R = Gen.generate(*M.findFunction("f"), {}, {});
+  // The two callsite variables are distinct.
+  EXPECT_FALSE(derives(R.C, "f!alloc@1.out", "f!alloc@5.out"));
+  EXPECT_FALSE(derives(R.C, "f!alloc@5.out", "f!alloc@1.out"));
+}
+
+TEST_F(GenTest, SccCallsAreMonomorphic) {
+  Module M = parseModule(R"(
+fn even:
+  load eax, [esp+4]
+  push eax
+  call odd
+  add esp, 4
+  ret
+fn odd:
+  load eax, [esp+4]
+  push eax
+  call even
+  add esp, 4
+  ret
+)");
+  ConstraintGenerator Gen(Syms, Lat, M);
+  std::set<uint32_t> Scc{*M.findFunction("even"), *M.findFunction("odd")};
+  GenResult R = Gen.generate(*M.findFunction("even"), {}, Scc);
+  EXPECT_TRUE(R.Interesting.count(
+      TypeVariable::var(Syms.intern("odd"))));
+  EXPECT_TRUE(derives(R.C, "even.in0", "odd.in0")) << R.C.str(Syms, Lat);
+}
+
+TEST_F(GenTest, GlobalsAreSharedInterestingVariables) {
+  Module M = parseModule(R"(
+global counter, 4
+fn f:
+  load eax, [@counter]
+  ret
+)");
+  GenResult R = genFor(M, "f");
+  EXPECT_TRUE(R.Interesting.count(
+      TypeVariable::var(Syms.intern("g!counter"))));
+  EXPECT_TRUE(derives(R.C, "g!counter", "f.out")) << R.C.str(Syms, Lat);
+}
+
+TEST_F(GenTest, AddressOfGlobalMakesPointer) {
+  Module M = parseModule(R"(
+global cell, 4
+fn f:
+  mov eax, @cell
+  store [eax], ebx
+  ret
+)");
+  GenResult R = genFor(M, "f");
+  // Stores through the pointer reach the global.
+  EXPECT_TRUE(derives(R.C, "f!ebx@in", "g!cell")) << R.C.str(Syms, Lat);
+}
+
+TEST_F(GenTest, RegisterParamsGetInLabels) {
+  Module M = parseModule(R"(
+fn f:
+  mov eax, ecx
+  ret
+)");
+  GenResult R = genFor(M, "f");
+  EXPECT_EQ(R.NumParams, 1u);
+  EXPECT_TRUE(derives(R.C, "f.in0", "f.out")) << R.C.str(Syms, Lat);
+}
+
+TEST_F(GenTest, AddEmitsAddSubConstraint) {
+  Module M = parseModule(R"(
+fn f:
+  load eax, [esp+4]
+  load ebx, [esp+8]
+  add eax, ebx
+  ret
+)");
+  GenResult R = genFor(M, "f");
+  EXPECT_EQ(R.C.addSubs().size(), 1u);
+  EXPECT_FALSE(R.C.addSubs()[0].IsSub);
+}
+
+TEST_F(GenTest, BitTwiddlingBoundsResult) {
+  Module M = parseModule(R"(
+fn f:
+  load eax, [esp+4]
+  load ebx, [esp+8]
+  and eax, ebx
+  ret
+)");
+  GenResult R = genFor(M, "f");
+  // The and-result value itself is bounded above by num32.
+  EXPECT_TRUE(derives(R.C, "f!eax@2", "num32")) << R.C.str(Syms, Lat);
+}
+
+TEST_F(GenTest, PointerTagStealingIsIdentity) {
+  // and eax, -4 keeps the pointer flowing (A.5.2).
+  Module M = parseModule(R"(
+fn f:
+  load eax, [esp+4]
+  and eax, -4
+  load eax, [eax+0]
+  ret
+)");
+  GenResult R = genFor(M, "f");
+  EXPECT_TRUE(derives(R.C, "f.in0.load.s32@0", "f.out"))
+      << R.C.str(Syms, Lat);
+}
+
+TEST_F(GenTest, CloseLastEndToEndConstraints) {
+  // Figure 2, full circle: assembly -> constraints entail the paper's
+  // derived facts.
+  Module M = parseModule(R"(
+extern close
+fn close_last:
+  load edx, [esp+4]
+  jmp check
+advance:
+  mov edx, eax
+check:
+  load eax, [edx+0]
+  test eax, eax
+  jnz advance
+  load eax, [edx+4]
+  push eax
+  call close
+  add esp, 4
+  ret
+)");
+  uint32_t CloseId = *M.findFunction("close");
+  M.Funcs[CloseId].NumStackParams = 1;
+  M.Funcs[CloseId].ReturnsValue = true;
+
+  // close's summary: in0 <= #FileDescriptor /\ int; #SuccessZ \/ int <= out.
+  TypeScheme CloseScheme;
+  CloseScheme.ProcVar = TypeVariable::var(Syms.intern("close"));
+  auto CloseDtv = [&](Label L) {
+    return DerivedTypeVariable(CloseScheme.ProcVar, {L});
+  };
+  CloseScheme.Constraints.addSubtype(
+      CloseDtv(Label::in(0)),
+      DerivedTypeVariable(
+          TypeVariable::constant(*Lat.lookup("#FileDescriptor"))));
+  CloseScheme.Constraints.addSubtype(
+      CloseDtv(Label::in(0)),
+      DerivedTypeVariable(TypeVariable::constant(*Lat.lookup("int"))));
+  CloseScheme.Constraints.addSubtype(
+      DerivedTypeVariable(TypeVariable::constant(*Lat.lookup("#SuccessZ"))),
+      CloseDtv(Label::out()));
+
+  ConstraintGenerator Gen(Syms, Lat, M);
+  std::unordered_map<uint32_t, TypeScheme> Schemes;
+  Schemes[CloseId] = CloseScheme;
+  GenResult R = Gen.generate(*M.findFunction("close_last"), Schemes, {});
+
+  // The recursive list traversal: the argument's next field at offset 0
+  // re-enters the same variable chain; the payload at offset 4 reaches the
+  // file-descriptor bound; #SuccessZ flows to the output.
+  EXPECT_TRUE(
+      derives(R.C, "close_last.in0.load.s32@4", "#FileDescriptor"))
+      << R.C.str(Syms, Lat);
+  EXPECT_TRUE(derives(R.C, "#SuccessZ", "close_last.out"));
+  // The loop: the value loaded from offset 0 feeds back into the pointer
+  // that is dereferenced again.
+  EXPECT_TRUE(derives(R.C, "close_last.in0.load.s32@0.load.s32@4",
+                      "#FileDescriptor"));
+}

@@ -1,0 +1,272 @@
+//===- AnalysisTest.cpp - Stack / reaching defs / liveness tests -------------===//
+
+#include "analysis/CallGraph.h"
+#include "analysis/InterfaceRecovery.h"
+#include "analysis/Liveness.h"
+#include "analysis/ReachingDefs.h"
+#include "analysis/StackAnalysis.h"
+#include "mir/AsmParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace retypd;
+
+namespace {
+
+Module parseOk(const std::string &Text) {
+  AsmParser P;
+  auto M = P.parse(Text);
+  if (!M) {
+    ADD_FAILURE() << P.error();
+    return Module();
+  }
+  return *M;
+}
+
+} // namespace
+
+TEST(StackAnalysis, TracksPushPopAndImm) {
+  Module M = parseOk(R"(
+fn f:
+  push ebx
+  sub esp, 8
+  load eax, [esp+12]
+  add esp, 8
+  pop ebx
+  ret
+)");
+  Cfg G(M.Funcs[0]);
+  StackAnalysis SA(M.Funcs[0], G);
+  EXPECT_EQ(SA.espAt(0), 0);
+  EXPECT_EQ(SA.espAt(1), -4);
+  EXPECT_EQ(SA.espAt(2), -12);
+  // [esp+12] at delta -12 resolves to slot 0 (the return address).
+  EXPECT_EQ(SA.slotFor(2, M.Funcs[0].Body[2].Mem), 0);
+  EXPECT_EQ(SA.espAt(5), 0);
+  EXPECT_TRUE(SA.balanced());
+}
+
+TEST(StackAnalysis, FramePointerIdiom) {
+  Module M = parseOk(R"(
+fn f:
+  push ebp
+  mov ebp, esp
+  sub esp, 8
+  load eax, [ebp+8]
+  store [ebp-4], eax
+  mov esp, ebp
+  pop ebp
+  ret
+)");
+  Cfg G(M.Funcs[0]);
+  StackAnalysis SA(M.Funcs[0], G);
+  // After push ebp; mov ebp, esp: ebp = entry - 4.
+  EXPECT_EQ(SA.ebpAt(3), -4);
+  // [ebp+8] -> slot 4: the first stack parameter.
+  EXPECT_EQ(SA.slotFor(3, M.Funcs[0].Body[3].Mem), 4);
+  // [ebp-4] -> slot -8: a local.
+  EXPECT_EQ(SA.slotFor(4, M.Funcs[0].Body[4].Mem), -8);
+  EXPECT_TRUE(SA.balanced());
+}
+
+TEST(StackAnalysis, MergeLosesDisagreeingOffsets) {
+  Module M = parseOk(R"(
+fn f:
+  cmp eax, 0
+  jz skip
+  push eax
+skip:
+  load ebx, [esp+4]
+  ret
+)");
+  Cfg G(M.Funcs[0]);
+  StackAnalysis SA(M.Funcs[0], G);
+  // At the join the two paths have esp = 0 and esp = -4: unknown.
+  EXPECT_FALSE(SA.espAt(3).has_value());
+}
+
+TEST(ReachingDefs, DistinguishesRedefinitions) {
+  Module M = parseOk(R"(
+fn f:
+  mov eax, 1
+  mov ebx, eax
+  mov eax, 2
+  mov ecx, eax
+  ret
+)");
+  const Function &F = M.Funcs[0];
+  Cfg G(F);
+  StackAnalysis SA(F, G);
+  ReachingDefs RD(F, G, SA);
+  DefState S = RD.blockIn(0);
+  RD.step(S, 0);
+  EXPECT_EQ(S[Location::reg(Reg::Eax)], std::vector<uint32_t>{0u});
+  RD.step(S, 1);
+  RD.step(S, 2);
+  EXPECT_EQ(S[Location::reg(Reg::Eax)], std::vector<uint32_t>{2u});
+}
+
+TEST(ReachingDefs, MergesAcrossJoin) {
+  Module M = parseOk(R"(
+fn f:
+  cmp eax, 0
+  jz other
+  mov ebx, 1
+  jmp join
+other:
+  mov ebx, 2
+join:
+  mov ecx, ebx
+  ret
+)");
+  const Function &F = M.Funcs[0];
+  Cfg G(F);
+  StackAnalysis SA(F, G);
+  ReachingDefs RD(F, G, SA);
+  uint32_t JoinBlock = G.blockOf(5);
+  DefState S = RD.blockIn(JoinBlock);
+  auto Defs = S[Location::reg(Reg::Ebx)];
+  EXPECT_EQ(Defs.size(), 2u); // both movs reach
+}
+
+TEST(ReachingDefs, StackSlotReuseSeparates) {
+  // The §2.1 stack-slot reuse idiom: one slot, two unrelated lifetimes.
+  Module M = parseOk(R"(
+fn f:
+  mov eax, 1
+  store [esp-4], eax
+  load ebx, [esp-4]
+  mov eax, 2
+  store [esp-4], eax
+  load ecx, [esp-4]
+  ret
+)");
+  const Function &F = M.Funcs[0];
+  Cfg G(F);
+  StackAnalysis SA(F, G);
+  ReachingDefs RD(F, G, SA);
+  DefState S = RD.blockIn(0);
+  for (uint32_t I = 0; I <= 1; ++I)
+    RD.step(S, I);
+  EXPECT_EQ(S[Location::slot(-4)], std::vector<uint32_t>{1u});
+  for (uint32_t I = 2; I <= 4; ++I)
+    RD.step(S, I);
+  EXPECT_EQ(S[Location::slot(-4)], std::vector<uint32_t>{4u});
+}
+
+TEST(Liveness, EntryLivenessFindsRegisterParams) {
+  Module M = parseOk(R"(
+fn f:
+  mov eax, ecx
+  ret
+)");
+  Liveness LV(M.Funcs[0], Cfg(M.Funcs[0]));
+  EXPECT_TRUE(LV.liveAtEntry()[static_cast<unsigned>(Reg::Ecx)]);
+  EXPECT_FALSE(LV.liveAtEntry()[static_cast<unsigned>(Reg::Ebx)]);
+}
+
+TEST(Liveness, DefKillsLiveness) {
+  Module M = parseOk(R"(
+fn f:
+  mov ecx, 5
+  mov eax, ecx
+  ret
+)");
+  Liveness LV(M.Funcs[0], Cfg(M.Funcs[0]));
+  EXPECT_FALSE(LV.liveAtEntry()[static_cast<unsigned>(Reg::Ecx)]);
+}
+
+TEST(CallGraph, SccFindsMutualRecursion) {
+  Module M = parseOk(R"(
+fn a:
+  call b
+  ret
+fn b:
+  call a
+  ret
+fn main:
+  call a
+  halt
+)");
+  CallGraph CG(M);
+  EXPECT_EQ(CG.sccOf(0), CG.sccOf(1));
+  EXPECT_NE(CG.sccOf(0), CG.sccOf(2));
+  // Bottom-up: the {a, b} SCC precedes main's.
+  const auto &Order = CG.bottomUp();
+  uint32_t PosAB = 0, PosMain = 0;
+  for (uint32_t I = 0; I < Order.size(); ++I) {
+    if (Order[I] == CG.sccOf(0))
+      PosAB = I;
+    if (Order[I] == CG.sccOf(2))
+      PosMain = I;
+  }
+  EXPECT_LT(PosAB, PosMain);
+}
+
+TEST(InterfaceRecovery, StackParamsAndReturn) {
+  Module M = parseOk(R"(
+fn add2:
+  load eax, [esp+4]
+  load ebx, [esp+8]
+  add eax, ebx
+  ret
+)");
+  recoverInterfaces(M);
+  EXPECT_EQ(M.Funcs[0].NumStackParams, 2u);
+  EXPECT_TRUE(M.Funcs[0].ReturnsValue);
+  EXPECT_TRUE(M.Funcs[0].RegParams.empty());
+}
+
+TEST(InterfaceRecovery, RegisterParamDetected) {
+  Module M = parseOk(R"(
+fn f:
+  mov eax, ecx
+  ret
+)");
+  recoverInterfaces(M);
+  ASSERT_EQ(M.Funcs[0].RegParams.size(), 1u);
+  EXPECT_EQ(M.Funcs[0].RegParams[0], Reg::Ecx);
+}
+
+TEST(InterfaceRecovery, PushEcxIdiomIsFalsePositive) {
+  // The §2.5 hazard: "push ecx" reserving a slot looks like a register
+  // parameter. Interface recovery *should* report it (conservatively); the
+  // type system's job is to not let it poison types.
+  Module M = parseOk(R"(
+fn f:
+  push ecx
+  mov eax, 0
+  store [esp], eax
+  add esp, 4
+  ret
+)");
+  recoverInterfaces(M);
+  ASSERT_EQ(M.Funcs[0].RegParams.size(), 1u);
+  EXPECT_EQ(M.Funcs[0].RegParams[0], Reg::Ecx);
+}
+
+TEST(InterfaceRecovery, NoReturnWhenEaxUntouched) {
+  Module M = parseOk(R"(
+fn f:
+  mov ebx, 1
+  ret
+)");
+  recoverInterfaces(M);
+  EXPECT_FALSE(M.Funcs[0].ReturnsValue);
+}
+
+TEST(InterfaceRecovery, FortuitousReuseStillReturns) {
+  // Figure 1: return value may come from either branch's call result.
+  Module M = parseOk(R"(
+extern get_s
+fn f:
+  call get_s
+  test eax, eax
+  jz out
+  add eax, 1
+out:
+  ret
+)");
+  recoverInterfaces(M);
+  EXPECT_TRUE(M.Funcs[1].ReturnsValue);
+}

@@ -1,0 +1,94 @@
+//===- ConstraintParserTest.cpp - Textual constraint syntax tests ----------===//
+
+#include "core/ConstraintParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace retypd;
+
+namespace {
+
+class ParserTest : public ::testing::Test {
+protected:
+  ParserTest() : Lat(makeDefaultLattice()), Parser(Syms, Lat) {}
+
+  SymbolTable Syms;
+  Lattice Lat;
+  ConstraintParser Parser;
+};
+
+} // namespace
+
+TEST_F(ParserTest, ParsesBareVariable) {
+  auto D = Parser.parseDtv("close_last");
+  ASSERT_TRUE(D) << Parser.error();
+  EXPECT_TRUE(D->isBaseOnly());
+  EXPECT_TRUE(D->base().isVar());
+}
+
+TEST_F(ParserTest, ParsesLabels) {
+  auto D = Parser.parseDtv("F.in0.load.s32@4");
+  ASSERT_TRUE(D) << Parser.error();
+  ASSERT_EQ(D->size(), 3u);
+  EXPECT_EQ(D->labels()[0], Label::in(0));
+  EXPECT_EQ(D->labels()[1], Label::load());
+  EXPECT_EQ(D->labels()[2], Label::field(32, 4));
+}
+
+TEST_F(ParserTest, RecognizesLatticeConstants) {
+  auto D = Parser.parseDtv("#FileDescriptor");
+  ASSERT_TRUE(D) << Parser.error();
+  EXPECT_TRUE(D->base().isConstant());
+  auto I = Parser.parseDtv("int");
+  ASSERT_TRUE(I);
+  EXPECT_TRUE(I->base().isConstant());
+}
+
+TEST_F(ParserTest, RejectsUnknownTag) {
+  EXPECT_FALSE(Parser.parseDtv("#NoSuchTag"));
+  EXPECT_NE(Parser.error().find("unknown semantic tag"), std::string::npos);
+}
+
+TEST_F(ParserTest, RejectsBadLabel) {
+  EXPECT_FALSE(Parser.parseDtv("x.bogus"));
+}
+
+TEST_F(ParserTest, ParsesConstraintSet) {
+  auto C = Parser.parse(R"(
+    ; close_last-style constraints
+    F.in0 <= t
+    t.load.s32@0 <= t
+    t.load.s32@4 <= int     // fd flows to close
+    int <= F.out
+    var F.in0.store
+    add(a, b; c)
+    sub(p, q; r)
+  )");
+  ASSERT_TRUE(C) << Parser.error();
+  EXPECT_EQ(C->subtypes().size(), 4u);
+  EXPECT_EQ(C->vars().size(), 1u);
+  ASSERT_EQ(C->addSubs().size(), 2u);
+  EXPECT_FALSE(C->addSubs()[0].IsSub);
+  EXPECT_TRUE(C->addSubs()[1].IsSub);
+}
+
+TEST_F(ParserTest, ReportsLineNumbers) {
+  auto C = Parser.parse("a <= b\nc <=\n");
+  EXPECT_FALSE(C);
+  EXPECT_NE(Parser.error().find("line 2"), std::string::npos);
+}
+
+TEST_F(ParserTest, DeduplicatesConstraints) {
+  auto C = Parser.parse("a <= b\na <= b\n");
+  ASSERT_TRUE(C);
+  EXPECT_EQ(C->subtypes().size(), 1u);
+}
+
+TEST_F(ParserTest, RoundTripsThroughPrinter) {
+  auto C = Parser.parse("x.load.s32@0 <= y\nint <= F.out\nvar F.in1\n");
+  ASSERT_TRUE(C) << Parser.error();
+  std::string Printed = C->str(Syms, Lat);
+  auto C2 = Parser.parse(Printed);
+  ASSERT_TRUE(C2) << Parser.error();
+  EXPECT_EQ(C2->str(Syms, Lat), Printed);
+}

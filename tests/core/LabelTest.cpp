@@ -1,0 +1,89 @@
+//===- LabelTest.cpp - Field label and variance unit tests -----------------===//
+
+#include "core/DerivedTypeVariable.h"
+#include "core/Label.h"
+
+#include <gtest/gtest.h>
+
+using namespace retypd;
+
+TEST(Label, KindsAndOperands) {
+  EXPECT_TRUE(Label::load().isLoad());
+  EXPECT_TRUE(Label::store().isStore());
+  EXPECT_TRUE(Label::in(3).isIn());
+  EXPECT_EQ(Label::in(3).index(), 3u);
+  EXPECT_EQ(Label::out().index(), 0u);
+  Label F = Label::field(32, 4);
+  EXPECT_TRUE(F.isField());
+  EXPECT_EQ(F.bits(), 32);
+  EXPECT_EQ(F.offset(), 4);
+}
+
+TEST(Label, NegativeFieldOffsetsRoundTrip) {
+  Label F = Label::field(16, -8);
+  EXPECT_EQ(F.bits(), 16);
+  EXPECT_EQ(F.offset(), -8);
+}
+
+TEST(Label, VariancePerTable1) {
+  EXPECT_EQ(Label::in(0).variance(), Variance::Contravariant);
+  EXPECT_EQ(Label::store().variance(), Variance::Contravariant);
+  EXPECT_EQ(Label::out().variance(), Variance::Covariant);
+  EXPECT_EQ(Label::load().variance(), Variance::Covariant);
+  EXPECT_EQ(Label::field(32, 0).variance(), Variance::Covariant);
+}
+
+TEST(Label, SignMonoidLaws) {
+  using enum Variance;
+  EXPECT_EQ(compose(Covariant, Covariant), Covariant);
+  EXPECT_EQ(compose(Contravariant, Contravariant), Covariant);
+  EXPECT_EQ(compose(Covariant, Contravariant), Contravariant);
+  EXPECT_EQ(compose(Contravariant, Covariant), Contravariant);
+}
+
+TEST(Label, WordVariance) {
+  std::vector<Label> W1{Label::load(), Label::field(32, 0)};
+  EXPECT_EQ(wordVariance(W1), Variance::Covariant);
+  std::vector<Label> W2{Label::in(0), Label::load()};
+  EXPECT_EQ(wordVariance(W2), Variance::Contravariant);
+  std::vector<Label> W3{Label::in(0), Label::store()};
+  EXPECT_EQ(wordVariance(W3), Variance::Covariant);
+  EXPECT_EQ(wordVariance(std::span<const Label>{}), Variance::Covariant);
+}
+
+TEST(Label, Rendering) {
+  EXPECT_EQ(Label::load().str(), ".load");
+  EXPECT_EQ(Label::in(2).str(), ".in2");
+  EXPECT_EQ(Label::out().str(), ".out");
+  EXPECT_EQ(Label::field(32, 4).str(), ".s32@4");
+}
+
+TEST(Label, OrderingAndEquality) {
+  EXPECT_EQ(Label::load(), Label::load());
+  EXPECT_NE(Label::load(), Label::store());
+  EXPECT_NE(Label::field(32, 0), Label::field(32, 4));
+  EXPECT_NE(Label::in(0), Label::in(1));
+}
+
+TEST(DerivedTypeVariable, ExtendPrefixParent) {
+  SymbolTable Syms;
+  TypeVariable X = TypeVariable::var(Syms.intern("x"));
+  DerivedTypeVariable D(X);
+  EXPECT_TRUE(D.isBaseOnly());
+  DerivedTypeVariable DL = D.extended(Label::load());
+  DerivedTypeVariable DLF = DL.extended(Label::field(32, 4));
+  EXPECT_EQ(DLF.size(), 2u);
+  EXPECT_EQ(DLF.parent(), DL);
+  EXPECT_EQ(DLF.prefix(0), D);
+  EXPECT_EQ(DLF.lastLabel(), Label::field(32, 4));
+  EXPECT_EQ(DLF.variance(), Variance::Covariant);
+}
+
+TEST(DerivedTypeVariable, ConstantBases) {
+  Lattice L = makeDefaultLattice();
+  TypeVariable K = TypeVariable::constant(*L.lookup("int"));
+  EXPECT_TRUE(K.isConstant());
+  EXPECT_FALSE(K.isVar());
+  SymbolTable Syms;
+  EXPECT_EQ(DerivedTypeVariable(K).str(Syms, L), "int");
+}

@@ -1,0 +1,181 @@
+//===- SaturationTest.cpp - Algorithm D.2 saturation tests -----------------===//
+//
+// These tests encode the paper's own worked examples:
+//  - Figure 4 / §3.3: the two aliased-pointer copy programs, which require
+//    the S-POINTER rule to derive X <= Y.
+//  - Figure 14: the saturation example from Appendix D.3 where the rule only
+//    fires because of the lazy handling.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ConstraintGraph.h"
+#include "core/ConstraintParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace retypd;
+
+namespace {
+
+class SaturationTest : public ::testing::Test {
+protected:
+  SaturationTest() : Lat(makeDefaultLattice()), Parser(Syms, Lat) {}
+
+  /// True iff the saturated graph witnesses Lhs <= Rhs via a pure 1-edge
+  /// path between covariant nodes (both DTVs must appear in the set).
+  bool derives(const ConstraintSet &C, const std::string &Lhs,
+               const std::string &Rhs) {
+    ConstraintGraph G(C);
+    G.saturate();
+    auto L = Parser.parseDtv(Lhs);
+    auto R = Parser.parseDtv(Rhs);
+    EXPECT_TRUE(L && R) << Parser.error();
+    GraphNodeId Ln = G.lookup(*L, Variance::Covariant);
+    GraphNodeId Rn = G.lookup(*R, Variance::Covariant);
+    EXPECT_NE(Ln, ConstraintGraph::NoNode) << Lhs << " not in graph";
+    EXPECT_NE(Rn, ConstraintGraph::NoNode) << Rhs << " not in graph";
+    for (GraphNodeId N : G.oneReachableFrom(Ln))
+      if (N == Rn)
+        return true;
+    return false;
+  }
+
+  ConstraintSet parse(const std::string &Text) {
+    auto C = Parser.parse(Text);
+    if (!C) {
+      ADD_FAILURE() << Parser.error();
+      return ConstraintSet();
+    }
+    return *C;
+  }
+
+  SymbolTable Syms;
+  Lattice Lat;
+  ConstraintParser Parser;
+};
+
+} // namespace
+
+// Figure 4, program f(): { p = q; *p = x; y = *q; } — constraint set C'1.
+TEST_F(SaturationTest, Figure4FirstProgram) {
+  ConstraintSet C = parse(R"(
+    q <= p
+    x <= p.store
+    q.load <= y
+  )");
+  EXPECT_TRUE(derives(C, "x", "y"));
+  EXPECT_FALSE(derives(C, "y", "x"));
+}
+
+// Figure 4, program g(): { p = q; *q = x; y = *p; } — constraint set C'2.
+TEST_F(SaturationTest, Figure4SecondProgram) {
+  ConstraintSet C = parse(R"(
+    q <= p
+    x <= q.store
+    p.load <= y
+  )");
+  EXPECT_TRUE(derives(C, "x", "y"));
+  EXPECT_FALSE(derives(C, "y", "x"));
+}
+
+// With the pointer written through one alias and read through an unrelated
+// variable, no flow may be derived.
+TEST_F(SaturationTest, NoFlowWithoutAliasing) {
+  ConstraintSet C = parse(R"(
+    x <= p.store
+    q.load <= y
+  )");
+  EXPECT_FALSE(derives(C, "x", "y"));
+}
+
+// Figure 14: { p = y; x = p; *x = A; B = *y; }. The S-POINTER application
+// happens at a node with no explicit .store capability, so only the lazy
+// clause can find it.
+TEST_F(SaturationTest, Figure14LazySPointer) {
+  ConstraintSet C = parse(R"(
+    y <= p
+    p <= x
+    A <= x.store
+    y.load <= B
+  )");
+  EXPECT_TRUE(derives(C, "A", "B"));
+  EXPECT_FALSE(derives(C, "B", "A"));
+}
+
+// Writing through the supertype alias and reading through the subtype alias
+// still flows: p <= q gives q.store <= p.store (contravariance), and
+// S-POINTER at p bridges p.store <= p.load. This is the third aliasing
+// pattern implied by §3.3 — both Figure 4 programs and this one are sound.
+TEST_F(SaturationTest, StoreThroughSupertypeAliasFlows) {
+  ConstraintSet C = parse(R"(
+    p <= q
+    x <= q.store
+    p.load <= y
+  )");
+  EXPECT_TRUE(derives(C, "x", "y"));
+  EXPECT_FALSE(derives(C, "y", "x"));
+}
+
+// Transitivity chains survive saturation.
+TEST_F(SaturationTest, PlainTransitivity) {
+  ConstraintSet C = parse(R"(
+    a <= b
+    b <= c
+    c <= d
+  )");
+  EXPECT_TRUE(derives(C, "a", "d"));
+  EXPECT_FALSE(derives(C, "d", "a"));
+}
+
+// Field congruence through subtyping: A <= B lifts to A.load <= B.load via
+// a matched forget/recall pair, which saturation shortcuts.
+TEST_F(SaturationTest, CovariantFieldLifting) {
+  ConstraintSet C = parse(R"(
+    A <= B
+    k <= A.load
+    B.load <= m
+  )");
+  EXPECT_TRUE(derives(C, "A.load", "B.load"));
+  EXPECT_TRUE(derives(C, "k", "m"));
+}
+
+// Contravariant lifting: A <= B gives B.store <= A.store.
+TEST_F(SaturationTest, ContravariantFieldLifting) {
+  ConstraintSet C = parse(R"(
+    A <= B
+    k <= B.store
+    A.store <= m
+  )");
+  EXPECT_TRUE(derives(C, "B.store", "A.store"));
+  EXPECT_TRUE(derives(C, "k", "m"));
+}
+
+// The two-level case: writing through a pointer-to-pointer and reading two
+// loads deep (exercise nested load/store interplay).
+TEST_F(SaturationTest, TwoLevelPointerFlow) {
+  ConstraintSet C = parse(R"(
+    q <= p
+    x <= p.store.s32@0
+    q.load.s32@0 <= y
+  )");
+  EXPECT_TRUE(derives(C, "x", "y"));
+}
+
+// Saturation must terminate and add no edges on an already-closed set.
+TEST_F(SaturationTest, IdempotentOnChains) {
+  ConstraintSet C = parse("a <= b\n");
+  ConstraintGraph G(C);
+  G.saturate();
+  EXPECT_EQ(G.numSaturationEdges(), 0u);
+}
+
+// Constants participate like any other variable.
+TEST_F(SaturationTest, ConstantBoundsFlow) {
+  ConstraintSet C = parse(R"(
+    int <= v
+    v <= w
+    w <= LPARAM
+  )");
+  EXPECT_TRUE(derives(C, "int", "w"));
+  EXPECT_TRUE(derives(C, "v", "LPARAM"));
+}

@@ -1,0 +1,113 @@
+//===- ShapeGraphTest.cpp - Algorithm E.1 shape inference tests ------------===//
+
+#include "core/ConstraintParser.h"
+#include "core/ShapeGraph.h"
+
+#include <gtest/gtest.h>
+
+using namespace retypd;
+
+namespace {
+
+class ShapeTest : public ::testing::Test {
+protected:
+  ShapeTest() : Lat(makeDefaultLattice()), Parser(Syms, Lat) {}
+
+  ConstraintSet parse(const std::string &Text) {
+    auto C = Parser.parse(Text);
+    if (!C) {
+      ADD_FAILURE() << Parser.error();
+      return ConstraintSet();
+    }
+    return *C;
+  }
+
+  uint32_t cls(const ShapeGraph &S, const std::string &Dtv) {
+    auto D = Parser.parseDtv(Dtv);
+    EXPECT_TRUE(D) << Parser.error();
+    return S.classOf(*D);
+  }
+
+  SymbolTable Syms;
+  Lattice Lat;
+  ConstraintParser Parser;
+};
+
+} // namespace
+
+TEST_F(ShapeTest, SubtypeConstraintsUnify) {
+  ConstraintSet C = parse("a <= b\nb <= c\n");
+  ShapeGraph S(C);
+  EXPECT_EQ(cls(S, "a"), cls(S, "c"));
+}
+
+TEST_F(ShapeTest, CongruenceClosesOverFields) {
+  ConstraintSet C = parse(R"(
+    a <= b
+    a.load.s32@0 <= x
+    b.load.s32@0 <= y
+  )");
+  ShapeGraph S(C);
+  EXPECT_EQ(cls(S, "x"), cls(S, "y"));
+  EXPECT_EQ(cls(S, "a.load"), cls(S, "b.load"));
+}
+
+TEST_F(ShapeTest, LoadStoreChildrenShareShape) {
+  ConstraintSet C = parse(R"(
+    v <= p.store
+    p.load.s32@4 <= w
+  )");
+  ShapeGraph S(C);
+  // S-POINTER twist: p.store and p.load have the same shape, so the .s32@4
+  // capability is visible through the store side too.
+  EXPECT_NE(cls(S, "p.store.s32@4"), ShapeGraph::NoClass);
+  EXPECT_EQ(cls(S, "p.store.s32@4"), cls(S, "w"));
+}
+
+TEST_F(ShapeTest, RecursiveStructureFoldsFinitely) {
+  // A linked list: t.load.s32@0 <= t rolls the list tail back onto itself.
+  ConstraintSet C = parse(R"(
+    F.in0 <= t
+    t.load.s32@0 <= t
+    t.load.s32@4 <= int
+  )");
+  ShapeGraph S(C);
+  EXPECT_EQ(cls(S, "t"), cls(S, "t.load.s32@0"));
+  EXPECT_EQ(cls(S, "t.load.s32@0.load.s32@0"), cls(S, "t"));
+  EXPECT_NE(cls(S, "t.load.s32@4"), ShapeGraph::NoClass);
+}
+
+TEST_F(ShapeTest, CapabilityAbsenceIsReported) {
+  ConstraintSet C = parse("a.load <= b\n");
+  ShapeGraph S(C);
+  EXPECT_NE(cls(S, "a.load"), ShapeGraph::NoClass);
+  EXPECT_EQ(cls(S, "a.store.s32@0"), ShapeGraph::NoClass);
+  EXPECT_EQ(cls(S, "zz"), ShapeGraph::NoClass);
+}
+
+TEST_F(ShapeTest, PointerClassDetection) {
+  ConstraintSet C = parse("a.load <= b\nn <= int\n");
+  ShapeGraph S(C);
+  EXPECT_TRUE(S.isPointerClass(cls(S, "a")));
+  EXPECT_FALSE(S.isPointerClass(cls(S, "n")));
+}
+
+TEST_F(ShapeTest, UnificationMergesCapabilitiesBothWays) {
+  // T-INHERITL/T-INHERITR: both sides of a subtype constraint end up with
+  // the union of their capabilities (structural typing).
+  ConstraintSet C = parse(R"(
+    a <= b
+    a.load <= x
+    b.s32@0 <= y
+  )");
+  ShapeGraph S(C);
+  EXPECT_NE(cls(S, "b.load"), ShapeGraph::NoClass);
+  EXPECT_NE(cls(S, "a.s32@0"), ShapeGraph::NoClass);
+}
+
+TEST_F(ShapeTest, VarDeclarationsCreateCapabilities) {
+  ConstraintSet C = parse("var F.in0.load\n");
+  ShapeGraph S(C);
+  EXPECT_NE(cls(S, "F.in0.load"), ShapeGraph::NoClass);
+  EXPECT_NE(cls(S, "F.in0"), ShapeGraph::NoClass);
+}

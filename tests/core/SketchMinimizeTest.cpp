@@ -1,0 +1,100 @@
+//===- SketchMinimizeTest.cpp - Bisimulation quotient tests ---------------------===//
+
+#include "core/Sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace retypd;
+
+namespace {
+
+Lattice lat() { return makeDefaultLattice(); }
+
+} // namespace
+
+TEST(SketchMinimize, CollapsesDuplicateLeaves) {
+  Lattice L = lat();
+  LatticeElem Int = *L.lookup("int");
+  Sketch S;
+  uint32_t A = S.addNode(Int);
+  uint32_t B = S.addNode(Int);
+  S.addEdge(S.root(), Label::field(32, 0), A);
+  S.addEdge(S.root(), Label::field(32, 4), B);
+  Sketch M = S.minimized();
+  EXPECT_EQ(M.size(), 2u); // root + one shared int leaf
+  EXPECT_TRUE(Sketch::equal(M, S, L));
+}
+
+TEST(SketchMinimize, KeepsDistinctMarksApart) {
+  Lattice L = lat();
+  Sketch S;
+  uint32_t A = S.addNode(*L.lookup("int"));
+  uint32_t B = S.addNode(*L.lookup("str"));
+  S.addEdge(S.root(), Label::field(32, 0), A);
+  S.addEdge(S.root(), Label::field(32, 4), B);
+  Sketch M = S.minimized();
+  EXPECT_EQ(M.size(), 3u);
+  EXPECT_TRUE(Sketch::equal(M, S, L));
+}
+
+TEST(SketchMinimize, FoldsUnrolledRecursion) {
+  // An unrolled list (three explicit cells, last looping) minimizes to the
+  // two-state recursive form — the semantic core of the reroll policy
+  // (Example G.3).
+  Lattice L = lat();
+  LatticeElem Int = *L.lookup("int");
+  Sketch S;
+  uint32_t C1 = S.addNode(), C2 = S.addNode(), C3 = S.addNode();
+  uint32_t P1 = S.addNode(Int), P2 = S.addNode(Int), P3 = S.addNode(Int);
+  S.addEdge(S.root(), Label::load(), C1);
+  S.addEdge(C1, Label::field(32, 0), C2);
+  S.addEdge(C1, Label::field(32, 4), P1);
+  S.addEdge(C2, Label::field(32, 0), C3);
+  S.addEdge(C2, Label::field(32, 4), P2);
+  S.addEdge(C3, Label::field(32, 0), C3);
+  S.addEdge(C3, Label::field(32, 4), P3);
+
+  // But C1/C2/C3 have no self-edges except C3; bisimulation folds them all
+  // onto the looping cell.
+  Sketch M = S.minimized();
+  EXPECT_EQ(M.size(), 3u) << "root + cell + payload";
+  EXPECT_TRUE(Sketch::equal(M, S, L));
+}
+
+TEST(SketchMinimize, DropsUnreachableStates) {
+  Lattice L = lat();
+  Sketch S;
+  S.addNode(*L.lookup("int")); // never linked
+  Sketch M = S.minimized();
+  EXPECT_EQ(M.size(), 1u);
+  EXPECT_TRUE(Sketch::equal(M, S, L));
+}
+
+TEST(SketchMinimize, IdempotentAndEquivalentOnRandomSketches) {
+  Lattice L = lat();
+  std::mt19937 Rng(99);
+  std::uniform_int_distribution<LatticeElem> Mark(
+      0, static_cast<LatticeElem>(L.size() - 1));
+  const Label Labels[] = {Label::load(), Label::store(),
+                          Label::field(32, 0), Label::field(32, 4)};
+  std::uniform_int_distribution<unsigned> PickLabel(0, 3);
+
+  for (int Round = 0; Round < 30; ++Round) {
+    Sketch S;
+    unsigned N = 1 + Rng() % 6;
+    S.node(S.root()).Mark = Mark(Rng);
+    for (unsigned I = 1; I < N; ++I)
+      S.addNode(Mark(Rng));
+    std::uniform_int_distribution<uint32_t> PickNode(0, N - 1);
+    for (unsigned E = 0; E < N + 2; ++E)
+      S.addEdge(PickNode(Rng), Labels[PickLabel(Rng)], PickNode(Rng));
+
+    Sketch M = S.minimized();
+    EXPECT_LE(M.size(), S.size());
+    EXPECT_TRUE(Sketch::equal(M, S, L));
+    Sketch M2 = M.minimized();
+    EXPECT_EQ(M2.size(), M.size());
+  }
+}

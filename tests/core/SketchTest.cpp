@@ -1,0 +1,164 @@
+//===- SketchTest.cpp - Sketch lattice (Figure 18) tests --------------------===//
+
+#include "core/Sketch.h"
+
+#include <gtest/gtest.h>
+
+using namespace retypd;
+
+namespace {
+
+class SketchTest : public ::testing::Test {
+protected:
+  SketchTest() : Lat(makeDefaultLattice()) {}
+
+  LatticeElem elem(const std::string &N) { return *Lat.lookup(N); }
+
+  /// A sketch with language {ε, .load} and the given marks.
+  Sketch loadSketch(LatticeElem RootMark, LatticeElem LoadMark) {
+    Sketch S;
+    S.node(S.root()).Mark = RootMark;
+    uint32_t L = S.addNode(LoadMark);
+    S.addEdge(S.root(), Label::load(), L);
+    return S;
+  }
+
+  /// A recursive list sketch: root -load-> cell, cell -s32@0-> cell,
+  /// cell -s32@4-> payload.
+  Sketch listSketch(LatticeElem Payload) {
+    Sketch S;
+    uint32_t Cell = S.addNode();
+    uint32_t Pay = S.addNode(Payload);
+    S.addEdge(S.root(), Label::load(), Cell);
+    S.addEdge(Cell, Label::field(32, 0), Cell);
+    S.addEdge(Cell, Label::field(32, 4), Pay);
+    return S;
+  }
+
+  Lattice Lat;
+};
+
+} // namespace
+
+TEST_F(SketchTest, TrivialSketchHasOnlyEpsilon) {
+  Sketch S;
+  EXPECT_TRUE(S.hasPath({}));
+  std::vector<Label> W{Label::load()};
+  EXPECT_FALSE(S.hasPath(W));
+}
+
+TEST_F(SketchTest, RecursiveLanguageIsInfinite) {
+  Sketch S = listSketch(elem("int"));
+  std::vector<Label> W{Label::load()};
+  for (int I = 0; I < 5; ++I) {
+    EXPECT_TRUE(S.hasPath(W));
+    W.push_back(Label::field(32, 0));
+  }
+  W.back() = Label::field(32, 4);
+  EXPECT_TRUE(S.hasPath(W));
+  EXPECT_EQ(S.markAt(W), elem("int"));
+}
+
+TEST_F(SketchTest, MeetUnionsLanguages) {
+  Sketch A = loadSketch(Lattice::Top, elem("int"));
+  Sketch B;
+  uint32_t St = B.addNode(elem("str"));
+  B.addEdge(B.root(), Label::store(), St);
+  Sketch M = Sketch::meet(A, B, Lat);
+  std::vector<Label> L{Label::load()}, S{Label::store()};
+  EXPECT_TRUE(M.hasPath(L));
+  EXPECT_TRUE(M.hasPath(S));
+}
+
+TEST_F(SketchTest, JoinIntersectsLanguages) {
+  Sketch A = loadSketch(Lattice::Top, elem("int"));
+  Sketch B;
+  uint32_t St = B.addNode(elem("str"));
+  B.addEdge(B.root(), Label::store(), St);
+  Sketch J = Sketch::join(A, B, Lat);
+  std::vector<Label> L{Label::load()}, S{Label::store()};
+  EXPECT_FALSE(J.hasPath(L));
+  EXPECT_FALSE(J.hasPath(S));
+  EXPECT_TRUE(J.hasPath({}));
+}
+
+TEST_F(SketchTest, MarkCombinationRespectsVariance) {
+  // Covariant position (.load): meet takes Λ-meet, join takes Λ-join.
+  Sketch A = loadSketch(Lattice::Top, elem("int"));
+  Sketch B = loadSketch(Lattice::Top, elem("uint"));
+  std::vector<Label> W{Label::load()};
+  Sketch M = Sketch::meet(A, B, Lat);
+  EXPECT_EQ(M.markAt(W), Lattice::Bottom); // int ∧ uint
+  Sketch J = Sketch::join(A, B, Lat);
+  EXPECT_EQ(J.markAt(W), elem("num32")); // int ∨ uint
+}
+
+TEST_F(SketchTest, ContravariantMarksFlip) {
+  Sketch A, B;
+  uint32_t Na = A.addNode(elem("int"));
+  A.addEdge(A.root(), Label::in(0), Na);
+  uint32_t Nb = B.addNode(elem("uint"));
+  B.addEdge(B.root(), Label::in(0), Nb);
+  std::vector<Label> W{Label::in(0)};
+  // .in is contravariant: meet joins the marks, join meets them.
+  Sketch M = Sketch::meet(A, B, Lat);
+  EXPECT_EQ(M.markAt(W), elem("num32"));
+  Sketch J = Sketch::join(A, B, Lat);
+  EXPECT_EQ(J.markAt(W), Lattice::Bottom);
+}
+
+TEST_F(SketchTest, LeqRequiresLanguageContainment) {
+  Sketch A = loadSketch(Lattice::Top, elem("int"));
+  Sketch Trivial;
+  // A has strictly more capabilities: A ⊑ Trivial.
+  EXPECT_TRUE(Sketch::leq(A, Trivial, Lat));
+  EXPECT_FALSE(Sketch::leq(Trivial, A, Lat));
+}
+
+TEST_F(SketchTest, LeqChecksMarks) {
+  Sketch A = loadSketch(Lattice::Top, elem("int"));
+  Sketch B = loadSketch(Lattice::Top, elem("num32"));
+  EXPECT_TRUE(Sketch::leq(A, B, Lat));  // int <= num32 covariantly
+  EXPECT_FALSE(Sketch::leq(B, A, Lat));
+}
+
+TEST_F(SketchTest, MeetIsGreatestLowerBound) {
+  Sketch A = loadSketch(Lattice::Top, elem("int"));
+  Sketch B = loadSketch(elem("LPARAM"), elem("uint"));
+  Sketch M = Sketch::meet(A, B, Lat);
+  EXPECT_TRUE(Sketch::leq(M, A, Lat));
+  EXPECT_TRUE(Sketch::leq(M, B, Lat));
+}
+
+TEST_F(SketchTest, JoinIsLeastUpperBound) {
+  Sketch A = loadSketch(Lattice::Top, elem("int"));
+  Sketch B = loadSketch(elem("LPARAM"), elem("uint"));
+  Sketch J = Sketch::join(A, B, Lat);
+  EXPECT_TRUE(Sketch::leq(A, J, Lat));
+  EXPECT_TRUE(Sketch::leq(B, J, Lat));
+}
+
+TEST_F(SketchTest, LatticeLawsOnRecursiveSketches) {
+  Sketch A = listSketch(elem("int"));
+  Sketch B = listSketch(elem("str"));
+  Sketch M = Sketch::meet(A, B, Lat);
+  Sketch J = Sketch::join(A, B, Lat);
+  EXPECT_TRUE(Sketch::leq(M, A, Lat));
+  EXPECT_TRUE(Sketch::leq(A, J, Lat));
+  // Idempotence: A ⊓ A = A, A ⊔ A = A.
+  EXPECT_TRUE(Sketch::equal(Sketch::meet(A, A, Lat), A, Lat));
+  EXPECT_TRUE(Sketch::equal(Sketch::join(A, A, Lat), A, Lat));
+  // Commutativity.
+  EXPECT_TRUE(Sketch::equal(M, Sketch::meet(B, A, Lat), Lat));
+  EXPECT_TRUE(Sketch::equal(J, Sketch::join(B, A, Lat), Lat));
+}
+
+TEST_F(SketchTest, AbsorptionLaw) {
+  Sketch A = loadSketch(Lattice::Top, elem("int"));
+  Sketch B = listSketch(elem("str"));
+  // A ⊓ (A ⊔ B) = A and A ⊔ (A ⊓ B) = A.
+  EXPECT_TRUE(Sketch::equal(
+      Sketch::meet(A, Sketch::join(A, B, Lat), Lat), A, Lat));
+  EXPECT_TRUE(Sketch::equal(
+      Sketch::join(A, Sketch::meet(A, B, Lat), Lat), A, Lat));
+}

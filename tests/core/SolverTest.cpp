@@ -1,0 +1,176 @@
+//===- SolverTest.cpp - Sketch solving (Algorithm F.2) tests ----------------===//
+
+#include "core/ConstraintParser.h"
+#include "core/Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace retypd;
+
+namespace {
+
+class SolverTest : public ::testing::Test {
+protected:
+  SolverTest() : Lat(makeDefaultLattice()), Parser(Syms, Lat), Solver(Lat) {}
+
+  ConstraintSet parse(const std::string &Text) {
+    auto C = Parser.parse(Text);
+    if (!C) {
+      ADD_FAILURE() << Parser.error();
+      return ConstraintSet();
+    }
+    return *C;
+  }
+
+  TypeVariable var(const std::string &Name) {
+    return TypeVariable::var(Syms.intern(Name));
+  }
+
+  std::vector<Label> word(const std::string &Dtv) {
+    auto D = Parser.parseDtv(Dtv);
+    EXPECT_TRUE(D) << Parser.error();
+    return std::vector<Label>(D->labels().begin(), D->labels().end());
+  }
+
+  LatticeElem elem(const std::string &N) { return *Lat.lookup(N); }
+
+  SymbolTable Syms;
+  Lattice Lat;
+  ConstraintParser Parser;
+  SketchSolver Solver;
+};
+
+} // namespace
+
+// The close_last example of Figure 2 / Figure 5: recursive list argument
+// with a tagged int payload, tagged int result.
+TEST_F(SolverTest, CloseLastSketch) {
+  ConstraintSet C = parse(R"(
+    F.in0 <= t
+    t.load.s32@0 <= t
+    t.load.s32@4 <= fd
+    fd <= int
+    fd <= #FileDescriptor
+    int <= r
+    r <= F.out
+  )");
+  TypeVariable F = var("F");
+  SketchSolution Sol = Solver.solve(C, std::vector<TypeVariable>{F});
+  const Sketch &S = Sol.sketchFor(F);
+
+  // Recursive structure: .in0(.load.s32@0)^n.load.s32@4 exists for all n.
+  EXPECT_TRUE(S.hasPath(word("x.in0")));
+  EXPECT_TRUE(S.hasPath(word("x.in0.load.s32@4")));
+  EXPECT_TRUE(S.hasPath(word("x.in0.load.s32@0.load.s32@4")));
+  EXPECT_TRUE(S.hasPath(word("x.in0.load.s32@0.load.s32@0.load.s32@4")));
+
+  // The payload field is marked by the meet of its upper bounds: since
+  // #FileDescriptor <= int, that is #FileDescriptor itself.
+  EXPECT_EQ(S.markAt(word("x.in0.load.s32@4")), elem("#FileDescriptor"));
+  // The output is bounded below by int.
+  EXPECT_EQ(S.markAt(word("x.out")), elem("int"));
+}
+
+TEST_F(SolverTest, UpperAndLowerBoundsLand) {
+  ConstraintSet C = parse(R"(
+    F.in0 <= a
+    a <= int
+    #SuccessZ <= b
+    b <= F.out
+  )");
+  TypeVariable F = var("F");
+  SketchSolution Sol = Solver.solve(C, std::vector<TypeVariable>{F});
+  const Sketch &S = Sol.sketchFor(F);
+  // Contravariant position reports the upper bound.
+  EXPECT_EQ(S.markAt(word("x.in0")), elem("int"));
+  // Covariant position reports the join of lower bounds.
+  EXPECT_EQ(S.markAt(word("x.out")), elem("#SuccessZ"));
+}
+
+TEST_F(SolverTest, BoundsFlowThroughSaturatedPointers) {
+  // Figure 4 second program with a constant source: the bound must reach y
+  // through the store/load channel.
+  ConstraintSet C = parse(R"(
+    q <= p
+    #FileDescriptor <= x
+    x <= q.store
+    p.load <= y
+  )");
+  TypeVariable Y = var("y");
+  SketchSolution Sol = Solver.solve(C, std::vector<TypeVariable>{Y});
+  EXPECT_EQ(Sol.sketchFor(Y).node(0).Mark, elem("#FileDescriptor"));
+}
+
+TEST_F(SolverTest, PointerClassificationFromCapabilities) {
+  ConstraintSet C = parse(R"(
+    F.in0 <= p
+    p.load.s32@0 <= x
+  )");
+  TypeVariable F = var("F");
+  SketchSolution Sol = Solver.solve(C, std::vector<TypeVariable>{F});
+  const Sketch &S = Sol.sketchFor(F);
+  auto In = S.stateAt(word("x.in0"));
+  ASSERT_TRUE(In.has_value());
+  EXPECT_TRUE(S.node(*In).PointerLike);
+}
+
+TEST_F(SolverTest, AddPropagatesPointerness) {
+  // z = p + n where p is a pointer: z is a pointer, n an integer.
+  ConstraintSet C = parse(R"(
+    p.load.s32@0 <= w
+    add(p, n; z)
+  )");
+  TypeVariable N = var("n"), Z = var("z");
+  SketchSolution Sol = Solver.solve(C, std::vector<TypeVariable>{N, Z});
+  EXPECT_TRUE(Sol.sketchFor(Z).node(0).PointerLike);
+  EXPECT_TRUE(Sol.sketchFor(N).node(0).IntegerLike);
+}
+
+TEST_F(SolverTest, SubOfTwoPointersIsInteger) {
+  ConstraintSet C = parse(R"(
+    a.load.s32@0 <= w
+    b.load.s32@0 <= v
+    sub(a, b; d)
+  )");
+  TypeVariable D = var("d");
+  SketchSolution Sol = Solver.solve(C, std::vector<TypeVariable>{D});
+  EXPECT_TRUE(Sol.sketchFor(D).node(0).IntegerLike);
+  EXPECT_FALSE(Sol.sketchFor(D).node(0).PointerLike);
+}
+
+TEST_F(SolverTest, IntSeedsComeFromNumericBounds) {
+  ConstraintSet C = parse(R"(
+    n <= int
+    add(n, m; s)
+  )");
+  TypeVariable M = var("m"), S = var("s");
+  SketchSolution Sol = Solver.solve(C, std::vector<TypeVariable>{M, S});
+  // n is numeric; by itself that says nothing about m or s...
+  // ...until z is constrained: int + ? = ? gives no mark without a second
+  // operand fact, so only check n's own classification propagated to s when
+  // m is also numeric.
+  ConstraintSet C2 = parse(R"(
+    n <= int
+    m <= uint
+    add(n, m; s)
+  )");
+  SketchSolution Sol2 = Solver.solve(C2, std::vector<TypeVariable>{S});
+  EXPECT_TRUE(Sol2.sketchFor(S).node(0).IntegerLike);
+}
+
+TEST_F(SolverTest, HasCapabilityQueries) {
+  ConstraintSet C = parse(R"(
+    F.in0 <= p
+    x <= p.store
+  )");
+  ConstraintParser P(Syms, Lat);
+  EXPECT_TRUE(SketchSolver::hasCapability(C, *P.parseDtv("F.in0.store")));
+  EXPECT_FALSE(SketchSolver::hasCapability(C, *P.parseDtv("F.out")));
+}
+
+TEST_F(SolverTest, UnknownVariableGetsTrivialSketch) {
+  ConstraintSet C = parse("a <= b\n");
+  TypeVariable Z = var("zz");
+  SketchSolution Sol = Solver.solve(C, std::vector<TypeVariable>{Z});
+  EXPECT_EQ(Sol.sketchFor(Z).size(), 1u);
+}

@@ -1,0 +1,207 @@
+//===- ConversionTest.cpp - Sketch → C type policy tests --------------------===//
+
+#include "core/ConstraintParser.h"
+#include "core/Solver.h"
+#include "ctypes/Conversion.h"
+
+#include <gtest/gtest.h>
+
+using namespace retypd;
+
+namespace {
+
+class ConversionTest : public ::testing::Test {
+protected:
+  ConversionTest() : Lat(makeDefaultLattice()), Parser(Syms, Lat),
+                     Solver(Lat) {}
+
+  ConstraintSet parse(const std::string &Text) {
+    auto C = Parser.parse(Text);
+    if (!C) {
+      ADD_FAILURE() << Parser.error();
+      return ConstraintSet();
+    }
+    return *C;
+  }
+
+  /// Solves for F and converts to a function prototype string.
+  std::string prototypeFor(const std::string &Constraints,
+                           ConversionOptions Opts = ConversionOptions()) {
+    ConstraintSet C = parse(Constraints);
+    TypeVariable F = TypeVariable::var(Syms.intern("F"));
+    SketchSolution Sol = Solver.solve(C, std::vector<TypeVariable>{F});
+    CTypePool Pool;
+    CTypeConverter Conv(Pool, Lat, Opts);
+    CTypeId Fn = Conv.convertFunction(Sol.sketchFor(F));
+    return Pool.prototype(Fn, "F");
+  }
+
+  SymbolTable Syms;
+  Lattice Lat;
+  ConstraintParser Parser;
+  SketchSolver Solver;
+};
+
+} // namespace
+
+TEST_F(ConversionTest, ScalarRoundTrip) {
+  std::string P = prototypeFor(R"(
+    F.in0 <= a
+    a <= int
+    int <= r
+    r <= F.out
+  )");
+  EXPECT_EQ(P, "int F(int)");
+}
+
+TEST_F(ConversionTest, PointerParameterWithConst) {
+  // Parameter is only loaded through: const pointee (§6.4).
+  std::string P = prototypeFor(R"(
+    F.in0 <= p
+    p.load.s32@0 <= v
+    v <= int
+  )");
+  EXPECT_EQ(P, "void F(const int *)");
+}
+
+TEST_F(ConversionTest, PointerParameterMutableWhenStored) {
+  std::string P = prototypeFor(R"(
+    F.in0 <= p
+    v <= p.store.s32@0
+    int <= v
+  )");
+  EXPECT_NE(P.find("int *"), std::string::npos);
+  EXPECT_EQ(P.find("const"), std::string::npos);
+}
+
+TEST_F(ConversionTest, ConstPolicyCanBeDisabled) {
+  ConversionOptions Opts;
+  Opts.InferConst = false;
+  std::string P = prototypeFor(R"(
+    F.in0 <= p
+    p.load.s32@0 <= v
+    v <= int
+  )",
+                               Opts);
+  EXPECT_EQ(P.find("const"), std::string::npos);
+}
+
+TEST_F(ConversionTest, StructWithTwoFields) {
+  std::string P = prototypeFor(R"(
+    F.in0 <= p
+    p.load.s32@0 <= a
+    a <= int
+    p.load.s32@4 <= b
+    b <= uint
+  )");
+  EXPECT_NE(P.find("Struct_0"), std::string::npos) << P;
+}
+
+TEST_F(ConversionTest, RecursiveListBecomesNamedStruct) {
+  // The close_last shape: struct LL { struct LL *next; int handle; }.
+  ConstraintSet C = parse(R"(
+    F.in0 <= t
+    t.load.s32@0 <= t
+    t.load.s32@4 <= fd
+    fd <= int
+    fd <= #FileDescriptor
+    int <= r
+    r <= F.out
+  )");
+  TypeVariable F = TypeVariable::var(Syms.intern("F"));
+  SketchSolution Sol = Solver.solve(C, std::vector<TypeVariable>{F});
+  CTypePool Pool;
+  CTypeConverter Conv(Pool, Lat);
+  CTypeId Fn = Conv.convertFunction(Sol.sketchFor(F));
+
+  std::string Proto = Pool.prototype(Fn, "close_last");
+  EXPECT_EQ(Proto, "int close_last(const Struct_0 *)") << Proto;
+
+  std::string Defs = Pool.structDefinitions({Fn});
+  // The struct contains a self-referencing pointer field at offset 0 and a
+  // tagged int at offset 4, as in Figure 2.
+  EXPECT_NE(Defs.find("struct Struct_0 {"), std::string::npos) << Defs;
+  EXPECT_NE(Defs.find("Struct_0 *field_0"), std::string::npos) << Defs;
+  EXPECT_NE(Defs.find("/*#FileDescriptor*/ field_4"), std::string::npos)
+      << Defs;
+}
+
+TEST_F(ConversionTest, SemanticTagsAnnotate) {
+  std::string P = prototypeFor(R"(
+    F.in0 <= a
+    a <= #FileDescriptor
+    a <= int
+  )");
+  EXPECT_NE(P.find("/*#FileDescriptor*/"), std::string::npos) << P;
+}
+
+TEST_F(ConversionTest, TypedefNamesSurvive) {
+  std::string P = prototypeFor(R"(
+    F.in0 <= h
+    h <= HBRUSH
+  )");
+  EXPECT_NE(P.find("HBRUSH"), std::string::npos) << P;
+}
+
+TEST_F(ConversionTest, MixedPointerIntegerMakesUnion) {
+  // A value used both as an int and as a pointer (§2.6 bit twiddling).
+  std::string P = prototypeFor(R"(
+    F.in0 <= x
+    x.load.s32@0 <= v
+    x <= int
+    add(x, one; y)
+    one <= int
+    y <= int
+  )");
+  EXPECT_NE(P.find("union"), std::string::npos) << P;
+}
+
+TEST_F(ConversionTest, UnionPolicyCanBeDisabled) {
+  ConversionOptions Opts;
+  Opts.EmitUnions = false;
+  std::string P = prototypeFor(R"(
+    F.in0 <= x
+    x.load.s32@0 <= v
+    x <= int
+  )",
+                               Opts);
+  EXPECT_EQ(P.find("union"), std::string::npos) << P;
+}
+
+TEST_F(ConversionTest, IncompatibleScalarBoundsMakeUnion) {
+  // x <= str and x <= HANDLE: meet is ⊥ — union of both views.
+  std::string P = prototypeFor(R"(
+    F.in0 <= x
+    x <= str
+    x <= HANDLE
+  )");
+  EXPECT_NE(P.find("union"), std::string::npos) << P;
+}
+
+TEST_F(ConversionTest, VoidFunctionWithNoOut) {
+  std::string P = prototypeFor("F.in0 <= a\na <= int\n");
+  EXPECT_EQ(P, "void F(int)");
+}
+
+TEST_F(ConversionTest, MultipleParametersInOrder) {
+  std::string P = prototypeFor(R"(
+    F.in0 <= a
+    a <= int
+    F.in1 <= b
+    b <= str
+    F.in2 <= c
+    c <= uint
+  )");
+  EXPECT_EQ(P, "void F(int, char *, unsigned int)");
+}
+
+TEST_F(ConversionTest, PointerToPointer) {
+  std::string P = prototypeFor(R"(
+    F.in0 <= p
+    p.load.s32@0 <= q
+    q.load.s32@0 <= v
+    v <= int
+  )");
+  // Read-only at both levels: `const int *const *`.
+  EXPECT_EQ(P, "void F(const int *const *)");
+}

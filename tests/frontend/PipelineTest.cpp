@@ -1,0 +1,274 @@
+//===- PipelineTest.cpp - End-to-end pipeline tests ---------------------------===//
+
+#include "frontend/Pipeline.h"
+#include "mir/AsmParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace retypd;
+
+namespace {
+
+class PipelineTest : public ::testing::Test {
+protected:
+  PipelineTest() : Lat(makeDefaultLattice()) {}
+
+  Module parseOk(const std::string &Text) {
+    AsmParser P;
+    auto M = P.parse(Text);
+    if (!M) {
+      ADD_FAILURE() << P.error();
+      return Module();
+    }
+    return *M;
+  }
+
+  std::string protoFor(Module &M, const std::string &Fn,
+                       TypeReport *OutReport = nullptr) {
+    Pipeline P(Lat);
+    TypeReport R = P.run(M);
+    auto Id = M.findFunction(Fn);
+    EXPECT_TRUE(Id.has_value());
+    std::string Proto = R.prototypeOf(*Id, M);
+    if (OutReport)
+      *OutReport = std::move(R);
+    return Proto;
+  }
+
+  Lattice Lat;
+};
+
+} // namespace
+
+// The paper's flagship example, end to end: Figure 2's machine code in,
+// Figure 2's C type out.
+TEST_F(PipelineTest, CloseLastFigure2) {
+  Module M = parseOk(R"(
+extern close
+fn close_last:
+  load edx, [esp+4]
+  jmp check
+advance:
+  mov edx, eax
+check:
+  load eax, [edx+0]
+  test eax, eax
+  jnz advance
+  load eax, [edx+4]
+  push eax
+  call close
+  add esp, 4
+  ret
+)");
+  TypeReport R;
+  std::string Proto = protoFor(M, "close_last", &R);
+  EXPECT_EQ(Proto, "int /*#SuccessZ*/ close_last(const Struct_0 *)")
+      << Proto;
+
+  // The struct rolls up recursively, like `struct LL { LL *next; int fd }`.
+  uint32_t Id = *M.findFunction("close_last");
+  std::string Defs = R.Pool.structDefinitions({R.typesOf(Id)->CType});
+  EXPECT_NE(Defs.find("Struct_0 *field_0"), std::string::npos) << Defs;
+  EXPECT_NE(Defs.find("/*#FileDescriptor*/ field_4"), std::string::npos)
+      << Defs;
+
+  // The scheme is polymorphic with one existential carrying the recursive
+  // constraint, as in Figure 2.
+  const TypeScheme &S = R.typesOf(Id)->Scheme;
+  EXPECT_EQ(S.Existentials.size(), 1u);
+}
+
+TEST_F(PipelineTest, MallocIsPolymorphicAcrossCallsites) {
+  // Two mallocs with different uses: one holds an int, one holds a pointer.
+  // Unification would merge them; Retypd must not.
+  Module M = parseOk(R"(
+extern malloc
+fn f:
+  push 4
+  call malloc
+  add esp, 4
+  mov esi, eax        ; esi = int cell
+  store [esi], 7      ; (immediate, no info)
+  load eax, [esp+4]
+  store [esi], eax    ; store the int param
+  push 4
+  call malloc
+  add esp, 4
+  mov edi, eax        ; edi = pointer cell
+  store [edi], esi
+  ret
+)");
+  Pipeline P(Lat);
+  TypeReport R = P.run(M);
+  uint32_t Id = *M.findFunction("f");
+  const Sketch &Sk = R.typesOf(Id)->FuncSketch;
+  // in0 is an int-ish value stored through the first cell; the function
+  // sketch must NOT claim in0 has pointer capabilities.
+  auto In0 = Sk.stateAt(std::vector<Label>{Label::in(0)});
+  ASSERT_TRUE(In0.has_value());
+  EXPECT_FALSE(Sk.node(*In0).Children.count(Label::load()));
+}
+
+TEST_F(PipelineTest, InterproceduralFieldTypes) {
+  // A getter used from a caller that builds the struct: scheme inference
+  // bottom-up, then calling-context refinement.
+  Module M = parseOk(R"(
+extern malloc
+extern close
+fn get_fd:
+  load edx, [esp+4]
+  load eax, [edx+4]
+  ret
+fn use:
+  push 8
+  call malloc
+  add esp, 4
+  mov esi, eax
+  load eax, [esp+4]
+  store [esi+4], eax
+  push esi
+  call get_fd
+  add esp, 4
+  push eax
+  call close
+  add esp, 4
+  ret
+)");
+  Pipeline P(Lat);
+  TypeReport R = P.run(M);
+
+  // get_fd's most-general scheme: ∀F. F.in0.load.s32@4 <= F.out (modulo τ).
+  uint32_t GetFd = *M.findFunction("get_fd");
+  const Sketch &Sk = R.typesOf(GetFd)->FuncSketch;
+  std::vector<Label> Path{Label::in(0), Label::load(), Label::field(32, 4)};
+  ASSERT_TRUE(Sk.hasPath(Path));
+
+  // use's in0 (the fd it stores into the struct) reaches close's bound —
+  // its own parameter becomes a file descriptor.
+  uint32_t Use = *M.findFunction("use");
+  const Sketch &UseSk = R.typesOf(Use)->FuncSketch;
+  std::vector<Label> P0{Label::in(0)};
+  ASSERT_TRUE(UseSk.hasPath(P0));
+  EXPECT_EQ(Lat.name(UseSk.markAt(P0)), "#FileDescriptor");
+}
+
+TEST_F(PipelineTest, OutParamThroughPointer) {
+  // void f(int *out) { *out = open(...); } — the parameter is a mutable
+  // pointer (no const), and the pointee is a file descriptor.
+  Module M = parseOk(R"(
+extern open
+fn f:
+  load edx, [esp+4]
+  push 0
+  push 0
+  call open
+  add esp, 8
+  store [edx], eax
+  ret
+)");
+  TypeReport R;
+  std::string Proto = protoFor(M, "f", &R);
+  EXPECT_EQ(Proto.find("const"), std::string::npos) << Proto;
+  uint32_t Id = *M.findFunction("f");
+  const Sketch &Sk = R.typesOf(Id)->FuncSketch;
+  std::vector<Label> P0{Label::in(0), Label::store(), Label::field(32, 0)};
+  ASSERT_TRUE(Sk.hasPath(P0));
+  EXPECT_EQ(Lat.name(Sk.markAt(P0)), "#FileDescriptor");
+}
+
+TEST_F(PipelineTest, RecursiveFunctionsSolve) {
+  Module M = parseOk(R"(
+fn len:
+  load edx, [esp+4]
+  test edx, edx
+  jnz rec
+  mov eax, 0
+  ret
+rec:
+  load eax, [edx+0]
+  push eax
+  call len
+  add esp, 4
+  add eax, 1
+  ret
+)");
+  TypeReport R;
+  std::string Proto = protoFor(M, "len", &R);
+  // A recursive list argument; the return is an int-ish scalar.
+  uint32_t Id = *M.findFunction("len");
+  const Sketch &Sk = R.typesOf(Id)->FuncSketch;
+  std::vector<Label> Deep{Label::in(0), Label::load(), Label::field(32, 0),
+                          Label::load(), Label::field(32, 0)};
+  EXPECT_TRUE(Sk.hasPath(Deep)) << Proto;
+}
+
+TEST_F(PipelineTest, ConstOnlyWhenNeverStored) {
+  Module M = parseOk(R"(
+fn reads:
+  load edx, [esp+4]
+  load eax, [edx]
+  ret
+fn writes:
+  load edx, [esp+4]
+  load eax, [esp+8]
+  store [edx], eax
+  ret
+fn main:
+  halt
+)");
+  Pipeline P(Lat);
+  TypeReport R = P.run(M);
+  std::string ReadsProto = R.prototypeOf(*M.findFunction("reads"), M);
+  std::string WritesProto = R.prototypeOf(*M.findFunction("writes"), M);
+  EXPECT_NE(ReadsProto.find("const"), std::string::npos) << ReadsProto;
+  EXPECT_EQ(WritesProto.find("const"), std::string::npos) << WritesProto;
+}
+
+TEST_F(PipelineTest, SpuriousRegisterParamDoesNotPoison) {
+  // The push-ecx idiom (§2.5): callers' unrelated ecx values must not be
+  // unified with anything; with subtyping they flow into a variable that
+  // never constrains the callers back.
+  Module M = parseOk(R"(
+extern close
+fn reserve:
+  push ecx
+  mov eax, 0
+  store [esp], eax
+  add esp, 4
+  ret
+fn caller1:
+  load ecx, [esp+4]   ; an int param in ecx
+  call reserve
+  ret
+fn caller2:
+  push 4
+  call malloc
+  add esp, 4
+  mov ecx, eax        ; a pointer in ecx
+  call reserve
+  ret
+extern malloc
+)");
+  Pipeline P(Lat);
+  TypeReport R = P.run(M);
+  // caller1's parameter keeps a scalar type (no pointer capabilities leak
+  // back from caller2 through reserve's spurious ecx parameter).
+  uint32_t C1 = *M.findFunction("caller1");
+  const Sketch &Sk = R.typesOf(C1)->FuncSketch;
+  auto In0 = Sk.stateAt(std::vector<Label>{Label::in(0)});
+  ASSERT_TRUE(In0.has_value());
+  EXPECT_FALSE(Sk.node(*In0).Children.count(Label::load()));
+  EXPECT_FALSE(Sk.node(*In0).Children.count(Label::store()));
+}
+
+TEST_F(PipelineTest, ReportCountsWork) {
+  Module M = parseOk(R"(
+fn f:
+  load eax, [esp+4]
+  ret
+)");
+  Pipeline P(Lat);
+  TypeReport R = P.run(M);
+  EXPECT_GT(R.ConstraintsGenerated, 0u);
+  EXPECT_EQ(R.Funcs.size(), 1u);
+}

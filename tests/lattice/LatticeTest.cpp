@@ -1,0 +1,103 @@
+//===- LatticeTest.cpp - Λ lattice unit tests ------------------------------===//
+
+#include "lattice/Lattice.h"
+
+#include <gtest/gtest.h>
+
+using namespace retypd;
+
+namespace {
+
+Lattice small() {
+  LatticeBuilder B;
+  LatticeElem Num = B.add("num", Lattice::Top, /*Numeric=*/true);
+  B.add("int", Num);
+  B.add("uint", Num);
+  B.add("str", Lattice::Top);
+  Lattice L;
+  std::string Err;
+  EXPECT_TRUE(B.build(L, Err)) << Err;
+  return L;
+}
+
+} // namespace
+
+TEST(Lattice, TopBottomOrder) {
+  Lattice L = small();
+  for (LatticeElem E = 0; E < L.size(); ++E) {
+    EXPECT_TRUE(L.leq(E, Lattice::Top));
+    EXPECT_TRUE(L.leq(Lattice::Bottom, E));
+  }
+}
+
+TEST(Lattice, JoinOfSiblingsIsParent) {
+  Lattice L = small();
+  LatticeElem I = *L.lookup("int");
+  LatticeElem U = *L.lookup("uint");
+  EXPECT_EQ(L.join(I, U), *L.lookup("num"));
+  EXPECT_EQ(L.meet(I, U), Lattice::Bottom);
+}
+
+TEST(Lattice, JoinAcrossFamiliesIsTop) {
+  Lattice L = small();
+  EXPECT_EQ(L.join(*L.lookup("int"), *L.lookup("str")), Lattice::Top);
+}
+
+TEST(Lattice, MeetWithAncestorIsSelf) {
+  Lattice L = small();
+  LatticeElem I = *L.lookup("int");
+  LatticeElem N = *L.lookup("num");
+  EXPECT_EQ(L.meet(I, N), I);
+  EXPECT_EQ(L.join(I, N), N);
+}
+
+TEST(Lattice, NumericFlagInherited) {
+  Lattice L = small();
+  EXPECT_TRUE(L.isNumeric(*L.lookup("int")));
+  EXPECT_TRUE(L.isNumeric(*L.lookup("num")));
+  EXPECT_FALSE(L.isNumeric(*L.lookup("str")));
+  EXPECT_FALSE(L.isNumeric(Lattice::Top));
+}
+
+TEST(Lattice, DuplicateNameRejected) {
+  LatticeBuilder B;
+  B.add("x", Lattice::Top);
+  B.add("x", Lattice::Top);
+  Lattice L;
+  std::string Err;
+  EXPECT_FALSE(B.build(L, Err));
+}
+
+TEST(Lattice, NonLatticeDiamondRejected) {
+  // a, b incomparable; c and d both below a and b: no unique meet(a, b).
+  LatticeBuilder B;
+  LatticeElem A = B.add("a", Lattice::Top);
+  LatticeElem Bb = B.add("b", Lattice::Top);
+  B.addMultiParent("c", {A, Bb});
+  B.addMultiParent("d", {A, Bb});
+  Lattice L;
+  std::string Err;
+  EXPECT_FALSE(B.build(L, Err));
+  EXPECT_NE(Err.find("meet"), std::string::npos);
+}
+
+TEST(Lattice, DefaultLatticeIsValidAndRich) {
+  Lattice L = makeDefaultLattice();
+  EXPECT_GE(L.size(), 30u);
+  ASSERT_TRUE(L.lookup("#FileDescriptor").has_value());
+  ASSERT_TRUE(L.lookup("#SuccessZ").has_value());
+  ASSERT_TRUE(L.lookup("int").has_value());
+  EXPECT_TRUE(L.leq(*L.lookup("#FileDescriptor"), *L.lookup("int")));
+  EXPECT_TRUE(L.isTag(*L.lookup("#SuccessZ")));
+  EXPECT_FALSE(L.isTag(*L.lookup("int")));
+  // HGDI handles form their own hierarchy (§2.8).
+  EXPECT_TRUE(L.leq(*L.lookup("HBRUSH"), *L.lookup("HGDI")));
+  EXPECT_TRUE(L.leq(*L.lookup("HGDI"), *L.lookup("HANDLE")));
+  EXPECT_EQ(L.join(*L.lookup("HBRUSH"), *L.lookup("HPEN")),
+            *L.lookup("HGDI"));
+}
+
+TEST(Lattice, HeightIsPositive) {
+  Lattice L = makeDefaultLattice();
+  EXPECT_GE(L.height(), 4u);
+}

@@ -1,0 +1,164 @@
+//===- BinaryImageTest.cpp - encode/decode/disassembly tests -----------------===//
+
+#include "loader/BinaryImage.h"
+#include "mir/AsmParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace retypd;
+
+namespace {
+
+Module parseOk(const std::string &Text) {
+  AsmParser P;
+  auto M = P.parse(Text);
+  if (!M) {
+    ADD_FAILURE() << P.error();
+    return Module();
+  }
+  return *M;
+}
+
+const char *TwoFuncs = R"(
+extern close
+fn main:
+  push 5
+  call helper
+  add esp, 4
+  halt
+fn helper:
+  load eax, [esp+4]
+  push eax
+  call close
+  add esp, 4
+  ret
+)";
+
+} // namespace
+
+TEST(BinaryImage, RoundTripPreservesInstructions) {
+  Module M = parseOk(TwoFuncs);
+  M.EntryFunc = *M.findFunction("main");
+  EncodedImage Img = encodeModule(M);
+  DecodeReport Rep;
+  auto M2 = decodeImage(Img.Bytes, Rep);
+  ASSERT_TRUE(M2) << Rep.Error;
+  EXPECT_EQ(Rep.FunctionsDiscovered, 2u);
+  EXPECT_EQ(Rep.ImportsResolved, 1u);
+  EXPECT_EQ(Rep.BadInstructions, 0u);
+
+  // Names are stripped: discovered functions get sub_<addr> names, imports
+  // keep theirs.
+  EXPECT_TRUE(M2->findFunction("close").has_value());
+  EXPECT_FALSE(M2->findFunction("main").has_value());
+
+  // The entry function's instruction stream round-trips.
+  const Function &Main2 = M2->Funcs[M2->EntryFunc];
+  const Function &Main = M.Funcs[M.EntryFunc];
+  ASSERT_EQ(Main2.Body.size(), Main.Body.size());
+  for (size_t I = 0; I < Main.Body.size(); ++I)
+    EXPECT_EQ(Main2.Body[I].Op, Main.Body[I].Op) << "instr " << I;
+}
+
+TEST(BinaryImage, SymbolMapLocatesFunctions) {
+  Module M = parseOk(TwoFuncs);
+  M.EntryFunc = *M.findFunction("main");
+  EncodedImage Img = encodeModule(M);
+  DecodeReport Rep;
+  auto M2 = decodeImage(Img.Bytes, Rep);
+  ASSERT_TRUE(M2);
+  // The ground-truth side channel can find the decoded helper by address.
+  uint32_t HelperAddr = Img.FunctionAddrs.at("helper");
+  std::string Expected = "sub_" + std::to_string(HelperAddr);
+  EXPECT_TRUE(M2->findFunction(Expected).has_value());
+}
+
+TEST(BinaryImage, BranchTargetsRelocate) {
+  Module M = parseOk(R"(
+fn main:
+  mov eax, 3
+loop:
+  sub eax, 1
+  cmp eax, 0
+  jnz loop
+  halt
+)");
+  M.EntryFunc = 0;
+  EncodedImage Img = encodeModule(M);
+  DecodeReport Rep;
+  auto M2 = decodeImage(Img.Bytes, Rep);
+  ASSERT_TRUE(M2) << Rep.Error;
+  const Function &F = M2->Funcs[M2->EntryFunc];
+  ASSERT_EQ(F.Body.size(), 5u);
+  EXPECT_EQ(F.Body[3].Op, Opcode::Jcc);
+  EXPECT_EQ(F.Body[3].Target, 1u);
+}
+
+TEST(BinaryImage, GlobalReferencesSurvive) {
+  Module M = parseOk(R"(
+global counter, 4
+fn main:
+  mov eax, @counter
+  load ebx, [@counter]
+  store [@counter], ebx
+  halt
+)");
+  M.EntryFunc = 0;
+  EncodedImage Img = encodeModule(M);
+  DecodeReport Rep;
+  auto M2 = decodeImage(Img.Bytes, Rep);
+  ASSERT_TRUE(M2) << Rep.Error;
+  const Function &F = M2->Funcs[M2->EntryFunc];
+  EXPECT_EQ(F.Body[0].Op, Opcode::MovGlobal);
+  EXPECT_TRUE(F.Body[1].Mem.isGlobal());
+  EXPECT_TRUE(F.Body[2].Mem.isGlobal());
+  // Both references resolve to the same synthesized symbol.
+  EXPECT_EQ(F.Body[1].Mem.GlobalSym, F.Body[2].Mem.GlobalSym);
+}
+
+TEST(BinaryImage, RejectsBadMagic) {
+  std::vector<uint8_t> Junk(64, 0xab);
+  DecodeReport Rep;
+  EXPECT_FALSE(decodeImage(Junk, Rep));
+  EXPECT_FALSE(Rep.Error.empty());
+}
+
+TEST(BinaryImage, RejectsTruncatedImage) {
+  Module M = parseOk("fn main:\n  halt\n");
+  M.EntryFunc = 0;
+  EncodedImage Img = encodeModule(M);
+  Img.Bytes.resize(Img.Bytes.size() - 8);
+  DecodeReport Rep;
+  EXPECT_FALSE(decodeImage(Img.Bytes, Rep));
+}
+
+TEST(BinaryImage, SurvivesCorruptedInstruction) {
+  // Corrupt the opcode of a reachable instruction: decoding must not crash
+  // and must report the damage (§2.5: disassembly failures are a fact of
+  // life).
+  Module M = parseOk(TwoFuncs);
+  M.EntryFunc = *M.findFunction("main");
+  EncodedImage Img = encodeModule(M);
+  // Find the code section: header(20) + import entry (8 + 5 name bytes).
+  size_t CodeOff = 20 + 8 + 5;
+  Img.Bytes[CodeOff + 2 * ImageLayout::InstrBytes] = 0xff; // bad opcode
+  DecodeReport Rep;
+  auto M2 = decodeImage(Img.Bytes, Rep);
+  ASSERT_TRUE(M2);
+  EXPECT_GT(Rep.BadInstructions, 0u);
+}
+
+TEST(BinaryImage, UnreachableFunctionsAreNotDiscovered) {
+  Module M = parseOk(R"(
+fn main:
+  halt
+fn dead:
+  ret
+)");
+  M.EntryFunc = 0;
+  EncodedImage Img = encodeModule(M);
+  DecodeReport Rep;
+  auto M2 = decodeImage(Img.Bytes, Rep);
+  ASSERT_TRUE(M2);
+  EXPECT_EQ(Rep.FunctionsDiscovered, 1u);
+}

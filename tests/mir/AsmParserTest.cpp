@@ -1,0 +1,166 @@
+//===- AsmParserTest.cpp - Assembly front-end tests -------------------------===//
+
+#include "mir/AsmParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace retypd;
+
+namespace {
+
+Module parseOk(const std::string &Text) {
+  AsmParser P;
+  auto M = P.parse(Text);
+  if (!M) {
+    ADD_FAILURE() << P.error();
+    return Module();
+  }
+  return *M;
+}
+
+// The close_last listing from Figure 2, in our assembly syntax.
+const char *CloseLast = R"(
+extern close
+fn close_last:
+  load edx, [esp+4]
+  jmp check
+advance:
+  mov edx, eax
+check:
+  load eax, [edx+0]
+  test eax, eax
+  jnz advance
+  load eax, [edx+4]
+  push eax
+  call close
+  add esp, 4
+  ret
+)";
+
+} // namespace
+
+TEST(AsmParser, ParsesCloseLast) {
+  Module M = parseOk(CloseLast);
+  ASSERT_EQ(M.Funcs.size(), 2u);
+  EXPECT_TRUE(M.Funcs[0].IsExternal);
+  EXPECT_EQ(M.Funcs[0].Name, "close");
+  const Function &F = M.Funcs[1];
+  EXPECT_EQ(F.Name, "close_last");
+  ASSERT_EQ(F.Body.size(), 11u);
+  EXPECT_EQ(F.Body[0].Op, Opcode::Load);
+  EXPECT_EQ(F.Body[0].Mem.Base, Reg::Esp);
+  EXPECT_EQ(F.Body[0].Mem.Disp, 4);
+  EXPECT_EQ(F.Body[1].Op, Opcode::Jmp);
+  EXPECT_EQ(F.Body[1].Target, 3u); // "check" label
+  EXPECT_EQ(F.Body[5].Op, Opcode::Jcc);
+  EXPECT_EQ(F.Body[5].CC, Cond::Nz);
+  EXPECT_EQ(F.Body[5].Target, 2u); // "advance"
+  EXPECT_EQ(F.Body[8].Op, Opcode::Call);
+  EXPECT_EQ(F.Body[8].Target, 0u); // close
+}
+
+TEST(AsmParser, SizedMemoryOps) {
+  Module M = parseOk(R"(
+fn f:
+  load1 eax, [ebx+2]
+  store2 [ebx-4], eax
+  load8 ecx, [esp]
+  ret
+)");
+  const Function &F = M.Funcs[0];
+  EXPECT_EQ(F.Body[0].Mem.Size, 1);
+  EXPECT_EQ(F.Body[1].Mem.Size, 2);
+  EXPECT_EQ(F.Body[1].Mem.Disp, -4);
+  EXPECT_EQ(F.Body[2].Mem.Size, 8);
+  EXPECT_EQ(F.Body[2].Mem.Disp, 0);
+}
+
+TEST(AsmParser, GlobalsAndAddressOf) {
+  Module M = parseOk(R"(
+global table, 64
+fn f:
+  mov eax, @table
+  load ebx, [@table+8]
+  store [@table], ebx
+  ret
+)");
+  ASSERT_EQ(M.Globals.size(), 1u);
+  const Function &F = M.Funcs[0];
+  EXPECT_EQ(F.Body[0].Op, Opcode::MovGlobal);
+  EXPECT_EQ(F.Body[0].Target, 0u);
+  EXPECT_TRUE(F.Body[1].Mem.isGlobal());
+  EXPECT_EQ(F.Body[1].Mem.Disp, 8);
+  EXPECT_TRUE(F.Body[2].Mem.isGlobal());
+}
+
+TEST(AsmParser, ImmediateForms) {
+  Module M = parseOk(R"(
+fn f:
+  mov eax, -7
+  mov ebx, 0x10
+  add eax, 4
+  sub esp, 8
+  cmp eax, 0
+  push 42
+  store [esp], 3
+  ret
+)");
+  const Function &F = M.Funcs[0];
+  EXPECT_EQ(F.Body[0].Op, Opcode::MovImm);
+  EXPECT_EQ(F.Body[0].Imm, -7);
+  EXPECT_EQ(F.Body[1].Imm, 16);
+  EXPECT_EQ(F.Body[2].Op, Opcode::AddImm);
+  EXPECT_EQ(F.Body[4].Op, Opcode::CmpImm);
+  EXPECT_EQ(F.Body[5].Op, Opcode::PushImm);
+  EXPECT_EQ(F.Body[6].Op, Opcode::StoreImm);
+}
+
+TEST(AsmParser, ForwardCallsResolve) {
+  Module M = parseOk(R"(
+fn caller:
+  call callee
+  ret
+fn callee:
+  ret
+)");
+  EXPECT_EQ(M.Funcs[0].Body[0].Target, 1u);
+}
+
+TEST(AsmParser, ReportsUnknownLabel) {
+  AsmParser P;
+  EXPECT_FALSE(P.parse("fn f:\n  jmp nowhere\n  ret\n"));
+  EXPECT_NE(P.error().find("unknown label"), std::string::npos);
+}
+
+TEST(AsmParser, ReportsUnknownMnemonic) {
+  AsmParser P;
+  EXPECT_FALSE(P.parse("fn f:\n  frob eax\n"));
+  EXPECT_NE(P.error().find("unknown mnemonic"), std::string::npos);
+}
+
+TEST(AsmParser, ReportsUnknownCallee) {
+  AsmParser P;
+  EXPECT_FALSE(P.parse("fn f:\n  call missing\n  ret\n"));
+  EXPECT_NE(P.error().find("unknown function"), std::string::npos);
+}
+
+TEST(AsmParser, PrinterRoundTrips) {
+  Module M = parseOk(CloseLast);
+  std::string Printed = moduleStr(M);
+  AsmParser P;
+  auto M2 = P.parse(Printed);
+  ASSERT_TRUE(M2) << P.error() << "\n" << Printed;
+  ASSERT_EQ(M2->Funcs.size(), M.Funcs.size());
+  for (size_t F = 0; F < M.Funcs.size(); ++F) {
+    ASSERT_EQ(M2->Funcs[F].Body.size(), M.Funcs[F].Body.size());
+    for (size_t I = 0; I < M.Funcs[F].Body.size(); ++I) {
+      EXPECT_EQ(M2->Funcs[F].Body[I].Op, M.Funcs[F].Body[I].Op);
+      EXPECT_EQ(M2->Funcs[F].Body[I].Target, M.Funcs[F].Body[I].Target);
+    }
+  }
+}
+
+TEST(AsmParser, InstructionCount) {
+  Module M = parseOk(CloseLast);
+  EXPECT_EQ(M.instructionCount(), 11u);
+}

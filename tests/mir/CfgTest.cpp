@@ -1,0 +1,113 @@
+//===- CfgTest.cpp - CFG construction tests ----------------------------------===//
+
+#include "mir/AsmParser.h"
+#include "mir/Cfg.h"
+
+#include <gtest/gtest.h>
+
+using namespace retypd;
+
+namespace {
+
+Function parseFn(const std::string &Text) {
+  AsmParser P;
+  auto M = P.parse(Text);
+  if (!M || M->Funcs.empty()) {
+    ADD_FAILURE() << P.error();
+    return Function();
+  }
+  return M->Funcs.back();
+}
+
+} // namespace
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  Function F = parseFn(R"(
+fn f:
+  mov eax, 1
+  add eax, 2
+  ret
+)");
+  Cfg G(F);
+  EXPECT_EQ(G.size(), 1u);
+  EXPECT_TRUE(G.blocks()[0].Succs.empty());
+}
+
+TEST(Cfg, DiamondHasFourBlocks) {
+  Function F = parseFn(R"(
+fn f:
+  cmp eax, 0
+  jz other
+  mov ebx, 1
+  jmp join
+other:
+  mov ebx, 2
+join:
+  ret
+)");
+  Cfg G(F);
+  ASSERT_EQ(G.size(), 4u);
+  EXPECT_EQ(G.blocks()[0].Succs.size(), 2u);
+  EXPECT_EQ(G.blocks()[3].Preds.size(), 2u);
+}
+
+TEST(Cfg, LoopBackEdge) {
+  Function F = parseFn(R"(
+fn f:
+loop:
+  sub eax, 1
+  cmp eax, 0
+  jnz loop
+  ret
+)");
+  Cfg G(F);
+  ASSERT_EQ(G.size(), 2u);
+  // Block 0 branches to itself and to the exit block.
+  const BasicBlock &B0 = G.blocks()[0];
+  EXPECT_EQ(B0.Succs.size(), 2u);
+  EXPECT_NE(std::find(B0.Succs.begin(), B0.Succs.end(), 0u), B0.Succs.end());
+}
+
+TEST(Cfg, RpoStartsAtEntry) {
+  Function F = parseFn(R"(
+fn f:
+  jmp skip
+  mov eax, 1
+skip:
+  ret
+)");
+  Cfg G(F);
+  ASSERT_FALSE(G.rpo().empty());
+  EXPECT_EQ(G.rpo()[0], 0u);
+}
+
+TEST(Cfg, BlockOfMapsInstructions) {
+  Function F = parseFn(R"(
+fn f:
+  mov eax, 1
+  jmp next
+next:
+  mov ebx, 2
+  ret
+)");
+  Cfg G(F);
+  EXPECT_EQ(G.blockOf(0), G.blockOf(1));
+  EXPECT_NE(G.blockOf(1), G.blockOf(2));
+}
+
+TEST(Cfg, UnreachableCodeGetsNoRpoEntry) {
+  Function F = parseFn(R"(
+fn f:
+  ret
+  mov eax, 1
+  ret
+)");
+  Cfg G(F);
+  EXPECT_LT(G.rpo().size(), G.size());
+}
+
+TEST(Cfg, EmptyFunction) {
+  Function F;
+  Cfg G(F);
+  EXPECT_EQ(G.size(), 1u);
+}

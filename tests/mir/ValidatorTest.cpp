@@ -1,0 +1,89 @@
+//===- ValidatorTest.cpp - Module validation tests -----------------------------===//
+
+#include "mir/AsmParser.h"
+#include "mir/Validator.h"
+
+#include <gtest/gtest.h>
+
+using namespace retypd;
+
+namespace {
+
+Module parseOk(const std::string &Text) {
+  AsmParser P;
+  auto M = P.parse(Text);
+  if (!M) {
+    ADD_FAILURE() << P.error();
+    return Module();
+  }
+  return *M;
+}
+
+bool hasError(const std::vector<ValidationIssue> &Issues) {
+  for (const ValidationIssue &I : Issues)
+    if (I.Sev == ValidationIssue::Severity::Error)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(Validator, CleanModulePasses) {
+  Module M = parseOk(R"(
+extern close
+fn f:
+  load eax, [esp+4]
+  push eax
+  call close
+  add esp, 4
+  ret
+)");
+  EXPECT_TRUE(isStructurallyValid(M));
+}
+
+TEST(Validator, BranchOutOfRangeIsError) {
+  Module M = parseOk("fn f:\n  jmp end\nend:\n  ret\n");
+  M.Funcs[0].Body[0].Target = 99;
+  EXPECT_FALSE(isStructurallyValid(M));
+  EXPECT_TRUE(hasError(validateModule(M)));
+}
+
+TEST(Validator, CallOutOfRangeIsError) {
+  Module M = parseOk("fn f:\n  call f\n  ret\n");
+  M.Funcs[0].Body[0].Target = 17;
+  EXPECT_FALSE(isStructurallyValid(M));
+}
+
+TEST(Validator, BadMemSizeIsError) {
+  Module M = parseOk("fn f:\n  load eax, [esp+4]\n  ret\n");
+  M.Funcs[0].Body[0].Mem.Size = 3;
+  EXPECT_FALSE(isStructurallyValid(M));
+}
+
+TEST(Validator, FallOffEndIsWarning) {
+  Module M = parseOk("fn f:\n  mov eax, 1\n");
+  auto Issues = validateModule(M);
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_EQ(Issues[0].Sev, ValidationIssue::Severity::Warning);
+  EXPECT_TRUE(isStructurallyValid(M)); // warnings only
+}
+
+TEST(Validator, TrailingConditionalIsError) {
+  Module M = parseOk("fn f:\nl:\n  cmp eax, 0\n  jz l\n");
+  EXPECT_FALSE(isStructurallyValid(M));
+}
+
+TEST(Validator, UnreachableBlockIsWarning) {
+  Module M = parseOk("fn f:\n  ret\n  mov eax, 1\n  ret\n");
+  auto Issues = validateModule(M);
+  bool SawUnreachable = false;
+  for (const ValidationIssue &I : Issues)
+    SawUnreachable |= I.Message == "unreachable block";
+  EXPECT_TRUE(SawUnreachable);
+}
+
+TEST(Validator, ExternalWithBodyIsError) {
+  Module M = parseOk("extern close\nfn f:\n  ret\n");
+  M.Funcs[0].Body.push_back(Instr{});
+  EXPECT_FALSE(isStructurallyValid(M));
+}

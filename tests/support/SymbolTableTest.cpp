@@ -1,0 +1,43 @@
+//===- SymbolTableTest.cpp - Interner unit tests --------------------------===//
+
+#include "support/SymbolTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace retypd;
+
+TEST(SymbolTable, InternIsIdempotent) {
+  SymbolTable T;
+  SymbolId A = T.intern("eax");
+  SymbolId B = T.intern("eax");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(T.size(), 1u);
+}
+
+TEST(SymbolTable, DistinctStringsDistinctIds) {
+  SymbolTable T;
+  SymbolId A = T.intern("eax");
+  SymbolId B = T.intern("ebx");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(T.name(A), "eax");
+  EXPECT_EQ(T.name(B), "ebx");
+}
+
+TEST(SymbolTable, LookupDoesNotIntern) {
+  SymbolTable T;
+  SymbolId Out = 0;
+  EXPECT_FALSE(T.lookup("missing", Out));
+  EXPECT_EQ(T.size(), 0u);
+  SymbolId A = T.intern("present");
+  EXPECT_TRUE(T.lookup("present", Out));
+  EXPECT_EQ(Out, A);
+}
+
+TEST(SymbolTable, ManySymbolsStayStable) {
+  SymbolTable T;
+  std::vector<SymbolId> Ids;
+  for (int I = 0; I < 1000; ++I)
+    Ids.push_back(T.intern("sym" + std::to_string(I)));
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(T.name(Ids[I]), "sym" + std::to_string(I));
+}

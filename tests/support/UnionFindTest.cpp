@@ -1,0 +1,40 @@
+//===- UnionFindTest.cpp - Disjoint set unit tests -------------------------===//
+
+#include "support/UnionFind.h"
+
+#include <gtest/gtest.h>
+
+using namespace retypd;
+
+TEST(UnionFind, SingletonsAreTheirOwnReps) {
+  UnionFind UF(4);
+  for (uint32_t I = 0; I < 4; ++I)
+    EXPECT_EQ(UF.find(I), I);
+}
+
+TEST(UnionFind, UniteMergesTransitively) {
+  UnionFind UF(5);
+  UF.unite(0, 1);
+  UF.unite(1, 2);
+  EXPECT_TRUE(UF.same(0, 2));
+  EXPECT_FALSE(UF.same(0, 3));
+  UF.unite(3, 4);
+  UF.unite(2, 3);
+  EXPECT_TRUE(UF.same(0, 4));
+}
+
+TEST(UnionFind, MakeSetExtends) {
+  UnionFind UF;
+  uint32_t A = UF.makeSet();
+  uint32_t B = UF.makeSet();
+  EXPECT_NE(A, B);
+  EXPECT_EQ(UF.unite(A, B), UF.find(A));
+}
+
+TEST(UnionFind, GrowPreservesExistingSets) {
+  UnionFind UF(2);
+  UF.unite(0, 1);
+  UF.grow(10);
+  EXPECT_TRUE(UF.same(0, 1));
+  EXPECT_FALSE(UF.same(0, 9));
+}

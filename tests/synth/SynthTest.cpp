@@ -1,0 +1,132 @@
+//===- SynthTest.cpp - Generator and metric tests -----------------------------===//
+
+#include "absint/ConcreteInterp.h"
+#include "baseline/Baselines.h"
+#include "eval/Metrics.h"
+#include "frontend/Pipeline.h"
+#include "synth/Synth.h"
+
+#include <gtest/gtest.h>
+
+using namespace retypd;
+
+namespace {
+
+class SynthTest : public ::testing::Test {
+protected:
+  SynthTest() : Lat(makeDefaultLattice()) {}
+  Lattice Lat;
+  SynthGenerator Gen;
+};
+
+} // namespace
+
+TEST_F(SynthTest, GeneratesParsableProgramsOfRequestedSize) {
+  SynthOptions Opts;
+  Opts.Seed = 42;
+  Opts.TargetInstructions = 300;
+  SynthProgram P = Gen.generate("prog", Opts);
+  EXPECT_GE(P.M.instructionCount(), 300u);
+  EXPECT_LE(P.M.instructionCount(), 900u);
+  EXPECT_TRUE(P.M.findFunction("main").has_value());
+  EXPECT_GE(P.Truth->Funcs.size(), 10u);
+}
+
+TEST_F(SynthTest, DeterministicGivenSeed) {
+  SynthOptions Opts;
+  Opts.Seed = 7;
+  Opts.TargetInstructions = 200;
+  SynthProgram A = Gen.generate("a", Opts);
+  SynthProgram B = Gen.generate("b", Opts);
+  EXPECT_EQ(A.AsmText, B.AsmText);
+}
+
+TEST_F(SynthTest, DifferentSeedsDiffer) {
+  SynthOptions A, B;
+  A.Seed = 1;
+  B.Seed = 2;
+  A.TargetInstructions = B.TargetInstructions = 200;
+  EXPECT_NE(Gen.generate("a", A).AsmText, Gen.generate("b", B).AsmText);
+}
+
+TEST_F(SynthTest, GeneratedProgramsExecute) {
+  SynthOptions Opts;
+  Opts.Seed = 3;
+  Opts.TargetInstructions = 150;
+  SynthProgram P = Gen.generate("prog", Opts);
+  ConcreteInterp CI(P.M);
+  CI.setExternal("open", [](ConcreteInterp &) { return 3u; });
+  CI.setExternal("read", [](ConcreteInterp &) { return 0u; });
+  CI.setExternal("strlen", [](ConcreteInterp &) { return 0u; });
+  CI.setExternal("memcpy", [](ConcreteInterp &CI2) { return CI2.arg(0); });
+  EXPECT_TRUE(CI.run(1u << 22)) << CI.error();
+}
+
+TEST_F(SynthTest, ClustersShareCommonCode) {
+  auto Programs = Gen.generateCluster("cl", 3, 200, 11);
+  ASSERT_EQ(Programs.size(), 3u);
+  // The shared prefix (common utility base) is byte-identical.
+  auto Prefix = [](const std::string &A, const std::string &B) {
+    size_t N = 0;
+    while (N < A.size() && N < B.size() && A[N] == B[N])
+      ++N;
+    return N;
+  };
+  size_t P01 = Prefix(Programs[0].AsmText, Programs[1].AsmText);
+  EXPECT_GT(P01, Programs[0].AsmText.size() / 3);
+  // But the tails differ.
+  EXPECT_NE(Programs[0].AsmText, Programs[1].AsmText);
+}
+
+TEST_F(SynthTest, PipelineHandlesGeneratedPrograms) {
+  SynthOptions Opts;
+  Opts.Seed = 5;
+  Opts.TargetInstructions = 250;
+  SynthProgram P = Gen.generate("prog", Opts);
+  Pipeline Pipe(Lat);
+  TypeReport R = Pipe.run(P.M);
+  EXPECT_GT(R.Funcs.size(), 10u);
+}
+
+TEST_F(SynthTest, MetricsFavorRetypdOverBaselines) {
+  SynthOptions Opts;
+  Opts.Seed = 9;
+  Opts.TargetInstructions = 400;
+  SynthProgram P = Gen.generate("prog", Opts);
+  Evaluator Eval(Lat);
+
+  Module M1 = P.M;
+  Pipeline Pipe(Lat);
+  TypeReport R = Pipe.run(M1);
+  MetricSummary Retypd = Eval.scoreRetypd(M1, R, *P.Truth);
+
+  Module M2 = P.M;
+  UnificationInference Unif(Lat);
+  MetricSummary U = Eval.scoreBaseline(M2, Unif.run(M2), *P.Truth);
+
+  Module M3 = P.M;
+  IntervalInference Intv(Lat);
+  MetricSummary T = Eval.scoreBaseline(M3, Intv.run(M3), *P.Truth);
+
+  ASSERT_GT(Retypd.Slots, 20u);
+  // The paper's headline shape: Retypd's distance beats both baselines and
+  // its conservativeness is at least as good as unification's.
+  EXPECT_LT(Retypd.meanDistance(), U.meanDistance());
+  EXPECT_LT(Retypd.meanDistance(), T.meanDistance());
+  EXPECT_GE(Retypd.conservativeness(), U.conservativeness());
+  EXPECT_GE(Retypd.pointerAccuracy(), 0.8);
+}
+
+TEST_F(SynthTest, ConstRecallIsHigh) {
+  SynthOptions Opts;
+  Opts.Seed = 13;
+  Opts.TargetInstructions = 400;
+  SynthProgram P = Gen.generate("prog", Opts);
+  Module M = P.M;
+  Pipeline Pipe(Lat);
+  TypeReport R = Pipe.run(M);
+  Evaluator Eval(Lat);
+  MetricSummary S = Eval.scoreRetypd(M, R, *P.Truth);
+  ASSERT_GT(S.ConstTruth, 5u);
+  EXPECT_GE(S.constRecall(), 0.9);
+}

@@ -1,0 +1,149 @@
+//===- retypd-cli.cpp - Command-line driver -----------------------------------===//
+//
+// The command-line face of the library:
+//
+//   retypd-cli prog.asm                  infer and print a C header
+//   retypd-cli --schemes prog.asm        also print per-function type schemes
+//   retypd-cli --sketches prog.asm       also print solved sketches
+//   retypd-cli --strip prog.asm          round-trip through the stripped
+//                                        binary encoder/disassembler first
+//   retypd-cli --engine=unify prog.asm   use the unification baseline
+//   retypd-cli --engine=interval prog.asm  use the TIE-style baseline
+//
+// Input is the textual assembly of mir/AsmParser.h (see examples/data/).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Baselines.h"
+#include "frontend/Pipeline.h"
+#include "loader/BinaryImage.h"
+#include "mir/AsmParser.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace retypd;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--schemes] [--sketches] [--strip] "
+               "[--engine=retypd|unify|interval] prog.asm\n",
+               Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Schemes = false, Sketches = false, Strip = false;
+  std::string Engine = "retypd";
+  std::string Path;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--schemes")
+      Schemes = true;
+    else if (Arg == "--sketches")
+      Sketches = true;
+    else if (Arg == "--strip")
+      Strip = true;
+    else if (Arg.rfind("--engine=", 0) == 0)
+      Engine = Arg.substr(9);
+    else if (!Arg.empty() && Arg[0] == '-')
+      return usage(argv[0]);
+    else
+      Path = Arg;
+  }
+  if (Path.empty())
+    return usage(argv[0]);
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+
+  AsmParser Parser;
+  auto M = Parser.parse(Buf.str());
+  if (!M) {
+    std::fprintf(stderr, "%s: parse error: %s\n", Path.c_str(),
+                 Parser.error().c_str());
+    return 1;
+  }
+  if (auto Main = M->findFunction("main"))
+    M->EntryFunc = *Main;
+
+  if (Strip) {
+    EncodedImage Img = encodeModule(*M);
+    DecodeReport Rep;
+    auto Recovered = decodeImage(Img.Bytes, Rep);
+    if (!Recovered) {
+      std::fprintf(stderr, "decode error: %s\n", Rep.Error.c_str());
+      return 1;
+    }
+    std::printf("/* stripped round trip: %u functions rediscovered, "
+                "%u imports, %u damaged instructions */\n",
+                Rep.FunctionsDiscovered, Rep.ImportsResolved,
+                Rep.BadInstructions);
+    *M = std::move(*Recovered);
+  }
+
+  Lattice Lat = makeDefaultLattice();
+
+  if (Engine == "unify" || Engine == "interval") {
+    BaselineResult R;
+    if (Engine == "unify") {
+      UnificationInference U(Lat);
+      R = U.run(*M);
+    } else {
+      IntervalInference T(Lat);
+      R = T.run(*M);
+    }
+    for (const auto &[F, BF] : R.Funcs) {
+      std::string Params;
+      for (size_t K = 0; K < BF.Params.size(); ++K) {
+        if (K)
+          Params += ", ";
+        Params += R.Pool.declare(BF.Params[K].Type, "");
+      }
+      std::printf("%s %s(%s);\n",
+                  BF.HasRet ? R.Pool.declare(BF.Ret.Type, "").c_str()
+                            : "void",
+                  M->Funcs[F].Name.c_str(),
+                  Params.empty() ? "void" : Params.c_str());
+    }
+    return 0;
+  }
+  if (Engine != "retypd")
+    return usage(argv[0]);
+
+  Pipeline Pipe(Lat);
+  TypeReport R = Pipe.run(*M);
+
+  std::vector<CTypeId> Roots;
+  for (const auto &[F, T] : R.Funcs)
+    if (T.CType != NoCType)
+      Roots.push_back(T.CType);
+  std::string Defs = R.Pool.structDefinitions(Roots);
+  if (!Defs.empty())
+    std::printf("%s\n", Defs.c_str());
+
+  for (const auto &[F, T] : R.Funcs) {
+    if (M->Funcs[F].IsExternal)
+      continue;
+    std::printf("%s;\n", R.prototypeOf(F, *M).c_str());
+    if (Schemes)
+      std::printf("/* scheme:\n%s\n*/\n",
+                  T.Scheme.str(*R.Syms, Lat).c_str());
+    if (Sketches)
+      std::printf("/* sketch:\n%s*/\n", T.FuncSketch.str(Lat, 4).c_str());
+  }
+  return 0;
+}
