@@ -81,4 +81,33 @@ CallGraph::CallGraph(const Module &M) {
   BottomUp.resize(Sccs.size());
   for (uint32_t S = 0; S < Sccs.size(); ++S)
     BottomUp[S] = S;
+
+  // Condensation DAG edges (deduplicated, self-loops dropped).
+  SccSuccs.resize(Sccs.size());
+  for (uint32_t S = 0; S < Sccs.size(); ++S) {
+    for (uint32_t F : Sccs[S])
+      for (uint32_t Callee : Callees[F]) {
+        uint32_t T = SccId[Callee];
+        if (T == S)
+          continue;
+        if (std::find(SccSuccs[S].begin(), SccSuccs[S].end(), T) ==
+            SccSuccs[S].end())
+          SccSuccs[S].push_back(T);
+      }
+  }
+
+  // Wave index = longest callee chain below the SCC. Walking bottom-up
+  // guarantees every callee SCC is assigned before its callers.
+  std::vector<uint32_t> Depth(Sccs.size(), 0);
+  uint32_t MaxDepth = 0;
+  for (uint32_t S : BottomUp) {
+    uint32_t D = 0;
+    for (uint32_t T : SccSuccs[S])
+      D = std::max(D, Depth[T] + 1);
+    Depth[S] = D;
+    MaxDepth = std::max(MaxDepth, D);
+  }
+  Waves.assign(Sccs.empty() ? 0 : MaxDepth + 1, {});
+  for (uint32_t S : BottomUp)
+    Waves[Depth[S]].push_back(S);
 }

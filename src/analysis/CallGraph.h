@@ -36,12 +36,32 @@ public:
   /// Members of each SCC.
   const std::vector<std::vector<uint32_t>> &sccs() const { return Sccs; }
 
-  /// SCC ids in bottom-up order (callees before callers).
+  /// SCC ids in bottom-up order (callees before callers). For a top-down
+  /// traversal use topDownWaves() — the wave grouping is the one ordering
+  /// contract the pipeline depends on.
   const std::vector<uint32_t> &bottomUp() const { return BottomUp; }
 
-  /// SCC ids in top-down order (callers before callees).
-  std::vector<uint32_t> topDown() const {
-    return std::vector<uint32_t>(BottomUp.rbegin(), BottomUp.rend());
+  /// Deduplicated SCC-level callee edges (condensation DAG successors).
+  const std::vector<uint32_t> &sccCallees(uint32_t Scc) const {
+    return SccSuccs[Scc];
+  }
+
+  /// The bottom-up wavefront: Waves[0] holds the leaf SCCs (no callees
+  /// outside themselves), Waves[k] the SCCs whose deepest callee chain has
+  /// length k. Every SCC in a wave depends only on strictly earlier waves,
+  /// so the members of one wave can be summarized concurrently. Within a
+  /// wave, SCC ids appear in bottom-up order, which makes wave-by-wave
+  /// sequential processing a topological order identical for every --jobs
+  /// setting.
+  const std::vector<std::vector<uint32_t>> &bottomUpWaves() const {
+    return Waves;
+  }
+
+  /// The same waves reversed (for the top-down sketch-solving phase):
+  /// callers always appear in a strictly earlier wave than their callees.
+  std::vector<std::vector<uint32_t>> topDownWaves() const {
+    std::vector<std::vector<uint32_t>> Rev(Waves.rbegin(), Waves.rend());
+    return Rev;
   }
 
 private:
@@ -49,6 +69,8 @@ private:
   std::vector<uint32_t> SccId;
   std::vector<std::vector<uint32_t>> Sccs;
   std::vector<uint32_t> BottomUp;
+  std::vector<std::vector<uint32_t>> SccSuccs;
+  std::vector<std::vector<uint32_t>> Waves;
 };
 
 } // namespace retypd

@@ -8,31 +8,42 @@
 
 using namespace retypd;
 
-static size_t hashNode(const DerivedTypeVariable &Dtv, Variance Tag) {
-  return Dtv.hashValue() * 2 + (Tag == Variance::Contravariant ? 1 : 0);
+static inline uint64_t nodeKey(DtvId Dtv, Variance Tag) {
+  return (static_cast<uint64_t>(Dtv) << 1) |
+         (Tag == Variance::Contravariant ? 1 : 0);
+}
+
+uint32_t ConstraintGraph::internLabel(Label L) {
+  auto [It, Inserted] =
+      LabelIdx.try_emplace(L.raw(), static_cast<uint32_t>(LabelAt.size()));
+  if (Inserted)
+    LabelAt.push_back(L);
+  return It->second;
 }
 
 GraphNodeId ConstraintGraph::lookup(const DerivedTypeVariable &Dtv,
                                     Variance Tag) const {
-  auto It = Index.find(hashNode(Dtv, Tag));
-  if (It == Index.end())
+  DtvId Id = Dtvs.find(Dtv);
+  if (Id == DtvInterner::NoDtv)
     return NoNode;
-  for (GraphNodeId Id : It->second)
-    if (Nodes[Id].Tag == Tag && Nodes[Id].Dtv == Dtv)
-      return Id;
-  return NoNode;
+  auto It = NodeIndex.find(nodeKey(Id, Tag));
+  return It == NodeIndex.end() ? NoNode : It->second;
 }
 
 GraphNodeId ConstraintGraph::getOrCreateNode(const DerivedTypeVariable &Dtv,
                                              Variance Tag) {
-  GraphNodeId Existing = lookup(Dtv, Tag);
-  if (Existing != NoNode)
-    return Existing;
+  DtvId Interned = Dtvs.intern(Dtv);
+  auto [It, Inserted] =
+      NodeIndex.try_emplace(nodeKey(Interned, Tag), 0);
+  if (!Inserted)
+    return It->second;
 
   GraphNodeId Id = static_cast<GraphNodeId>(Nodes.size());
+  It->second = Id;
   Nodes.push_back(GraphNode{Dtv, Tag});
+  NodeDtv.push_back(Interned);
   Out.emplace_back();
-  Index[hashNode(Dtv, Tag)].push_back(Id);
+  EdgeKeys.emplace_back();
 
   // Recursively ensure the prefix chain exists and connect it with
   // recall/forget edges. Stripping the last label ℓ composes the tag with
@@ -49,8 +60,10 @@ GraphNodeId ConstraintGraph::getOrCreateNode(const DerivedTypeVariable &Dtv,
 
 bool ConstraintGraph::addEdge(GraphNodeId From, GraphNodeId To, EdgeKind Kind,
                               Label L) {
-  auto Key = std::make_tuple(From, To, static_cast<uint8_t>(Kind), L.raw());
-  if (!EdgeSet.insert(Key).second)
+  uint64_t Key = (static_cast<uint64_t>(To) << 32) |
+                 (static_cast<uint64_t>(internLabel(L)) << 2) |
+                 static_cast<uint64_t>(Kind);
+  if (!EdgeKeys[From].insert(Key).second)
     return false;
   Out[From].push_back(GraphEdge{To, Kind, L});
   return true;
@@ -78,72 +91,108 @@ void ConstraintGraph::saturate() {
     return;
   Saturated = true;
 
-  // Reaching-forget sets: R[n] holds (ℓ, z) if there is a path
-  // z --forget ℓ--> m --1*--> n.
-  std::vector<std::set<std::pair<uint64_t, GraphNodeId>>> R(Nodes.size());
+  const size_t N = Nodes.size();
 
-  // Label decoding helper for the lazy S-POINTER clause.
-  const uint64_t LoadRaw = Label::load().raw();
-  const uint64_t StoreRaw = Label::store().raw();
+  // Reaching-forget sets: R[n] holds (ℓ, z) if there is a path
+  // z --forget ℓ--> m --1*--> n. Entries pack as (labelIdx<<32) | z.
+  std::vector<std::unordered_set<uint64_t>> R(N);
+  auto pack = [](uint32_t LabelIdx, GraphNodeId Z) {
+    return (static_cast<uint64_t>(LabelIdx) << 32) | Z;
+  };
+
+  const uint32_t LoadIdx = internLabel(Label::load());
+  const uint32_t StoreIdx = internLabel(Label::store());
+
+  // Covariant/contravariant twin of each node (no nodes are created during
+  // saturation, so this is stable).
+  std::vector<GraphNodeId> Twin(N, NoNode);
+  for (GraphNodeId Node = 0; Node < N; ++Node) {
+    Variance Other = Nodes[Node].Tag == Variance::Covariant
+                         ? Variance::Contravariant
+                         : Variance::Covariant;
+    auto It = NodeIndex.find(nodeKey(NodeDtv[Node], Other));
+    if (It != NodeIndex.end())
+      Twin[Node] = It->second;
+  }
+
+  // Worklist of nodes whose R set gained entries (or that gained a new
+  // outgoing 1-edge) since they were last expanded.
+  std::deque<GraphNodeId> Work;
+  std::vector<bool> InWork(N, false);
+  auto push = [&](GraphNodeId Node) {
+    if (!InWork[Node]) {
+      InWork[Node] = true;
+      Work.push_back(Node);
+    }
+  };
 
   // Seed from forget edges.
-  for (GraphNodeId N = 0; N < Nodes.size(); ++N)
-    for (const GraphEdge &E : Out[N])
+  for (GraphNodeId Node = 0; Node < N; ++Node)
+    for (const GraphEdge &E : Out[Node])
       if (E.Kind == EdgeKind::Forget)
-        R[E.To].insert({E.L.raw(), N});
+        if (R[E.To].insert(pack(internLabel(E.L), Node)).second)
+          push(E.To);
 
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-
-    // Propagate along 1-edges.
-    for (GraphNodeId N = 0; N < Nodes.size(); ++N) {
-      if (R[N].empty())
-        continue;
-      for (const GraphEdge &E : Out[N]) {
-        if (E.Kind != EdgeKind::One)
-          continue;
-        for (const auto &Entry : R[N])
-          if (R[E.To].insert(Entry).second)
-            Changed = true;
-      }
-    }
+  while (!Work.empty()) {
+    GraphNodeId Node = Work.front();
+    Work.pop_front();
+    InWork[Node] = false;
+    if (R[Node].empty())
+      continue;
 
     // Lazy S-POINTER: a pending .store at a contravariant node becomes a
     // pending .load at its covariant twin, and vice versa.
-    for (GraphNodeId N = 0; N < Nodes.size(); ++N) {
-      if (Nodes[N].Tag != Variance::Contravariant || R[N].empty())
-        continue;
-      GraphNodeId Twin = lookup(Nodes[N].Dtv, Variance::Covariant);
-      if (Twin == NoNode)
-        continue;
-      for (const auto &Entry : R[N]) {
-        if (Entry.first == StoreRaw) {
-          if (R[Twin].insert({LoadRaw, Entry.second}).second)
-            Changed = true;
-        } else if (Entry.first == LoadRaw) {
-          if (R[Twin].insert({StoreRaw, Entry.second}).second)
-            Changed = true;
+    if (Nodes[Node].Tag == Variance::Contravariant &&
+        Twin[Node] != NoNode) {
+      GraphNodeId T = Twin[Node];
+      // Collect first: inserting into R[T] while iterating R[Node] is fine
+      // (different sets) unless T == Node, which cannot happen.
+      for (uint64_t Entry : std::vector<uint64_t>(R[Node].begin(),
+                                                  R[Node].end())) {
+        uint32_t L = static_cast<uint32_t>(Entry >> 32);
+        GraphNodeId Z = static_cast<GraphNodeId>(Entry);
+        if (L == StoreIdx) {
+          if (R[T].insert(pack(LoadIdx, Z)).second)
+            push(T);
+        } else if (L == LoadIdx) {
+          if (R[T].insert(pack(StoreIdx, Z)).second)
+            push(T);
         }
       }
     }
 
-    // Consume: a pending forget met by a matching recall yields a shortcut
-    // 1-edge from the forget's origin to the recall's target.
-    for (GraphNodeId N = 0; N < Nodes.size(); ++N) {
-      if (R[N].empty())
-        continue;
-      for (const GraphEdge &E : Out[N]) {
-        if (E.Kind != EdgeKind::Recall)
-          continue;
-        for (const auto &Entry : R[N]) {
-          if (Entry.first != E.L.raw())
+    // Snapshot because the consume step below can add 1-edges out of this
+    // very node (when Entry.second == Node), growing Out[Node].
+    std::vector<uint64_t> Entries(R[Node].begin(), R[Node].end());
+    const size_t NumEdges = Out[Node].size();
+    for (size_t EI = 0; EI < NumEdges; ++EI) {
+      const GraphEdge E = Out[Node][EI];
+      switch (E.Kind) {
+      case EdgeKind::One:
+        // Propagate along 1-edges.
+        for (uint64_t Entry : Entries)
+          if (R[E.To].insert(Entry).second)
+            push(E.To);
+        break;
+      case EdgeKind::Recall: {
+        // Consume: a pending forget met by a matching recall yields a
+        // shortcut 1-edge from the forget's origin to the recall's target.
+        uint32_t WantIdx = internLabel(E.L);
+        for (uint64_t Entry : Entries) {
+          if (static_cast<uint32_t>(Entry >> 32) != WantIdx)
             continue;
-          if (addEdge(Entry.second, E.To, EdgeKind::One, Label())) {
+          GraphNodeId Z = static_cast<GraphNodeId>(Entry);
+          if (addEdge(Z, E.To, EdgeKind::One, Label())) {
             ++SaturationEdges;
-            Changed = true;
+            // The new 1-edge must carry Z's pending forgets onward.
+            if (!R[Z].empty())
+              push(Z);
           }
         }
+        break;
+      }
+      case EdgeKind::Forget:
+        break;
       }
     }
   }

@@ -37,10 +37,11 @@
 #define RETYPD_CORE_CONSTRAINTGRAPH_H
 
 #include "core/ConstraintSet.h"
+#include "support/Interner.h"
 
 #include <cstdint>
-#include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace retypd {
@@ -102,19 +103,27 @@ public:
 private:
   GraphNodeId getOrCreateNode(const DerivedTypeVariable &Dtv, Variance Tag);
   bool addEdge(GraphNodeId From, GraphNodeId To, EdgeKind Kind, Label L);
-
-  struct NodeKey {
-    size_t Hash;
-    GraphNodeId Id;
-  };
+  uint32_t internLabel(Label L);
 
   std::vector<GraphNode> Nodes;
   std::vector<std::vector<GraphEdge>> Out;
-  // Map from (dtv,tag) hash to candidate node ids (manual bucket to avoid
-  // storing DTVs twice).
-  std::unordered_map<size_t, std::vector<GraphNodeId>> Index;
-  // Edge dedup: (from, to, kind, label-raw).
-  std::set<std::tuple<GraphNodeId, GraphNodeId, uint8_t, uint64_t>> EdgeSet;
+
+  // Node identity runs through the arena-backed DTV interner: a node key is
+  // the dense interned id composed with the variance bit, so lookups and
+  // the saturation hot loop compare single integers instead of re-hashing
+  // whole label words.
+  DtvInterner Dtvs;
+  std::unordered_map<uint64_t, GraphNodeId> NodeIndex; // (DtvId<<1)|tag
+  std::vector<DtvId> NodeDtv;                          // per node
+
+  // Labels seen on edges, interned to small dense indices so saturation
+  // state packs into single u64 entries.
+  std::unordered_map<uint64_t, uint32_t> LabelIdx; // raw -> dense
+  std::vector<Label> LabelAt;
+
+  // Per-node edge dedup: (To<<32) | (labelIdx<<2) | kind, all packed.
+  std::vector<std::unordered_set<uint64_t>> EdgeKeys;
+
   size_t SaturationEdges = 0;
   bool Saturated = false;
 };

@@ -43,7 +43,8 @@ public:
   }
 
   /// Reads an identifier: [A-Za-z0-9_#$@:!-]+ (no dots — dots separate
-  /// labels).
+  /// labels). Bytes with the high bit set are accepted so UTF-8 names —
+  /// notably the τ$... existentials of serialized schemes — round-trip.
   std::string_view ident() {
     skipSpace();
     size_t Start = Pos;
@@ -51,7 +52,7 @@ public:
       char C = S[Pos];
       if (std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
           C == '#' || C == '$' || C == '@' || C == ':' || C == '-' ||
-          C == '!')
+          C == '!' || static_cast<unsigned char>(C) >= 0x80)
         ++Pos;
       else
         break;

@@ -98,6 +98,31 @@ std::string ConstraintSet::str(const SymbolTable &Syms,
   return S;
 }
 
+ConstraintSet ConstraintSet::canonicalized(const SymbolTable &Syms,
+                                           const Lattice &Lat) const {
+  auto SortByStr = [&](auto Items) {
+    std::stable_sort(Items.begin(), Items.end(),
+                     [&](const auto &A, const auto &B) {
+                       return A.str(Syms, Lat) < B.str(Syms, Lat);
+                     });
+    return Items;
+  };
+  ConstraintSet Canon;
+  for (const SubtypeConstraint &C : SortByStr(Subs))
+    Canon.addSubtype(C.Lhs, C.Rhs);
+  for (const DerivedTypeVariable &V : Vars)
+    Canon.addVar(V);
+  // Vars need their own comparator (DTV, not constraint).
+  std::stable_sort(Canon.Vars.begin(), Canon.Vars.end(),
+                   [&](const DerivedTypeVariable &A,
+                       const DerivedTypeVariable &B) {
+                     return A.str(Syms, Lat) < B.str(Syms, Lat);
+                   });
+  for (const AddSubConstraint &C : SortByStr(AddSubs))
+    Canon.addAddSub(C);
+  return Canon;
+}
+
 std::string TypeScheme::str(const SymbolTable &Syms,
                             const Lattice &Lat) const {
   std::string S = "forall ";

@@ -54,6 +54,13 @@ public:
   /// Renders one constraint per line (sorted for determinism).
   std::string str(const SymbolTable &Syms, const Lattice &Lat) const;
 
+  /// Returns this set with each constraint kind sorted by its rendered
+  /// text. A canonicalized set is equal to the set a ConstraintParser
+  /// produces from str() — this makes summary-cache round trips and fresh
+  /// simplification results bit-identical, constraint order included.
+  ConstraintSet canonicalized(const SymbolTable &Syms,
+                              const Lattice &Lat) const;
+
 private:
   std::vector<SubtypeConstraint> Subs;
   std::vector<DerivedTypeVariable> Vars;

@@ -126,7 +126,18 @@ Simplifier::simplify(const ConstraintSet &C, TypeVariable ProcVar,
       if (Fwd[productState(N, P)] && Bwd[productState(N, P)])
         Alive[N] = true;
 
-  // Existential renaming for surviving uninteresting bases.
+  // Existential renaming for surviving uninteresting bases. Fresh names are
+  // scoped by the procedure and numbered by a call-local counter so that a
+  // scheme's text depends only on its input constraint set — never on how
+  // many symbols other (possibly concurrent) simplifications interned
+  // first. This is what makes `--jobs N` byte-identical to `--jobs 1` and
+  // lets the summary cache replay schemes across runs.
+  const std::string FreshPrefix = "τ$" + Syms.name(ProcVar.symbol()) + "$";
+  unsigned FreshCounter = 0;
+  auto FreshVar = [&] {
+    return TypeVariable::var(
+        Syms.intern(FreshPrefix + std::to_string(FreshCounter++)));
+  };
   std::unordered_map<TypeVariable, TypeVariable> Renamed;
   std::vector<TypeVariable> Existentials;
   auto Rename = [&](const DerivedTypeVariable &Dtv) {
@@ -134,9 +145,7 @@ Simplifier::simplify(const ConstraintSet &C, TypeVariable ProcVar,
       return Dtv;
     auto It = Renamed.find(Dtv.base());
     if (It == Renamed.end()) {
-      std::string Name =
-          "τ$" + std::to_string(Syms.size()) ;
-      TypeVariable Fresh = TypeVariable::var(Syms.intern(Name));
+      TypeVariable Fresh = FreshVar();
       It = Renamed.emplace(Dtv.base(), Fresh).first;
       Existentials.push_back(Fresh);
     }
@@ -217,11 +226,10 @@ Simplifier::simplify(const ConstraintSet &C, TypeVariable ProcVar,
       auto Key = std::make_pair(D.base(), D.labels()[0]);
       auto SIt = Split.find(Key);
       if (SIt == Split.end()) {
-        TypeVariable FreshVar = TypeVariable::var(
-            Syms.intern("τ$" + std::to_string(Syms.size())));
-        SIt = Split.emplace(Key, FreshVar).first;
-        Existential.insert(FreshVar);
-        Existentials.push_back(FreshVar);
+        TypeVariable Fresh = FreshVar();
+        SIt = Split.emplace(Key, Fresh).first;
+        Existential.insert(Fresh);
+        Existentials.push_back(Fresh);
       }
       return DerivedTypeVariable(
           SIt->second,

@@ -1,0 +1,206 @@
+//===- SummaryCache.cpp - Content-addressed type-scheme cache -------------===//
+
+#include "core/SummaryCache.h"
+
+#include "core/ConstraintParser.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace retypd;
+
+namespace {
+
+/// 128-bit FNV-1a over a growing byte stream: two independent 64-bit
+/// lanes with distinct offset bases. Not cryptographic — the cache only
+/// needs collision resistance against accidental clashes, and 2^64+ long
+/// odds per lane pair are far beyond corpus sizes.
+struct Fnv128 {
+  uint64_t Hi = 0xcbf29ce484222325ull;
+  uint64_t Lo = 0x84222325cbf29ce4ull;
+
+  void update(std::string_view S) {
+    for (unsigned char C : S) {
+      Hi = (Hi ^ C) * 0x100000001b3ull;
+      Lo = (Lo ^ C) * 0x00000100000001b3ull;
+    }
+  }
+  void sep() { update(std::string_view("\x1f", 1)); }
+};
+
+} // namespace
+
+std::string SummaryKey::hex() const {
+  char Buf[33];
+  std::snprintf(Buf, sizeof(Buf), "%016llx%016llx",
+                static_cast<unsigned long long>(Hi),
+                static_cast<unsigned long long>(Lo));
+  return Buf;
+}
+
+SummaryKey SummaryCache::keyFor(std::string_view CanonicalText,
+                                std::string_view ProcName,
+                                const std::vector<std::string> &InterestingNames,
+                                const SimplifyOptions &Opts) {
+  Fnv128 H;
+  H.update("retypd-summary-v1");
+  H.sep();
+  H.update(CanonicalText);
+  H.sep();
+  H.update(ProcName);
+  H.sep();
+  std::vector<std::string> Sorted = InterestingNames;
+  std::sort(Sorted.begin(), Sorted.end());
+  for (const std::string &N : Sorted) {
+    H.update(N);
+    H.sep();
+  }
+  H.sep();
+  H.update(std::to_string(Opts.MaxTidyIterations) + "," +
+           std::to_string(Opts.BloatSlack));
+  return SummaryKey{H.Hi, H.Lo};
+}
+
+SummaryKey SummaryCache::keyFor(const ConstraintSet &C, TypeVariable ProcVar,
+                                const std::vector<std::string> &InterestingNames,
+                                const SimplifyOptions &Opts,
+                                const SymbolTable &Syms, const Lattice &Lat) {
+  // The sorted rendering is the canonical content.
+  return keyFor(C.str(Syms, Lat), Syms.name(ProcVar.symbol()),
+                InterestingNames, Opts);
+}
+
+std::string SummaryCache::serialize(const TypeScheme &Scheme,
+                                    const SymbolTable &Syms,
+                                    const Lattice &Lat) {
+  std::string S = "proc " + Syms.name(Scheme.ProcVar.symbol()) + "\n";
+  S += "existentials";
+  for (TypeVariable V : Scheme.Existentials) {
+    S += ' ';
+    S += Syms.name(V.symbol());
+  }
+  S += '\n';
+  S += Scheme.Constraints.str(Syms, Lat);
+  return S;
+}
+
+std::optional<TypeScheme> SummaryCache::deserialize(const std::string &Text,
+                                                    SymbolTable &Syms,
+                                                    const Lattice &Lat) {
+  std::istringstream In(Text);
+  std::string Line;
+  TypeScheme Scheme;
+  if (!std::getline(In, Line) || Line.rfind("proc ", 0) != 0)
+    return std::nullopt;
+  Scheme.ProcVar = TypeVariable::var(Syms.intern(Line.substr(5)));
+  if (!std::getline(In, Line) || Line.rfind("existentials", 0) != 0)
+    return std::nullopt;
+  {
+    std::istringstream Ex(Line.substr(12));
+    std::string Name;
+    while (Ex >> Name)
+      Scheme.Existentials.push_back(TypeVariable::var(Syms.intern(Name)));
+  }
+  std::string Rest((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  ConstraintParser Parser(Syms, Lat);
+  auto C = Parser.parse(Rest);
+  if (!C)
+    return std::nullopt;
+  Scheme.Constraints = std::move(*C);
+  return Scheme;
+}
+
+std::optional<std::string> SummaryCache::lookup(const SummaryKey &K) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Entries.find(K);
+  if (It == Entries.end()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  return It->second;
+}
+
+void SummaryCache::insert(const SummaryKey &K, std::string Serialized) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Entries.insert_or_assign(K, std::move(Serialized));
+}
+
+void SummaryCache::noteCorrupt(const SummaryKey &K) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Entries.erase(K);
+  Hits.fetch_sub(1, std::memory_order_relaxed);
+  Misses.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t SummaryCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Entries.size();
+}
+
+void SummaryCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Entries.clear();
+}
+
+// File format:
+//   retypd-summary-cache-v1
+//   entry <hex key> <byte count>\n
+//   <bytes>\n
+//   ... repeated ...
+bool SummaryCache::load(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::string Line;
+  if (!std::getline(In, Line) || Line != "retypd-summary-cache-v1")
+    return false;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    unsigned long long Hi = 0, Lo = 0, Bytes = 0;
+    if (std::sscanf(Line.c_str(), "entry %16llx%16llx %llu", &Hi, &Lo,
+                    &Bytes) != 3)
+      return true; // ignore malformed tail
+    std::string Payload(Bytes, '\0');
+    In.read(Payload.data(), static_cast<std::streamsize>(Bytes));
+    if (static_cast<unsigned long long>(In.gcount()) != Bytes)
+      return true;
+    In.get(); // trailing newline
+    Entries.try_emplace(SummaryKey{Hi, Lo}, std::move(Payload));
+  }
+  return true;
+}
+
+bool SummaryCache::save(const std::string &Path) const {
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream OutF(Tmp, std::ios::binary | std::ios::trunc);
+    if (!OutF)
+      return false;
+    OutF << "retypd-summary-cache-v1\n";
+    std::lock_guard<std::mutex> Lock(Mutex);
+    // Deterministic file contents: sort by key.
+    std::vector<const std::pair<const SummaryKey, std::string> *> Sorted;
+    Sorted.reserve(Entries.size());
+    for (const auto &E : Entries)
+      Sorted.push_back(&E);
+    std::sort(Sorted.begin(), Sorted.end(), [](const auto *A, const auto *B) {
+      return std::make_pair(A->first.Hi, A->first.Lo) <
+             std::make_pair(B->first.Hi, B->first.Lo);
+    });
+    for (const auto *E : Sorted) {
+      OutF << "entry " << E->first.hex() << ' ' << E->second.size() << '\n';
+      OutF.write(E->second.data(),
+                 static_cast<std::streamsize>(E->second.size()));
+      OutF << '\n';
+    }
+    if (!OutF)
+      return false;
+  }
+  return std::rename(Tmp.c_str(), Path.c_str()) == 0;
+}

@@ -1,0 +1,135 @@
+//===- SummaryCache.h - Content-addressed type-scheme cache ---*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A content-addressed cache of simplified type schemes. Simplification
+/// (graph construction + saturation + trimming) dominates pipeline cost
+/// and is a pure function of
+///
+///   (canonical constraint text, procedure name, interesting-variable
+///    names, simplification options),
+///
+/// so its result can be keyed by a 128-bit hash of that tuple. Repeated
+/// runs over the same binary, identical SCCs across binaries of one
+/// cluster (Figure 10's shared statically-linked utility code), and shared
+/// library SCCs all collapse into cache hits that skip saturation
+/// entirely.
+///
+/// Entries store the scheme *serialized as text*, not as interned ids:
+/// symbol ids are meaningless across symbol tables and across processes,
+/// while the text round-trips losslessly through ConstraintParser (schemes
+/// are canonicalized before storage, and a parse of canonical text
+/// reproduces exactly the canonical set, order included). That makes the
+/// cache safe to persist with save() and reload with load() — the
+/// `--summary-cache PATH` flag of retypd-cli.
+///
+/// Thread safe: worker threads of the parallel pipeline probe and insert
+/// concurrently under one mutex (entries are small strings; contention is
+/// negligible next to saturation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_CORE_SUMMARYCACHE_H
+#define RETYPD_CORE_SUMMARYCACHE_H
+
+#include "core/ConstraintSet.h"
+#include "core/Simplifier.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace retypd {
+
+/// 128-bit content hash identifying one simplification problem.
+struct SummaryKey {
+  uint64_t Hi = 0, Lo = 0;
+
+  friend bool operator==(const SummaryKey &A, const SummaryKey &B) {
+    return A.Hi == B.Hi && A.Lo == B.Lo;
+  }
+
+  std::string hex() const;
+};
+
+struct SummaryKeyHash {
+  size_t operator()(const SummaryKey &K) const noexcept {
+    return static_cast<size_t>(K.Hi ^ (K.Lo * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// Content-addressed, optionally persistent scheme cache.
+class SummaryCache {
+public:
+  /// Computes the content key for simplifying \p C into a scheme for
+  /// \p ProcVar with \p Interesting preserved. Hashing renders the set
+  /// canonically, so two structurally identical problems key identically
+  /// regardless of symbol ids or constraint insertion order.
+  static SummaryKey keyFor(const ConstraintSet &C, TypeVariable ProcVar,
+                           const std::vector<std::string> &InterestingNames,
+                           const SimplifyOptions &Opts,
+                           const SymbolTable &Syms, const Lattice &Lat);
+
+  /// Same, over a pre-rendered canonical constraint text (C.str). The
+  /// pipeline renders each SCC's combined set once and keys every member
+  /// against it — rendering is the expensive part of key computation.
+  static SummaryKey keyFor(std::string_view CanonicalText,
+                           std::string_view ProcName,
+                           const std::vector<std::string> &InterestingNames,
+                           const SimplifyOptions &Opts);
+
+  /// Serializes a (canonicalized) scheme to the textual entry format.
+  static std::string serialize(const TypeScheme &Scheme,
+                               const SymbolTable &Syms, const Lattice &Lat);
+
+  /// Parses an entry back into a scheme against \p Syms. Returns nullopt
+  /// on malformed input.
+  static std::optional<TypeScheme> deserialize(const std::string &Text,
+                                               SymbolTable &Syms,
+                                               const Lattice &Lat);
+
+  /// Returns the serialized scheme for \p K, if cached.
+  std::optional<std::string> lookup(const SummaryKey &K) const;
+
+  /// Inserts or replaces. Replacement matters for self-healing: a corrupt
+  /// entry that failed to deserialize gets overwritten by the freshly
+  /// recomputed scheme. Concurrent duplicate inserts are benign because
+  /// entries for one key are always identical by construction.
+  void insert(const SummaryKey &K, std::string Serialized);
+
+  /// Records that the entry for \p K failed to deserialize: drops it and
+  /// reclassifies the lookup that returned it as a miss, so hit counters
+  /// never overstate cache effectiveness.
+  void noteCorrupt(const SummaryKey &K);
+
+  size_t size() const;
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+
+  /// Drops every entry (tests use this to model invalidation).
+  void clear();
+
+  /// Loads entries from a cache file; merges into the current contents.
+  /// Returns false (leaving the cache unchanged) on unreadable files;
+  /// malformed trailing entries are ignored.
+  bool load(const std::string &Path);
+
+  /// Writes every entry to \p Path (atomically via rename).
+  bool save(const std::string &Path) const;
+
+private:
+  mutable std::mutex Mutex;
+  std::unordered_map<SummaryKey, std::string, SummaryKeyHash> Entries;
+  mutable std::atomic<uint64_t> Hits{0}, Misses{0};
+};
+
+} // namespace retypd
+
+#endif // RETYPD_CORE_SUMMARYCACHE_H

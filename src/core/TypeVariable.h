@@ -65,6 +65,9 @@ public:
 
   uint32_t raw() const { return Raw; }
 
+  /// Rebuilds a variable from raw() — for interner round-trips only.
+  static TypeVariable fromRaw(uint32_t R) { return TypeVariable(R); }
+
 private:
   explicit TypeVariable(uint32_t R) : Raw(R) {}
 

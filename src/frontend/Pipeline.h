@@ -14,6 +14,17 @@
 ///      parameter refinement (Algorithm F.3 / Example 4.3);
 ///   4. conversion to C types (§4.3).
 ///
+/// Phases 2 and 3 run as wavefronts over the call-graph SCC condensation:
+/// every SCC of one wave depends only on strictly earlier waves, so a
+/// wave's simplifications (and sketch solves) are dispatched onto a
+/// work-stealing thread pool and joined at a barrier, with results
+/// committed in a fixed order. Constraint generation and all commits stay
+/// on the calling thread in deterministic SCC order, and fresh existential
+/// names are procedure-scoped, so the report is byte-identical for every
+/// `Jobs` setting. An optional content-addressed SummaryCache skips
+/// simplification for SCCs whose constraint sets were already summarized
+/// (earlier runs, shared code).
+///
 /// \code
 ///   Module M = ...;
 ///   Pipeline P(makeDefaultLattice());
@@ -29,6 +40,7 @@
 #include "core/Simplifier.h"
 #include "core/Sketch.h"
 #include "core/Solver.h"
+#include "core/SummaryCache.h"
 #include "ctypes/Conversion.h"
 #include "mir/MIR.h"
 
@@ -41,8 +53,29 @@ namespace retypd {
 struct PipelineOptions {
   /// Apply Algorithm F.3 (specialize formals to their observed uses).
   bool RefineParameters = true;
+  /// Total executors for the per-wave parallel stages. 1 = run inline on
+  /// the calling thread (same code path, so results are identical); 0 =
+  /// one per hardware thread.
+  unsigned Jobs = 1;
+  /// Optional content-addressed scheme cache (not owned). Shared across
+  /// runs and across modules; thread safe.
+  SummaryCache *Cache = nullptr;
   ConversionOptions Conversion;
   SimplifyOptions Simplify;
+};
+
+/// Wall-clock and cache counters for one run() call.
+struct PipelineStats {
+  double GenerateSecs = 0;  ///< constraint generation (sequential)
+  double SimplifySecs = 0;  ///< scheme simplification (parallel wall time)
+  double SolveSecs = 0;     ///< sketch solving (parallel wall time)
+  double ConvertSecs = 0;   ///< C-type conversion (sequential)
+  size_t SccCount = 0;
+  size_t WaveCount = 0;
+  size_t WidestWave = 0;
+  unsigned JobsUsed = 1;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
 };
 
 /// Inference results for one function.
@@ -62,6 +95,9 @@ struct TypeReport {
   // Simple counters for the scaling studies.
   size_t ConstraintsGenerated = 0;
   size_t SaturationEdges = 0;
+
+  /// Per-phase timing and cache effectiveness for this run.
+  PipelineStats Stats;
 
   const FunctionTypes *typesOf(uint32_t FuncId) const {
     auto It = Funcs.find(FuncId);
@@ -87,6 +123,15 @@ public:
   TypeReport run(Module &M);
 
 private:
+  /// Simplifies one member's scheme, going through the summary cache when
+  /// one is configured (\p CanonText is the SCC set's canonical rendering,
+  /// empty when no cache is attached). Runs on pool workers; only touches
+  /// thread-safe shared state (SymbolTable, SummaryCache).
+  TypeScheme summarize(const ConstraintSet &Combined,
+                       const std::string &CanonText, TypeVariable ProcVar,
+                       const std::unordered_set<TypeVariable> &Keep,
+                       Simplifier &Simp, SymbolTable &Syms);
+
   const Lattice &Lat;
   PipelineOptions Opts;
 };

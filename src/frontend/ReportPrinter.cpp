@@ -1,0 +1,41 @@
+//===- ReportPrinter.cpp - Textual rendering of TypeReports ---------------===//
+
+#include "frontend/ReportPrinter.h"
+
+#include <vector>
+
+using namespace retypd;
+
+std::string retypd::renderReport(const TypeReport &R, const Module &M,
+                                 const Lattice &Lat,
+                                 const ReportPrintOptions &Opts) {
+  std::string S;
+
+  std::vector<CTypeId> Roots;
+  for (const auto &[F, T] : R.Funcs)
+    if (T.CType != NoCType)
+      Roots.push_back(T.CType);
+  std::string Defs = R.Pool.structDefinitions(Roots);
+  if (!Defs.empty()) {
+    S += Defs;
+    S += '\n';
+  }
+
+  for (const auto &[F, T] : R.Funcs) {
+    if (M.Funcs[F].IsExternal)
+      continue;
+    S += R.prototypeOf(F, M);
+    S += ";\n";
+    if (Opts.Schemes) {
+      S += "/* scheme:\n";
+      S += T.Scheme.str(*R.Syms, Lat);
+      S += "\n*/\n";
+    }
+    if (Opts.Sketches) {
+      S += "/* sketch:\n";
+      S += T.FuncSketch.str(Lat, 4);
+      S += "*/\n";
+    }
+  }
+  return S;
+}

@@ -1,0 +1,38 @@
+//===- ReportPrinter.h - Textual rendering of TypeReports -----*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a TypeReport as the canonical C-header-style text that
+/// retypd-cli prints and the golden-corpus tests diff against. Keeping one
+/// renderer guarantees that "byte-identical reports across --jobs
+/// settings" means the same bytes everywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_FRONTEND_REPORTPRINTER_H
+#define RETYPD_FRONTEND_REPORTPRINTER_H
+
+#include "frontend/Pipeline.h"
+
+#include <string>
+
+namespace retypd {
+
+/// What renderReport includes beyond struct definitions + prototypes.
+struct ReportPrintOptions {
+  bool Schemes = false;  ///< per-function simplified type schemes
+  bool Sketches = false; ///< per-function solved sketches
+};
+
+/// Renders struct definitions followed by one prototype per non-external
+/// function (module order), optionally with schemes/sketches.
+std::string renderReport(const TypeReport &R, const Module &M,
+                         const Lattice &Lat,
+                         const ReportPrintOptions &Opts = ReportPrintOptions());
+
+} // namespace retypd
+
+#endif // RETYPD_FRONTEND_REPORTPRINTER_H

@@ -1,0 +1,184 @@
+//===- Interner.h - Arena-backed uniquing of DTV components ---*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arena-backed interners for the saturation hot loop. A DerivedTypeVariable
+/// is a base variable plus a heap-allocated word of labels; comparing or
+/// hashing one is O(word length). The constraint graph visits the same
+/// handful of DTVs millions of times during saturation, so it uniques each
+/// (base, word) pair once and thereafter compares dense 32-bit ids.
+///
+/// The interners are deliberately NOT thread safe: each ConstraintGraph owns
+/// its own instances and graphs are never shared across pipeline tasks.
+/// Interned ids are dense and assigned in first-seen order, so any
+/// computation driven by them is deterministic given the input order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_SUPPORT_INTERNER_H
+#define RETYPD_SUPPORT_INTERNER_H
+
+#include "core/DerivedTypeVariable.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace retypd {
+
+/// Chunked bump allocator. Never frees individual objects; everything dies
+/// with the arena. Suitable for trivially-destructible payloads only.
+class BumpArena {
+public:
+  explicit BumpArena(size_t ChunkBytes = 64 * 1024)
+      : DefaultChunkBytes(ChunkBytes) {}
+
+  /// Allocates \p Bytes with \p Align alignment.
+  void *allocate(size_t Bytes, size_t Align) {
+    size_t Offset = (Used + Align - 1) & ~(Align - 1);
+    if (Chunks.empty() || Offset + Bytes > CurrentChunkBytes) {
+      CurrentChunkBytes = std::max(DefaultChunkBytes, Bytes + Align);
+      Chunks.push_back(std::make_unique<char[]>(CurrentChunkBytes));
+      uintptr_t P = reinterpret_cast<uintptr_t>(Chunks.back().get());
+      Offset = ((P + Align - 1) & ~(Align - 1)) - P;
+    }
+    void *Ptr = Chunks.back().get() + Offset;
+    Used = Offset + Bytes;
+    return Ptr;
+  }
+
+  /// Copies \p Items into the arena and returns a stable span.
+  template <typename T> std::span<const T> copy(std::span<const T> Items) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                  std::is_trivially_destructible_v<T>);
+    if (Items.empty())
+      return {};
+    T *Mem = static_cast<T *>(allocate(Items.size() * sizeof(T), alignof(T)));
+    std::copy(Items.begin(), Items.end(), Mem);
+    return {Mem, Items.size()};
+  }
+
+private:
+  size_t DefaultChunkBytes;
+  size_t CurrentChunkBytes = 0;
+  size_t Used = 0;
+  std::vector<std::unique_ptr<char[]>> Chunks;
+};
+
+/// Dense id of an interned label word.
+using WordId = uint32_t;
+
+/// Uniques label words (the w of αw). Id 0 is always the empty word.
+class WordInterner {
+public:
+  static constexpr WordId NoWord = 0xffffffffu;
+
+  WordInterner() { Words.push_back({}); }
+
+  WordId intern(std::span<const Label> W) {
+    if (W.empty())
+      return 0;
+    auto &Bucket = Buckets[hashWord(W)];
+    for (WordId Id : Bucket)
+      if (equals(Words[Id], W))
+        return Id;
+    WordId Id = static_cast<WordId>(Words.size());
+    Words.push_back(Arena.copy(W));
+    Bucket.push_back(Id);
+    return Id;
+  }
+
+  /// Lookup without interning; NoWord when the word was never seen.
+  WordId find(std::span<const Label> W) const {
+    if (W.empty())
+      return 0;
+    auto It = Buckets.find(hashWord(W));
+    if (It == Buckets.end())
+      return NoWord;
+    for (WordId Id : It->second)
+      if (equals(Words[Id], W))
+        return Id;
+    return NoWord;
+  }
+
+  std::span<const Label> word(WordId Id) const { return Words[Id]; }
+  size_t size() const { return Words.size(); }
+
+private:
+  static size_t hashWord(std::span<const Label> W) {
+    size_t H = 0xcbf29ce484222325ull;
+    for (Label L : W)
+      H = (H ^ std::hash<Label>()(L)) * 0x100000001b3ull;
+    return H;
+  }
+  static bool equals(std::span<const Label> A, std::span<const Label> B) {
+    return A.size() == B.size() && std::equal(A.begin(), A.end(), B.begin());
+  }
+
+  BumpArena Arena;
+  std::vector<std::span<const Label>> Words;
+  std::unordered_map<size_t, std::vector<WordId>> Buckets;
+};
+
+/// Dense id of an interned derived type variable.
+using DtvId = uint32_t;
+
+/// Uniques whole derived type variables as (base, word-id) pairs. After
+/// interning, equality and hashing of DTVs are single integer compares.
+class DtvInterner {
+public:
+  static constexpr DtvId NoDtv = 0xffffffffu;
+
+  DtvId intern(const DerivedTypeVariable &Dtv) {
+    uint64_t Key = makeKey(Dtv.base(), Words.intern(Dtv.labels()));
+    auto [It, Inserted] = Ids.try_emplace(Key, 0);
+    if (Inserted) {
+      It->second = static_cast<DtvId>(Keys.size());
+      Keys.push_back(Key);
+    }
+    return It->second;
+  }
+
+  /// Lookup without interning; NoDtv when the DTV was never seen.
+  DtvId find(const DerivedTypeVariable &Dtv) const {
+    WordId W = Words.find(Dtv.labels());
+    if (W == WordInterner::NoWord)
+      return NoDtv;
+    auto It = Ids.find(makeKey(Dtv.base(), W));
+    return It == Ids.end() ? NoDtv : It->second;
+  }
+
+  TypeVariable base(DtvId Id) const {
+    return TypeVariable::fromRaw(static_cast<uint32_t>(Keys[Id] >> 32));
+  }
+  std::span<const Label> labels(DtvId Id) const {
+    return Words.word(static_cast<WordId>(Keys[Id]));
+  }
+  DerivedTypeVariable dtv(DtvId Id) const {
+    auto W = labels(Id);
+    return DerivedTypeVariable(base(Id),
+                               std::vector<Label>(W.begin(), W.end()));
+  }
+
+  size_t size() const { return Keys.size(); }
+
+private:
+  static uint64_t makeKey(TypeVariable Base, WordId W) {
+    return (static_cast<uint64_t>(Base.raw()) << 32) | W;
+  }
+
+  WordInterner Words;
+  std::vector<uint64_t> Keys;
+  std::unordered_map<uint64_t, DtvId> Ids;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_SUPPORT_INTERNER_H

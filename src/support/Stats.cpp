@@ -2,6 +2,9 @@
 
 #include "support/Stats.h"
 
+#include <map>
+#include <mutex>
+
 using namespace retypd;
 
 std::atomic<uint64_t> MemStats::LiveBytes{0};
@@ -25,4 +28,36 @@ void MemStats::noteAlloc(size_t Size) {
 
 void MemStats::noteFree(size_t Size) {
   LiveBytes.fetch_sub(Size, std::memory_order_relaxed);
+}
+
+namespace {
+
+struct PhaseRegistry {
+  std::mutex Mutex;
+  std::map<std::string, double> Seconds;
+
+  static PhaseRegistry &get() {
+    static PhaseRegistry R;
+    return R;
+  }
+};
+
+} // namespace
+
+void PhaseTimes::add(const char *Phase, double Seconds) {
+  PhaseRegistry &R = PhaseRegistry::get();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Seconds[Phase] += Seconds;
+}
+
+std::vector<std::pair<std::string, double>> PhaseTimes::snapshot() {
+  PhaseRegistry &R = PhaseRegistry::get();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  return {R.Seconds.begin(), R.Seconds.end()};
+}
+
+void PhaseTimes::reset() {
+  PhaseRegistry &R = PhaseRegistry::get();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Seconds.clear();
 }

@@ -16,8 +16,12 @@
 #define RETYPD_SUPPORT_STATS_H
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace retypd {
 
@@ -36,6 +40,42 @@ struct MemStats {
 
   /// Records a deallocation of \p Size bytes.
   static void noteFree(size_t Size);
+};
+
+/// Process-wide named wall-clock accumulators for pipeline stages. Worker
+/// threads add to the same counter concurrently, so a stage's total can
+/// exceed the elapsed wall time — that surplus IS the parallelism, and the
+/// scaling benchmarks report it as such.
+class PhaseTimes {
+public:
+  /// Accumulates \p Seconds onto the named phase counter (creating it on
+  /// first use). Thread safe.
+  static void add(const char *Phase, double Seconds);
+
+  /// Snapshot of (phase, accumulated seconds), sorted by phase name.
+  static std::vector<std::pair<std::string, double>> snapshot();
+
+  /// Zeroes every counter. Call between measured runs.
+  static void reset();
+};
+
+/// RAII helper: accumulates its lifetime onto a PhaseTimes counter.
+class ScopedPhaseTimer {
+public:
+  explicit ScopedPhaseTimer(const char *Phase)
+      : Phase(Phase), Start(std::chrono::steady_clock::now()) {}
+  ~ScopedPhaseTimer() {
+    PhaseTimes::add(
+        Phase, std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - Start)
+                   .count());
+  }
+  ScopedPhaseTimer(const ScopedPhaseTimer &) = delete;
+  ScopedPhaseTimer &operator=(const ScopedPhaseTimer &) = delete;
+
+private:
+  const char *Phase;
+  std::chrono::steady_clock::time_point Start;
 };
 
 } // namespace retypd

@@ -16,10 +16,11 @@
 
 #include <cassert>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace retypd {
 
@@ -28,10 +29,24 @@ namespace retypd {
 using SymbolId = uint32_t;
 
 /// Bidirectional map between strings and dense SymbolIds.
+///
+/// Thread safe: the parallel solving pipeline interns fresh existential
+/// names from worker threads while other workers render constraint sets.
+/// Names live in a deque so the reference returned by name() stays valid
+/// across later interns.
 class SymbolTable {
 public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable &Other) {
+    std::lock_guard<std::mutex> Lock(Other.Mutex);
+    Names = Other.Names;
+    Ids = Other.Ids;
+  }
+  SymbolTable &operator=(const SymbolTable &) = delete;
+
   /// Returns the id for \p S, interning it on first use.
   SymbolId intern(std::string_view S) {
+    std::lock_guard<std::mutex> Lock(Mutex);
     auto It = Ids.find(std::string(S));
     if (It != Ids.end())
       return It->second;
@@ -41,14 +56,17 @@ public:
     return Id;
   }
 
-  /// Returns the string for a previously interned id.
+  /// Returns the string for a previously interned id. The reference is
+  /// stable: concurrent interning never moves existing entries.
   const std::string &name(SymbolId Id) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
     assert(Id < Names.size() && "symbol id out of range");
     return Names[Id];
   }
 
   /// Returns the id for \p S if it was interned before, without interning.
   bool lookup(std::string_view S, SymbolId &Out) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
     auto It = Ids.find(std::string(S));
     if (It == Ids.end())
       return false;
@@ -56,11 +74,15 @@ public:
     return true;
   }
 
-  size_t size() const { return Names.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Names.size();
+  }
 
 private:
-  std::vector<std::string> Names;
+  std::deque<std::string> Names;
   std::unordered_map<std::string, SymbolId> Ids;
+  mutable std::mutex Mutex;
 };
 
 } // namespace retypd

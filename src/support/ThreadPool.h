@@ -1,0 +1,178 @@
+//===- ThreadPool.h - Small work-stealing thread pool ---------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for the parallel solving pipeline.
+/// Each worker owns a deque: it pushes and pops at the back (LIFO, cache
+/// friendly) and victims are stolen from the front (FIFO, coarse tasks
+/// first). The submitting thread participates in execution inside
+/// \c waitAll(), so a pool of N threads gives N+1 executors and
+/// `ThreadPool(0)` degenerates to plain inline execution — the `--jobs 1`
+/// mode runs the exact same code path as `--jobs N`, which is what makes
+/// the determinism guarantee cheap to state.
+///
+/// Tasks may submit further tasks. Exceptions escaping a task are captured
+/// and rethrown from waitAll() (first one wins).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_SUPPORT_THREADPOOL_H
+#define RETYPD_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace retypd {
+
+/// Work-stealing pool of \c numWorkers() background threads.
+class ThreadPool {
+public:
+  /// \p Threads background workers. 0 means "run everything inline in
+  /// waitAll()"; the pool is still fully functional.
+  explicit ThreadPool(unsigned Threads) {
+    Queues.resize(Threads == 0 ? 1 : Threads);
+    for (unsigned I = 0; I < Threads; ++I)
+      Workers.emplace_back([this, I] { workerLoop(I); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      Stop = true;
+    }
+    Ready.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  unsigned numWorkers() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p Fn. Tasks are distributed round-robin over the worker
+  /// deques; idle workers steal from the front of other deques.
+  void submit(std::function<void()> Fn) {
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      unsigned Q = NextQueue++ % Queues.size();
+      Queues[Q].push_back(std::move(Fn));
+      ++Pending;
+    }
+    Ready.notify_one();
+    Idle.notify_all(); // a blocked waitAll() can steal this task
+  }
+
+  /// Runs tasks on the calling thread until every submitted task (including
+  /// tasks submitted by tasks) has finished. Rethrows the first captured
+  /// task exception.
+  void waitAll() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    while (true) {
+      if (std::function<void()> Fn = takeLocked()) {
+        runTask(Lock, std::move(Fn));
+        continue;
+      }
+      if (Pending == 0 && Running == 0)
+        break;
+      Idle.wait(Lock, [this] {
+        return (Pending == 0 && Running == 0) || anyQueued();
+      });
+    }
+    if (FirstError) {
+      std::exception_ptr E = FirstError;
+      FirstError = nullptr;
+      std::rethrow_exception(E);
+    }
+  }
+
+private:
+  bool anyQueued() const {
+    for (const auto &Q : Queues)
+      if (!Q.empty())
+        return true;
+    return false;
+  }
+
+  /// Pops a task: own deque back first, then steal from the fronts.
+  /// Requires the lock to be held. \p Self is the preferred deque.
+  std::function<void()> takeLocked(unsigned Self = 0) {
+    if (!Queues[Self].empty()) {
+      std::function<void()> Fn = std::move(Queues[Self].back());
+      Queues[Self].pop_back();
+      return Fn;
+    }
+    for (size_t I = 0; I < Queues.size(); ++I) {
+      auto &Q = Queues[(Self + 1 + I) % Queues.size()];
+      if (!Q.empty()) {
+        std::function<void()> Fn = std::move(Q.front());
+        Q.pop_front();
+        return Fn;
+      }
+    }
+    return nullptr;
+  }
+
+  void runTask(std::unique_lock<std::mutex> &Lock,
+               std::function<void()> Fn) {
+    --Pending;
+    ++Running;
+    Lock.unlock();
+    try {
+      Fn();
+    } catch (...) {
+      Lock.lock();
+      if (!FirstError)
+        FirstError = std::current_exception();
+      finishTaskLocked();
+      return;
+    }
+    Lock.lock();
+    finishTaskLocked();
+  }
+
+  void finishTaskLocked() {
+    if (--Running == 0 && Pending == 0)
+      Idle.notify_all();
+  }
+
+  void workerLoop(unsigned Self) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    while (true) {
+      if (std::function<void()> Fn = takeLocked(Self)) {
+        runTask(Lock, std::move(Fn));
+        // A finished task may have enqueued more work for others.
+        if (anyQueued())
+          Ready.notify_one();
+        continue;
+      }
+      if (Stop)
+        return;
+      Ready.wait(Lock, [this] { return Stop || anyQueued(); });
+    }
+  }
+
+  std::vector<std::thread> Workers;
+  std::vector<std::deque<std::function<void()>>> Queues;
+  std::mutex Mutex;
+  std::condition_variable Ready; ///< new work for workers
+  std::condition_variable Idle;  ///< everything drained, wake waitAll
+  unsigned NextQueue = 0;
+  size_t Pending = 0; ///< queued, not yet started
+  size_t Running = 0; ///< currently executing
+  bool Stop = false;
+  std::exception_ptr FirstError;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_SUPPORT_THREADPOOL_H

@@ -1,0 +1,224 @@
+//===- SummaryCacheTest.cpp - Content-addressed scheme cache tests ------------===//
+//
+// Covers key canonicalization (hit/miss semantics), serialization round
+// trips, invalidation by content and by options, file persistence, and a
+// many-tiny-SCCs stress run through the parallel pipeline with a shared
+// cache.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ConstraintParser.h"
+#include "core/SummaryCache.h"
+#include "frontend/Pipeline.h"
+#include "frontend/ReportPrinter.h"
+#include "mir/AsmParser.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+using namespace retypd;
+
+namespace {
+
+class SummaryCacheTest : public ::testing::Test {
+protected:
+  SummaryCacheTest() : Lat(makeDefaultLattice()), Parser(Syms, Lat) {}
+
+  ConstraintSet parse(const std::string &Text) {
+    auto C = Parser.parse(Text);
+    if (!C) {
+      ADD_FAILURE() << Parser.error();
+      return ConstraintSet();
+    }
+    return *C;
+  }
+
+  TypeVariable var(const std::string &Name) {
+    return TypeVariable::var(Syms.intern(Name));
+  }
+
+  SymbolTable Syms;
+  Lattice Lat;
+  ConstraintParser Parser;
+  SimplifyOptions Opts;
+};
+
+} // namespace
+
+TEST_F(SummaryCacheTest, KeyIsContentAddressed) {
+  ConstraintSet A = parse("x <= F.out\nF.in0 <= x");
+  // Same content, different insertion order: same canonical key.
+  ConstraintSet B = parse("F.in0 <= x\nx <= F.out");
+  // Different content: different key.
+  ConstraintSet C = parse("F.in0 <= x\nx <= F.in0");
+
+  auto Key = [&](const ConstraintSet &S) {
+    return SummaryCache::keyFor(S, var("F"), {}, Opts, Syms, Lat);
+  };
+  EXPECT_EQ(Key(A), Key(B));
+  EXPECT_FALSE(Key(A) == Key(C));
+
+  // The interesting set and the simplify options are part of the problem.
+  auto KeyI = SummaryCache::keyFor(A, var("F"), {"g0"}, Opts, Syms, Lat);
+  EXPECT_FALSE(Key(A) == KeyI);
+  SimplifyOptions Other;
+  Other.BloatSlack = 99;
+  auto KeyO = SummaryCache::keyFor(A, var("F"), {}, Other, Syms, Lat);
+  EXPECT_FALSE(Key(A) == KeyO);
+
+  // Interesting-name ORDER must not matter.
+  auto KeyAB = SummaryCache::keyFor(A, var("F"), {"g0", "g1"}, Opts, Syms, Lat);
+  auto KeyBA = SummaryCache::keyFor(A, var("F"), {"g1", "g0"}, Opts, Syms, Lat);
+  EXPECT_EQ(KeyAB, KeyBA);
+}
+
+TEST_F(SummaryCacheTest, SerializeRoundTripsExactly) {
+  Simplifier Simp(Syms, Lat);
+  ConstraintSet C = parse(R"(
+F.in0 <= a
+a.load.s32@0 <= a
+a.load.s32@4 <= int
+a <= F.out
+)");
+  TypeScheme Scheme = Simp.simplify(C, var("F"), {});
+  Scheme.Constraints = Scheme.Constraints.canonicalized(Syms, Lat);
+
+  std::string Text = SummaryCache::serialize(Scheme, Syms, Lat);
+  auto Back = SummaryCache::deserialize(Text, Syms, Lat);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->ProcVar, Scheme.ProcVar);
+  EXPECT_EQ(Back->Existentials, Scheme.Existentials);
+  // Exact reproduction: text AND internal constraint order.
+  EXPECT_EQ(Back->str(Syms, Lat), Scheme.str(Syms, Lat));
+  EXPECT_EQ(Back->Constraints.subtypes(), Scheme.Constraints.subtypes());
+}
+
+TEST_F(SummaryCacheTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(SummaryCache::deserialize("", Syms, Lat).has_value());
+  EXPECT_FALSE(SummaryCache::deserialize("nonsense\n", Syms, Lat).has_value());
+  EXPECT_FALSE(
+      SummaryCache::deserialize("proc F\nno-existentials-line\n", Syms, Lat)
+          .has_value());
+}
+
+TEST_F(SummaryCacheTest, HitMissAndClear) {
+  SummaryCache Cache;
+  ConstraintSet C = parse("F.in0 <= F.out");
+  auto K = SummaryCache::keyFor(C, var("F"), {}, Opts, Syms, Lat);
+
+  EXPECT_FALSE(Cache.lookup(K).has_value());
+  EXPECT_EQ(Cache.misses(), 1u);
+
+  Cache.insert(K, "proc F\nexistentials\n");
+  auto Hit = Cache.lookup(K);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_EQ(Cache.size(), 1u);
+
+  // clear() models invalidation: the entry is gone, the next probe misses.
+  Cache.clear();
+  EXPECT_EQ(Cache.size(), 0u);
+  EXPECT_FALSE(Cache.lookup(K).has_value());
+}
+
+TEST_F(SummaryCacheTest, CorruptEntrySelfHeals) {
+  SummaryCache Cache;
+  ConstraintSet C = parse("F.in0 <= F.out");
+  auto K = SummaryCache::keyFor(C, var("F"), {}, Opts, Syms, Lat);
+
+  Cache.insert(K, "not a scheme at all");
+  auto Hit = Cache.lookup(K);
+  ASSERT_TRUE(Hit.has_value());
+  ASSERT_FALSE(SummaryCache::deserialize(*Hit, Syms, Lat).has_value());
+
+  // The consumer reports the corruption: the hit is reclassified as a
+  // miss and the entry dropped...
+  Cache.noteCorrupt(K);
+  EXPECT_EQ(Cache.hits(), 0u);   // the bogus hit is taken back
+  EXPECT_EQ(Cache.misses(), 1u); // ...and reclassified as a miss
+  EXPECT_EQ(Cache.size(), 0u);
+
+  // ...and insert() overwrites rather than keeping stale bytes.
+  Cache.insert(K, "proc F\nexistentials\n");
+  Cache.insert(K, "proc G\nexistentials\n");
+  auto Fresh = Cache.lookup(K);
+  ASSERT_TRUE(Fresh.has_value());
+  EXPECT_EQ(*Fresh, "proc G\nexistentials\n");
+}
+
+TEST_F(SummaryCacheTest, ContentChangeInvalidatesNaturally) {
+  // Content addressing needs no explicit invalidation: touching the
+  // constraint set moves the key, so stale entries can never be returned.
+  SummaryCache Cache;
+  ConstraintSet C1 = parse("F.in0 <= F.out");
+  auto K1 = SummaryCache::keyFor(C1, var("F"), {}, Opts, Syms, Lat);
+  Cache.insert(K1, "proc F\nexistentials\n");
+
+  ConstraintSet C2 = parse("F.in0 <= F.out\nint <= F.out");
+  auto K2 = SummaryCache::keyFor(C2, var("F"), {}, Opts, Syms, Lat);
+  EXPECT_FALSE(K1 == K2);
+  EXPECT_FALSE(Cache.lookup(K2).has_value());
+  EXPECT_TRUE(Cache.lookup(K1).has_value()); // old entry intact for old key
+}
+
+TEST_F(SummaryCacheTest, SaveAndLoadPreserveEntries) {
+  namespace fs = std::filesystem;
+  fs::path File = fs::temp_directory_path() / "retypd_cache_test.bin";
+  fs::remove(File);
+
+  SummaryCache Cache;
+  ConstraintSet C = parse("F.in0 <= F.out");
+  auto K = SummaryCache::keyFor(C, var("F"), {}, Opts, Syms, Lat);
+  Cache.insert(K, "proc F\nexistentials τ$F$0\nF.in0 <= F.out\n");
+  ASSERT_TRUE(Cache.save(File.string()));
+
+  SummaryCache Loaded;
+  ASSERT_TRUE(Loaded.load(File.string()));
+  EXPECT_EQ(Loaded.size(), 1u);
+  auto Hit = Loaded.lookup(K);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(*Hit, "proc F\nexistentials τ$F$0\nF.in0 <= F.out\n");
+
+  EXPECT_FALSE(Loaded.load("/nonexistent/path/cache.bin"));
+  fs::remove(File);
+}
+
+TEST_F(SummaryCacheTest, ManyTinySccsStress) {
+  // A module with hundreds of tiny, independent SCCs — the worst case for
+  // per-task overhead and the best case for wave width. Everything must
+  // solve identically with and without cache, cold and warm, at any job
+  // count.
+  std::string Asm;
+  for (int I = 0; I < 150; ++I) {
+    std::string N = std::to_string(I);
+    Asm += "fn leaf" + N + ":\n  load eax, [esp+4]\n  ret\n";
+    Asm += "fn mid" + N + ":\n  load eax, [esp+4]\n  push eax\n  call leaf" +
+           N + "\n  add esp, 4\n  ret\n";
+  }
+  AsmParser P;
+  auto M = P.parse(Asm);
+  ASSERT_TRUE(M.has_value()) << P.error();
+
+  SummaryCache Cache;
+  auto Run = [&](unsigned Jobs, SummaryCache *UseCache) {
+    Module Copy = *M;
+    PipelineOptions PO;
+    PO.Jobs = Jobs;
+    PO.Cache = UseCache;
+    Pipeline Pipe(Lat, PO);
+    TypeReport R = Pipe.run(Copy);
+    EXPECT_EQ(R.Funcs.size(), 300u);
+    return renderReport(R, Copy, Lat);
+  };
+
+  std::string Baseline = Run(1, nullptr);
+  EXPECT_EQ(Baseline, Run(4, nullptr));
+  EXPECT_EQ(Baseline, Run(4, &Cache)); // cold
+  uint64_t MissesCold = Cache.misses();
+  EXPECT_GT(MissesCold, 0u);
+  EXPECT_EQ(Baseline, Run(4, &Cache)); // warm
+  EXPECT_EQ(Cache.misses(), MissesCold);
+  EXPECT_GE(Cache.hits(), 300u);
+  EXPECT_EQ(Baseline, Run(2, &Cache)); // warm, different job count
+}

@@ -1,0 +1,24 @@
+; Golden: indirect calls through a stored function pointer.
+; apply loads a callback out of a handler struct and invokes it on the
+; struct's payload; install writes a concrete handler into the struct.
+extern close
+fn do_close:
+  load eax, [esp+4]
+  push eax
+  call close
+  add esp, 4
+  ret
+fn apply:
+  load edx, [esp+4]
+  load ecx, [edx+0]
+  load eax, [edx+4]
+  push eax
+  calli ecx
+  add esp, 4
+  ret
+fn use:
+  load edx, [esp+4]
+  push edx
+  call apply
+  add esp, 4
+  ret

@@ -1,0 +1,35 @@
+; Golden: a diamond-shaped call graph four waves deep — exercises the
+; SCC wavefront: get_field is shared by two mid-level helpers that a
+; single root calls, so the middle wave holds two independent SCCs that
+; the parallel pipeline summarizes concurrently.
+extern close
+fn get_field:
+  load edx, [esp+4]
+  load eax, [edx+4]
+  ret
+fn left:
+  load edx, [esp+4]
+  push edx
+  call get_field
+  add esp, 4
+  push eax
+  call close
+  add esp, 4
+  ret
+fn right:
+  load edx, [esp+4]
+  load ecx, [edx+0]
+  push ecx
+  call get_field
+  add esp, 4
+  ret
+fn root:
+  load edx, [esp+4]
+  push edx
+  call left
+  add esp, 4
+  load edx, [esp+4]
+  push edx
+  call right
+  add esp, 4
+  ret

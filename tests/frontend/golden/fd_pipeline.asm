@@ -1,0 +1,30 @@
+; Golden: file-descriptor pipeline with a global. Semantic lattice tags
+; (#FileDescriptor, #SuccessZ) flow from the known open/read/close
+; schemes through user code and a global slot.
+global last_fd, 4
+extern open
+extern read
+extern close
+fn open_log:
+  push 0
+  load eax, [esp+8]
+  push eax
+  call open
+  add esp, 8
+  store [@last_fd], eax
+  ret
+fn pump:
+  load edx, [esp+4]
+  load ecx, [@last_fd]
+  push 16
+  push edx
+  push ecx
+  call read
+  add esp, 12
+  ret
+fn shutdown:
+  load eax, [@last_fd]
+  push eax
+  call close
+  add esp, 4
+  ret

@@ -1,0 +1,31 @@
+; Golden: recursive linked-list traversal (paper Figure 2).
+; close_last walks `struct LL { LL *next; int fd; }` and closes the
+; last file descriptor; sum_fds accumulates every fd on the list.
+extern close
+fn close_last:
+  load edx, [esp+4]
+  jmp check
+advance:
+  mov edx, eax
+check:
+  load eax, [edx+0]
+  test eax, eax
+  jnz advance
+  load eax, [edx+4]
+  push eax
+  call close
+  add esp, 4
+  ret
+fn sum_fds:
+  load edx, [esp+4]
+  mov esi, 0
+loop:
+  test edx, edx
+  jz done
+  load eax, [edx+4]
+  add esi, eax
+  load edx, [edx+0]
+  jmp loop
+done:
+  mov eax, esi
+  ret

@@ -1,0 +1,42 @@
+; Golden: malloc/free polymorphism. wrap_alloc is a malloc wrapper whose
+; forall-quantified return specializes per callsite (Example 4.3): one
+; caller stores ints through it, the other stores pointers; free_cell
+; remains polymorphic in its argument.
+extern malloc
+extern free
+fn wrap_alloc:
+  load eax, [esp+4]
+  push eax
+  call malloc
+  add esp, 4
+  ret
+fn free_cell:
+  load eax, [esp+4]
+  push eax
+  call free
+  add esp, 4
+  ret
+fn int_user:
+  push 4
+  call wrap_alloc
+  add esp, 4
+  mov esi, eax
+  load eax, [esp+4]
+  store [esi], eax
+  push esi
+  call free_cell
+  add esp, 4
+  ret
+fn ptr_user:
+  push 8
+  call wrap_alloc
+  add esp, 4
+  mov edi, eax
+  push 4
+  call wrap_alloc
+  add esp, 4
+  store [edi], eax
+  push edi
+  call free_cell
+  add esp, 4
+  ret

@@ -1,0 +1,54 @@
+; Golden: mutually recursive SCCs. even/odd recurse on an integer;
+; walk_a/walk_b alternate over a two-field linked structure, so the
+; whole SCC shares one recursive constraint set (Algorithm F.1 treats
+; SCC mates monomorphically).
+fn even:
+  load eax, [esp+4]
+  test eax, eax
+  jnz go_odd
+  mov eax, 1
+  ret
+go_odd:
+  sub eax, 1
+  push eax
+  call odd
+  add esp, 4
+  ret
+fn odd:
+  load eax, [esp+4]
+  test eax, eax
+  jnz go_even
+  mov eax, 0
+  ret
+go_even:
+  sub eax, 1
+  push eax
+  call even
+  add esp, 4
+  ret
+fn walk_a:
+  load edx, [esp+4]
+  test edx, edx
+  jnz recurse_a
+  mov eax, 0
+  ret
+recurse_a:
+  load eax, [edx+0]
+  push eax
+  call walk_b
+  add esp, 4
+  add eax, 1
+  ret
+fn walk_b:
+  load edx, [esp+4]
+  test edx, edx
+  jnz recurse_b
+  mov eax, 0
+  ret
+recurse_b:
+  load eax, [edx+4]
+  push eax
+  call walk_a
+  add esp, 4
+  add eax, 1
+  ret

@@ -9,6 +9,15 @@
 //                                        binary encoder/disassembler first
 //   retypd-cli --engine=unify prog.asm   use the unification baseline
 //   retypd-cli --engine=interval prog.asm  use the TIE-style baseline
+//   retypd-cli --jobs N prog.asm         solve SCC waves on N threads
+//                                        (0 = one per hardware thread);
+//                                        output is byte-identical for
+//                                        every N
+//   retypd-cli --summary-cache F prog.asm  load/save the content-addressed
+//                                        scheme cache at F; repeated runs
+//                                        skip simplification entirely
+//   retypd-cli --stats prog.asm          append per-phase timing and cache
+//                                        counters as a trailing comment
 //
 // Input is the textual assembly of mir/AsmParser.h (see examples/data/).
 //
@@ -16,10 +25,13 @@
 
 #include "baseline/Baselines.h"
 #include "frontend/Pipeline.h"
+#include "frontend/ReportPrinter.h"
 #include "loader/BinaryImage.h"
 #include "mir/AsmParser.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -31,18 +43,37 @@ namespace {
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s [--schemes] [--sketches] [--strip] "
+               "usage: %s [--schemes] [--sketches] [--strip] [--stats] "
+               "[--jobs N] [--summary-cache FILE] "
                "[--engine=retypd|unify|interval] prog.asm\n",
                Argv0);
   return 2;
 }
 
+/// Parses a --jobs value: a plain decimal in [0, 1024] (0 = one thread
+/// per hardware core). Rejects signs, trailing junk, and overflow.
+bool parseJobs(const char *Text, unsigned &Jobs) {
+  errno = 0;
+  char *End = nullptr;
+  unsigned long V = std::strtoul(Text, &End, 10);
+  if (End == Text || *End != '\0' || Text[0] == '-' || Text[0] == '+' ||
+      errno == ERANGE || V > 1024) {
+    std::fprintf(stderr,
+                 "error: --jobs expects a number in [0, 1024], got '%s'\n",
+                 Text);
+    return false;
+  }
+  Jobs = static_cast<unsigned>(V);
+  return true;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  bool Schemes = false, Sketches = false, Strip = false;
+  bool Schemes = false, Sketches = false, Strip = false, Stats = false;
+  unsigned Jobs = 1;
   std::string Engine = "retypd";
-  std::string Path;
+  std::string Path, CachePath;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -52,6 +83,19 @@ int main(int argc, char **argv) {
       Sketches = true;
     else if (Arg == "--strip")
       Strip = true;
+    else if (Arg == "--stats")
+      Stats = true;
+    else if (Arg == "--jobs" && I + 1 < argc) {
+      if (!parseJobs(argv[++I], Jobs))
+        return usage(argv[0]);
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!parseJobs(Arg.c_str() + 7, Jobs))
+        return usage(argv[0]);
+    }
+    else if (Arg == "--summary-cache" && I + 1 < argc)
+      CachePath = argv[++I];
+    else if (Arg.rfind("--summary-cache=", 0) == 0)
+      CachePath = Arg.substr(16);
     else if (Arg.rfind("--engine=", 0) == 0)
       Engine = Arg.substr(9);
     else if (!Arg.empty() && Arg[0] == '-')
@@ -124,26 +168,37 @@ int main(int argc, char **argv) {
   if (Engine != "retypd")
     return usage(argv[0]);
 
-  Pipeline Pipe(Lat);
+  SummaryCache Cache;
+  if (!CachePath.empty())
+    Cache.load(CachePath); // a missing file is just a cold cache
+
+  PipelineOptions PipeOpts;
+  PipeOpts.Jobs = Jobs;
+  if (!CachePath.empty())
+    PipeOpts.Cache = &Cache;
+
+  Pipeline Pipe(Lat, PipeOpts);
   TypeReport R = Pipe.run(*M);
 
-  std::vector<CTypeId> Roots;
-  for (const auto &[F, T] : R.Funcs)
-    if (T.CType != NoCType)
-      Roots.push_back(T.CType);
-  std::string Defs = R.Pool.structDefinitions(Roots);
-  if (!Defs.empty())
-    std::printf("%s\n", Defs.c_str());
+  if (!CachePath.empty() && !Cache.save(CachePath))
+    std::fprintf(stderr, "warning: cannot write summary cache %s\n",
+                 CachePath.c_str());
 
-  for (const auto &[F, T] : R.Funcs) {
-    if (M->Funcs[F].IsExternal)
-      continue;
-    std::printf("%s;\n", R.prototypeOf(F, *M).c_str());
-    if (Schemes)
-      std::printf("/* scheme:\n%s\n*/\n",
-                  T.Scheme.str(*R.Syms, Lat).c_str());
-    if (Sketches)
-      std::printf("/* sketch:\n%s*/\n", T.FuncSketch.str(Lat, 4).c_str());
+  ReportPrintOptions PrintOpts;
+  PrintOpts.Schemes = Schemes;
+  PrintOpts.Sketches = Sketches;
+  std::string Text = renderReport(R, *M, Lat, PrintOpts);
+  std::fwrite(Text.data(), 1, Text.size(), stdout);
+
+  if (Stats) {
+    const PipelineStats &S = R.Stats;
+    std::printf("/* stats: jobs=%u sccs=%zu waves=%zu widest=%zu "
+                "gen=%.3fs simplify=%.3fs solve=%.3fs convert=%.3fs "
+                "cache_hits=%llu cache_misses=%llu */\n",
+                S.JobsUsed, S.SccCount, S.WaveCount, S.WidestWave,
+                S.GenerateSecs, S.SimplifySecs, S.SolveSecs, S.ConvertSecs,
+                static_cast<unsigned long long>(S.CacheHits),
+                static_cast<unsigned long long>(S.CacheMisses));
   }
   return 0;
 }
