@@ -1,0 +1,83 @@
+//===- incremental_session.cpp - Embedding the resident engine ----------------===//
+//
+// How a decompiler (or any long-lived tool) embeds the engine: create one
+// AnalysisSession per binary, analyze, query structured results, then
+// patch a function and re-analyze — only the dirty SCC cone re-runs, and
+// the report is byte-identical to a from-scratch analysis.
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/example_incremental_session
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Session.h"
+#include "mir/AsmParser.h"
+
+#include <cstdio>
+
+using namespace retypd;
+
+namespace {
+
+const char *kProgram = R"(
+extern close
+fn get_fd:
+  load edx, [esp+4]
+  load eax, [edx+4]
+  ret
+fn shutdown:
+  load eax, [esp+4]
+  push eax
+  call get_fd
+  add esp, 4
+  push eax
+  call close
+  add esp, 4
+  ret
+fn unrelated:
+  load eax, [esp+4]
+  add eax, 1
+  ret
+)";
+
+void show(AnalysisSession &S, const char *Name) {
+  SessionQuery<std::string> Proto = S.prototypeOf(Name);
+  if (Proto)
+    std::printf("  %s\n", Proto->c_str());
+  else
+    // The structured query distinguishes "no such function" from
+    // "inference produced no type" — no more parsing "<no type>".
+    std::printf("  %s: <%s>\n", Name, typeQueryStatusName(Proto.Status));
+}
+
+} // namespace
+
+int main() {
+  AnalysisSession S(makeDefaultLattice());
+  std::string Err;
+  if (!S.loadModuleText(kProgram, &Err)) {
+    std::fprintf(stderr, "parse error: %s\n", Err.c_str());
+    return 1;
+  }
+
+  S.analyze();
+  std::printf("=== initial analysis ===\n");
+  for (const char *Name : {"get_fd", "shutdown", "unrelated", "close"})
+    show(S, Name);
+
+  // Patch get_fd: the fd now lives at offset 8 instead of 4.
+  std::printf("\n=== after patching get_fd (field moves to +8) ===\n");
+  Module Patched = S.module();
+  Patched.Funcs[*S.functionId("get_fd")].Body[1].Mem.Disp = 8;
+  S.updateModule(std::move(Patched));
+  S.analyze();
+  for (const char *Name : {"get_fd", "shutdown", "unrelated"})
+    show(S, Name);
+
+  const PipelineStats &St = S.report()->Stats;
+  std::printf("\nincremental run: %zu function(s) dirty, %zu SCC(s) "
+              "re-simplified, %zu reused\n",
+              St.FunctionsDirty, St.SccsSimplified, St.SccsReused);
+  return 0;
+}

@@ -23,9 +23,17 @@ ConstraintSet ConstraintGenerator::instantiate(const TypeScheme &Scheme,
                                                TypeVariable CallsiteVar) {
   std::unordered_map<TypeVariable, TypeVariable> Map;
   Map[Scheme.ProcVar] = CallsiteVar;
+  // Instance existentials are scoped by the (unique) callsite variable and
+  // numbered by an instantiation-local counter, so the constraints produced
+  // for one callsite are a pure function of (scheme, callsite variable) —
+  // never of how many instantiations other procedures performed first. The
+  // incremental engine relies on this to regenerate a single procedure and
+  // get bit-identical constraints.
+  const std::string ExPrefix = Syms.name(CallsiteVar.symbol()) + "$ex";
+  unsigned ExCounter = 0;
   for (TypeVariable Ex : Scheme.Existentials)
     Map[Ex] = TypeVariable::var(
-        Syms.intern("ex$" + std::to_string(FreshCounter++)));
+        Syms.intern(ExPrefix + std::to_string(ExCounter++)));
 
   auto Rename = [&](const DerivedTypeVariable &D) {
     auto It = Map.find(D.base());
@@ -100,9 +108,13 @@ GenResult ConstraintGenerator::generate(
     return TypeVariable::var(Syms.intern(Fn + LocName(L) + "@" + Site));
   };
 
+  // Procedure-local numbering: a procedure's constraints depend only on its
+  // own body and its callees' schemes, never on generation order across the
+  // module (the incremental engine regenerates procedures in isolation).
+  unsigned LocalFresh = 0;
   auto Fresh = [&](const char *Tag) {
     return TypeVariable::var(
-        Syms.intern(Fn + Tag + "$" + std::to_string(FreshCounter++)));
+        Syms.intern(Fn + Tag + "$" + std::to_string(LocalFresh++)));
   };
 
   auto Dtv = [](TypeVariable V) { return DerivedTypeVariable(V); };

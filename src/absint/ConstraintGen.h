@@ -82,7 +82,6 @@ private:
   SymbolTable &Syms;
   const Lattice &Lat;
   const Module &M;
-  unsigned FreshCounter = 0;
 };
 
 } // namespace retypd

@@ -99,27 +99,49 @@ std::string ConstraintSet::str(const SymbolTable &Syms,
 }
 
 ConstraintSet ConstraintSet::canonicalized(const SymbolTable &Syms,
-                                           const Lattice &Lat) const {
-  auto SortByStr = [&](auto Items) {
-    std::stable_sort(Items.begin(), Items.end(),
-                     [&](const auto &A, const auto &B) {
-                       return A.str(Syms, Lat) < B.str(Syms, Lat);
+                                           const Lattice &Lat,
+                                           std::string *CanonText) const {
+  // Decorate-sort-undecorate: render each item once, not once per sort
+  // comparison — this runs per SCC on the sequential generation path.
+  auto SortByStr = [&](const auto &Items, const char *Prefix,
+                       std::vector<std::string> *AllLines) {
+    using T = typename std::decay_t<decltype(Items)>::value_type;
+    std::vector<std::pair<std::string, const T *>> Keyed;
+    Keyed.reserve(Items.size());
+    for (const T &I : Items) {
+      Keyed.push_back({I.str(Syms, Lat), &I});
+      if (AllLines)
+        AllLines->push_back(Prefix + Keyed.back().first);
+    }
+    std::stable_sort(Keyed.begin(), Keyed.end(),
+                     [](const auto &A, const auto &B) {
+                       return A.first < B.first;
                      });
-    return Items;
+    std::vector<const T *> Sorted;
+    Sorted.reserve(Keyed.size());
+    for (const auto &K : Keyed)
+      Sorted.push_back(K.second);
+    return Sorted;
   };
+  // str() sorts every line of every kind together; rebuild that exact
+  // text from the renders the per-kind sorts already produced.
+  std::vector<std::string> Lines;
+  std::vector<std::string> *AllLines = CanonText ? &Lines : nullptr;
   ConstraintSet Canon;
-  for (const SubtypeConstraint &C : SortByStr(Subs))
-    Canon.addSubtype(C.Lhs, C.Rhs);
-  for (const DerivedTypeVariable &V : Vars)
-    Canon.addVar(V);
-  // Vars need their own comparator (DTV, not constraint).
-  std::stable_sort(Canon.Vars.begin(), Canon.Vars.end(),
-                   [&](const DerivedTypeVariable &A,
-                       const DerivedTypeVariable &B) {
-                     return A.str(Syms, Lat) < B.str(Syms, Lat);
-                   });
-  for (const AddSubConstraint &C : SortByStr(AddSubs))
-    Canon.addAddSub(C);
+  for (const SubtypeConstraint *C : SortByStr(Subs, "", AllLines))
+    Canon.addSubtype(C->Lhs, C->Rhs);
+  for (const DerivedTypeVariable *V : SortByStr(Vars, "var ", AllLines))
+    Canon.addVar(*V);
+  for (const AddSubConstraint *C : SortByStr(AddSubs, "", AllLines))
+    Canon.addAddSub(*C);
+  if (CanonText) {
+    std::sort(Lines.begin(), Lines.end());
+    CanonText->clear();
+    for (const std::string &L : Lines) {
+      *CanonText += L;
+      *CanonText += '\n';
+    }
+  }
   return Canon;
 }
 

@@ -58,8 +58,10 @@ public:
   /// text. A canonicalized set is equal to the set a ConstraintParser
   /// produces from str() — this makes summary-cache round trips and fresh
   /// simplification results bit-identical, constraint order included.
-  ConstraintSet canonicalized(const SymbolTable &Syms,
-                              const Lattice &Lat) const;
+  /// When \p CanonText is non-null it receives exactly str()'s rendering,
+  /// reusing the per-constraint renders the sort already paid for.
+  ConstraintSet canonicalized(const SymbolTable &Syms, const Lattice &Lat,
+                              std::string *CanonText = nullptr) const;
 
 private:
   std::vector<SubtypeConstraint> Subs;

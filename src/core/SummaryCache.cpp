@@ -9,6 +9,8 @@
 #include <fstream>
 #include <sstream>
 
+#include <unistd.h>
+
 using namespace retypd;
 
 namespace {
@@ -146,17 +148,84 @@ void SummaryCache::clear() {
   Entries.clear();
 }
 
-// File format:
-//   retypd-summary-cache-v1
+size_t SummaryCache::payloadBytes() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t Bytes = 0;
+  for (const auto &E : Entries)
+    Bytes += E.second.size();
+  return Bytes;
+}
+
+size_t SummaryCache::pruneToBytes(size_t MaxBytes) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t Total = 0;
+  for (const auto &E : Entries)
+    Total += E.second.size();
+  if (Total <= MaxBytes)
+    return 0;
+  // Deterministic victim order: largest payloads first, key order on ties.
+  std::vector<const std::pair<const SummaryKey, std::string> *> Sorted;
+  Sorted.reserve(Entries.size());
+  for (const auto &E : Entries)
+    Sorted.push_back(&E);
+  std::sort(Sorted.begin(), Sorted.end(), [](const auto *A, const auto *B) {
+    if (A->second.size() != B->second.size())
+      return A->second.size() > B->second.size();
+    return std::make_pair(A->first.Hi, A->first.Lo) <
+           std::make_pair(B->first.Hi, B->first.Lo);
+  });
+  size_t Dropped = 0;
+  for (const auto *E : Sorted) {
+    if (Total <= MaxBytes)
+      break;
+    Total -= E->second.size();
+    Entries.erase(E->first);
+    ++Dropped;
+  }
+  return Dropped;
+}
+
+namespace {
+
+/// Parses the version header line. Accepts only the current layout:
+///   retypd-summary-cache v<FileVersion> schema <SchemaVersion>
+bool parseHeader(const std::string &Line, unsigned &FileVersion,
+                 unsigned &SchemaVersion) {
+  unsigned V = 0, S = 0;
+  if (std::sscanf(Line.c_str(), "retypd-summary-cache v%u schema %u", &V,
+                  &S) != 2)
+    return false;
+  FileVersion = V;
+  SchemaVersion = S;
+  return true;
+}
+
+} // namespace
+
+// File format (version kSummaryCacheFileVersion):
+//   retypd-summary-cache v2 schema 1
 //   entry <hex key> <byte count>\n
 //   <bytes>\n
 //   ... repeated ...
+// Older headers (including the unversioned-schema "retypd-summary-cache-v1"
+// of early builds) are rejected wholesale: a stale cache is a cold cache.
 bool SummaryCache::load(const std::string &Path) {
   std::ifstream In(Path, std::ios::binary);
   if (!In)
     return false;
+  // File size bounds every entry's claimed byte count: the count is
+  // untrusted input, and allocating a string from a corrupt multi-GB (or
+  // 2^64-1) value would abort the process instead of treating the entry
+  // as a malformed tail.
+  In.seekg(0, std::ios::end);
+  const std::streamoff End = In.tellg();
+  In.seekg(0, std::ios::beg);
   std::string Line;
-  if (!std::getline(In, Line) || Line != "retypd-summary-cache-v1")
+  unsigned FileVersion = 0, SchemaVersion = 0;
+  if (!std::getline(In, Line) ||
+      !parseHeader(Line, FileVersion, SchemaVersion) ||
+      FileVersion != kSummaryCacheFileVersion ||
+      SchemaVersion != kSummaryCacheSchemaVersion)
     return false;
   std::lock_guard<std::mutex> Lock(Mutex);
   while (std::getline(In, Line)) {
@@ -166,6 +235,10 @@ bool SummaryCache::load(const std::string &Path) {
     if (std::sscanf(Line.c_str(), "entry %16llx%16llx %llu", &Hi, &Lo,
                     &Bytes) != 3)
       return true; // ignore malformed tail
+    std::streamoff Pos = In.tellg();
+    if (Pos < 0 ||
+        Bytes > static_cast<unsigned long long>(End - Pos))
+      return true; // claimed payload exceeds the file: malformed tail
     std::string Payload(Bytes, '\0');
     In.read(Payload.data(), static_cast<std::streamsize>(Bytes));
     if (static_cast<unsigned long long>(In.gcount()) != Bytes)
@@ -177,12 +250,21 @@ bool SummaryCache::load(const std::string &Path) {
 }
 
 bool SummaryCache::save(const std::string &Path) const {
-  std::string Tmp = Path + ".tmp";
+  // Unique staging name per save: concurrent saves to one shared cache
+  // file — from other processes or other threads of this one — must not
+  // interleave writes into the same tmp file (each rename below stays
+  // atomic; last writer wins wholesale).
+  static std::atomic<uint64_t> SaveSeq{0};
+  std::string Tmp = Path + ".tmp." +
+                    std::to_string(static_cast<long>(::getpid())) + "." +
+                    std::to_string(SaveSeq.fetch_add(1));
+  bool Written = false;
   {
     std::ofstream OutF(Tmp, std::ios::binary | std::ios::trunc);
     if (!OutF)
       return false;
-    OutF << "retypd-summary-cache-v1\n";
+    OutF << "retypd-summary-cache v" << kSummaryCacheFileVersion << " schema "
+         << kSummaryCacheSchemaVersion << '\n';
     std::lock_guard<std::mutex> Lock(Mutex);
     // Deterministic file contents: sort by key.
     std::vector<const std::pair<const SummaryKey, std::string> *> Sorted;
@@ -199,8 +281,69 @@ bool SummaryCache::save(const std::string &Path) const {
                  static_cast<std::streamsize>(E->second.size()));
       OutF << '\n';
     }
-    if (!OutF)
-      return false;
+    Written = static_cast<bool>(OutF);
   }
-  return std::rename(Tmp.c_str(), Path.c_str()) == 0;
+  // Never abandon the uniquely-named staging file: failed saves would
+  // otherwise accumulate one orphan per attempt next to the cache.
+  if (!Written || std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+CacheFileInfo SummaryCache::inspectFile(const std::string &Path) {
+  CacheFileInfo Info;
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Info.Error = "cannot open file";
+    return Info;
+  }
+  std::string Line;
+  if (!std::getline(In, Line)) {
+    Info.Error = "empty file";
+    return Info;
+  }
+  if (!parseHeader(Line, Info.FileVersion, Info.SchemaVersion)) {
+    Info.Error = "unrecognized header: " + Line;
+    return Info;
+  }
+  if (Info.FileVersion != kSummaryCacheFileVersion ||
+      Info.SchemaVersion != kSummaryCacheSchemaVersion) {
+    Info.Error = "stale version (current: v" +
+                 std::to_string(kSummaryCacheFileVersion) + " schema " +
+                 std::to_string(kSummaryCacheSchemaVersion) + ")";
+    return Info;
+  }
+  // Bound payload skips by the real file size: seekg past EOF does not
+  // fail until the next read, which would count a truncated final entry
+  // as present (and disagree with what load() accepts). Measure on the
+  // one open stream — a reopen could race with unlink/chmod and return
+  // -1, silently neutralizing the bound.
+  const std::streamoff HeaderEnd = In.tellg();
+  In.seekg(0, std::ios::end);
+  const std::streamoff End = In.tellg();
+  In.seekg(HeaderEnd, std::ios::beg);
+  if (HeaderEnd < 0 || End < 0) {
+    Info.Error = "cannot determine file size";
+    return Info;
+  }
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    unsigned long long Hi = 0, Lo = 0, Bytes = 0;
+    if (std::sscanf(Line.c_str(), "entry %16llx%16llx %llu", &Hi, &Lo,
+                    &Bytes) != 3)
+      break; // malformed tail: count what parsed
+    std::streamoff Pos = In.tellg();
+    // Compare in the unsigned domain: a corrupt 2^63+ byte count would
+    // cast to a negative streamoff and slip past a signed comparison.
+    if (Pos < 0 || Bytes > static_cast<unsigned long long>(End - Pos))
+      break; // truncated payload: load() rejects it too
+    In.seekg(static_cast<std::streamoff>(Bytes + 1), std::ios::cur);
+    ++Info.EntryCount;
+    Info.PayloadBytes += Bytes;
+  }
+  Info.Ok = true;
+  return Info;
 }

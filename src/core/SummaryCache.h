@@ -48,6 +48,24 @@
 
 namespace retypd {
 
+/// Cache-file format versioning. `kSummaryCacheFileVersion` covers the
+/// container layout (header + entry framing); `kSummaryCacheSchemaVersion`
+/// covers the serialized-scheme payload format. Bump either and every
+/// older cache file is invalidated *cleanly at load time* — one header
+/// check instead of per-entry parse failures silently degrading hit rates.
+inline constexpr unsigned kSummaryCacheFileVersion = 2;
+inline constexpr unsigned kSummaryCacheSchemaVersion = 1;
+
+/// What SummaryCache::inspectFile learned about a cache file on disk.
+struct CacheFileInfo {
+  bool Ok = false;          ///< header valid and version/schema current
+  std::string Error;        ///< why not, when !Ok
+  unsigned FileVersion = 0; ///< parsed container version (0 = unreadable)
+  unsigned SchemaVersion = 0;
+  size_t EntryCount = 0;    ///< entries seen (header-compatible files only)
+  size_t PayloadBytes = 0;  ///< serialized scheme bytes across entries
+};
+
 /// 128-bit content hash identifying one simplification problem.
 struct SummaryKey {
   uint64_t Hi = 0, Lo = 0;
@@ -116,13 +134,26 @@ public:
   /// Drops every entry (tests use this to model invalidation).
   void clear();
 
+  /// Total serialized-scheme bytes across all entries.
+  size_t payloadBytes() const;
+
+  /// Drops entries, largest first (key order on ties), until the payload
+  /// total fits \p MaxBytes. Returns the number of entries dropped.
+  size_t pruneToBytes(size_t MaxBytes);
+
   /// Loads entries from a cache file; merges into the current contents.
-  /// Returns false (leaving the cache unchanged) on unreadable files;
-  /// malformed trailing entries are ignored.
+  /// Returns false (leaving the cache unchanged) on unreadable files and
+  /// on files whose header version or schema version is stale — a stale
+  /// cache is simply a cold cache; malformed trailing entries are ignored.
   bool load(const std::string &Path);
 
-  /// Writes every entry to \p Path (atomically via rename).
+  /// Writes every entry to \p Path (atomically via rename), with the
+  /// current version header.
   bool save(const std::string &Path) const;
+
+  /// Reads a cache file's header (and, when current, tallies its entries)
+  /// without touching any in-memory cache.
+  static CacheFileInfo inspectFile(const std::string &Path);
 
 private:
   mutable std::mutex Mutex;

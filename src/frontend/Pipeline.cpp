@@ -1,333 +1,29 @@
-//===- Pipeline.cpp - The end-to-end Retypd pipeline ------------------------===//
-//
-// The solving engine runs as a wavefront over the call-graph SCC
-// condensation. Work that mutates shared state (constraint generation,
-// scheme/sketch commits) stays on the calling thread in a fixed SCC order;
-// the expensive pure work (simplification with saturation, sketch solving)
-// fans out onto a work-stealing pool and joins at a per-wave barrier.
-// `Jobs == 1` executes the identical code path inline, which together with
-// procedure-scoped existential names makes the output byte-identical for
-// every jobs setting — the property GoldenTest locks down.
-//
-//===----------------------------------------------------------------------===//
+//===- Pipeline.cpp - One-shot batch facade over AnalysisSession ----------===//
 
 #include "frontend/Pipeline.h"
 
-#include "absint/ConstraintGen.h"
-#include "analysis/CallGraph.h"
-#include "analysis/InterfaceRecovery.h"
-#include "frontend/KnownFunctions.h"
-#include "support/Stats.h"
-#include "support/ThreadPool.h"
-
-#include <algorithm>
-#include <chrono>
-#include <thread>
-
 using namespace retypd;
 
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double secondsSince(Clock::time_point T0) {
-  return std::chrono::duration<double>(Clock::now() - T0).count();
-}
-
-/// Per-SCC unit of phase-1 work: generated on the main thread, simplified
-/// on the pool, committed on the main thread.
-struct SccSummaryWork {
-  uint32_t Scc = 0;
-  std::vector<uint32_t> Members; ///< non-external, module order
-  ConstraintSet Combined;
-  std::unordered_set<TypeVariable> Interesting;
-  /// One scheme per member, filled by the worker.
-  std::vector<TypeScheme> Schemes;
-};
-
-/// Per-SCC unit of phase-2 work.
-struct SccSolveWork {
-  uint32_t Scc = 0;
-  std::vector<uint32_t> Members;
-  std::vector<TypeVariable> Wanted;
-  std::vector<std::pair<uint32_t, TypeVariable>> CallsiteVars;
-  SketchSolution Sol;
-};
-
-} // namespace
-
 TypeReport Pipeline::run(Module &M) {
-  TypeReport Report;
-  Report.Syms = std::make_shared<SymbolTable>();
-  SymbolTable &Syms = *Report.Syms;
+  SessionOptions SOpts;
+  SOpts.RefineParameters = Opts.RefineParameters;
+  SOpts.Jobs = Opts.Jobs;
+  SOpts.Conversion = Opts.Conversion;
+  SOpts.Simplify = Opts.Simplify;
+  // Match the historical batch behavior exactly: no memoization at all
+  // unless the caller supplied a cache (keeps cache hit/miss counters and
+  // GoldenTest's warm-run assertions meaningful).
+  SOpts.UseSummaryCache = Opts.Cache != nullptr;
+  SOpts.ExternalCache = Opts.Cache;
+  // One-shot: skip the incremental bookkeeping (body/scheme snapshots)
+  // that only a second analyze() on the same session could use.
+  SOpts.KeepHistory = false;
 
-  unsigned Jobs = Opts.Jobs;
-  if (Jobs == 0)
-    Jobs = std::max(1u, std::thread::hardware_concurrency());
-  Report.Stats.JobsUsed = Jobs;
-  ThreadPool Pool(Jobs > 1 ? Jobs - 1 : 0);
-
-  // ---- Phase 0: IR-level interface recovery + library summaries ----
-  recoverInterfaces(M);
-  std::unordered_map<uint32_t, TypeScheme> Schemes;
-  registerKnownFunctions(M, Syms, Lat, Schemes);
-
-  CallGraph CG(M);
-  ConstraintGenerator Gen(Syms, Lat, M);
-  Simplifier Simp(Syms, Lat, Opts.Simplify);
-
-  Report.Stats.SccCount = CG.sccs().size();
-  Report.Stats.WaveCount = CG.bottomUpWaves().size();
-  for (const auto &W : CG.bottomUpWaves())
-    Report.Stats.WidestWave = std::max(Report.Stats.WidestWave, W.size());
-
-  // Cached per-SCC combined constraint sets for the solving phase.
-  std::vector<ConstraintSet> SccConstraints(CG.sccs().size());
-
-  const uint64_t Hits0 = Opts.Cache ? Opts.Cache->hits() : 0;
-  const uint64_t Misses0 = Opts.Cache ? Opts.Cache->misses() : 0;
-
-  // ---- Phase 1: bottom-up scheme inference (Algorithm F.1) ----
-  // Waves of independent SCCs: generate sequentially, simplify in
-  // parallel, commit sequentially.
-  for (const std::vector<uint32_t> &Wave : CG.bottomUpWaves()) {
-    std::vector<SccSummaryWork> Work;
-    Work.reserve(Wave.size());
-
-    {
-      Clock::time_point T0 = Clock::now();
-      ScopedPhaseTimer Timer("pipeline.generate");
-      for (uint32_t S : Wave) {
-        const std::vector<uint32_t> &Members = CG.sccs()[S];
-        std::set<uint32_t> Mates(Members.begin(), Members.end());
-
-        SccSummaryWork W;
-        W.Scc = S;
-        for (uint32_t F : Members) {
-          if (M.Funcs[F].IsExternal)
-            continue;
-          W.Members.push_back(F);
-          GenResult R = Gen.generate(F, Schemes, Mates);
-          W.Combined.merge(R.C);
-          W.Interesting.insert(R.Interesting.begin(), R.Interesting.end());
-        }
-        Report.ConstraintsGenerated += W.Combined.size();
-        if (!W.Members.empty())
-          Work.push_back(std::move(W));
-      }
-      Report.Stats.GenerateSecs += secondsSince(T0);
-    }
-
-    {
-      Clock::time_point T0 = Clock::now();
-      ScopedPhaseTimer Timer("pipeline.simplify");
-      for (SccSummaryWork &W : Work) {
-        Pool.submit([&] {
-          const std::vector<uint32_t> &Members = CG.sccs()[W.Scc];
-          // One canonical rendering per SCC keys every member's cache
-          // probe (rendering dominates key computation).
-          std::string CanonText;
-          if (Opts.Cache)
-            CanonText = W.Combined.str(Syms, Lat);
-          W.Schemes.resize(W.Members.size());
-          for (size_t I = 0; I < W.Members.size(); ++I) {
-            uint32_t F = W.Members[I];
-            // The member's scheme keeps its SCC-mates and globals
-            // interesting.
-            std::unordered_set<TypeVariable> Keep = W.Interesting;
-            for (uint32_t Mate : Members)
-              if (Mate != F)
-                Keep.insert(Gen.procVar(Mate));
-            W.Schemes[I] = summarize(W.Combined, CanonText, Gen.procVar(F),
-                                     Keep, Simp, Syms);
-          }
-        });
-      }
-      Pool.waitAll();
-      Report.Stats.SimplifySecs += secondsSince(T0);
-    }
-
-    // Commit in wave order (deterministic regardless of task scheduling).
-    for (SccSummaryWork &W : Work) {
-      for (size_t I = 0; I < W.Members.size(); ++I) {
-        uint32_t F = W.Members[I];
-        Schemes[F] = W.Schemes[I];
-        FunctionTypes &FT = Report.Funcs[F];
-        FT.Scheme = std::move(W.Schemes[I]);
-        FT.NumParams =
-            M.Funcs[F].NumStackParams +
-            static_cast<unsigned>(M.Funcs[F].RegParams.size());
-      }
-      SccConstraints[W.Scc] = std::move(W.Combined);
-    }
-  }
-
-  if (Opts.Cache) {
-    Report.Stats.CacheHits = Opts.Cache->hits() - Hits0;
-    Report.Stats.CacheMisses = Opts.Cache->misses() - Misses0;
-  }
-
-  // ---- Phase 2: top-down sketch solving (Algorithm F.2) ----
-  SketchSolver Solver(Lat);
-  // Join of actual-in/out sketches observed at callsites, per callee
-  // (Algorithm F.3 accumulators).
-  std::map<uint32_t, std::vector<Sketch>> ActualSketches;
-
-  // Callers always sit in a strictly earlier top-down wave than their
-  // callees, so by the time a wave is solved every ActualSketches entry its
-  // members need has been committed.
-  for (const std::vector<uint32_t> &Wave : CG.topDownWaves()) {
-    std::vector<SccSolveWork> Work;
-    Work.reserve(Wave.size());
-
-    for (uint32_t S : Wave) {
-      const std::vector<uint32_t> &Members = CG.sccs()[S];
-      const ConstraintSet &C = SccConstraints[S];
-      if (C.empty())
-        continue;
-
-      SccSolveWork W;
-      W.Scc = S;
-      // Solve for the member procedure variables and for every callsite
-      // variable (needed for parameter refinement of callees).
-      for (uint32_t F : Members) {
-        if (M.Funcs[F].IsExternal)
-          continue;
-        W.Members.push_back(F);
-        W.Wanted.push_back(Gen.procVar(F));
-        for (uint32_t Idx = 0; Idx < M.Funcs[F].Body.size(); ++Idx) {
-          const Instr &I = M.Funcs[F].Body[Idx];
-          if (I.Op != Opcode::Call || I.Target >= M.Funcs.size())
-            continue;
-          if (std::find(Members.begin(), Members.end(), I.Target) !=
-              Members.end())
-            continue;
-          SymbolId Sym;
-          std::string Name = M.Funcs[F].Name + "!" +
-                             M.Funcs[I.Target].Name + "@" +
-                             std::to_string(Idx);
-          if (!Syms.lookup(Name, Sym))
-            continue;
-          TypeVariable V = TypeVariable::var(Sym);
-          W.Wanted.push_back(V);
-          W.CallsiteVars.push_back({I.Target, V});
-        }
-      }
-      if (!W.Members.empty())
-        Work.push_back(std::move(W));
-    }
-
-    {
-      Clock::time_point T0 = Clock::now();
-      ScopedPhaseTimer Timer("pipeline.solve");
-      for (SccSolveWork &W : Work)
-        Pool.submit(
-            [&] { W.Sol = Solver.solve(SccConstraints[W.Scc], W.Wanted); });
-      Pool.waitAll();
-      Report.Stats.SolveSecs += secondsSince(T0);
-    }
-
-    // Commit: refinement + sketch assignment, in wave order.
-    for (SccSolveWork &W : Work) {
-      for (uint32_t F : W.Members) {
-        Sketch Sk = W.Sol.sketchFor(Gen.procVar(F));
-
-        // ---- Algorithm F.3: refine formals by observed actuals ----
-        if (Opts.RefineParameters) {
-          auto It = ActualSketches.find(F);
-          if (It != ActualSketches.end() && !It->second.empty()) {
-            const FunctionTypes &FT = Report.Funcs[F];
-            for (unsigned K = 0; K < FT.NumParams; ++K) {
-              std::optional<Sketch> Acc;
-              for (const Sketch &CallSk : It->second) {
-                auto ActualIn = CallSk.subsketch(Label::in(K));
-                if (!ActualIn)
-                  continue;
-                Acc = Acc ? Sketch::join(*Acc, *ActualIn, Lat)
-                          : std::move(*ActualIn);
-              }
-              if (!Acc)
-                continue;
-              auto FormalIn = Sk.subsketch(Label::in(K));
-              Sketch Refined = FormalIn ? Sketch::meet(*FormalIn, *Acc, Lat)
-                                        : std::move(*Acc);
-              Sk = Sk.withChild(Label::in(K), Refined);
-            }
-            // Outputs: the capabilities every caller exercises on the
-            // returned value specialize the (possibly fully polymorphic)
-            // return — how a malloc wrapper's ∀τ.τ* becomes a visible
-            // pointer (Example 4.3).
-            if (M.Funcs[F].ReturnsValue) {
-              std::optional<Sketch> AccOut;
-              for (const Sketch &CallSk : It->second) {
-                auto ActualOut = CallSk.subsketch(Label::out());
-                if (!ActualOut)
-                  continue;
-                AccOut = AccOut ? Sketch::join(*AccOut, *ActualOut, Lat)
-                                : std::move(*ActualOut);
-              }
-              if (AccOut) {
-                auto FormalOut = Sk.subsketch(Label::out());
-                Sketch Refined = FormalOut
-                                     ? Sketch::meet(*FormalOut, *AccOut, Lat)
-                                     : std::move(*AccOut);
-                Sk = Sk.withChild(Label::out(), Refined);
-              }
-            }
-          }
-        }
-
-        Report.Funcs[F].FuncSketch = std::move(Sk);
-      }
-
-      // Record callsite sketches for later (deeper) SCCs.
-      for (const auto &[Callee, Var] : W.CallsiteVars)
-        ActualSketches[Callee].push_back(W.Sol.sketchFor(Var));
-    }
-  }
-
-  // ---- Phase 3: C type conversion (§4.3) ----
-  {
-    Clock::time_point T0 = Clock::now();
-    ScopedPhaseTimer Timer("pipeline.convert");
-    CTypeConverter Conv(Report.Pool, Lat, Opts.Conversion);
-    for (auto &[F, FT] : Report.Funcs)
-      FT.CType = Conv.convertFunction(FT.FuncSketch);
-    Report.Stats.ConvertSecs += secondsSince(T0);
-  }
-
-  return Report;
-}
-
-TypeScheme
-Pipeline::summarize(const ConstraintSet &Combined,
-                    const std::string &CanonText, TypeVariable ProcVar,
-                    const std::unordered_set<TypeVariable> &Keep,
-                    Simplifier &Simp, SymbolTable &Syms) {
-  SummaryKey Key;
-  if (Opts.Cache) {
-    std::vector<std::string> Names;
-    Names.reserve(Keep.size());
-    for (TypeVariable V : Keep)
-      if (V.isVar())
-        Names.push_back(Syms.name(V.symbol()));
-    Key = SummaryCache::keyFor(CanonText, Syms.name(ProcVar.symbol()),
-                               Names, Opts.Simplify);
-    if (auto Hit = Opts.Cache->lookup(Key)) {
-      if (auto Scheme = SummaryCache::deserialize(*Hit, Syms, Lat))
-        return std::move(*Scheme);
-      // A corrupt entry is a miss, and the recomputed scheme below
-      // overwrites it.
-      Opts.Cache->noteCorrupt(Key);
-    }
-  }
-
-  TypeScheme Scheme = Simp.simplify(Combined, ProcVar, Keep);
-  // Canonical constraint order: identical whether the scheme was computed
-  // here or replayed from the cache (the cache stores canonical text).
-  Scheme.Constraints = Scheme.Constraints.canonicalized(Syms, Lat);
-
-  if (Opts.Cache)
-    Opts.Cache->insert(Key, SummaryCache::serialize(Scheme, Syms, Lat));
-  return Scheme;
+  AnalysisSession Session(Lat, SOpts);
+  Session.loadModule(std::move(M));
+  Session.analyze();
+  // Hand the interface-recovered module back to the caller (run() has
+  // always mutated M in place).
+  M = Session.takeModule();
+  return Session.takeReport();
 }

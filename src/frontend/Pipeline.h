@@ -1,35 +1,23 @@
-//===- Pipeline.h - The end-to-end Retypd pipeline ------------*- C++ -*-===//
+//===- Pipeline.h - One-shot batch facade over AnalysisSession -*- C++ -*-===//
 //
 // Part of the Retypd reproduction. See README.md for details.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The public entry point: machine-code module in, C types out.
-///
-///   1. interface recovery + known-function schemes (§4.1, §4.2);
-///   2. bottom-up over call-graph SCCs: constraint generation (Appendix A)
-///      and type-scheme simplification (§5, Algorithm F.1);
-///   3. top-down: sketch solving (Algorithm F.2) with calling-context
-///      parameter refinement (Algorithm F.3 / Example 4.3);
-///   4. conversion to C types (§4.3).
-///
-/// Phases 2 and 3 run as wavefronts over the call-graph SCC condensation:
-/// every SCC of one wave depends only on strictly earlier waves, so a
-/// wave's simplifications (and sketch solves) are dispatched onto a
-/// work-stealing thread pool and joined at a barrier, with results
-/// committed in a fixed order. Constraint generation and all commits stay
-/// on the calling thread in deterministic SCC order, and fresh existential
-/// names are procedure-scoped, so the report is byte-identical for every
-/// `Jobs` setting. An optional content-addressed SummaryCache skips
-/// simplification for SCCs whose constraint sets were already summarized
-/// (earlier runs, shared code).
+/// The classic batch entry point: machine-code module in, C types out.
+/// Since the API redesign this is a thin facade over `AnalysisSession`
+/// (frontend/Session.h), which owns the actual wave-parallel engine and
+/// additionally supports incremental re-analysis and structured queries.
+/// `Pipeline` remains the right tool for one-shot callers (benchmarks,
+/// evaluation sweeps, tests) that want a `TypeReport` by value and no
+/// resident state.
 ///
 /// \code
 ///   Module M = ...;
 ///   Pipeline P(makeDefaultLattice());
 ///   TypeReport R = P.run(M);
-///   R.prototypeOf(funcId); // "int close_last(const Struct_0 *)"
+///   R.prototypeOf(funcId, M); // "int close_last(const Struct_0 *)"
 /// \endcode
 ///
 //===----------------------------------------------------------------------===//
@@ -37,19 +25,11 @@
 #ifndef RETYPD_FRONTEND_PIPELINE_H
 #define RETYPD_FRONTEND_PIPELINE_H
 
-#include "core/Simplifier.h"
-#include "core/Sketch.h"
-#include "core/Solver.h"
-#include "core/SummaryCache.h"
-#include "ctypes/Conversion.h"
-#include "mir/MIR.h"
-
-#include <map>
-#include <memory>
+#include "frontend/Session.h"
 
 namespace retypd {
 
-/// Pipeline configuration.
+/// Pipeline configuration (the batch-facing subset of SessionOptions).
 struct PipelineOptions {
   /// Apply Algorithm F.3 (specialize formals to their observed uses).
   bool RefineParameters = true;
@@ -64,55 +44,7 @@ struct PipelineOptions {
   SimplifyOptions Simplify;
 };
 
-/// Wall-clock and cache counters for one run() call.
-struct PipelineStats {
-  double GenerateSecs = 0;  ///< constraint generation (sequential)
-  double SimplifySecs = 0;  ///< scheme simplification (parallel wall time)
-  double SolveSecs = 0;     ///< sketch solving (parallel wall time)
-  double ConvertSecs = 0;   ///< C-type conversion (sequential)
-  size_t SccCount = 0;
-  size_t WaveCount = 0;
-  size_t WidestWave = 0;
-  unsigned JobsUsed = 1;
-  uint64_t CacheHits = 0;
-  uint64_t CacheMisses = 0;
-};
-
-/// Inference results for one function.
-struct FunctionTypes {
-  TypeScheme Scheme;   ///< simplified, most-general type scheme
-  Sketch FuncSketch;   ///< solved (and possibly refined) sketch
-  CTypeId CType = NoCType; ///< function type in TypeReport::Pool
-  unsigned NumParams = 0;
-};
-
-/// Whole-module results.
-struct TypeReport {
-  std::shared_ptr<SymbolTable> Syms;
-  CTypePool Pool;
-  std::map<uint32_t, FunctionTypes> Funcs;
-
-  // Simple counters for the scaling studies.
-  size_t ConstraintsGenerated = 0;
-  size_t SaturationEdges = 0;
-
-  /// Per-phase timing and cache effectiveness for this run.
-  PipelineStats Stats;
-
-  const FunctionTypes *typesOf(uint32_t FuncId) const {
-    auto It = Funcs.find(FuncId);
-    return It == Funcs.end() ? nullptr : &It->second;
-  }
-
-  std::string prototypeOf(uint32_t FuncId, const Module &M) const {
-    const FunctionTypes *T = typesOf(FuncId);
-    if (!T || T->CType == NoCType)
-      return "<no type>";
-    return Pool.prototype(T->CType, M.Funcs[FuncId].Name);
-  }
-};
-
-/// Runs Retypd over modules.
+/// Runs Retypd over modules, one shot at a time.
 class Pipeline {
 public:
   explicit Pipeline(const Lattice &Lat,
@@ -123,15 +55,6 @@ public:
   TypeReport run(Module &M);
 
 private:
-  /// Simplifies one member's scheme, going through the summary cache when
-  /// one is configured (\p CanonText is the SCC set's canonical rendering,
-  /// empty when no cache is attached). Runs on pool workers; only touches
-  /// thread-safe shared state (SymbolTable, SummaryCache).
-  TypeScheme summarize(const ConstraintSet &Combined,
-                       const std::string &CanonText, TypeVariable ProcVar,
-                       const std::unordered_set<TypeVariable> &Keep,
-                       Simplifier &Simp, SymbolTable &Syms);
-
   const Lattice &Lat;
   PipelineOptions Opts;
 };

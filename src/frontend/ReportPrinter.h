@@ -15,7 +15,7 @@
 #ifndef RETYPD_FRONTEND_REPORTPRINTER_H
 #define RETYPD_FRONTEND_REPORTPRINTER_H
 
-#include "frontend/Pipeline.h"
+#include "frontend/Session.h"
 
 #include <string>
 

@@ -1,0 +1,980 @@
+//===- Session.cpp - Long-lived incremental analysis engine ---------------===//
+//
+// The resident engine. One analyze() call runs the same wave-parallel
+// phases as the classic batch pipeline — constraint generation and commits
+// sequential in SCC order, simplification/solving fanned out per wave —
+// but consults the previous run's per-SCC artifacts first:
+//
+//   phase 1: an SCC whose members' rendered bodies and whose callees'
+//     scheme texts are unchanged replays its schemes; a recomputed SCC
+//     whose scheme text comes out identical does not dirty its callers.
+//   phase 2: an SCC re-solves only if its constraints were regenerated;
+//     it re-refines (replaying the raw solution) if only the incoming
+//     callsite sketches changed; otherwise its final sketches replay.
+//   phase 3: C-type conversion always re-runs (it is cheap and keeps
+//     struct numbering identical to a from-scratch analysis).
+//
+// Byte-identity with a from-scratch run follows inductively over waves:
+// generation is procedure-pure (fresh names are procedure/callsite-scoped),
+// simplification and solving are deterministic functions of the constraint
+// sequence, and every reused artifact was produced by an identical-input
+// computation in an earlier run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Session.h"
+
+#include "absint/ConstraintGen.h"
+#include "analysis/CallGraph.h"
+#include "analysis/InterfaceRecovery.h"
+#include "frontend/KnownFunctions.h"
+#include "mir/AsmParser.h"
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <set>
+#include <thread>
+
+using namespace retypd;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point T0) {
+  return std::chrono::duration<double>(Clock::now() - T0).count();
+}
+
+/// Marker snapshot text for externals without a known-function scheme.
+const char *const kNoSchemeText = "<extern-no-scheme>";
+
+/// Renders the identity-relevant content of a function: everything that
+/// feeds constraint generation (interface recovery included — it is a pure
+/// function of the body). Call targets render by *name*, so the text is
+/// stable across function-id shifts from insertions/removals elsewhere.
+std::string renderBodyText(const Module &M, const Function &F) {
+  std::string S = F.Name;
+  S += F.IsExternal ? "\x1f""extern\n" : "\x1f""fn\n";
+  for (const Instr &I : F.Body) {
+    S += instrStr(M, F, I);
+    S += '\n';
+  }
+  return S;
+}
+
+std::string renderGlobalsSig(const Module &M) {
+  std::string S;
+  for (const GlobalVar &G : M.Globals) {
+    S += G.Name;
+    S += ':';
+    S += std::to_string(G.Size);
+    S += '\x1f';
+  }
+  return S;
+}
+
+std::string joinKey(const std::vector<std::string> &Names) {
+  std::string S;
+  for (const std::string &N : Names) {
+    S += N;
+    S += '\x1f';
+  }
+  return S;
+}
+
+} // namespace
+
+const char *retypd::typeQueryStatusName(TypeQueryStatus S) {
+  switch (S) {
+  case TypeQueryStatus::Ok:
+    return "ok";
+  case TypeQueryStatus::NoModule:
+    return "no-module";
+  case TypeQueryStatus::NotAnalyzed:
+    return "not-analyzed";
+  case TypeQueryStatus::UnknownFunction:
+    return "unknown-function";
+  case TypeQueryStatus::NoTypeInferred:
+    return "no-type-inferred";
+  }
+  return "?";
+}
+
+SessionQuery<std::string> TypeReport::prototype(uint32_t FuncId,
+                                                const Module &M) const {
+  if (FuncId >= M.Funcs.size())
+    return SessionQuery<std::string>::fail(TypeQueryStatus::UnknownFunction);
+  const FunctionTypes *T = typesOf(FuncId);
+  if (!T || T->CType == NoCType)
+    return SessionQuery<std::string>::fail(TypeQueryStatus::NoTypeInferred);
+  return SessionQuery<std::string>::ok(
+      Pool.prototype(T->CType, M.Funcs[FuncId].Name));
+}
+
+std::string TypeReport::prototypeOf(uint32_t FuncId, const Module &M) const {
+  SessionQuery<std::string> Q = prototype(FuncId, M);
+  return Q ? *Q : std::string("<no type>");
+}
+
+//===----------------------------------------------------------------------===//
+// Session state
+//===----------------------------------------------------------------------===//
+
+/// Everything the previous run knew about one SCC, keyed by its ordered
+/// member names. Schemes/sketches replay verbatim when the inputs that
+/// produced them are provably unchanged.
+struct AnalysisSession::SccArtifact {
+  std::vector<std::string> MemberNames; ///< non-external, condensation order
+  ConstraintSet Combined;               ///< merged member constraints
+  size_t ConstraintCount = 0;           ///< Combined.size() at generation
+  std::vector<TypeScheme> MemberSchemes;
+  std::vector<std::string> MemberSchemeTexts;
+  bool HasSolution = false; ///< raw/final sketches below are valid
+  std::vector<Sketch> RawSketches;   ///< pre-refinement, per member
+  std::vector<Sketch> FinalSketches; ///< post-refinement, per member
+  /// Callsite sketches this SCC contributed to its callees' refinement,
+  /// in commit order (callee name, actual sketch).
+  std::vector<std::pair<std::string, Sketch>> CallsiteRecords;
+};
+
+/// Per-function facts from the previous run, keyed by name.
+struct AnalysisSession::FuncSnapshot {
+  std::string BodyText;
+  std::string SchemeText;
+  size_t IncomingRecords = 0; ///< callsite sketches received in phase 2
+};
+
+AnalysisSession::AnalysisSession(Lattice L, SessionOptions O)
+    : Lat(std::move(L)), Opts(O), Syms(std::make_shared<SymbolTable>()) {}
+
+AnalysisSession::~AnalysisSession() = default;
+
+SummaryCache *AnalysisSession::activeCache() {
+  if (Opts.ExternalCache)
+    return Opts.ExternalCache;
+  return Opts.UseSummaryCache ? &OwnedCache : nullptr;
+}
+
+void AnalysisSession::loadModule(Module NewM) {
+  M = std::move(NewM);
+  HasModule = true;
+  Analyzed = false;
+  Artifacts.clear();
+  Snapshots.clear();
+  DirtyNames.clear();
+  GlobalsSig.clear();
+}
+
+bool AnalysisSession::loadModuleText(const std::string &AsmText,
+                                     std::string *Err) {
+  AsmParser Parser;
+  auto Parsed = Parser.parse(AsmText);
+  if (!Parsed) {
+    if (Err)
+      *Err = Parser.error();
+    return false;
+  }
+  loadModule(std::move(*Parsed));
+  return true;
+}
+
+void AnalysisSession::updateModule(Module NewM) {
+  M = std::move(NewM);
+  HasModule = true;
+  Analyzed = false;
+  // Dirtiness is recomputed inside analyze() by diffing rendered bodies
+  // against the per-name snapshots; nothing else to do here.
+}
+
+bool AnalysisSession::updateModuleText(const std::string &AsmText,
+                                       std::string *Err) {
+  AsmParser Parser;
+  auto Parsed = Parser.parse(AsmText);
+  if (!Parsed) {
+    if (Err)
+      *Err = Parser.error();
+    return false;
+  }
+  updateModule(std::move(*Parsed));
+  return true;
+}
+
+void AnalysisSession::markDirtyName(const std::string &Name) {
+  DirtyNames.insert(Name);
+}
+
+bool AnalysisSession::replaceFunction(uint32_t FuncId, Function NewBody) {
+  if (!HasModule || FuncId >= M.Funcs.size())
+    return false;
+  const std::string OldName = M.Funcs[FuncId].Name;
+  if (NewBody.Name.empty())
+    NewBody.Name = OldName;
+  // Renaming onto another function's name would clobber its FuncByName
+  // entry and make it unreachable by name — refuse instead.
+  if (NewBody.Name != OldName && M.FuncByName.count(NewBody.Name))
+    return false;
+  markDirtyName(OldName);
+  markDirtyName(NewBody.Name);
+  if (NewBody.Name != OldName) {
+    M.FuncByName.erase(OldName);
+    M.FuncByName[NewBody.Name] = FuncId;
+  }
+  M.Funcs[FuncId] = std::move(NewBody);
+  Analyzed = false;
+  return true;
+}
+
+bool AnalysisSession::replaceFunction(const std::string &Name,
+                                      Function NewBody) {
+  auto Id = HasModule ? M.findFunction(Name) : std::nullopt;
+  return Id && replaceFunction(*Id, std::move(NewBody));
+}
+
+uint32_t AnalysisSession::addFunction(Function F) {
+  markDirtyName(F.Name);
+  HasModule = true; // a module can be grown from nothing, one function at
+                    // a time
+  Analyzed = false;
+  return M.addFunction(std::move(F));
+}
+
+bool AnalysisSession::invalidate(uint32_t FuncId) {
+  if (!HasModule || FuncId >= M.Funcs.size())
+    return false;
+  markDirtyName(M.Funcs[FuncId].Name);
+  return true;
+}
+
+bool AnalysisSession::invalidate(const std::string &Name) {
+  auto Id = HasModule ? M.findFunction(Name) : std::nullopt;
+  return Id && invalidate(*Id);
+}
+
+void AnalysisSession::invalidateAll() {
+  Artifacts.clear();
+  Snapshots.clear();
+  DirtyNames.clear();
+  GlobalsSig.clear();
+}
+
+TypeReport AnalysisSession::takeReport() {
+  TypeReport R = std::move(Report);
+  Report = TypeReport();
+  Report.Syms = Syms;
+  Analyzed = false;
+  return R;
+}
+
+Module AnalysisSession::takeModule() {
+  Module Out = std::move(M);
+  M = Module();
+  HasModule = false;
+  Analyzed = false;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
+std::optional<uint32_t>
+AnalysisSession::functionId(const std::string &Name) const {
+  if (!HasModule)
+    return std::nullopt;
+  return M.findFunction(Name);
+}
+
+SessionQuery<std::string> AnalysisSession::queryGate(uint32_t FuncId) const {
+  if (!HasModule)
+    return SessionQuery<std::string>::fail(TypeQueryStatus::NoModule);
+  if (!Analyzed)
+    return SessionQuery<std::string>::fail(TypeQueryStatus::NotAnalyzed);
+  if (FuncId >= M.Funcs.size())
+    return SessionQuery<std::string>::fail(TypeQueryStatus::UnknownFunction);
+  return SessionQuery<std::string>::ok(std::string());
+}
+
+SessionQuery<std::string> AnalysisSession::prototypeOf(uint32_t FuncId) const {
+  if (SessionQuery<std::string> Gate = queryGate(FuncId); !Gate)
+    return Gate;
+  return Report.prototype(FuncId, M);
+}
+
+SessionQuery<std::string>
+AnalysisSession::prototypeOf(const std::string &Name) const {
+  auto Id = functionId(Name);
+  if (!Id && HasModule)
+    return SessionQuery<std::string>::fail(TypeQueryStatus::UnknownFunction);
+  return prototypeOf(Id.value_or(~0u));
+}
+
+SessionQuery<std::string> AnalysisSession::schemeOf(uint32_t FuncId) const {
+  if (SessionQuery<std::string> Gate = queryGate(FuncId); !Gate)
+    return Gate;
+  const FunctionTypes *T = Report.typesOf(FuncId);
+  if (!T)
+    return SessionQuery<std::string>::fail(TypeQueryStatus::NoTypeInferred);
+  return SessionQuery<std::string>::ok(T->Scheme.str(*Syms, Lat));
+}
+
+SessionQuery<std::string>
+AnalysisSession::schemeOf(const std::string &Name) const {
+  auto Id = functionId(Name);
+  if (!Id && HasModule)
+    return SessionQuery<std::string>::fail(TypeQueryStatus::UnknownFunction);
+  return schemeOf(Id.value_or(~0u));
+}
+
+SessionQuery<std::string> AnalysisSession::sketchOf(uint32_t FuncId,
+                                                    unsigned MaxDepth) const {
+  if (SessionQuery<std::string> Gate = queryGate(FuncId); !Gate)
+    return Gate;
+  const FunctionTypes *T = Report.typesOf(FuncId);
+  if (!T)
+    return SessionQuery<std::string>::fail(TypeQueryStatus::NoTypeInferred);
+  return SessionQuery<std::string>::ok(T->FuncSketch.str(Lat, MaxDepth));
+}
+
+SessionQuery<std::string>
+AnalysisSession::sketchOf(const std::string &Name, unsigned MaxDepth) const {
+  auto Id = functionId(Name);
+  if (!Id && HasModule)
+    return SessionQuery<std::string>::fail(TypeQueryStatus::UnknownFunction);
+  return sketchOf(Id.value_or(~0u), MaxDepth);
+}
+
+//===----------------------------------------------------------------------===//
+// Simplification (shared with the summary cache)
+//===----------------------------------------------------------------------===//
+
+TypeScheme
+AnalysisSession::summarize(const ConstraintSet &Combined,
+                           const std::string &CanonText, TypeVariable ProcVar,
+                           const std::unordered_set<TypeVariable> &Keep,
+                           Simplifier &Simp, SummaryCache *Cache) {
+  SymbolTable &S = *Syms;
+  SummaryKey Key;
+  if (Cache) {
+    std::vector<std::string> Names;
+    Names.reserve(Keep.size());
+    for (TypeVariable V : Keep)
+      if (V.isVar())
+        Names.push_back(S.name(V.symbol()));
+    Key = SummaryCache::keyFor(CanonText, S.name(ProcVar.symbol()), Names,
+                               Opts.Simplify);
+    if (auto Hit = Cache->lookup(Key)) {
+      if (auto Scheme = SummaryCache::deserialize(*Hit, S, Lat))
+        return std::move(*Scheme);
+      // A corrupt entry is a miss, and the recomputed scheme below
+      // overwrites it.
+      Cache->noteCorrupt(Key);
+    }
+  }
+
+  TypeScheme Scheme = Simp.simplify(Combined, ProcVar, Keep);
+  // Canonical constraint order: identical whether the scheme was computed
+  // here or replayed from the cache (the cache stores canonical text).
+  Scheme.Constraints = Scheme.Constraints.canonicalized(S, Lat);
+
+  if (Cache)
+    Cache->insert(Key, SummaryCache::serialize(Scheme, S, Lat));
+  return Scheme;
+}
+
+//===----------------------------------------------------------------------===//
+// Parameter refinement (Algorithm F.3)
+//===----------------------------------------------------------------------===//
+
+Sketch AnalysisSession::refineSketch(Sketch Sk, uint32_t FuncId,
+                                     const std::vector<Sketch> &Actuals) const {
+  if (!Opts.RefineParameters || Actuals.empty())
+    return Sk;
+  const FunctionTypes *FT = Report.typesOf(FuncId);
+  if (!FT)
+    return Sk;
+  for (unsigned K = 0; K < FT->NumParams; ++K) {
+    std::optional<Sketch> Acc;
+    for (const Sketch &CallSk : Actuals) {
+      auto ActualIn = CallSk.subsketch(Label::in(K));
+      if (!ActualIn)
+        continue;
+      Acc = Acc ? Sketch::join(*Acc, *ActualIn, Lat) : std::move(*ActualIn);
+    }
+    if (!Acc)
+      continue;
+    auto FormalIn = Sk.subsketch(Label::in(K));
+    Sketch Refined =
+        FormalIn ? Sketch::meet(*FormalIn, *Acc, Lat) : std::move(*Acc);
+    Sk = Sk.withChild(Label::in(K), Refined);
+  }
+  // Outputs: the capabilities every caller exercises on the returned value
+  // specialize the (possibly fully polymorphic) return — how a malloc
+  // wrapper's ∀τ.τ* becomes a visible pointer (Example 4.3).
+  if (M.Funcs[FuncId].ReturnsValue) {
+    std::optional<Sketch> AccOut;
+    for (const Sketch &CallSk : Actuals) {
+      auto ActualOut = CallSk.subsketch(Label::out());
+      if (!ActualOut)
+        continue;
+      AccOut = AccOut ? Sketch::join(*AccOut, *ActualOut, Lat)
+                      : std::move(*ActualOut);
+    }
+    if (AccOut) {
+      auto FormalOut = Sk.subsketch(Label::out());
+      Sketch Refined = FormalOut ? Sketch::meet(*FormalOut, *AccOut, Lat)
+                                 : std::move(*AccOut);
+      Sk = Sk.withChild(Label::out(), Refined);
+    }
+  }
+  return Sk;
+}
+
+//===----------------------------------------------------------------------===//
+// analyze()
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Phase-1 unit for an SCC that must be (re)computed: generated on the
+/// main thread, simplified on the pool, committed on the main thread.
+struct P1Item {
+  uint32_t Scc = 0;
+  std::string Key;
+  std::vector<uint32_t> Members;         ///< non-external, module order
+  std::vector<std::string> MemberNames;  ///< parallel to Members
+  ConstraintSet Combined;
+  std::string CanonText;                 ///< cache-key text (cache runs only)
+  std::unordered_set<TypeVariable> Interesting;
+  std::vector<TypeScheme> Schemes;       ///< filled by the worker
+};
+
+enum class P2Mode { Solve, RefineOnly, Reuse };
+
+/// Phase-2 unit per SCC.
+struct P2Item {
+  uint32_t Scc = 0;
+  P2Mode Mode = P2Mode::Solve;
+  std::vector<uint32_t> Members;
+  std::vector<TypeVariable> Wanted;
+  std::vector<std::pair<uint32_t, TypeVariable>> CallsiteVars;
+  SketchSolution Sol;
+};
+
+} // namespace
+
+const TypeReport &AnalysisSession::analyze() {
+  Report = TypeReport();
+  Report.Syms = Syms;
+  // Analyzed flips true only once the run completes: a worker exception
+  // propagating out of a wave must leave queries answering NotAnalyzed,
+  // not serving a half-built report.
+  Analyzed = false;
+  if (!HasModule) {
+    Analyzed = true;
+    return Report;
+  }
+
+  SymbolTable &S = *Syms;
+  unsigned Jobs = Opts.Jobs;
+  if (Jobs == 0)
+    Jobs = std::max(1u, std::thread::hardware_concurrency());
+  Report.Stats.JobsUsed = Jobs;
+  ThreadPool Pool(Jobs > 1 ? Jobs - 1 : 0);
+
+  // ---- Phase 0: IR-level interface recovery + library summaries ----
+  recoverInterfaces(M);
+  std::unordered_map<uint32_t, TypeScheme> Schemes;
+  registerKnownFunctions(M, S, Lat, Schemes);
+
+  CallGraph CG(M);
+  ConstraintGenerator Gen(S, Lat, M);
+  Simplifier Simp(S, Lat, Opts.Simplify);
+  SummaryCache *Cache = activeCache();
+
+  const size_t NumSccs = CG.sccs().size();
+  Report.Stats.SccCount = NumSccs;
+  Report.Stats.WaveCount = CG.bottomUpWaves().size();
+  for (const auto &W : CG.bottomUpWaves())
+    Report.Stats.WidestWave = std::max(Report.Stats.WidestWave, W.size());
+
+  const uint64_t Hits0 = Cache ? Cache->hits() : 0;
+  const uint64_t Misses0 = Cache ? Cache->misses() : 0;
+
+  // ---- Edit detection -------------------------------------------------
+  const bool HadHistory = !Snapshots.empty();
+  const bool KeepHist = Opts.KeepHistory;
+  Report.Stats.IncrementalRun = HadHistory;
+  std::string GSig = KeepHist ? renderGlobalsSig(M) : std::string();
+  bool AllDirty = !HadHistory || GSig != GlobalsSig;
+
+  // Incremental artifacts are keyed by function name; duplicate names make
+  // that keying unsound, so fall back to a full run (and key by SCC id so
+  // nothing collides).
+  bool DupNames = false;
+  {
+    std::unordered_set<std::string> Seen;
+    for (const Function &F : M.Funcs)
+      if (!Seen.insert(F.Name).second)
+        DupNames = true;
+  }
+  AllDirty = AllDirty || DupNames;
+
+  std::vector<std::string> BodyTexts(M.Funcs.size());
+  std::vector<char> Edited(M.Funcs.size(), 0);
+  for (uint32_t F = 0; F < M.Funcs.size(); ++F) {
+    if (KeepHist)
+      BodyTexts[F] = renderBodyText(M, M.Funcs[F]);
+    auto SnapIt = Snapshots.find(M.Funcs[F].Name);
+    Edited[F] = AllDirty || DirtyNames.count(M.Funcs[F].Name) != 0 ||
+                SnapIt == Snapshots.end() ||
+                SnapIt->second.BodyText != BodyTexts[F];
+    if (Edited[F])
+      ++Report.Stats.FunctionsDirty;
+  }
+
+  // Scheme-change tracking by name, filled bottom-up; externals get their
+  // (fixed) known-function scheme text up front, which also catches
+  // internal<->external flips.
+  std::unordered_map<std::string, char> SchemeChanged;
+  std::unordered_map<std::string, std::string> NewSchemeTexts;
+  if (KeepHist)
+    for (uint32_t F = 0; F < M.Funcs.size(); ++F) {
+      if (!M.Funcs[F].IsExternal)
+        continue;
+      auto KnownIt = Schemes.find(F);
+      std::string Text =
+          KnownIt != Schemes.end()
+              ? SummaryCache::serialize(KnownIt->second, S, Lat)
+              : std::string(kNoSchemeText);
+      auto SnapIt = Snapshots.find(M.Funcs[F].Name);
+      SchemeChanged[M.Funcs[F].Name] =
+          AllDirty || SnapIt == Snapshots.end() ||
+          SnapIt->second.SchemeText != Text;
+      NewSchemeTexts[M.Funcs[F].Name] = std::move(Text);
+    }
+
+  std::unordered_map<std::string, SccArtifact> NewArtifacts;
+  std::vector<SccArtifact *> ArtOfScc(NumSccs, nullptr);
+  std::vector<char> P1Computed(NumSccs, 0);
+
+  auto sccKey = [&](uint32_t Scc, const std::vector<std::string> &Names) {
+    std::string Key = joinKey(Names);
+    if (DupNames) {
+      Key += '#';
+      Key += std::to_string(Scc);
+    }
+    return Key;
+  };
+
+  // ---- Phase 1: bottom-up scheme inference (Algorithm F.1) ----
+  for (const std::vector<uint32_t> &Wave : CG.bottomUpWaves()) {
+    std::vector<P1Item> Items;
+
+    {
+      Clock::time_point T0 = Clock::now();
+      ScopedPhaseTimer Timer("pipeline.generate");
+      for (uint32_t Scc : Wave) {
+        const std::vector<uint32_t> &AllMembers = CG.sccs()[Scc];
+        std::vector<uint32_t> Members;
+        std::vector<std::string> MemberNames;
+        for (uint32_t F : AllMembers) {
+          if (M.Funcs[F].IsExternal)
+            continue;
+          Members.push_back(F);
+          MemberNames.push_back(M.Funcs[F].Name);
+        }
+        if (Members.empty())
+          continue;
+        std::string Key = sccKey(Scc, MemberNames);
+
+        // ---- Reuse check: unchanged members, unchanged callee schemes.
+        SccArtifact *Reused = nullptr;
+        if (!AllDirty) {
+          auto ArtIt = Artifacts.find(Key);
+          bool Ok = ArtIt != Artifacts.end() &&
+                    ArtIt->second.MemberNames == MemberNames;
+          for (size_t I = 0; Ok && I < Members.size(); ++I) {
+            if (Edited[Members[I]]) {
+              Ok = false;
+              break;
+            }
+            for (uint32_t Callee : CG.callees(Members[I])) {
+              if (CG.sccOf(Callee) == Scc)
+                continue;
+              auto ChIt = SchemeChanged.find(M.Funcs[Callee].Name);
+              if (ChIt == SchemeChanged.end() || ChIt->second) {
+                Ok = false;
+                break;
+              }
+            }
+          }
+          if (Ok) {
+            auto Ins = NewArtifacts.insert(Artifacts.extract(ArtIt));
+            Reused = &Ins.position->second;
+          }
+        }
+
+        if (Reused) {
+          for (size_t I = 0; I < Members.size(); ++I) {
+            uint32_t F = Members[I];
+            Schemes[F] = Reused->MemberSchemes[I];
+            FunctionTypes &FT = Report.Funcs[F];
+            FT.Scheme = Reused->MemberSchemes[I];
+            FT.NumParams =
+                M.Funcs[F].NumStackParams +
+                static_cast<unsigned>(M.Funcs[F].RegParams.size());
+            SchemeChanged[MemberNames[I]] = 0;
+            NewSchemeTexts[MemberNames[I]] = Reused->MemberSchemeTexts[I];
+          }
+          Report.ConstraintsGenerated += Reused->ConstraintCount;
+          ArtOfScc[Scc] = Reused;
+          ++Report.Stats.SccsReused;
+          Report.Stats.SchemesReused += Members.size();
+          continue;
+        }
+
+        // ---- Compute path: generate now, simplify on the pool below.
+        P1Computed[Scc] = 1;
+        ++Report.Stats.SccsSimplified;
+        std::set<uint32_t> Mates(AllMembers.begin(), AllMembers.end());
+        P1Item Item;
+        Item.Scc = Scc;
+        Item.Key = std::move(Key);
+        Item.Members = std::move(Members);
+        Item.MemberNames = std::move(MemberNames);
+        for (uint32_t F : Item.Members) {
+          GenResult R = Gen.generate(F, Schemes, Mates);
+          Item.Combined.merge(R.C);
+          Item.Interesting.insert(R.Interesting.begin(),
+                                  R.Interesting.end());
+        }
+        // Canonicalize the combined set before any solving: simplifier τ
+        // numbering and solver traversals follow constraint order, and the
+        // Tarjan member order that produced it can flip when *other* parts
+        // of the call graph change. Sorting makes every downstream result
+        // (and the summary-cache key it shares, rendered here in the same
+        // pass) a pure function of the constraint *set*, which both the
+        // cache and incremental reuse depend on.
+        Item.Combined = Item.Combined.canonicalized(
+            S, Lat, Cache ? &Item.CanonText : nullptr);
+        Report.ConstraintsGenerated += Item.Combined.size();
+        Items.push_back(std::move(Item));
+      }
+      Report.Stats.GenerateSecs += secondsSince(T0);
+    }
+
+    {
+      Clock::time_point T0 = Clock::now();
+      ScopedPhaseTimer Timer("pipeline.simplify");
+      for (P1Item &Item : Items) {
+        Pool.submit([&] {
+          const std::vector<uint32_t> &AllMembers = CG.sccs()[Item.Scc];
+          // One canonical rendering per SCC (produced during
+          // canonicalization above) keys every member's cache probe.
+          const std::string &CanonText = Item.CanonText;
+          Item.Schemes.resize(Item.Members.size());
+          for (size_t I = 0; I < Item.Members.size(); ++I) {
+            uint32_t F = Item.Members[I];
+            // The member's scheme keeps its SCC-mates and globals
+            // interesting.
+            std::unordered_set<TypeVariable> Keep = Item.Interesting;
+            for (uint32_t Mate : AllMembers)
+              if (Mate != F)
+                Keep.insert(Gen.procVar(Mate));
+            Item.Schemes[I] = summarize(Item.Combined, CanonText,
+                                        Gen.procVar(F), Keep, Simp, Cache);
+          }
+        });
+      }
+      Pool.waitAll();
+      Report.Stats.SimplifySecs += secondsSince(T0);
+    }
+
+    // Commit in wave order (deterministic regardless of task scheduling).
+    for (P1Item &Item : Items) {
+      SccArtifact Art;
+      Art.MemberNames = Item.MemberNames;
+      Art.ConstraintCount = Item.Combined.size();
+      Art.Combined = std::move(Item.Combined);
+      if (KeepHist)
+        Art.MemberSchemes = Item.Schemes; // keep a replayable copy
+      // Carry the previous run's callsite records forward (same member
+      // set): they are the baseline the phase-2 Solve commit compares
+      // against, which lets an edit that re-solves to identical actuals
+      // stop dirtying its callees. The stale raw/final sketches ride
+      // along but are unreachable — P1Computed forces Solve mode, which
+      // overwrites them before any replay path could read them.
+      if (auto OldIt = Artifacts.find(Item.Key); OldIt != Artifacts.end() &&
+                                                 OldIt->second.HasSolution) {
+        Art.CallsiteRecords = std::move(OldIt->second.CallsiteRecords);
+        Art.HasSolution = true;
+      }
+      for (size_t I = 0; I < Item.Members.size(); ++I) {
+        uint32_t F = Item.Members[I];
+        const std::string &Name = Item.MemberNames[I];
+        if (KeepHist) {
+          std::string Text =
+              SummaryCache::serialize(Item.Schemes[I], S, Lat);
+          auto SnapIt = Snapshots.find(Name);
+          SchemeChanged[Name] = AllDirty || SnapIt == Snapshots.end() ||
+                                SnapIt->second.SchemeText != Text;
+          Art.MemberSchemeTexts.push_back(Text);
+          NewSchemeTexts[Name] = std::move(Text);
+        }
+        Schemes[F] = Item.Schemes[I];
+        FunctionTypes &FT = Report.Funcs[F];
+        FT.Scheme = std::move(Item.Schemes[I]);
+        FT.NumParams = M.Funcs[F].NumStackParams +
+                       static_cast<unsigned>(M.Funcs[F].RegParams.size());
+        ++Report.Stats.SchemesComputed;
+      }
+      auto [NewIt, Inserted] =
+          NewArtifacts.emplace(std::move(Item.Key), std::move(Art));
+      (void)Inserted;
+      ArtOfScc[Item.Scc] = &NewIt->second;
+    }
+  }
+
+  if (Cache) {
+    Report.Stats.CacheHits = Cache->hits() - Hits0;
+    Report.Stats.CacheMisses = Cache->misses() - Misses0;
+  }
+
+  // ---- Phase 2: top-down sketch solving (Algorithm F.2) ----
+  SketchSolver Solver(Lat);
+  // Join of actual-in/out sketches observed at callsites, per callee
+  // (Algorithm F.3 accumulators).
+  std::map<uint32_t, std::vector<Sketch>> ActualSketches;
+  // Per-function: some caller contributed records that differ from the
+  // previous run (forces the callee's SCC to at least re-refine).
+  std::vector<char> IncomingChangedFlag(M.Funcs.size(), 0);
+  std::unordered_map<std::string, size_t> NewIncomingCount;
+
+  // Callers always sit in a strictly earlier top-down wave than their
+  // callees, so by the time a wave is processed every ActualSketches entry
+  // its members need has been committed.
+  for (const std::vector<uint32_t> &Wave : CG.topDownWaves()) {
+    std::vector<P2Item> Work;
+
+    for (uint32_t Scc : Wave) {
+      SccArtifact *Art = ArtOfScc[Scc];
+      if (!Art || Art->Combined.empty())
+        continue;
+
+      P2Item Item;
+      Item.Scc = Scc;
+      for (uint32_t F : CG.sccs()[Scc])
+        if (!M.Funcs[F].IsExternal)
+          Item.Members.push_back(F);
+
+      // Did this SCC's refinement inputs change since the last run?
+      bool IncomingChanged = false;
+      for (uint32_t F : Item.Members) {
+        auto ActIt = ActualSketches.find(F);
+        size_t Tally = ActIt == ActualSketches.end() ? 0 : ActIt->second.size();
+        NewIncomingCount[M.Funcs[F].Name] = Tally;
+        auto SnapIt = Snapshots.find(M.Funcs[F].Name);
+        size_t Prev = SnapIt == Snapshots.end()
+                          ? std::numeric_limits<size_t>::max()
+                          : SnapIt->second.IncomingRecords;
+        if (IncomingChangedFlag[F] || Tally != Prev)
+          IncomingChanged = true;
+      }
+
+      if (P1Computed[Scc] || !Art->HasSolution)
+        Item.Mode = P2Mode::Solve;
+      else if (IncomingChanged)
+        Item.Mode = P2Mode::RefineOnly;
+      else
+        Item.Mode = P2Mode::Reuse;
+
+      if (Item.Mode == P2Mode::Solve) {
+        // Solve for the member procedure variables and for every callsite
+        // variable (needed for parameter refinement of callees).
+        for (uint32_t F : Item.Members) {
+          Item.Wanted.push_back(Gen.procVar(F));
+          const std::vector<uint32_t> &AllMembers = CG.sccs()[Scc];
+          for (uint32_t Idx = 0; Idx < M.Funcs[F].Body.size(); ++Idx) {
+            const Instr &I = M.Funcs[F].Body[Idx];
+            if (I.Op != Opcode::Call || I.Target >= M.Funcs.size())
+              continue;
+            if (std::find(AllMembers.begin(), AllMembers.end(), I.Target) !=
+                AllMembers.end())
+              continue;
+            SymbolId Sym;
+            std::string Name = M.Funcs[F].Name + "!" +
+                               M.Funcs[I.Target].Name + "@" +
+                               std::to_string(Idx);
+            if (!S.lookup(Name, Sym))
+              continue;
+            TypeVariable V = TypeVariable::var(Sym);
+            Item.Wanted.push_back(V);
+            Item.CallsiteVars.push_back({I.Target, V});
+          }
+        }
+      }
+      Work.push_back(std::move(Item));
+    }
+
+    {
+      Clock::time_point T0 = Clock::now();
+      ScopedPhaseTimer Timer("pipeline.solve");
+      for (P2Item &Item : Work)
+        if (Item.Mode == P2Mode::Solve)
+          Pool.submit([&] {
+            Item.Sol =
+                Solver.solve(ArtOfScc[Item.Scc]->Combined, Item.Wanted);
+          });
+      Pool.waitAll();
+      Report.Stats.SolveSecs += secondsSince(T0);
+    }
+
+    // Commit: refinement + sketch assignment + callsite records, in wave
+    // order.
+    for (P2Item &Item : Work) {
+      SccArtifact *Art = ArtOfScc[Item.Scc];
+      switch (Item.Mode) {
+      case P2Mode::Solve: {
+        ++Report.Stats.SccsSolved;
+        // Records carry the callee *name* for cross-run replay (name keys
+        // survive id shifts), but this run's pushes below use the known
+        // callee *id* from CallsiteVars — name lookup would misdirect
+        // refinement when the module holds duplicate function names.
+        std::vector<std::pair<std::string, Sketch>> NewRecords;
+        NewRecords.reserve(Item.CallsiteVars.size());
+        for (const auto &[Callee, Var] : Item.CallsiteVars)
+          NewRecords.push_back(
+              {M.Funcs[Callee].Name, Item.Sol.sketchFor(Var)});
+
+        // Flag callees whose records from this SCC differ from the
+        // previous run (per-callee comparison keeps the dirtiness cone
+        // tight: an edit that re-solves to the same actuals stops here).
+        // Group both record lists by callee once, not per callsite.
+        const bool HadRecords = Art->HasSolution;
+        std::unordered_map<std::string, std::vector<const Sketch *>> OldBy,
+            NewBy;
+        if (HadRecords)
+          for (const auto &[N2, Sk] : Art->CallsiteRecords)
+            OldBy[N2].push_back(&Sk);
+        for (const auto &[N2, Sk] : NewRecords)
+          NewBy[N2].push_back(&Sk);
+        std::unordered_set<uint32_t> FlaggedCallees;
+        for (const auto &[Callee, Var] : Item.CallsiteVars) {
+          (void)Var;
+          if (!FlaggedCallees.insert(Callee).second)
+            continue; // one comparison per distinct callee
+          auto SameRecords = [&] {
+            if (!HadRecords)
+              return false;
+            const auto &Old = OldBy[M.Funcs[Callee].Name];
+            const auto &New = NewBy[M.Funcs[Callee].Name];
+            if (Old.size() != New.size())
+              return false;
+            for (size_t I = 0; I < Old.size(); ++I)
+              if (!Sketch::equal(*Old[I], *New[I], Lat))
+                return false;
+            return true;
+          };
+          if (!SameRecords())
+            IncomingChangedFlag[Callee] = 1;
+        }
+
+        Art->RawSketches.clear();
+        Art->FinalSketches.clear();
+        for (uint32_t F : Item.Members) {
+          Sketch Raw = Item.Sol.sketchFor(Gen.procVar(F));
+          if (KeepHist)
+            Art->RawSketches.push_back(Raw);
+          auto ActIt = ActualSketches.find(F);
+          static const std::vector<Sketch> None;
+          Sketch Final = refineSketch(
+              std::move(Raw), F,
+              ActIt == ActualSketches.end() ? None : ActIt->second);
+          if (KeepHist)
+            Art->FinalSketches.push_back(Final);
+          Report.Funcs[F].FuncSketch = std::move(Final);
+        }
+        for (size_t I = 0; I < Item.CallsiteVars.size(); ++I)
+          ActualSketches[Item.CallsiteVars[I].first].push_back(
+              NewRecords[I].second);
+        if (KeepHist) {
+          Art->CallsiteRecords = std::move(NewRecords);
+          Art->HasSolution = true;
+        }
+        break;
+      }
+      case P2Mode::RefineOnly: {
+        ++Report.Stats.SccsRefinedOnly;
+        for (size_t I = 0; I < Item.Members.size(); ++I) {
+          uint32_t F = Item.Members[I];
+          auto ActIt = ActualSketches.find(F);
+          static const std::vector<Sketch> None;
+          Sketch Final = refineSketch(
+              Art->RawSketches[I], F,
+              ActIt == ActualSketches.end() ? None : ActIt->second);
+          Art->FinalSketches[I] = Final;
+          Report.Funcs[F].FuncSketch = std::move(Final);
+        }
+        // Replay pushes resolve callee names against the current module;
+        // safe because artifact replay never happens under duplicate names
+        // (DupNames forces AllDirty, so every SCC takes the Solve path).
+        for (const auto &[CalleeName, Sk] : Art->CallsiteRecords)
+          if (auto CalleeId = M.findFunction(CalleeName))
+            ActualSketches[*CalleeId].push_back(Sk);
+        break;
+      }
+      case P2Mode::Reuse: {
+        ++Report.Stats.SccsSolveReused;
+        for (size_t I = 0; I < Item.Members.size(); ++I)
+          Report.Funcs[Item.Members[I]].FuncSketch = Art->FinalSketches[I];
+        for (const auto &[CalleeName, Sk] : Art->CallsiteRecords)
+          if (auto CalleeId = M.findFunction(CalleeName))
+            ActualSketches[*CalleeId].push_back(Sk);
+        break;
+      }
+      }
+    }
+  }
+
+  // ---- Phase 3: C type conversion (§4.3) ----
+  {
+    Clock::time_point T0 = Clock::now();
+    ScopedPhaseTimer Timer("pipeline.convert");
+    CTypeConverter Conv(Report.Pool, Lat, Opts.Conversion);
+    for (auto &[F, FT] : Report.Funcs)
+      FT.CType = Conv.convertFunction(FT.FuncSketch);
+    Report.Stats.ConvertSecs += secondsSince(T0);
+  }
+
+  // ---- Record this run's snapshots for the next incremental analyze ----
+  if (KeepHist) {
+    std::unordered_map<std::string, FuncSnapshot> NewSnaps;
+    NewSnaps.reserve(M.Funcs.size());
+    for (uint32_t F = 0; F < M.Funcs.size(); ++F) {
+      const std::string &Name = M.Funcs[F].Name;
+      FuncSnapshot Snap;
+      Snap.BodyText = std::move(BodyTexts[F]);
+      auto TextIt = NewSchemeTexts.find(Name);
+      Snap.SchemeText =
+          TextIt != NewSchemeTexts.end() ? TextIt->second : kNoSchemeText;
+      auto CntIt = NewIncomingCount.find(Name);
+      Snap.IncomingRecords =
+          CntIt != NewIncomingCount.end() ? CntIt->second : 0;
+      NewSnaps.emplace(Name, std::move(Snap));
+    }
+    Snapshots = std::move(NewSnaps);
+    Artifacts = std::move(NewArtifacts);
+    GlobalsSig = std::move(GSig);
+  } else {
+    Snapshots.clear();
+    Artifacts.clear();
+    GlobalsSig.clear();
+  }
+  DirtyNames.clear();
+
+  Analyzed = true;
+  return Report;
+}

@@ -1,0 +1,310 @@
+//===- Session.h - Long-lived incremental analysis engine ----*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `AnalysisSession` is the resident form of the type-inference engine: it
+/// owns the lattice, the symbol table, the summary cache, and the last
+/// run's per-SCC artifacts, and it re-analyzes *incrementally* after
+/// edits. This is the API shape real consumers of the algorithm use — a
+/// decompiler keeps one session per binary and re-queries it as functions
+/// are patched and re-loaded — and it is exactly what the paper's
+/// bottom-up/top-down scheme architecture (Appendix F) makes sound:
+///
+///  - Phase 1 (scheme inference) walks call-graph SCCs bottom-up. A
+///    procedure's simplified scheme is a pure function of its body and its
+///    callees' schemes, so an SCC whose members and callee schemes are
+///    unchanged can replay its previous schemes verbatim. When a dirty SCC
+///    re-simplifies to a *textually identical* scheme, the dirtiness stops
+///    there and its callers stay clean (early cutoff).
+///  - Phase 2 (sketch solving) walks SCCs top-down. An SCC's raw solution
+///    depends only on its own constraint set; its *final* sketches
+///    additionally depend on the actual-in/out sketches its callers
+///    observed (Algorithm F.3). The session therefore distinguishes
+///    re-solving (constraints changed) from re-refining (only the incoming
+///    callsite sketches changed) from full reuse.
+///  - Phase 3 (C-type conversion) is cheap and re-runs from scratch, which
+///    keeps struct numbering identical to a from-scratch analysis.
+///
+/// The contract, enforced by tests: `analyze()` after any edit sequence
+/// produces a report **byte-identical** to a from-scratch run over the
+/// current module, while `PipelineStats` records strictly fewer SCC
+/// simplifications whenever anything was reusable.
+///
+/// \code
+///   AnalysisSession S(makeDefaultLattice());
+///   S.loadModule(std::move(M));
+///   S.analyze();
+///   S.prototypeOf("close_last");        // structured result, not "<no type>"
+///   S.replaceFunction("helper", NewBody);
+///   S.analyze();                        // only the dirty SCC cone re-runs
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_FRONTEND_SESSION_H
+#define RETYPD_FRONTEND_SESSION_H
+
+#include "core/Simplifier.h"
+#include "core/Sketch.h"
+#include "core/Solver.h"
+#include "core/SummaryCache.h"
+#include "ctypes/Conversion.h"
+#include "mir/MIR.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace retypd {
+
+/// Wall-clock, cache, and incrementality counters for one analyze() call.
+struct PipelineStats {
+  double GenerateSecs = 0;  ///< constraint generation (sequential)
+  double SimplifySecs = 0;  ///< scheme simplification (parallel wall time)
+  double SolveSecs = 0;     ///< sketch solving (parallel wall time)
+  double ConvertSecs = 0;   ///< C-type conversion (sequential)
+  size_t SccCount = 0;
+  size_t WaveCount = 0;
+  size_t WidestWave = 0;
+  unsigned JobsUsed = 1;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+
+  // --- Incremental re-analysis counters (all zero on a first run) ---
+  /// Whether this run could draw on a previous run's artifacts.
+  bool IncrementalRun = false;
+  /// Functions whose bodies were edited/invalidated since the last run.
+  size_t FunctionsDirty = 0;
+  /// SCCs that ran constraint generation + simplification this run.
+  size_t SccsSimplified = 0;
+  /// SCCs whose schemes were replayed from the previous run.
+  size_t SccsReused = 0;
+  /// Member schemes computed via the simplifier/summary cache this run.
+  size_t SchemesComputed = 0;
+  /// Member schemes replayed from the previous run.
+  size_t SchemesReused = 0;
+  /// SCCs sketch-solved this run.
+  size_t SccsSolved = 0;
+  /// SCCs that only re-ran parameter refinement (raw solution replayed).
+  size_t SccsRefinedOnly = 0;
+  /// SCCs whose final sketches were replayed outright.
+  size_t SccsSolveReused = 0;
+};
+
+/// Inference results for one function.
+struct FunctionTypes {
+  TypeScheme Scheme;   ///< simplified, most-general type scheme
+  Sketch FuncSketch;   ///< solved (and possibly refined) sketch
+  CTypeId CType = NoCType; ///< function type in TypeReport::Pool
+  unsigned NumParams = 0;
+};
+
+/// Why a type query produced no value.
+enum class TypeQueryStatus : uint8_t {
+  Ok = 0,          ///< a value was produced
+  NoModule,        ///< the session has no module loaded
+  NotAnalyzed,     ///< analyze() has not run since the module was loaded
+  UnknownFunction, ///< no function with that id/name exists in the module
+  NoTypeInferred,  ///< the function exists but inference produced no type
+};
+
+const char *typeQueryStatusName(TypeQueryStatus S);
+
+/// A structured query result: either a value, or the reason there is none.
+template <typename T> struct SessionQuery {
+  std::optional<T> Value;
+  TypeQueryStatus Status = TypeQueryStatus::Ok;
+
+  explicit operator bool() const { return Value.has_value(); }
+  const T &operator*() const { return *Value; }
+  const T *operator->() const { return &*Value; }
+
+  static SessionQuery ok(T V) { return {std::move(V), TypeQueryStatus::Ok}; }
+  static SessionQuery fail(TypeQueryStatus S) { return {std::nullopt, S}; }
+};
+
+/// Whole-module results of one analyze() call.
+struct TypeReport {
+  std::shared_ptr<SymbolTable> Syms;
+  CTypePool Pool;
+  std::map<uint32_t, FunctionTypes> Funcs;
+
+  // Simple counters for the scaling studies.
+  size_t ConstraintsGenerated = 0;
+  size_t SaturationEdges = 0;
+
+  /// Per-phase timing, cache effectiveness, and incrementality for this run.
+  PipelineStats Stats;
+
+  const FunctionTypes *typesOf(uint32_t FuncId) const {
+    auto It = Funcs.find(FuncId);
+    return It == Funcs.end() ? nullptr : &It->second;
+  }
+
+  /// Structured prototype query: distinguishes "no such function" from
+  /// "inference produced no type for it".
+  SessionQuery<std::string> prototype(uint32_t FuncId, const Module &M) const;
+
+  /// Legacy convenience: renders "<no type>" for both failure modes. Kept
+  /// because the canonical report text prints exactly that placeholder.
+  std::string prototypeOf(uint32_t FuncId, const Module &M) const;
+};
+
+/// Session configuration.
+struct SessionOptions {
+  /// Apply Algorithm F.3 (specialize formals to their observed uses).
+  bool RefineParameters = true;
+  /// Total executors for the per-wave parallel stages. 1 = run inline on
+  /// the calling thread (same code path, so results are identical); 0 =
+  /// one per hardware thread.
+  unsigned Jobs = 1;
+  /// Memoize simplifications in the session-owned summary cache. Distinct
+  /// from incremental SCC reuse: the cache also hits on content-identical
+  /// SCCs across modules and (when persisted) across processes.
+  bool UseSummaryCache = true;
+  /// Share an external cache instead of the session-owned one (not owned;
+  /// overrides UseSummaryCache when set).
+  SummaryCache *ExternalCache = nullptr;
+  /// Record per-function snapshots and per-SCC artifacts so the *next*
+  /// analyze() can be incremental. One-shot callers (the Pipeline facade)
+  /// turn this off to skip the bookkeeping entirely.
+  bool KeepHistory = true;
+  ConversionOptions Conversion;
+  SimplifyOptions Simplify;
+};
+
+/// A long-lived, incrementally re-analyzable instance of the engine.
+class AnalysisSession {
+public:
+  explicit AnalysisSession(Lattice Lat, SessionOptions Opts = SessionOptions());
+  ~AnalysisSession();
+  AnalysisSession(const AnalysisSession &) = delete;
+  AnalysisSession &operator=(const AnalysisSession &) = delete;
+
+  // --- Module lifecycle -------------------------------------------------
+  /// Replaces the module and discards all incremental history: the next
+  /// analyze() is a from-scratch run.
+  void loadModule(Module NewM);
+
+  /// Parses \p AsmText and loadModule()s it. On parse failure returns
+  /// false, stores the message in \p Err (when non-null), and leaves the
+  /// session unchanged.
+  bool loadModuleText(const std::string &AsmText, std::string *Err = nullptr);
+
+  /// Replaces the module but *keeps* incremental history: the next
+  /// analyze() re-runs only functions whose rendered bodies differ from
+  /// the previous run (matched by name), plus their dependents. This is
+  /// how a re-loaded, edited binary is fed to a resident session.
+  void updateModule(Module NewM);
+
+  /// Parses \p AsmText and updateModule()s it (same failure contract as
+  /// loadModuleText).
+  bool updateModuleText(const std::string &AsmText, std::string *Err = nullptr);
+
+  /// Swaps in a new body for one function and marks it dirty. Returns
+  /// false if no such function exists. \p NewBody.Name may be empty to
+  /// keep the current name.
+  bool replaceFunction(uint32_t FuncId, Function NewBody);
+  bool replaceFunction(const std::string &Name, Function NewBody);
+
+  /// Appends a new function (dirty by construction); returns its id.
+  uint32_t addFunction(Function F);
+
+  /// Marks a function dirty without changing it (forces its SCC cone to
+  /// re-run on the next analyze()).
+  bool invalidate(uint32_t FuncId);
+  bool invalidate(const std::string &Name);
+
+  /// Drops all incremental history; the next analyze() is from-scratch.
+  void invalidateAll();
+
+  bool hasModule() const { return HasModule; }
+  const Module &module() const { return M; }
+
+  // --- Analysis ---------------------------------------------------------
+  /// Runs inference over the current module, reusing every artifact of the
+  /// previous run that the edit set provably did not affect. The returned
+  /// report is byte-identical to a from-scratch run.
+  const TypeReport &analyze();
+
+  /// Moves the last report out of the session (queries return NotAnalyzed
+  /// afterwards; incremental history is unaffected).
+  TypeReport takeReport();
+
+  /// Moves the module out of the session, ending its module lifetime (the
+  /// one-shot Pipeline facade uses this to hand the interface-recovered
+  /// module back without a deep copy).
+  Module takeModule();
+
+  bool analyzed() const { return Analyzed; }
+  /// The last report, or nullptr before the first analyze().
+  const TypeReport *report() const { return Analyzed ? &Report : nullptr; }
+
+  // --- Structured queries (no Module reference needed) ------------------
+  std::optional<uint32_t> functionId(const std::string &Name) const;
+  SessionQuery<std::string> prototypeOf(uint32_t FuncId) const;
+  SessionQuery<std::string> prototypeOf(const std::string &Name) const;
+  SessionQuery<std::string> schemeOf(uint32_t FuncId) const;
+  SessionQuery<std::string> schemeOf(const std::string &Name) const;
+  SessionQuery<std::string> sketchOf(uint32_t FuncId,
+                                     unsigned MaxDepth = 4) const;
+  SessionQuery<std::string> sketchOf(const std::string &Name,
+                                     unsigned MaxDepth = 4) const;
+
+  // --- Owned state ------------------------------------------------------
+  const Lattice &lattice() const { return Lat; }
+  const SymbolTable &symbols() const { return *Syms; }
+  /// The cache analyze() actually consults — the external cache when one
+  /// was configured, the session-owned one otherwise. Persist it with
+  /// save()/load().
+  SummaryCache &summaryCache() {
+    return Opts.ExternalCache ? *Opts.ExternalCache : OwnedCache;
+  }
+  const SessionOptions &options() const { return Opts; }
+
+private:
+  struct SccArtifact;
+  struct FuncSnapshot;
+
+  SummaryCache *activeCache();
+  TypeScheme summarize(const ConstraintSet &Combined,
+                       const std::string &CanonText, TypeVariable ProcVar,
+                       const std::unordered_set<TypeVariable> &Keep,
+                       Simplifier &Simp, SummaryCache *Cache);
+  Sketch refineSketch(Sketch Sk, uint32_t FuncId,
+                      const std::vector<Sketch> &Actuals) const;
+  SessionQuery<std::string> queryGate(uint32_t FuncId) const;
+  void markDirtyName(const std::string &Name);
+
+  Lattice Lat;
+  SessionOptions Opts;
+  std::shared_ptr<SymbolTable> Syms;
+  SummaryCache OwnedCache;
+
+  Module M;
+  bool HasModule = false;
+  bool Analyzed = false;
+  TypeReport Report;
+
+  /// Last run's per-SCC artifacts, keyed by the SCC's ordered non-external
+  /// member names ('\\x1f'-joined). Name keys survive function-id shifts
+  /// from insertions/removals elsewhere in the module.
+  std::unordered_map<std::string, SccArtifact> Artifacts;
+  /// Last run's per-function snapshots, keyed by function name.
+  std::unordered_map<std::string, FuncSnapshot> Snapshots;
+  /// Names explicitly invalidated since the last run.
+  std::unordered_set<std::string> DirtyNames;
+  /// Rendered signature of the global-variable table at the last run; any
+  /// change conservatively invalidates everything.
+  std::string GlobalsSig;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_FRONTEND_SESSION_H

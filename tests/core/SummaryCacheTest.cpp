@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 using namespace retypd;
 
@@ -182,6 +183,103 @@ TEST_F(SummaryCacheTest, SaveAndLoadPreserveEntries) {
 
   EXPECT_FALSE(Loaded.load("/nonexistent/path/cache.bin"));
   fs::remove(File);
+}
+
+TEST_F(SummaryCacheTest, VersionedHeaderRoundTrip) {
+  namespace fs = std::filesystem;
+  fs::path File = fs::temp_directory_path() / "retypd_cache_hdr.bin";
+  fs::remove(File);
+
+  SummaryCache Cache;
+  ConstraintSet C = parse("F.in0 <= F.out");
+  auto K = SummaryCache::keyFor(C, var("F"), {}, Opts, Syms, Lat);
+  Cache.insert(K, "proc F\nexistentials\nF.in0 <= F.out\n");
+  ASSERT_TRUE(Cache.save(File.string()));
+
+  CacheFileInfo Info = SummaryCache::inspectFile(File.string());
+  EXPECT_TRUE(Info.Ok) << Info.Error;
+  EXPECT_EQ(Info.FileVersion, kSummaryCacheFileVersion);
+  EXPECT_EQ(Info.SchemaVersion, kSummaryCacheSchemaVersion);
+  EXPECT_EQ(Info.EntryCount, 1u);
+  EXPECT_EQ(Info.PayloadBytes, Cache.payloadBytes());
+  fs::remove(File);
+}
+
+TEST_F(SummaryCacheTest, LoadRejectsStaleVersionsCleanly) {
+  namespace fs = std::filesystem;
+  fs::path File = fs::temp_directory_path() / "retypd_cache_stale.bin";
+
+  // The pre-versioning layout (header "retypd-summary-cache-v1") and any
+  // future/mismatched version must be rejected wholesale — a stale cache
+  // is a cold cache, not a stream of per-entry parse failures.
+  const char *StaleHeaders[] = {
+      "retypd-summary-cache-v1",
+      "retypd-summary-cache v1 schema 1",
+      "retypd-summary-cache v999 schema 1",
+      "retypd-summary-cache v2 schema 999",
+      "some other file entirely",
+  };
+  for (const char *Header : StaleHeaders) {
+    std::ofstream Out(File, std::ios::binary | std::ios::trunc);
+    Out << Header << "\n"
+        << "entry 00000000000000000000000000000000 5\nhello\n";
+    Out.close();
+
+    SummaryCache Cache;
+    EXPECT_FALSE(Cache.load(File.string())) << Header;
+    EXPECT_EQ(Cache.size(), 0u) << Header;
+
+    CacheFileInfo Info = SummaryCache::inspectFile(File.string());
+    EXPECT_FALSE(Info.Ok) << Header;
+    EXPECT_FALSE(Info.Error.empty()) << Header;
+  }
+  fs::remove(File);
+}
+
+TEST_F(SummaryCacheTest, CorruptByteCountsAreMalformedTailNotACrash) {
+  namespace fs = std::filesystem;
+  fs::path File = fs::temp_directory_path() / "retypd_cache_corrupt.bin";
+  // Entry byte counts are untrusted: a 2^64-1 (or merely huge) count must
+  // be treated as a malformed tail by load() AND inspectFile() — not
+  // become a throwing allocation or a sign-flipped seek.
+  const char *Counts[] = {"18446744073709551615", "9223372036854775808",
+                          "999999"};
+  for (const char *Count : Counts) {
+    std::ofstream Out(File, std::ios::binary | std::ios::trunc);
+    Out << "retypd-summary-cache v2 schema 1\n"
+        << "entry 0000000000000000000000000000000f " << Count << "\nx\n";
+    Out.close();
+
+    SummaryCache Cache;
+    EXPECT_TRUE(Cache.load(File.string())) << Count; // header fine
+    EXPECT_EQ(Cache.size(), 0u) << Count;            // entry dropped
+
+    CacheFileInfo Info = SummaryCache::inspectFile(File.string());
+    EXPECT_TRUE(Info.Ok) << Count;
+    EXPECT_EQ(Info.EntryCount, 0u) << Count; // agrees with load()
+    EXPECT_EQ(Info.PayloadBytes, 0u) << Count;
+  }
+  fs::remove(File);
+}
+
+TEST_F(SummaryCacheTest, PruneToBytesDropsLargestFirst) {
+  SummaryCache Cache;
+  ConstraintSet C = parse("F.in0 <= F.out");
+  auto KeyN = [&](const std::string &Name) {
+    return SummaryCache::keyFor(C, var(Name), {}, Opts, Syms, Lat);
+  };
+  Cache.insert(KeyN("A"), std::string(100, 'a'));
+  Cache.insert(KeyN("B"), std::string(10, 'b'));
+  Cache.insert(KeyN("C"), std::string(50, 'c'));
+  EXPECT_EQ(Cache.payloadBytes(), 160u);
+
+  EXPECT_EQ(Cache.pruneToBytes(1000), 0u); // already under budget
+  EXPECT_EQ(Cache.pruneToBytes(70), 1u);   // drops the 100-byte entry
+  EXPECT_EQ(Cache.payloadBytes(), 60u);
+  EXPECT_TRUE(Cache.lookup(KeyN("B")).has_value());
+  EXPECT_TRUE(Cache.lookup(KeyN("C")).has_value());
+  EXPECT_EQ(Cache.pruneToBytes(0), 2u);
+  EXPECT_EQ(Cache.size(), 0u);
 }
 
 TEST_F(SummaryCacheTest, ManyTinySccsStress) {

@@ -1,0 +1,288 @@
+//===- IncrementalPropertyTest.cpp - Incremental == from-scratch --------------===//
+//
+// The incremental contract, property-tested: apply random edit sequences
+// (modify function bodies, rewire call edges, add and remove functions) to
+// golden-corpus modules and to a many-island synthetic module, and assert
+// that every incremental re-analysis is byte-identical to a from-scratch
+// analysis of the same module — for jobs=1 and jobs=4 — while never
+// simplifying more SCCs than the from-scratch run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/ReportPrinter.h"
+#include "frontend/Session.h"
+#include "mir/AsmParser.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+
+using namespace retypd;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string slurp(const fs::path &P) {
+  std::ifstream In(P, std::ios::binary);
+  EXPECT_TRUE(In) << "cannot open " << P;
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+std::vector<std::string> corpusTexts() {
+  fs::path Dir = fs::path(RETYPD_SOURCE_DIR) / "tests" / "frontend" / "golden";
+  std::vector<fs::path> Programs;
+  for (const auto &Entry : fs::directory_iterator(Dir))
+    if (Entry.path().extension() == ".asm")
+      Programs.push_back(Entry.path());
+  std::sort(Programs.begin(), Programs.end());
+  std::vector<std::string> Texts;
+  for (const fs::path &P : Programs)
+    Texts.push_back(slurp(P));
+  return Texts;
+}
+
+/// A synthetic module with many independent call islands: the shape where
+/// incremental reuse must shine (an edit in one island leaves the others
+/// untouched).
+std::string manyIslandAsm() {
+  std::string Asm = "extern close\n";
+  for (int I = 0; I < 8; ++I) {
+    std::string N = std::to_string(I);
+    Asm += "fn leaf" + N + ":\n  load eax, [esp+4]\n  add eax, " +
+           std::to_string(I + 1) + "\n  ret\n";
+    Asm += "fn mid" + N + ":\n  load eax, [esp+4]\n  push eax\n  call leaf" +
+           N + "\n  add esp, 4\n  ret\n";
+    Asm += "fn top" + N + ":\n  push " + std::to_string(I * 10) +
+           "\n  call mid" + N + "\n  add esp, 4\n  ret\n";
+  }
+  return Asm;
+}
+
+Module parseOk(const std::string &Text) {
+  AsmParser P;
+  auto M = P.parse(Text);
+  EXPECT_TRUE(M.has_value()) << P.error();
+  return M ? *M : Module();
+}
+
+std::string renderSession(const AnalysisSession &S) {
+  ReportPrintOptions Print;
+  Print.Schemes = true;
+  Print.Sketches = true;
+  return renderReport(*S.report(), S.module(), S.lattice(), Print);
+}
+
+std::string freshRender(const Module &M, unsigned Jobs,
+                        PipelineStats *OutStats = nullptr) {
+  AnalysisSession S(makeDefaultLattice(), SessionOptions{.Jobs = Jobs});
+  S.loadModule(M);
+  S.analyze();
+  if (OutStats)
+    *OutStats = S.report()->Stats;
+  return renderSession(S);
+}
+
+//===----------------------------------------------------------------------===//
+// Random module edits (well-formedness preserving)
+//===----------------------------------------------------------------------===//
+
+using Rng = std::mt19937;
+
+uint32_t pick(Rng &G, uint32_t N) {
+  return std::uniform_int_distribution<uint32_t>(0, N - 1)(G);
+}
+
+std::vector<uint32_t> internalFuncs(const Module &M) {
+  std::vector<uint32_t> Ids;
+  for (uint32_t F = 0; F < M.Funcs.size(); ++F)
+    if (!M.Funcs[F].IsExternal && !M.Funcs[F].Body.empty())
+      Ids.push_back(F);
+  return Ids;
+}
+
+/// Edit 1: modify a body by tweaking an immediate operand (keeps all
+/// instruction indices, so jump targets stay valid).
+bool tweakImm(Module &M, Rng &G) {
+  std::vector<uint32_t> Ids = internalFuncs(M);
+  if (Ids.empty())
+    return false;
+  for (int Tries = 0; Tries < 8; ++Tries) {
+    uint32_t F = Ids[pick(G, Ids.size())];
+    auto &Body = M.Funcs[F].Body;
+    std::vector<size_t> Sites;
+    for (size_t I = 0; I < Body.size(); ++I)
+      switch (Body[I].Op) {
+      case Opcode::MovImm:
+      case Opcode::AddImm:
+      case Opcode::SubImm:
+      case Opcode::CmpImm:
+      case Opcode::PushImm:
+        Sites.push_back(I);
+        break;
+      default:
+        break;
+      }
+    if (Sites.empty())
+      continue;
+    Body[Sites[pick(G, Sites.size())]].Imm += 1 + pick(G, 5);
+    return true;
+  }
+  return false;
+}
+
+/// Edit 2: rewire a call edge to a different internal function (same
+/// instruction count; only the call-graph shape changes).
+bool swapCallTarget(Module &M, Rng &G) {
+  std::vector<uint32_t> Ids = internalFuncs(M);
+  if (Ids.size() < 2)
+    return false;
+  for (int Tries = 0; Tries < 8; ++Tries) {
+    uint32_t F = Ids[pick(G, Ids.size())];
+    auto &Body = M.Funcs[F].Body;
+    std::vector<size_t> Calls;
+    for (size_t I = 0; I < Body.size(); ++I)
+      if (Body[I].Op == Opcode::Call)
+        Calls.push_back(I);
+    if (Calls.empty())
+      continue;
+    uint32_t NewTarget = Ids[pick(G, Ids.size())];
+    Body[Calls[pick(G, Calls.size())]].Target = NewTarget;
+    return true;
+  }
+  return false;
+}
+
+/// Edit 3: add a fresh leaf function (uncalled; a new singleton SCC).
+bool addLeaf(Module &M, Rng &G, unsigned &Counter) {
+  Function F;
+  F.Name = "prop_leaf" + std::to_string(Counter++);
+  Instr Mv;
+  Mv.Op = Opcode::MovImm;
+  Mv.Dst = Reg::Eax;
+  Mv.Imm = static_cast<int32_t>(pick(G, 100));
+  F.Body.push_back(Mv);
+  Instr Rt;
+  Rt.Op = Opcode::Ret;
+  F.Body.push_back(Rt);
+  M.addFunction(std::move(F));
+  return true;
+}
+
+/// Edit 4: remove an uncalled internal function, remapping call targets
+/// above it.
+bool removeUncalled(Module &M, Rng &G) {
+  std::vector<char> Called(M.Funcs.size(), 0);
+  for (const Function &F : M.Funcs)
+    for (const Instr &I : F.Body)
+      if (I.Op == Opcode::Call && I.Target < M.Funcs.size())
+        Called[I.Target] = 1;
+  std::vector<uint32_t> Victims;
+  for (uint32_t F = 0; F < M.Funcs.size(); ++F)
+    if (!M.Funcs[F].IsExternal && !Called[F] && M.Funcs.size() > 2)
+      Victims.push_back(F);
+  if (Victims.empty())
+    return false;
+  uint32_t Victim = Victims[pick(G, Victims.size())];
+  M.Funcs.erase(M.Funcs.begin() + Victim);
+  for (Function &F : M.Funcs)
+    for (Instr &I : F.Body)
+      if (I.Op == Opcode::Call && I.Target > Victim)
+        --I.Target;
+  M.FuncByName.clear();
+  for (uint32_t F = 0; F < M.Funcs.size(); ++F)
+    M.FuncByName[M.Funcs[F].Name] = F;
+  if (M.EntryFunc >= M.Funcs.size())
+    M.EntryFunc = 0;
+  return true;
+}
+
+bool applyRandomEdit(Module &M, Rng &G, unsigned &LeafCounter) {
+  switch (pick(G, 4)) {
+  case 0:
+    return tweakImm(M, G);
+  case 1:
+    return swapCallTarget(M, G);
+  case 2:
+    return addLeaf(M, G, LeafCounter);
+  default:
+    return removeUncalled(M, G);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The property
+//===----------------------------------------------------------------------===//
+
+/// Drives one session through an edit sequence and checks the contract
+/// after every step. Returns the number of incremental runs that reused at
+/// least one SCC.
+size_t checkEditSequence(const std::string &Asm, unsigned Jobs, uint32_t Seed,
+                         unsigned Steps) {
+  Rng G(Seed);
+  unsigned LeafCounter = 0;
+  Module M = parseOk(Asm);
+
+  AnalysisSession S(makeDefaultLattice(), SessionOptions{.Jobs = Jobs});
+  S.loadModule(M);
+  S.analyze();
+  EXPECT_EQ(renderSession(S), freshRender(M, Jobs)) << "seed " << Seed;
+
+  size_t RunsWithReuse = 0;
+  for (unsigned Step = 0; Step < Steps; ++Step) {
+    if (!applyRandomEdit(M, G, LeafCounter))
+      continue;
+    S.updateModule(M);
+    S.analyze();
+
+    PipelineStats FreshStats;
+    std::string Fresh = freshRender(M, Jobs, &FreshStats);
+    std::string Inc2 = renderSession(S);
+    EXPECT_EQ(Inc2, Fresh) << "incremental diverged: seed " << Seed
+                           << " step " << Step << " jobs " << Jobs;
+    if (Inc2 != Fresh)
+      return RunsWithReuse; // later steps would only cascade the diff
+
+    const PipelineStats &Inc = S.report()->Stats;
+    EXPECT_TRUE(Inc.IncrementalRun);
+    EXPECT_LE(Inc.SccsSimplified, FreshStats.SccsSimplified)
+        << "seed " << Seed << " step " << Step;
+    // Every SCC is accounted for exactly once in phase 1.
+    EXPECT_EQ(Inc.SccsSimplified + Inc.SccsReused,
+              FreshStats.SccsSimplified + FreshStats.SccsReused)
+        << "seed " << Seed << " step " << Step;
+    RunsWithReuse += Inc.SccsReused > 0;
+  }
+  return RunsWithReuse;
+}
+
+} // namespace
+
+class IncrementalProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IncrementalProperty, GoldenCorpusEditSequencesJobs1) {
+  unsigned Seed = GetParam();
+  for (const std::string &Asm : corpusTexts())
+    checkEditSequence(Asm, 1, Seed, 6);
+}
+
+TEST_P(IncrementalProperty, GoldenCorpusEditSequencesJobs4) {
+  unsigned Seed = GetParam() + 500;
+  for (const std::string &Asm : corpusTexts())
+    checkEditSequence(Asm, 4, Seed, 4);
+}
+
+TEST_P(IncrementalProperty, ManyIslandsReuseIsGuaranteed) {
+  unsigned Seed = GetParam() + 9000;
+  // With 8 disjoint islands, any single-island edit sequence must leave
+  // most SCCs reusable in every incremental run.
+  size_t RunsWithReuse = checkEditSequence(manyIslandAsm(), 1, Seed, 6);
+  EXPECT_GT(RunsWithReuse, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalProperty,
+                         ::testing::Values(11u, 12u, 13u, 14u));

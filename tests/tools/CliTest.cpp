@@ -1,0 +1,188 @@
+//===- CliTest.cpp - retypd-cli subcommand behavior ---------------------------===//
+//
+// Drives the installed retypd-cli binary (path injected by CMake as
+// RETYPD_CLI_PATH) through its subcommand surface: unknown-option
+// rejection with "did you mean" hints and exit code 2, reanalyze's
+// byte-identity with a fresh analyze, JSON output, and the cache
+// inspect/prune verbs.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct CmdResult {
+  int Exit = -1;
+  std::string Out; ///< stdout + stderr, interleaved
+};
+
+/// Runs the CLI with \p Args, capturing combined output and the exit code.
+CmdResult runCli(const std::string &Args) {
+  CmdResult R;
+  std::string Cmd = std::string(RETYPD_CLI_PATH) + " " + Args + " 2>&1";
+  FILE *P = popen(Cmd.c_str(), "r");
+  if (!P)
+    return R;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    R.Out.append(Buf, N);
+  int Status = pclose(P);
+  R.Exit = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return R;
+}
+
+std::string goldenAsm(const char *Name) {
+  return (fs::path(RETYPD_SOURCE_DIR) / "tests" / "frontend" / "golden" /
+          Name)
+      .string();
+}
+
+fs::path writeTemp(const char *Name, const std::string &Content) {
+  fs::path P = fs::temp_directory_path() / Name;
+  std::ofstream Out(P, std::ios::binary | std::ios::trunc);
+  Out << Content;
+  return P;
+}
+
+std::string slurpFile(const fs::path &P) {
+  std::ifstream In(P, std::ios::binary);
+  std::string S((std::istreambuf_iterator<char>(In)),
+                std::istreambuf_iterator<char>());
+  return S;
+}
+
+} // namespace
+
+TEST(CliTest, UnknownOptionExitsTwoWithSuggestion) {
+  CmdResult R = runCli("--schmes " + goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(R.Exit, 2);
+  EXPECT_NE(R.Out.find("unknown option '--schmes'"), std::string::npos)
+      << R.Out;
+  EXPECT_NE(R.Out.find("did you mean '--schemes'?"), std::string::npos)
+      << R.Out;
+
+  // Subcommand spelling gets the same treatment.
+  R = runCli("analyze --jbos 2 " + goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(R.Exit, 2);
+  EXPECT_NE(R.Out.find("did you mean '--jobs'?"), std::string::npos) << R.Out;
+}
+
+TEST(CliTest, UnknownCommandSuggestion) {
+  CmdResult R = runCli("analize " + goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(R.Exit, 2);
+  EXPECT_NE(R.Out.find("did you mean 'analyze'?"), std::string::npos) << R.Out;
+}
+
+TEST(CliTest, LegacyInvocationStillMeansAnalyze) {
+  CmdResult Legacy = runCli("--schemes " + goldenAsm("list_traverse.asm"));
+  CmdResult Sub = runCli("analyze --schemes " + goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(Legacy.Exit, 0);
+  EXPECT_EQ(Legacy.Out, Sub.Out);
+}
+
+TEST(CliTest, ReanalyzeIsByteIdenticalToFreshAnalyze) {
+  // base + edited pair: the edited module appends a function and rewires
+  // nothing else; reanalyze(base, edited) must print exactly what
+  // analyze(edited) prints.
+  std::string Base = slurpFile(goldenAsm("list_traverse.asm"));
+  std::string Edited =
+      Base + "\nfn extra_leaf:\n  load eax, [esp+4]\n  add eax, 1\n  ret\n";
+  fs::path BaseP = writeTemp("cli_base.asm", Base);
+  fs::path EditedP = writeTemp("cli_edited.asm", Edited);
+
+  for (const char *Flags : {"", "--schemes --sketches", "--jobs 4"}) {
+    CmdResult Fresh = runCli(std::string("analyze ") + Flags + " " +
+                             EditedP.string());
+    CmdResult Re = runCli(std::string("reanalyze ") + Flags + " " +
+                          BaseP.string() + " " + EditedP.string());
+    EXPECT_EQ(Fresh.Exit, 0) << Fresh.Out;
+    EXPECT_EQ(Re.Exit, 0) << Re.Out;
+    EXPECT_EQ(Fresh.Out, Re.Out) << "flags: " << Flags;
+  }
+  fs::remove(BaseP);
+  fs::remove(EditedP);
+}
+
+TEST(CliTest, ReanalyzeStatsShowIncrementalReuse) {
+  std::string Base = slurpFile(goldenAsm("list_traverse.asm"));
+  std::string Edited =
+      Base + "\nfn extra_leaf:\n  load eax, [esp+4]\n  add eax, 1\n  ret\n";
+  fs::path BaseP = writeTemp("cli_base2.asm", Base);
+  fs::path EditedP = writeTemp("cli_edited2.asm", Edited);
+
+  CmdResult R = runCli("reanalyze --stats " + BaseP.string() + " " +
+                       EditedP.string());
+  EXPECT_EQ(R.Exit, 0);
+  EXPECT_NE(R.Out.find("incremental: yes"), std::string::npos) << R.Out;
+  // The unchanged functions' SCCs must be reused, not re-simplified.
+  EXPECT_NE(R.Out.find("sccs_reused=2"), std::string::npos) << R.Out;
+  fs::remove(BaseP);
+  fs::remove(EditedP);
+}
+
+TEST(CliTest, JsonFormat) {
+  CmdResult R = runCli("analyze --format=json --schemes " +
+                       goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(R.Exit, 0);
+  EXPECT_NE(R.Out.find("\"schema\": \"retypd-report-v1\""), std::string::npos);
+  EXPECT_NE(R.Out.find("\"prototype\": "), std::string::npos);
+  EXPECT_NE(R.Out.find("\"scheme\": "), std::string::npos);
+  // Externals are reported with a structured status instead of "<no type>".
+  EXPECT_NE(R.Out.find("\"status\": \"no-type-inferred\""), std::string::npos);
+  EXPECT_EQ(R.Out.find("\"stats\""), std::string::npos) << "stats without flag";
+
+  R = runCli("analyze --format=json --stats " + goldenAsm("list_traverse.asm"));
+  EXPECT_NE(R.Out.find("\"stats\": {"), std::string::npos);
+  EXPECT_NE(R.Out.find("\"sccs_simplified\""), std::string::npos);
+
+  R = runCli("analyze --format=yaml " + goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(R.Exit, 2);
+}
+
+TEST(CliTest, CacheInspectAndPrune) {
+  fs::path Cache = fs::temp_directory_path() / "cli_cache.bin";
+  fs::remove(Cache);
+
+  CmdResult R = runCli("analyze --summary-cache " + Cache.string() + " " +
+                       goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(R.Exit, 0);
+
+  R = runCli("cache inspect " + Cache.string());
+  EXPECT_EQ(R.Exit, 0);
+  EXPECT_NE(R.Out.find("header: ok (v2 schema 1)"), std::string::npos)
+      << R.Out;
+
+  R = runCli("cache prune " + Cache.string() + " --max-bytes 0");
+  EXPECT_EQ(R.Exit, 0);
+  EXPECT_NE(R.Out.find("0 remain"), std::string::npos) << R.Out;
+
+  // Stale headers are reported, not half-loaded.
+  fs::path Stale = writeTemp("cli_stale_cache.bin",
+                             "retypd-summary-cache-v1\nentry junk\n");
+  R = runCli("cache inspect " + Stale.string());
+  EXPECT_EQ(R.Exit, 1);
+  EXPECT_NE(R.Out.find("unrecognized header"), std::string::npos) << R.Out;
+
+  R = runCli("cache inspct " + Cache.string());
+  EXPECT_EQ(R.Exit, 2);
+  EXPECT_NE(R.Out.find("did you mean 'inspect'?"), std::string::npos) << R.Out;
+
+  fs::remove(Cache);
+  fs::remove(Stale);
+}
+
+TEST(CliTest, HelpExitsZero) {
+  CmdResult R = runCli("help");
+  EXPECT_EQ(R.Exit, 0);
+  EXPECT_NE(R.Out.find("reanalyze"), std::string::npos);
+}

@@ -1,34 +1,49 @@
 //===- retypd-cli.cpp - Command-line driver -----------------------------------===//
 //
-// The command-line face of the library:
+// The command-line face of the library, built on the long-lived
+// AnalysisSession API:
 //
-//   retypd-cli prog.asm                  infer and print a C header
-//   retypd-cli --schemes prog.asm        also print per-function type schemes
-//   retypd-cli --sketches prog.asm       also print solved sketches
-//   retypd-cli --strip prog.asm          round-trip through the stripped
-//                                        binary encoder/disassembler first
-//   retypd-cli --engine=unify prog.asm   use the unification baseline
-//   retypd-cli --engine=interval prog.asm  use the TIE-style baseline
-//   retypd-cli --jobs N prog.asm         solve SCC waves on N threads
-//                                        (0 = one per hardware thread);
-//                                        output is byte-identical for
-//                                        every N
-//   retypd-cli --summary-cache F prog.asm  load/save the content-addressed
-//                                        scheme cache at F; repeated runs
-//                                        skip simplification entirely
-//   retypd-cli --stats prog.asm          append per-phase timing and cache
-//                                        counters as a trailing comment
+//   retypd-cli analyze prog.asm            infer and print a C header
+//   retypd-cli analyze --format=json p.asm structured JSON report
+//   retypd-cli reanalyze base.asm new.asm  analyze base, then incrementally
+//                                          re-analyze the edited module;
+//                                          output is byte-identical to
+//                                          `analyze new.asm`
+//   retypd-cli cache inspect FILE          summary-cache header/entry info
+//   retypd-cli cache prune FILE --max-bytes N   drop largest entries
+//   retypd-cli help [command]
+//
+// `retypd-cli [options] prog.asm` (no subcommand) still works and means
+// `analyze`. Unknown options are rejected with a "did you mean" hint and
+// exit code 2.
+//
+// analyze/reanalyze options:
+//   --schemes --sketches         verbose per-function output
+//   --stats                      append per-phase timing + incremental
+//                                counters (a trailing comment in text
+//                                mode, a "stats" member in JSON)
+//   --jobs N                     solve SCC waves on N threads (0 = one
+//                                per hardware core); output is
+//                                byte-identical for every N
+//   --summary-cache FILE         persist the content-addressed scheme
+//                                cache across runs
+//   --format=text|json           report rendering
+// analyze only:
+//   --strip                      stripped-binary round trip first
+//   --engine=retypd|unify|interval   baseline engines (text only)
 //
 // Input is the textual assembly of mir/AsmParser.h (see examples/data/).
 //
 //===----------------------------------------------------------------------===//
 
 #include "baseline/Baselines.h"
-#include "frontend/Pipeline.h"
+#include "frontend/ReportJson.h"
 #include "frontend/ReportPrinter.h"
+#include "frontend/Session.h"
 #include "loader/BinaryImage.h"
 #include "mir/AsmParser.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -36,17 +51,87 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace retypd;
 
 namespace {
 
-int usage(const char *Argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--schemes] [--sketches] [--strip] [--stats] "
-               "[--jobs N] [--summary-cache FILE] "
-               "[--engine=retypd|unify|interval] prog.asm\n",
-               Argv0);
+//===----------------------------------------------------------------------===//
+// Option-parsing helpers
+//===----------------------------------------------------------------------===//
+
+/// Levenshtein distance, for "did you mean" hints.
+size_t editDistance(const std::string &A, const std::string &B) {
+  std::vector<size_t> Row(B.size() + 1);
+  for (size_t J = 0; J <= B.size(); ++J)
+    Row[J] = J;
+  for (size_t I = 1; I <= A.size(); ++I) {
+    size_t Diag = Row[0];
+    Row[0] = I;
+    for (size_t J = 1; J <= B.size(); ++J) {
+      size_t Next = std::min({Row[J] + 1, Row[J - 1] + 1,
+                              Diag + (A[I - 1] != B[J - 1] ? 1 : 0)});
+      Diag = Row[J];
+      Row[J] = Next;
+    }
+  }
+  return Row[B.size()];
+}
+
+/// The closest candidate within distance 3, or "".
+std::string suggestFor(const std::string &Arg,
+                       const std::vector<std::string> &Candidates) {
+  // Compare the flag name only (strip a "=value" suffix).
+  std::string Name = Arg.substr(0, Arg.find('='));
+  std::string Best;
+  size_t BestDist = 4;
+  for (const std::string &C : Candidates) {
+    size_t D = editDistance(Name, C.substr(0, C.find('=')));
+    if (D < BestDist) {
+      BestDist = D;
+      Best = C;
+    }
+  }
+  return Best;
+}
+
+/// Prints the unknown-option error (with a hint when one is close) and
+/// returns the usage exit code.
+int unknownOption(const char *Command, const std::string &Arg,
+                  const std::vector<std::string> &Candidates) {
+  std::string Hint = suggestFor(Arg, Candidates);
+  if (!Hint.empty())
+    std::fprintf(stderr,
+                 "error: unknown option '%s' for '%s' — did you mean '%s'?\n",
+                 Arg.c_str(), Command, Hint.c_str());
+  else
+    std::fprintf(stderr, "error: unknown option '%s' for '%s'\n", Arg.c_str(),
+                 Command);
+  std::fprintf(stderr, "run 'retypd-cli help' for usage\n");
+  return 2;
+}
+
+int usage(FILE *Out = stderr) {
+  std::fprintf(
+      Out,
+      "usage: retypd-cli <command> [options] <args>\n"
+      "\n"
+      "commands:\n"
+      "  analyze   [options] prog.asm           infer types, print a report\n"
+      "  reanalyze [options] base.asm new.asm   incremental re-analysis of an\n"
+      "                                         edited module (same output as\n"
+      "                                         'analyze new.asm')\n"
+      "  cache inspect FILE                     summary-cache file info\n"
+      "  cache prune FILE --max-bytes N         shrink a summary-cache file\n"
+      "  help [command]                         this text\n"
+      "\n"
+      "analyze/reanalyze options:\n"
+      "  --schemes --sketches --stats --jobs N --summary-cache FILE\n"
+      "  --format=text|json\n"
+      "analyze only: --strip --engine=retypd|unify|interval\n"
+      "\n"
+      "'retypd-cli [options] prog.asm' without a command means 'analyze'.\n");
   return 2;
 }
 
@@ -67,64 +152,214 @@ bool parseJobs(const char *Text, unsigned &Jobs) {
   return true;
 }
 
-} // namespace
+//===----------------------------------------------------------------------===//
+// analyze / reanalyze
+//===----------------------------------------------------------------------===//
 
-int main(int argc, char **argv) {
+struct AnalyzeOpts {
   bool Schemes = false, Sketches = false, Strip = false, Stats = false;
   unsigned Jobs = 1;
   std::string Engine = "retypd";
-  std::string Path, CachePath;
+  std::string CachePath;
+  std::string Format = "text";
+  std::vector<std::string> Paths;
+};
 
-  for (int I = 1; I < argc; ++I) {
+const std::vector<std::string> kAnalyzeFlags = {
+    "--schemes", "--sketches", "--strip",  "--stats",
+    "--jobs",    "--summary-cache", "--engine=", "--format="};
+const std::vector<std::string> kReanalyzeFlags = {
+    "--schemes", "--sketches", "--stats",
+    "--jobs",    "--summary-cache", "--format="};
+
+/// Parses analyze/reanalyze arguments from argv[Start..). Returns 0 on
+/// success, 2 on a usage error (already reported).
+int parseAnalyzeArgs(int argc, char **argv, int Start, const char *Command,
+                     bool AllowEngine, AnalyzeOpts &O) {
+  for (int I = Start; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--schemes")
-      Schemes = true;
+      O.Schemes = true;
     else if (Arg == "--sketches")
-      Sketches = true;
-    else if (Arg == "--strip")
-      Strip = true;
+      O.Sketches = true;
+    else if (Arg == "--strip" && AllowEngine)
+      O.Strip = true;
     else if (Arg == "--stats")
-      Stats = true;
-    else if (Arg == "--jobs" && I + 1 < argc) {
-      if (!parseJobs(argv[++I], Jobs))
-        return usage(argv[0]);
+      O.Stats = true;
+    else if (Arg == "--jobs" || Arg == "--summary-cache") {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: option '%s' requires a value\n",
+                     Arg.c_str());
+        return 2;
+      }
+      if (Arg == "--jobs") {
+        if (!parseJobs(argv[++I], O.Jobs))
+          return 2;
+      } else
+        O.CachePath = argv[++I];
     } else if (Arg.rfind("--jobs=", 0) == 0) {
-      if (!parseJobs(Arg.c_str() + 7, Jobs))
-        return usage(argv[0]);
-    }
-    else if (Arg == "--summary-cache" && I + 1 < argc)
-      CachePath = argv[++I];
-    else if (Arg.rfind("--summary-cache=", 0) == 0)
-      CachePath = Arg.substr(16);
-    else if (Arg.rfind("--engine=", 0) == 0)
-      Engine = Arg.substr(9);
-    else if (!Arg.empty() && Arg[0] == '-')
-      return usage(argv[0]);
-    else
-      Path = Arg;
+      if (!parseJobs(Arg.c_str() + 7, O.Jobs))
+        return 2;
+    } else if (Arg.rfind("--summary-cache=", 0) == 0)
+      O.CachePath = Arg.substr(16);
+    else if (Arg.rfind("--engine=", 0) == 0 && AllowEngine) {
+      O.Engine = Arg.substr(9);
+      if (O.Engine != "retypd" && O.Engine != "unify" &&
+          O.Engine != "interval") {
+        std::fprintf(stderr,
+                     "error: --engine expects retypd, unify or interval, "
+                     "got '%s'\n",
+                     O.Engine.c_str());
+        return 2;
+      }
+    } else if (Arg.rfind("--format=", 0) == 0) {
+      O.Format = Arg.substr(9);
+      if (O.Format != "text" && O.Format != "json") {
+        std::fprintf(stderr,
+                     "error: --format expects text or json, got '%s'\n",
+                     O.Format.c_str());
+        return 2;
+      }
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      // Flags gated off for this command get a precise message, not a
+      // self-referential "did you mean".
+      if (!AllowEngine &&
+          (Arg == "--strip" || Arg.rfind("--engine=", 0) == 0)) {
+        std::fprintf(stderr, "error: option '%s' is not valid for '%s'\n",
+                     Arg.c_str(), Command);
+        return 2;
+      }
+      return unknownOption(Command, Arg,
+                           AllowEngine ? kAnalyzeFlags : kReanalyzeFlags);
+    } else
+      O.Paths.push_back(Arg);
   }
-  if (Path.empty())
-    return usage(argv[0]);
+  return 0;
+}
 
+/// Reads and parses one assembly module; reports errors itself.
+std::optional<Module> loadAsm(const std::string &Path) {
   std::ifstream In(Path);
   if (!In) {
     std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
-    return 1;
+    return std::nullopt;
   }
   std::stringstream Buf;
   Buf << In.rdbuf();
-
   AsmParser Parser;
   auto M = Parser.parse(Buf.str());
   if (!M) {
     std::fprintf(stderr, "%s: parse error: %s\n", Path.c_str(),
                  Parser.error().c_str());
-    return 1;
+    return std::nullopt;
   }
   if (auto Main = M->findFunction("main"))
     M->EntryFunc = *Main;
+  return M;
+}
 
-  if (Strip) {
+/// Renders the session's last report in the requested format and appends
+/// stats when asked.
+void printReport(AnalysisSession &S, const AnalyzeOpts &O) {
+  if (O.Format == "json") {
+    ReportJsonOptions JOpts;
+    JOpts.Schemes = O.Schemes;
+    JOpts.Sketches = O.Sketches;
+    JOpts.Stats = O.Stats;
+    std::string Text =
+        renderReportJson(*S.report(), S.module(), S.lattice(), JOpts);
+    std::fwrite(Text.data(), 1, Text.size(), stdout);
+    return;
+  }
+  ReportPrintOptions PrintOpts;
+  PrintOpts.Schemes = O.Schemes;
+  PrintOpts.Sketches = O.Sketches;
+  std::string Text =
+      renderReport(*S.report(), S.module(), S.lattice(), PrintOpts);
+  std::fwrite(Text.data(), 1, Text.size(), stdout);
+  if (O.Stats) {
+    const PipelineStats &St = S.report()->Stats;
+    std::printf("/* stats: jobs=%u sccs=%zu waves=%zu widest=%zu "
+                "gen=%.3fs simplify=%.3fs solve=%.3fs convert=%.3fs "
+                "cache_hits=%llu cache_misses=%llu */\n",
+                St.JobsUsed, St.SccCount, St.WaveCount, St.WidestWave,
+                St.GenerateSecs, St.SimplifySecs, St.SolveSecs,
+                St.ConvertSecs, static_cast<unsigned long long>(St.CacheHits),
+                static_cast<unsigned long long>(St.CacheMisses));
+    std::printf("/* incremental: %s dirty=%zu sccs_simplified=%zu "
+                "sccs_reused=%zu sccs_solved=%zu refined_only=%zu "
+                "solve_reused=%zu */\n",
+                St.IncrementalRun ? "yes" : "no", St.FunctionsDirty,
+                St.SccsSimplified, St.SccsReused, St.SccsSolved,
+                St.SccsRefinedOnly, St.SccsSolveReused);
+  }
+}
+
+/// The classic baselines keep their minimal text-only output.
+int runBaseline(Module &M, const std::string &Engine) {
+  Lattice Lat = makeDefaultLattice();
+  BaselineResult R;
+  if (Engine == "unify") {
+    UnificationInference U(Lat);
+    R = U.run(M);
+  } else {
+    IntervalInference T(Lat);
+    R = T.run(M);
+  }
+  for (const auto &[F, BF] : R.Funcs) {
+    std::string Params;
+    for (size_t K = 0; K < BF.Params.size(); ++K) {
+      if (K)
+        Params += ", ";
+      Params += R.Pool.declare(BF.Params[K].Type, "");
+    }
+    std::printf("%s %s(%s);\n",
+                BF.HasRet ? R.Pool.declare(BF.Ret.Type, "").c_str() : "void",
+                M.Funcs[F].Name.c_str(),
+                Params.empty() ? "void" : Params.c_str());
+  }
+  return 0;
+}
+
+/// Session configuration for the CLI options (the session itself is
+/// constructed in place — it owns a mutex and cannot move). \p Incremental
+/// is true only for reanalyze, which actually re-analyzes; one-shot
+/// analyze skips the snapshot bookkeeping.
+SessionOptions sessionOptsFor(const AnalyzeOpts &O, bool Incremental) {
+  SessionOptions SO;
+  SO.Jobs = O.Jobs;
+  SO.UseSummaryCache = !O.CachePath.empty();
+  SO.KeepHistory = Incremental;
+  return SO;
+}
+
+void loadCacheIfAsked(AnalysisSession &S, const AnalyzeOpts &O) {
+  if (!O.CachePath.empty())
+    S.summaryCache().load(O.CachePath); // a missing file is just a cold cache
+}
+
+int saveCacheIfAsked(AnalysisSession &S, const AnalyzeOpts &O) {
+  if (!O.CachePath.empty() && !S.summaryCache().save(O.CachePath))
+    std::fprintf(stderr, "warning: cannot write summary cache %s\n",
+                 O.CachePath.c_str());
+  return 0;
+}
+
+int cmdAnalyze(int argc, char **argv, int Start, const char *Command) {
+  AnalyzeOpts O;
+  if (int Rc = parseAnalyzeArgs(argc, argv, Start, Command, true, O))
+    return Rc;
+  if (O.Paths.size() != 1) {
+    std::fprintf(stderr, "error: 'analyze' expects exactly one input, got %zu\n",
+                 O.Paths.size());
+    return usage();
+  }
+
+  auto M = loadAsm(O.Paths[0]);
+  if (!M)
+    return 1;
+
+  if (O.Strip) {
     EncodedImage Img = encodeModule(*M);
     DecodeReport Rep;
     auto Recovered = decodeImage(Img.Bytes, Rep);
@@ -139,66 +374,217 @@ int main(int argc, char **argv) {
     *M = std::move(*Recovered);
   }
 
-  Lattice Lat = makeDefaultLattice();
+  if (O.Engine != "retypd") {
+    if (O.Format == "json") {
+      std::fprintf(stderr,
+                   "error: --format=json is not supported with "
+                   "--engine=%s (baselines emit text only)\n",
+                   O.Engine.c_str());
+      return 2;
+    }
+    return runBaseline(*M, O.Engine);
+  }
 
-  if (Engine == "unify" || Engine == "interval") {
-    BaselineResult R;
-    if (Engine == "unify") {
-      UnificationInference U(Lat);
-      R = U.run(*M);
-    } else {
-      IntervalInference T(Lat);
-      R = T.run(*M);
+  AnalysisSession S(makeDefaultLattice(), sessionOptsFor(O, false));
+  loadCacheIfAsked(S, O);
+  S.loadModule(std::move(*M));
+  S.analyze();
+  saveCacheIfAsked(S, O);
+  printReport(S, O);
+  return 0;
+}
+
+int cmdReanalyze(int argc, char **argv, int Start) {
+  AnalyzeOpts O;
+  if (int Rc = parseAnalyzeArgs(argc, argv, Start, "reanalyze", false, O))
+    return Rc;
+  if (O.Paths.size() != 2) {
+    std::fprintf(stderr,
+                 "error: 'reanalyze' expects base.asm and edited.asm, "
+                 "got %zu inputs\n",
+                 O.Paths.size());
+    return usage();
+  }
+
+  auto Base = loadAsm(O.Paths[0]);
+  auto Edited = loadAsm(O.Paths[1]);
+  if (!Base || !Edited)
+    return 1;
+
+  AnalysisSession S(makeDefaultLattice(), sessionOptsFor(O, true));
+  loadCacheIfAsked(S, O);
+  S.loadModule(std::move(*Base));
+  S.analyze();
+  S.updateModule(std::move(*Edited));
+  S.analyze();
+  saveCacheIfAsked(S, O);
+  printReport(S, O);
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// cache
+//===----------------------------------------------------------------------===//
+
+int cmdCache(int argc, char **argv, int Start) {
+  const std::vector<std::string> Actions = {"inspect", "prune"};
+  if (Start >= argc) {
+    std::fprintf(stderr, "error: 'cache' expects an action: inspect, prune\n");
+    return usage();
+  }
+  std::string Action = argv[Start];
+  if (Action != "inspect" && Action != "prune") {
+    std::string Hint = suggestFor(Action, Actions);
+    if (!Hint.empty())
+      std::fprintf(stderr,
+                   "error: unknown cache action '%s' — did you mean '%s'?\n",
+                   Action.c_str(), Hint.c_str());
+    else
+      std::fprintf(stderr, "error: unknown cache action '%s'\n",
+                   Action.c_str());
+    return 2;
+  }
+
+  std::string File, Format = "text";
+  size_t MaxBytes = 0;
+  bool HaveMaxBytes = false;
+  const std::vector<std::string> kCacheFlags = {"--max-bytes", "--format="};
+  auto ParseMaxBytes = [&](const char *Text) {
+    errno = 0;
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(Text, &End, 10);
+    if (End == Text || *End != '\0' || Text[0] == '-' || errno == ERANGE) {
+      std::fprintf(stderr,
+                   "error: --max-bytes expects a non-negative number, "
+                   "got '%s'\n",
+                   Text);
+      return false;
     }
-    for (const auto &[F, BF] : R.Funcs) {
-      std::string Params;
-      for (size_t K = 0; K < BF.Params.size(); ++K) {
-        if (K)
-          Params += ", ";
-        Params += R.Pool.declare(BF.Params[K].Type, "");
+    MaxBytes = static_cast<size_t>(V);
+    HaveMaxBytes = true;
+    return true;
+  };
+  for (int I = Start + 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--max-bytes" && I + 1 >= argc) {
+      std::fprintf(stderr, "error: option '--max-bytes' requires a value\n");
+      return 2;
+    }
+    if (Arg == "--max-bytes") {
+      if (!ParseMaxBytes(argv[++I]))
+        return 2;
+    } else if (Arg.rfind("--max-bytes=", 0) == 0) {
+      if (!ParseMaxBytes(Arg.c_str() + 12))
+        return 2;
+    } else if (Arg.rfind("--format=", 0) == 0) {
+      Format = Arg.substr(9);
+      if (Format != "text" && Format != "json") {
+        std::fprintf(stderr, "error: --format expects text or json, got '%s'\n",
+                     Format.c_str());
+        return 2;
       }
-      std::printf("%s %s(%s);\n",
-                  BF.HasRet ? R.Pool.declare(BF.Ret.Type, "").c_str()
-                            : "void",
-                  M->Funcs[F].Name.c_str(),
-                  Params.empty() ? "void" : Params.c_str());
+    } else if (!Arg.empty() && Arg[0] == '-')
+      return unknownOption("cache", Arg, kCacheFlags);
+    else if (File.empty())
+      File = Arg;
+    else {
+      std::fprintf(stderr, "error: 'cache %s' expects one file, got '%s'\n",
+                   Action.c_str(), Arg.c_str());
+      return usage();
     }
+  }
+  if (File.empty()) {
+    std::fprintf(stderr, "error: 'cache %s' expects a cache file\n",
+                 Action.c_str());
+    return usage();
+  }
+
+  if (Action == "inspect") {
+    CacheFileInfo Info = SummaryCache::inspectFile(File);
+    if (Format == "json") {
+      std::printf("{\"file\": \"%s\", \"ok\": %s, \"file_version\": %u, "
+                  "\"schema_version\": %u, \"entries\": %zu, "
+                  "\"payload_bytes\": %zu, \"error\": \"%s\"}\n",
+                  jsonEscape(File).c_str(), Info.Ok ? "true" : "false",
+                  Info.FileVersion, Info.SchemaVersion, Info.EntryCount,
+                  Info.PayloadBytes, jsonEscape(Info.Error).c_str());
+    } else {
+      std::printf("file: %s\n", File.c_str());
+      if (Info.Ok) {
+        std::printf("header: ok (v%u schema %u)\n", Info.FileVersion,
+                    Info.SchemaVersion);
+        std::printf("entries: %zu\npayload bytes: %zu\n", Info.EntryCount,
+                    Info.PayloadBytes);
+      } else {
+        std::printf("header: %s\n", Info.Error.c_str());
+      }
+    }
+    return Info.Ok ? 0 : 1;
+  }
+
+  // prune
+  if (!HaveMaxBytes) {
+    std::fprintf(stderr, "error: 'cache prune' requires --max-bytes N\n");
+    return usage();
+  }
+  SummaryCache Cache;
+  if (!Cache.load(File)) {
+    std::fprintf(stderr,
+                 "error: cannot load %s (missing or stale version header)\n",
+                 File.c_str());
+    return 1;
+  }
+  size_t Before = Cache.size();
+  size_t Dropped = Cache.pruneToBytes(MaxBytes);
+  if (!Cache.save(File)) {
+    std::fprintf(stderr, "error: cannot write %s\n", File.c_str());
+    return 1;
+  }
+  if (Format == "json")
+    std::printf("{\"file\": \"%s\", \"pruned\": %zu, \"before\": %zu, "
+                "\"remaining\": %zu, \"payload_bytes\": %zu}\n",
+                jsonEscape(File).c_str(), Dropped, Before, Cache.size(),
+                Cache.payloadBytes());
+  else
+    std::printf("pruned %zu of %zu entries; %zu remain (%zu payload bytes)\n",
+                Dropped, Before, Cache.size(), Cache.payloadBytes());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+
+  std::string First = argv[1];
+  const std::vector<std::string> Commands = {"analyze", "reanalyze", "cache",
+                                             "help"};
+
+  if (First == "help") {
+    usage(stdout);
     return 0;
   }
-  if (Engine != "retypd")
-    return usage(argv[0]);
+  if (First == "analyze")
+    return cmdAnalyze(argc, argv, 2, "analyze");
+  if (First == "reanalyze")
+    return cmdReanalyze(argc, argv, 2);
+  if (First == "cache")
+    return cmdCache(argc, argv, 2);
 
-  SummaryCache Cache;
-  if (!CachePath.empty())
-    Cache.load(CachePath); // a missing file is just a cold cache
-
-  PipelineOptions PipeOpts;
-  PipeOpts.Jobs = Jobs;
-  if (!CachePath.empty())
-    PipeOpts.Cache = &Cache;
-
-  Pipeline Pipe(Lat, PipeOpts);
-  TypeReport R = Pipe.run(*M);
-
-  if (!CachePath.empty() && !Cache.save(CachePath))
-    std::fprintf(stderr, "warning: cannot write summary cache %s\n",
-                 CachePath.c_str());
-
-  ReportPrintOptions PrintOpts;
-  PrintOpts.Schemes = Schemes;
-  PrintOpts.Sketches = Sketches;
-  std::string Text = renderReport(R, *M, Lat, PrintOpts);
-  std::fwrite(Text.data(), 1, Text.size(), stdout);
-
-  if (Stats) {
-    const PipelineStats &S = R.Stats;
-    std::printf("/* stats: jobs=%u sccs=%zu waves=%zu widest=%zu "
-                "gen=%.3fs simplify=%.3fs solve=%.3fs convert=%.3fs "
-                "cache_hits=%llu cache_misses=%llu */\n",
-                S.JobsUsed, S.SccCount, S.WaveCount, S.WidestWave,
-                S.GenerateSecs, S.SimplifySecs, S.SolveSecs, S.ConvertSecs,
-                static_cast<unsigned long long>(S.CacheHits),
-                static_cast<unsigned long long>(S.CacheMisses));
+  // A near-miss of a command name is more likely a typo than a legacy
+  // no-subcommand invocation; everything else falls through to the legacy
+  // `analyze` spelling (flags and one path, in any order).
+  if (!First.empty() && First[0] != '-') {
+    std::string Hint = suggestFor(First, Commands);
+    bool LooksLikePath = First.find('.') != std::string::npos ||
+                         First.find('/') != std::string::npos;
+    if (!Hint.empty() && !LooksLikePath) {
+      std::fprintf(stderr,
+                   "error: unknown command '%s' — did you mean '%s'?\n",
+                   First.c_str(), Hint.c_str());
+      return 2;
+    }
   }
-  return 0;
+  return cmdAnalyze(argc, argv, 1, "analyze");
 }
