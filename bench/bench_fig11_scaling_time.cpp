@@ -112,6 +112,12 @@ int main(int argc, char **argv) {
     O.TargetInstructions = Sizes.back();
     SynthProgram P = Gen.generate("scale", O);
 
+    // Every reported time is the min of repeated samples — the standard
+    // scheduler-noise estimator — because a single 65k-instruction run
+    // wobbles by ±10% on a loaded box; mixing a min'd number with a
+    // single-sample one would make the ratios incomparable. Cold is the
+    // exception (min of 2, each against a FRESH cache: a cold run is
+    // only cold once).
     TypeReport SeqReport;
     PhaseTimes::reset();
     double Seq = timedRun(P, Lat, 1, nullptr, &SeqReport);
@@ -119,7 +125,22 @@ int main(int argc, char **argv) {
     double Par4 = timedRun(P, Lat, 4, nullptr);
     SummaryCache Cache;
     double Cold = timedRun(P, Lat, 4, &Cache);
-    double Warm = timedRun(P, Lat, 4, &Cache);
+    {
+      SummaryCache FreshCache;
+      Cold = std::min(Cold, timedRun(P, Lat, 4, &FreshCache));
+    }
+    double Warm4 = timedRun(P, Lat, 4, &Cache);
+    // The headline warm number is SINGLE-CORE (jobs 1 vs jobs 1): on
+    // boxes with one hardware thread, a jobs-4 warm run would charge
+    // thread-pool dispatch overhead to the cache. The jobs-4 warm time
+    // is still recorded below.
+    double Warm = timedRun(P, Lat, 1, &Cache);
+    for (int Rep = 0; Rep < 2; ++Rep) {
+      Seq = std::min(Seq, timedRun(P, Lat, 1, nullptr));
+      Par4 = std::min(Par4, timedRun(P, Lat, 4, nullptr));
+      Warm4 = std::min(Warm4, timedRun(P, Lat, 4, &Cache));
+      Warm = std::min(Warm, timedRun(P, Lat, 1, &Cache));
+    }
 
     unsigned Hw = std::max(1u, std::thread::hardware_concurrency());
     double Speedup = Par4 > 0 ? Seq / Par4 : 0;
@@ -134,9 +155,10 @@ int main(int argc, char **argv) {
       std::printf("    %-26s %8.3f s\n", Phase.c_str(), Secs);
     std::printf("  %-28s %8.3f s   (%.2fx, %u hardware threads)\n",
                 "parallel (--jobs 4)", Par4, Speedup, Hw);
-    std::printf("  %-28s %8.3f s\n", "cold summary cache", Cold);
+    std::printf("  %-28s %8.3f s\n", "cold summary cache (jobs 4)", Cold);
+    std::printf("  %-28s %8.3f s\n", "warm summary cache (jobs 4)", Warm4);
     std::printf("  %-28s %8.3f s   (%.2fx vs sequential)\n",
-                "warm summary cache", Warm, CacheSpeedup);
+                "warm summary cache (jobs 1)", Warm, CacheSpeedup);
 
     FILE *J = std::fopen("BENCH_pipeline.json", "w");
     if (J) {
@@ -153,6 +175,7 @@ int main(int argc, char **argv) {
           "  \"par_jobs4_secs\": %.6f,\n"
           "  \"par_jobs4_speedup\": %.3f,\n"
           "  \"cache_cold_secs\": %.6f,\n"
+          "  \"cache_warm_jobs4_secs\": %.6f,\n"
           "  \"cache_warm_secs\": %.6f,\n"
           "  \"cache_warm_speedup\": %.3f,\n"
           "  \"fit_beta\": %.3f,\n"
@@ -160,7 +183,7 @@ int main(int argc, char **argv) {
           "}\n",
           P.M.instructionCount(), SeqReport.Stats.SccCount,
           SeqReport.Stats.WaveCount, SeqReport.Stats.WidestWave, Hw, Seq,
-          Par4, Speedup, Cold, Warm, CacheSpeedup, Beta, R2);
+          Par4, Speedup, Cold, Warm4, Warm, CacheSpeedup, Beta, R2);
       std::fclose(J);
       std::printf("  wrote BENCH_pipeline.json\n");
     }

@@ -1,0 +1,188 @@
+//===- bench_warmpath.cpp - Warm-cache phase breakdown --------------------===//
+//
+// Measures the warm summary-cache path directly instead of inferring it
+// from end-to-end times: one synthetic module analyzed cold (populating a
+// shared cache) and then warm, with the per-phase wall-clock accumulators
+// (support/Stats.h PhaseTimes) split out for each run:
+//
+//   pipeline.generate / simplify / solve / convert   the classic phases
+//   cache.hash                                       structural key hashing
+//   cache.encode / cache.decode                      binary codec work
+//   parser.parse                                     ConstraintParser time
+//
+// plus the EventCounters (constraint parses, scheme encodes/decodes).
+// The binary data plane's claims are checkable right here: warm runs must
+// show parser.parse == 0 and zero ConstraintParseCalls — the old design
+// re-parsed every cached scheme — and cache.hash/decode must be small
+// next to the simplify time they replace. Results go to
+// BENCH_warmpath.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SummaryCache.h"
+#include "frontend/Pipeline.h"
+#include "support/Stats.h"
+#include "synth/Synth.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+
+using namespace retypd;
+
+namespace {
+
+struct RunResult {
+  double WallSecs = 0;
+  std::map<std::string, double> Phases;
+  uint64_t ParseCalls = 0;
+  uint64_t Encodes = 0;
+  uint64_t Decodes = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+};
+
+RunResult timedRun(const SynthProgram &P, const Lattice &Lat,
+                   SummaryCache *Cache) {
+  Module M = P.M; // run on a copy: the pipeline mutates the module
+  PipelineOptions Opts;
+  Opts.Jobs = 1; // single-core phase attribution (no overlap double-count)
+  Opts.Cache = Cache;
+  PhaseTimes::reset();
+  EventCounters::reset();
+  uint64_t Hits0 = Cache ? Cache->hits() : 0;
+  uint64_t Misses0 = Cache ? Cache->misses() : 0;
+  auto T0 = std::chrono::steady_clock::now();
+  Pipeline Pipe(Lat, Opts);
+  TypeReport R = Pipe.run(M);
+  (void)R;
+  RunResult Out;
+  Out.WallSecs = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - T0)
+                     .count();
+  for (const auto &[Phase, Secs] : PhaseTimes::snapshot())
+    Out.Phases[Phase] = Secs;
+  Out.ParseCalls =
+      EventCounters::ConstraintParseCalls.load(std::memory_order_relaxed);
+  Out.Encodes = EventCounters::SchemeEncodes.load(std::memory_order_relaxed);
+  Out.Decodes = EventCounters::SchemeDecodes.load(std::memory_order_relaxed);
+  if (Cache) {
+    Out.CacheHits = Cache->hits() - Hits0;
+    Out.CacheMisses = Cache->misses() - Misses0;
+  }
+  return Out;
+}
+
+double phase(const RunResult &R, const char *Name) {
+  auto It = R.Phases.find(Name);
+  return It == R.Phases.end() ? 0.0 : It->second;
+}
+
+void printRun(const char *Title, const RunResult &R) {
+  std::printf("%s: %.3f s wall\n", Title, R.WallSecs);
+  for (const auto &[Name, Secs] : R.Phases)
+    std::printf("    %-22s %8.4f s\n", Name.c_str(), Secs);
+  std::printf("    %-22s %8llu\n", "constraint parses",
+              static_cast<unsigned long long>(R.ParseCalls));
+  std::printf("    %-22s %8llu / %llu\n", "scheme encodes/decodes",
+              static_cast<unsigned long long>(R.Encodes),
+              static_cast<unsigned long long>(R.Decodes));
+  std::printf("    %-22s %8llu / %llu\n", "cache hits/misses",
+              static_cast<unsigned long long>(R.CacheHits),
+              static_cast<unsigned long long>(R.CacheMisses));
+}
+
+void emitPhases(FILE *J, const RunResult &R, const char *Indent) {
+  std::fprintf(J,
+               "%s\"phase0_secs\": %.6f,\n"
+               "%s\"generate_secs\": %.6f,\n"
+               "%s\"simplify_secs\": %.6f,\n"
+               "%s\"solveprep_secs\": %.6f,\n"
+               "%s\"solve_secs\": %.6f,\n"
+               "%s\"convert_secs\": %.6f,\n"
+               "%s\"hash_secs\": %.6f,\n"
+               "%s\"encode_secs\": %.6f,\n"
+               "%s\"decode_secs\": %.6f,\n"
+               "%s\"parse_secs\": %.6f,\n"
+               "%s\"parse_calls\": %llu,\n"
+               "%s\"scheme_encodes\": %llu,\n"
+               "%s\"scheme_decodes\": %llu,\n"
+               "%s\"cache_hits\": %llu,\n"
+               "%s\"cache_misses\": %llu,\n"
+               "%s\"wall_secs\": %.6f\n",
+               Indent, phase(R, "pipeline.phase0"), Indent,
+               phase(R, "pipeline.generate"), Indent,
+               phase(R, "pipeline.simplify"), Indent,
+               phase(R, "pipeline.solveprep"), Indent,
+               phase(R, "pipeline.solve"), Indent,
+               phase(R, "pipeline.convert"), Indent, phase(R, "cache.hash"),
+               Indent, phase(R, "cache.encode"), Indent,
+               phase(R, "cache.decode"), Indent, phase(R, "parser.parse"),
+               Indent, static_cast<unsigned long long>(R.ParseCalls), Indent,
+               static_cast<unsigned long long>(R.Encodes), Indent,
+               static_cast<unsigned long long>(R.Decodes), Indent,
+               static_cast<unsigned long long>(R.CacheHits), Indent,
+               static_cast<unsigned long long>(R.CacheMisses), Indent,
+               R.WallSecs);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Size = 50000;
+  if (argc > 1 && std::strcmp(argv[1], "--small") == 0)
+    Size = 10000;
+  Lattice Lat = makeDefaultLattice();
+  SynthGenerator Gen;
+  SynthOptions O;
+  O.Seed = 23;
+  O.TargetInstructions = Size;
+  SynthProgram P = Gen.generate("warmpath", O);
+
+  std::printf("warm-path phase breakdown (%zu instructions, 1 thread)\n\n",
+              P.M.instructionCount());
+
+  RunResult NoCache = timedRun(P, Lat, nullptr);
+  printRun("no cache        ", NoCache);
+  SummaryCache Cache;
+  RunResult Cold = timedRun(P, Lat, &Cache);
+  printRun("cold cache      ", Cold);
+  RunResult Warm = timedRun(P, Lat, &Cache);
+  printRun("warm cache      ", Warm);
+
+  double Speedup = Warm.WallSecs > 0 ? NoCache.WallSecs / Warm.WallSecs : 0;
+  std::printf("\nwarm speedup vs no-cache: %.2fx\n", Speedup);
+  bool WarmClean = Warm.ParseCalls == 0 && Warm.CacheMisses == 0 &&
+                   Warm.CacheHits > 0;
+  std::printf("warm path clean (0 parses, 0 misses, hits > 0): %s\n",
+              WarmClean ? "yes" : "NO");
+
+  FILE *J = std::fopen("BENCH_warmpath.json", "w");
+  if (J) {
+    std::fprintf(J,
+                 "{\n"
+                 "  \"benchmark\": \"warmpath_phase_breakdown\",\n"
+                 "  \"instructions\": %zu,\n"
+                 "  \"hardware_threads\": %u,\n"
+                 "  \"jobs\": 1,\n"
+                 "  \"warm_speedup_vs_nocache\": %.3f,\n"
+                 "  \"warm_parse_free\": %s,\n",
+                 P.M.instructionCount(),
+                 std::max(1u, std::thread::hardware_concurrency()), Speedup,
+                 WarmClean ? "true" : "false");
+    std::fprintf(J, "  \"no_cache\": {\n");
+    emitPhases(J, NoCache, "    ");
+    std::fprintf(J, "  },\n  \"cold\": {\n");
+    emitPhases(J, Cold, "    ");
+    std::fprintf(J, "  },\n  \"warm\": {\n");
+    emitPhases(J, Warm, "    ");
+    std::fprintf(J, "  }\n}\n");
+    std::fclose(J);
+    std::printf("wrote BENCH_warmpath.json\n");
+  }
+  return WarmClean ? 0 : 1;
+}

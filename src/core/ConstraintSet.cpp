@@ -98,50 +98,147 @@ std::string ConstraintSet::str(const SymbolTable &Syms,
   return S;
 }
 
-ConstraintSet ConstraintSet::canonicalized(const SymbolTable &Syms,
-                                           const Lattice &Lat,
-                                           std::string *CanonText) const {
-  // Decorate-sort-undecorate: render each item once, not once per sort
-  // comparison — this runs per SCC on the sequential generation path.
-  auto SortByStr = [&](const auto &Items, const char *Prefix,
-                       std::vector<std::string> *AllLines) {
-    using T = typename std::decay_t<decltype(Items)>::value_type;
-    std::vector<std::pair<std::string, const T *>> Keyed;
-    Keyed.reserve(Items.size());
-    for (const T &I : Items) {
-      Keyed.push_back({I.str(Syms, Lat), &I});
-      if (AllLines)
-        AllLines->push_back(Prefix + Keyed.back().first);
-    }
-    std::stable_sort(Keyed.begin(), Keyed.end(),
-                     [](const auto &A, const auto &B) {
-                       return A.first < B.first;
-                     });
-    std::vector<const T *> Sorted;
-    Sorted.reserve(Keyed.size());
-    for (const auto &K : Keyed)
-      Sorted.push_back(K.second);
-    return Sorted;
+namespace {
+
+/// Decorated sort key for one derived type variable: the base resolves to
+/// a name reference once, labels compare by their packed u64. Purely
+/// structural — no symbol ids, no rendered text.
+struct DtvKey {
+  const std::string *Name; ///< base name (lattice name for constants)
+  uint8_t Rank;            ///< 0 invalid, 1 constant, 2 variable
+  std::span<const Label> Word;
+};
+
+DtvKey dtvKey(const DerivedTypeVariable &V, const SymbolTable &Syms,
+              const Lattice &Lat) {
+  static const std::string Empty;
+  TypeVariable B = V.base();
+  if (B.isConstant())
+    return {&Lat.name(B.latticeElem()), 1, V.labels()};
+  if (B.isVar())
+    return {&Syms.name(B.symbol()), 2, V.labels()};
+  return {&Empty, 0, V.labels()};
+}
+
+int cmp(const DtvKey &A, const DtvKey &B) {
+  if (int C = A.Name->compare(*B.Name))
+    return C < 0 ? -1 : 1;
+  if (A.Rank != B.Rank)
+    return A.Rank < B.Rank ? -1 : 1;
+  size_t N = std::min(A.Word.size(), B.Word.size());
+  for (size_t I = 0; I < N; ++I)
+    if (A.Word[I] != B.Word[I])
+      return A.Word[I] < B.Word[I] ? -1 : 1;
+  if (A.Word.size() != B.Word.size())
+    return A.Word.size() < B.Word.size() ? -1 : 1;
+  return 0;
+}
+
+/// Decorate-sort-undecorate over one constraint kind. \p KeysOf lists the
+/// DtvKeys of one item in comparison order. Items already in canonical
+/// order (the overwhelmingly common case on re-canonicalization and
+/// hashing of canonicalized sets) are detected in O(n) and skip the sort.
+template <typename T, typename KeysOfFn>
+std::vector<const T *> sortStructurally(const std::vector<T> &Items,
+                                        KeysOfFn KeysOf) {
+  struct Keyed {
+    const T *Item;
+    // Up to three DTVs per constraint (AddSub); unused slots stay Rank 0
+    // with empty names and words, which compare equal.
+    DtvKey K[3];
+    uint8_t Extra; ///< kind-local tie-break (AddSub's IsSub flag)
   };
-  // str() sorts every line of every kind together; rebuild that exact
-  // text from the renders the per-kind sorts already produced.
-  std::vector<std::string> Lines;
-  std::vector<std::string> *AllLines = CanonText ? &Lines : nullptr;
-  ConstraintSet Canon;
-  for (const SubtypeConstraint *C : SortByStr(Subs, "", AllLines))
-    Canon.addSubtype(C->Lhs, C->Rhs);
-  for (const DerivedTypeVariable *V : SortByStr(Vars, "var ", AllLines))
-    Canon.addVar(*V);
-  for (const AddSubConstraint *C : SortByStr(AddSubs, "", AllLines))
-    Canon.addAddSub(*C);
-  if (CanonText) {
-    std::sort(Lines.begin(), Lines.end());
-    CanonText->clear();
-    for (const std::string &L : Lines) {
-      *CanonText += L;
-      *CanonText += '\n';
-    }
+  std::vector<Keyed> KeyedItems;
+  KeyedItems.reserve(Items.size());
+  for (const T &I : Items) {
+    Keyed K;
+    K.Item = &I;
+    K.Extra = KeysOf(I, K.K);
+    KeyedItems.push_back(std::move(K));
   }
+  auto Less = [](const Keyed &A, const Keyed &B) {
+    if (A.Extra != B.Extra)
+      return A.Extra < B.Extra;
+    for (int I = 0; I < 3; ++I)
+      if (int C = cmp(A.K[I], B.K[I]))
+        return C < 0;
+    return false;
+  };
+  if (!std::is_sorted(KeyedItems.begin(), KeyedItems.end(), Less))
+    std::stable_sort(KeyedItems.begin(), KeyedItems.end(), Less);
+  std::vector<const T *> Sorted;
+  Sorted.reserve(KeyedItems.size());
+  for (const Keyed &K : KeyedItems)
+    Sorted.push_back(K.Item);
+  return Sorted;
+}
+
+} // namespace
+
+ConstraintSet::CanonicalView
+ConstraintSet::canonicalView(const SymbolTable &Syms,
+                             const Lattice &Lat) const {
+  static const std::string Empty;
+  DtvKey None{&Empty, 0, {}};
+  CanonicalView View;
+  View.Subs = sortStructurally(Subs, [&](const SubtypeConstraint &C,
+                                         DtvKey *K) {
+    K[0] = dtvKey(C.Lhs, Syms, Lat);
+    K[1] = dtvKey(C.Rhs, Syms, Lat);
+    K[2] = None;
+    return uint8_t(0);
+  });
+  View.Vars =
+      sortStructurally(Vars, [&](const DerivedTypeVariable &V, DtvKey *K) {
+        K[0] = dtvKey(V, Syms, Lat);
+        K[1] = K[2] = None;
+        return uint8_t(0);
+      });
+  View.AddSubs = sortStructurally(AddSubs, [&](const AddSubConstraint &C,
+                                               DtvKey *K) {
+    K[0] = dtvKey(C.X, Syms, Lat);
+    K[1] = dtvKey(C.Y, Syms, Lat);
+    K[2] = dtvKey(C.Z, Syms, Lat);
+    return uint8_t(C.IsSub ? 1 : 0);
+  });
+  return View;
+}
+
+namespace {
+
+/// Rebuilds \p Items in the order given by \p Sorted (pointers into
+/// Items). No-op when the order is already canonical; otherwise a single
+/// pass of moves.
+template <typename T>
+void applyOrder(std::vector<T> &Items, const std::vector<const T *> &Sorted) {
+  bool InOrder = true;
+  for (size_t I = 0; I < Sorted.size(); ++I)
+    if (Sorted[I] != &Items[I]) {
+      InOrder = false;
+      break;
+    }
+  if (InOrder)
+    return;
+  std::vector<T> Reordered;
+  Reordered.reserve(Items.size());
+  for (const T *P : Sorted)
+    Reordered.push_back(std::move(*const_cast<T *>(P)));
+  Items = std::move(Reordered);
+}
+
+} // namespace
+
+void ConstraintSet::canonicalize(const SymbolTable &Syms, const Lattice &Lat) {
+  CanonicalView View = canonicalView(Syms, Lat);
+  applyOrder(Subs, View.Subs);
+  applyOrder(Vars, View.Vars);
+  applyOrder(AddSubs, View.AddSubs);
+}
+
+ConstraintSet ConstraintSet::canonicalized(const SymbolTable &Syms,
+                                           const Lattice &Lat) const {
+  ConstraintSet Canon = *this;
+  Canon.canonicalize(Syms, Lat);
   return Canon;
 }
 

@@ -54,14 +54,36 @@ public:
   /// Renders one constraint per line (sorted for determinism).
   std::string str(const SymbolTable &Syms, const Lattice &Lat) const;
 
-  /// Returns this set with each constraint kind sorted by its rendered
-  /// text. A canonicalized set is equal to the set a ConstraintParser
-  /// produces from str() — this makes summary-cache round trips and fresh
-  /// simplification results bit-identical, constraint order included.
-  /// When \p CanonText is non-null it receives exactly str()'s rendering,
-  /// reusing the per-constraint renders the sort already paid for.
-  ConstraintSet canonicalized(const SymbolTable &Syms, const Lattice &Lat,
-                              std::string *CanonText = nullptr) const;
+  /// The canonical (per-kind sorted) traversal order of this set, as
+  /// pointers into its storage. The order is *structural*: derived type
+  /// variables compare by base name, base kind, then packed label words —
+  /// never by symbol id (ids differ across symbol tables and between
+  /// fresh and incremental runs) and never by rendered text (rendering is
+  /// exactly the string churn the binary data plane removes). Shared by
+  /// canonicalized() and the structural hashes of core/SchemeCodec.h, so
+  /// a set's canonical order, its 128-bit content key, and its binary
+  /// encoding all agree.
+  struct CanonicalView {
+    std::vector<const SubtypeConstraint *> Subs;
+    std::vector<const DerivedTypeVariable *> Vars;
+    std::vector<const AddSubConstraint *> AddSubs;
+  };
+  CanonicalView canonicalView(const SymbolTable &Syms,
+                              const Lattice &Lat) const;
+
+  /// Reorders this set in place into canonical structural order (see
+  /// canonicalView). A pure permutation: the dedup indexes are
+  /// content-based and stay valid, nothing is re-hashed or copied.
+  /// Canonicalization makes summary-cache round trips and fresh
+  /// simplification results bit-identical, constraint order included: the
+  /// binary codec preserves order verbatim, and a canonicalized set
+  /// re-canonicalizes to itself.
+  void canonicalize(const SymbolTable &Syms, const Lattice &Lat);
+
+  /// Copying variant of canonicalize() for callers that need to keep the
+  /// original order.
+  ConstraintSet canonicalized(const SymbolTable &Syms,
+                              const Lattice &Lat) const;
 
 private:
   std::vector<SubtypeConstraint> Subs;

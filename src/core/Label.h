@@ -95,6 +95,15 @@ public:
 
   uint64_t raw() const { return Raw; }
 
+  /// Rebuilds a label from raw() — for codec round-trips only. Callers
+  /// must validate the kind bits (see core/SchemeCodec.cpp) before trusting
+  /// the result.
+  static Label fromRaw(uint64_t R) {
+    Label L;
+    L.Raw = R;
+    return L;
+  }
+
 private:
   Label(Kind K, uint32_t A, uint32_t B)
       : Raw((static_cast<uint64_t>(K) << 48) |

@@ -1,0 +1,698 @@
+//===- SchemeCodec.cpp - Binary type-scheme codec + structural hash -------===//
+
+#include "core/SchemeCodec.h"
+
+#include "core/ConstraintParser.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+using namespace retypd;
+
+//===----------------------------------------------------------------------===//
+// Payload primitives
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// LEB128 writer.
+void putVarint(std::string &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<char>((V & 0x7f) | 0x80));
+    V >>= 7;
+  }
+  Out.push_back(static_cast<char>(V));
+}
+
+/// Bounds-checked reader over a payload.
+class Reader {
+public:
+  explicit Reader(std::string_view Data) : Data(Data) {}
+
+  bool u8(uint8_t &Out) {
+    if (Pos >= Data.size())
+      return false;
+    Out = static_cast<uint8_t>(Data[Pos++]);
+    return true;
+  }
+
+  bool varint(uint64_t &Out) {
+    Out = 0;
+    for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+      if (Pos >= Data.size())
+        return false;
+      uint8_t B = static_cast<uint8_t>(Data[Pos++]);
+      // The 10th byte only has room for bit 0: any higher payload bit
+      // would be silently shifted away, so it marks corruption.
+      if (Shift == 63 && (B & 0x7e))
+        return false;
+      Out |= static_cast<uint64_t>(B & 0x7f) << Shift;
+      if (!(B & 0x80))
+        return true;
+    }
+    return false; // over-long encoding
+  }
+
+  bool bytes(size_t N, std::string_view &Out) {
+    if (N > Data.size() - Pos)
+      return false;
+    Out = Data.substr(Pos, N);
+    Pos += N;
+    return true;
+  }
+
+  size_t remaining() const { return Data.size() - Pos; }
+  bool atEnd() const { return Pos == Data.size(); }
+
+private:
+  std::string_view Data;
+  size_t Pos = 0;
+};
+
+/// A label raw value is trusted only if repacking its fields reproduces it
+/// exactly — this rejects both out-of-range kinds and stray bits that the
+/// factories can never produce.
+bool validLabelRaw(uint64_t Raw) {
+  uint64_t Kind = Raw >> 48;
+  if (Kind > static_cast<uint64_t>(Label::Kind::Field))
+    return false;
+  Label L = Label::fromRaw(Raw);
+  switch (L.kind()) {
+  case Label::Kind::In:
+    return Label::in(static_cast<uint32_t>(Raw & 0xffffffffu)).raw() == Raw;
+  case Label::Kind::Out:
+    return Label::out(static_cast<uint32_t>(Raw & 0xffffffffu)).raw() == Raw;
+  case Label::Kind::Load:
+    return Label::load().raw() == Raw;
+  case Label::Kind::Store:
+    return Label::store().raw() == Raw;
+  case Label::Kind::Field:
+    return Label::field(static_cast<uint16_t>((Raw >> 32) & 0xffff),
+                        static_cast<int32_t>(Raw & 0xffffffffu))
+               .raw() == Raw;
+  }
+  return false;
+}
+
+/// Payload-local interner: names and DTVs become dense indices in
+/// first-use order.
+class Encoder {
+public:
+  Encoder(const SymbolTable &Syms, const Lattice &Lat)
+      : Syms(Syms), Lat(Lat) {}
+
+  uint64_t nameIdx(const std::string &Name) {
+    auto [It, Inserted] = NameIds.try_emplace(Name, Names.size());
+    if (Inserted)
+      Names.push_back(&Name);
+    return It->second;
+  }
+
+  uint64_t dtvIdx(const DerivedTypeVariable &V) {
+    auto [It, Inserted] = DtvIds.try_emplace(V, Dtvs.size());
+    if (Inserted)
+      Dtvs.push_back(&It->first);
+    return It->second;
+  }
+
+  /// Resolves a DTV base to (rank, name index). Rank 0 (invalid) carries
+  /// no name.
+  std::pair<uint8_t, uint64_t> baseOf(const DerivedTypeVariable &V) {
+    TypeVariable B = V.base();
+    if (B.isConstant())
+      return {1, nameIdx(Lat.name(B.latticeElem()))};
+    if (B.isVar())
+      return {2, nameIdx(Syms.name(B.symbol()))};
+    return {0, 0};
+  }
+
+  const std::vector<const std::string *> &names() const { return Names; }
+  const std::vector<const DerivedTypeVariable *> &dtvs() const {
+    return Dtvs;
+  }
+
+private:
+  const SymbolTable &Syms;
+  const Lattice &Lat;
+  std::vector<const std::string *> Names;
+  std::unordered_map<std::string, uint64_t> NameIds;
+  std::vector<const DerivedTypeVariable *> Dtvs;
+  std::unordered_map<DerivedTypeVariable, uint64_t> DtvIds;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// encodeScheme / decodeScheme
+//===----------------------------------------------------------------------===//
+
+// Payload layout (schema kSchemePayloadVersion, all integers LEB128):
+//   u8     payload version
+//   n      name count;  n × (len, bytes)
+//   d      DTV count;   d × (u8 rank, [nameIdx unless rank 0],
+//                            wordLen, wordLen × labelRaw)
+//   procNameIdx
+//   e      existential count; e × nameIdx
+//   s      subtype count;     s × (lhsDtv, rhsDtv)
+//   v      var count;         v × dtvIdx
+//   a      addsub count;      a × (u8 isSub, xDtv, yDtv, zDtv)
+// Trailing bytes after the last field are corruption, not slack.
+std::string retypd::encodeScheme(const TypeScheme &Scheme,
+                                 const SymbolTable &Syms, const Lattice &Lat) {
+  EventCounters::SchemeEncodes.fetch_add(1, std::memory_order_relaxed);
+  Encoder Enc(Syms, Lat);
+
+  // First pass: assign DTV/name ids in a deterministic traversal order
+  // (DTVs before the names their bases pull in, then proc/existential
+  // names) so identical schemes encode to identical bytes.
+  struct EncodedDtv {
+    uint8_t Rank;
+    uint64_t NameIdx;
+    const DerivedTypeVariable *V;
+  };
+  auto NoteDtv = [&](const DerivedTypeVariable &V) { Enc.dtvIdx(V); };
+  for (const SubtypeConstraint &C : Scheme.Constraints.subtypes()) {
+    NoteDtv(C.Lhs);
+    NoteDtv(C.Rhs);
+  }
+  for (const DerivedTypeVariable &V : Scheme.Constraints.vars())
+    NoteDtv(V);
+  for (const AddSubConstraint &C : Scheme.Constraints.addSubs()) {
+    NoteDtv(C.X);
+    NoteDtv(C.Y);
+    NoteDtv(C.Z);
+  }
+  std::vector<EncodedDtv> Dtvs;
+  Dtvs.reserve(Enc.dtvs().size());
+  for (const DerivedTypeVariable *V : Enc.dtvs()) {
+    auto [Rank, Idx] = Enc.baseOf(*V);
+    Dtvs.push_back({Rank, Idx, V});
+  }
+  uint64_t ProcIdx = Enc.nameIdx(Syms.name(Scheme.ProcVar.symbol()));
+  std::vector<uint64_t> ExistIdx;
+  ExistIdx.reserve(Scheme.Existentials.size());
+  for (TypeVariable V : Scheme.Existentials)
+    ExistIdx.push_back(Enc.nameIdx(Syms.name(V.symbol())));
+
+  // Second pass: serialize.
+  std::string Out;
+  Out.push_back(static_cast<char>(kSchemePayloadVersion));
+  putVarint(Out, Enc.names().size());
+  for (const std::string *N : Enc.names()) {
+    putVarint(Out, N->size());
+    Out.append(*N);
+  }
+  putVarint(Out, Dtvs.size());
+  for (const EncodedDtv &D : Dtvs) {
+    Out.push_back(static_cast<char>(D.Rank));
+    if (D.Rank != 0)
+      putVarint(Out, D.NameIdx);
+    putVarint(Out, D.V->size());
+    for (Label L : D.V->labels())
+      putVarint(Out, L.raw());
+  }
+  putVarint(Out, ProcIdx);
+  putVarint(Out, ExistIdx.size());
+  for (uint64_t I : ExistIdx)
+    putVarint(Out, I);
+  putVarint(Out, Scheme.Constraints.subtypes().size());
+  for (const SubtypeConstraint &C : Scheme.Constraints.subtypes()) {
+    putVarint(Out, Enc.dtvIdx(C.Lhs));
+    putVarint(Out, Enc.dtvIdx(C.Rhs));
+  }
+  putVarint(Out, Scheme.Constraints.vars().size());
+  for (const DerivedTypeVariable &V : Scheme.Constraints.vars())
+    putVarint(Out, Enc.dtvIdx(V));
+  putVarint(Out, Scheme.Constraints.addSubs().size());
+  for (const AddSubConstraint &C : Scheme.Constraints.addSubs()) {
+    Out.push_back(C.IsSub ? 1 : 0);
+    putVarint(Out, Enc.dtvIdx(C.X));
+    putVarint(Out, Enc.dtvIdx(C.Y));
+    putVarint(Out, Enc.dtvIdx(C.Z));
+  }
+  return Out;
+}
+
+std::optional<TypeScheme> retypd::decodeScheme(std::string_view Payload,
+                                               SymbolTable &Syms,
+                                               const Lattice &Lat) {
+  EventCounters::SchemeDecodes.fetch_add(1, std::memory_order_relaxed);
+  Reader R(Payload);
+  uint8_t Version = 0;
+  if (!R.u8(Version) || Version != kSchemePayloadVersion)
+    return std::nullopt;
+
+  // Name table: intern each distinct name exactly once.
+  uint64_t NameCount = 0;
+  if (!R.varint(NameCount) || NameCount > R.remaining())
+    return std::nullopt;
+  std::vector<std::string_view> Names(static_cast<size_t>(NameCount));
+  for (std::string_view &N : Names) {
+    uint64_t Len = 0;
+    if (!R.varint(Len) || !R.bytes(static_cast<size_t>(Len), N))
+      return std::nullopt;
+  }
+
+  // DTV table. Bases resolve through the name table; lattice constants
+  // must name a real element.
+  uint64_t DtvCount = 0;
+  if (!R.varint(DtvCount) || DtvCount > R.remaining())
+    return std::nullopt;
+  std::vector<SymbolId> InternedNames(Names.size(),
+                                      static_cast<SymbolId>(-1));
+  auto internName = [&](uint64_t Idx) -> std::optional<SymbolId> {
+    if (Idx >= Names.size())
+      return std::nullopt;
+    SymbolId &Cached = InternedNames[static_cast<size_t>(Idx)];
+    if (Cached == static_cast<SymbolId>(-1))
+      Cached = Syms.intern(Names[static_cast<size_t>(Idx)]);
+    return Cached;
+  };
+  std::vector<DerivedTypeVariable> Dtvs;
+  Dtvs.reserve(static_cast<size_t>(DtvCount));
+  for (uint64_t I = 0; I < DtvCount; ++I) {
+    uint8_t Rank = 0;
+    if (!R.u8(Rank) || Rank > 2)
+      return std::nullopt;
+    TypeVariable Base;
+    if (Rank != 0) {
+      uint64_t NameIdx = 0;
+      if (!R.varint(NameIdx) || NameIdx >= Names.size())
+        return std::nullopt;
+      if (Rank == 1) {
+        auto Elem = Lat.lookup(Names[static_cast<size_t>(NameIdx)]);
+        if (!Elem)
+          return std::nullopt;
+        Base = TypeVariable::constant(*Elem);
+      } else {
+        auto Sym = internName(NameIdx);
+        if (!Sym)
+          return std::nullopt;
+        Base = TypeVariable::var(*Sym);
+      }
+    }
+    uint64_t WordLen = 0;
+    if (!R.varint(WordLen) || WordLen > R.remaining())
+      return std::nullopt;
+    std::vector<Label> Word;
+    Word.reserve(static_cast<size_t>(WordLen));
+    for (uint64_t J = 0; J < WordLen; ++J) {
+      uint64_t Raw = 0;
+      if (!R.varint(Raw) || !validLabelRaw(Raw))
+        return std::nullopt;
+      Word.push_back(Label::fromRaw(Raw));
+    }
+    Dtvs.emplace_back(Base, std::move(Word));
+  }
+  auto dtvAt = [&](uint64_t Idx) -> const DerivedTypeVariable * {
+    return Idx < Dtvs.size() ? &Dtvs[static_cast<size_t>(Idx)] : nullptr;
+  };
+
+  TypeScheme Scheme;
+  uint64_t ProcIdx = 0;
+  if (!R.varint(ProcIdx))
+    return std::nullopt;
+  auto ProcSym = internName(ProcIdx);
+  if (!ProcSym)
+    return std::nullopt;
+  Scheme.ProcVar = TypeVariable::var(*ProcSym);
+
+  uint64_t ExistCount = 0;
+  if (!R.varint(ExistCount) || ExistCount > R.remaining() + 1)
+    return std::nullopt;
+  for (uint64_t I = 0; I < ExistCount; ++I) {
+    uint64_t Idx = 0;
+    if (!R.varint(Idx))
+      return std::nullopt;
+    auto Sym = internName(Idx);
+    if (!Sym)
+      return std::nullopt;
+    Scheme.Existentials.push_back(TypeVariable::var(*Sym));
+  }
+
+  uint64_t SubCount = 0;
+  if (!R.varint(SubCount) || SubCount > R.remaining() + 1)
+    return std::nullopt;
+  for (uint64_t I = 0; I < SubCount; ++I) {
+    uint64_t L = 0, Rr = 0;
+    if (!R.varint(L) || !R.varint(Rr))
+      return std::nullopt;
+    const DerivedTypeVariable *Lhs = dtvAt(L), *Rhs = dtvAt(Rr);
+    if (!Lhs || !Rhs)
+      return std::nullopt;
+    Scheme.Constraints.addSubtype(*Lhs, *Rhs);
+  }
+  uint64_t VarCount = 0;
+  if (!R.varint(VarCount) || VarCount > R.remaining() + 1)
+    return std::nullopt;
+  for (uint64_t I = 0; I < VarCount; ++I) {
+    uint64_t Idx = 0;
+    if (!R.varint(Idx))
+      return std::nullopt;
+    const DerivedTypeVariable *V = dtvAt(Idx);
+    if (!V)
+      return std::nullopt;
+    Scheme.Constraints.addVar(*V);
+  }
+  uint64_t AddSubCount = 0;
+  if (!R.varint(AddSubCount) || AddSubCount > R.remaining() + 1)
+    return std::nullopt;
+  for (uint64_t I = 0; I < AddSubCount; ++I) {
+    uint8_t IsSub = 0;
+    uint64_t X = 0, Y = 0, Z = 0;
+    if (!R.u8(IsSub) || IsSub > 1 || !R.varint(X) || !R.varint(Y) ||
+        !R.varint(Z))
+      return std::nullopt;
+    const DerivedTypeVariable *Xp = dtvAt(X), *Yp = dtvAt(Y), *Zp = dtvAt(Z);
+    if (!Xp || !Yp || !Zp)
+      return std::nullopt;
+    AddSubConstraint C;
+    C.IsSub = IsSub != 0;
+    C.X = *Xp;
+    C.Y = *Yp;
+    C.Z = *Zp;
+    Scheme.Constraints.addAddSub(C);
+  }
+  if (!R.atEnd())
+    return std::nullopt; // trailing garbage
+  return Scheme;
+}
+
+//===----------------------------------------------------------------------===//
+// Sketch bundles (cached solver solutions)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// First payload byte of a sketch bundle: the payload version with the top
+/// bit set, so scheme payloads (plain version byte) and bundles can never
+/// be confused for one another.
+constexpr uint8_t kSketchBundleTag = 0x80 | kSchemePayloadVersion;
+
+} // namespace
+
+// Bundle layout (all integers LEB128):
+//   u8     tag (0x80 | payload version)
+//   n      name count; n × (len, bytes)   — variable AND lattice names
+//   e      entry count; e × (varNameIdx, sketch)
+//   sketch: nodeCount; nodeCount × (markIdx, lowerIdx, upperIdx, u8 flags,
+//           conflictCount × elemIdx, childCount × (labelRaw, nodeId))
+std::string retypd::encodeSketchBundle(
+    const std::vector<std::pair<TypeVariable, const Sketch *>> &Entries,
+    const SymbolTable &Syms, const Lattice &Lat) {
+  EventCounters::SchemeEncodes.fetch_add(1, std::memory_order_relaxed);
+  std::vector<const std::string *> Names;
+  std::unordered_map<std::string, uint64_t> NameIds;
+  auto nameIdx = [&](const std::string &N) {
+    auto [It, Inserted] = NameIds.try_emplace(N, Names.size());
+    if (Inserted)
+      Names.push_back(&It->first);
+    return It->second;
+  };
+
+  // Pass 1: pool names in deterministic first-use order.
+  std::string Body;
+  putVarint(Body, Entries.size());
+  for (const auto &[Var, Sk] : Entries) {
+    putVarint(Body, nameIdx(Syms.name(Var.symbol())));
+    putVarint(Body, Sk->size());
+    for (uint32_t N = 0; N < Sk->size(); ++N) {
+      const Sketch::Node &Node = Sk->node(N);
+      putVarint(Body, nameIdx(Lat.name(Node.Mark)));
+      putVarint(Body, nameIdx(Lat.name(Node.Lower)));
+      putVarint(Body, nameIdx(Lat.name(Node.Upper)));
+      Body.push_back(static_cast<char>((Node.PointerLike ? 1 : 0) |
+                                       (Node.IntegerLike ? 2 : 0)));
+      putVarint(Body, Node.Conflicts.size());
+      for (LatticeElem E : Node.Conflicts)
+        putVarint(Body, nameIdx(Lat.name(E)));
+      putVarint(Body, Node.Children.size());
+      for (const auto &[L, To] : Node.Children) {
+        putVarint(Body, L.raw());
+        putVarint(Body, To);
+      }
+    }
+  }
+
+  std::string Out;
+  Out.push_back(static_cast<char>(kSketchBundleTag));
+  putVarint(Out, Names.size());
+  for (const std::string *N : Names) {
+    putVarint(Out, N->size());
+    Out.append(*N);
+  }
+  Out += Body;
+  return Out;
+}
+
+std::optional<std::vector<SketchBinding>>
+retypd::decodeSketchBundle(std::string_view Payload, SymbolTable &Syms,
+                           const Lattice &Lat) {
+  EventCounters::SchemeDecodes.fetch_add(1, std::memory_order_relaxed);
+  Reader R(Payload);
+  uint8_t Tag = 0;
+  if (!R.u8(Tag) || Tag != kSketchBundleTag)
+    return std::nullopt;
+  uint64_t NameCount = 0;
+  if (!R.varint(NameCount) || NameCount > R.remaining())
+    return std::nullopt;
+  std::vector<std::string_view> Names(static_cast<size_t>(NameCount));
+  for (std::string_view &N : Names) {
+    uint64_t Len = 0;
+    if (!R.varint(Len) || !R.bytes(static_cast<size_t>(Len), N))
+      return std::nullopt;
+  }
+  // Lattice elements resolve by name; unknown names are corruption
+  // relative to this session's lattice.
+  std::vector<std::optional<LatticeElem>> ElemCache(Names.size());
+  std::vector<char> ElemResolved(Names.size(), 0);
+  auto elemAt = [&](uint64_t Idx) -> std::optional<LatticeElem> {
+    if (Idx >= Names.size())
+      return std::nullopt;
+    if (!ElemResolved[static_cast<size_t>(Idx)]) {
+      ElemCache[static_cast<size_t>(Idx)] =
+          Lat.lookup(Names[static_cast<size_t>(Idx)]);
+      ElemResolved[static_cast<size_t>(Idx)] = 1;
+    }
+    return ElemCache[static_cast<size_t>(Idx)];
+  };
+
+  uint64_t EntryCount = 0;
+  if (!R.varint(EntryCount) || EntryCount > R.remaining() + 1)
+    return std::nullopt;
+  std::vector<SketchBinding> Out;
+  Out.reserve(static_cast<size_t>(EntryCount));
+  for (uint64_t I = 0; I < EntryCount; ++I) {
+    uint64_t VarIdx = 0, NodeCount = 0;
+    if (!R.varint(VarIdx) || VarIdx >= Names.size() || !R.varint(NodeCount) ||
+        NodeCount == 0 || NodeCount > R.remaining() + 1)
+      return std::nullopt;
+    TypeVariable Var = TypeVariable::var(
+        Syms.intern(Names[static_cast<size_t>(VarIdx)]));
+    Sketch Sk;
+    for (uint64_t N = 0; N < NodeCount; ++N) {
+      uint32_t Id = N == 0 ? Sk.root() : Sk.addNode();
+      Sketch::Node &Node = Sk.node(Id);
+      uint64_t MarkIdx = 0, LowerIdx = 0, UpperIdx = 0;
+      uint8_t Flags = 0;
+      if (!R.varint(MarkIdx) || !R.varint(LowerIdx) || !R.varint(UpperIdx) ||
+          !R.u8(Flags) || Flags > 3)
+        return std::nullopt;
+      auto Mark = elemAt(MarkIdx), Lower = elemAt(LowerIdx),
+           Upper = elemAt(UpperIdx);
+      if (!Mark || !Lower || !Upper)
+        return std::nullopt;
+      Node.Mark = *Mark;
+      Node.Lower = *Lower;
+      Node.Upper = *Upper;
+      Node.PointerLike = (Flags & 1) != 0;
+      Node.IntegerLike = (Flags & 2) != 0;
+      uint64_t ConflictCount = 0;
+      if (!R.varint(ConflictCount) || ConflictCount > R.remaining())
+        return std::nullopt;
+      for (uint64_t C = 0; C < ConflictCount; ++C) {
+        uint64_t EIdx = 0;
+        if (!R.varint(EIdx))
+          return std::nullopt;
+        auto E = elemAt(EIdx);
+        if (!E)
+          return std::nullopt;
+        Node.Conflicts.push_back(*E);
+      }
+      uint64_t ChildCount = 0;
+      if (!R.varint(ChildCount) || ChildCount > R.remaining())
+        return std::nullopt;
+      for (uint64_t C = 0; C < ChildCount; ++C) {
+        uint64_t Raw = 0, To = 0;
+        if (!R.varint(Raw) || !validLabelRaw(Raw) || !R.varint(To) ||
+            To >= NodeCount)
+          return std::nullopt;
+        Node.Children[Label::fromRaw(Raw)] = static_cast<uint32_t>(To);
+      }
+    }
+    Out.emplace_back(Var, std::move(Sk));
+  }
+  if (!R.atEnd())
+    return std::nullopt;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Structural hashing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void hashDtv(Fnv128 &H, const DerivedTypeVariable &V, const SymbolTable &Syms,
+             const Lattice &Lat) {
+  TypeVariable B = V.base();
+  if (B.isConstant()) {
+    H.updateByte(1);
+    H.update(Lat.name(B.latticeElem()));
+  } else if (B.isVar()) {
+    H.updateByte(2);
+    H.update(Syms.name(B.symbol()));
+  } else {
+    H.updateByte(0);
+  }
+  H.sep();
+  H.updateU64(V.size());
+  for (Label L : V.labels())
+    H.updateU64(L.raw());
+}
+
+} // namespace
+
+namespace {
+
+/// Streams one canonical view. Both hash entry points funnel here so the
+/// presorted and sorting variants can never diverge.
+void hashView(Fnv128 &H, const ConstraintSet::CanonicalView &View,
+              const SymbolTable &Syms, const Lattice &Lat) {
+  H.updateU64(View.Subs.size());
+  for (const SubtypeConstraint *S : View.Subs) {
+    H.updateByte('S');
+    hashDtv(H, S->Lhs, Syms, Lat);
+    hashDtv(H, S->Rhs, Syms, Lat);
+  }
+  H.updateU64(View.Vars.size());
+  for (const DerivedTypeVariable *V : View.Vars) {
+    H.updateByte('V');
+    hashDtv(H, *V, Syms, Lat);
+  }
+  H.updateU64(View.AddSubs.size());
+  for (const AddSubConstraint *A : View.AddSubs) {
+    H.updateByte(A->IsSub ? 's' : 'a');
+    hashDtv(H, A->X, Syms, Lat);
+    hashDtv(H, A->Y, Syms, Lat);
+    hashDtv(H, A->Z, Syms, Lat);
+  }
+}
+
+/// The stored order as a view — only valid as a *canonical* view when the
+/// caller guarantees the set was canonicalized.
+ConstraintSet::CanonicalView storedOrderView(const ConstraintSet &C) {
+  ConstraintSet::CanonicalView V;
+  V.Subs.reserve(C.subtypes().size());
+  for (const SubtypeConstraint &S : C.subtypes())
+    V.Subs.push_back(&S);
+  V.Vars.reserve(C.vars().size());
+  for (const DerivedTypeVariable &D : C.vars())
+    V.Vars.push_back(&D);
+  V.AddSubs.reserve(C.addSubs().size());
+  for (const AddSubConstraint &A : C.addSubs())
+    V.AddSubs.push_back(&A);
+  return V;
+}
+
+} // namespace
+
+void retypd::hashConstraintSet(Fnv128 &H, const ConstraintSet &C,
+                               const SymbolTable &Syms, const Lattice &Lat) {
+  hashView(H, C.canonicalView(Syms, Lat), Syms, Lat);
+}
+
+Hash128 retypd::constraintSetHash(const ConstraintSet &C,
+                                  const SymbolTable &Syms,
+                                  const Lattice &Lat) {
+  Fnv128 H;
+  H.update("retypd-cset-v1");
+  H.sep();
+  hashConstraintSet(H, C, Syms, Lat);
+  return H.digest();
+}
+
+Hash128 retypd::canonicalSetHash(const ConstraintSet &C,
+                                 const SymbolTable &Syms,
+                                 const Lattice &Lat) {
+  Fnv128 H;
+  H.update("retypd-cset-v1");
+  H.sep();
+  hashView(H, storedOrderView(C), Syms, Lat);
+  return H.digest();
+}
+
+Hash128 retypd::schemeStructuralHash(const TypeScheme &Scheme,
+                                     const SymbolTable &Syms,
+                                     const Lattice &Lat) {
+  Fnv128 H;
+  H.update("retypd-scheme-v1");
+  H.sep();
+  H.update(Syms.name(Scheme.ProcVar.symbol()));
+  H.sep();
+  H.updateU64(Scheme.Existentials.size());
+  for (TypeVariable V : Scheme.Existentials) {
+    H.update(Syms.name(V.symbol()));
+    H.sep();
+  }
+  hashConstraintSet(H, Scheme.Constraints, Syms, Lat);
+  return H.digest();
+}
+
+//===----------------------------------------------------------------------===//
+// Legacy text serialization (reference format; tests only)
+//===----------------------------------------------------------------------===//
+
+std::string retypd::serializeSchemeText(const TypeScheme &Scheme,
+                                        const SymbolTable &Syms,
+                                        const Lattice &Lat) {
+  std::string S = "proc " + Syms.name(Scheme.ProcVar.symbol()) + "\n";
+  S += "existentials";
+  for (TypeVariable V : Scheme.Existentials) {
+    S += ' ';
+    S += Syms.name(V.symbol());
+  }
+  S += '\n';
+  S += Scheme.Constraints.str(Syms, Lat);
+  return S;
+}
+
+std::optional<TypeScheme> retypd::parseSchemeText(const std::string &Text,
+                                                  SymbolTable &Syms,
+                                                  const Lattice &Lat) {
+  std::istringstream In(Text);
+  std::string Line;
+  TypeScheme Scheme;
+  if (!std::getline(In, Line) || Line.rfind("proc ", 0) != 0)
+    return std::nullopt;
+  Scheme.ProcVar = TypeVariable::var(Syms.intern(Line.substr(5)));
+  if (!std::getline(In, Line) || Line.rfind("existentials", 0) != 0)
+    return std::nullopt;
+  {
+    std::istringstream Ex(Line.substr(12));
+    std::string Name;
+    while (Ex >> Name)
+      Scheme.Existentials.push_back(TypeVariable::var(Syms.intern(Name)));
+  }
+  std::string Rest((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  ConstraintParser Parser(Syms, Lat);
+  auto C = Parser.parse(Rest);
+  if (!C)
+    return std::nullopt;
+  Scheme.Constraints = std::move(*C);
+  return Scheme;
+}

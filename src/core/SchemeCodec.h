@@ -1,0 +1,127 @@
+//===- SchemeCodec.h - Binary type-scheme codec + structural hash -*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The binary data plane for type schemes. Three related facilities, all
+/// operating on the *interned structural form* of a scheme rather than its
+/// rendered text:
+///
+///  1. A compact binary codec (payload schema v2 of the summary-cache
+///     format). A payload carries its own dense name table — names appear
+///     once, as raw bytes — and every derived type variable is a (base,
+///     label-word) reference into payload-local id space, with labels as
+///     their packed u64. Payloads are therefore meaningful across symbol
+///     tables and across processes, yet decoding is a single linear pass
+///     that interns each distinct name once: no lexing, no
+///     ConstraintParser, no per-constraint string churn. decodeScheme()
+///     rejects corrupt payloads (truncation, out-of-range indices, bad
+///     label kinds, unknown lattice constants, trailing bytes) by
+///     returning nullopt.
+///
+///  2. 128-bit structural hashes (support/Hash128.h) over the canonical
+///     view of a constraint set / scheme. These hash *names and packed
+///     labels*, never symbol ids, so they are stable across processes —
+///     they key the summary cache and drive the session's scheme-change
+///     early cutoff without materializing canonical text.
+///
+///  3. The legacy line-oriented text serialization (serializeSchemeText /
+///     parseSchemeText). Kept as the human-readable reference format: the
+///     codec property tests prove encode/decode agrees with it
+///     semantically. The warm analysis path never touches it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_CORE_SCHEMECODEC_H
+#define RETYPD_CORE_SCHEMECODEC_H
+
+#include "core/ConstraintSet.h"
+#include "core/Sketch.h"
+#include "support/Hash128.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace retypd {
+
+/// Version tag of the binary payload layout. Stored as the first payload
+/// byte and surfaced as the cache file header's schema version.
+inline constexpr unsigned kSchemePayloadVersion = 2;
+
+/// Encodes \p Scheme into the self-contained binary payload format.
+/// The scheme's constraint order is preserved verbatim (canonicalize
+/// before encoding; decode then reproduces the canonical set exactly,
+/// order included).
+std::string encodeScheme(const TypeScheme &Scheme, const SymbolTable &Syms,
+                         const Lattice &Lat);
+
+/// Decodes a payload produced by encodeScheme, interning names into
+/// \p Syms. Returns nullopt on any corruption; never throws, never reads
+/// out of bounds.
+std::optional<TypeScheme> decodeScheme(std::string_view Payload,
+                                       SymbolTable &Syms, const Lattice &Lat);
+
+/// Streams the structural content of \p C — canonical order, names and
+/// packed labels only — into \p H. Stable across symbol tables and
+/// processes.
+void hashConstraintSet(Fnv128 &H, const ConstraintSet &C,
+                       const SymbolTable &Syms, const Lattice &Lat);
+
+/// One-shot structural hash of a constraint set (any order: hashes the
+/// canonical view, deriving sort keys and checking order).
+Hash128 constraintSetHash(const ConstraintSet &C, const SymbolTable &Syms,
+                          const Lattice &Lat);
+
+/// Structural hash of a set whose stored order is ALREADY canonical
+/// (i.e. canonicalize() just ran or the set round-tripped the codec).
+/// Identical value to constraintSetHash, without re-deriving sort keys —
+/// the hot path hashes each SCC right after canonicalizing it.
+Hash128 canonicalSetHash(const ConstraintSet &C, const SymbolTable &Syms,
+                         const Lattice &Lat);
+
+/// Structural hash of a whole scheme (procedure name, existentials in
+/// order, constraints in canonical order). Replaces textual scheme
+/// comparison in the session's incremental early cutoff.
+Hash128 schemeStructuralHash(const TypeScheme &Scheme, const SymbolTable &Syms,
+                             const Lattice &Lat);
+
+/// One (type variable, sketch) binding of a cached solver solution.
+using SketchBinding = std::pair<TypeVariable, Sketch>;
+
+/// Encodes a solver solution — the raw sketches for a solve's wanted
+/// variables — as a self-contained binary bundle (variable and lattice
+/// names pooled once; sketch nodes as flat (mark, bounds, flags, edges)
+/// records with labels as their packed u64). Like scheme payloads, bundles
+/// are meaningful across symbol tables and processes. The first payload
+/// byte distinguishes bundles from scheme payloads, so a key mixup decodes
+/// to a clean rejection rather than garbage.
+std::string
+encodeSketchBundle(const std::vector<std::pair<TypeVariable, const Sketch *>>
+                       &Entries,
+                   const SymbolTable &Syms, const Lattice &Lat);
+
+/// Decodes a sketch bundle, interning variable names into \p Syms and
+/// resolving lattice marks by name. Returns nullopt on any corruption or
+/// on marks unknown to \p Lat.
+std::optional<std::vector<SketchBinding>>
+decodeSketchBundle(std::string_view Payload, SymbolTable &Syms,
+                   const Lattice &Lat);
+
+/// Legacy text serialization ("proc F\nexistentials ...\n<constraints>").
+std::string serializeSchemeText(const TypeScheme &Scheme,
+                                const SymbolTable &Syms, const Lattice &Lat);
+
+/// Parses the legacy text serialization (uses ConstraintParser). Test and
+/// migration reference only — the warm path decodes binary payloads.
+std::optional<TypeScheme> parseSchemeText(const std::string &Text,
+                                          SymbolTable &Syms,
+                                          const Lattice &Lat);
+
+} // namespace retypd
+
+#endif // RETYPD_CORE_SCHEMECODEC_H

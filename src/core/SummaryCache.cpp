@@ -2,12 +2,12 @@
 
 #include "core/SummaryCache.h"
 
-#include "core/ConstraintParser.h"
+#include "support/Stats.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
-#include <sstream>
+#include <mutex>
 
 #include <unistd.h>
 
@@ -15,159 +15,211 @@ using namespace retypd;
 
 namespace {
 
-/// 128-bit FNV-1a over a growing byte stream: two independent 64-bit
-/// lanes with distinct offset bases. Not cryptographic — the cache only
-/// needs collision resistance against accidental clashes, and 2^64+ long
-/// odds per lane pair are far beyond corpus sizes.
-struct Fnv128 {
-  uint64_t Hi = 0xcbf29ce484222325ull;
-  uint64_t Lo = 0x84222325cbf29ce4ull;
-
-  void update(std::string_view S) {
-    for (unsigned char C : S) {
-      Hi = (Hi ^ C) * 0x100000001b3ull;
-      Lo = (Lo ^ C) * 0x00000100000001b3ull;
-    }
+/// Streams a name set into \p H order-independently: sorted, each name
+/// followed by a separator. Shared by scheme and solve keys so the name
+/// hashing discipline can never diverge between them.
+void hashSortedNames(Fnv128 &H, const std::vector<std::string> &Names) {
+  std::vector<const std::string *> Sorted;
+  Sorted.reserve(Names.size());
+  for (const std::string &N : Names)
+    Sorted.push_back(&N);
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const std::string *A, const std::string *B) { return *A < *B; });
+  for (const std::string *N : Sorted) {
+    H.update(*N);
+    H.sep();
   }
-  void sep() { update(std::string_view("\x1f", 1)); }
-};
+}
 
 } // namespace
 
-std::string SummaryKey::hex() const {
-  char Buf[33];
-  std::snprintf(Buf, sizeof(Buf), "%016llx%016llx",
-                static_cast<unsigned long long>(Hi),
-                static_cast<unsigned long long>(Lo));
-  return Buf;
-}
-
-SummaryKey SummaryCache::keyFor(std::string_view CanonicalText,
+SummaryKey SummaryCache::keyFor(const Hash128 &SetHash,
                                 std::string_view ProcName,
                                 const std::vector<std::string> &InterestingNames,
                                 const SimplifyOptions &Opts) {
   Fnv128 H;
-  H.update("retypd-summary-v1");
+  H.update("retypd-summary-v3");
   H.sep();
-  H.update(CanonicalText);
+  H.updateU64(SetHash.Hi);
+  H.updateU64(SetHash.Lo);
   H.sep();
   H.update(ProcName);
   H.sep();
-  std::vector<std::string> Sorted = InterestingNames;
-  std::sort(Sorted.begin(), Sorted.end());
-  for (const std::string &N : Sorted) {
-    H.update(N);
-    H.sep();
-  }
+  hashSortedNames(H, InterestingNames);
   H.sep();
-  H.update(std::to_string(Opts.MaxTidyIterations) + "," +
-           std::to_string(Opts.BloatSlack));
-  return SummaryKey{H.Hi, H.Lo};
+  H.updateU64(Opts.MaxTidyIterations);
+  H.updateU64(Opts.BloatSlack);
+  return H.digest();
 }
 
 SummaryKey SummaryCache::keyFor(const ConstraintSet &C, TypeVariable ProcVar,
                                 const std::vector<std::string> &InterestingNames,
                                 const SimplifyOptions &Opts,
                                 const SymbolTable &Syms, const Lattice &Lat) {
-  // The sorted rendering is the canonical content.
-  return keyFor(C.str(Syms, Lat), Syms.name(ProcVar.symbol()),
-                InterestingNames, Opts);
+  // The canonical structural hash is the content identity — insertion
+  // order and symbol-id allocation cannot leak into it.
+  ScopedPhaseTimer Timer("cache.hash");
+  return keyFor(constraintSetHash(C, Syms, Lat),
+                Syms.name(ProcVar.symbol()), InterestingNames, Opts);
 }
 
-std::string SummaryCache::serialize(const TypeScheme &Scheme,
-                                    const SymbolTable &Syms,
-                                    const Lattice &Lat) {
-  std::string S = "proc " + Syms.name(Scheme.ProcVar.symbol()) + "\n";
-  S += "existentials";
-  for (TypeVariable V : Scheme.Existentials) {
-    S += ' ';
-    S += Syms.name(V.symbol());
-  }
-  S += '\n';
-  S += Scheme.Constraints.str(Syms, Lat);
-  return S;
+SummaryKey SummaryCache::solveKeyFor(const Hash128 &SetHash,
+                                     const std::vector<std::string>
+                                         &WantedNames) {
+  Fnv128 H;
+  H.update("retypd-solve-v1");
+  H.sep();
+  H.updateU64(SetHash.Hi);
+  H.updateU64(SetHash.Lo);
+  H.sep();
+  hashSortedNames(H, WantedNames);
+  return H.digest();
 }
 
-std::optional<TypeScheme> SummaryCache::deserialize(const std::string &Text,
-                                                    SymbolTable &Syms,
-                                                    const Lattice &Lat) {
-  std::istringstream In(Text);
-  std::string Line;
-  TypeScheme Scheme;
-  if (!std::getline(In, Line) || Line.rfind("proc ", 0) != 0)
-    return std::nullopt;
-  Scheme.ProcVar = TypeVariable::var(Syms.intern(Line.substr(5)));
-  if (!std::getline(In, Line) || Line.rfind("existentials", 0) != 0)
-    return std::nullopt;
+namespace {
+
+/// Shared probe shape for the decoded-value lookups: copy the payload out
+/// under a shared lock, decode outside any lock, self-heal on failure.
+template <typename DecodeFn>
+auto probeAndDecode(const SummaryKey &K, DecodeFn Decode,
+                    std::shared_mutex &M,
+                    std::unordered_map<SummaryKey, std::string,
+                                       SummaryKeyHash> &Entries,
+                    std::atomic<uint64_t> &Hits, std::atomic<uint64_t> &Misses)
+    -> decltype(Decode(std::string_view())) {
+  std::string Payload;
   {
-    std::istringstream Ex(Line.substr(12));
-    std::string Name;
-    while (Ex >> Name)
-      Scheme.Existentials.push_back(TypeVariable::var(Syms.intern(Name)));
+    std::shared_lock<std::shared_mutex> Lock(M);
+    auto It = Entries.find(K);
+    if (It == Entries.end()) {
+      Misses.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    Payload = It->second; // copy out: decode outside the lock
   }
-  std::string Rest((std::istreambuf_iterator<char>(In)),
-                   std::istreambuf_iterator<char>());
-  ConstraintParser Parser(Syms, Lat);
-  auto C = Parser.parse(Rest);
-  if (!C)
-    return std::nullopt;
-  Scheme.Constraints = std::move(*C);
-  return Scheme;
+  {
+    ScopedPhaseTimer Timer("cache.decode");
+    if (auto Decoded = Decode(Payload)) {
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      return Decoded;
+    }
+  }
+  // Self-healing: a corrupt payload is a miss, and dropping it lets the
+  // caller's recomputed insert overwrite it. Only erase if the bytes are
+  // still the ones that failed — a racing insert may have fixed it.
+  {
+    std::unique_lock<std::shared_mutex> Lock(M);
+    auto It = Entries.find(K);
+    if (It != Entries.end() && It->second == Payload)
+      Entries.erase(It);
+  }
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
 }
 
-std::optional<std::string> SummaryCache::lookup(const SummaryKey &K) const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  auto It = Entries.find(K);
-  if (It == Entries.end()) {
-    Misses.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
+} // namespace
+
+std::optional<TypeScheme> SummaryCache::lookup(const SummaryKey &K,
+                                               SymbolTable &Syms,
+                                               const Lattice &Lat) const {
+  Shard &Sh = shard(K);
+  return probeAndDecode(
+      K, [&](std::string_view P) { return decodeScheme(P, Syms, Lat); }, Sh.M,
+      Sh.Entries, Hits, Misses);
+}
+
+std::optional<std::vector<SketchBinding>>
+SummaryCache::lookupSolution(const SummaryKey &K, SymbolTable &Syms,
+                             const Lattice &Lat) const {
+  Shard &Sh = shard(K);
+  return probeAndDecode(
+      K, [&](std::string_view P) { return decodeSketchBundle(P, Syms, Lat); },
+      Sh.M, Sh.Entries, Hits, Misses);
+}
+
+void SummaryCache::insertSolution(
+    const SummaryKey &K,
+    const std::vector<std::pair<TypeVariable, const Sketch *>> &Entries,
+    const SymbolTable &Syms, const Lattice &Lat) {
+  std::string Payload;
+  {
+    ScopedPhaseTimer Timer("cache.encode");
+    Payload = encodeSketchBundle(Entries, Syms, Lat);
   }
-  Hits.fetch_add(1, std::memory_order_relaxed);
+  insertPayload(K, std::move(Payload));
+}
+
+void SummaryCache::insert(const SummaryKey &K, const TypeScheme &Scheme,
+                          const SymbolTable &Syms, const Lattice &Lat) {
+  std::string Payload;
+  {
+    ScopedPhaseTimer Timer("cache.encode");
+    Payload = encodeScheme(Scheme, Syms, Lat);
+  }
+  insertPayload(K, std::move(Payload));
+}
+
+std::optional<std::string> SummaryCache::lookupPayload(const SummaryKey &K) const {
+  Shard &Sh = shard(K);
+  std::shared_lock<std::shared_mutex> Lock(Sh.M);
+  auto It = Sh.Entries.find(K);
+  if (It == Sh.Entries.end())
+    return std::nullopt;
   return It->second;
 }
 
-void SummaryCache::insert(const SummaryKey &K, std::string Serialized) {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  Entries.insert_or_assign(K, std::move(Serialized));
-}
-
-void SummaryCache::noteCorrupt(const SummaryKey &K) {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  Entries.erase(K);
-  Hits.fetch_sub(1, std::memory_order_relaxed);
-  Misses.fetch_add(1, std::memory_order_relaxed);
+void SummaryCache::insertPayload(const SummaryKey &K, std::string Payload) {
+  Shard &Sh = shard(K);
+  std::unique_lock<std::shared_mutex> Lock(Sh.M);
+  // Replacement matters for self-healing: a corrupt entry that failed to
+  // decode gets overwritten by the freshly recomputed scheme. Concurrent
+  // duplicate inserts are benign because entries for one key are always
+  // identical by construction.
+  Sh.Entries.insert_or_assign(K, std::move(Payload));
 }
 
 size_t SummaryCache::size() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return Entries.size();
+  size_t N = 0;
+  for (const Shard &Sh : Shards) {
+    std::shared_lock<std::shared_mutex> Lock(Sh.M);
+    N += Sh.Entries.size();
+  }
+  return N;
 }
 
 void SummaryCache::clear() {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  Entries.clear();
+  for (Shard &Sh : Shards) {
+    std::unique_lock<std::shared_mutex> Lock(Sh.M);
+    Sh.Entries.clear();
+  }
 }
 
 size_t SummaryCache::payloadBytes() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
   size_t Bytes = 0;
-  for (const auto &E : Entries)
-    Bytes += E.second.size();
+  for (const Shard &Sh : Shards) {
+    std::shared_lock<std::shared_mutex> Lock(Sh.M);
+    for (const auto &E : Sh.Entries)
+      Bytes += E.second.size();
+  }
   return Bytes;
 }
 
 size_t SummaryCache::pruneToBytes(size_t MaxBytes) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  // Hold every shard exclusively (fixed order — the same order save() and
+  // the copy paths use) so the victim choice sees one consistent snapshot.
+  std::array<std::unique_lock<std::shared_mutex>, kNumShards> Locks;
+  for (unsigned I = 0; I < kNumShards; ++I)
+    Locks[I] = std::unique_lock<std::shared_mutex>(Shards[I].M);
   size_t Total = 0;
-  for (const auto &E : Entries)
-    Total += E.second.size();
+  std::vector<const std::pair<const SummaryKey, std::string> *> Sorted;
+  for (Shard &Sh : Shards)
+    for (const auto &E : Sh.Entries) {
+      Total += E.second.size();
+      Sorted.push_back(&E);
+    }
   if (Total <= MaxBytes)
     return 0;
   // Deterministic victim order: largest payloads first, key order on ties.
-  std::vector<const std::pair<const SummaryKey, std::string> *> Sorted;
-  Sorted.reserve(Entries.size());
-  for (const auto &E : Entries)
-    Sorted.push_back(&E);
   std::sort(Sorted.begin(), Sorted.end(), [](const auto *A, const auto *B) {
     if (A->second.size() != B->second.size())
       return A->second.size() > B->second.size();
@@ -179,7 +231,7 @@ size_t SummaryCache::pruneToBytes(size_t MaxBytes) {
     if (Total <= MaxBytes)
       break;
     Total -= E->second.size();
-    Entries.erase(E->first);
+    Shards[shardOf(E->first)].Entries.erase(E->first);
     ++Dropped;
   }
   return Dropped;
@@ -200,15 +252,38 @@ bool parseHeader(const std::string &Line, unsigned &FileVersion,
   return true;
 }
 
+bool fileVersionIsNewer(unsigned FileVersion, unsigned SchemaVersion) {
+  return FileVersion > kSummaryCacheFileVersion ||
+         (FileVersion == kSummaryCacheFileVersion &&
+          SchemaVersion > kSummaryCacheSchemaVersion);
+}
+
+std::string versionMismatchError(unsigned FileVersion,
+                                 unsigned SchemaVersion) {
+  std::string Versions = "(v" + std::to_string(FileVersion) + " schema " +
+                         std::to_string(SchemaVersion) + "; this binary: v" +
+                         std::to_string(kSummaryCacheFileVersion) +
+                         " schema " +
+                         std::to_string(kSummaryCacheSchemaVersion) + ")";
+  // Direction matters: an OLDER file is stale and safe to regenerate; a
+  // NEWER file was written by a newer binary, and "regenerate" would
+  // destroy its valid contents.
+  if (fileVersionIsNewer(FileVersion, SchemaVersion))
+    return "cache file is newer than this binary " + Versions +
+           " — upgrade the binary or point it at a different cache file";
+  return "stale cache file " + Versions +
+         " — re-run analyze to regenerate it";
+}
+
 } // namespace
 
 // File format (version kSummaryCacheFileVersion):
-//   retypd-summary-cache v2 schema 1
+//   retypd-summary-cache v3 schema 2
 //   entry <hex key> <byte count>\n
-//   <bytes>\n
+//   <binary payload bytes>\n
 //   ... repeated ...
-// Older headers (including the unversioned-schema "retypd-summary-cache-v1"
-// of early builds) are rejected wholesale: a stale cache is a cold cache.
+// Older headers (v1's unversioned "retypd-summary-cache-v1", v2's textual
+// schemes) are rejected wholesale: a stale cache is a cold cache.
 bool SummaryCache::load(const std::string &Path) {
   std::ifstream In(Path, std::ios::binary);
   if (!In)
@@ -227,7 +302,6 @@ bool SummaryCache::load(const std::string &Path) {
       FileVersion != kSummaryCacheFileVersion ||
       SchemaVersion != kSummaryCacheSchemaVersion)
     return false;
-  std::lock_guard<std::mutex> Lock(Mutex);
   while (std::getline(In, Line)) {
     if (Line.empty())
       continue;
@@ -244,7 +318,10 @@ bool SummaryCache::load(const std::string &Path) {
     if (static_cast<unsigned long long>(In.gcount()) != Bytes)
       return true;
     In.get(); // trailing newline
-    Entries.try_emplace(SummaryKey{Hi, Lo}, std::move(Payload));
+    SummaryKey K{Hi, Lo};
+    Shard &Sh = shard(K);
+    std::unique_lock<std::shared_mutex> Lock(Sh.M);
+    Sh.Entries.try_emplace(K, std::move(Payload));
   }
   return true;
 }
@@ -265,12 +342,15 @@ bool SummaryCache::save(const std::string &Path) const {
       return false;
     OutF << "retypd-summary-cache v" << kSummaryCacheFileVersion << " schema "
          << kSummaryCacheSchemaVersion << '\n';
-    std::lock_guard<std::mutex> Lock(Mutex);
-    // Deterministic file contents: sort by key.
+    // One consistent snapshot across shards (shared locks, fixed order).
+    std::array<std::shared_lock<std::shared_mutex>, kNumShards> Locks;
+    for (unsigned I = 0; I < kNumShards; ++I)
+      Locks[I] = std::shared_lock<std::shared_mutex>(Shards[I].M);
+    // Deterministic file contents: sort by key across all shards.
     std::vector<const std::pair<const SummaryKey, std::string> *> Sorted;
-    Sorted.reserve(Entries.size());
-    for (const auto &E : Entries)
-      Sorted.push_back(&E);
+    for (const Shard &Sh : Shards)
+      for (const auto &E : Sh.Entries)
+        Sorted.push_back(&E);
     std::sort(Sorted.begin(), Sorted.end(), [](const auto *A, const auto *B) {
       return std::make_pair(A->first.Hi, A->first.Lo) <
              std::make_pair(B->first.Hi, B->first.Lo);
@@ -294,6 +374,7 @@ bool SummaryCache::save(const std::string &Path) const {
 
 CacheFileInfo SummaryCache::inspectFile(const std::string &Path) {
   CacheFileInfo Info;
+  Info.ShardEntryCounts.assign(kNumShards, 0);
   std::ifstream In(Path, std::ios::binary);
   if (!In) {
     Info.Error = "cannot open file";
@@ -305,14 +386,26 @@ CacheFileInfo SummaryCache::inspectFile(const std::string &Path) {
     return Info;
   }
   if (!parseHeader(Line, Info.FileVersion, Info.SchemaVersion)) {
-    Info.Error = "unrecognized header: " + Line;
+    // The pre-versioning v1 layout ("retypd-summary-cache-v1") is still a
+    // cache file — tell the user how to move on, not just that the header
+    // is odd.
+    if (Line.rfind("retypd-summary-cache", 0) == 0) {
+      Info.Stale = true;
+      Info.FileVersion = 1;
+      Info.SchemaVersion = 1;
+      Info.Error = versionMismatchError(1, 1);
+    } else {
+      Info.Error = "unrecognized header: " + Line;
+    }
     return Info;
   }
   if (Info.FileVersion != kSummaryCacheFileVersion ||
       Info.SchemaVersion != kSummaryCacheSchemaVersion) {
-    Info.Error = "stale version (current: v" +
-                 std::to_string(kSummaryCacheFileVersion) + " schema " +
-                 std::to_string(kSummaryCacheSchemaVersion) + ")";
+    if (fileVersionIsNewer(Info.FileVersion, Info.SchemaVersion))
+      Info.Newer = true;
+    else
+      Info.Stale = true;
+    Info.Error = versionMismatchError(Info.FileVersion, Info.SchemaVersion);
     return Info;
   }
   // Bound payload skips by the real file size: seekg past EOF does not
@@ -342,6 +435,7 @@ CacheFileInfo SummaryCache::inspectFile(const std::string &Path) {
       break; // truncated payload: load() rejects it too
     In.seekg(static_cast<std::streamoff>(Bytes + 1), std::ios::cur);
     ++Info.EntryCount;
+    ++Info.ShardEntryCounts[shardOf(SummaryKey{Hi, Lo})];
     Info.PayloadBytes += Bytes;
   }
   Info.Ok = true;

@@ -9,26 +9,32 @@
 /// (graph construction + saturation + trimming) dominates pipeline cost
 /// and is a pure function of
 ///
-///   (canonical constraint text, procedure name, interesting-variable
+///   (constraint-set structure, procedure name, interesting-variable
 ///    names, simplification options),
 ///
-/// so its result can be keyed by a 128-bit hash of that tuple. Repeated
-/// runs over the same binary, identical SCCs across binaries of one
-/// cluster (Figure 10's shared statically-linked utility code), and shared
+/// so its result can be keyed by a 128-bit structural hash of that tuple
+/// (core/SchemeCodec.h): the hash streams names and packed labels in
+/// canonical order, never rendering the set to text. Repeated runs over
+/// the same binary, identical SCCs across binaries of one cluster
+/// (Figure 10's shared statically-linked utility code), and shared
 /// library SCCs all collapse into cache hits that skip saturation
 /// entirely.
 ///
-/// Entries store the scheme *serialized as text*, not as interned ids:
-/// symbol ids are meaningless across symbol tables and across processes,
-/// while the text round-trips losslessly through ConstraintParser (schemes
-/// are canonicalized before storage, and a parse of canonical text
-/// reproduces exactly the canonical set, order included). That makes the
-/// cache safe to persist with save() and reload with load() — the
+/// Entries store the scheme in the *binary payload format* of
+/// core/SchemeCodec.h, not as interned ids and not as text: symbol ids are
+/// meaningless across symbol tables and across processes, while a payload
+/// carries its own name table and decodes with a single linear pass that
+/// interns each name once — no ConstraintParser on the warm path.
+/// lookup() hands back a decoded TypeScheme value. Payloads round-trip
+/// losslessly (schemes are canonicalized before storage and decode
+/// reproduces the canonical set exactly, order included), so the cache is
+/// safe to persist with save() and reload with load() — the
 /// `--summary-cache PATH` flag of retypd-cli.
 ///
-/// Thread safe: worker threads of the parallel pipeline probe and insert
-/// concurrently under one mutex (entries are small strings; contention is
-/// negligible next to saturation).
+/// Thread safe and SHARDED: entries are distributed over 16 shards by key
+/// hash, each guarded by its own shared_mutex. Worker threads of the
+/// parallel pipeline probe under shared (read) locks — the warm path takes
+/// no exclusive lock at all — and inserts touch only the owning shard.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,12 +42,15 @@
 #define RETYPD_CORE_SUMMARYCACHE_H
 
 #include "core/ConstraintSet.h"
+#include "core/SchemeCodec.h"
 #include "core/Simplifier.h"
+#include "support/Hash128.h"
 
+#include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -50,82 +59,103 @@ namespace retypd {
 
 /// Cache-file format versioning. `kSummaryCacheFileVersion` covers the
 /// container layout (header + entry framing); `kSummaryCacheSchemaVersion`
-/// covers the serialized-scheme payload format. Bump either and every
-/// older cache file is invalidated *cleanly at load time* — one header
-/// check instead of per-entry parse failures silently degrading hit rates.
-inline constexpr unsigned kSummaryCacheFileVersion = 2;
-inline constexpr unsigned kSummaryCacheSchemaVersion = 1;
+/// covers the serialized-scheme payload format and tracks
+/// kSchemePayloadVersion. Bump either and every older cache file is
+/// invalidated *cleanly at load time* — one header check instead of
+/// per-entry decode failures silently degrading hit rates. Version
+/// history: v1 text entries (unversioned header), v2 text entries
+/// (versioned header), v3 binary payloads + structural-hash keys.
+inline constexpr unsigned kSummaryCacheFileVersion = 3;
+inline constexpr unsigned kSummaryCacheSchemaVersion = kSchemePayloadVersion;
 
 /// What SummaryCache::inspectFile learned about a cache file on disk.
 struct CacheFileInfo {
   bool Ok = false;          ///< header valid and version/schema current
   std::string Error;        ///< why not, when !Ok
+  bool Stale = false;       ///< header parsed; file format OLDER than binary
+                            ///< (safe to regenerate)
+  bool Newer = false;       ///< header parsed; file written by a NEWER
+                            ///< binary (do NOT regenerate)
   unsigned FileVersion = 0; ///< parsed container version (0 = unreadable)
   unsigned SchemaVersion = 0;
   size_t EntryCount = 0;    ///< entries seen (header-compatible files only)
   size_t PayloadBytes = 0;  ///< serialized scheme bytes across entries
+  /// Entries per in-memory shard (keys map to the same shard in every
+  /// process — the shard index derives from the key itself).
+  std::vector<size_t> ShardEntryCounts;
 };
 
-/// 128-bit content hash identifying one simplification problem.
-struct SummaryKey {
-  uint64_t Hi = 0, Lo = 0;
-
-  friend bool operator==(const SummaryKey &A, const SummaryKey &B) {
-    return A.Hi == B.Hi && A.Lo == B.Lo;
-  }
-
-  std::string hex() const;
-};
-
-struct SummaryKeyHash {
-  size_t operator()(const SummaryKey &K) const noexcept {
-    return static_cast<size_t>(K.Hi ^ (K.Lo * 0x9e3779b97f4a7c15ull));
-  }
-};
+/// 128-bit content hash identifying one cached problem (a simplification
+/// or a solve). Exactly a Hash128 value — aliased rather than wrapped so
+/// key plumbing and structural hashing share one type.
+using SummaryKey = Hash128;
+using SummaryKeyHash = Hash128Hasher;
 
 /// Content-addressed, optionally persistent scheme cache.
 class SummaryCache {
 public:
+  /// Number of independently locked shards.
+  static constexpr unsigned kNumShards = 16;
+
+  /// Which shard a key lives in (stable across processes: derived from the
+  /// key's content hash only).
+  static unsigned shardOf(const SummaryKey &K) {
+    return static_cast<unsigned>(K.Lo & (kNumShards - 1));
+  }
+
   /// Computes the content key for simplifying \p C into a scheme for
-  /// \p ProcVar with \p Interesting preserved. Hashing renders the set
-  /// canonically, so two structurally identical problems key identically
-  /// regardless of symbol ids or constraint insertion order.
+  /// \p ProcVar with \p Interesting preserved. Hashing walks the set's
+  /// canonical structural view, so two structurally identical problems key
+  /// identically regardless of symbol ids or constraint insertion order —
+  /// and no canonical text is ever materialized.
   static SummaryKey keyFor(const ConstraintSet &C, TypeVariable ProcVar,
                            const std::vector<std::string> &InterestingNames,
                            const SimplifyOptions &Opts,
                            const SymbolTable &Syms, const Lattice &Lat);
 
-  /// Same, over a pre-rendered canonical constraint text (C.str). The
-  /// pipeline renders each SCC's combined set once and keys every member
-  /// against it — rendering is the expensive part of key computation.
-  static SummaryKey keyFor(std::string_view CanonicalText,
-                           std::string_view ProcName,
+  /// Same, over a precomputed structural hash of the (already canonical)
+  /// constraint set. The pipeline hashes each SCC's combined set once and
+  /// keys every member against it.
+  static SummaryKey keyFor(const Hash128 &SetHash, std::string_view ProcName,
                            const std::vector<std::string> &InterestingNames,
                            const SimplifyOptions &Opts);
 
-  /// Serializes a (canonicalized) scheme to the textual entry format.
-  static std::string serialize(const TypeScheme &Scheme,
-                               const SymbolTable &Syms, const Lattice &Lat);
+  /// Computes the content key for SOLVING an (already canonical) constraint
+  /// set for the given wanted-variable names (Algorithm F.2's per-SCC raw
+  /// solution — a pure function of exactly these inputs). Domain-separated
+  /// from scheme keys, so the two entry kinds can share one cache file.
+  static SummaryKey solveKeyFor(const Hash128 &SetHash,
+                                const std::vector<std::string> &WantedNames);
 
-  /// Parses an entry back into a scheme against \p Syms. Returns nullopt
-  /// on malformed input.
-  static std::optional<TypeScheme> deserialize(const std::string &Text,
-                                               SymbolTable &Syms,
-                                               const Lattice &Lat);
+  /// Returns the decoded scheme for \p K, if cached. Decoding interns the
+  /// payload's names into \p Syms; a payload that fails to decode is NOT
+  /// reported here — callers never see it — the entry is dropped and the
+  /// probe counted as a miss (self-healing, hit counters stay honest).
+  std::optional<TypeScheme> lookup(const SummaryKey &K, SymbolTable &Syms,
+                                   const Lattice &Lat) const;
 
-  /// Returns the serialized scheme for \p K, if cached.
-  std::optional<std::string> lookup(const SummaryKey &K) const;
+  /// Encodes and inserts (or replaces) the scheme for \p K.
+  void insert(const SummaryKey &K, const TypeScheme &Scheme,
+              const SymbolTable &Syms, const Lattice &Lat);
 
-  /// Inserts or replaces. Replacement matters for self-healing: a corrupt
-  /// entry that failed to deserialize gets overwritten by the freshly
-  /// recomputed scheme. Concurrent duplicate inserts are benign because
-  /// entries for one key are always identical by construction.
-  void insert(const SummaryKey &K, std::string Serialized);
+  /// Returns the decoded sketch bindings for a solve key, if cached. Same
+  /// self-healing/miss-accounting contract as lookup().
+  std::optional<std::vector<SketchBinding>>
+  lookupSolution(const SummaryKey &K, SymbolTable &Syms,
+                 const Lattice &Lat) const;
 
-  /// Records that the entry for \p K failed to deserialize: drops it and
-  /// reclassifies the lookup that returned it as a miss, so hit counters
-  /// never overstate cache effectiveness.
-  void noteCorrupt(const SummaryKey &K);
+  /// Encodes and inserts (or replaces) a solver solution for \p K.
+  void insertSolution(
+      const SummaryKey &K,
+      const std::vector<std::pair<TypeVariable, const Sketch *>> &Entries,
+      const SymbolTable &Syms, const Lattice &Lat);
+
+  /// Raw-payload probe, no decoding. Test/inspection seam.
+  std::optional<std::string> lookupPayload(const SummaryKey &K) const;
+
+  /// Inserts a raw payload without validation. Test seam for corruption
+  /// coverage; insert() is the production path.
+  void insertPayload(const SummaryKey &K, std::string Payload);
 
   size_t size() const;
   uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
@@ -152,12 +182,19 @@ public:
   bool save(const std::string &Path) const;
 
   /// Reads a cache file's header (and, when current, tallies its entries)
-  /// without touching any in-memory cache.
+  /// without touching any in-memory cache. Stale-but-recognized versions
+  /// set Stale and an Error telling the user to re-run analyze.
   static CacheFileInfo inspectFile(const std::string &Path);
 
 private:
-  mutable std::mutex Mutex;
-  std::unordered_map<SummaryKey, std::string, SummaryKeyHash> Entries;
+  struct Shard {
+    mutable std::shared_mutex M;
+    std::unordered_map<SummaryKey, std::string, SummaryKeyHash> Entries;
+  };
+
+  Shard &shard(const SummaryKey &K) const { return Shards[shardOf(K)]; }
+
+  mutable std::array<Shard, kNumShards> Shards;
   mutable std::atomic<uint64_t> Hits{0}, Misses{0};
 };
 

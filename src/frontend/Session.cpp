@@ -5,9 +5,11 @@
 // sequential in SCC order, simplification/solving fanned out per wave —
 // but consults the previous run's per-SCC artifacts first:
 //
-//   phase 1: an SCC whose members' rendered bodies and whose callees'
-//     scheme texts are unchanged replays its schemes; a recomputed SCC
-//     whose scheme text comes out identical does not dirty its callers.
+//   phase 1: an SCC whose members' body hashes and whose callees' scheme
+//     hashes are unchanged replays its schemes; a recomputed SCC whose
+//     structural scheme hash comes out identical does not dirty its
+//     callers. (Identity is 128-bit content hashing — support/Hash128.h —
+//     not text comparison.)
 //   phase 2: an SCC re-solves only if its constraints were regenerated;
 //     it re-refines (replaying the raw solution) if only the incoming
 //     callsite sketches changed; otherwise its final sketches replay.
@@ -48,8 +50,10 @@ double secondsSince(Clock::time_point T0) {
   return std::chrono::duration<double>(Clock::now() - T0).count();
 }
 
-/// Marker snapshot text for externals without a known-function scheme.
-const char *const kNoSchemeText = "<extern-no-scheme>";
+/// Marker snapshot hash for externals without a known-function scheme.
+/// Distinguishable from every real scheme hash (FNV-1a of a non-empty
+/// stream never lands on a tiny constant).
+constexpr Hash128 kNoSchemeHash{0x6e6f2d736368656dull, 0x1ull};
 
 /// Renders the identity-relevant content of a function: everything that
 /// feeds constraint generation (interface recovery included — it is a pure
@@ -129,9 +133,11 @@ std::string TypeReport::prototypeOf(uint32_t FuncId, const Module &M) const {
 struct AnalysisSession::SccArtifact {
   std::vector<std::string> MemberNames; ///< non-external, condensation order
   ConstraintSet Combined;               ///< merged member constraints
+  Hash128 SetHash;                      ///< structural hash of Combined
+                                        ///< ({0,0} = not computed: no cache)
   size_t ConstraintCount = 0;           ///< Combined.size() at generation
   std::vector<TypeScheme> MemberSchemes;
-  std::vector<std::string> MemberSchemeTexts;
+  std::vector<Hash128> MemberSchemeHashes;
   bool HasSolution = false; ///< raw/final sketches below are valid
   std::vector<Sketch> RawSketches;   ///< pre-refinement, per member
   std::vector<Sketch> FinalSketches; ///< post-refinement, per member
@@ -140,10 +146,13 @@ struct AnalysisSession::SccArtifact {
   std::vector<std::pair<std::string, Sketch>> CallsiteRecords;
 };
 
-/// Per-function facts from the previous run, keyed by name.
+/// Per-function facts from the previous run, keyed by name. Both identity
+/// fields are 128-bit content hashes — comparing them replaces the textual
+/// equality checks of the string data plane (and shrinks snapshots from
+/// whole rendered bodies/schemes to 16 bytes each).
 struct AnalysisSession::FuncSnapshot {
-  std::string BodyText;
-  std::string SchemeText;
+  Hash128 BodyHash;
+  Hash128 SchemeHash;
   size_t IncomingRecords = 0; ///< callsite sketches received in phase 2
 };
 
@@ -352,7 +361,7 @@ AnalysisSession::sketchOf(const std::string &Name, unsigned MaxDepth) const {
 
 TypeScheme
 AnalysisSession::summarize(const ConstraintSet &Combined,
-                           const std::string &CanonText, TypeVariable ProcVar,
+                           const Hash128 &SetHash, TypeVariable ProcVar,
                            const std::unordered_set<TypeVariable> &Keep,
                            Simplifier &Simp, SummaryCache *Cache) {
   SymbolTable &S = *Syms;
@@ -363,24 +372,22 @@ AnalysisSession::summarize(const ConstraintSet &Combined,
     for (TypeVariable V : Keep)
       if (V.isVar())
         Names.push_back(S.name(V.symbol()));
-    Key = SummaryCache::keyFor(CanonText, S.name(ProcVar.symbol()), Names,
+    Key = SummaryCache::keyFor(SetHash, S.name(ProcVar.symbol()), Names,
                                Opts.Simplify);
-    if (auto Hit = Cache->lookup(Key)) {
-      if (auto Scheme = SummaryCache::deserialize(*Hit, S, Lat))
-        return std::move(*Scheme);
-      // A corrupt entry is a miss, and the recomputed scheme below
-      // overwrites it.
-      Cache->noteCorrupt(Key);
-    }
+    // A hit hands back the decoded scheme — the warm path never parses
+    // text. Corrupt entries self-heal inside lookup() (dropped + counted
+    // as a miss) so the recomputed insert below overwrites them.
+    if (auto Hit = Cache->lookup(Key, S, Lat))
+      return std::move(*Hit);
   }
 
   TypeScheme Scheme = Simp.simplify(Combined, ProcVar, Keep);
   // Canonical constraint order: identical whether the scheme was computed
-  // here or replayed from the cache (the cache stores canonical text).
-  Scheme.Constraints = Scheme.Constraints.canonicalized(S, Lat);
+  // here or replayed from the cache (the codec preserves order verbatim).
+  Scheme.Constraints.canonicalize(S, Lat);
 
   if (Cache)
-    Cache->insert(Key, SummaryCache::serialize(Scheme, S, Lat));
+    Cache->insert(Key, Scheme, S, Lat);
   return Scheme;
 }
 
@@ -446,7 +453,7 @@ struct P1Item {
   std::vector<uint32_t> Members;         ///< non-external, module order
   std::vector<std::string> MemberNames;  ///< parallel to Members
   ConstraintSet Combined;
-  std::string CanonText;                 ///< cache-key text (cache runs only)
+  Hash128 SetHash;                       ///< structural hash (cache runs only)
   std::unordered_set<TypeVariable> Interesting;
   std::vector<TypeScheme> Schemes;       ///< filled by the worker
 };
@@ -461,6 +468,9 @@ struct P2Item {
   std::vector<TypeVariable> Wanted;
   std::vector<std::pair<uint32_t, TypeVariable>> CallsiteVars;
   SketchSolution Sol;
+  SummaryKey SolveKey;   ///< content key of the raw solution (cache runs)
+  bool ProbeCache = false;   ///< SolveKey is valid; probe before solving
+  bool SolFromCache = false; ///< Sol replayed from the summary cache
 };
 
 } // namespace
@@ -485,9 +495,12 @@ const TypeReport &AnalysisSession::analyze() {
   ThreadPool Pool(Jobs > 1 ? Jobs - 1 : 0);
 
   // ---- Phase 0: IR-level interface recovery + library summaries ----
-  recoverInterfaces(M);
   std::unordered_map<uint32_t, TypeScheme> Schemes;
-  registerKnownFunctions(M, S, Lat, Schemes);
+  {
+    ScopedPhaseTimer Timer("pipeline.phase0");
+    recoverInterfaces(M);
+    registerKnownFunctions(M, S, Lat, Schemes);
+  }
 
   CallGraph CG(M);
   ConstraintGenerator Gen(S, Lat, M);
@@ -522,38 +535,37 @@ const TypeReport &AnalysisSession::analyze() {
   }
   AllDirty = AllDirty || DupNames;
 
-  std::vector<std::string> BodyTexts(M.Funcs.size());
+  std::vector<Hash128> BodyHashes(M.Funcs.size());
   std::vector<char> Edited(M.Funcs.size(), 0);
   for (uint32_t F = 0; F < M.Funcs.size(); ++F) {
     if (KeepHist)
-      BodyTexts[F] = renderBodyText(M, M.Funcs[F]);
+      BodyHashes[F] = hashBytes(renderBodyText(M, M.Funcs[F]));
     auto SnapIt = Snapshots.find(M.Funcs[F].Name);
     Edited[F] = AllDirty || DirtyNames.count(M.Funcs[F].Name) != 0 ||
                 SnapIt == Snapshots.end() ||
-                SnapIt->second.BodyText != BodyTexts[F];
+                SnapIt->second.BodyHash != BodyHashes[F];
     if (Edited[F])
       ++Report.Stats.FunctionsDirty;
   }
 
   // Scheme-change tracking by name, filled bottom-up; externals get their
-  // (fixed) known-function scheme text up front, which also catches
+  // (fixed) known-function scheme hash up front, which also catches
   // internal<->external flips.
   std::unordered_map<std::string, char> SchemeChanged;
-  std::unordered_map<std::string, std::string> NewSchemeTexts;
+  std::unordered_map<std::string, Hash128> NewSchemeHashes;
   if (KeepHist)
     for (uint32_t F = 0; F < M.Funcs.size(); ++F) {
       if (!M.Funcs[F].IsExternal)
         continue;
       auto KnownIt = Schemes.find(F);
-      std::string Text =
-          KnownIt != Schemes.end()
-              ? SummaryCache::serialize(KnownIt->second, S, Lat)
-              : std::string(kNoSchemeText);
+      Hash128 H = KnownIt != Schemes.end()
+                      ? schemeStructuralHash(KnownIt->second, S, Lat)
+                      : kNoSchemeHash;
       auto SnapIt = Snapshots.find(M.Funcs[F].Name);
       SchemeChanged[M.Funcs[F].Name] =
           AllDirty || SnapIt == Snapshots.end() ||
-          SnapIt->second.SchemeText != Text;
-      NewSchemeTexts[M.Funcs[F].Name] = std::move(Text);
+          SnapIt->second.SchemeHash != H;
+      NewSchemeHashes[M.Funcs[F].Name] = H;
     }
 
   std::unordered_map<std::string, SccArtifact> NewArtifacts;
@@ -627,7 +639,7 @@ const TypeReport &AnalysisSession::analyze() {
                 M.Funcs[F].NumStackParams +
                 static_cast<unsigned>(M.Funcs[F].RegParams.size());
             SchemeChanged[MemberNames[I]] = 0;
-            NewSchemeTexts[MemberNames[I]] = Reused->MemberSchemeTexts[I];
+            NewSchemeHashes[MemberNames[I]] = Reused->MemberSchemeHashes[I];
           }
           Report.ConstraintsGenerated += Reused->ConstraintCount;
           ArtOfScc[Scc] = Reused;
@@ -654,12 +666,16 @@ const TypeReport &AnalysisSession::analyze() {
         // Canonicalize the combined set before any solving: simplifier τ
         // numbering and solver traversals follow constraint order, and the
         // Tarjan member order that produced it can flip when *other* parts
-        // of the call graph change. Sorting makes every downstream result
-        // (and the summary-cache key it shares, rendered here in the same
-        // pass) a pure function of the constraint *set*, which both the
-        // cache and incremental reuse depend on.
-        Item.Combined = Item.Combined.canonicalized(
-            S, Lat, Cache ? &Item.CanonText : nullptr);
+        // of the call graph change. The structural sort makes every
+        // downstream result (and the summary-cache key hashed from the
+        // same canonical order) a pure function of the constraint *set*,
+        // which both the cache and incremental reuse depend on — with no
+        // canonical text ever materialized.
+        Item.Combined.canonicalize(S, Lat);
+        if (Cache) {
+          ScopedPhaseTimer HashTimer("cache.hash");
+          Item.SetHash = canonicalSetHash(Item.Combined, S, Lat);
+        }
         Report.ConstraintsGenerated += Item.Combined.size();
         Items.push_back(std::move(Item));
       }
@@ -672,9 +688,8 @@ const TypeReport &AnalysisSession::analyze() {
       for (P1Item &Item : Items) {
         Pool.submit([&] {
           const std::vector<uint32_t> &AllMembers = CG.sccs()[Item.Scc];
-          // One canonical rendering per SCC (produced during
-          // canonicalization above) keys every member's cache probe.
-          const std::string &CanonText = Item.CanonText;
+          // One structural hash per SCC (computed during generation above)
+          // keys every member's cache probe.
           Item.Schemes.resize(Item.Members.size());
           for (size_t I = 0; I < Item.Members.size(); ++I) {
             uint32_t F = Item.Members[I];
@@ -684,7 +699,7 @@ const TypeReport &AnalysisSession::analyze() {
             for (uint32_t Mate : AllMembers)
               if (Mate != F)
                 Keep.insert(Gen.procVar(Mate));
-            Item.Schemes[I] = summarize(Item.Combined, CanonText,
+            Item.Schemes[I] = summarize(Item.Combined, Item.SetHash,
                                         Gen.procVar(F), Keep, Simp, Cache);
           }
         });
@@ -698,6 +713,7 @@ const TypeReport &AnalysisSession::analyze() {
       SccArtifact Art;
       Art.MemberNames = Item.MemberNames;
       Art.ConstraintCount = Item.Combined.size();
+      Art.SetHash = Item.SetHash;
       Art.Combined = std::move(Item.Combined);
       if (KeepHist)
         Art.MemberSchemes = Item.Schemes; // keep a replayable copy
@@ -716,13 +732,12 @@ const TypeReport &AnalysisSession::analyze() {
         uint32_t F = Item.Members[I];
         const std::string &Name = Item.MemberNames[I];
         if (KeepHist) {
-          std::string Text =
-              SummaryCache::serialize(Item.Schemes[I], S, Lat);
+          Hash128 H = schemeStructuralHash(Item.Schemes[I], S, Lat);
           auto SnapIt = Snapshots.find(Name);
           SchemeChanged[Name] = AllDirty || SnapIt == Snapshots.end() ||
-                                SnapIt->second.SchemeText != Text;
-          Art.MemberSchemeTexts.push_back(Text);
-          NewSchemeTexts[Name] = std::move(Text);
+                                SnapIt->second.SchemeHash != H;
+          Art.MemberSchemeHashes.push_back(H);
+          NewSchemeHashes[Name] = H;
         }
         Schemes[F] = Item.Schemes[I];
         FunctionTypes &FT = Report.Funcs[F];
@@ -736,11 +751,6 @@ const TypeReport &AnalysisSession::analyze() {
       (void)Inserted;
       ArtOfScc[Item.Scc] = &NewIt->second;
     }
-  }
-
-  if (Cache) {
-    Report.Stats.CacheHits = Cache->hits() - Hits0;
-    Report.Stats.CacheMisses = Cache->misses() - Misses0;
   }
 
   // ---- Phase 2: top-down sketch solving (Algorithm F.2) ----
@@ -759,6 +769,8 @@ const TypeReport &AnalysisSession::analyze() {
   for (const std::vector<uint32_t> &Wave : CG.topDownWaves()) {
     std::vector<P2Item> Work;
 
+    std::optional<ScopedPhaseTimer> PrepTimer;
+    PrepTimer.emplace("pipeline.solveprep");
     for (uint32_t Scc : Wave) {
       SccArtifact *Art = ArtOfScc[Scc];
       if (!Art || Art->Combined.empty())
@@ -815,9 +827,31 @@ const TypeReport &AnalysisSession::analyze() {
             Item.CallsiteVars.push_back({I.Target, V});
           }
         }
+        // The raw solution is a pure function of (canonical constraint
+        // set, wanted names) — content-address it like schemes, so warm
+        // runs replay sketches through the codec instead of re-solving.
+        // Only the key is computed here; the probe (payload copy + bundle
+        // decode) runs on the pool below, alongside the solves.
+        if (Cache && !Item.Wanted.empty()) {
+          // Phase 1 already hashed this SCC's canonical set; artifacts
+          // replayed from a cacheless earlier run ({0,0}) hash on demand.
+          Hash128 SetHash = Art->SetHash;
+          if (SetHash == Hash128{}) {
+            ScopedPhaseTimer HashTimer("cache.hash");
+            SetHash = canonicalSetHash(Art->Combined, S, Lat);
+            Art->SetHash = SetHash;
+          }
+          std::vector<std::string> Names;
+          Names.reserve(Item.Wanted.size());
+          for (TypeVariable V : Item.Wanted)
+            Names.push_back(S.name(V.symbol()));
+          Item.SolveKey = SummaryCache::solveKeyFor(SetHash, Names);
+          Item.ProbeCache = true;
+        }
       }
       Work.push_back(std::move(Item));
     }
+    PrepTimer.reset();
 
     {
       Clock::time_point T0 = Clock::now();
@@ -825,6 +859,17 @@ const TypeReport &AnalysisSession::analyze() {
       for (P2Item &Item : Work)
         if (Item.Mode == P2Mode::Solve)
           Pool.submit([&] {
+            // Warm probe and cold solve both run here, so bundle decodes
+            // parallelize across the wave exactly like solves do.
+            if (Item.ProbeCache) {
+              if (auto Bindings =
+                      Cache->lookupSolution(Item.SolveKey, *Syms, Lat)) {
+                for (auto &[V, Sk] : *Bindings)
+                  Item.Sol.Sketches.emplace(V, std::move(Sk));
+                Item.SolFromCache = true;
+                return;
+              }
+            }
             Item.Sol =
                 Solver.solve(ArtOfScc[Item.Scc]->Combined, Item.Wanted);
           });
@@ -839,6 +884,13 @@ const TypeReport &AnalysisSession::analyze() {
       switch (Item.Mode) {
       case P2Mode::Solve: {
         ++Report.Stats.SccsSolved;
+        if (Cache && !Item.SolFromCache && !Item.Wanted.empty()) {
+          std::vector<std::pair<TypeVariable, const Sketch *>> Entries;
+          Entries.reserve(Item.Wanted.size());
+          for (TypeVariable V : Item.Wanted)
+            Entries.push_back({V, &Item.Sol.sketchFor(V)});
+          Cache->insertSolution(Item.SolveKey, Entries, S, Lat);
+        }
         // Records carry the callee *name* for cross-run replay (name keys
         // survive id shifts), but this run's pushes below use the known
         // callee *id* from CallsiteVars — name lookup would misdirect
@@ -939,6 +991,12 @@ const TypeReport &AnalysisSession::analyze() {
     }
   }
 
+  // Cache effectiveness across both phases (scheme AND solution probes).
+  if (Cache) {
+    Report.Stats.CacheHits = Cache->hits() - Hits0;
+    Report.Stats.CacheMisses = Cache->misses() - Misses0;
+  }
+
   // ---- Phase 3: C type conversion (§4.3) ----
   {
     Clock::time_point T0 = Clock::now();
@@ -956,10 +1014,10 @@ const TypeReport &AnalysisSession::analyze() {
     for (uint32_t F = 0; F < M.Funcs.size(); ++F) {
       const std::string &Name = M.Funcs[F].Name;
       FuncSnapshot Snap;
-      Snap.BodyText = std::move(BodyTexts[F]);
-      auto TextIt = NewSchemeTexts.find(Name);
-      Snap.SchemeText =
-          TextIt != NewSchemeTexts.end() ? TextIt->second : kNoSchemeText;
+      Snap.BodyHash = BodyHashes[F];
+      auto HashIt = NewSchemeHashes.find(Name);
+      Snap.SchemeHash =
+          HashIt != NewSchemeHashes.end() ? HashIt->second : kNoSchemeHash;
       auto CntIt = NewIncomingCount.find(Name);
       Snap.IncomingRecords =
           CntIt != NewIncomingCount.end() ? CntIt->second : 0;

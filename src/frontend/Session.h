@@ -17,8 +17,9 @@
 ///    procedure's simplified scheme is a pure function of its body and its
 ///    callees' schemes, so an SCC whose members and callee schemes are
 ///    unchanged can replay its previous schemes verbatim. When a dirty SCC
-///    re-simplifies to a *textually identical* scheme, the dirtiness stops
-///    there and its callers stay clean (early cutoff).
+///    re-simplifies to a *structurally identical* scheme — compared by the
+///    128-bit structural hash of core/SchemeCodec.h, no text involved —
+///    the dirtiness stops there and its callers stay clean (early cutoff).
 ///  - Phase 2 (sketch solving) walks SCCs top-down. An SCC's raw solution
 ///    depends only on its own constraint set; its *final* sketches
 ///    additionally depend on the actual-in/out sketches its callers
@@ -51,6 +52,7 @@
 #include "core/Sketch.h"
 #include "core/Solver.h"
 #include "core/SummaryCache.h"
+#include "support/Hash128.h"
 #include "ctypes/Conversion.h"
 #include "mir/MIR.h"
 
@@ -273,8 +275,8 @@ private:
   struct FuncSnapshot;
 
   SummaryCache *activeCache();
-  TypeScheme summarize(const ConstraintSet &Combined,
-                       const std::string &CanonText, TypeVariable ProcVar,
+  TypeScheme summarize(const ConstraintSet &Combined, const Hash128 &SetHash,
+                       TypeVariable ProcVar,
                        const std::unordered_set<TypeVariable> &Keep,
                        Simplifier &Simp, SummaryCache *Cache);
   Sketch refineSketch(Sketch Sk, uint32_t FuncId,

@@ -1,0 +1,107 @@
+//===- Hash128.h - 128-bit streaming content hash -------------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 128-bit FNV-1a streaming hash: two independent 64-bit lanes with
+/// distinct offset bases. Not cryptographic — consumers (the summary
+/// cache's content keys, the session's scheme-change cutoff) only need
+/// collision resistance against accidental clashes, and 2^64+ long odds
+/// per lane pair are far beyond corpus sizes.
+///
+/// The hash is a pure function of the byte stream fed to it, so values are
+/// stable across processes and across symbol tables — hash *names*, never
+/// symbol ids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_SUPPORT_HASH128_H
+#define RETYPD_SUPPORT_HASH128_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace retypd {
+
+/// A 128-bit content hash value.
+struct Hash128 {
+  uint64_t Hi = 0, Lo = 0;
+
+  friend bool operator==(const Hash128 &A, const Hash128 &B) {
+    return A.Hi == B.Hi && A.Lo == B.Lo;
+  }
+  friend bool operator!=(const Hash128 &A, const Hash128 &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const Hash128 &A, const Hash128 &B) {
+    if (A.Hi != B.Hi)
+      return A.Hi < B.Hi;
+    return A.Lo < B.Lo;
+  }
+
+  std::string hex() const {
+    char Buf[33];
+    std::snprintf(Buf, sizeof(Buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(Hi),
+                  static_cast<unsigned long long>(Lo));
+    return Buf;
+  }
+};
+
+struct Hash128Hasher {
+  size_t operator()(const Hash128 &H) const noexcept {
+    return static_cast<size_t>(H.Hi ^ (H.Lo * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// Streaming 128-bit FNV-1a.
+class Fnv128 {
+public:
+  void update(std::string_view S) {
+    for (unsigned char C : S)
+      step(C);
+  }
+  void update(const void *Data, size_t Bytes) {
+    const unsigned char *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I < Bytes; ++I)
+      step(P[I]);
+  }
+  /// Hashes a little-endian encoding of \p V (stable across hosts).
+  void updateU64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      step(static_cast<unsigned char>(V >> (8 * I)));
+  }
+  void updateByte(unsigned char C) { step(C); }
+  /// A domain separator between variable-length fields.
+  void sep() { step(0x1f); }
+
+  Hash128 digest() const { return {Hi, Lo}; }
+
+private:
+  void step(unsigned char C) {
+    // Genuinely different odd multipliers per lane (the Hi lane is the
+    // standard 64-bit FNV prime; the Lo lane uses the odd golden-ratio
+    // constant), so the lanes are independent and the pair's collision
+    // resistance approaches the full 128 bits.
+    Hi = (Hi ^ C) * 0x100000001b3ull;
+    Lo = (Lo ^ C) * 0x9e3779b97f4a7c15ull;
+  }
+
+  uint64_t Hi = 0xcbf29ce484222325ull;
+  uint64_t Lo = 0x84222325cbf29ce4ull;
+};
+
+/// One-shot convenience: the hash of a single byte string.
+inline Hash128 hashBytes(std::string_view S) {
+  Fnv128 H;
+  H.update(S);
+  return H.digest();
+}
+
+} // namespace retypd
+
+#endif // RETYPD_SUPPORT_HASH128_H

@@ -30,6 +30,16 @@ void MemStats::noteFree(size_t Size) {
   LiveBytes.fetch_sub(Size, std::memory_order_relaxed);
 }
 
+std::atomic<uint64_t> EventCounters::ConstraintParseCalls{0};
+std::atomic<uint64_t> EventCounters::SchemeDecodes{0};
+std::atomic<uint64_t> EventCounters::SchemeEncodes{0};
+
+void EventCounters::reset() {
+  ConstraintParseCalls.store(0, std::memory_order_relaxed);
+  SchemeDecodes.store(0, std::memory_order_relaxed);
+  SchemeEncodes.store(0, std::memory_order_relaxed);
+}
+
 namespace {
 
 struct PhaseRegistry {

@@ -42,6 +42,20 @@ struct MemStats {
   static void noteFree(size_t Size);
 };
 
+/// Process-wide event counters for data-plane invariants and benchmarks.
+/// The headline one is ConstraintParseCalls: warm-cache analysis runs must
+/// perform ZERO ConstraintParser invocations (schemes replay through the
+/// binary codec of core/SchemeCodec.h), and tests assert it by
+/// snapshotting this counter around the warm run.
+struct EventCounters {
+  static std::atomic<uint64_t> ConstraintParseCalls;
+  static std::atomic<uint64_t> SchemeDecodes; ///< binary payload decodes
+  static std::atomic<uint64_t> SchemeEncodes; ///< binary payload encodes
+
+  /// Zeroes every counter. Call between measured runs.
+  static void reset();
+};
+
 /// Process-wide named wall-clock accumulators for pipeline stages. Worker
 /// threads add to the same counter concurrently, so a stage's total can
 /// exceed the elapsed wall time — that surplus IS the parallelism, and the

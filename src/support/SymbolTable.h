@@ -9,15 +9,40 @@
 /// procedure names are all represented as interned symbols so the solver can
 /// use them as array indices and cheap hash keys.
 ///
+/// Concurrency design (the warm path reads names far more often than it
+/// interns new ones):
+///
+///  - name(id) is LOCK-FREE: names live in fixed-size chunks that are
+///    published once with an atomic release store and never move or mutate
+///    afterwards, so readers need one acquire load and no mutex. This is
+///    the hot lookup path of cache decoding, structural hashing, and
+///    canonical sorting on every worker thread.
+///  - The string->id index is SHARDED: 16 shards keyed by a hash of the
+///    string, each guarded by its own shared_mutex. intern() takes a shared
+///    lock for the (overwhelmingly common) already-interned probe and
+///    upgrades to an exclusive lock only to insert; lookup() only ever takes
+///    a shared lock. Workers interning fresh existential names in different
+///    shards do not contend at all.
+///
+/// Ids are allocated from one atomic counter, so they stay dense across
+/// shards. A slot's string is fully constructed before its id escapes
+/// (either via the intern() return value or via a shard map protected by
+/// that shard's mutex), which is what makes the unlocked name() read safe.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RETYPD_SUPPORT_SYMBOLTABLE_H
 #define RETYPD_SUPPORT_SYMBOLTABLE_H
 
+#include <array>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
-#include <deque>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -31,58 +56,134 @@ using SymbolId = uint32_t;
 /// Bidirectional map between strings and dense SymbolIds.
 ///
 /// Thread safe: the parallel solving pipeline interns fresh existential
-/// names from worker threads while other workers render constraint sets.
-/// Names live in a deque so the reference returned by name() stays valid
-/// across later interns.
+/// names from worker threads while other workers resolve names for
+/// structural hashing and cache decoding. The reference returned by name()
+/// is stable: chunks are append-only and never reallocate.
 class SymbolTable {
 public:
-  SymbolTable() = default;
-  SymbolTable(const SymbolTable &Other) {
-    std::lock_guard<std::mutex> Lock(Other.Mutex);
-    Names = Other.Names;
-    Ids = Other.Ids;
+  SymbolTable() : Chunks(new std::atomic<Chunk *>[kMaxChunks]) {
+    for (size_t I = 0; I < kMaxChunks; ++I)
+      Chunks[I].store(nullptr, std::memory_order_relaxed);
+  }
+
+  SymbolTable(const SymbolTable &Other) : SymbolTable() {
+    // Snapshot under all of Other's shard locks (fixed order): no intern
+    // can be mid-flight between id allocation and slot publication while
+    // every shard is held, so Count is consistent with the slots.
+    std::array<std::shared_lock<std::shared_mutex>, kNumShards> Locks;
+    for (unsigned I = 0; I < kNumShards; ++I)
+      Locks[I] = std::shared_lock(Other.Shards[I].M);
+    uint32_t N = Other.Count.load(std::memory_order_acquire);
+    for (uint32_t Id = 0; Id < N; ++Id) {
+      SymbolId Mine = intern(Other.name(Id));
+      (void)Mine;
+      assert(Mine == Id && "copy must preserve dense id order");
+    }
   }
   SymbolTable &operator=(const SymbolTable &) = delete;
 
+  ~SymbolTable() {
+    for (size_t I = 0; I < kMaxChunks; ++I)
+      delete Chunks[I].load(std::memory_order_relaxed);
+  }
+
   /// Returns the id for \p S, interning it on first use.
   SymbolId intern(std::string_view S) {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    auto It = Ids.find(std::string(S));
-    if (It != Ids.end())
+    Shard &Sh = shardFor(S);
+    {
+      std::shared_lock<std::shared_mutex> Lock(Sh.M);
+      auto It = Sh.Ids.find(S);
+      if (It != Sh.Ids.end())
+        return It->second;
+    }
+    std::unique_lock<std::shared_mutex> Lock(Sh.M);
+    auto It = Sh.Ids.find(S);
+    if (It != Sh.Ids.end())
       return It->second;
-    SymbolId Id = static_cast<SymbolId>(Names.size());
-    Names.emplace_back(S);
-    Ids.emplace(Names.back(), Id);
+    SymbolId Id = Count.fetch_add(1, std::memory_order_acq_rel);
+    if (Id >= kMaxChunks * kChunkSize) {
+      // Enforced in release builds too: indexing past the chunk-pointer
+      // array would be silent heap corruption, and intern() has no
+      // failure channel. 33.5M distinct symbols means something upstream
+      // is generating names pathologically — fail loudly.
+      std::fprintf(stderr,
+                   "retypd: symbol table exhausted (%zu symbols)\n",
+                   static_cast<size_t>(kMaxChunks * kChunkSize));
+      std::abort();
+    }
+    std::string &Slot = ensureChunk(Id >> kChunkShift)
+                            ->Slots[Id & (kChunkSize - 1)];
+    Slot.assign(S.data(), S.size());
+    // The map key views the slot's stable storage — no second copy.
+    Sh.Ids.emplace(std::string_view(Slot), Id);
     return Id;
   }
 
-  /// Returns the string for a previously interned id. The reference is
-  /// stable: concurrent interning never moves existing entries.
+  /// Returns the string for a previously interned id. Lock-free; the
+  /// reference is stable because chunks never move or mutate once their
+  /// slots are filled.
   const std::string &name(SymbolId Id) const {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    assert(Id < Names.size() && "symbol id out of range");
-    return Names[Id];
+    assert(Id < Count.load(std::memory_order_acquire) &&
+           "symbol id out of range");
+    Chunk *C = Chunks[Id >> kChunkShift].load(std::memory_order_acquire);
+    return C->Slots[Id & (kChunkSize - 1)];
   }
 
   /// Returns the id for \p S if it was interned before, without interning.
   bool lookup(std::string_view S, SymbolId &Out) const {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    auto It = Ids.find(std::string(S));
-    if (It == Ids.end())
+    const Shard &Sh = shardFor(S);
+    std::shared_lock<std::shared_mutex> Lock(Sh.M);
+    auto It = Sh.Ids.find(S);
+    if (It == Sh.Ids.end())
       return false;
     Out = It->second;
     return true;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    return Names.size();
-  }
+  size_t size() const { return Count.load(std::memory_order_acquire); }
 
 private:
-  std::deque<std::string> Names;
-  std::unordered_map<std::string, SymbolId> Ids;
-  mutable std::mutex Mutex;
+  static constexpr size_t kChunkShift = 12;
+  static constexpr size_t kChunkSize = size_t(1) << kChunkShift; // 4096
+  static constexpr size_t kMaxChunks = 1 << 13; // 33.5M symbols
+  static constexpr unsigned kNumShards = 16;
+
+  struct Chunk {
+    std::string Slots[kChunkSize];
+  };
+
+  struct Shard {
+    mutable std::shared_mutex M;
+    // Keys view the chunk slots' storage, which is stable for the table's
+    // lifetime.
+    std::unordered_map<std::string_view, SymbolId> Ids;
+  };
+
+  Shard &shardFor(std::string_view S) const {
+    // FNV-1a; only the shard index derives from it, the per-shard maps
+    // hash independently.
+    uint64_t H = 0xcbf29ce484222325ull;
+    for (unsigned char C : S)
+      H = (H ^ C) * 0x100000001b3ull;
+    return Shards[H & (kNumShards - 1)];
+  }
+
+  Chunk *ensureChunk(size_t CI) {
+    Chunk *C = Chunks[CI].load(std::memory_order_acquire);
+    if (C)
+      return C;
+    Chunk *Fresh = new Chunk();
+    if (Chunks[CI].compare_exchange_strong(C, Fresh,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire))
+      return Fresh;
+    delete Fresh; // another shard's insert won the race for this chunk
+    return C;
+  }
+
+  std::unique_ptr<std::atomic<Chunk *>[]> Chunks;
+  std::atomic<uint32_t> Count{0};
+  mutable std::array<Shard, kNumShards> Shards;
 };
 
 } // namespace retypd

@@ -1,9 +1,10 @@
 //===- SummaryCacheTest.cpp - Content-addressed scheme cache tests ------------===//
 //
-// Covers key canonicalization (hit/miss semantics), serialization round
-// trips, invalidation by content and by options, file persistence, and a
-// many-tiny-SCCs stress run through the parallel pipeline with a shared
-// cache.
+// Covers structural-hash key canonicalization (hit/miss semantics), binary
+// codec round trips through the cache, corrupt-entry self-healing,
+// sharded-state invariants, file persistence (format v3), stale-version
+// rejection, and a many-tiny-SCCs stress run through the parallel pipeline
+// with a shared cache.
 //
 //===----------------------------------------------------------------------===//
 
@@ -17,6 +18,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 using namespace retypd;
 
@@ -37,6 +39,15 @@ protected:
 
   TypeVariable var(const std::string &Name) {
     return TypeVariable::var(Syms.intern(Name));
+  }
+
+  /// A small simplified scheme to use as cache content.
+  TypeScheme makeScheme(const std::string &Proc) {
+    Simplifier Simp(Syms, Lat);
+    ConstraintSet C = parse(Proc + ".in0 <= x\nx <= " + Proc + ".out");
+    TypeScheme S = Simp.simplify(C, var(Proc), {});
+    S.Constraints = S.Constraints.canonicalized(Syms, Lat);
+    return S;
   }
 
   SymbolTable Syms;
@@ -74,19 +85,32 @@ TEST_F(SummaryCacheTest, KeyIsContentAddressed) {
   EXPECT_EQ(KeyAB, KeyBA);
 }
 
-TEST_F(SummaryCacheTest, SerializeRoundTripsExactly) {
-  Simplifier Simp(Syms, Lat);
-  ConstraintSet C = parse(R"(
-F.in0 <= a
-a.load.s32@0 <= a
-a.load.s32@4 <= int
-a <= F.out
-)");
-  TypeScheme Scheme = Simp.simplify(C, var("F"), {});
-  Scheme.Constraints = Scheme.Constraints.canonicalized(Syms, Lat);
+TEST_F(SummaryCacheTest, KeyIsSymbolTableIndependent) {
+  // The same structural content must key identically from a symbol table
+  // with a completely different id allocation history — that is what
+  // makes keys (and cache files) portable across processes.
+  ConstraintSet A = parse("F.in0 <= x\nx <= F.out");
+  auto K1 = SummaryCache::keyFor(A, var("F"), {}, Opts, Syms, Lat);
 
-  std::string Text = SummaryCache::serialize(Scheme, Syms, Lat);
-  auto Back = SummaryCache::deserialize(Text, Syms, Lat);
+  SymbolTable Other;
+  for (int I = 0; I < 100; ++I)
+    Other.intern("unrelated" + std::to_string(I)); // shift every id
+  ConstraintParser P2(Other, Lat);
+  auto B = P2.parse("x <= F.out\nF.in0 <= x");
+  ASSERT_TRUE(B.has_value());
+  auto K2 = SummaryCache::keyFor(
+      *B, TypeVariable::var(Other.intern("F")), {}, Opts, Other, Lat);
+  EXPECT_EQ(K1, K2);
+}
+
+TEST_F(SummaryCacheTest, CacheRoundTripsSchemes) {
+  SummaryCache Cache;
+  TypeScheme Scheme = makeScheme("F");
+  auto K = SummaryCache::keyFor(Scheme.Constraints, var("F"), {}, Opts, Syms,
+                                Lat);
+  Cache.insert(K, Scheme, Syms, Lat);
+
+  auto Back = Cache.lookup(K, Syms, Lat);
   ASSERT_TRUE(Back.has_value());
   EXPECT_EQ(Back->ProcVar, Scheme.ProcVar);
   EXPECT_EQ(Back->Existentials, Scheme.Existentials);
@@ -95,24 +119,16 @@ a <= F.out
   EXPECT_EQ(Back->Constraints.subtypes(), Scheme.Constraints.subtypes());
 }
 
-TEST_F(SummaryCacheTest, DeserializeRejectsGarbage) {
-  EXPECT_FALSE(SummaryCache::deserialize("", Syms, Lat).has_value());
-  EXPECT_FALSE(SummaryCache::deserialize("nonsense\n", Syms, Lat).has_value());
-  EXPECT_FALSE(
-      SummaryCache::deserialize("proc F\nno-existentials-line\n", Syms, Lat)
-          .has_value());
-}
-
 TEST_F(SummaryCacheTest, HitMissAndClear) {
   SummaryCache Cache;
   ConstraintSet C = parse("F.in0 <= F.out");
   auto K = SummaryCache::keyFor(C, var("F"), {}, Opts, Syms, Lat);
 
-  EXPECT_FALSE(Cache.lookup(K).has_value());
+  EXPECT_FALSE(Cache.lookup(K, Syms, Lat).has_value());
   EXPECT_EQ(Cache.misses(), 1u);
 
-  Cache.insert(K, "proc F\nexistentials\n");
-  auto Hit = Cache.lookup(K);
+  Cache.insert(K, makeScheme("F"), Syms, Lat);
+  auto Hit = Cache.lookup(K, Syms, Lat);
   ASSERT_TRUE(Hit.has_value());
   EXPECT_EQ(Cache.hits(), 1u);
   EXPECT_EQ(Cache.size(), 1u);
@@ -120,7 +136,7 @@ TEST_F(SummaryCacheTest, HitMissAndClear) {
   // clear() models invalidation: the entry is gone, the next probe misses.
   Cache.clear();
   EXPECT_EQ(Cache.size(), 0u);
-  EXPECT_FALSE(Cache.lookup(K).has_value());
+  EXPECT_FALSE(Cache.lookup(K, Syms, Lat).has_value());
 }
 
 TEST_F(SummaryCacheTest, CorruptEntrySelfHeals) {
@@ -128,24 +144,22 @@ TEST_F(SummaryCacheTest, CorruptEntrySelfHeals) {
   ConstraintSet C = parse("F.in0 <= F.out");
   auto K = SummaryCache::keyFor(C, var("F"), {}, Opts, Syms, Lat);
 
-  Cache.insert(K, "not a scheme at all");
-  auto Hit = Cache.lookup(K);
-  ASSERT_TRUE(Hit.has_value());
-  ASSERT_FALSE(SummaryCache::deserialize(*Hit, Syms, Lat).has_value());
+  Cache.insertPayload(K, "not a scheme at all");
+  ASSERT_TRUE(Cache.lookupPayload(K).has_value());
 
-  // The consumer reports the corruption: the hit is reclassified as a
-  // miss and the entry dropped...
-  Cache.noteCorrupt(K);
-  EXPECT_EQ(Cache.hits(), 0u);   // the bogus hit is taken back
-  EXPECT_EQ(Cache.misses(), 1u); // ...and reclassified as a miss
+  // The decode failure is invisible to the caller: the probe is a miss,
+  // never a hit, and the corrupt bytes are dropped on the spot...
+  EXPECT_FALSE(Cache.lookup(K, Syms, Lat).has_value());
+  EXPECT_EQ(Cache.hits(), 0u);
+  EXPECT_EQ(Cache.misses(), 1u);
   EXPECT_EQ(Cache.size(), 0u);
 
   // ...and insert() overwrites rather than keeping stale bytes.
-  Cache.insert(K, "proc F\nexistentials\n");
-  Cache.insert(K, "proc G\nexistentials\n");
-  auto Fresh = Cache.lookup(K);
+  Cache.insert(K, makeScheme("F"), Syms, Lat);
+  Cache.insert(K, makeScheme("G"), Syms, Lat);
+  auto Fresh = Cache.lookup(K, Syms, Lat);
   ASSERT_TRUE(Fresh.has_value());
-  EXPECT_EQ(*Fresh, "proc G\nexistentials\n");
+  EXPECT_EQ(Syms.name(Fresh->ProcVar.symbol()), "G");
 }
 
 TEST_F(SummaryCacheTest, ContentChangeInvalidatesNaturally) {
@@ -154,13 +168,14 @@ TEST_F(SummaryCacheTest, ContentChangeInvalidatesNaturally) {
   SummaryCache Cache;
   ConstraintSet C1 = parse("F.in0 <= F.out");
   auto K1 = SummaryCache::keyFor(C1, var("F"), {}, Opts, Syms, Lat);
-  Cache.insert(K1, "proc F\nexistentials\n");
+  Cache.insert(K1, makeScheme("F"), Syms, Lat);
 
   ConstraintSet C2 = parse("F.in0 <= F.out\nint <= F.out");
   auto K2 = SummaryCache::keyFor(C2, var("F"), {}, Opts, Syms, Lat);
   EXPECT_FALSE(K1 == K2);
-  EXPECT_FALSE(Cache.lookup(K2).has_value());
-  EXPECT_TRUE(Cache.lookup(K1).has_value()); // old entry intact for old key
+  EXPECT_FALSE(Cache.lookup(K2, Syms, Lat).has_value());
+  EXPECT_TRUE(
+      Cache.lookup(K1, Syms, Lat).has_value()); // old entry intact for old key
 }
 
 TEST_F(SummaryCacheTest, SaveAndLoadPreserveEntries) {
@@ -169,17 +184,21 @@ TEST_F(SummaryCacheTest, SaveAndLoadPreserveEntries) {
   fs::remove(File);
 
   SummaryCache Cache;
-  ConstraintSet C = parse("F.in0 <= F.out");
-  auto K = SummaryCache::keyFor(C, var("F"), {}, Opts, Syms, Lat);
-  Cache.insert(K, "proc F\nexistentials τ$F$0\nF.in0 <= F.out\n");
+  TypeScheme Scheme = makeScheme("F");
+  auto K = SummaryCache::keyFor(Scheme.Constraints, var("F"), {}, Opts, Syms,
+                                Lat);
+  Cache.insert(K, Scheme, Syms, Lat);
   ASSERT_TRUE(Cache.save(File.string()));
 
   SummaryCache Loaded;
   ASSERT_TRUE(Loaded.load(File.string()));
   EXPECT_EQ(Loaded.size(), 1u);
-  auto Hit = Loaded.lookup(K);
+
+  // Decode into a FRESH symbol table: payloads carry their own names.
+  SymbolTable Fresh;
+  auto Hit = Loaded.lookup(K, Fresh, Lat);
   ASSERT_TRUE(Hit.has_value());
-  EXPECT_EQ(*Hit, "proc F\nexistentials τ$F$0\nF.in0 <= F.out\n");
+  EXPECT_EQ(Hit->str(Fresh, Lat), Scheme.str(Syms, Lat));
 
   EXPECT_FALSE(Loaded.load("/nonexistent/path/cache.bin"));
   fs::remove(File);
@@ -191,9 +210,10 @@ TEST_F(SummaryCacheTest, VersionedHeaderRoundTrip) {
   fs::remove(File);
 
   SummaryCache Cache;
-  ConstraintSet C = parse("F.in0 <= F.out");
-  auto K = SummaryCache::keyFor(C, var("F"), {}, Opts, Syms, Lat);
-  Cache.insert(K, "proc F\nexistentials\nF.in0 <= F.out\n");
+  TypeScheme Scheme = makeScheme("F");
+  auto K = SummaryCache::keyFor(Scheme.Constraints, var("F"), {}, Opts, Syms,
+                                Lat);
+  Cache.insert(K, Scheme, Syms, Lat);
   ASSERT_TRUE(Cache.save(File.string()));
 
   CacheFileInfo Info = SummaryCache::inspectFile(File.string());
@@ -202,6 +222,13 @@ TEST_F(SummaryCacheTest, VersionedHeaderRoundTrip) {
   EXPECT_EQ(Info.SchemaVersion, kSummaryCacheSchemaVersion);
   EXPECT_EQ(Info.EntryCount, 1u);
   EXPECT_EQ(Info.PayloadBytes, Cache.payloadBytes());
+  // Per-shard tallies agree with the total and with the key's home shard.
+  ASSERT_EQ(Info.ShardEntryCounts.size(), SummaryCache::kNumShards);
+  size_t Total = 0;
+  for (size_t N : Info.ShardEntryCounts)
+    Total += N;
+  EXPECT_EQ(Total, Info.EntryCount);
+  EXPECT_EQ(Info.ShardEntryCounts[SummaryCache::shardOf(K)], 1u);
   fs::remove(File);
 }
 
@@ -209,29 +236,48 @@ TEST_F(SummaryCacheTest, LoadRejectsStaleVersionsCleanly) {
   namespace fs = std::filesystem;
   fs::path File = fs::temp_directory_path() / "retypd_cache_stale.bin";
 
-  // The pre-versioning layout (header "retypd-summary-cache-v1") and any
-  // future/mismatched version must be rejected wholesale — a stale cache
-  // is a cold cache, not a stream of per-entry parse failures.
-  const char *StaleHeaders[] = {
-      "retypd-summary-cache-v1",
-      "retypd-summary-cache v1 schema 1",
-      "retypd-summary-cache v999 schema 1",
-      "retypd-summary-cache v2 schema 999",
-      "some other file entirely",
+  // The pre-versioning layout ("retypd-summary-cache-v1"), the textual v2
+  // format, and any future/mismatched version must be rejected wholesale —
+  // a stale cache is a cold cache, not a stream of per-entry decode
+  // failures.
+  struct StaleCase {
+    const char *Header;
+    bool ExpectStale;           ///< older than the binary
+    bool ExpectNewer;           ///< written by a newer binary
+    const char *ExpectedAdvice; ///< direction-aware message fragment
   };
-  for (const char *Header : StaleHeaders) {
+  const StaleCase Cases[] = {
+      {"retypd-summary-cache-v1", true, false, "re-run analyze"},
+      {"retypd-summary-cache v1 schema 1", true, false, "re-run analyze"},
+      {"retypd-summary-cache v2 schema 1", true, false, "re-run analyze"},
+      // Files NEWER than the binary must NOT be flagged stale — a script
+      // keying off `stale` would regenerate and destroy a newer binary's
+      // valid cache.
+      {"retypd-summary-cache v999 schema 2", false, true,
+       "newer than this binary"},
+      {"retypd-summary-cache v3 schema 999", false, true,
+       "newer than this binary"},
+      {"some other file entirely", false, false, nullptr},
+  };
+  for (const StaleCase &Case : Cases) {
     std::ofstream Out(File, std::ios::binary | std::ios::trunc);
-    Out << Header << "\n"
+    Out << Case.Header << "\n"
         << "entry 00000000000000000000000000000000 5\nhello\n";
     Out.close();
 
     SummaryCache Cache;
-    EXPECT_FALSE(Cache.load(File.string())) << Header;
-    EXPECT_EQ(Cache.size(), 0u) << Header;
+    EXPECT_FALSE(Cache.load(File.string())) << Case.Header;
+    EXPECT_EQ(Cache.size(), 0u) << Case.Header;
 
     CacheFileInfo Info = SummaryCache::inspectFile(File.string());
-    EXPECT_FALSE(Info.Ok) << Header;
-    EXPECT_FALSE(Info.Error.empty()) << Header;
+    EXPECT_FALSE(Info.Ok) << Case.Header;
+    EXPECT_FALSE(Info.Error.empty()) << Case.Header;
+    EXPECT_EQ(Info.Stale, Case.ExpectStale) << Case.Header;
+    EXPECT_EQ(Info.Newer, Case.ExpectNewer) << Case.Header;
+    if (Case.ExpectedAdvice) {
+      EXPECT_NE(Info.Error.find(Case.ExpectedAdvice), std::string::npos)
+          << Case.Header << ": " << Info.Error;
+    }
   }
   fs::remove(File);
 }
@@ -246,7 +292,7 @@ TEST_F(SummaryCacheTest, CorruptByteCountsAreMalformedTailNotACrash) {
                           "999999"};
   for (const char *Count : Counts) {
     std::ofstream Out(File, std::ios::binary | std::ios::trunc);
-    Out << "retypd-summary-cache v2 schema 1\n"
+    Out << "retypd-summary-cache v3 schema 2\n"
         << "entry 0000000000000000000000000000000f " << Count << "\nx\n";
     Out.close();
 
@@ -268,18 +314,52 @@ TEST_F(SummaryCacheTest, PruneToBytesDropsLargestFirst) {
   auto KeyN = [&](const std::string &Name) {
     return SummaryCache::keyFor(C, var(Name), {}, Opts, Syms, Lat);
   };
-  Cache.insert(KeyN("A"), std::string(100, 'a'));
-  Cache.insert(KeyN("B"), std::string(10, 'b'));
-  Cache.insert(KeyN("C"), std::string(50, 'c'));
+  Cache.insertPayload(KeyN("A"), std::string(100, 'a'));
+  Cache.insertPayload(KeyN("B"), std::string(10, 'b'));
+  Cache.insertPayload(KeyN("C"), std::string(50, 'c'));
   EXPECT_EQ(Cache.payloadBytes(), 160u);
 
   EXPECT_EQ(Cache.pruneToBytes(1000), 0u); // already under budget
   EXPECT_EQ(Cache.pruneToBytes(70), 1u);   // drops the 100-byte entry
   EXPECT_EQ(Cache.payloadBytes(), 60u);
-  EXPECT_TRUE(Cache.lookup(KeyN("B")).has_value());
-  EXPECT_TRUE(Cache.lookup(KeyN("C")).has_value());
+  EXPECT_TRUE(Cache.lookupPayload(KeyN("B")).has_value());
+  EXPECT_TRUE(Cache.lookupPayload(KeyN("C")).has_value());
   EXPECT_EQ(Cache.pruneToBytes(0), 2u);
   EXPECT_EQ(Cache.size(), 0u);
+}
+
+TEST_F(SummaryCacheTest, ConcurrentShardedAccessIsSafe) {
+  // Hammer the sharded read/write paths from several threads: concurrent
+  // inserts of identical content, shared-lock probes, and decode-on-read.
+  // TSan (the check-tier1 preset) vets the locking discipline.
+  SummaryCache Cache;
+  std::vector<TypeScheme> Schemes;
+  std::vector<SummaryKey> Keys;
+  for (int I = 0; I < 64; ++I) {
+    TypeScheme S = makeScheme("proc" + std::to_string(I));
+    Keys.push_back(SummaryCache::keyFor(
+        S.Constraints, S.ProcVar, {}, Opts, Syms, Lat));
+    Schemes.push_back(std::move(S));
+  }
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&, T] {
+      for (int Round = 0; Round < 20; ++Round)
+        for (size_t I = T; I < Keys.size(); I += 2) {
+          if ((Round + T) % 3 == 0)
+            Cache.insert(Keys[I], Schemes[I], Syms, Lat);
+          else
+            Cache.lookup(Keys[I], Syms, Lat);
+        }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  // Every inserted entry decodes back to its scheme.
+  for (size_t I = 0; I < Keys.size(); ++I) {
+    if (auto Hit = Cache.lookup(Keys[I], Syms, Lat)) {
+      EXPECT_EQ(Hit->str(Syms, Lat), Schemes[I].str(Syms, Lat));
+    }
+  }
 }
 
 TEST_F(SummaryCacheTest, ManyTinySccsStress) {

@@ -16,6 +16,7 @@
 #include "frontend/Pipeline.h"
 #include "frontend/ReportPrinter.h"
 #include "mir/AsmParser.h"
+#include "support/Stats.h"
 
 #include <gtest/gtest.h>
 
@@ -102,7 +103,15 @@ TEST(GoldenTest, CacheReplayIsByteIdentical) {
     SummaryCache Cache;
     std::string Cold = runReport(P, 2, &Cache);
     uint64_t MissesAfterCold = Cache.misses();
+    // The binary data plane's contract: a warm run performs ZERO
+    // ConstraintParser invocations — schemes replay through the codec.
+    uint64_t ParsesBeforeWarm =
+        EventCounters::ConstraintParseCalls.load(std::memory_order_relaxed);
     std::string Warm = runReport(P, 2, &Cache);
+    EXPECT_EQ(
+        EventCounters::ConstraintParseCalls.load(std::memory_order_relaxed),
+        ParsesBeforeWarm)
+        << "warm run parsed constraint text: " << P;
     EXPECT_EQ(Cold, runReport(P, 1)) << "cold cached run diverged: " << P;
     EXPECT_EQ(Cold, Warm) << "warm cached run diverged: " << P;
     // Every summarization must come from the cache on the warm run.

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
 using namespace retypd;
 
 TEST(SymbolTable, InternIsIdempotent) {
@@ -40,4 +44,63 @@ TEST(SymbolTable, ManySymbolsStayStable) {
     Ids.push_back(T.intern("sym" + std::to_string(I)));
   for (int I = 0; I < 1000; ++I)
     EXPECT_EQ(T.name(Ids[I]), "sym" + std::to_string(I));
+}
+
+TEST(SymbolTable, CopyPreservesIdsAndNames) {
+  SymbolTable T;
+  std::vector<SymbolId> Ids;
+  for (int I = 0; I < 300; ++I)
+    Ids.push_back(T.intern("name" + std::to_string(I)));
+  SymbolTable Copy(T);
+  EXPECT_EQ(Copy.size(), T.size());
+  for (int I = 0; I < 300; ++I) {
+    EXPECT_EQ(Copy.name(Ids[I]), T.name(Ids[I]));
+    SymbolId Out = ~0u;
+    EXPECT_TRUE(Copy.lookup("name" + std::to_string(I), Out));
+    EXPECT_EQ(Out, Ids[I]);
+  }
+}
+
+TEST(SymbolTable, ConcurrentInternAndLockFreeName) {
+  // The sharded design's contract: concurrent intern() calls (same and
+  // different strings), lookup() probes, and lock-free name() reads on ids
+  // the reader obtained itself must all be safe. The check-tier1 TSan
+  // preset vets the happens-before edges.
+  SymbolTable T;
+  constexpr int kThreads = 4, kPerThread = 2000;
+  std::vector<std::vector<std::pair<SymbolId, std::string>>> Mine(kThreads);
+  std::vector<std::thread> Threads;
+  for (int W = 0; W < kThreads; ++W)
+    Threads.emplace_back([&T, &Mine, W] {
+      for (int I = 0; I < kPerThread; ++I) {
+        // Half shared across threads (contended dedup), half private.
+        std::string Shared = "shared" + std::to_string(I % 256);
+        std::string Priv =
+            "w" + std::to_string(W) + "$" + std::to_string(I);
+        SymbolId S = T.intern(Shared);
+        SymbolId P = T.intern(Priv);
+        Mine[W].push_back({S, Shared});
+        Mine[W].push_back({P, Priv});
+        // Lock-free reads of ids this thread interned.
+        if (T.name(S) != Shared || T.name(P) != Priv)
+          ADD_FAILURE() << "name() returned wrong string";
+        SymbolId Out = ~0u;
+        if (!T.lookup(Shared, Out) || Out != S)
+          ADD_FAILURE() << "lookup() disagreed with intern()";
+      }
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  // Post-hoc: every recorded id still resolves to its string, dedup held
+  // (same string -> same id across all threads), ids are dense.
+  std::unordered_map<std::string, SymbolId> Seen;
+  for (const auto &V : Mine)
+    for (const auto &[Id, Name] : V) {
+      EXPECT_EQ(T.name(Id), Name);
+      auto [It, Inserted] = Seen.try_emplace(Name, Id);
+      if (!Inserted)
+        EXPECT_EQ(It->second, Id) << Name;
+    }
+  EXPECT_EQ(T.size(), Seen.size());
+  EXPECT_EQ(T.size(), 256u + kThreads * kPerThread);
 }

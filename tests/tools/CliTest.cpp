@@ -159,17 +159,43 @@ TEST(CliTest, CacheInspectAndPrune) {
 
   R = runCli("cache inspect " + Cache.string());
   EXPECT_EQ(R.Exit, 0);
-  EXPECT_NE(R.Out.find("header: ok (v2 schema 1)"), std::string::npos)
+  EXPECT_NE(R.Out.find("header: ok (v3 schema 2)"), std::string::npos)
       << R.Out;
+  EXPECT_NE(R.Out.find("codec: binary scheme payload v2"), std::string::npos)
+      << R.Out;
+  // Per-shard entry counts are part of the report.
+  EXPECT_NE(R.Out.find("shard entries: 0:"), std::string::npos) << R.Out;
 
   R = runCli("cache prune " + Cache.string() + " --max-bytes 0");
   EXPECT_EQ(R.Exit, 0);
   EXPECT_NE(R.Out.find("0 remain"), std::string::npos) << R.Out;
 
-  // Stale headers are reported, not half-loaded.
+  // Stale-but-recognized formats (the textual v2 of earlier builds, the
+  // unversioned v1) get an actionable message, not a generic failure.
+  fs::path StaleV2 = writeTemp("cli_stale_cache_v2.bin",
+                               "retypd-summary-cache v2 schema 1\n"
+                               "entry 00000000000000000000000000000000 2\n"
+                               "xx\n");
+  R = runCli("cache inspect " + StaleV2.string());
+  EXPECT_EQ(R.Exit, 1);
+  EXPECT_NE(R.Out.find("re-run analyze to regenerate"), std::string::npos)
+      << R.Out;
+  R = runCli("cache prune " + StaleV2.string() + " --max-bytes 0");
+  EXPECT_EQ(R.Exit, 1);
+  EXPECT_NE(R.Out.find("re-run analyze to regenerate"), std::string::npos)
+      << R.Out;
+
   fs::path Stale = writeTemp("cli_stale_cache.bin",
                              "retypd-summary-cache-v1\nentry junk\n");
   R = runCli("cache inspect " + Stale.string());
+  EXPECT_EQ(R.Exit, 1);
+  EXPECT_NE(R.Out.find("re-run analyze to regenerate"), std::string::npos)
+      << R.Out;
+
+  // A file that is not a cache at all stays a plain unrecognized-header
+  // error.
+  fs::path NotACache = writeTemp("cli_not_cache.bin", "hello world\n");
+  R = runCli("cache inspect " + NotACache.string());
   EXPECT_EQ(R.Exit, 1);
   EXPECT_NE(R.Out.find("unrecognized header"), std::string::npos) << R.Out;
 
@@ -178,7 +204,9 @@ TEST(CliTest, CacheInspectAndPrune) {
   EXPECT_NE(R.Out.find("did you mean 'inspect'?"), std::string::npos) << R.Out;
 
   fs::remove(Cache);
+  fs::remove(StaleV2);
   fs::remove(Stale);
+  fs::remove(NotACache);
 }
 
 TEST(CliTest, HelpExitsZero) {

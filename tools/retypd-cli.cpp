@@ -502,19 +502,38 @@ int cmdCache(int argc, char **argv, int Start) {
   if (Action == "inspect") {
     CacheFileInfo Info = SummaryCache::inspectFile(File);
     if (Format == "json") {
-      std::printf("{\"file\": \"%s\", \"ok\": %s, \"file_version\": %u, "
-                  "\"schema_version\": %u, \"entries\": %zu, "
-                  "\"payload_bytes\": %zu, \"error\": \"%s\"}\n",
+      std::string ShardJson = "[";
+      for (size_t I = 0; I < Info.ShardEntryCounts.size(); ++I) {
+        if (I)
+          ShardJson += ", ";
+        ShardJson += std::to_string(Info.ShardEntryCounts[I]);
+      }
+      ShardJson += "]";
+      std::printf("{\"file\": \"%s\", \"ok\": %s, \"stale\": %s, "
+                  "\"newer_than_binary\": %s, "
+                  "\"file_version\": %u, \"schema_version\": %u, "
+                  "\"codec_version\": %u, \"entries\": %zu, "
+                  "\"payload_bytes\": %zu, \"shard_entries\": %s, "
+                  "\"error\": \"%s\"}\n",
                   jsonEscape(File).c_str(), Info.Ok ? "true" : "false",
-                  Info.FileVersion, Info.SchemaVersion, Info.EntryCount,
-                  Info.PayloadBytes, jsonEscape(Info.Error).c_str());
+                  Info.Stale ? "true" : "false",
+                  Info.Newer ? "true" : "false", Info.FileVersion,
+                  Info.SchemaVersion, kSchemePayloadVersion, Info.EntryCount,
+                  Info.PayloadBytes, ShardJson.c_str(),
+                  jsonEscape(Info.Error).c_str());
     } else {
       std::printf("file: %s\n", File.c_str());
       if (Info.Ok) {
         std::printf("header: ok (v%u schema %u)\n", Info.FileVersion,
                     Info.SchemaVersion);
+        std::printf("codec: binary scheme payload v%u\n",
+                    kSchemePayloadVersion);
         std::printf("entries: %zu\npayload bytes: %zu\n", Info.EntryCount,
                     Info.PayloadBytes);
+        std::printf("shard entries:");
+        for (size_t I = 0; I < Info.ShardEntryCounts.size(); ++I)
+          std::printf(" %zu:%zu", I, Info.ShardEntryCounts[I]);
+        std::printf("\n");
       } else {
         std::printf("header: %s\n", Info.Error.c_str());
       }
@@ -529,9 +548,16 @@ int cmdCache(int argc, char **argv, int Start) {
   }
   SummaryCache Cache;
   if (!Cache.load(File)) {
-    std::fprintf(stderr,
-                 "error: cannot load %s (missing or stale version header)\n",
-                 File.c_str());
+    // Distinguish version mismatches (with direction-aware advice) from
+    // genuinely unreadable files.
+    CacheFileInfo Info = SummaryCache::inspectFile(File);
+    if (Info.Stale || Info.Newer)
+      std::fprintf(stderr, "error: cannot load %s: %s\n", File.c_str(),
+                   Info.Error.c_str());
+    else
+      std::fprintf(stderr,
+                   "error: cannot load %s (missing or unrecognized file)\n",
+                   File.c_str());
     return 1;
   }
   size_t Before = Cache.size();
