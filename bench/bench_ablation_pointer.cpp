@@ -51,10 +51,13 @@ void BM_SaturatePointerChain(benchmark::State &State) {
   ConstraintParser P(Syms, Lat);
   std::string Text;
   for (unsigned I = 0; I < Depth; ++I) {
-    std::string A = "p" + std::to_string(I);
-    std::string B = "p" + std::to_string(I + 1);
+    std::string A = "p";
+    A += std::to_string(I);
+    std::string B = "p";
+    B += std::to_string(I + 1);
     Text += A + " <= " + B + "\n";
-    Text += "x" + std::to_string(I) + " <= " + A + ".store\n";
+    Text += "x";
+    Text += std::to_string(I) + " <= " + A + ".store\n";
     Text += B + ".load <= y" + std::to_string(I) + "\n";
   }
   auto C = P.parse(Text);

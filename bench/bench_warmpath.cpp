@@ -7,15 +7,18 @@
 //
 //   pipeline.generate / simplify / solve / convert   the classic phases
 //   cache.hash                                       structural key hashing
+//   gencache.key                                     generation-cache keys
 //   cache.encode / cache.decode                      binary codec work
 //   parser.parse                                     ConstraintParser time
 //
-// plus the EventCounters (constraint parses, scheme encodes/decodes).
-// The binary data plane's claims are checkable right here: warm runs must
-// show parser.parse == 0 and zero ConstraintParseCalls — the old design
-// re-parsed every cached scheme — and cache.hash/decode must be small
-// next to the simplify time they replace. Results go to
-// BENCH_warmpath.json.
+// plus the EventCounters (constraint parses, scheme encodes/decodes, and
+// generation-cache hits/misses). The content-addressed data plane's claims
+// are checkable right here: warm runs must show parser.parse == 0, zero
+// ConstraintParseCalls, zero cache misses of ANY payload kind (schemes,
+// solutions, generation results), and nonzero gen-cache hits — the
+// generate phase replays binary payloads instead of re-walking bodies.
+// Results go to BENCH_warmpath.json. Exits nonzero unless the warm run is
+// clean, which is exactly what the CI bench-smoke job gates on.
 //
 //===----------------------------------------------------------------------===//
 
@@ -31,10 +34,13 @@
 #include <map>
 #include <string>
 #include <thread>
+#include <vector>
 
 using namespace retypd;
 
 namespace {
+
+constexpr unsigned kSamples = 3;
 
 struct RunResult {
   double WallSecs = 0;
@@ -44,6 +50,8 @@ struct RunResult {
   uint64_t Decodes = 0;
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
+  uint64_t GenHits = 0;
+  uint64_t GenMisses = 0;
 };
 
 RunResult timedRun(const SynthProgram &P, const Lattice &Lat,
@@ -70,6 +78,9 @@ RunResult timedRun(const SynthProgram &P, const Lattice &Lat,
       EventCounters::ConstraintParseCalls.load(std::memory_order_relaxed);
   Out.Encodes = EventCounters::SchemeEncodes.load(std::memory_order_relaxed);
   Out.Decodes = EventCounters::SchemeDecodes.load(std::memory_order_relaxed);
+  Out.GenHits = EventCounters::GenCacheHits.load(std::memory_order_relaxed);
+  Out.GenMisses =
+      EventCounters::GenCacheMisses.load(std::memory_order_relaxed);
   if (Cache) {
     Out.CacheHits = Cache->hits() - Hits0;
     Out.CacheMisses = Cache->misses() - Misses0;
@@ -94,6 +105,9 @@ void printRun(const char *Title, const RunResult &R) {
   std::printf("    %-22s %8llu / %llu\n", "cache hits/misses",
               static_cast<unsigned long long>(R.CacheHits),
               static_cast<unsigned long long>(R.CacheMisses));
+  std::printf("    %-22s %8llu / %llu\n", "gen-cache hits/misses",
+              static_cast<unsigned long long>(R.GenHits),
+              static_cast<unsigned long long>(R.GenMisses));
 }
 
 void emitPhases(FILE *J, const RunResult &R, const char *Indent) {
@@ -105,6 +119,7 @@ void emitPhases(FILE *J, const RunResult &R, const char *Indent) {
                "%s\"solve_secs\": %.6f,\n"
                "%s\"convert_secs\": %.6f,\n"
                "%s\"hash_secs\": %.6f,\n"
+               "%s\"genkey_secs\": %.6f,\n"
                "%s\"encode_secs\": %.6f,\n"
                "%s\"decode_secs\": %.6f,\n"
                "%s\"parse_secs\": %.6f,\n"
@@ -113,6 +128,8 @@ void emitPhases(FILE *J, const RunResult &R, const char *Indent) {
                "%s\"scheme_decodes\": %llu,\n"
                "%s\"cache_hits\": %llu,\n"
                "%s\"cache_misses\": %llu,\n"
+               "%s\"gen_cache_hits\": %llu,\n"
+               "%s\"gen_cache_misses\": %llu,\n"
                "%s\"wall_secs\": %.6f\n",
                Indent, phase(R, "pipeline.phase0"), Indent,
                phase(R, "pipeline.generate"), Indent,
@@ -120,13 +137,16 @@ void emitPhases(FILE *J, const RunResult &R, const char *Indent) {
                phase(R, "pipeline.solveprep"), Indent,
                phase(R, "pipeline.solve"), Indent,
                phase(R, "pipeline.convert"), Indent, phase(R, "cache.hash"),
-               Indent, phase(R, "cache.encode"), Indent,
+               Indent, phase(R, "gencache.key"), Indent,
+               phase(R, "cache.encode"), Indent,
                phase(R, "cache.decode"), Indent, phase(R, "parser.parse"),
                Indent, static_cast<unsigned long long>(R.ParseCalls), Indent,
                static_cast<unsigned long long>(R.Encodes), Indent,
                static_cast<unsigned long long>(R.Decodes), Indent,
                static_cast<unsigned long long>(R.CacheHits), Indent,
                static_cast<unsigned long long>(R.CacheMisses), Indent,
+               static_cast<unsigned long long>(R.GenHits), Indent,
+               static_cast<unsigned long long>(R.GenMisses), Indent,
                R.WallSecs);
 }
 
@@ -134,8 +154,25 @@ void emitPhases(FILE *J, const RunResult &R, const char *Indent) {
 
 int main(int argc, char **argv) {
   unsigned Size = 50000;
-  if (argc > 1 && std::strcmp(argv[1], "--small") == 0)
-    Size = 10000;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--small") == 0) {
+      Size = 10000;
+    } else if (std::strcmp(argv[I], "--instr") == 0 && I + 1 < argc) {
+      Size = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--small | --instr N]\n"
+                   "  --small    10k instructions (alias for --instr 10000)\n"
+                   "  --instr N  synthesize ~N instructions (default 50000;\n"
+                   "             CI smoke uses a small N)\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (Size == 0) {
+    std::fprintf(stderr, "--instr requires a positive count\n");
+    return 2;
+  }
   Lattice Lat = makeDefaultLattice();
   SynthGenerator Gen;
   SynthOptions O;
@@ -143,22 +180,71 @@ int main(int argc, char **argv) {
   O.TargetInstructions = Size;
   SynthProgram P = Gen.generate("warmpath", O);
 
-  std::printf("warm-path phase breakdown (%zu instructions, 1 thread)\n\n",
-              P.M.instructionCount());
+  std::printf("warm-path phase breakdown (%zu instructions, 1 thread, "
+              "min of %u runs per mode)\n\n",
+              P.M.instructionCount(), kSamples);
 
+  // Single samples flake under scheduler noise on small containers; take
+  // the min-wall run of each mode (the same discipline bench_fig11 uses).
+  // Counters are deterministic across samples, so any run's are honest.
+  auto minRun = [](RunResult A, const RunResult &B) {
+    return B.WallSecs < A.WallSecs ? B : A;
+  };
+  // Per-phase minima across a mode's samples: phase ratios computed
+  // min-over-min are far less noise-sensitive than any single run's.
+  auto minPhase = [](const std::vector<RunResult> &Runs, const char *Name) {
+    double Min = 0;
+    bool Have = false;
+    for (const RunResult &R : Runs) {
+      double V = phase(R, Name);
+      if (!Have || V < Min) {
+        Min = V;
+        Have = true;
+      }
+    }
+    return Min;
+  };
+
+  std::vector<RunResult> NoCacheRuns, WarmRuns;
   RunResult NoCache = timedRun(P, Lat, nullptr);
+  NoCacheRuns.push_back(NoCache);
+  for (unsigned I = 1; I < kSamples; ++I) {
+    NoCacheRuns.push_back(timedRun(P, Lat, nullptr));
+    NoCache = minRun(NoCache, NoCacheRuns.back());
+  }
   printRun("no cache        ", NoCache);
+
+  // Cold samples each need a fresh cache (a second run against a populated
+  // one would be warm); the last populated cache feeds the warm runs.
   SummaryCache Cache;
   RunResult Cold = timedRun(P, Lat, &Cache);
+  for (unsigned I = 1; I < kSamples; ++I) {
+    Cache.clear();
+    Cold = minRun(Cold, timedRun(P, Lat, &Cache));
+  }
   printRun("cold cache      ", Cold);
+
   RunResult Warm = timedRun(P, Lat, &Cache);
+  WarmRuns.push_back(Warm);
+  for (unsigned I = 1; I < kSamples; ++I) {
+    WarmRuns.push_back(timedRun(P, Lat, &Cache));
+    Warm = minRun(Warm, WarmRuns.back());
+  }
   printRun("warm cache      ", Warm);
 
   double Speedup = Warm.WallSecs > 0 ? NoCache.WallSecs / Warm.WallSecs : 0;
   std::printf("\nwarm speedup vs no-cache: %.2fx\n", Speedup);
+  double WarmGen = minPhase(WarmRuns, "pipeline.generate");
+  double GenSpeedup =
+      WarmGen > 0 ? minPhase(NoCacheRuns, "pipeline.generate") / WarmGen : 0;
+  std::printf("warm generate-phase speedup vs no-cache: %.2fx "
+              "(per-phase min over %u samples)\n",
+              GenSpeedup, kSamples);
   bool WarmClean = Warm.ParseCalls == 0 && Warm.CacheMisses == 0 &&
-                   Warm.CacheHits > 0;
-  std::printf("warm path clean (0 parses, 0 misses, hits > 0): %s\n",
+                   Warm.CacheHits > 0 && Warm.GenMisses == 0 &&
+                   Warm.GenHits > 0;
+  std::printf("warm path clean (0 parses, 0 misses, hits > 0, "
+              "0 gen misses, gen hits > 0): %s\n",
               WarmClean ? "yes" : "NO");
 
   FILE *J = std::fopen("BENCH_warmpath.json", "w");
@@ -170,10 +256,11 @@ int main(int argc, char **argv) {
                  "  \"hardware_threads\": %u,\n"
                  "  \"jobs\": 1,\n"
                  "  \"warm_speedup_vs_nocache\": %.3f,\n"
+                 "  \"warm_generate_speedup_vs_nocache\": %.3f,\n"
                  "  \"warm_parse_free\": %s,\n",
                  P.M.instructionCount(),
                  std::max(1u, std::thread::hardware_concurrency()), Speedup,
-                 WarmClean ? "true" : "false");
+                 GenSpeedup, WarmClean ? "true" : "false");
     std::fprintf(J, "  \"no_cache\": {\n");
     emitPhases(J, NoCache, "    ");
     std::fprintf(J, "  },\n  \"cold\": {\n");

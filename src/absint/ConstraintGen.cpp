@@ -8,15 +8,37 @@
 #include "mir/Cfg.h"
 
 #include <cassert>
+#include <charconv>
 
 using namespace retypd;
 
-TypeVariable ConstraintGenerator::procVar(uint32_t FuncId) {
-  return TypeVariable::var(Syms.intern(M.Funcs[FuncId].Name));
+namespace {
+
+/// Appends the decimal render of \p V without a std::to_string temporary.
+void appendInt(std::string &S, int64_t V) {
+  char Buf[24];
+  auto Res = std::to_chars(Buf, Buf + sizeof(Buf), V);
+  S.append(Buf, Res.ptr);
 }
 
-TypeVariable ConstraintGenerator::globalVar(uint32_t GlobalId) {
-  return TypeVariable::var(Syms.intern("g!" + M.Globals[GlobalId].Name));
+} // namespace
+
+ConstraintGenerator::ConstraintGenerator(SymbolTable &Syms, const Lattice &Lat,
+                                         const Module &M)
+    : Syms(Syms), Lat(Lat), M(M), Num32(Lat.lookup("num32")) {
+  // Module-level variables are interned exactly once, here: procedure
+  // variables by name, globals as "g!name". Every later reference — per
+  // instruction, per callsite, per worker thread — is a plain vector read.
+  ProcVars.reserve(M.Funcs.size());
+  for (const Function &F : M.Funcs)
+    ProcVars.push_back(TypeVariable::var(Syms.intern(F.Name)));
+  GlobalVars.reserve(M.Globals.size());
+  std::string Name;
+  for (const GlobalVar &G : M.Globals) {
+    Name.assign("g!");
+    Name += G.Name;
+    GlobalVars.push_back(TypeVariable::var(Syms.intern(Name)));
+  }
 }
 
 ConstraintSet ConstraintGenerator::instantiate(const TypeScheme &Scheme,
@@ -29,11 +51,14 @@ ConstraintSet ConstraintGenerator::instantiate(const TypeScheme &Scheme,
   // never of how many instantiations other procedures performed first. The
   // incremental engine relies on this to regenerate a single procedure and
   // get bit-identical constraints.
-  const std::string ExPrefix = Syms.name(CallsiteVar.symbol()) + "$ex";
+  std::string ExName = Syms.name(CallsiteVar.symbol()) + "$ex";
+  const size_t PrefixLen = ExName.size();
   unsigned ExCounter = 0;
-  for (TypeVariable Ex : Scheme.Existentials)
-    Map[Ex] = TypeVariable::var(
-        Syms.intern(ExPrefix + std::to_string(ExCounter++)));
+  for (TypeVariable Ex : Scheme.Existentials) {
+    ExName.resize(PrefixLen);
+    appendInt(ExName, ExCounter++);
+    Map[Ex] = TypeVariable::var(Syms.intern(ExName));
+  }
 
   auto Rename = [&](const DerivedTypeVariable &D) {
     auto It = Map.find(D.base());
@@ -85,27 +110,55 @@ GenResult ConstraintGenerator::generate(
   ReachingDefs RD(F, G, SA);
 
   const std::string Fn = F.Name + "!";
+  // Reused render buffer: the only strings built below are first-use
+  // renders, and none of them leaves a temporary behind.
+  std::string Scratch;
+  Scratch.reserve(Fn.size() + 32);
 
-  auto LocName = [&](const Location &L) -> std::string {
+  auto AppendLocName = [&](std::string &S, const Location &L) {
     switch (L.K) {
     case Location::Kind::Register:
-      return regName(static_cast<Reg>(L.Key));
+      S += regName(static_cast<Reg>(L.Key));
+      break;
     case Location::Kind::StackSlot:
-      return "stk" + std::to_string(L.Key);
+      S += "stk";
+      appendInt(S, L.Key);
+      break;
     case Location::Kind::Global:
-      return "g!" + M.Globals[L.Key].Name;
+      S += "g!";
+      S += M.Globals[L.Key].Name;
+      break;
     }
-    return "?";
   };
+
+  // Interned def-site table: one TypeVariable per (location kind, reg/slot
+  // key, reaching-def site), rendered and interned on first reference
+  // only. Keys pack (u32 location key, u32 site) into a u64; the kind
+  // selects the map.
+  std::unordered_map<uint64_t, TypeVariable> DefVars[3];
 
   /// Type variable for a definition of \p L at site \p Def.
   auto DefVar = [&](const Location &L, uint32_t Def) -> TypeVariable {
     // Globals are module-level variables: their entry definition *is* the
     // shared global variable (flow into/out of it links procedures).
     if (L.K == Location::Kind::Global && Def == EntryDef)
-      return TypeVariable::var(Syms.intern(LocName(L)));
-    std::string Site = Def == EntryDef ? "in" : std::to_string(Def);
-    return TypeVariable::var(Syms.intern(Fn + LocName(L) + "@" + Site));
+      return GlobalVars[L.Key];
+    auto &Table = DefVars[static_cast<unsigned>(L.K)];
+    uint64_t Key =
+        (static_cast<uint64_t>(static_cast<uint32_t>(L.Key)) << 32) | Def;
+    auto It = Table.find(Key);
+    if (It != Table.end())
+      return It->second;
+    Scratch.assign(Fn);
+    AppendLocName(Scratch, L);
+    Scratch += '@';
+    if (Def == EntryDef)
+      Scratch += "in";
+    else
+      appendInt(Scratch, Def);
+    TypeVariable V = TypeVariable::var(Syms.intern(Scratch));
+    Table.emplace(Key, V);
+    return V;
   };
 
   // Procedure-local numbering: a procedure's constraints depend only on its
@@ -113,8 +166,11 @@ GenResult ConstraintGenerator::generate(
   // module (the incremental engine regenerates procedures in isolation).
   unsigned LocalFresh = 0;
   auto Fresh = [&](const char *Tag) {
-    return TypeVariable::var(
-        Syms.intern(Fn + Tag + "$" + std::to_string(LocalFresh++)));
+    Scratch.assign(Fn);
+    Scratch += Tag;
+    Scratch += '$';
+    appendInt(Scratch, LocalFresh++);
+    return TypeVariable::var(Syms.intern(Scratch));
   };
 
   auto Dtv = [](TypeVariable V) { return DerivedTypeVariable(V); };
@@ -355,8 +411,7 @@ GenResult ConstraintGenerator::generate(
         AbsVal V = ReadReg(Ins.Dst);
         int32_t Delta = Ins.Op == Opcode::AddImm ? Ins.Imm : -Ins.Imm;
         TypeVariable ImmVar = Fresh("imm");
-        R.C.addSubtype(Dtv(ImmVar),
-                       Dtv(TypeVariable::constant(*Lat.lookup("num32"))));
+        R.C.addSubtype(Dtv(ImmVar), Dtv(TypeVariable::constant(*Num32)));
         R.C.addAddSub(AddSubConstraint{Ins.Op == Opcode::SubImm, Dtv(V.Var),
                                        Dtv(ImmVar),
                                        Dtv(DefRegVar(Ins.Dst))});
@@ -383,8 +438,7 @@ GenResult ConstraintGenerator::generate(
         (void)Bv;
         TypeVariable D = DefRegVar(Ins.Dst);
         // Bit manipulation: integral result (A.5.2).
-        R.C.addSubtype(Dtv(D),
-                       Dtv(TypeVariable::constant(*Lat.lookup("num32"))));
+        R.C.addSubtype(Dtv(D), Dtv(TypeVariable::constant(*Num32)));
         WriteReg(Ins.Dst, AbsVal{D, 0});
         break;
       }
@@ -402,8 +456,7 @@ GenResult ConstraintGenerator::generate(
           WriteReg(Ins.Dst, AbsVal{V.Var, V.Off});
         } else {
           TypeVariable D = DefRegVar(Ins.Dst);
-          R.C.addSubtype(Dtv(D),
-                         Dtv(TypeVariable::constant(*Lat.lookup("num32"))));
+          R.C.addSubtype(Dtv(D), Dtv(TypeVariable::constant(*Num32)));
           WriteReg(Ins.Dst, AbsVal{D, 0});
         }
         break;
@@ -415,8 +468,7 @@ GenResult ConstraintGenerator::generate(
           break;
         }
         TypeVariable D = DefRegVar(Ins.Dst);
-        R.C.addSubtype(Dtv(D),
-                       Dtv(TypeVariable::constant(*Lat.lookup("num32"))));
+        R.C.addSubtype(Dtv(D), Dtv(TypeVariable::constant(*Num32)));
         WriteReg(Ins.Dst, AbsVal{D, 0});
         break;
       }
@@ -461,8 +513,12 @@ GenResult ConstraintGenerator::generate(
           CalleeVar = procVar(Callee);
           R.Interesting.insert(CalleeVar);
         } else {
-          CalleeVar = TypeVariable::var(Syms.intern(
-              Fn + CF.Name + "@" + std::to_string(Idx)));
+          Scratch.assign(Fn);
+          Scratch += CF.Name;
+          Scratch += '@';
+          appendInt(Scratch, Idx);
+          CalleeVar = TypeVariable::var(Syms.intern(Scratch));
+          R.Callsites.push_back(CalleeVar);
           auto SchemeIt = Schemes.find(Callee);
           if (SchemeIt != Schemes.end())
             R.C.merge(instantiate(SchemeIt->second, CalleeVar));
@@ -526,3 +582,112 @@ GenResult ConstraintGenerator::generate(
   }
   return R;
 }
+
+//===----------------------------------------------------------------------===//
+// Generation-cache keys
+//===----------------------------------------------------------------------===//
+
+Hash128 ConstraintGenerator::genKey(
+    uint32_t FuncId, const std::set<uint32_t> &SccMates,
+    const Hash128 &EnvSig,
+    const std::function<const Hash128 *(uint32_t)> &SchemeHashOf) const {
+  const Function &F = M.Funcs[FuncId];
+  Fnv128 H;
+  H.update("retypd-gen-v1");
+  H.sep();
+  H.updateU64(EnvSig.Hi);
+  H.updateU64(EnvSig.Lo);
+  // SCC membership is part of the dependency set: mates are referenced
+  // monomorphically and never through a scheme. Ordered member names (set
+  // iteration follows module order) keep the key stable across id shifts.
+  H.updateU64(SccMates.size());
+  for (uint32_t Mate : SccMates) {
+    H.update(M.Funcs[Mate].Name);
+    H.sep();
+  }
+  H.update(F.Name);
+  H.sep();
+  H.updateByte(F.IsExternal ? 1 : 0);
+  H.updateU64(F.NumStackParams);
+  H.updateU64(F.RegParams.size());
+  for (Reg Rr : F.RegParams)
+    H.updateByte(static_cast<uint8_t>(Rr));
+  H.updateByte(F.ReturnsValue ? 1 : 0);
+  H.updateU64(F.Body.size());
+  for (const Instr &I : F.Body) {
+    // Two packed words per instruction (field layout is unambiguous, so
+    // packing cannot create collisions between distinct instructions); the
+    // key computation runs on every warm probe, so stream bytes matter.
+    H.updateU64(static_cast<uint64_t>(static_cast<uint8_t>(I.Op)) |
+                (static_cast<uint64_t>(static_cast<uint8_t>(I.Dst)) << 8) |
+                (static_cast<uint64_t>(static_cast<uint8_t>(I.Src)) << 16) |
+                (static_cast<uint64_t>(static_cast<uint8_t>(I.CC)) << 24) |
+                (static_cast<uint64_t>(static_cast<uint32_t>(I.Imm)) << 32));
+    H.updateU64(
+        static_cast<uint64_t>(static_cast<uint8_t>(I.Mem.Base)) |
+        (static_cast<uint64_t>(I.Mem.Size) << 8) |
+        (static_cast<uint64_t>(static_cast<uint32_t>(I.Mem.Disp)) << 16));
+    // References resolve to *names* (and sizes for globals) so the hash is
+    // stable under id shifts from insertions elsewhere in the module.
+    if (I.Mem.isGlobal() && I.Mem.GlobalSym < M.Globals.size()) {
+      H.updateByte(1);
+      H.update(M.Globals[I.Mem.GlobalSym].Name);
+      H.sep();
+      H.updateU64(M.Globals[I.Mem.GlobalSym].Size);
+    } else {
+      H.updateByte(0);
+    }
+    if (I.Op == Opcode::Call && I.Target < M.Funcs.size()) {
+      // Everything generate() reads from the callee, streamed at the
+      // callsite: name, SCC-mate flag, interface fields, and the scheme
+      // instantiated here (absent for mates and unsummarized callees).
+      const Function &CF = M.Funcs[I.Target];
+      H.updateByte(1);
+      H.update(CF.Name);
+      H.sep();
+      H.updateByte(SccMates.count(I.Target) ? 1 : 0);
+      H.updateU64(CF.NumStackParams);
+      H.updateU64(CF.RegParams.size());
+      for (Reg Rr : CF.RegParams)
+        H.updateByte(static_cast<uint8_t>(Rr));
+      H.updateByte(CF.ReturnsValue ? 1 : 0);
+      if (const Hash128 *SchemeHash = SchemeHashOf(I.Target)) {
+        H.updateByte(1);
+        H.updateU64(SchemeHash->Hi);
+        H.updateU64(SchemeHash->Lo);
+      } else {
+        H.updateByte(0);
+      }
+    } else if (I.Op == Opcode::MovGlobal && I.Target < M.Globals.size()) {
+      H.updateByte(2);
+      H.update(M.Globals[I.Target].Name);
+      H.sep();
+      H.updateU64(M.Globals[I.Target].Size);
+    } else {
+      // Jump targets are body-local instruction indices: position is
+      // identity.
+      H.updateByte(0);
+      H.updateU64(I.Target);
+    }
+  }
+  return H.digest();
+}
+
+Hash128 ConstraintGenerator::envSig(const Module &M, const Lattice &Lat) {
+  Fnv128 H;
+  H.update("retypd-genenv-v1");
+  H.sep();
+  H.updateU64(M.Globals.size());
+  for (const GlobalVar &G : M.Globals) {
+    H.update(G.Name);
+    H.sep();
+    H.updateU64(G.Size);
+  }
+  H.updateU64(Lat.size());
+  for (size_t E = 0; E < Lat.size(); ++E) {
+    H.update(Lat.name(static_cast<LatticeElem>(E)));
+    H.sep();
+  }
+  return H.digest();
+}
+

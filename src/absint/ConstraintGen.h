@@ -27,6 +27,21 @@
 ///    fresh variables (let-polymorphism, A.4); calls to same-SCC members
 ///    use the callee's own variable monomorphically (§4.2).
 ///
+/// Naming is interned-by-structure, not string-built per reference: the
+/// generator precomputes module-level variables (procedure names, `g!`
+/// globals) once at construction, and each generate() call keeps a
+/// per-function table mapping (location kind, reg/slot key, reaching-def
+/// site) to its pre-interned `TypeVariable`, so the `Fn!loc@site` /
+/// `callsite$exN` / fresh-tag renders are produced exactly once per
+/// (function, location, site) — never once per instruction reference.
+///
+/// Generation is also *content-addressable*: `genKey()` hashes the full
+/// dependency set of one procedure's generated constraints — own body and
+/// interface, per-callsite callee interface fields and scheme identity,
+/// same-SCC membership, and the module/lattice environment signature —
+/// into a 128-bit key suitable for a generation-result cache
+/// (core/SummaryCache's gen payload kind).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RETYPD_ABSINT_CONSTRAINTGEN_H
@@ -34,7 +49,10 @@
 
 #include "core/ConstraintSet.h"
 #include "mir/MIR.h"
+#include "support/Hash128.h"
 
+#include <functional>
+#include <optional>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
@@ -48,6 +66,11 @@ struct GenResult {
   /// Base variables that must survive simplification: globals and same-SCC
   /// callee procedure variables.
   std::unordered_set<TypeVariable> Interesting;
+  /// Callsite instance variables (`F!callee@idx`) interned during the
+  /// walk, in body order. A generation-cache replay re-interns exactly
+  /// these, so the solve-prep symbol probe observes the same symbol-table
+  /// state as a fresh generation would have produced.
+  std::vector<TypeVariable> Callsites;
   /// Total parameter count (stack params first, then register params).
   unsigned NumParams = 0;
 };
@@ -55,9 +78,7 @@ struct GenResult {
 /// Generates constraint sets for procedures of a module.
 class ConstraintGenerator {
 public:
-  ConstraintGenerator(SymbolTable &Syms, const Lattice &Lat,
-                      const Module &M)
-      : Syms(Syms), Lat(Lat), M(M) {}
+  ConstraintGenerator(SymbolTable &Syms, const Lattice &Lat, const Module &M);
 
   /// Generates constraints for \p FuncId. \p Schemes maps already-
   /// summarized functions to their type schemes (instantiated per callsite
@@ -67,21 +88,55 @@ public:
                      const std::unordered_map<uint32_t, TypeScheme> &Schemes,
                      const std::set<uint32_t> &SccMates);
 
-  /// The procedure variable for a function (its name, interned).
-  TypeVariable procVar(uint32_t FuncId);
+  /// The procedure variable for a function (its name, interned once at
+  /// construction).
+  TypeVariable procVar(uint32_t FuncId) const { return ProcVars[FuncId]; }
 
-  /// The module-level variable of a global symbol.
-  TypeVariable globalVar(uint32_t GlobalId);
+  /// The module-level variable of a global symbol (`g!name`, interned once
+  /// at construction).
+  TypeVariable globalVar(uint32_t GlobalId) const {
+    return GlobalVars[GlobalId];
+  }
 
   /// Instantiates \p Scheme at a callsite: the procedure variable maps to
   /// \p CallsiteVar and every existential gets a fresh name (A.4).
   ConstraintSet instantiate(const TypeScheme &Scheme,
                             TypeVariable CallsiteVar);
 
+  /// Signature of the generation environment shared by every function of
+  /// \p M: the whole globals table (names and sizes, in id order) and the
+  /// lattice identity (element names, in order). Any change to either
+  /// conservatively invalidates every cached generation result.
+  static Hash128 envSig(const Module &M, const Lattice &Lat);
+
+  /// Content key of generate(FuncId, Schemes, SccMates) for the
+  /// generation-result cache. One pass over the function streams its full
+  /// dependency set: name, recovered interface, every instruction (call
+  /// targets and global references resolved to *names* plus global sizes,
+  /// so the key is stable across id shifts elsewhere in the module), and —
+  /// per call instruction — the callee's interface fields, SCC-mate flag,
+  /// and type scheme identity; the ordered same-SCC member names and the
+  /// environment signature close the set. \p SchemeHashOf returns the
+  /// structural hash of a callee's current scheme, or nullptr when it has
+  /// none (SCC mates, not-yet-summarized callees). Replay from a cache
+  /// keyed this way is byte-identical to a fresh generation; miss on any
+  /// dependency change.
+  Hash128
+  genKey(uint32_t FuncId, const std::set<uint32_t> &SccMates,
+         const Hash128 &EnvSig,
+         const std::function<const Hash128 *(uint32_t)> &SchemeHashOf) const;
+
 private:
   SymbolTable &Syms;
   const Lattice &Lat;
   const Module &M;
+  /// Pre-interned per-module variables (see procVar / globalVar).
+  std::vector<TypeVariable> ProcVars;
+  std::vector<TypeVariable> GlobalVars;
+  /// num32 lattice element, resolved once (A.5.2 / A.6 integral bounds).
+  /// Dereferenced only when an integral opcode needs it, so lattices
+  /// without num32 still analyze modules that never touch those opcodes.
+  std::optional<LatticeElem> Num32;
 };
 
 } // namespace retypd

@@ -34,6 +34,28 @@ public:
   /// Adds an additive constraint.
   void addAddSub(AddSubConstraint C);
 
+  /// Payload-decode fast path: appends WITHOUT maintaining the dedup
+  /// indexes (no per-constraint hashing). Only for materializing a payload
+  /// that is a faithful encoding of an already-deduplicated set — the
+  /// binary codec's decoders. A set built this way serves every read path
+  /// (solving, canonical views, hashing, rendering), but must not be the
+  /// target of further addSubtype/addVar/merge calls: the empty indexes
+  /// would silently stop deduplicating.
+  void appendSubtypeTrusted(DerivedTypeVariable Lhs,
+                            DerivedTypeVariable Rhs) {
+    Subs.push_back(SubtypeConstraint{std::move(Lhs), std::move(Rhs)});
+  }
+  void appendVarTrusted(DerivedTypeVariable V) {
+    Vars.push_back(std::move(V));
+  }
+
+  /// Pre-sizes the constraint vectors (decoders know exact counts).
+  void reserve(size_t NumSubs, size_t NumVars, size_t NumAddSubs) {
+    Subs.reserve(NumSubs);
+    Vars.reserve(NumVars);
+    AddSubs.reserve(NumAddSubs);
+  }
+
   const std::vector<SubtypeConstraint> &subtypes() const { return Subs; }
   const std::vector<DerivedTypeVariable> &vars() const { return Vars; }
   const std::vector<AddSubConstraint> &addSubs() const { return AddSubs; }

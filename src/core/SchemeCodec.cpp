@@ -382,6 +382,266 @@ std::optional<TypeScheme> retypd::decodeScheme(std::string_view Payload,
 }
 
 //===----------------------------------------------------------------------===//
+// Generation-result payloads (cached ConstraintGen output)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// First payload byte of a generation-result payload. Scheme payloads
+/// start with the plain version byte and sketch bundles with 0x80|version;
+/// 0x40|version keeps all three kinds mutually unmistakable.
+constexpr uint8_t kGenResultTag = 0x40 | kSchemePayloadVersion;
+
+} // namespace
+
+// Gen payload layout (all integers LEB128):
+//   u8     tag (0x40 | payload version)
+//   n      name count;  n × (len, bytes)
+//   d      DTV count;   d × (u8 rank, [nameIdx unless rank 0],
+//                            wordLen, wordLen × labelRaw)
+//   setHashHi, setHashLo
+//   i      interesting count; i × nameIdx   (sorted by name)
+//   k      callsite count;    k × nameIdx   (generation order)
+//   s/v/a  constraints exactly as in scheme payloads, order verbatim
+// Trailing bytes after the last field are corruption, not slack.
+std::string retypd::encodeGenResult(const ConstraintSet &C,
+                                    const Hash128 &SetHash,
+                                    const std::vector<TypeVariable>
+                                        &Interesting,
+                                    const std::vector<TypeVariable> &Callsites,
+                                    const SymbolTable &Syms,
+                                    const Lattice &Lat) {
+  EventCounters::SchemeEncodes.fetch_add(1, std::memory_order_relaxed);
+  Encoder Enc(Syms, Lat);
+
+  // Deterministic id assignment: DTVs (and the names their bases pull in)
+  // in constraint order, then the proc / interesting / callsite names.
+  auto NoteDtv = [&](const DerivedTypeVariable &V) { Enc.dtvIdx(V); };
+  for (const SubtypeConstraint &SC : C.subtypes()) {
+    NoteDtv(SC.Lhs);
+    NoteDtv(SC.Rhs);
+  }
+  for (const DerivedTypeVariable &V : C.vars())
+    NoteDtv(V);
+  for (const AddSubConstraint &AC : C.addSubs()) {
+    NoteDtv(AC.X);
+    NoteDtv(AC.Y);
+    NoteDtv(AC.Z);
+  }
+  std::vector<std::pair<uint8_t, uint64_t>> Dtvs;
+  Dtvs.reserve(Enc.dtvs().size());
+  std::vector<const DerivedTypeVariable *> DtvPtrs(Enc.dtvs());
+  for (const DerivedTypeVariable *V : DtvPtrs)
+    Dtvs.push_back(Enc.baseOf(*V));
+  // Interesting is an unordered set at the producer: sort by name so
+  // identical generation results encode to identical payload bytes.
+  std::vector<const std::string *> InterestingNames;
+  InterestingNames.reserve(Interesting.size());
+  for (TypeVariable V : Interesting)
+    InterestingNames.push_back(&Syms.name(V.symbol()));
+  std::sort(InterestingNames.begin(), InterestingNames.end(),
+            [](const std::string *A, const std::string *B) { return *A < *B; });
+  std::vector<uint64_t> InterestingIdx;
+  InterestingIdx.reserve(InterestingNames.size());
+  for (const std::string *N : InterestingNames)
+    InterestingIdx.push_back(Enc.nameIdx(*N));
+  std::vector<uint64_t> CallsiteIdx;
+  CallsiteIdx.reserve(Callsites.size());
+  for (TypeVariable V : Callsites)
+    CallsiteIdx.push_back(Enc.nameIdx(Syms.name(V.symbol())));
+
+  std::string Out;
+  Out.push_back(static_cast<char>(kGenResultTag));
+  putVarint(Out, Enc.names().size());
+  for (const std::string *N : Enc.names()) {
+    putVarint(Out, N->size());
+    Out.append(*N);
+  }
+  putVarint(Out, Dtvs.size());
+  for (size_t I = 0; I < Dtvs.size(); ++I) {
+    Out.push_back(static_cast<char>(Dtvs[I].first));
+    if (Dtvs[I].first != 0)
+      putVarint(Out, Dtvs[I].second);
+    putVarint(Out, DtvPtrs[I]->size());
+    for (Label L : DtvPtrs[I]->labels())
+      putVarint(Out, L.raw());
+  }
+  putVarint(Out, SetHash.Hi);
+  putVarint(Out, SetHash.Lo);
+  putVarint(Out, InterestingIdx.size());
+  for (uint64_t I : InterestingIdx)
+    putVarint(Out, I);
+  putVarint(Out, CallsiteIdx.size());
+  for (uint64_t I : CallsiteIdx)
+    putVarint(Out, I);
+  putVarint(Out, C.subtypes().size());
+  for (const SubtypeConstraint &SC : C.subtypes()) {
+    putVarint(Out, Enc.dtvIdx(SC.Lhs));
+    putVarint(Out, Enc.dtvIdx(SC.Rhs));
+  }
+  putVarint(Out, C.vars().size());
+  for (const DerivedTypeVariable &V : C.vars())
+    putVarint(Out, Enc.dtvIdx(V));
+  putVarint(Out, C.addSubs().size());
+  for (const AddSubConstraint &AC : C.addSubs()) {
+    Out.push_back(AC.IsSub ? 1 : 0);
+    putVarint(Out, Enc.dtvIdx(AC.X));
+    putVarint(Out, Enc.dtvIdx(AC.Y));
+    putVarint(Out, Enc.dtvIdx(AC.Z));
+  }
+  return Out;
+}
+
+std::optional<DecodedGenResult>
+retypd::decodeGenResult(std::string_view Payload, SymbolTable &Syms,
+                        const Lattice &Lat) {
+  EventCounters::SchemeDecodes.fetch_add(1, std::memory_order_relaxed);
+  Reader R(Payload);
+  uint8_t Tag = 0;
+  if (!R.u8(Tag) || Tag != kGenResultTag)
+    return std::nullopt;
+
+  uint64_t NameCount = 0;
+  if (!R.varint(NameCount) || NameCount > R.remaining())
+    return std::nullopt;
+  std::vector<std::string_view> Names(static_cast<size_t>(NameCount));
+  for (std::string_view &N : Names) {
+    uint64_t Len = 0;
+    if (!R.varint(Len) || !R.bytes(static_cast<size_t>(Len), N))
+      return std::nullopt;
+  }
+  std::vector<SymbolId> InternedNames(Names.size(),
+                                      static_cast<SymbolId>(-1));
+  auto internName = [&](uint64_t Idx) -> std::optional<SymbolId> {
+    if (Idx >= Names.size())
+      return std::nullopt;
+    SymbolId &Cached = InternedNames[static_cast<size_t>(Idx)];
+    if (Cached == static_cast<SymbolId>(-1))
+      Cached = Syms.intern(Names[static_cast<size_t>(Idx)]);
+    return Cached;
+  };
+
+  uint64_t DtvCount = 0;
+  if (!R.varint(DtvCount) || DtvCount > R.remaining())
+    return std::nullopt;
+  std::vector<DerivedTypeVariable> Dtvs;
+  Dtvs.reserve(static_cast<size_t>(DtvCount));
+  for (uint64_t I = 0; I < DtvCount; ++I) {
+    uint8_t Rank = 0;
+    if (!R.u8(Rank) || Rank > 2)
+      return std::nullopt;
+    TypeVariable Base;
+    if (Rank != 0) {
+      uint64_t NameIdx = 0;
+      if (!R.varint(NameIdx) || NameIdx >= Names.size())
+        return std::nullopt;
+      if (Rank == 1) {
+        auto Elem = Lat.lookup(Names[static_cast<size_t>(NameIdx)]);
+        if (!Elem)
+          return std::nullopt;
+        Base = TypeVariable::constant(*Elem);
+      } else {
+        auto Sym = internName(NameIdx);
+        if (!Sym)
+          return std::nullopt;
+        Base = TypeVariable::var(*Sym);
+      }
+    }
+    uint64_t WordLen = 0;
+    if (!R.varint(WordLen) || WordLen > R.remaining())
+      return std::nullopt;
+    std::vector<Label> Word;
+    Word.reserve(static_cast<size_t>(WordLen));
+    for (uint64_t J = 0; J < WordLen; ++J) {
+      uint64_t Raw = 0;
+      if (!R.varint(Raw) || !validLabelRaw(Raw))
+        return std::nullopt;
+      Word.push_back(Label::fromRaw(Raw));
+    }
+    Dtvs.emplace_back(Base, std::move(Word));
+  }
+  auto dtvAt = [&](uint64_t Idx) -> const DerivedTypeVariable * {
+    return Idx < Dtvs.size() ? &Dtvs[static_cast<size_t>(Idx)] : nullptr;
+  };
+
+  DecodedGenResult Out;
+  if (!R.varint(Out.SetHash.Hi) || !R.varint(Out.SetHash.Lo))
+    return std::nullopt;
+
+  auto readVarList = [&](std::vector<TypeVariable> &Vars) -> bool {
+    uint64_t Count = 0;
+    if (!R.varint(Count) || Count > R.remaining() + 1)
+      return false;
+    Vars.reserve(static_cast<size_t>(Count));
+    for (uint64_t I = 0; I < Count; ++I) {
+      uint64_t Idx = 0;
+      if (!R.varint(Idx))
+        return false;
+      auto Sym = internName(Idx);
+      if (!Sym)
+        return false;
+      Vars.push_back(TypeVariable::var(*Sym));
+    }
+    return true;
+  };
+  if (!readVarList(Out.Interesting) || !readVarList(Out.Callsites))
+    return std::nullopt;
+
+  // The payload encodes an already-deduplicated set, so the trusted
+  // appends skip the dedup-index hashing entirely — this is the hot loop
+  // of a warm run's generate phase.
+  uint64_t SubCount = 0;
+  if (!R.varint(SubCount) || SubCount > R.remaining() + 1)
+    return std::nullopt;
+  Out.C.reserve(static_cast<size_t>(SubCount), 0, 0);
+  for (uint64_t I = 0; I < SubCount; ++I) {
+    uint64_t L = 0, Rr = 0;
+    if (!R.varint(L) || !R.varint(Rr))
+      return std::nullopt;
+    const DerivedTypeVariable *Lhs = dtvAt(L), *Rhs = dtvAt(Rr);
+    if (!Lhs || !Rhs)
+      return std::nullopt;
+    Out.C.appendSubtypeTrusted(*Lhs, *Rhs);
+  }
+  uint64_t VarCount = 0;
+  if (!R.varint(VarCount) || VarCount > R.remaining() + 1)
+    return std::nullopt;
+  Out.C.reserve(0, static_cast<size_t>(VarCount), 0);
+  for (uint64_t I = 0; I < VarCount; ++I) {
+    uint64_t Idx = 0;
+    if (!R.varint(Idx))
+      return std::nullopt;
+    const DerivedTypeVariable *V = dtvAt(Idx);
+    if (!V)
+      return std::nullopt;
+    Out.C.appendVarTrusted(*V);
+  }
+  uint64_t AddSubCount = 0;
+  if (!R.varint(AddSubCount) || AddSubCount > R.remaining() + 1)
+    return std::nullopt;
+  Out.C.reserve(0, 0, static_cast<size_t>(AddSubCount));
+  for (uint64_t I = 0; I < AddSubCount; ++I) {
+    uint8_t IsSub = 0;
+    uint64_t X = 0, Y = 0, Z = 0;
+    if (!R.u8(IsSub) || IsSub > 1 || !R.varint(X) || !R.varint(Y) ||
+        !R.varint(Z))
+      return std::nullopt;
+    const DerivedTypeVariable *Xp = dtvAt(X), *Yp = dtvAt(Y), *Zp = dtvAt(Z);
+    if (!Xp || !Yp || !Zp)
+      return std::nullopt;
+    AddSubConstraint AC;
+    AC.IsSub = IsSub != 0;
+    AC.X = *Xp;
+    AC.Y = *Yp;
+    AC.Z = *Zp;
+    Out.C.addAddSub(AC);
+  }
+  if (!R.atEnd())
+    return std::nullopt; // trailing garbage
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
 // Sketch bundles (cached solver solutions)
 //===----------------------------------------------------------------------===//
 

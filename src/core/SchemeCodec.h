@@ -90,6 +90,43 @@ Hash128 canonicalSetHash(const ConstraintSet &C, const SymbolTable &Syms,
 Hash128 schemeStructuralHash(const TypeScheme &Scheme, const SymbolTable &Syms,
                              const Lattice &Lat);
 
+/// A decoded generation-result payload: one SCC's merged, *already
+/// canonicalized* constraint set (order preserved verbatim by the codec),
+/// its structural hash (computed at encode time, so replay skips both the
+/// canonical sort and the rehash), the interesting variables, and the
+/// callsite instance variables the generation walk interned. This is the
+/// third payload kind of the summary cache (after schemes and sketch
+/// bundles): replaying one skips the whole abstract-interpretation walk —
+/// and the merge/canonicalize/hash that follows it — for an SCC whose
+/// dependency set is unchanged.
+struct DecodedGenResult {
+  ConstraintSet C;
+  /// canonicalSetHash(C) as computed when the payload was encoded. A
+  /// corrupted stored hash cannot make results wrong — it only misdirects
+  /// downstream scheme/solution cache probes into recomputing.
+  Hash128 SetHash;
+  std::vector<TypeVariable> Interesting;
+  std::vector<TypeVariable> Callsites;
+};
+
+/// Encodes a generation result as a self-contained binary payload (same
+/// name-pool + dense-DTV discipline as scheme payloads; a distinct first
+/// byte separates the kinds). \p C must already be canonical and
+/// \p SetHash its canonicalSetHash. \p Interesting may arrive in any
+/// order — it is sorted by name internally so identical results encode to
+/// identical bytes; \p Callsites order (generation order) is preserved.
+std::string encodeGenResult(const ConstraintSet &C, const Hash128 &SetHash,
+                            const std::vector<TypeVariable> &Interesting,
+                            const std::vector<TypeVariable> &Callsites,
+                            const SymbolTable &Syms, const Lattice &Lat);
+
+/// Decodes a generation-result payload, interning names into \p Syms.
+/// Returns nullopt on any corruption; never throws, never reads out of
+/// bounds.
+std::optional<DecodedGenResult> decodeGenResult(std::string_view Payload,
+                                                SymbolTable &Syms,
+                                                const Lattice &Lat);
+
 /// One (type variable, sketch) binding of a cached solver solution.
 using SketchBinding = std::pair<TypeVariable, Sketch>;
 

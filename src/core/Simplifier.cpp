@@ -49,7 +49,7 @@ Simplifier::simplify(const ConstraintSet &C, TypeVariable ProcVar,
     GraphNodeId N = S / 2;
     Phase P = static_cast<Phase>(S % 2);
     for (const GraphEdge &E : G.edgesFrom(N)) {
-      uint32_t Next;
+      uint32_t Next = 0;
       switch (E.Kind) {
       case EdgeKind::One:
         Next = productState(E.To, P);

@@ -137,6 +137,59 @@ SummaryCache::lookupSolution(const SummaryKey &K, SymbolTable &Syms,
       Sh.M, Sh.Entries, Hits, Misses);
 }
 
+std::optional<DecodedGenResult> SummaryCache::lookupGen(const SummaryKey &K,
+                                                        SymbolTable &Syms,
+                                                        const Lattice &Lat)
+    const {
+  Shard &Sh = shard(K);
+  std::optional<DecodedGenResult> Out;
+  bool Found = false;
+  {
+    // Gen payloads are the largest entry kind (a whole SCC's constraint
+    // set), so unlike probeAndDecode this decodes in place under the
+    // shared lock instead of copying the payload out first. Readers never
+    // block readers, and entries never mutate — only insert_or_assign
+    // replaces whole strings under the exclusive lock.
+    std::shared_lock<std::shared_mutex> Lock(Sh.M);
+    auto It = Sh.Entries.find(K);
+    if (It != Sh.Entries.end()) {
+      Found = true;
+      ScopedPhaseTimer Timer("cache.decode");
+      Out = decodeGenResult(It->second, Syms, Lat);
+    }
+  }
+  if (Found && !Out) {
+    // Self-healing: drop the corrupt entry so the caller's recomputed
+    // insert overwrites it (unless a racing insert already replaced it
+    // with bytes that decode — re-check under the exclusive lock).
+    std::unique_lock<std::shared_mutex> Lock(Sh.M);
+    auto It = Sh.Entries.find(K);
+    if (It != Sh.Entries.end() && !decodeGenResult(It->second, Syms, Lat))
+      Sh.Entries.erase(It);
+  }
+  if (Out) {
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    EventCounters::GenCacheHits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    EventCounters::GenCacheMisses.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Out;
+}
+
+void SummaryCache::insertGen(const SummaryKey &K, const ConstraintSet &C,
+                             const Hash128 &SetHash,
+                             const std::vector<TypeVariable> &Interesting,
+                             const std::vector<TypeVariable> &Callsites,
+                             const SymbolTable &Syms, const Lattice &Lat) {
+  std::string Payload;
+  {
+    ScopedPhaseTimer Timer("cache.encode");
+    Payload = encodeGenResult(C, SetHash, Interesting, Callsites, Syms, Lat);
+  }
+  insertPayload(K, std::move(Payload));
+}
+
 void SummaryCache::insertSolution(
     const SummaryKey &K,
     const std::vector<std::pair<TypeVariable, const Sketch *>> &Entries,

@@ -144,6 +144,25 @@ public:
   lookupSolution(const SummaryKey &K, SymbolTable &Syms,
                  const Lattice &Lat) const;
 
+  /// Returns the decoded generation result for a gen key (the content key
+  /// the session combines from ConstraintGenerator::genKey values —
+  /// already domain-separated from scheme and solve keys), if cached. Same
+  /// self-healing contract as lookup(); additionally bumps
+  /// EventCounters::GenCacheHits/Misses so benchmarks can report
+  /// generation reuse separately.
+  std::optional<DecodedGenResult> lookupGen(const SummaryKey &K,
+                                            SymbolTable &Syms,
+                                            const Lattice &Lat) const;
+
+  /// Encodes and inserts (or replaces) a generation result for \p K.
+  /// \p C must already be canonical and \p SetHash its canonicalSetHash
+  /// (both replay verbatim on lookup).
+  void insertGen(const SummaryKey &K, const ConstraintSet &C,
+                 const Hash128 &SetHash,
+                 const std::vector<TypeVariable> &Interesting,
+                 const std::vector<TypeVariable> &Callsites,
+                 const SymbolTable &Syms, const Lattice &Lat);
+
   /// Encodes and inserts (or replaces) a solver solution for \p K.
   void insertSolution(
       const SummaryKey &K,

@@ -106,7 +106,9 @@ std::string CTypePool::typeName(CTypeId Id) const {
   case CType::Kind::Union: {
     std::string S = "union { ";
     for (size_t I = 0; I < T.Members.size(); ++I) {
-      S += declare(T.Members[I], "m" + std::to_string(I));
+      std::string MemberName = "m";
+      MemberName += std::to_string(I);
+      S += declare(T.Members[I], MemberName);
       S += "; ";
     }
     S += "}";

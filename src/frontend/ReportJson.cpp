@@ -43,7 +43,10 @@ std::string retypd::jsonEscape(const std::string &S) {
 namespace {
 
 std::string quoted(const std::string &S) {
-  return "\"" + jsonEscape(S) + "\"";
+  std::string Out = "\"";
+  Out += jsonEscape(S);
+  Out += '"';
+  return Out;
 }
 
 std::string numField(const char *Name, double V) {
@@ -66,6 +69,8 @@ std::string retypd::statsJson(const PipelineStats &S) {
   J += "\"jobs\": " + std::to_string(S.JobsUsed) + ", ";
   J += "\"cache_hits\": " + std::to_string(S.CacheHits) + ", ";
   J += "\"cache_misses\": " + std::to_string(S.CacheMisses) + ", ";
+  J += "\"gen_cache_hits\": " + std::to_string(S.GenCacheHits) + ", ";
+  J += "\"gen_cache_misses\": " + std::to_string(S.GenCacheMisses) + ", ";
   J += std::string("\"incremental\": ") + (S.IncrementalRun ? "true" : "false") + ", ";
   J += "\"functions_dirty\": " + std::to_string(S.FunctionsDirty) + ", ";
   J += "\"sccs_simplified\": " + std::to_string(S.SccsSimplified) + ", ";

@@ -507,6 +507,14 @@ const TypeReport &AnalysisSession::analyze() {
   Simplifier Simp(S, Lat, Opts.Simplify);
   SummaryCache *Cache = activeCache();
 
+  // Generation-cache key plumbing: the environment signature is shared by
+  // every function's key, and callee scheme hashes are memoized per run —
+  // waves are bottom-up, so a callee's scheme is final before any caller's
+  // key needs its hash.
+  const Hash128 GenEnvSig =
+      Cache ? ConstraintGenerator::envSig(M, Lat) : Hash128{};
+  std::unordered_map<uint32_t, Hash128> SchemeHashMemo;
+
   const size_t NumSccs = CG.sccs().size();
   Report.Stats.SccCount = NumSccs;
   Report.Stats.WaveCount = CG.bottomUpWaves().size();
@@ -657,24 +665,85 @@ const TypeReport &AnalysisSession::analyze() {
         Item.Key = std::move(Key);
         Item.Members = std::move(Members);
         Item.MemberNames = std::move(MemberNames);
-        for (uint32_t F : Item.Members) {
-          GenResult R = Gen.generate(F, Schemes, Mates);
-          Item.Combined.merge(R.C);
-          Item.Interesting.insert(R.Interesting.begin(),
-                                  R.Interesting.end());
-        }
-        // Canonicalize the combined set before any solving: simplifier τ
-        // numbering and solver traversals follow constraint order, and the
-        // Tarjan member order that produced it can flip when *other* parts
-        // of the call graph change. The structural sort makes every
-        // downstream result (and the summary-cache key hashed from the
-        // same canonical order) a pure function of the constraint *set*,
-        // which both the cache and incremental reuse depend on — with no
-        // canonical text ever materialized.
-        Item.Combined.canonicalize(S, Lat);
+        auto schemeHashFor = [&](uint32_t Callee) -> const Hash128 * {
+          auto SchemeIt = Schemes.find(Callee);
+          if (SchemeIt == Schemes.end())
+            return nullptr;
+          auto [MemoIt, Inserted] = SchemeHashMemo.try_emplace(Callee);
+          if (Inserted)
+            MemoIt->second = schemeStructuralHash(SchemeIt->second, S, Lat);
+          return &MemoIt->second;
+        };
+
+        // Generation is content-addressed: the SCC's gen key combines the
+        // per-member dependency keys (own body, callee interfaces + scheme
+        // hashes, SCC membership, globals table, lattice — see
+        // ConstraintGenerator::genKey), and the cached payload is the
+        // merged, canonicalized combined set with its structural hash. A
+        // hit therefore replays exactly what the walk+merge+canonicalize+
+        // hash below would produce — byte for byte — including the
+        // callsite variables the phase-2 solve-prep probe expects to find
+        // interned (the decoder interns them).
+        SummaryKey GenKey{};
+        bool Replayed = false;
         if (Cache) {
-          ScopedPhaseTimer HashTimer("cache.hash");
-          Item.SetHash = canonicalSetHash(Item.Combined, S, Lat);
+          {
+            ScopedPhaseTimer KeyTimer("gencache.key");
+            Fnv128 KeyHash;
+            KeyHash.update("retypd-genscc-v1");
+            KeyHash.sep();
+            KeyHash.updateU64(Item.Members.size());
+            for (uint32_t F : Item.Members) {
+              Hash128 K = Gen.genKey(F, Mates, GenEnvSig, schemeHashFor);
+              KeyHash.updateU64(K.Hi);
+              KeyHash.updateU64(K.Lo);
+            }
+            GenKey = KeyHash.digest();
+          }
+          if (auto Hit = Cache->lookupGen(GenKey, S, Lat)) {
+            Item.Combined = std::move(Hit->C); // already canonical
+            Item.SetHash = Hit->SetHash;
+            Item.Interesting.insert(Hit->Interesting.begin(),
+                                    Hit->Interesting.end());
+            Replayed = true;
+            ++Report.Stats.GenCacheHits;
+          } else {
+            ++Report.Stats.GenCacheMisses;
+          }
+        }
+        if (!Replayed) {
+          std::vector<TypeVariable> Callsites;
+          for (uint32_t F : Item.Members) {
+            GenResult R = Gen.generate(F, Schemes, Mates);
+            if (Item.Members.size() == 1)
+              Item.Combined = std::move(R.C); // single member: no merge
+            else
+              Item.Combined.merge(R.C);
+            Item.Interesting.insert(R.Interesting.begin(),
+                                    R.Interesting.end());
+            if (Cache)
+              Callsites.insert(Callsites.end(), R.Callsites.begin(),
+                               R.Callsites.end());
+          }
+          // Canonicalize the combined set before any solving: simplifier τ
+          // numbering and solver traversals follow constraint order, and
+          // the Tarjan member order that produced it can flip when *other*
+          // parts of the call graph change. The structural sort makes
+          // every downstream result (and the summary-cache key hashed from
+          // the same canonical order) a pure function of the constraint
+          // *set*, which both the cache and incremental reuse depend on —
+          // with no canonical text ever materialized.
+          Item.Combined.canonicalize(S, Lat);
+          if (Cache) {
+            {
+              ScopedPhaseTimer HashTimer("cache.hash");
+              Item.SetHash = canonicalSetHash(Item.Combined, S, Lat);
+            }
+            std::vector<TypeVariable> Interesting(Item.Interesting.begin(),
+                                                  Item.Interesting.end());
+            Cache->insertGen(GenKey, Item.Combined, Item.SetHash,
+                             Interesting, Callsites, S, Lat);
+          }
         }
         Report.ConstraintsGenerated += Item.Combined.size();
         Items.push_back(std::move(Item));

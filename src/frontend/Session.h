@@ -77,6 +77,10 @@ struct PipelineStats {
   unsigned JobsUsed = 1;
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
+  /// Generation-result cache probes this run (a subset of
+  /// CacheHits/CacheMisses: gen entries live in the same summary cache).
+  uint64_t GenCacheHits = 0;
+  uint64_t GenCacheMisses = 0;
 
   // --- Incremental re-analysis counters (all zero on a first run) ---
   /// Whether this run could draw on a previous run's artifacts.

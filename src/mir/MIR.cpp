@@ -78,16 +78,17 @@ const char *retypd::opcodeName(Opcode Op) {
 static std::string memStr(const Module &M, const MemRef &Mem) {
   std::string S = "[";
   if (Mem.isGlobal()) {
-    S += "@" + M.Globals[Mem.GlobalSym].Name;
+    S += '@';
+    S += M.Globals[Mem.GlobalSym].Name;
     if (Mem.Disp > 0)
-      S += "+" + std::to_string(Mem.Disp);
-    else if (Mem.Disp < 0)
+      S += '+';
+    if (Mem.Disp != 0)
       S += std::to_string(Mem.Disp);
   } else {
     S += regName(Mem.Base);
     if (Mem.Disp > 0)
-      S += "+" + std::to_string(Mem.Disp);
-    else if (Mem.Disp < 0)
+      S += '+';
+    if (Mem.Disp != 0)
       S += std::to_string(Mem.Disp);
   }
   S += "]";
@@ -210,9 +211,14 @@ std::string retypd::moduleStr(const Module &M) {
       if (I.isBranch())
         IsTarget[I.Target] = true;
     for (size_t Idx = 0; Idx < F.Body.size(); ++Idx) {
-      if (IsTarget[Idx])
-        S += "L" + std::to_string(Idx) + ":\n";
-      S += "  " + instrStr(M, F, F.Body[Idx]) + "\n";
+      if (IsTarget[Idx]) {
+        S += 'L';
+        S += std::to_string(Idx);
+        S += ":\n";
+      }
+      S += "  ";
+      S += instrStr(M, F, F.Body[Idx]);
+      S += '\n';
     }
   }
   return S;

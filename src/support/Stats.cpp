@@ -33,11 +33,15 @@ void MemStats::noteFree(size_t Size) {
 std::atomic<uint64_t> EventCounters::ConstraintParseCalls{0};
 std::atomic<uint64_t> EventCounters::SchemeDecodes{0};
 std::atomic<uint64_t> EventCounters::SchemeEncodes{0};
+std::atomic<uint64_t> EventCounters::GenCacheHits{0};
+std::atomic<uint64_t> EventCounters::GenCacheMisses{0};
 
 void EventCounters::reset() {
   ConstraintParseCalls.store(0, std::memory_order_relaxed);
   SchemeDecodes.store(0, std::memory_order_relaxed);
   SchemeEncodes.store(0, std::memory_order_relaxed);
+  GenCacheHits.store(0, std::memory_order_relaxed);
+  GenCacheMisses.store(0, std::memory_order_relaxed);
 }
 
 namespace {

@@ -51,6 +51,11 @@ struct EventCounters {
   static std::atomic<uint64_t> ConstraintParseCalls;
   static std::atomic<uint64_t> SchemeDecodes; ///< binary payload decodes
   static std::atomic<uint64_t> SchemeEncodes; ///< binary payload encodes
+  /// Generation-result cache probes (SummaryCache::lookupGen). A fully
+  /// warm run must show zero misses and nonzero hits — bench_warmpath and
+  /// the gen-cache tests assert it.
+  static std::atomic<uint64_t> GenCacheHits;
+  static std::atomic<uint64_t> GenCacheMisses;
 
   /// Zeroes every counter. Call between measured runs.
   static void reset();

@@ -4,6 +4,7 @@
 #include "analysis/InterfaceRecovery.h"
 #include "core/ConstraintGraph.h"
 #include "core/ConstraintParser.h"
+#include "core/SchemeCodec.h"
 #include "mir/AsmParser.h"
 
 #include <gtest/gtest.h>
@@ -383,4 +384,143 @@ check:
   // that is dereferenced again.
   EXPECT_TRUE(derives(R.C, "close_last.in0.load.s32@0.load.s32@4",
                       "#FileDescriptor"));
+}
+
+TEST_F(GenTest, GeneratedNameRenderIsByteStable) {
+  // Pins the rendered naming conventions across the interned-id refactor
+  // (PR 4): def-site variables `Fn!loc@site`, entry definitions `@in`,
+  // procedure-local fresh tags `merge$k` / `imm$k`, callsite instances
+  // `Fn!callee@idx` with `$exN` instantiation existentials, module-level
+  // `g!` globals, and interface locators `F.inK` / `F.out`. Any change to
+  // this exact text invalidates every golden .expected file and the
+  // cross-run stability the generation cache keys rely on.
+  Module M = parseModule(R"(
+global counter, 4
+extern alloc
+fn f:
+  load eax, [esp+4]
+  test eax, eax
+  jnz skip
+  mov ebx, eax
+skip:
+  mov ecx, ebx
+  add ecx, 8
+  push ecx
+  call alloc
+  add esp, 4
+  load edx, [@counter]
+  store [esp-4], edx
+  ret
+)");
+  uint32_t AllocId = *M.findFunction("alloc");
+  M.Funcs[AllocId].NumStackParams = 1;
+  M.Funcs[AllocId].ReturnsValue = true;
+
+  // alloc's scheme has one existential, so instantiation exercises the
+  // callsite-scoped `$ex` numbering.
+  TypeScheme Scheme;
+  Scheme.ProcVar = TypeVariable::var(Syms.intern("alloc"));
+  TypeVariable Ex = TypeVariable::var(Syms.intern("τ$alloc$0"));
+  Scheme.Existentials.push_back(Ex);
+  Scheme.Constraints.addSubtype(
+      DerivedTypeVariable(Scheme.ProcVar, {Label::in(0)}),
+      DerivedTypeVariable(Ex));
+  Scheme.Constraints.addSubtype(
+      DerivedTypeVariable(Ex),
+      DerivedTypeVariable(Scheme.ProcVar, {Label::out()}));
+
+  ConstraintGenerator Gen(Syms, Lat, M);
+  std::unordered_map<uint32_t, TypeScheme> Schemes;
+  Schemes[AllocId] = Scheme;
+  GenResult R = Gen.generate(*M.findFunction("f"), Schemes, {});
+
+  EXPECT_EQ(R.C.str(Syms, Lat),
+            "add(f!merge$0, f!imm$1; f!ecx@5)\n"
+            "f!alloc@7$ex0 <= f!alloc@7.out\n"
+            "f!alloc@7.in0 <= f!alloc@7$ex0\n"
+            "f!alloc@7.out <= f!eax@7\n"
+            "f!eax@0 <= f!ebx@3\n"
+            "f!eax@7 <= f.out\n"
+            "f!ebx@3 <= f!merge$0\n"
+            "f!ebx@in <= f!merge$0\n"
+            "f!edx@9 <= f!stk-4@10\n"
+            "f!imm$1 <= num32\n"
+            "f!merge$0 <= f!ecx@4\n"
+            "f!merge$0 <= f!stk-4@6\n"
+            "f!stk-4@6 <= f!alloc@7.in0\n"
+            "f!stk4@in <= f!eax@0\n"
+            "f.in0 <= f!stk4@in\n"
+            "f.in1 <= f!ebx@in\n"
+            "g!counter <= f!edx@9\n");
+
+  // Callsite instance variables are recorded in body order for the
+  // generation cache's symbol-parity replay.
+  ASSERT_EQ(R.Callsites.size(), 1u);
+  EXPECT_EQ(Syms.name(R.Callsites[0].symbol()), "f!alloc@7");
+  EXPECT_TRUE(R.Interesting.count(
+      TypeVariable::var(Syms.intern("g!counter"))));
+}
+
+TEST_F(GenTest, RegenerationIsBitIdenticalAcrossGeneratorsAndTables) {
+  // The interned-location tables are per-generate state: two generators
+  // over two symbol tables must render identical constraints (the
+  // cross-process stability the generation cache's payloads assume).
+  const char *Asm = R"(
+fn h:
+  load eax, [esp+4]
+  load ebx, [eax+4]
+  add ebx, 12
+  store [eax+8], ebx
+  ret
+)";
+  Module M = parseModule(Asm);
+  ConstraintGenerator Gen1(Syms, Lat, M);
+  GenResult R1 = Gen1.generate(*M.findFunction("h"), {}, {});
+  GenResult R2 = Gen1.generate(*M.findFunction("h"), {}, {});
+  EXPECT_EQ(R1.C.str(Syms, Lat), R2.C.str(Syms, Lat));
+
+  SymbolTable OtherSyms;
+  ConstraintGenerator Gen2(OtherSyms, Lat, M);
+  GenResult R3 = Gen2.generate(*M.findFunction("h"), {}, {});
+  EXPECT_EQ(R1.C.str(Syms, Lat), R3.C.str(OtherSyms, Lat));
+}
+
+TEST_F(GenTest, GenKeyTracksDependencies) {
+  Module M = parseModule(R"(
+fn callee:
+  load eax, [esp+4]
+  ret
+fn caller:
+  push 1
+  call callee
+  add esp, 4
+  ret
+)");
+  uint32_t CalleeId = *M.findFunction("callee");
+  uint32_t CallerId = *M.findFunction("caller");
+  ConstraintGenerator Gen(Syms, Lat, M);
+  Hash128 Env = ConstraintGenerator::envSig(M, Lat);
+
+  TypeScheme SchemeA, SchemeB;
+  SchemeA.ProcVar = TypeVariable::var(Syms.intern("callee"));
+  SchemeB.ProcVar = SchemeA.ProcVar;
+  SchemeB.Constraints.addSubtype(
+      DerivedTypeVariable(SchemeB.ProcVar, {Label::in(0)}),
+      DerivedTypeVariable(SchemeB.ProcVar, {Label::out()}));
+  Hash128 HashA = schemeStructuralHash(SchemeA, Syms, Lat);
+  Hash128 HashB = schemeStructuralHash(SchemeB, Syms, Lat);
+
+  auto KeyWith = [&](const Hash128 *CalleeHash) {
+    return Gen.genKey(CallerId, {}, Env, [&](uint32_t F) {
+      return F == CalleeId ? CalleeHash : nullptr;
+    });
+  };
+  Hash128 KeyA = KeyWith(&HashA);
+  EXPECT_EQ(KeyA, KeyWith(&HashA)) << "keys must be deterministic";
+  EXPECT_NE(KeyA, KeyWith(&HashB)) << "callee scheme identity is in the key";
+  EXPECT_NE(KeyA, KeyWith(nullptr)) << "scheme presence is in the key";
+  EXPECT_NE(KeyA, Gen.genKey(CalleeId, {}, Env, [](uint32_t) {
+              return nullptr;
+            }))
+      << "different functions key differently";
 }

@@ -162,10 +162,11 @@ TEST_F(SaturationPropertyTest, SaturationIsIdempotentOnSchemes) {
       for (const DerivedTypeVariable &B : Case.Queries) {
         if (A == B)
           continue;
-        if (derives(S1.Constraints, A, B))
+        if (derives(S1.Constraints, A, B)) {
           EXPECT_TRUE(derives(S2.Constraints, A, B))
               << "seed " << Seed << ": " << A.str(Syms, Lat) << " <= "
               << B.str(Syms, Lat);
+        }
       }
   }
 }

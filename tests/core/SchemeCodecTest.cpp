@@ -287,3 +287,115 @@ TEST_F(SchemeCodecTest, SchemeHashCoversAllParts) {
       DerivedTypeVariable(TypeVariable::var(Syms.intern("fresh_var"))));
   EXPECT_NE(schemeStructuralHash(MoreCons, Syms, Lat), H0);
 }
+
+TEST_F(SchemeCodecTest, GenResultRoundTripIsExact) {
+  for (uint32_t Seed = 200; Seed < 230; ++Seed) {
+    RandomSchemeGen Gen(Seed, Syms, Lat);
+    // A generation result's constraint set is stored canonical, exactly
+    // like the random scheme generator produces.
+    ConstraintSet C = Gen.scheme().Constraints;
+    Hash128 SetHash = canonicalSetHash(C, Syms, Lat);
+    std::vector<TypeVariable> Interesting{
+        TypeVariable::var(Syms.intern("g!zeta")),
+        TypeVariable::var(Syms.intern("g!alpha"))};
+    std::vector<TypeVariable> Callsites{
+        TypeVariable::var(Syms.intern("f!callee@9")),
+        TypeVariable::var(Syms.intern("f!callee@3"))};
+    std::string Payload =
+        encodeGenResult(C, SetHash, Interesting, Callsites, Syms, Lat);
+
+    // Interesting arrives unordered from an unordered_set: any input
+    // permutation must encode to identical bytes.
+    std::vector<TypeVariable> Reversed(Interesting.rbegin(),
+                                       Interesting.rend());
+    EXPECT_EQ(Payload,
+              encodeGenResult(C, SetHash, Reversed, Callsites, Syms, Lat))
+        << "seed " << Seed;
+
+    // Decode into the SAME table: bit-exact set, order included.
+    auto Back = decodeGenResult(Payload, Syms, Lat);
+    ASSERT_TRUE(Back.has_value()) << "seed " << Seed;
+    EXPECT_EQ(Back->SetHash, SetHash) << "seed " << Seed;
+    EXPECT_EQ(Back->C.subtypes(), C.subtypes()) << "seed " << Seed;
+    EXPECT_EQ(Back->C.vars(), C.vars()) << "seed " << Seed;
+    EXPECT_EQ(Back->C.str(Syms, Lat), C.str(Syms, Lat)) << "seed " << Seed;
+    ASSERT_EQ(Back->Interesting.size(), 2u);
+    EXPECT_EQ(Syms.name(Back->Interesting[0].symbol()), "g!alpha");
+    EXPECT_EQ(Syms.name(Back->Interesting[1].symbol()), "g!zeta");
+    // Callsite order (generation order) is preserved verbatim.
+    ASSERT_EQ(Back->Callsites.size(), 2u);
+    EXPECT_EQ(Syms.name(Back->Callsites[0].symbol()), "f!callee@9");
+    EXPECT_EQ(Syms.name(Back->Callsites[1].symbol()), "f!callee@3");
+
+    // Decode into a FRESH table: same rendered set, callsite names
+    // interned (the whole reason the payload carries them).
+    SymbolTable Fresh;
+    auto Ported = decodeGenResult(Payload, Fresh, Lat);
+    ASSERT_TRUE(Ported.has_value()) << "seed " << Seed;
+    EXPECT_EQ(Ported->C.str(Fresh, Lat), C.str(Syms, Lat)) << "seed " << Seed;
+    SymbolId Sym = 0;
+    EXPECT_TRUE(Fresh.lookup("f!callee@9", Sym));
+  }
+}
+
+TEST_F(SchemeCodecTest, GenResultRejectsTruncationsAndTrailingBytes) {
+  RandomSchemeGen Gen(13, Syms, Lat);
+  ConstraintSet C = Gen.scheme().Constraints;
+  std::string Payload = encodeGenResult(C, canonicalSetHash(C, Syms, Lat),
+                                        {}, {}, Syms, Lat);
+  ASSERT_GT(Payload.size(), 4u);
+  for (size_t Len = 0; Len < Payload.size(); ++Len) {
+    EXPECT_FALSE(
+        decodeGenResult(std::string_view(Payload).substr(0, Len), Syms, Lat)
+            .has_value())
+        << "prefix length " << Len;
+  }
+  EXPECT_FALSE(decodeGenResult(Payload + "x", Syms, Lat).has_value());
+}
+
+TEST_F(SchemeCodecTest, GenResultSurvivesByteFlipFuzzing) {
+  RandomSchemeGen Gen(17, Syms, Lat);
+  ConstraintSet C = Gen.scheme().Constraints;
+  std::string Payload =
+      encodeGenResult(C, canonicalSetHash(C, Syms, Lat),
+                      {TypeVariable::var(Syms.intern("g!x"))},
+                      {TypeVariable::var(Syms.intern("f!g@1"))}, Syms, Lat);
+  size_t Rejected = 0;
+  for (size_t Pos = 0; Pos < Payload.size(); ++Pos) {
+    for (uint8_t Delta : {1, 0x7f, 0x80, 0xff}) {
+      std::string Mut = Payload;
+      Mut[Pos] = static_cast<char>(static_cast<uint8_t>(Mut[Pos]) ^ Delta);
+      auto R = decodeGenResult(Mut, Syms, Lat);
+      if (!R.has_value())
+        ++Rejected;
+      // Accepted mutations (e.g. flips inside name bytes or the stored
+      // hash) must still have produced a coherent value — rendering must
+      // not crash.
+      else
+        EXPECT_FALSE(R->C.size() > 0 && R->C.str(Syms, Lat).empty());
+    }
+  }
+  EXPECT_GT(Rejected, 0u);
+}
+
+TEST_F(SchemeCodecTest, PayloadKindsAreMutuallyUnmistakable) {
+  // The three payload kinds carry distinct first bytes: decoding one kind
+  // as another must reject cleanly, never mis-materialize.
+  RandomSchemeGen Gen(19, Syms, Lat);
+  TypeScheme S = Gen.scheme();
+  std::string SchemePayload = encodeScheme(S, Syms, Lat);
+  std::string GenPayload =
+      encodeGenResult(S.Constraints,
+                      canonicalSetHash(S.Constraints, Syms, Lat), {}, {},
+                      Syms, Lat);
+  Sketch Sk;
+  std::string BundlePayload = encodeSketchBundle(
+      {{TypeVariable::var(Syms.intern("F")), &Sk}}, Syms, Lat);
+
+  EXPECT_FALSE(decodeGenResult(SchemePayload, Syms, Lat).has_value());
+  EXPECT_FALSE(decodeGenResult(BundlePayload, Syms, Lat).has_value());
+  EXPECT_FALSE(decodeScheme(GenPayload, Syms, Lat).has_value());
+  EXPECT_FALSE(decodeScheme(BundlePayload, Syms, Lat).has_value());
+  EXPECT_FALSE(decodeSketchBundle(GenPayload, Syms, Lat).has_value());
+  EXPECT_FALSE(decodeSketchBundle(SchemePayload, Syms, Lat).has_value());
+}

@@ -6,9 +6,9 @@
 // cache-replayed runs must produce byte-identical reports to `--jobs 1`.
 //
 // To add a golden test: drop prog.asm into tests/frontend/golden/, run
-//   build/retypd-cli --schemes tests/frontend/golden/prog.asm \
-//     > tests/frontend/golden/prog.expected
-// and review the diff like any other code change.
+//   build/retypd-cli --schemes tests/frontend/golden/prog.asm
+// redirecting stdout to tests/frontend/golden/prog.expected, and review
+// the diff like any other code change.
 //
 //===----------------------------------------------------------------------===//
 

@@ -79,7 +79,9 @@ std::string renderSession(const AnalysisSession &S) {
 
 std::string freshRender(const Module &M, unsigned Jobs,
                         PipelineStats *OutStats = nullptr) {
-  AnalysisSession S(makeDefaultLattice(), SessionOptions{.Jobs = Jobs});
+  SessionOptions Opts;
+  Opts.Jobs = Jobs;
+  AnalysisSession S(makeDefaultLattice(), Opts);
   S.loadModule(M);
   S.analyze();
   if (OutStats)
@@ -227,7 +229,9 @@ size_t checkEditSequence(const std::string &Asm, unsigned Jobs, uint32_t Seed,
   unsigned LeafCounter = 0;
   Module M = parseOk(Asm);
 
-  AnalysisSession S(makeDefaultLattice(), SessionOptions{.Jobs = Jobs});
+  SessionOptions Opts;
+  Opts.Jobs = Jobs;
+  AnalysisSession S(makeDefaultLattice(), Opts);
   S.loadModule(M);
   S.analyze();
   EXPECT_EQ(renderSession(S), freshRender(M, Jobs)) << "seed " << Seed;

@@ -74,9 +74,12 @@ TEST(SymbolTable, ConcurrentInternAndLockFreeName) {
     Threads.emplace_back([&T, &Mine, W] {
       for (int I = 0; I < kPerThread; ++I) {
         // Half shared across threads (contended dedup), half private.
-        std::string Shared = "shared" + std::to_string(I % 256);
-        std::string Priv =
-            "w" + std::to_string(W) + "$" + std::to_string(I);
+        std::string Shared = "shared";
+        Shared += std::to_string(I % 256);
+        std::string Priv = "w";
+        Priv += std::to_string(W);
+        Priv += '$';
+        Priv += std::to_string(I);
         SymbolId S = T.intern(Shared);
         SymbolId P = T.intern(Priv);
         Mine[W].push_back({S, Shared});
@@ -98,8 +101,9 @@ TEST(SymbolTable, ConcurrentInternAndLockFreeName) {
     for (const auto &[Id, Name] : V) {
       EXPECT_EQ(T.name(Id), Name);
       auto [It, Inserted] = Seen.try_emplace(Name, Id);
-      if (!Inserted)
+      if (!Inserted) {
         EXPECT_EQ(It->second, Id) << Name;
+      }
     }
   EXPECT_EQ(T.size(), Seen.size());
   EXPECT_EQ(T.size(), 256u + kThreads * kPerThread);
