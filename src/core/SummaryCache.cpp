@@ -76,105 +76,170 @@ SummaryKey SummaryCache::solveKeyFor(const Hash128 &SetHash,
   return H.digest();
 }
 
-namespace {
-
-/// Shared probe shape for the decoded-value lookups: copy the payload out
-/// under a shared lock, decode outside any lock, self-heal on failure.
 template <typename DecodeFn>
-auto probeAndDecode(const SummaryKey &K, DecodeFn Decode,
-                    std::shared_mutex &M,
-                    std::unordered_map<SummaryKey, std::string,
-                                       SummaryKeyHash> &Entries,
-                    std::atomic<uint64_t> &Hits, std::atomic<uint64_t> &Misses)
+auto SummaryCache::probeImpl(const SummaryKey &K, const SymbolTable &Syms,
+                             DecodeFn Decode) const
     -> decltype(Decode(std::string_view())) {
-  std::string Payload;
+  using Result = decltype(Decode(std::string_view()));
+  using Value = typename Result::value_type;
+  Shard &Sh = shard(K);
+  const uint64_t Gen = Backing ? Backing->generation() : 0;
+  const uint64_t Uid = Syms.uid();
   {
-    std::shared_lock<std::shared_mutex> Lock(M);
-    auto It = Entries.find(K);
-    if (It == Entries.end()) {
-      Misses.fetch_add(1, std::memory_order_relaxed);
-      return std::nullopt;
-    }
-    Payload = It->second; // copy out: decode outside the lock
+    // Fastest path: the decoded-value memo. Valid only for the same
+    // symbol table (decoded values carry its ids) and the same store
+    // generation (compaction may rewrite what a key resolves to).
+    std::shared_lock<std::shared_mutex> Lock(Sh.M);
+    auto It = Sh.Memos.find(K);
+    if (It != Sh.Memos.end() && It->second.StoreGen == Gen &&
+        It->second.SymsUid == Uid)
+      if (const Value *V = std::get_if<Value>(&It->second.V)) {
+        Hits.fetch_add(1, std::memory_order_relaxed);
+        EventCounters::DecodeMemoHits.fetch_add(1,
+                                                std::memory_order_relaxed);
+        return *V;
+      }
   }
+  Result Out;
+  bool FoundMem = false;
   {
-    ScopedPhaseTimer Timer("cache.decode");
-    if (auto Decoded = Decode(Payload)) {
-      Hits.fetch_add(1, std::memory_order_relaxed);
-      return Decoded;
+    // In-memory payloads decode in place under the shard's shared lock:
+    // readers never block readers, and entries never mutate — only
+    // insert_or_assign replaces whole strings, under the exclusive lock.
+    std::shared_lock<std::shared_mutex> Lock(Sh.M);
+    auto It = Sh.Entries.find(K);
+    if (It != Sh.Entries.end()) {
+      FoundMem = true;
+      ScopedPhaseTimer Timer("cache.decode");
+      Out = Decode(std::string_view(It->second));
     }
   }
-  // Self-healing: a corrupt payload is a miss, and dropping it lets the
-  // caller's recomputed insert overwrite it. Only erase if the bytes are
-  // still the ones that failed — a racing insert may have fixed it.
-  {
-    std::unique_lock<std::shared_mutex> Lock(M);
-    auto It = Entries.find(K);
-    if (It != Entries.end() && It->second == Payload)
-      Entries.erase(It);
+  if (FoundMem && !Out) {
+    // Self-healing: drop the corrupt entry so the caller's recomputed
+    // insert overwrites it (unless a racing insert already replaced it
+    // with bytes that decode — re-check under the exclusive lock). The
+    // attached store below may still serve the key.
+    std::unique_lock<std::shared_mutex> Lock(Sh.M);
+    auto It = Sh.Entries.find(K);
+    if (It != Sh.Entries.end() && !Decode(std::string_view(It->second)))
+      Sh.Entries.erase(It);
+  }
+  if (!Out && Backing) {
+    {
+      // Decode straight out of the store's mapped segment — the view is
+      // borrowed, no payload bytes are copied. The PayloadRef (and the
+      // store's shared lock it pins the mapping with) must drop before
+      // the memo takes the shard's exclusive lock below.
+      Store::PayloadRef Ref = Backing->lookup(K);
+      if (Ref) {
+        ScopedPhaseTimer Timer("cache.decode");
+        Out = Decode(Ref.view());
+      }
+    }
+    if (Out)
+      EventCounters::StoreHits.fetch_add(1, std::memory_order_relaxed);
+    // A store payload that fails to decode is a plain miss here; the
+    // record itself is folded away by the next compaction.
+  }
+  if (Out) {
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::shared_mutex> Lock(Sh.M);
+    // Past the cap, recycle an arbitrary slot: it is a memo, so losing
+    // one only costs a future re-decode.
+    if (Sh.Memos.size() >= kMemoCapPerShard && Sh.Memos.count(K) == 0)
+      Sh.Memos.erase(Sh.Memos.begin());
+    Sh.Memos[K] = DecodedMemo{Gen, Uid, *Out};
+    return Out;
   }
   Misses.fetch_add(1, std::memory_order_relaxed);
   return std::nullopt;
 }
 
-} // namespace
-
 std::optional<TypeScheme> SummaryCache::lookup(const SummaryKey &K,
                                                SymbolTable &Syms,
                                                const Lattice &Lat) const {
-  Shard &Sh = shard(K);
-  return probeAndDecode(
-      K, [&](std::string_view P) { return decodeScheme(P, Syms, Lat); }, Sh.M,
-      Sh.Entries, Hits, Misses);
+  return probeImpl(K, Syms, [&](std::string_view P) {
+    return decodeScheme(P, Syms, Lat);
+  });
 }
 
 std::optional<std::vector<SketchBinding>>
 SummaryCache::lookupSolution(const SummaryKey &K, SymbolTable &Syms,
                              const Lattice &Lat) const {
-  Shard &Sh = shard(K);
-  return probeAndDecode(
-      K, [&](std::string_view P) { return decodeSketchBundle(P, Syms, Lat); },
-      Sh.M, Sh.Entries, Hits, Misses);
+  return probeImpl(K, Syms, [&](std::string_view P) {
+    return decodeSketchBundle(P, Syms, Lat);
+  });
 }
 
 std::optional<DecodedGenResult> SummaryCache::lookupGen(const SummaryKey &K,
                                                         SymbolTable &Syms,
                                                         const Lattice &Lat)
     const {
-  Shard &Sh = shard(K);
-  std::optional<DecodedGenResult> Out;
-  bool Found = false;
-  {
-    // Gen payloads are the largest entry kind (a whole SCC's constraint
-    // set), so unlike probeAndDecode this decodes in place under the
-    // shared lock instead of copying the payload out first. Readers never
-    // block readers, and entries never mutate — only insert_or_assign
-    // replaces whole strings under the exclusive lock.
-    std::shared_lock<std::shared_mutex> Lock(Sh.M);
-    auto It = Sh.Entries.find(K);
-    if (It != Sh.Entries.end()) {
-      Found = true;
-      ScopedPhaseTimer Timer("cache.decode");
-      Out = decodeGenResult(It->second, Syms, Lat);
+  auto Out = probeImpl(K, Syms, [&](std::string_view P) {
+    return decodeGenResult(P, Syms, Lat);
+  });
+  if (Out)
+    EventCounters::GenCacheHits.fetch_add(1, std::memory_order_relaxed);
+  else
+    EventCounters::GenCacheMisses.fetch_add(1, std::memory_order_relaxed);
+  return Out;
+}
+
+bool SummaryCache::openStore(const std::string &Dir, std::string *Err) {
+  StoreOptions O;
+  O.SchemaVersion = kSummaryCacheSchemaVersion;
+  // The analyze path owns regeneration: a stale store is a cold store,
+  // exactly like a stale cache file (which load() simply ignores).
+  O.RegenerateStale = true;
+  auto S = Store::open(Dir, O, Err);
+  if (!S)
+    return false;
+  attachStore(std::move(S));
+  return true;
+}
+
+void SummaryCache::attachStore(std::unique_ptr<Store> S) {
+  Backing = std::move(S);
+  // Memo generations are relative to the attached store; drop wholesale.
+  for (Shard &Sh : Shards) {
+    std::unique_lock<std::shared_mutex> Lock(Sh.M);
+    Sh.Memos.clear();
+  }
+}
+
+std::optional<size_t> SummaryCache::flushToStore(std::string *Err) {
+  if (!Backing) {
+    if (Err)
+      *Err = "no store attached";
+    return std::nullopt;
+  }
+  // Snapshot keys per shard, then stream entries through lookupPayload
+  // one at a time: no shard lock is ever held across a store call (the
+  // store's lock and the shard locks must never nest in both orders).
+  size_t Appended = 0;
+  for (unsigned I = 0; I < kNumShards; ++I) {
+    std::vector<SummaryKey> Keys;
+    {
+      std::shared_lock<std::shared_mutex> Lock(Shards[I].M);
+      Keys.reserve(Shards[I].Entries.size());
+      for (const auto &E : Shards[I].Entries)
+        Keys.push_back(E.first);
+    }
+    for (const SummaryKey &K : Keys) {
+      std::optional<std::string> P = lookupPayload(K);
+      if (!P || Backing->payloadEquals(K, *P))
+        continue; // unchanged (or raced away): nothing to journal
+      Backing->append(K, *P,
+                      P->empty() ? 0
+                                 : static_cast<uint8_t>(
+                                       static_cast<unsigned char>((*P)[0])));
+      ++Appended;
     }
   }
-  if (Found && !Out) {
-    // Self-healing: drop the corrupt entry so the caller's recomputed
-    // insert overwrites it (unless a racing insert already replaced it
-    // with bytes that decode — re-check under the exclusive lock).
-    std::unique_lock<std::shared_mutex> Lock(Sh.M);
-    auto It = Sh.Entries.find(K);
-    if (It != Sh.Entries.end() && !decodeGenResult(It->second, Syms, Lat))
-      Sh.Entries.erase(It);
-  }
-  if (Out) {
-    Hits.fetch_add(1, std::memory_order_relaxed);
-    EventCounters::GenCacheHits.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    Misses.fetch_add(1, std::memory_order_relaxed);
-    EventCounters::GenCacheMisses.fetch_add(1, std::memory_order_relaxed);
-  }
-  return Out;
+  ScopedPhaseTimer Timer("store.flush");
+  if (!Backing->flush(Err))
+    return std::nullopt;
+  return Appended;
 }
 
 void SummaryCache::insertGen(const SummaryKey &K, const ConstraintSet &C,
@@ -229,6 +294,8 @@ void SummaryCache::insertPayload(const SummaryKey &K, std::string Payload) {
   // duplicate inserts are benign because entries for one key are always
   // identical by construction.
   Sh.Entries.insert_or_assign(K, std::move(Payload));
+  // The memoized decoded value (if any) described the replaced bytes.
+  Sh.Memos.erase(K);
 }
 
 size_t SummaryCache::size() const {
@@ -244,6 +311,7 @@ void SummaryCache::clear() {
   for (Shard &Sh : Shards) {
     std::unique_lock<std::shared_mutex> Lock(Sh.M);
     Sh.Entries.clear();
+    Sh.Memos.clear();
   }
 }
 
@@ -284,7 +352,10 @@ size_t SummaryCache::pruneToBytes(size_t MaxBytes) {
     if (Total <= MaxBytes)
       break;
     Total -= E->second.size();
-    Shards[shardOf(E->first)].Entries.erase(E->first);
+    const SummaryKey K = E->first; // copy: E points into the erased node
+    Shard &Sh = Shards[shardOf(K)];
+    Sh.Memos.erase(K);
+    Sh.Entries.erase(K);
     ++Dropped;
   }
   return Dropped;

@@ -36,6 +36,15 @@
 /// parallel pipeline probe under shared (read) locks — the warm path takes
 /// no exclusive lock at all — and inserts touch only the owning shard.
 ///
+/// Durability comes in two shapes. The legacy load()/save() round-trips
+/// the whole cache through one v3 file (now the import/export path), while
+/// openStore()/flushToStore() attach a multi-process artifact store
+/// (store/Store.h): probes that miss the in-memory map decode zero-copy
+/// out of the store's memory-mapped journal segments, appends are
+/// incremental under an advisory file lock, and a decoded-value memo
+/// keyed by (store generation, key, symbol-table uid) spares re-decoding
+/// unchanged payloads across analyze() calls of one session.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RETYPD_CORE_SUMMARYCACHE_H
@@ -44,15 +53,18 @@
 #include "core/ConstraintSet.h"
 #include "core/SchemeCodec.h"
 #include "core/Simplifier.h"
+#include "store/Store.h"
 #include "support/Hash128.h"
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <variant>
 #include <vector>
 
 namespace retypd {
@@ -169,7 +181,34 @@ public:
       const std::vector<std::pair<TypeVariable, const Sketch *>> &Entries,
       const SymbolTable &Syms, const Lattice &Lat);
 
-  /// Raw-payload probe, no decoding. Test/inspection seam.
+  // --- Durable artifact store (store/Store.h) ---------------------------
+  /// Opens (creating if needed; reinitializing if stale — a stale store
+  /// is a cold store) the artifact store in \p Dir and attaches it
+  /// behind this cache: probes that miss the in-memory map fall through
+  /// to the store and decode ZERO-COPY straight out of its memory-mapped
+  /// segments (EventCounters::StoreHits / StorePayloadCopies), and
+  /// flushToStore() appends this cache's new entries under the store's
+  /// advisory file lock. Returns false with \p Err on foreign, newer, or
+  /// unwritable directories.
+  bool openStore(const std::string &Dir, std::string *Err = nullptr);
+
+  /// Attaches an externally opened store (test seam for custom
+  /// StoreOptions). Drops the decoded-value memo: its generations are
+  /// store-relative.
+  void attachStore(std::unique_ptr<Store> S);
+
+  /// The attached store, or nullptr.
+  Store *store() { return Backing.get(); }
+  const Store *store() const { return Backing.get(); }
+
+  /// Appends every in-memory entry whose bytes are not already the
+  /// store's live value for its key (last writer wins per key), then
+  /// durably flushes the journal. Returns the number of records
+  /// appended — 0 is a successful no-op — or nullopt on I/O failure.
+  std::optional<size_t> flushToStore(std::string *Err = nullptr);
+
+  /// Raw-payload probe of the IN-MEMORY map only, no decoding and no
+  /// store fall-through. Test/inspection seam.
   std::optional<std::string> lookupPayload(const SummaryKey &K) const;
 
   /// Inserts a raw payload without validation. Test seam for corruption
@@ -206,15 +245,45 @@ public:
   static CacheFileInfo inspectFile(const std::string &Path);
 
 private:
+  /// A decoded payload remembered per (store generation, key, symbol
+  /// table): re-probes of an unchanged payload — the re-analysis-after-
+  /// invalidate() pattern — return the remembered value instead of
+  /// re-running the codec (EventCounters::DecodeMemoHits). Guarded by
+  /// the symbol-table uid because decoded values carry that table's
+  /// symbol ids, and by the store generation because compaction may
+  /// rewrite what a key resolves to.
+  struct DecodedMemo {
+    uint64_t StoreGen = 0;
+    uint64_t SymsUid = 0;
+    std::variant<TypeScheme, std::vector<SketchBinding>, DecodedGenResult> V;
+  };
+
+  /// Memo entries per shard before arbitrary recycling kicks in.
+  /// Decoded values are not small (a gen result is a whole SCC's
+  /// constraint set), and store-served keys have no Entries row that
+  /// pruneToBytes could evict — the cap is what bounds a long-lived
+  /// session's memo footprint.
+  static constexpr size_t kMemoCapPerShard = 1024;
+
   struct Shard {
     mutable std::shared_mutex M;
     std::unordered_map<SummaryKey, std::string, SummaryKeyHash> Entries;
+    std::unordered_map<SummaryKey, DecodedMemo, SummaryKeyHash> Memos;
   };
 
   Shard &shard(const SummaryKey &K) const { return Shards[shardOf(K)]; }
 
+  /// The shared probe shape: decoded-value memo, then the in-memory map
+  /// (decoding in place under the shard's shared lock), then the
+  /// attached store (decoding zero-copy out of the mapped segment).
+  template <typename DecodeFn>
+  auto probeImpl(const SummaryKey &K, const SymbolTable &Syms,
+                 DecodeFn Decode) const
+      -> decltype(Decode(std::string_view()));
+
   mutable std::array<Shard, kNumShards> Shards;
   mutable std::atomic<uint64_t> Hits{0}, Misses{0};
+  std::unique_ptr<Store> Backing;
 };
 
 } // namespace retypd

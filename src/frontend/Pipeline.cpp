@@ -15,6 +15,7 @@ TypeReport Pipeline::run(Module &M) {
   // GoldenTest's warm-run assertions meaningful).
   SOpts.UseSummaryCache = Opts.Cache != nullptr;
   SOpts.ExternalCache = Opts.Cache;
+  SOpts.StoreDir = Opts.StoreDir;
   // One-shot: skip the incremental bookkeeping (body/scheme snapshots)
   // that only a second analyze() on the same session could use.
   SOpts.KeepHistory = false;

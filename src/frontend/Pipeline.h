@@ -40,6 +40,11 @@ struct PipelineOptions {
   /// Optional content-addressed scheme cache (not owned). Shared across
   /// runs and across modules; thread safe.
   SummaryCache *Cache = nullptr;
+  /// Directory of a durable artifact store to open behind the run's
+  /// cache (see SessionOptions::StoreDir). Ignored when \p Cache is set —
+  /// attach a store to that cache directly. Open/flush failures are
+  /// reported in TypeReport::StoreError (the run completes either way).
+  std::string StoreDir;
   ConversionOptions Conversion;
   SimplifyOptions Simplify;
 };

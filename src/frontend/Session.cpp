@@ -157,7 +157,18 @@ struct AnalysisSession::FuncSnapshot {
 };
 
 AnalysisSession::AnalysisSession(Lattice L, SessionOptions O)
-    : Lat(std::move(L)), Opts(O), Syms(std::make_shared<SymbolTable>()) {}
+    : Lat(std::move(L)), Opts(std::move(O)),
+      Syms(std::make_shared<SymbolTable>()) {
+  if (!Opts.StoreDir.empty()) {
+    // A store only makes sense behind an active cache. An external cache
+    // is not owned here, so its store must be attached by its owner.
+    Opts.UseSummaryCache = true;
+    if (!Opts.ExternalCache && !OwnedCache.openStore(Opts.StoreDir,
+                                                     &StoreError) &&
+        StoreError.empty())
+      StoreError = "cannot open artifact store " + Opts.StoreDir;
+  }
+}
 
 AnalysisSession::~AnalysisSession() = default;
 
@@ -523,6 +534,12 @@ const TypeReport &AnalysisSession::analyze() {
 
   const uint64_t Hits0 = Cache ? Cache->hits() : 0;
   const uint64_t Misses0 = Cache ? Cache->misses() : 0;
+  const uint64_t StoreHits0 =
+      EventCounters::StoreHits.load(std::memory_order_relaxed);
+  const uint64_t StoreAppends0 =
+      EventCounters::StoreAppends.load(std::memory_order_relaxed);
+  const uint64_t MemoHits0 =
+      EventCounters::DecodeMemoHits.load(std::memory_order_relaxed);
 
   // ---- Edit detection -------------------------------------------------
   const bool HadHistory = !Snapshots.empty();
@@ -1101,6 +1118,29 @@ const TypeReport &AnalysisSession::analyze() {
     GlobalsSig.clear();
   }
   DirtyNames.clear();
+
+  // ---- Journal this run's new artifacts to the durable store ----------
+  // The report is already complete and correct at this point; a failed
+  // flush only costs durability, so it is surfaced via storeError()
+  // rather than aborting the run. A later successful flush clears the
+  // error: it re-appends everything the store is missing, so the failed
+  // attempt leaves no lasting gap.
+  if (Cache && Cache->store()) {
+    std::string FlushErr;
+    if (Cache->flushToStore(&FlushErr))
+      StoreError.clear();
+    else
+      StoreError = FlushErr;
+  }
+  Report.StoreError = StoreError;
+  Report.Stats.StoreHits =
+      EventCounters::StoreHits.load(std::memory_order_relaxed) - StoreHits0;
+  Report.Stats.StoreAppends =
+      EventCounters::StoreAppends.load(std::memory_order_relaxed) -
+      StoreAppends0;
+  Report.Stats.DecodeMemoHits =
+      EventCounters::DecodeMemoHits.load(std::memory_order_relaxed) -
+      MemoHits0;
 
   Analyzed = true;
   return Report;

@@ -81,6 +81,13 @@ struct PipelineStats {
   /// CacheHits/CacheMisses: gen entries live in the same summary cache).
   uint64_t GenCacheHits = 0;
   uint64_t GenCacheMisses = 0;
+  /// Artifact-store traffic this run (zero without an attached store):
+  /// probes served zero-copy from the mapped store, records journaled by
+  /// the end-of-run flush, and probes answered straight from the
+  /// decoded-payload memo without touching the codec.
+  uint64_t StoreHits = 0;
+  uint64_t StoreAppends = 0;
+  uint64_t DecodeMemoHits = 0;
 
   // --- Incremental re-analysis counters (all zero on a first run) ---
   /// Whether this run could draw on a previous run's artifacts.
@@ -148,6 +155,13 @@ struct TypeReport {
   /// Per-phase timing, cache effectiveness, and incrementality for this run.
   PipelineStats Stats;
 
+  /// Why the configured artifact store could not be opened or flushed
+  /// ("" when it worked, or when none was configured). This is how
+  /// one-shot Pipeline callers — who never see the session — observe
+  /// store failures; the analysis results themselves are complete and
+  /// correct either way.
+  std::string StoreError;
+
   const FunctionTypes *typesOf(uint32_t FuncId) const {
     auto It = Funcs.find(FuncId);
     return It == Funcs.end() ? nullptr : &It->second;
@@ -177,6 +191,13 @@ struct SessionOptions {
   /// Share an external cache instead of the session-owned one (not owned;
   /// overrides UseSummaryCache when set).
   SummaryCache *ExternalCache = nullptr;
+  /// Directory of a durable multi-process artifact store (store/Store.h)
+  /// to open behind the summary cache. Empty = none. Implies
+  /// UseSummaryCache; analyze() flushes new entries to it. When an
+  /// ExternalCache is configured the store is NOT opened here — attach
+  /// one to that cache directly. Open failures are reported via
+  /// AnalysisSession::storeError().
+  std::string StoreDir;
   /// Record per-function snapshots and per-SCC artifacts so the *next*
   /// analyze() can be incremental. One-shot callers (the Pipeline facade)
   /// turn this off to skip the bookkeeping entirely.
@@ -273,6 +294,9 @@ public:
     return Opts.ExternalCache ? *Opts.ExternalCache : OwnedCache;
   }
   const SessionOptions &options() const { return Opts; }
+  /// Why SessionOptions::StoreDir could not be opened ("" when it was —
+  /// or when no store was requested).
+  const std::string &storeError() const { return StoreError; }
 
 private:
   struct SccArtifact;
@@ -292,6 +316,7 @@ private:
   SessionOptions Opts;
   std::shared_ptr<SymbolTable> Syms;
   SummaryCache OwnedCache;
+  std::string StoreError;
 
   Module M;
   bool HasModule = false;

@@ -1,0 +1,1079 @@
+//===- Store.cpp - Durable multi-process artifact store -------------------===//
+
+#include "store/Store.h"
+
+#include "support/Crc32c.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace retypd;
+namespace fs = std::filesystem;
+
+//===----------------------------------------------------------------------===//
+// Record framing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// kind(1) + key(16) + crc(4) + at least one length byte.
+constexpr size_t kMinRecordBytes = 1 + 16 + 4 + 1;
+/// Sanity cap on a record body; a corrupt length beyond this is treated
+/// as a torn tail rather than a multi-GB skip.
+constexpr size_t kMaxBodyBytes = size_t(1) << 30;
+
+void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putLeb(std::string &Out, uint64_t V) {
+  do {
+    unsigned char B = V & 0x7f;
+    V >>= 7;
+    if (V)
+      B |= 0x80;
+    Out.push_back(static_cast<char>(B));
+  } while (V);
+}
+
+uint32_t getU32(const unsigned char *P) {
+  return static_cast<uint32_t>(P[0]) | (static_cast<uint32_t>(P[1]) << 8) |
+         (static_cast<uint32_t>(P[2]) << 16) |
+         (static_cast<uint32_t>(P[3]) << 24);
+}
+
+uint64_t getU64(const unsigned char *P) {
+  uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = (V << 8) | P[I];
+  return V;
+}
+
+/// Serializes one record. The CRC covers kind, key, the LEB length
+/// bytes, and the body — the whole record except the CRC field itself —
+/// so no part of the framing is trusted on read. Returns the offset of
+/// the body within \p Out.
+size_t serializeRecord(std::string &Out, const Hash128 &K,
+                       std::string_view Body, uint8_t Kind) {
+  std::string Leb;
+  putLeb(Leb, Body.size());
+  Crc32c C;
+  C.updateByte(Kind);
+  std::string KeyBytes;
+  putU64(KeyBytes, K.Hi);
+  putU64(KeyBytes, K.Lo);
+  C.update(KeyBytes);
+  C.update(Leb);
+  C.update(Body);
+  Out.push_back(static_cast<char>(Kind));
+  Out += KeyBytes;
+  putU32(Out, C.value());
+  Out += Leb;
+  size_t BodyOff = Out.size();
+  Out.append(Body.data(), Body.size());
+  return BodyOff;
+}
+
+struct RawRecord {
+  size_t Start = 0;    ///< record start offset in the segment
+  size_t TotalLen = 0; ///< whole-record length (frame + body)
+  Hash128 Key;
+  size_t BodyOff = 0;
+  uint32_t BodyLen = 0;
+  uint8_t Kind = 0;
+  bool Corrupt = false; ///< frame complete but CRC mismatched
+};
+
+/// Scans [From, Bytes.size()) for records. A frame-complete record with
+/// a bad CRC is reported Corrupt and skipped — its neighbors still scan.
+/// Returns the "valid end": the offset of the first torn/incomplete
+/// record, or the end of the scanned range. Everything past the valid
+/// end is an unreadable tail.
+size_t scanRecords(std::string_view Bytes, size_t From,
+                   std::vector<RawRecord> &Out) {
+  size_t Pos = From;
+  const unsigned char *Base =
+      reinterpret_cast<const unsigned char *>(Bytes.data());
+  while (Pos + kMinRecordBytes <= Bytes.size()) {
+    RawRecord R;
+    R.Start = Pos;
+    R.Kind = Base[Pos];
+    R.Key.Hi = getU64(Base + Pos + 1);
+    R.Key.Lo = getU64(Base + Pos + 9);
+    uint32_t Crc = getU32(Base + Pos + 17);
+    size_t LebPos = Pos + 21;
+    uint64_t Len = 0;
+    unsigned Shift = 0;
+    size_t LebEnd = LebPos;
+    bool LebOk = false;
+    while (LebEnd < Bytes.size() && Shift < 64) {
+      unsigned char B = Base[LebEnd++];
+      Len |= static_cast<uint64_t>(B & 0x7f) << Shift;
+      Shift += 7;
+      if (!(B & 0x80)) {
+        LebOk = true;
+        break;
+      }
+    }
+    if (!LebOk || Len > kMaxBodyBytes || Len > Bytes.size() - LebEnd)
+      break; // torn tail: the frame itself is incomplete
+    R.BodyOff = LebEnd;
+    R.BodyLen = static_cast<uint32_t>(Len);
+    R.TotalLen = (LebEnd - Pos) + Len;
+    Crc32c C;
+    C.update(Base + Pos, 17);                 // kind + key
+    C.update(Base + LebPos, LebEnd - LebPos); // length bytes
+    C.update(Base + LebEnd, Len);             // body
+    R.Corrupt = C.value() != Crc;
+    Out.push_back(R);
+    Pos += R.TotalLen;
+  }
+  return Pos;
+}
+
+//===----------------------------------------------------------------------===//
+// MANIFEST and segment headers
+//===----------------------------------------------------------------------===//
+
+struct ManifestData {
+  unsigned FormatVersion = 0;
+  unsigned SchemaVersion = 0;
+  uint64_t Generation = 0;
+  std::vector<std::string> SegmentNames;
+};
+
+enum class ManifestStatus { Ok, Missing, Unrecognized, Stale, Newer };
+
+bool versionIsNewer(unsigned Format, unsigned Schema, unsigned WantSchema) {
+  return Format > kStoreFormatVersion ||
+         (Format == kStoreFormatVersion && WantSchema != 0 &&
+          Schema > WantSchema);
+}
+
+std::string versionMismatchError(unsigned Format, unsigned Schema,
+                                 unsigned WantSchema) {
+  std::string Versions = "(v" + std::to_string(Format) + " schema " +
+                         std::to_string(Schema) + "; this binary: v" +
+                         std::to_string(kStoreFormatVersion) + " schema " +
+                         std::to_string(WantSchema) + ")";
+  if (versionIsNewer(Format, Schema, WantSchema))
+    return "artifact store is newer than this binary " + Versions +
+           " — upgrade the binary or point it at a different store";
+  return "stale artifact store " + Versions +
+         " — re-run analyze to regenerate it";
+}
+
+/// Reads and classifies a MANIFEST. \p WantSchema 0 skips the schema
+/// comparison (format version is still checked).
+ManifestStatus readManifest(const std::string &Path, unsigned WantSchema,
+                            ManifestData &Out, std::string *Err) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    if (Err)
+      *Err = "cannot open MANIFEST";
+    return ManifestStatus::Missing;
+  }
+  std::string Line;
+  if (!std::getline(In, Line) ||
+      std::sscanf(Line.c_str(), "retypd-store v%u schema %u",
+                  &Out.FormatVersion, &Out.SchemaVersion) != 2) {
+    if (Line.rfind("retypd-store", 0) == 0) {
+      // A recognizable but unparseable header is an older layout.
+      Out.FormatVersion = 0;
+      Out.SchemaVersion = 0;
+      if (Err)
+        *Err = versionMismatchError(0, 0, WantSchema);
+      return ManifestStatus::Stale;
+    }
+    if (Err)
+      *Err = "unrecognized MANIFEST header: " + Line;
+    return ManifestStatus::Unrecognized;
+  }
+  if (Out.FormatVersion != kStoreFormatVersion ||
+      (WantSchema != 0 && Out.SchemaVersion != WantSchema)) {
+    if (Err)
+      *Err = versionMismatchError(Out.FormatVersion, Out.SchemaVersion,
+                                  WantSchema);
+    return versionIsNewer(Out.FormatVersion, Out.SchemaVersion, WantSchema)
+               ? ManifestStatus::Newer
+               : ManifestStatus::Stale;
+  }
+  bool HaveGen = false;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    unsigned long long G = 0;
+    char NameBuf[256];
+    if (std::sscanf(Line.c_str(), "generation %llu", &G) == 1) {
+      Out.Generation = G;
+      HaveGen = true;
+    } else if (std::sscanf(Line.c_str(), "segment %255s", NameBuf) == 1) {
+      std::string Name = NameBuf;
+      // Segment names never leave the store directory.
+      if (Name.find('/') != std::string::npos) {
+        if (Err)
+          *Err = "malformed MANIFEST: bad segment name '" + Name + "'";
+        return ManifestStatus::Unrecognized;
+      }
+      Out.SegmentNames.push_back(std::move(Name));
+    } else {
+      if (Err)
+        *Err = "malformed MANIFEST line: " + Line;
+      return ManifestStatus::Unrecognized;
+    }
+  }
+  if (!HaveGen || Out.SegmentNames.empty()) {
+    if (Err)
+      *Err = "malformed MANIFEST: missing generation or segments";
+    return ManifestStatus::Unrecognized;
+  }
+  return ManifestStatus::Ok;
+}
+
+std::string renderManifest(const ManifestData &MD) {
+  std::string Out = "retypd-store v" + std::to_string(MD.FormatVersion) +
+                    " schema " + std::to_string(MD.SchemaVersion) + "\n" +
+                    "generation " + std::to_string(MD.Generation) + "\n";
+  for (const std::string &N : MD.SegmentNames)
+    Out += "segment " + N + "\n";
+  return Out;
+}
+
+std::string segmentHeader(unsigned SchemaVersion) {
+  return "retypd-segment v" + std::to_string(kStoreFormatVersion) +
+         " schema " + std::to_string(SchemaVersion) + "\n";
+}
+
+/// Parses a segment's header line. Returns the header length in bytes,
+/// or 0 when the bytes do not start a segment of the wanted schema.
+size_t parseSegmentHeader(std::string_view Bytes, unsigned WantSchema) {
+  size_t Nl = Bytes.substr(0, 64).find('\n');
+  if (Nl == std::string_view::npos)
+    return 0;
+  std::string Line(Bytes.substr(0, Nl));
+  unsigned V = 0, S = 0;
+  if (std::sscanf(Line.c_str(), "retypd-segment v%u schema %u", &V, &S) != 2)
+    return 0;
+  if (V != kStoreFormatVersion || (WantSchema != 0 && S != WantSchema))
+    return 0;
+  return Nl + 1;
+}
+
+//===----------------------------------------------------------------------===//
+// POSIX helpers
+//===----------------------------------------------------------------------===//
+
+/// Advisory exclusive lock on <dir>/LOCK. Appenders and compaction hold
+/// it while mutating the directory; readers never touch it.
+class FileLock {
+public:
+  bool acquire(const std::string &Dir, std::string *Err) {
+    std::string Path = Dir + "/LOCK";
+    Fd = ::open(Path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (Fd < 0) {
+      if (Err)
+        *Err = "cannot open " + Path + ": " + std::strerror(errno);
+      return false;
+    }
+    if (::flock(Fd, LOCK_EX) != 0) {
+      if (Err)
+        *Err = "cannot lock " + Path + ": " + std::strerror(errno);
+      ::close(Fd);
+      Fd = -1;
+      return false;
+    }
+    return true;
+  }
+  ~FileLock() {
+    if (Fd >= 0) {
+      ::flock(Fd, LOCK_UN);
+      ::close(Fd);
+    }
+  }
+
+private:
+  int Fd = -1;
+};
+
+bool writeFileDurable(const std::string &Path, std::string_view Bytes,
+                      bool Fsync, std::string *Err) {
+  int Fd = ::open(Path.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (Fd < 0) {
+    if (Err)
+      *Err = "cannot create " + Path + ": " + std::strerror(errno);
+    return false;
+  }
+  size_t Done = 0;
+  while (Done < Bytes.size()) {
+    ssize_t N = ::write(Fd, Bytes.data() + Done, Bytes.size() - Done);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Err)
+        *Err = "cannot write " + Path + ": " + std::strerror(errno);
+      ::close(Fd);
+      ::unlink(Path.c_str());
+      return false;
+    }
+    Done += static_cast<size_t>(N);
+  }
+  bool Ok = !Fsync || ::fsync(Fd) == 0;
+  ::close(Fd);
+  if (!Ok) {
+    if (Err)
+      *Err = "cannot fsync " + Path;
+    ::unlink(Path.c_str());
+  }
+  return Ok;
+}
+
+void fsyncDir(const std::string &Dir) {
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (Fd >= 0) {
+    ::fsync(Fd); // best effort: rename durability
+    ::close(Fd);
+  }
+}
+
+/// Atomically publishes a MANIFEST via a uniquely named temp + rename.
+bool writeManifest(const std::string &Dir, const ManifestData &MD,
+                   bool Fsync, std::string *Err) {
+  static std::atomic<uint64_t> Seq{0};
+  std::string Tmp = Dir + "/MANIFEST.tmp." +
+                    std::to_string(static_cast<long>(::getpid())) + "." +
+                    std::to_string(Seq.fetch_add(1));
+  if (!writeFileDurable(Tmp, renderManifest(MD), Fsync, Err))
+    return false;
+  std::string Final = Dir + "/MANIFEST";
+  if (std::rename(Tmp.c_str(), Final.c_str()) != 0) {
+    if (Err)
+      *Err = "cannot publish MANIFEST: " + std::string(std::strerror(errno));
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  if (Fsync)
+    fsyncDir(Dir);
+  return true;
+}
+
+std::string segmentName(uint64_t Gen, uint64_t Seq) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "seg-%06llx-%06llx.rseg",
+                static_cast<unsigned long long>(Gen),
+                static_cast<unsigned long long>(Seq));
+  return Buf;
+}
+
+bool parseSegmentName(const std::string &Name, uint64_t &Gen,
+                      uint64_t &Seq) {
+  unsigned long long G = 0, S = 0;
+  char Tail[8] = {0};
+  if (std::sscanf(Name.c_str(), "seg-%6llx-%6llx.rse%1s", &G, &S, Tail) != 3 ||
+      Tail[0] != 'g')
+    return false;
+  Gen = G;
+  Seq = S;
+  return true;
+}
+
+bool preadAll(int Fd, char *Buf, size_t Len, off_t Off) {
+  size_t Done = 0;
+  while (Done < Len) {
+    ssize_t N = ::pread(Fd, Buf + Done, Len - Done,
+                        Off + static_cast<off_t>(Done));
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      return false;
+    Done += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+std::string slurpFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::string S((std::istreambuf_iterator<char>(In)),
+                std::istreambuf_iterator<char>());
+  return S;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Segment state
+//===----------------------------------------------------------------------===//
+
+struct Store::Segment {
+  std::string Name;
+  int Fd = -1;
+  bool Writable = false;
+  bool Mmapped = false;
+  const char *MapAddr = nullptr;
+  size_t MapLen = 0;
+  std::string FallbackBuf; ///< whole-file copy when mmap is unavailable
+  size_t HeaderBytes = 0;
+  size_t FileBytes = 0; ///< size at last scan
+  size_t ValidEnd = 0;  ///< just past the last frame-complete record
+  size_t Records = 0;   ///< frame-complete records scanned (live + dead)
+
+  std::string_view bytes() const {
+    if (Mmapped)
+      return {MapAddr, FileBytes};
+    return FallbackBuf;
+  }
+
+  void unmap() {
+    if (Mmapped && MapAddr)
+      ::munmap(const_cast<char *>(MapAddr), MapLen);
+    Mmapped = false;
+    MapAddr = nullptr;
+    MapLen = 0;
+  }
+
+  void close() {
+    unmap();
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = -1;
+    FallbackBuf.clear();
+  }
+};
+
+Store::Store(std::string D, StoreOptions O) : Dir(std::move(D)), Opts(O) {}
+
+Store::~Store() {
+  std::unique_lock<std::shared_mutex> L(M);
+  for (Segment &S : Segments)
+    S.close();
+}
+
+//===----------------------------------------------------------------------===//
+// Open / view loading
+//===----------------------------------------------------------------------===//
+
+bool Store::remapSegment(Segment &S, std::string *Err) {
+  struct stat St;
+  if (::fstat(S.Fd, &St) != 0) {
+    if (Err)
+      *Err = "cannot stat segment " + S.Name;
+    return false;
+  }
+  size_t NewSize = static_cast<size_t>(St.st_size);
+  S.unmap();
+  S.FileBytes = NewSize;
+  if (NewSize == 0)
+    return true;
+  void *Addr = ::mmap(nullptr, NewSize, PROT_READ, MAP_SHARED, S.Fd, 0);
+  if (Addr != MAP_FAILED) {
+    S.MapAddr = static_cast<const char *>(Addr);
+    S.MapLen = NewSize;
+    S.Mmapped = true;
+    S.FallbackBuf.clear();
+    return true;
+  }
+  // Filesystems without mmap support fall back to a one-time read copy;
+  // lookups served from it are counted on StorePayloadCopies so the
+  // zero-copy invariant tests can see the difference.
+  S.FallbackBuf.resize(NewSize);
+  if (!preadAll(S.Fd, S.FallbackBuf.data(), NewSize, 0)) {
+    if (Err)
+      *Err = "cannot read segment " + S.Name;
+    return false;
+  }
+  return true;
+}
+
+bool Store::loadViewLocked(std::string *Err) {
+  for (Segment &S : Segments)
+    S.close();
+  Segments.clear();
+  Index.clear();
+
+  ManifestData MD;
+  std::string E;
+  ManifestStatus St =
+      readManifest(Dir + "/MANIFEST", Opts.SchemaVersion, MD, &E);
+  if (St != ManifestStatus::Ok) {
+    if (Err)
+      *Err = E;
+    return false;
+  }
+  Generation = MD.Generation;
+  Segments.reserve(MD.SegmentNames.size());
+  for (const std::string &Name : MD.SegmentNames) {
+    Segments.emplace_back();
+    Segment &S = Segments.back();
+    S.Name = Name;
+    std::string Path = Dir + "/" + Name;
+    S.Fd = ::open(Path.c_str(), O_RDWR | O_CLOEXEC);
+    S.Writable = S.Fd >= 0;
+    if (S.Fd < 0)
+      S.Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (S.Fd < 0) {
+      if (Err)
+        *Err = "missing segment " + Name;
+      return false;
+    }
+    if (!S.Writable)
+      ReadOnly = true;
+    if (!remapSegment(S, Err))
+      return false;
+    std::string_view B = S.bytes();
+    S.HeaderBytes = parseSegmentHeader(B, Opts.SchemaVersion);
+    if (S.HeaderBytes == 0) {
+      if (Err)
+        *Err = "segment " + Name + " has a bad header";
+      return false;
+    }
+    S.ValidEnd = S.HeaderBytes;
+    S.Records = 0;
+    if (!scanSegmentTail(Segments.size() - 1, Err))
+      return false;
+  }
+  return true;
+}
+
+bool Store::scanSegmentTail(size_t SegIdx, std::string *Err) {
+  Segment &S = Segments[SegIdx];
+  std::vector<RawRecord> Recs;
+  S.ValidEnd = scanRecords(S.bytes(), S.ValidEnd, Recs);
+  S.Records += Recs.size();
+  for (const RawRecord &R : Recs) {
+    if (R.Corrupt)
+      continue; // contained: neighbors still index
+    Index[R.Key] = Loc{static_cast<uint32_t>(SegIdx), R.BodyOff, R.BodyLen};
+  }
+  return true;
+}
+
+bool Store::initializeLocked(std::string *Err) {
+  ManifestData MD;
+  MD.FormatVersion = kStoreFormatVersion;
+  MD.SchemaVersion = Opts.SchemaVersion;
+  MD.Generation = 1;
+  MD.SegmentNames.push_back(segmentName(1, 0));
+  if (!writeFileDurable(Dir + "/" + MD.SegmentNames[0],
+                        segmentHeader(Opts.SchemaVersion), Opts.Fsync, Err))
+    return false;
+  return writeManifest(Dir, MD, Opts.Fsync, Err);
+}
+
+std::unique_ptr<Store> Store::open(const std::string &Dir,
+                                   const StoreOptions &Opts,
+                                   std::string *Err) {
+  std::unique_ptr<Store> S(new Store(Dir, Opts));
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+  if (EC) {
+    if (Err)
+      *Err = "cannot create " + Dir + ": " + EC.message();
+    return nullptr;
+  }
+  ManifestData MD;
+  std::string E;
+  ManifestStatus St = readManifest(Dir + "/MANIFEST", Opts.SchemaVersion,
+                                   MD, &E);
+  if (St == ManifestStatus::Missing ||
+      (St == ManifestStatus::Stale && Opts.RegenerateStale)) {
+    FileLock L;
+    if (!L.acquire(Dir, Err))
+      return nullptr;
+    // Another process may have initialized or regenerated while we
+    // waited for the lock.
+    St = readManifest(Dir + "/MANIFEST", Opts.SchemaVersion, MD, &E);
+    if (St == ManifestStatus::Stale && Opts.RegenerateStale) {
+      // A stale store is a cold store: drop its segments wholesale.
+      for (const auto &Entry : fs::directory_iterator(Dir, EC)) {
+        std::string Name = Entry.path().filename().string();
+        if (Entry.path().extension() == ".rseg" ||
+            Name.rfind("MANIFEST", 0) == 0)
+          fs::remove(Entry.path(), EC);
+      }
+      St = ManifestStatus::Missing;
+    }
+    if (St == ManifestStatus::Missing) {
+      if (!S->initializeLocked(Err))
+        return nullptr;
+      St = readManifest(Dir + "/MANIFEST", Opts.SchemaVersion, MD, &E);
+    }
+  }
+  if (St != ManifestStatus::Ok) {
+    if (Err)
+      *Err = E;
+    return nullptr;
+  }
+  std::unique_lock<std::shared_mutex> L(S->M);
+  if (!S->loadViewLocked(Err))
+    return nullptr;
+  L.unlock();
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Reads
+//===----------------------------------------------------------------------===//
+
+Store::PayloadRef Store::lookup(const Hash128 &K) const {
+  PayloadRef R;
+  std::shared_lock<std::shared_mutex> L(M);
+  auto It = Index.find(K);
+  if (It == Index.end())
+    return R;
+  const Segment &S = Segments[It->second.Seg];
+  if (!S.Mmapped)
+    EventCounters::StorePayloadCopies.fetch_add(1, std::memory_order_relaxed);
+  R.View = S.bytes().substr(It->second.BodyOff, It->second.BodyLen);
+  R.Found = true;
+  R.Lock = std::move(L);
+  return R;
+}
+
+bool Store::payloadEquals(const Hash128 &K, std::string_view Bytes) const {
+  std::shared_lock<std::shared_mutex> L(M);
+  auto It = Index.find(K);
+  if (It == Index.end())
+    return false;
+  const Segment &S = Segments[It->second.Seg];
+  return S.bytes().substr(It->second.BodyOff, It->second.BodyLen) == Bytes;
+}
+
+uint64_t Store::generation() const {
+  std::shared_lock<std::shared_mutex> L(M);
+  return Generation;
+}
+
+size_t Store::keyCount() const {
+  std::shared_lock<std::shared_mutex> L(M);
+  return Index.size();
+}
+
+size_t Store::liveBytes() const {
+  // Whole-record bytes, matching inspect()'s live-bytes attribution:
+  // frame (kind + key + crc + LEB length bytes) plus body.
+  std::shared_lock<std::shared_mutex> L(M);
+  size_t N = 0;
+  for (const auto &E : Index) {
+    size_t Leb = 1;
+    for (uint64_t V = E.second.BodyLen; V >>= 7;)
+      ++Leb;
+    N += 1 + 16 + 4 + Leb + E.second.BodyLen;
+  }
+  return N;
+}
+
+std::vector<std::pair<Hash128, size_t>> Store::liveEntries() const {
+  std::shared_lock<std::shared_mutex> L(M);
+  std::vector<std::pair<Hash128, size_t>> Out;
+  Out.reserve(Index.size());
+  for (const auto &E : Index)
+    Out.emplace_back(E.first, E.second.BodyLen);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Appends
+//===----------------------------------------------------------------------===//
+
+void Store::append(const Hash128 &K, std::string_view Payload, uint8_t Kind) {
+  std::unique_lock<std::shared_mutex> L(M);
+  PendingRec R;
+  R.Key = K;
+  R.BodyOff = serializeRecord(PendingBytes, K, Payload, Kind);
+  R.BodyLen = static_cast<uint32_t>(Payload.size());
+  Pending.push_back(R);
+}
+
+size_t Store::pendingRecords() const {
+  std::shared_lock<std::shared_mutex> L(M);
+  return Pending.size();
+}
+
+bool Store::syncLocked(std::string *Err) {
+  ManifestData MD;
+  std::string E;
+  if (readManifest(Dir + "/MANIFEST", Opts.SchemaVersion, MD, &E) !=
+      ManifestStatus::Ok) {
+    if (Err)
+      *Err = E;
+    return false;
+  }
+  bool SameView = MD.Generation == Generation &&
+                  MD.SegmentNames.size() == Segments.size();
+  if (SameView)
+    for (size_t I = 0; I < Segments.size(); ++I)
+      SameView = SameView && MD.SegmentNames[I] == Segments[I].Name;
+  if (!SameView)
+    // Another process rolled a segment or compacted: rebuild wholesale.
+    return loadViewLocked(Err);
+  // Only the active segment can have grown (appends are tail-only).
+  Segment &A = Segments.back();
+  struct stat St;
+  if (::fstat(A.Fd, &St) != 0) {
+    if (Err)
+      *Err = "cannot stat segment " + A.Name;
+    return false;
+  }
+  if (static_cast<size_t>(St.st_size) != A.FileBytes) {
+    if (!remapSegment(A, Err))
+      return false;
+    if (!scanSegmentTail(Segments.size() - 1, Err))
+      return false;
+  }
+  return true;
+}
+
+bool Store::refresh(std::string *Err) {
+  std::unique_lock<std::shared_mutex> L(M);
+  return syncLocked(Err);
+}
+
+bool Store::flush(std::string *Err) {
+  std::unique_lock<std::shared_mutex> L(M);
+  if (Pending.empty())
+    return true;
+  if (ReadOnly) {
+    if (Err)
+      *Err = "store is read-only";
+    return false;
+  }
+  FileLock FL;
+  if (!FL.acquire(Dir, Err))
+    return false;
+  if (!syncLocked(Err))
+    return false;
+
+  // Heal a torn tail: under the exclusive lock nobody else is mid-append,
+  // so bytes past the valid end are debris from a crashed writer.
+  {
+    Segment &A = Segments.back();
+    if (A.FileBytes > A.ValidEnd) {
+      if (::ftruncate(A.Fd, static_cast<off_t>(A.ValidEnd)) != 0) {
+        if (Err)
+          *Err = "cannot truncate torn tail of " + A.Name;
+        return false;
+      }
+      if (!remapSegment(A, Err))
+        return false;
+      A.ValidEnd = A.FileBytes;
+    }
+  }
+
+  // Roll to a fresh segment once the active one is oversized. The
+  // MANIFEST gains a segment line (same generation) before any record
+  // lands in the new file, so readers always discover it.
+  if (Segments.back().ValidEnd >= Opts.MaxSegmentBytes) {
+    uint64_t Gen = 0, Seq = 0;
+    parseSegmentName(Segments.back().Name, Gen, Seq);
+    std::string Name = segmentName(Generation, Seq + 1);
+    if (!writeFileDurable(Dir + "/" + Name, segmentHeader(Opts.SchemaVersion),
+                          Opts.Fsync, Err))
+      return false;
+    ManifestData MD;
+    MD.FormatVersion = kStoreFormatVersion;
+    MD.SchemaVersion = Opts.SchemaVersion;
+    MD.Generation = Generation;
+    for (const Segment &S : Segments)
+      MD.SegmentNames.push_back(S.Name);
+    MD.SegmentNames.push_back(Name);
+    if (!writeManifest(Dir, MD, Opts.Fsync, Err))
+      return false;
+    Segments.emplace_back();
+    Segment &S = Segments.back();
+    S.Name = Name;
+    S.Fd = ::open((Dir + "/" + Name).c_str(), O_RDWR | O_CLOEXEC);
+    S.Writable = S.Fd >= 0;
+    if (S.Fd < 0 || !remapSegment(S, Err)) {
+      if (Err && S.Fd < 0)
+        *Err = "cannot reopen rolled segment " + Name;
+      return false;
+    }
+    S.HeaderBytes = parseSegmentHeader(S.bytes(), Opts.SchemaVersion);
+    S.ValidEnd = S.HeaderBytes;
+  }
+
+  Segment &A = Segments.back();
+  size_t Base = A.ValidEnd;
+  size_t Done = 0;
+  while (Done < PendingBytes.size()) {
+    ssize_t N = ::pwrite(A.Fd, PendingBytes.data() + Done,
+                         PendingBytes.size() - Done,
+                         static_cast<off_t>(Base + Done));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Err)
+        *Err = "cannot append to " + A.Name + ": " + std::strerror(errno);
+      return false;
+    }
+    Done += static_cast<size_t>(N);
+  }
+  if (Opts.Fsync && ::fdatasync(A.Fd) != 0) {
+    if (Err)
+      *Err = "cannot fdatasync " + A.Name;
+    return false;
+  }
+  if (!remapSegment(A, Err))
+    return false;
+  A.ValidEnd = Base + PendingBytes.size();
+  A.Records += Pending.size();
+  uint32_t SegIdx = static_cast<uint32_t>(Segments.size() - 1);
+  for (const PendingRec &R : Pending)
+    Index[R.Key] = Loc{SegIdx, Base + R.BodyOff, R.BodyLen};
+  EventCounters::StoreAppends.fetch_add(Pending.size(),
+                                        std::memory_order_relaxed);
+  Pending.clear();
+  PendingBytes.clear();
+  PendingBytes.shrink_to_fit();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Compaction
+//===----------------------------------------------------------------------===//
+
+std::optional<StoreCompactResult> Store::compact(std::string *Err) {
+  return compactImpl(nullptr, Err);
+}
+
+std::optional<StoreCompactResult>
+Store::compact(const std::function<bool(const Hash128 &, size_t)> &Keep,
+               std::string *Err) {
+  return compactImpl(&Keep, Err);
+}
+
+std::optional<StoreCompactResult>
+Store::compactImpl(const std::function<bool(const Hash128 &, size_t)> *Keep,
+                   std::string *Err) {
+  std::unique_lock<std::shared_mutex> L(M);
+  if (ReadOnly) {
+    if (Err)
+      *Err = "store is read-only";
+    return std::nullopt;
+  }
+  FileLock FL;
+  if (!FL.acquire(Dir, Err))
+    return std::nullopt;
+  if (!syncLocked(Err))
+    return std::nullopt;
+
+  // Fold pending appends in as live entries rather than losing or
+  // double-writing them: they simply join the survivor set.
+  std::vector<std::pair<Hash128, std::string_view>> Live;
+  Live.reserve(Index.size() + Pending.size());
+  for (const auto &E : Index) {
+    const Segment &S = Segments[E.second.Seg];
+    Live.emplace_back(E.first, S.bytes().substr(E.second.BodyOff,
+                                                E.second.BodyLen));
+  }
+  for (const PendingRec &R : Pending) {
+    std::string_view Body =
+        std::string_view(PendingBytes).substr(R.BodyOff, R.BodyLen);
+    bool Replaced = false;
+    for (auto &E : Live)
+      if (E.first == R.Key) {
+        E.second = Body; // pending beats stored: it is the latest writer
+        Replaced = true;
+      }
+    if (!Replaced)
+      Live.emplace_back(R.Key, Body);
+  }
+
+  size_t TotalRecords = Pending.size();
+  for (const Segment &S : Segments)
+    TotalRecords += S.Records;
+
+  StoreCompactResult Out;
+  std::vector<std::pair<Hash128, std::string_view>> Kept;
+  Kept.reserve(Live.size());
+  for (auto &E : Live) {
+    if (Keep && !(*Keep)(E.first, E.second.size()))
+      continue;
+    Kept.push_back(E);
+  }
+  // Deterministic segment contents: key order, like the legacy save().
+  std::sort(Kept.begin(), Kept.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+
+  uint64_t NewGen = Generation + 1;
+  std::string NewName = segmentName(NewGen, 0);
+
+  // Old directory footprint: the manifest's segments plus any orphan
+  // segments a killed compaction left behind. A gen+1 orphan shares the
+  // NEW segment's name (this compaction IS that one's retry) — it gets
+  // overwritten below, so it is neither an orphan to delete nor old
+  // bytes to count.
+  size_t OldBytes = 0;
+  for (const Segment &S : Segments)
+    OldBytes += S.FileBytes;
+  std::error_code EC;
+  std::vector<std::string> Orphans;
+  for (const auto &Entry : fs::directory_iterator(Dir, EC)) {
+    std::string Name = Entry.path().filename().string();
+    bool InManifest = Name == NewName;
+    for (const Segment &S : Segments)
+      InManifest = InManifest || S.Name == Name;
+    if (!InManifest && (Entry.path().extension() == ".rseg" ||
+                        Name.rfind("MANIFEST.tmp", 0) == 0)) {
+      Orphans.push_back(Name);
+      OldBytes += static_cast<size_t>(fs::file_size(Entry.path(), EC));
+    }
+  }
+  std::string NewBytes = segmentHeader(Opts.SchemaVersion);
+  for (const auto &E : Kept) {
+    serializeRecord(NewBytes, E.first, E.second,
+                    E.second.empty()
+                        ? 0
+                        : static_cast<uint8_t>(
+                              static_cast<unsigned char>(E.second[0])));
+    Out.LiveBytes += E.second.size();
+  }
+  Out.LiveRecords = Kept.size();
+  Out.DroppedRecords = TotalRecords - Kept.size();
+  // The new segment is written under its final name BEFORE the MANIFEST
+  // flips: a crash here leaves an orphan the old generation never reads.
+  if (!writeFileDurable(Dir + "/" + NewName, NewBytes, Opts.Fsync, Err))
+    return std::nullopt;
+  ManifestData MD;
+  MD.FormatVersion = kStoreFormatVersion;
+  MD.SchemaVersion = Opts.SchemaVersion;
+  MD.Generation = NewGen;
+  MD.SegmentNames.push_back(NewName);
+  if (!writeManifest(Dir, MD, Opts.Fsync, Err))
+    return std::nullopt;
+
+  // Point of no return: the new generation is durable. Retire the old
+  // segments and any orphans (readers that mmapped them keep their
+  // mappings — unlink does not invalidate established maps).
+  for (Segment &S : Segments) {
+    std::string Name = S.Name;
+    S.close();
+    fs::remove(Dir + "/" + Name, EC);
+  }
+  for (const std::string &Name : Orphans)
+    fs::remove(Dir + "/" + Name, EC);
+  Out.ReclaimedBytes =
+      OldBytes > NewBytes.size() ? OldBytes - NewBytes.size() : 0;
+  Out.Generation = NewGen;
+
+  Pending.clear();
+  PendingBytes.clear();
+  Segments.clear();
+  Index.clear();
+  if (!loadViewLocked(Err))
+    return std::nullopt;
+  EventCounters::StoreCompactions.fetch_add(1, std::memory_order_relaxed);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Inspection
+//===----------------------------------------------------------------------===//
+
+bool Store::looksLikeStoreDir(const std::string &Path) {
+  std::error_code EC;
+  return fs::is_directory(Path, EC);
+}
+
+StoreInfo Store::inspect(const std::string &Dir, unsigned SchemaVersion) {
+  StoreInfo Info;
+  std::error_code EC;
+  if (!fs::is_directory(Dir, EC)) {
+    Info.Error = "not a directory";
+    return Info;
+  }
+  ManifestData MD;
+  std::string E;
+  ManifestStatus St = readManifest(Dir + "/MANIFEST", SchemaVersion, MD, &E);
+  Info.FormatVersion = MD.FormatVersion;
+  Info.SchemaVersion = MD.SchemaVersion;
+  if (St == ManifestStatus::Missing) {
+    Info.Error = "no MANIFEST — not an artifact store";
+    return Info;
+  }
+  if (St == ManifestStatus::Stale || St == ManifestStatus::Newer) {
+    Info.Stale = St == ManifestStatus::Stale;
+    Info.Newer = St == ManifestStatus::Newer;
+    Info.Error = E;
+    return Info;
+  }
+  if (St != ManifestStatus::Ok) {
+    Info.Error = E;
+    return Info;
+  }
+  Info.Generation = MD.Generation;
+
+  // Scan every segment, then attribute live/dead per segment: the live
+  // record for a key is the LAST frame-valid one in manifest+file order.
+  struct SegScan {
+    std::string Bytes;
+    std::vector<RawRecord> Recs;
+    size_t ValidEnd = 0;
+    size_t HeaderBytes = 0;
+  };
+  std::vector<SegScan> Scans(MD.SegmentNames.size());
+  std::unordered_map<Hash128, std::pair<size_t, size_t>, Hash128Hasher>
+      LiveAt; // key -> (segment, record index)
+  for (size_t SI = 0; SI < MD.SegmentNames.size(); ++SI) {
+    SegScan &SS = Scans[SI];
+    SS.Bytes = slurpFile(Dir + "/" + MD.SegmentNames[SI]);
+    SS.HeaderBytes = parseSegmentHeader(SS.Bytes, MD.SchemaVersion);
+    if (SS.HeaderBytes == 0) {
+      Info.Error = "segment " + MD.SegmentNames[SI] + " has a bad header";
+      return Info;
+    }
+    SS.ValidEnd = scanRecords(SS.Bytes, SS.HeaderBytes, SS.Recs);
+    for (size_t RI = 0; RI < SS.Recs.size(); ++RI)
+      if (!SS.Recs[RI].Corrupt)
+        LiveAt[SS.Recs[RI].Key] = {SI, RI};
+  }
+  for (size_t SI = 0; SI < Scans.size(); ++SI) {
+    const SegScan &SS = Scans[SI];
+    StoreSegmentInfo Seg;
+    Seg.Name = MD.SegmentNames[SI];
+    Seg.FileBytes = SS.Bytes.size();
+    Seg.Records = SS.Recs.size();
+    Seg.DeadBytes = SS.Bytes.size() - SS.ValidEnd; // torn tail, if any
+    for (size_t RI = 0; RI < SS.Recs.size(); ++RI) {
+      const RawRecord &R = SS.Recs[RI];
+      bool IsLive = false;
+      if (!R.Corrupt) {
+        auto It = LiveAt.find(R.Key);
+        IsLive = It != LiveAt.end() && It->second.first == SI &&
+                 It->second.second == RI;
+      }
+      Seg.CorruptRecords += R.Corrupt;
+      if (IsLive) {
+        ++Seg.LiveRecords;
+        Seg.LiveBytes += R.TotalLen;
+      } else {
+        Seg.DeadBytes += R.TotalLen;
+      }
+    }
+    Info.LiveBytes += Seg.LiveBytes;
+    Info.DeadBytes += Seg.DeadBytes;
+    Info.Segments.push_back(std::move(Seg));
+  }
+  Info.KeyCount = LiveAt.size();
+  Info.Ok = true;
+  return Info;
+}

@@ -1,0 +1,260 @@
+//===- Store.h - Durable multi-process artifact store ---------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An on-disk, multi-process artifact store for content-addressed binary
+/// payloads — the durable backing of core/SummaryCache. Where the legacy
+/// `--summary-cache FILE` format rewrites one file wholesale on every
+/// save, the store is a directory of append-only *journaled segments*
+/// plus a generation-numbered MANIFEST, designed so that
+///
+///  - **appends are incremental**: a run adds only its new payloads, as
+///    framed records at the tail of the active segment;
+///  - **reads are zero-copy**: segments are memory-mapped, and lookups
+///    hand back `string_view`s straight into the mapping — the binary
+///    codec (core/SchemeCodec.h) decodes from the mapped bytes without
+///    ever copying the payload;
+///  - **many processes share one store**: appenders serialize on an
+///    advisory file lock (`LOCK`, flock) while readers never take any
+///    lock at all. Concurrent appends of one key are resolved
+///    last-writer-wins; per-record CRC32C framing means a reader racing
+///    an append sees either a whole record or a detectably torn tail;
+///  - **corruption is contained per record**: a CRC mismatch skips that
+///    record only, a torn/truncated tail is dropped on open and healed
+///    (truncated away) by the next locked append, and a crash between
+///    compaction's segment write and its MANIFEST rename leaves the
+///    previous generation fully intact;
+///  - **space is reclaimed explicitly**: `compact()` folds the live
+///    record per key into a fresh segment under a new MANIFEST
+///    generation and deletes the superseded segments (plus any orphans a
+///    killed compaction left behind).
+///
+/// On-disk layout (`<dir>/`):
+///
+///   MANIFEST                        retypd-store v1 schema <S>
+///                                   generation <G>
+///                                   segment <name>        (one per line;
+///                                   ...                    last = active)
+///   LOCK                            empty flock target for appenders
+///   seg-<gen%06x>-<seq%06x>.rseg    segments: one header line
+///                                   ("retypd-segment v1 schema <S>"),
+///                                   then records back to back:
+///
+///   record := kind:u8  key:u64le*2  crc32c:u32le  len:LEB128  body[len]
+///
+/// The CRC covers kind, key, the LEB length bytes, and the body, so any
+/// torn or flipped byte in a record is detected without trusting the
+/// record's own framing. `schema` tracks the payload codec version
+/// (kSchemePayloadVersion via the owning cache): a store written by an
+/// older codec is stale wholesale — same philosophy as the cache file
+/// header — and is either refused with an actionable message or, when
+/// the caller opts in (the analyze path), reinitialized empty.
+///
+/// Thread safety: one `Store` object may be shared by the pipeline's
+/// worker threads. Lookups take a shared lock (the returned `PayloadRef`
+/// keeps it until destroyed, pinning the mapping); append buffering,
+/// flush, refresh, and compaction take the exclusive lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_STORE_STORE_H
+#define RETYPD_STORE_STORE_H
+
+#include "support/Hash128.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace retypd {
+
+/// Container-format version of the store directory layout (MANIFEST +
+/// segment framing). Distinct from the payload schema version, which the
+/// owning cache supplies via StoreOptions.
+inline constexpr unsigned kStoreFormatVersion = 1;
+
+struct StoreOptions {
+  /// Payload schema stamped into MANIFEST and segment headers. A store
+  /// whose schema differs is stale (older) or unusable (newer) wholesale.
+  unsigned SchemaVersion = 1;
+  /// Appends roll to a fresh segment once the active one exceeds this.
+  size_t MaxSegmentBytes = 8u << 20;
+  /// fdatasync segment appends and fsync compaction artifacts. Tests
+  /// turn this off; the durability claims assume it on.
+  bool Fsync = true;
+  /// When the directory holds a STALE store (older format or schema),
+  /// wipe and reinitialize it instead of failing. The analyze path opts
+  /// in — "a stale cache is a cold cache" — while inspect/prune keep it
+  /// off so they can report instead of destroy. Newer-than-this-binary
+  /// stores are never touched.
+  bool RegenerateStale = false;
+};
+
+/// Per-segment accounting from Store::inspect.
+struct StoreSegmentInfo {
+  std::string Name;
+  size_t FileBytes = 0;
+  size_t Records = 0;        ///< frame-complete records (live + dead)
+  size_t LiveRecords = 0;    ///< latest record per key
+  size_t LiveBytes = 0;      ///< whole-record bytes of live records
+  size_t DeadBytes = 0;      ///< superseded + corrupt + torn-tail bytes
+  size_t CorruptRecords = 0; ///< frame-complete but CRC-mismatched
+};
+
+/// What Store::inspect learned about a store directory.
+struct StoreInfo {
+  bool Ok = false;
+  std::string Error; ///< why not, when !Ok
+  bool Stale = false; ///< recognized store, OLDER format/schema
+  bool Newer = false; ///< recognized store written by a NEWER binary
+  unsigned FormatVersion = 0;
+  unsigned SchemaVersion = 0;
+  uint64_t Generation = 0;
+  size_t KeyCount = 0; ///< distinct live keys across segments
+  size_t LiveBytes = 0;
+  size_t DeadBytes = 0;
+  std::vector<StoreSegmentInfo> Segments;
+};
+
+/// Outcome of one Store::compact call.
+struct StoreCompactResult {
+  uint64_t Generation = 0;   ///< the new MANIFEST generation
+  size_t LiveRecords = 0;    ///< records carried into the new segment
+  size_t LiveBytes = 0;      ///< payload bytes carried over
+  size_t DroppedRecords = 0; ///< superseded/corrupt/filtered records folded
+  size_t ReclaimedBytes = 0; ///< directory bytes freed (>= reported dead)
+};
+
+/// A durable, multi-process, append-only artifact store.
+class Store {
+public:
+  /// Opens (creating or, with RegenerateStale, reinitializing) the store
+  /// in \p Dir. Returns nullptr with \p Err set on unreadable, foreign,
+  /// or newer-versioned directories.
+  static std::unique_ptr<Store> open(const std::string &Dir,
+                                     const StoreOptions &Opts,
+                                     std::string *Err = nullptr);
+  ~Store();
+  Store(const Store &) = delete;
+  Store &operator=(const Store &) = delete;
+
+  /// A zero-copy view of one stored payload. Holds the store's shared
+  /// lock for its lifetime, pinning the segment mapping the view points
+  /// into — decode from it, then drop it before taking other locks.
+  class PayloadRef {
+  public:
+    PayloadRef() = default;
+    explicit operator bool() const { return Found; }
+    std::string_view view() const { return View; }
+
+  private:
+    friend class Store;
+    std::shared_lock<std::shared_mutex> Lock;
+    std::string_view View;
+    bool Found = false;
+  };
+
+  /// Looks up the live payload for \p K (last writer wins). The view
+  /// points into the mapped segment — no payload bytes are copied; when
+  /// a segment could not be memory-mapped the fallback read is counted
+  /// on EventCounters::StorePayloadCopies.
+  PayloadRef lookup(const Hash128 &K) const;
+
+  /// True when the live payload for \p K equals \p Bytes exactly. The
+  /// flush path uses this to skip re-appending unchanged entries.
+  bool payloadEquals(const Hash128 &K, std::string_view Bytes) const;
+
+  /// Buffers one record for the next flush(). \p Kind is informational
+  /// (by convention the payload's leading tag byte).
+  void append(const Hash128 &K, std::string_view Payload, uint8_t Kind = 0);
+
+  size_t pendingRecords() const;
+
+  /// Takes the advisory file lock, absorbs any records other processes
+  /// appended since our last sync, heals a torn tail, rolls the segment
+  /// if oversized, writes the pending records, and updates the in-memory
+  /// index. Counted on EventCounters::StoreAppends per record written.
+  bool flush(std::string *Err = nullptr);
+
+  /// Re-reads MANIFEST and the active segment tail to pick up work other
+  /// processes published. Lock-free on disk (readers never block).
+  bool refresh(std::string *Err = nullptr);
+
+  /// Folds the live record per key into a fresh segment under generation
+  /// + 1, then deletes superseded segments and any orphans of a killed
+  /// earlier compaction. Flushes pending appends first. The overload
+  /// with \p Keep additionally drops live keys the predicate rejects
+  /// (the prune path). Counted on EventCounters::StoreCompactions.
+  std::optional<StoreCompactResult> compact(std::string *Err = nullptr);
+  std::optional<StoreCompactResult>
+  compact(const std::function<bool(const Hash128 &, size_t PayloadBytes)>
+              &Keep,
+          std::string *Err = nullptr);
+
+  uint64_t generation() const;
+  size_t keyCount() const;
+  /// Whole-record bytes of live records (the mapped working set).
+  size_t liveBytes() const;
+  /// (key, payload bytes) of every live record, unordered — the prune
+  /// path sizes its victims with this before compacting with a filter.
+  std::vector<std::pair<Hash128, size_t>> liveEntries() const;
+  const std::string &dir() const { return Dir; }
+
+  /// Reads a store directory's MANIFEST and segments without opening (or
+  /// creating, or healing) anything. Stale/newer stores set the matching
+  /// flag and an actionable Error.
+  static StoreInfo inspect(const std::string &Dir,
+                           unsigned SchemaVersion = 0);
+
+  /// True when \p Path is a directory that looks like (any version of) a
+  /// store — used by the CLI to route `cache` verbs.
+  static bool looksLikeStoreDir(const std::string &Path);
+
+private:
+  struct Segment;
+  struct Loc {
+    uint32_t Seg = 0;
+    uint64_t BodyOff = 0;
+    uint32_t BodyLen = 0;
+  };
+
+  Store(std::string Dir, StoreOptions Opts);
+  bool initializeLocked(std::string *Err);
+  bool loadViewLocked(std::string *Err);
+  bool syncLocked(std::string *Err);
+  bool scanSegmentTail(size_t SegIdx, std::string *Err);
+  bool remapSegment(Segment &S, std::string *Err);
+  std::optional<StoreCompactResult>
+  compactImpl(const std::function<bool(const Hash128 &, size_t)> *Keep,
+              std::string *Err);
+
+  std::string Dir;
+  StoreOptions Opts;
+
+  mutable std::shared_mutex M;
+  uint64_t Generation = 0;
+  std::vector<Segment> Segments;
+  std::unordered_map<Hash128, Loc, Hash128Hasher> Index;
+  bool ReadOnly = false;
+
+  std::string PendingBytes; ///< serialized records awaiting flush
+  struct PendingRec {
+    Hash128 Key;
+    size_t BodyOff = 0; ///< into PendingBytes
+    uint32_t BodyLen = 0;
+  };
+  std::vector<PendingRec> Pending;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_STORE_STORE_H

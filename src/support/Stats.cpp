@@ -35,6 +35,11 @@ std::atomic<uint64_t> EventCounters::SchemeDecodes{0};
 std::atomic<uint64_t> EventCounters::SchemeEncodes{0};
 std::atomic<uint64_t> EventCounters::GenCacheHits{0};
 std::atomic<uint64_t> EventCounters::GenCacheMisses{0};
+std::atomic<uint64_t> EventCounters::StoreHits{0};
+std::atomic<uint64_t> EventCounters::StoreAppends{0};
+std::atomic<uint64_t> EventCounters::StoreCompactions{0};
+std::atomic<uint64_t> EventCounters::StorePayloadCopies{0};
+std::atomic<uint64_t> EventCounters::DecodeMemoHits{0};
 
 void EventCounters::reset() {
   ConstraintParseCalls.store(0, std::memory_order_relaxed);
@@ -42,6 +47,11 @@ void EventCounters::reset() {
   SchemeEncodes.store(0, std::memory_order_relaxed);
   GenCacheHits.store(0, std::memory_order_relaxed);
   GenCacheMisses.store(0, std::memory_order_relaxed);
+  StoreHits.store(0, std::memory_order_relaxed);
+  StoreAppends.store(0, std::memory_order_relaxed);
+  StoreCompactions.store(0, std::memory_order_relaxed);
+  StorePayloadCopies.store(0, std::memory_order_relaxed);
+  DecodeMemoHits.store(0, std::memory_order_relaxed);
 }
 
 namespace {

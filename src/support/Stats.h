@@ -57,6 +57,21 @@ struct EventCounters {
   static std::atomic<uint64_t> GenCacheHits;
   static std::atomic<uint64_t> GenCacheMisses;
 
+  /// Artifact-store (store/Store.h) counters. StoreHits are cache probes
+  /// served from the on-disk store; StoreAppends/StoreCompactions are the
+  /// write side. StorePayloadCopies counts store lookups that could NOT
+  /// be served zero-copy out of a memory-mapped segment (the pread
+  /// fallback for filesystems without mmap) — it must stay ZERO on the
+  /// mmap read path, and bench_store plus the store tests assert it.
+  static std::atomic<uint64_t> StoreHits;
+  static std::atomic<uint64_t> StoreAppends;
+  static std::atomic<uint64_t> StoreCompactions;
+  static std::atomic<uint64_t> StorePayloadCopies;
+  /// Probes answered from SummaryCache's decoded-payload memo: the value
+  /// was returned without re-running the binary codec at all (the
+  /// re-analysis-after-invalidate() fast path).
+  static std::atomic<uint64_t> DecodeMemoHits;
+
   /// Zeroes every counter. Call between measured runs.
   static void reset();
 };

@@ -142,7 +142,21 @@ public:
 
   size_t size() const { return Count.load(std::memory_order_acquire); }
 
+  /// A process-unique instance identity. Decoded cache values carry
+  /// symbol ids that are only meaningful relative to the table that
+  /// produced them, and pointer equality is not enough to check that (a
+  /// destroyed table's address can be reused) — consumers that memoize
+  /// decoded values key them by this uid instead.
+  uint64_t uid() const { return Uid; }
+
 private:
+  static uint64_t nextUid() {
+    static std::atomic<uint64_t> Counter{1};
+    return Counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const uint64_t Uid = nextUid();
+
   static constexpr size_t kChunkShift = 12;
   static constexpr size_t kChunkSize = size_t(1) << kChunkShift; // 4096
   static constexpr size_t kMaxChunks = 1 << 13; // 33.5M symbols

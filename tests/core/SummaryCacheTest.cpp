@@ -10,6 +10,7 @@
 
 #include "core/ConstraintParser.h"
 #include "core/SummaryCache.h"
+#include "support/Stats.h"
 #include "frontend/Pipeline.h"
 #include "frontend/ReportPrinter.h"
 #include "mir/AsmParser.h"
@@ -399,4 +400,138 @@ TEST_F(SummaryCacheTest, ManyTinySccsStress) {
   EXPECT_EQ(Cache.misses(), MissesCold);
   EXPECT_GE(Cache.hits(), 300u);
   EXPECT_EQ(Baseline, Run(2, &Cache)); // warm, different job count
+}
+
+//===----------------------------------------------------------------------===//
+// Durable artifact store backing (store/Store.h)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Fresh per-test store directory, removed on scope exit.
+struct TempStoreDir {
+  std::filesystem::path P;
+  explicit TempStoreDir(const char *Tag) {
+    P = std::filesystem::temp_directory_path() /
+        (std::string("retypd_cache_store_") + Tag);
+    std::filesystem::remove_all(P);
+  }
+  ~TempStoreDir() { std::filesystem::remove_all(P); }
+  std::string str() const { return P.string(); }
+};
+
+} // namespace
+
+TEST_F(SummaryCacheTest, StoreBackedLookupIsZeroCopyAndCountsHits) {
+  TempStoreDir Dir("zerocopy");
+  TypeScheme Scheme = makeScheme("F");
+  auto K = SummaryCache::keyFor(Scheme.Constraints, var("F"), {}, Opts, Syms,
+                                Lat);
+  {
+    SummaryCache Writer;
+    ASSERT_TRUE(Writer.openStore(Dir.str()));
+    Writer.insert(K, Scheme, Syms, Lat);
+    auto Appended = Writer.flushToStore();
+    ASSERT_TRUE(Appended.has_value());
+    EXPECT_EQ(*Appended, 1u);
+    // Re-flushing identical bytes journals nothing.
+    auto Again = Writer.flushToStore();
+    ASSERT_TRUE(Again.has_value());
+    EXPECT_EQ(*Again, 0u);
+  }
+  // A different cache object (a second process): the in-memory map is
+  // empty, so the probe decodes straight out of the mapped store.
+  SummaryCache Reader;
+  ASSERT_TRUE(Reader.openStore(Dir.str()));
+  EXPECT_FALSE(Reader.lookupPayload(K).has_value())
+      << "store payloads must not be copied into the memory map";
+  EventCounters::reset();
+  auto Back = Reader.lookup(K, Syms, Lat);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->str(Syms, Lat), Scheme.str(Syms, Lat));
+  EXPECT_EQ(Reader.hits(), 1u);
+  EXPECT_EQ(Reader.misses(), 0u);
+  EXPECT_EQ(EventCounters::StoreHits.load(), 1u);
+  EXPECT_EQ(EventCounters::StorePayloadCopies.load(), 0u)
+      << "mmap read path copied payload bytes";
+}
+
+TEST_F(SummaryCacheTest, DecodeMemoSkipsRedecodeForSameTableAndGeneration) {
+  TempStoreDir Dir("memo");
+  TypeScheme Scheme = makeScheme("F");
+  auto K = SummaryCache::keyFor(Scheme.Constraints, var("F"), {}, Opts, Syms,
+                                Lat);
+  SummaryCache Cache;
+  ASSERT_TRUE(Cache.openStore(Dir.str()));
+  Cache.insert(K, Scheme, Syms, Lat);
+  ASSERT_TRUE(Cache.flushToStore().has_value());
+
+  EventCounters::reset();
+  ASSERT_TRUE(Cache.lookup(K, Syms, Lat).has_value()); // decodes + memoizes
+  uint64_t DecodesAfterFirst = EventCounters::SchemeDecodes.load();
+  auto Back = Cache.lookup(K, Syms, Lat); // memo: no codec work at all
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->str(Syms, Lat), Scheme.str(Syms, Lat));
+  EXPECT_EQ(EventCounters::SchemeDecodes.load(), DecodesAfterFirst)
+      << "second probe re-decoded the payload";
+  EXPECT_EQ(EventCounters::DecodeMemoHits.load(), 1u);
+  EXPECT_EQ(Cache.hits(), 2u);
+  EXPECT_EQ(Cache.misses(), 0u);
+
+  // A different symbol table cannot reuse the memo (decoded values carry
+  // table-relative ids) — it decodes fresh and still answers correctly.
+  SymbolTable Other;
+  uint64_t MemoHits = EventCounters::DecodeMemoHits.load();
+  auto FromOther = Cache.lookup(K, Other, Lat);
+  ASSERT_TRUE(FromOther.has_value());
+  EXPECT_EQ(FromOther->str(Other, Lat), Scheme.str(Syms, Lat));
+  EXPECT_EQ(EventCounters::DecodeMemoHits.load(), MemoHits);
+  EXPECT_GT(EventCounters::SchemeDecodes.load(), DecodesAfterFirst);
+
+  // A store generation change (compaction) conservatively invalidates.
+  ASSERT_TRUE(Cache.store()->compact().has_value());
+  MemoHits = EventCounters::DecodeMemoHits.load();
+  uint64_t Decodes = EventCounters::SchemeDecodes.load();
+  ASSERT_TRUE(Cache.lookup(K, Syms, Lat).has_value());
+  EXPECT_EQ(EventCounters::DecodeMemoHits.load(), MemoHits);
+  EXPECT_GT(EventCounters::SchemeDecodes.load(), Decodes);
+  // ... and the re-decode re-primes the memo.
+  ASSERT_TRUE(Cache.lookup(K, Syms, Lat).has_value());
+  EXPECT_EQ(EventCounters::DecodeMemoHits.load(), MemoHits + 1);
+}
+
+TEST_F(SummaryCacheTest, MemoInvalidatedByPayloadReplacement) {
+  SummaryCache Cache; // memo works without a store too (generation 0)
+  TypeScheme F = makeScheme("F"), G = makeScheme("G");
+  auto K = SummaryCache::keyFor(F.Constraints, var("F"), {}, Opts, Syms, Lat);
+  Cache.insert(K, F, Syms, Lat);
+  ASSERT_TRUE(Cache.lookup(K, Syms, Lat).has_value()); // memoized
+  // Replacing the payload must not serve the stale decoded value.
+  Cache.insert(K, G, Syms, Lat);
+  auto Back = Cache.lookup(K, Syms, Lat);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->str(Syms, Lat), G.str(Syms, Lat));
+}
+
+TEST_F(SummaryCacheTest, CorruptStoreRecordIsAMissNotAPoisoning) {
+  TempStoreDir Dir("corrupt");
+  TypeScheme Scheme = makeScheme("F");
+  auto Good = SummaryCache::keyFor(Scheme.Constraints, var("F"), {}, Opts,
+                                   Syms, Lat);
+  SummaryKey Bad{0x1234, 0x5678};
+  {
+    SummaryCache Writer;
+    ASSERT_TRUE(Writer.openStore(Dir.str()));
+    Writer.insert(Good, Scheme, Syms, Lat);
+    Writer.insertPayload(Bad, "not a scheme payload");
+    ASSERT_TRUE(Writer.flushToStore().has_value());
+  }
+  SummaryCache Reader;
+  ASSERT_TRUE(Reader.openStore(Dir.str()));
+  // The CRC is fine (the garbage was written as-is), but decoding fails:
+  // a plain miss, not an error, and the good neighbor still decodes.
+  EXPECT_FALSE(Reader.lookup(Bad, Syms, Lat).has_value());
+  EXPECT_EQ(Reader.misses(), 1u);
+  ASSERT_TRUE(Reader.lookup(Good, Syms, Lat).has_value());
+  EXPECT_EQ(Reader.hits(), 1u);
 }

@@ -138,3 +138,69 @@ TEST(GoldenTest, CachePersistsAcrossProcessesViaFile) {
   EXPECT_GT(Reloaded.hits(), 0u);
   fs::remove(File);
 }
+
+TEST(GoldenTest, StoreWarmMatchesLegacyFileAndFreshRuns) {
+  // The three persistence paths must be indistinguishable in output:
+  // a fresh run, a warm run over the legacy v3 single-file cache, and a
+  // warm run over the mmap-backed artifact store — and the store path
+  // must be parse-free and copy-free (the zero-copy invariant).
+  fs::path Dir = fs::temp_directory_path() / "retypd_golden_store";
+  fs::path File = fs::temp_directory_path() / "retypd_golden_legacy.bin";
+  fs::remove_all(Dir);
+  fs::remove(File);
+  const fs::path P = corpus().front();
+  std::string Fresh = runReport(P, 1);
+
+  // One cold run populates both the store and the legacy file.
+  {
+    SummaryCache Cache;
+    ASSERT_TRUE(Cache.openStore(Dir.string()));
+    EXPECT_EQ(runReport(P, 1, &Cache), Fresh);
+    ASSERT_TRUE(Cache.save(File.string()));
+  }
+
+  // Store-backed warm run from an empty in-memory cache: every probe is
+  // served zero-copy out of the mapped segments.
+  {
+    SummaryCache Warm;
+    ASSERT_TRUE(Warm.openStore(Dir.string()));
+    EventCounters::reset();
+    EXPECT_EQ(runReport(P, 1, &Warm), Fresh) << "store warm run diverged";
+    EXPECT_EQ(EventCounters::ConstraintParseCalls.load(), 0u)
+        << "store warm run parsed constraint text";
+    EXPECT_EQ(Warm.misses(), 0u) << "store warm run missed";
+    EXPECT_GT(EventCounters::StoreHits.load(), 0u);
+    EXPECT_EQ(EventCounters::StorePayloadCopies.load(), 0u)
+        << "store warm run copied payload bytes";
+  }
+
+  // Legacy-file warm run: byte-identical too (store vs legacy vs fresh).
+  {
+    SummaryCache Legacy;
+    ASSERT_TRUE(Legacy.load(File.string()));
+    EXPECT_EQ(runReport(P, 1, &Legacy), Fresh) << "legacy warm run diverged";
+    EXPECT_EQ(Legacy.misses(), 0u);
+  }
+  fs::remove_all(Dir);
+  fs::remove(File);
+}
+
+TEST(GoldenTest, StoreWarmIsByteIdenticalAcrossJobCounts) {
+  fs::path Dir = fs::temp_directory_path() / "retypd_golden_store_jobs";
+  fs::remove_all(Dir);
+  const fs::path P = corpus().front();
+  std::string Fresh = runReport(P, 1);
+  {
+    SummaryCache Cache;
+    ASSERT_TRUE(Cache.openStore(Dir.string()));
+    EXPECT_EQ(runReport(P, 2, &Cache), Fresh);
+  }
+  for (unsigned Jobs : {1u, 4u}) {
+    SummaryCache Warm;
+    ASSERT_TRUE(Warm.openStore(Dir.string()));
+    EXPECT_EQ(runReport(P, Jobs, &Warm), Fresh)
+        << "store warm diverged at jobs=" << Jobs;
+    EXPECT_EQ(Warm.misses(), 0u);
+  }
+  fs::remove_all(Dir);
+}

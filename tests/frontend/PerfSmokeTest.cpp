@@ -25,6 +25,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 
 using namespace retypd;
 
@@ -93,4 +94,41 @@ TEST(PerfSmokeTest, WarmCacheNeverLosesAndNeverParses) {
   // scheduler noise it must come in at or under the cold time.
   EXPECT_LE(Warm, Cold) << "warm run slower than cold (" << Warm << "s vs "
                         << Cold << "s)";
+}
+
+TEST(PerfSmokeTest, StoreWarmPathIsParseFreeZeroCopyAndByteIdentical) {
+  // The artifact-store analog of the warm-path invariants: a second
+  // process (modeled by a fresh SummaryCache over the same directory)
+  // replays the whole analysis out of the memory-mapped store — zero
+  // ConstraintParser calls, zero cache misses, zero payload-byte copies.
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "retypd_perfsmoke_store";
+  fs::remove_all(Dir);
+
+  Lattice Lat = makeDefaultLattice();
+  SynthOptions O;
+  O.Seed = 23;
+  O.TargetInstructions = 6000;
+  SynthGenerator Gen;
+  SynthProgram P = Gen.generate("perf-smoke-store", O);
+
+  std::string ColdReport, WarmReport;
+  {
+    SummaryCache Cold;
+    ASSERT_TRUE(Cold.openStore(Dir.string()));
+    timedRun(P.M, Lat, &Cold, &ColdReport);
+    EXPECT_GT(Cold.store()->keyCount(), 0u) << "cold run journaled nothing";
+  }
+  SummaryCache Warm;
+  ASSERT_TRUE(Warm.openStore(Dir.string()));
+  EventCounters::reset();
+  timedRun(P.M, Lat, &Warm, &WarmReport);
+  EXPECT_EQ(ColdReport, WarmReport);
+  EXPECT_EQ(EventCounters::ConstraintParseCalls.load(), 0u)
+      << "store warm run invoked ConstraintParser";
+  EXPECT_EQ(Warm.misses(), 0u) << "store warm run missed the cache";
+  EXPECT_GT(EventCounters::StoreHits.load(), 0u);
+  EXPECT_EQ(EventCounters::StorePayloadCopies.load(), 0u)
+      << "store warm run copied payload bytes off the mmap path";
+  fs::remove_all(Dir);
 }

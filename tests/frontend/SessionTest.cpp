@@ -9,6 +9,7 @@
 
 #include "frontend/ReportPrinter.h"
 #include "frontend/Session.h"
+#include "support/Stats.h"
 #include "mir/AsmParser.h"
 
 #include <gtest/gtest.h>
@@ -298,4 +299,69 @@ fn top:
   EXPECT_GT(S.report()->Stats.GenCacheHits, 0u)
       << "unchanged invalidated SCC must replay its generation";
   EXPECT_EQ(S.report()->Stats.GenCacheMisses, 0u);
+}
+
+TEST(SessionTest, InvalidateReanalysisHitsTheDecodeMemo) {
+  // The decoded-payload memo: once a re-analysis has decoded a payload
+  // for this session's symbol table, further invalidate()/analyze()
+  // rounds replay it without touching the codec at all. Reports stay
+  // byte-identical throughout.
+  AnalysisSession S(makeDefaultLattice());
+  ASSERT_TRUE(S.loadModuleText(kTwoIslandAsm));
+  S.analyze();
+  std::string Baseline = renderSession(S);
+
+  // Round 1 after invalidate: replays from cache payloads (decodes and
+  // primes the memo for every probed key).
+  ASSERT_TRUE(S.invalidate("leaf_a"));
+  S.analyze();
+  EXPECT_EQ(renderSession(S), Baseline);
+  ASSERT_GT(S.report()->Stats.CacheHits, 0u)
+      << "nothing replayed from the cache";
+
+  // Round 2: the same probes answer straight from the memo.
+  EventCounters::reset();
+  ASSERT_TRUE(S.invalidate("leaf_a"));
+  S.analyze();
+  EXPECT_EQ(renderSession(S), Baseline);
+  EXPECT_GT(S.report()->Stats.DecodeMemoHits, 0u)
+      << "second re-analysis re-decoded unchanged payloads";
+  EXPECT_GT(EventCounters::DecodeMemoHits.load(), 0u);
+}
+
+TEST(SessionTest, StoreDirOptionJournalsAndReplays) {
+  namespace fs2 = std::filesystem;
+  fs2::path Dir = fs2::temp_directory_path() / "retypd_session_store";
+  fs2::remove_all(Dir);
+
+  std::string Baseline;
+  {
+    SessionOptions Opts;
+    Opts.StoreDir = Dir.string();
+    AnalysisSession S(makeDefaultLattice(), Opts);
+    ASSERT_TRUE(S.storeError().empty()) << S.storeError();
+    ASSERT_TRUE(S.loadModuleText(kTwoIslandAsm));
+    S.analyze();
+    Baseline = renderSession(S);
+    EXPECT_GT(S.report()->Stats.StoreAppends, 0u)
+        << "analyze() did not journal its artifacts";
+  }
+  // A second session (second process) over the same directory warm-runs
+  // entirely from the store, byte-identically.
+  {
+    SessionOptions Opts;
+    Opts.StoreDir = Dir.string();
+    AnalysisSession S(makeDefaultLattice(), Opts);
+    ASSERT_TRUE(S.storeError().empty()) << S.storeError();
+    ASSERT_TRUE(S.loadModuleText(kTwoIslandAsm));
+    EventCounters::reset();
+    S.analyze();
+    EXPECT_EQ(renderSession(S), Baseline);
+    EXPECT_GT(S.report()->Stats.StoreHits, 0u);
+    EXPECT_EQ(S.report()->Stats.CacheMisses, 0u);
+    EXPECT_EQ(EventCounters::StorePayloadCopies.load(), 0u);
+    EXPECT_EQ(S.report()->Stats.StoreAppends, 0u)
+        << "identical payloads must not be re-journaled";
+  }
+  fs2::remove_all(Dir);
 }

@@ -214,3 +214,170 @@ TEST(CliTest, HelpExitsZero) {
   EXPECT_EQ(R.Exit, 0);
   EXPECT_NE(R.Out.find("reanalyze"), std::string::npos);
 }
+
+//===----------------------------------------------------------------------===//
+// Artifact store (--store DIR, cache verbs on directories)
+//===----------------------------------------------------------------------===//
+
+TEST(CliTest, StoreAnalyzeWarmInspectCompact) {
+  fs::path Dir = fs::temp_directory_path() / "cli_store";
+  fs::remove_all(Dir);
+
+  // Cold run journals; warm run replays from the store, byte-identically
+  // to a storeless run.
+  CmdResult Cold = runCli("analyze --store " + Dir.string() + " " +
+                          goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(Cold.Exit, 0) << Cold.Out;
+  CmdResult Plain = runCli("analyze " + goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(Cold.Out, Plain.Out);
+
+  CmdResult Warm = runCli("analyze --store " + Dir.string() +
+                          " --stats --format=json " +
+                          goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(Warm.Exit, 0) << Warm.Out;
+  EXPECT_EQ(Warm.Out.find("\"store_hits\": 0,"), std::string::npos)
+      << "warm run served nothing from the store: " << Warm.Out;
+  EXPECT_NE(Warm.Out.find("\"cache_misses\": 0,"), std::string::npos)
+      << Warm.Out;
+
+  // inspect: generation, per-segment record counts, live/dead bytes.
+  CmdResult R = runCli("cache inspect " + Dir.string());
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("header: ok (v1 schema 2)"), std::string::npos)
+      << R.Out;
+  EXPECT_NE(R.Out.find("generation: 1"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("segment seg-000001-000000.rseg: records"),
+            std::string::npos)
+      << R.Out;
+
+  // compact bumps the generation; the store still warm-serves.
+  R = runCli("cache compact " + Dir.string());
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("compacted to generation 2"), std::string::npos)
+      << R.Out;
+  Warm = runCli("analyze --store " + Dir.string() + " " +
+                goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(Warm.Out, Plain.Out);
+
+  // prune on a store directory reuses the --max-bytes contract.
+  R = runCli("cache prune " + Dir.string() + " --max-bytes 0");
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("0 remain"), std::string::npos) << R.Out;
+
+  // compact on a FILE is rejected with guidance.
+  fs::path File = writeTemp("cli_store_file.bin", "not a dir");
+  R = runCli("cache compact " + File.string());
+  EXPECT_EQ(R.Exit, 2);
+  EXPECT_NE(R.Out.find("artifact store directory"), std::string::npos)
+      << R.Out;
+  fs::remove(File);
+
+  // Mutating verbs on a directory that is NOT a store refuse without
+  // polluting it with a fresh MANIFEST/LOCK/segment.
+  fs::path PlainDir = fs::temp_directory_path() / "cli_store_plain_dir";
+  fs::remove_all(PlainDir);
+  fs::create_directories(PlainDir);
+  for (const char *Verb : {"compact ", "prune --max-bytes 0 "}) {
+    R = runCli("cache " + std::string(Verb) + PlainDir.string());
+    EXPECT_EQ(R.Exit, 1) << Verb << R.Out;
+    EXPECT_NE(R.Out.find("not an artifact store"), std::string::npos)
+        << Verb << R.Out;
+  }
+  EXPECT_TRUE(fs::is_empty(PlainDir)) << "cache verb polluted a plain dir";
+  fs::remove_all(PlainDir);
+  fs::remove_all(Dir);
+}
+
+TEST(CliTest, StaleStoreGetsActionableMessageAndAnalyzeRegenerates) {
+  fs::path Dir = fs::temp_directory_path() / "cli_stale_store";
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+  {
+    std::ofstream M(Dir / "MANIFEST", std::ios::binary);
+    M << "retypd-store v1 schema 1\ngeneration 1\n"
+         "segment seg-000001-000000.rseg\n";
+    std::ofstream S(Dir / "seg-000001-000000.rseg", std::ios::binary);
+    S << "retypd-segment v1 schema 1\n";
+  }
+  CmdResult R = runCli("cache inspect " + Dir.string());
+  EXPECT_EQ(R.Exit, 1);
+  EXPECT_NE(R.Out.find("re-run analyze to regenerate"), std::string::npos)
+      << R.Out;
+  // compact refuses a stale store the same way...
+  R = runCli("cache compact " + Dir.string());
+  EXPECT_EQ(R.Exit, 1);
+  EXPECT_NE(R.Out.find("re-run analyze to regenerate"), std::string::npos)
+      << R.Out;
+  // ...and analyze actually does regenerate it.
+  R = runCli("analyze --store " + Dir.string() + " " +
+             goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  R = runCli("cache inspect " + Dir.string());
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("header: ok (v1 schema 2)"), std::string::npos)
+      << R.Out;
+  fs::remove_all(Dir);
+}
+
+TEST(CliTest, CrossProcessHammerLeavesStoreCleanAndDecodable) {
+  // N real retypd-cli processes append to and read from ONE store
+  // directory concurrently (popen starts them all before any pclose
+  // reaps). The advisory-lock append protocol must keep the store
+  // uncorrupted: it opens clean afterwards, and a warm run over it is
+  // byte-identical to a storeless run for every program involved.
+  fs::path Dir = fs::temp_directory_path() / "cli_store_hammer";
+  fs::remove_all(Dir);
+
+  const char *Programs[] = {"list_traverse.asm", "callbacks.asm",
+                            "mutual_rec.asm"};
+  std::vector<FILE *> Children;
+  for (int Round = 0; Round < 2; ++Round)
+    for (const char *Prog : Programs) {
+      std::string Cmd = std::string(RETYPD_CLI_PATH) + " analyze --store " +
+                        Dir.string() + " " + goldenAsm(Prog) +
+                        " > /dev/null 2>&1";
+      FILE *P = popen(Cmd.c_str(), "r");
+      ASSERT_NE(P, nullptr);
+      Children.push_back(P);
+    }
+  for (FILE *P : Children) {
+    int Status = pclose(P);
+    EXPECT_TRUE(WIFEXITED(Status) && WEXITSTATUS(Status) == 0)
+        << "hammer child failed";
+  }
+
+  // The store opens clean: no corrupt records in any segment.
+  CmdResult R = runCli("cache inspect --format=json " + Dir.string());
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  auto Count = [&](const std::string &Needle) {
+    size_t N = 0;
+    for (size_t Pos = R.Out.find(Needle); Pos != std::string::npos;
+         Pos = R.Out.find(Needle, Pos + 1))
+      ++N;
+    return N;
+  };
+  EXPECT_GT(Count("\"corrupt_records\": "), 0u) << R.Out;
+  EXPECT_EQ(Count("\"corrupt_records\": "), Count("\"corrupt_records\": 0"))
+      << "hammer corrupted a record: " << R.Out;
+
+  // Every surviving key decodes: warm runs replay each program with zero
+  // misses, and the report proper matches the storeless output byte for
+  // byte (--stats is omitted from the identity check — its cache counter
+  // comment is SUPPOSED to differ between a cached and an uncached run).
+  for (const char *Prog : Programs) {
+    CmdResult Warm = runCli("analyze --store " + Dir.string() + " " +
+                            goldenAsm(Prog));
+    CmdResult Plain = runCli("analyze " + goldenAsm(Prog));
+    EXPECT_EQ(Warm.Exit, 0) << Warm.Out;
+    EXPECT_EQ(Warm.Out, Plain.Out) << Prog;
+    CmdResult Stats = runCli("analyze --store " + Dir.string() +
+                             " --stats " + goldenAsm(Prog));
+    EXPECT_NE(Stats.Out.find("cache_misses=0"), std::string::npos)
+        << Prog << ": " << Stats.Out;
+  }
+
+  // And compaction folds the duplicate-append debris away.
+  R = runCli("cache compact " + Dir.string());
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  fs::remove_all(Dir);
+}

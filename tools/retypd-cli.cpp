@@ -9,8 +9,11 @@
 //                                          re-analyze the edited module;
 //                                          output is byte-identical to
 //                                          `analyze new.asm`
-//   retypd-cli cache inspect FILE          summary-cache header/entry info
-//   retypd-cli cache prune FILE --max-bytes N   drop largest entries
+//   retypd-cli cache inspect PATH          summary-cache file or artifact
+//                                          store directory info
+//   retypd-cli cache prune PATH --max-bytes N   drop largest entries
+//   retypd-cli cache compact DIR           fold an artifact store's dead
+//                                          records into a fresh segment
 //   retypd-cli help [command]
 //
 // `retypd-cli [options] prog.asm` (no subcommand) still works and means
@@ -26,7 +29,11 @@
 //                                per hardware core); output is
 //                                byte-identical for every N
 //   --summary-cache FILE         persist the content-addressed scheme
-//                                cache across runs
+//                                cache across runs (whole-file rewrite;
+//                                the legacy import/export path)
+//   --store DIR                  share a durable multi-process artifact
+//                                store: appends are journaled, reads are
+//                                zero-copy out of mmapped segments
 //   --format=text|json           report rendering
 // analyze only:
 //   --strip                      stripped-binary round trip first
@@ -48,6 +55,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -122,13 +130,15 @@ int usage(FILE *Out = stderr) {
       "  reanalyze [options] base.asm new.asm   incremental re-analysis of an\n"
       "                                         edited module (same output as\n"
       "                                         'analyze new.asm')\n"
-      "  cache inspect FILE                     summary-cache file info\n"
-      "  cache prune FILE --max-bytes N         shrink a summary-cache file\n"
+      "  cache inspect PATH                     summary-cache file or store\n"
+      "                                         directory info\n"
+      "  cache prune PATH --max-bytes N         shrink a cache file / store\n"
+      "  cache compact DIR                      reclaim a store's dead bytes\n"
       "  help [command]                         this text\n"
       "\n"
       "analyze/reanalyze options:\n"
       "  --schemes --sketches --stats --jobs N --summary-cache FILE\n"
-      "  --format=text|json\n"
+      "  --store DIR --format=text|json\n"
       "analyze only: --strip --engine=retypd|unify|interval\n"
       "\n"
       "'retypd-cli [options] prog.asm' without a command means 'analyze'.\n");
@@ -161,16 +171,17 @@ struct AnalyzeOpts {
   unsigned Jobs = 1;
   std::string Engine = "retypd";
   std::string CachePath;
+  std::string StoreDir;
   std::string Format = "text";
   std::vector<std::string> Paths;
 };
 
 const std::vector<std::string> kAnalyzeFlags = {
-    "--schemes", "--sketches", "--strip",  "--stats",
-    "--jobs",    "--summary-cache", "--engine=", "--format="};
+    "--schemes", "--sketches",      "--strip",   "--stats",  "--jobs",
+    "--summary-cache", "--store", "--engine=", "--format="};
 const std::vector<std::string> kReanalyzeFlags = {
-    "--schemes", "--sketches", "--stats",
-    "--jobs",    "--summary-cache", "--format="};
+    "--schemes", "--sketches", "--stats", "--jobs",
+    "--summary-cache", "--store", "--format="};
 
 /// Parses analyze/reanalyze arguments from argv[Start..). Returns 0 on
 /// success, 2 on a usage error (already reported).
@@ -186,7 +197,8 @@ int parseAnalyzeArgs(int argc, char **argv, int Start, const char *Command,
       O.Strip = true;
     else if (Arg == "--stats")
       O.Stats = true;
-    else if (Arg == "--jobs" || Arg == "--summary-cache") {
+    else if (Arg == "--jobs" || Arg == "--summary-cache" ||
+             Arg == "--store") {
       if (I + 1 >= argc) {
         std::fprintf(stderr, "error: option '%s' requires a value\n",
                      Arg.c_str());
@@ -195,13 +207,17 @@ int parseAnalyzeArgs(int argc, char **argv, int Start, const char *Command,
       if (Arg == "--jobs") {
         if (!parseJobs(argv[++I], O.Jobs))
           return 2;
-      } else
+      } else if (Arg == "--summary-cache")
         O.CachePath = argv[++I];
+      else
+        O.StoreDir = argv[++I];
     } else if (Arg.rfind("--jobs=", 0) == 0) {
       if (!parseJobs(Arg.c_str() + 7, O.Jobs))
         return 2;
     } else if (Arg.rfind("--summary-cache=", 0) == 0)
       O.CachePath = Arg.substr(16);
+    else if (Arg.rfind("--store=", 0) == 0)
+      O.StoreDir = Arg.substr(8);
     else if (Arg.rfind("--engine=", 0) == 0 && AllowEngine) {
       O.Engine = Arg.substr(9);
       if (O.Engine != "retypd" && O.Engine != "unify" &&
@@ -292,6 +308,10 @@ void printReport(AnalysisSession &S, const AnalyzeOpts &O) {
                 St.IncrementalRun ? "yes" : "no", St.FunctionsDirty,
                 St.SccsSimplified, St.SccsReused, St.SccsSolved,
                 St.SccsRefinedOnly, St.SccsSolveReused);
+    std::printf("/* store: hits=%llu appends=%llu memo_hits=%llu */\n",
+                static_cast<unsigned long long>(St.StoreHits),
+                static_cast<unsigned long long>(St.StoreAppends),
+                static_cast<unsigned long long>(St.DecodeMemoHits));
   }
 }
 
@@ -328,9 +348,28 @@ int runBaseline(Module &M, const std::string &Engine) {
 SessionOptions sessionOptsFor(const AnalyzeOpts &O, bool Incremental) {
   SessionOptions SO;
   SO.Jobs = O.Jobs;
-  SO.UseSummaryCache = !O.CachePath.empty();
+  SO.UseSummaryCache = !O.CachePath.empty() || !O.StoreDir.empty();
+  SO.StoreDir = O.StoreDir;
   SO.KeepHistory = Incremental;
   return SO;
+}
+
+/// A requested store that failed to open is loud and fatal: silently
+/// running cold would defeat the point of sharing one.
+int checkStore(AnalysisSession &S, const AnalyzeOpts &O) {
+  if (!O.StoreDir.empty() && !S.storeError().empty()) {
+    std::fprintf(stderr, "error: cannot open artifact store %s: %s\n",
+                 O.StoreDir.c_str(), S.storeError().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// A failed end-of-run flush is a warning: the report is complete.
+void warnStoreFlush(AnalysisSession &S, const AnalyzeOpts &O) {
+  if (!O.StoreDir.empty() && !S.storeError().empty())
+    std::fprintf(stderr, "warning: cannot flush artifact store %s: %s\n",
+                 O.StoreDir.c_str(), S.storeError().c_str());
 }
 
 void loadCacheIfAsked(AnalysisSession &S, const AnalyzeOpts &O) {
@@ -386,9 +425,12 @@ int cmdAnalyze(int argc, char **argv, int Start, const char *Command) {
   }
 
   AnalysisSession S(makeDefaultLattice(), sessionOptsFor(O, false));
+  if (int Rc = checkStore(S, O))
+    return Rc;
   loadCacheIfAsked(S, O);
   S.loadModule(std::move(*M));
   S.analyze();
+  warnStoreFlush(S, O);
   saveCacheIfAsked(S, O);
   printReport(S, O);
   return 0;
@@ -412,11 +454,14 @@ int cmdReanalyze(int argc, char **argv, int Start) {
     return 1;
 
   AnalysisSession S(makeDefaultLattice(), sessionOptsFor(O, true));
+  if (int Rc = checkStore(S, O))
+    return Rc;
   loadCacheIfAsked(S, O);
   S.loadModule(std::move(*Base));
   S.analyze();
   S.updateModule(std::move(*Edited));
   S.analyze();
+  warnStoreFlush(S, O);
   saveCacheIfAsked(S, O);
   printReport(S, O);
   return 0;
@@ -426,14 +471,162 @@ int cmdReanalyze(int argc, char **argv, int Start) {
 // cache
 //===----------------------------------------------------------------------===//
 
+/// `cache inspect` on an artifact-store directory: per-segment record
+/// counts, live/dead bytes, and the MANIFEST generation. Stale or newer
+/// stores get the same actionable message as stale cache files.
+int storeInspect(const std::string &Dir, const std::string &Format) {
+  StoreInfo Info = Store::inspect(Dir, kSummaryCacheSchemaVersion);
+  if (Format == "json") {
+    std::string Segs = "[";
+    for (size_t I = 0; I < Info.Segments.size(); ++I) {
+      const StoreSegmentInfo &S = Info.Segments[I];
+      if (I)
+        Segs += ", ";
+      Segs += "{\"name\": " + std::string("\"") + jsonEscape(S.Name) +
+              "\", \"records\": " + std::to_string(S.Records) +
+              ", \"live_records\": " + std::to_string(S.LiveRecords) +
+              ", \"live_bytes\": " + std::to_string(S.LiveBytes) +
+              ", \"dead_bytes\": " + std::to_string(S.DeadBytes) +
+              ", \"corrupt_records\": " + std::to_string(S.CorruptRecords) +
+              ", \"file_bytes\": " + std::to_string(S.FileBytes) + "}";
+    }
+    Segs += "]";
+    std::printf("{\"store\": \"%s\", \"ok\": %s, \"stale\": %s, "
+                "\"newer_than_binary\": %s, \"format_version\": %u, "
+                "\"schema_version\": %u, \"generation\": %llu, "
+                "\"keys\": %zu, \"live_bytes\": %zu, \"dead_bytes\": %zu, "
+                "\"segments\": %s, \"error\": \"%s\"}\n",
+                jsonEscape(Dir).c_str(), Info.Ok ? "true" : "false",
+                Info.Stale ? "true" : "false",
+                Info.Newer ? "true" : "false", Info.FormatVersion,
+                Info.SchemaVersion,
+                static_cast<unsigned long long>(Info.Generation),
+                Info.KeyCount, Info.LiveBytes, Info.DeadBytes, Segs.c_str(),
+                jsonEscape(Info.Error).c_str());
+    return Info.Ok ? 0 : 1;
+  }
+  std::printf("store: %s\n", Dir.c_str());
+  if (!Info.Ok) {
+    std::printf("header: %s\n", Info.Error.c_str());
+    return 1;
+  }
+  std::printf("header: ok (v%u schema %u)\n", Info.FormatVersion,
+              Info.SchemaVersion);
+  std::printf("generation: %llu\n",
+              static_cast<unsigned long long>(Info.Generation));
+  std::printf("keys: %zu\nlive bytes: %zu\ndead bytes: %zu\n", Info.KeyCount,
+              Info.LiveBytes, Info.DeadBytes);
+  for (const StoreSegmentInfo &S : Info.Segments)
+    std::printf("segment %s: records %zu live %zu live_bytes %zu "
+                "dead_bytes %zu corrupt %zu file_bytes %zu\n",
+                S.Name.c_str(), S.Records, S.LiveRecords, S.LiveBytes,
+                S.DeadBytes, S.CorruptRecords, S.FileBytes);
+  return 0;
+}
+
+/// Opens a store for a mutating cache verb, with the stale/newer
+/// direction-aware message on failure. Refuses directories with no
+/// MANIFEST outright: Store::open would initialize one, and a compact
+/// or prune of a mistyped path must not pollute it with an empty store.
+std::unique_ptr<Store> openStoreForVerb(const std::string &Dir) {
+  if (!std::filesystem::exists(std::filesystem::path(Dir) / "MANIFEST")) {
+    std::fprintf(stderr,
+                 "error: %s has no MANIFEST — not an artifact store\n",
+                 Dir.c_str());
+    return nullptr;
+  }
+  StoreOptions SO;
+  SO.SchemaVersion = kSummaryCacheSchemaVersion;
+  std::string Err;
+  auto S = Store::open(Dir, SO, &Err);
+  if (!S)
+    std::fprintf(stderr, "error: cannot open %s: %s\n", Dir.c_str(),
+                 Err.c_str());
+  return S;
+}
+
+int storeCompact(const std::string &Dir, const std::string &Format) {
+  auto S = openStoreForVerb(Dir);
+  if (!S)
+    return 1;
+  std::string Err;
+  auto R = S->compact(&Err);
+  if (!R) {
+    std::fprintf(stderr, "error: cannot compact %s: %s\n", Dir.c_str(),
+                 Err.c_str());
+    return 1;
+  }
+  if (Format == "json")
+    std::printf("{\"store\": \"%s\", \"generation\": %llu, "
+                "\"live_records\": %zu, \"live_bytes\": %zu, "
+                "\"dropped_records\": %zu, \"reclaimed_bytes\": %zu}\n",
+                jsonEscape(Dir).c_str(),
+                static_cast<unsigned long long>(R->Generation),
+                R->LiveRecords, R->LiveBytes, R->DroppedRecords,
+                R->ReclaimedBytes);
+  else
+    std::printf("compacted to generation %llu: %zu live records "
+                "(%zu payload bytes), dropped %zu, reclaimed %zu bytes\n",
+                static_cast<unsigned long long>(R->Generation),
+                R->LiveRecords, R->LiveBytes, R->DroppedRecords,
+                R->ReclaimedBytes);
+  return 0;
+}
+
+int storePrune(const std::string &Dir, size_t MaxBytes,
+               const std::string &Format) {
+  auto S = openStoreForVerb(Dir);
+  if (!S)
+    return 1;
+  // Same victim policy as SummaryCache::pruneToBytes: largest payloads
+  // first, key order on ties, until the payload total fits.
+  auto Entries = S->liveEntries();
+  size_t Before = Entries.size(), Total = 0;
+  for (const auto &E : Entries)
+    Total += E.second;
+  std::sort(Entries.begin(), Entries.end(),
+            [](const auto &A, const auto &B) {
+              if (A.second != B.second)
+                return A.second > B.second;
+              return A.first < B.first;
+            });
+  std::unordered_map<Hash128, bool, Hash128Hasher> Drop;
+  for (const auto &E : Entries) {
+    if (Total <= MaxBytes)
+      break;
+    Total -= E.second;
+    Drop[E.first] = true;
+  }
+  std::string Err;
+  auto R = S->compact(
+      [&](const Hash128 &K, size_t) { return !Drop.count(K); }, &Err);
+  if (!R) {
+    std::fprintf(stderr, "error: cannot prune %s: %s\n", Dir.c_str(),
+                 Err.c_str());
+    return 1;
+  }
+  if (Format == "json")
+    std::printf("{\"store\": \"%s\", \"pruned\": %zu, \"before\": %zu, "
+                "\"remaining\": %zu, \"payload_bytes\": %zu}\n",
+                jsonEscape(Dir).c_str(), Drop.size(), Before,
+                R->LiveRecords, R->LiveBytes);
+  else
+    std::printf("pruned %zu of %zu entries; %zu remain (%zu payload "
+                "bytes)\n",
+                Drop.size(), Before, R->LiveRecords, R->LiveBytes);
+  return 0;
+}
+
 int cmdCache(int argc, char **argv, int Start) {
-  const std::vector<std::string> Actions = {"inspect", "prune"};
+  const std::vector<std::string> Actions = {"inspect", "prune", "compact"};
   if (Start >= argc) {
-    std::fprintf(stderr, "error: 'cache' expects an action: inspect, prune\n");
+    std::fprintf(stderr,
+                 "error: 'cache' expects an action: inspect, prune, "
+                 "compact\n");
     return usage();
   }
   std::string Action = argv[Start];
-  if (Action != "inspect" && Action != "prune") {
+  if (Action != "inspect" && Action != "prune" && Action != "compact") {
     std::string Hint = suggestFor(Action, Actions);
     if (!Hint.empty())
       std::fprintf(stderr,
@@ -494,9 +687,28 @@ int cmdCache(int argc, char **argv, int Start) {
     }
   }
   if (File.empty()) {
-    std::fprintf(stderr, "error: 'cache %s' expects a cache file\n",
+    std::fprintf(stderr, "error: 'cache %s' expects a cache file or store\n",
                  Action.c_str());
     return usage();
+  }
+
+  // Directories are artifact stores; plain paths are legacy cache files.
+  if (Store::looksLikeStoreDir(File)) {
+    if (Action == "inspect")
+      return storeInspect(File, Format);
+    if (Action == "compact")
+      return storeCompact(File, Format);
+    if (!HaveMaxBytes) {
+      std::fprintf(stderr, "error: 'cache prune' requires --max-bytes N\n");
+      return usage();
+    }
+    return storePrune(File, MaxBytes, Format);
+  }
+  if (Action == "compact") {
+    std::fprintf(stderr,
+                 "error: 'cache compact' expects an artifact store "
+                 "directory; for files use 'cache prune'\n");
+    return 2;
   }
 
   if (Action == "inspect") {
