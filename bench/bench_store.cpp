@@ -12,8 +12,13 @@
 //
 // The store-warm run is also the CI gate: this binary exits nonzero
 // unless it performed ZERO ConstraintParser calls, ZERO cache misses,
-// ZERO payload-byte copies (the mmap zero-copy invariant), and a nonzero
-// number of store hits. Results go to BENCH_store.json.
+// ZERO payload-byte copies (the mmap zero-copy invariant), a nonzero
+// number of store hits, a nonzero number of pool-bind hits (every store
+// decode resolves its names through the pool translation table — no
+// per-payload string hashing), and cache.decode within a per-instruction
+// budget (default 1 microsecond/instruction as a regression backstop
+// with CI-runner headroom; --decode-budget
+// overrides). Results go to BENCH_store.json.
 //
 //===----------------------------------------------------------------------===//
 
@@ -60,11 +65,15 @@ double runOnce(const SynthProgram &P, const Lattice &Lat,
 
 int main(int argc, char **argv) {
   unsigned Size = 20000;
+  double DecodeBudget = 0; // 0 = derive from instruction count below
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--instr") == 0 && I + 1 < argc) {
       Size = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    } else if (std::strcmp(argv[I], "--decode-budget") == 0 && I + 1 < argc) {
+      DecodeBudget = std::strtod(argv[++I], nullptr);
     } else {
-      std::fprintf(stderr, "usage: %s [--instr N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--instr N] [--decode-budget SECS]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -122,12 +131,16 @@ int main(int argc, char **argv) {
   // whole file into memory up front) plus the analysis itself. A fresh
   // SummaryCache per sample keeps the decoded-value memo out of the
   // measurement.
-  double StoreWarm = 0, LegacyWarm = 0;
+  if (DecodeBudget <= 0)
+    DecodeBudget = 1.0e-6 * static_cast<double>(P.M.instructionCount());
+  double StoreWarm = 0, DecodeSecs = 0;
+  double LegacyWarm = 0;
   bool StoreClean = true;
-  uint64_t StoreHits = 0, StoreCopies = 0;
+  uint64_t StoreHits = 0, StoreCopies = 0, PoolBindHits = 0;
   for (unsigned I = 0; I < kSamples; ++I) {
     SummaryCache Warm;
     EventCounters::reset();
+    PhaseTimes::reset();
     Clock::time_point W0 = Clock::now();
     if (!Warm.openStore(Dir.string())) {
       std::fprintf(stderr, "cannot reopen store\n");
@@ -135,13 +148,21 @@ int main(int argc, char **argv) {
     }
     double Wall = secondsSince(W0) + runOnce(P, Lat, &Warm);
     StoreWarm = I == 0 ? Wall : std::min(StoreWarm, Wall);
+    double Decode = 0;
+    for (const auto &[Phase, Secs] : PhaseTimes::snapshot())
+      if (Phase == "cache.decode")
+        Decode = Secs;
+    DecodeSecs = I == 0 ? Decode : std::min(DecodeSecs, Decode);
     StoreHits = EventCounters::StoreHits.load();
     StoreCopies = EventCounters::StorePayloadCopies.load();
+    PoolBindHits = EventCounters::PoolBindHits.load();
     StoreClean =
         StoreClean &&
         EventCounters::ConstraintParseCalls.load() == 0 &&
-        Warm.misses() == 0 && StoreHits > 0 && StoreCopies == 0;
+        Warm.misses() == 0 && StoreHits > 0 && StoreCopies == 0 &&
+        PoolBindHits > 0;
   }
+  StoreClean = StoreClean && DecodeSecs <= DecodeBudget;
   for (unsigned I = 0; I < kSamples; ++I) {
     SummaryCache Warm;
     Clock::time_point W0 = Clock::now();
@@ -156,8 +177,12 @@ int main(int argc, char **argv) {
               StoreWarm, static_cast<unsigned long long>(StoreHits),
               static_cast<unsigned long long>(StoreCopies));
   std::printf("warm (legacy file) %8.3f s\n", LegacyWarm);
+  std::printf("store-warm decode  %8.3f s  (budget %.3f s, %llu pool-bind "
+              "hits)\n",
+              DecodeSecs, DecodeBudget,
+              static_cast<unsigned long long>(PoolBindHits));
   std::printf("store-warm clean (0 parses, 0 misses, hits > 0, "
-              "0 payload copies): %s\n",
+              "0 payload copies, pool binds > 0, decode <= budget): %s\n",
               StoreClean ? "yes" : "NO");
 
   // ---- Compaction: ~half the store dead --------------------------------
@@ -208,6 +233,9 @@ int main(int argc, char **argv) {
         "  \"warm_store_vs_legacy\": %.3f,\n"
         "  \"store_hits\": %llu,\n"
         "  \"store_payload_copies\": %llu,\n"
+        "  \"pool_bind_hits\": %llu,\n"
+        "  \"warm_decode_secs\": %.6f,\n"
+        "  \"decode_budget_secs\": %.6f,\n"
         "  \"store_warm_clean\": %s,\n"
         "  \"compact_secs\": %.6f,\n"
         "  \"compact_reclaimed_bytes\": %zu,\n"
@@ -220,7 +248,8 @@ int main(int argc, char **argv) {
         StoreWarm > 0 ? LegacyWarm / StoreWarm : 0.0,
         static_cast<unsigned long long>(StoreHits),
         static_cast<unsigned long long>(StoreCopies),
-        StoreClean ? "true" : "false", CompactSecs,
+        static_cast<unsigned long long>(PoolBindHits), DecodeSecs,
+        DecodeBudget, StoreClean ? "true" : "false", CompactSecs,
         Compacted->ReclaimedBytes, Before.DeadBytes);
     std::fclose(J);
     std::printf("wrote BENCH_store.json\n");

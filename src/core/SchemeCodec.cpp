@@ -3,6 +3,7 @@
 #include "core/SchemeCodec.h"
 
 #include "core/ConstraintParser.h"
+#include "support/Endian.h"
 #include "support/Stats.h"
 
 #include <algorithm>
@@ -13,64 +14,98 @@
 using namespace retypd;
 
 //===----------------------------------------------------------------------===//
-// Payload primitives
+// Payload geometry
 //===----------------------------------------------------------------------===//
+//
+// Every payload kind shares a 12-byte header and a name section:
+//
+//   off 0   u8   kind tag (version in low bits: 0x03 scheme, 0x43 gen
+//                result, 0x83 sketch bundle)
+//   off 1   u8   name mode: 0 = inline, 1 = pool
+//   off 2   u16  zero padding
+//   off 4   u32  name count
+//   off 8   u32  body offset
+//
+//   INLINE names: u32 off[nameCount+1] (relative to the blob, off[0]=0,
+//   nondecreasing), then the blob itself; bodyOff points just past it.
+//   POOL names: u32 poolId[nameCount]; bodyOff = 12 + 4*nameCount.
+//
+// Bodies reference names only by dense index, so the two modes differ in
+// the name section alone — transcodeNamesToPool swaps the section and
+// copies the body verbatim. All multi-byte fields are little-endian and
+// read through support/Endian.h (mmapped payloads sit at arbitrary byte
+// offsets inside a segment; no in-place field is assumed aligned).
+// Section sizes are fully determined by the header and the body's leading
+// count words, and validation requires them to tile the payload length
+// exactly — truncation and trailing garbage are both structural errors.
 
 namespace {
 
-/// LEB128 writer.
-void putVarint(std::string &Out, uint64_t V) {
-  while (V >= 0x80) {
-    Out.push_back(static_cast<char>((V & 0x7f) | 0x80));
-    V >>= 7;
+constexpr uint8_t kSchemeTag = static_cast<uint8_t>(kSchemePayloadVersion);
+constexpr uint8_t kGenResultTag = 0x40 | kSchemePayloadVersion;
+constexpr uint8_t kSketchBundleTag = 0x80 | kSchemePayloadVersion;
+
+constexpr uint8_t kNameModeInline = 0;
+constexpr uint8_t kNameModePool = 1;
+constexpr size_t kHeaderBytes = 12;
+
+/// Header + name-section geometry. parseLayout validates the geometry
+/// (offsets within bounds); name *contents* are validated separately.
+struct Layout {
+  uint8_t Tag = 0;
+  uint8_t Mode = 0;
+  uint32_t NameCount = 0;
+  size_t NameTable = kHeaderBytes; ///< off[] (inline) or poolId[] (pool)
+  size_t Blob = 0;                 ///< inline only: start of the name blob
+  size_t BodyOff = 0;
+};
+
+bool parseLayout(std::string_view P, Layout &L) {
+  if (P.size() < kHeaderBytes)
+    return false;
+  const char *D = P.data();
+  L.Tag = static_cast<uint8_t>(D[0]);
+  L.Mode = static_cast<uint8_t>(D[1]);
+  if (L.Mode > kNameModePool || loadLE16(D + 2) != 0)
+    return false;
+  L.NameCount = loadLE32(D + 4);
+  L.BodyOff = loadLE32(D + 8);
+  uint64_t N = L.NameCount;
+  if (L.Mode == kNameModePool) {
+    uint64_t Want = kHeaderBytes + 4 * N;
+    if (L.BodyOff != Want || Want > P.size())
+      return false;
+  } else {
+    uint64_t TabEnd = kHeaderBytes + 4 * (N + 1);
+    if (TabEnd > P.size() || L.BodyOff > P.size() || L.BodyOff < TabEnd)
+      return false;
+    L.Blob = static_cast<size_t>(TabEnd);
   }
-  Out.push_back(static_cast<char>(V));
+  return true;
 }
 
-/// Bounds-checked reader over a payload.
-class Reader {
-public:
-  explicit Reader(std::string_view Data) : Data(Data) {}
-
-  bool u8(uint8_t &Out) {
-    if (Pos >= Data.size())
-      return false;
-    Out = static_cast<uint8_t>(Data[Pos++]);
+/// Validates name-section contents: inline offset-table shape, or pool ids
+/// within the store's pool.
+bool validateNames(std::string_view P, const Layout &L, uint64_t PoolSize) {
+  const char *D = P.data();
+  if (L.Mode == kNameModePool) {
+    for (uint32_t I = 0; I < L.NameCount; ++I)
+      if (loadLE32(D + L.NameTable + 4 * size_t(I)) >= PoolSize)
+        return false;
     return true;
   }
-
-  bool varint(uint64_t &Out) {
-    Out = 0;
-    for (unsigned Shift = 0; Shift < 64; Shift += 7) {
-      if (Pos >= Data.size())
-        return false;
-      uint8_t B = static_cast<uint8_t>(Data[Pos++]);
-      // The 10th byte only has room for bit 0: any higher payload bit
-      // would be silently shifted away, so it marks corruption.
-      if (Shift == 63 && (B & 0x7e))
-        return false;
-      Out |= static_cast<uint64_t>(B & 0x7f) << Shift;
-      if (!(B & 0x80))
-        return true;
-    }
-    return false; // over-long encoding
-  }
-
-  bool bytes(size_t N, std::string_view &Out) {
-    if (N > Data.size() - Pos)
+  uint64_t BlobLen = L.BodyOff - L.Blob;
+  if (loadLE32(D + L.NameTable) != 0)
+    return false;
+  uint32_t Prev = 0;
+  for (uint32_t I = 1; I <= L.NameCount; ++I) {
+    uint32_t V = loadLE32(D + L.NameTable + 4 * size_t(I));
+    if (V < Prev)
       return false;
-    Out = Data.substr(Pos, N);
-    Pos += N;
-    return true;
+    Prev = V;
   }
-
-  size_t remaining() const { return Data.size() - Pos; }
-  bool atEnd() const { return Pos == Data.size(); }
-
-private:
-  std::string_view Data;
-  size_t Pos = 0;
-};
+  return Prev == BlobLen;
+}
 
 /// A label raw value is trusted only if repacking its fields reproduces it
 /// exactly — this rejects both out-of-range kinds and stray bits that the
@@ -97,6 +132,366 @@ bool validLabelRaw(uint64_t Raw) {
   return false;
 }
 
+/// Geometry of a DTV table (shared by scheme and gen bodies): a columnar
+/// (rank u8, nameIdx u32, labelStart u32 prefix sums, labelRaw u64) block.
+struct DtvGeom {
+  size_t Rank = 0, NameIx = 0, LStart = 0, LRaw = 0;
+  uint64_t Total = 0; ///< labelStart[Count] — total label words
+  uint64_t End = 0;   ///< first byte past the label array
+};
+
+/// Computes DTV-table geometry starting at \p Off. Returns false if even
+/// the labelStart array would run past the payload (Total unreadable).
+bool dtvGeom(std::string_view P, uint64_t Off, uint32_t Count, DtvGeom &G) {
+  G.Rank = static_cast<size_t>(Off);
+  uint64_t NameIx = Off + Count;
+  uint64_t LStart = NameIx + 4 * uint64_t(Count);
+  uint64_t LStartEnd = LStart + 4 * (uint64_t(Count) + 1);
+  if (LStartEnd > P.size())
+    return false;
+  G.NameIx = static_cast<size_t>(NameIx);
+  G.LStart = static_cast<size_t>(LStart);
+  G.LRaw = static_cast<size_t>(LStartEnd);
+  G.Total = loadLE32(P.data() + LStart + 4 * size_t(Count));
+  G.End = LStartEnd + 8 * G.Total;
+  return true;
+}
+
+/// Per-element validation of a DTV table whose geometry checked out.
+bool validateDtvTable(std::string_view P, const DtvGeom &G, uint32_t Count,
+                      uint32_t NameCount) {
+  const char *D = P.data();
+  uint32_t Prev = 0;
+  if (loadLE32(D + G.LStart) != 0)
+    return false;
+  for (uint32_t I = 0; I < Count; ++I) {
+    uint8_t Rank = static_cast<uint8_t>(D[G.Rank + I]);
+    uint32_t Ix = loadLE32(D + G.NameIx + 4 * size_t(I));
+    if (Rank > 2 || (Rank == 0 ? Ix != 0 : Ix >= NameCount))
+      return false;
+    uint32_t V = loadLE32(D + G.LStart + 4 * size_t(I) + 4);
+    if (V < Prev)
+      return false;
+    Prev = V;
+  }
+  for (uint64_t J = 0; J < G.Total; ++J)
+    if (!validLabelRaw(loadLE64(D + G.LRaw + 8 * size_t(J))))
+      return false;
+  return true;
+}
+
+/// Validates a u32 index array: \p Count entries at \p Off, each < Limit.
+bool validateIndexArray(std::string_view P, size_t Off, uint64_t Count,
+                        uint32_t Limit) {
+  for (uint64_t I = 0; I < Count; ++I)
+    if (loadLE32(P.data() + Off + 4 * size_t(I)) >= Limit)
+      return false;
+  return true;
+}
+
+bool validateScheme(std::string_view P, const Layout &L) {
+  if (uint64_t(L.BodyOff) + 24 > P.size())
+    return false;
+  const char *D = P.data();
+  uint64_t B = L.BodyOff;
+  uint32_t DtvCount = loadLE32(D + B), SubCount = loadLE32(D + B + 4),
+           VarCount = loadLE32(D + B + 8), AddSubCount = loadLE32(D + B + 12),
+           ExistCount = loadLE32(D + B + 16), ProcIdx = loadLE32(D + B + 20);
+  DtvGeom G;
+  if (!dtvGeom(P, B + 24, DtvCount, G))
+    return false;
+  uint64_t Exist = G.End;
+  uint64_t Subs = Exist + 4 * uint64_t(ExistCount);
+  uint64_t Vars = Subs + 8 * uint64_t(SubCount);
+  uint64_t Adds = Vars + 4 * uint64_t(VarCount);
+  uint64_t End = Adds + 16 * uint64_t(AddSubCount);
+  if (End != P.size())
+    return false;
+  if (ProcIdx >= L.NameCount)
+    return false;
+  if (!validateDtvTable(P, G, DtvCount, L.NameCount))
+    return false;
+  if (!validateIndexArray(P, size_t(Exist), ExistCount, L.NameCount) ||
+      !validateIndexArray(P, size_t(Subs), 2 * uint64_t(SubCount), DtvCount) ||
+      !validateIndexArray(P, size_t(Vars), VarCount, DtvCount))
+    return false;
+  for (uint32_t I = 0; I < AddSubCount; ++I) {
+    size_t A = size_t(Adds) + 16 * size_t(I);
+    if (loadLE32(D + A) > 1 || loadLE32(D + A + 4) >= DtvCount ||
+        loadLE32(D + A + 8) >= DtvCount || loadLE32(D + A + 12) >= DtvCount)
+      return false;
+  }
+  return true;
+}
+
+bool validateGenResult(std::string_view P, const Layout &L) {
+  if (uint64_t(L.BodyOff) + 40 > P.size())
+    return false;
+  const char *D = P.data();
+  uint64_t B = L.BodyOff;
+  uint32_t IntCount = loadLE32(D + B + 16), CallCount = loadLE32(D + B + 20),
+           DtvCount = loadLE32(D + B + 24), SubCount = loadLE32(D + B + 28),
+           VarCount = loadLE32(D + B + 32), AddSubCount = loadLE32(D + B + 36);
+  uint64_t Int = B + 40;
+  uint64_t Call = Int + 4 * uint64_t(IntCount);
+  uint64_t Dtv = Call + 4 * uint64_t(CallCount);
+  DtvGeom G;
+  if (!dtvGeom(P, Dtv, DtvCount, G))
+    return false;
+  uint64_t Subs = G.End;
+  uint64_t Vars = Subs + 8 * uint64_t(SubCount);
+  uint64_t Adds = Vars + 4 * uint64_t(VarCount);
+  uint64_t End = Adds + 16 * uint64_t(AddSubCount);
+  if (End != P.size())
+    return false;
+  if (!validateIndexArray(P, size_t(Int), IntCount, L.NameCount) ||
+      !validateIndexArray(P, size_t(Call), CallCount, L.NameCount))
+    return false;
+  if (!validateDtvTable(P, G, DtvCount, L.NameCount))
+    return false;
+  if (!validateIndexArray(P, size_t(Subs), 2 * uint64_t(SubCount), DtvCount) ||
+      !validateIndexArray(P, size_t(Vars), VarCount, DtvCount))
+    return false;
+  for (uint32_t I = 0; I < AddSubCount; ++I) {
+    size_t A = size_t(Adds) + 16 * size_t(I);
+    if (loadLE32(D + A) > 1 || loadLE32(D + A + 4) >= DtvCount ||
+        loadLE32(D + A + 8) >= DtvCount || loadLE32(D + A + 12) >= DtvCount)
+      return false;
+  }
+  return true;
+}
+
+/// Columnar bundle-body offsets, derived from the four leading counts.
+struct BundleGeom {
+  uint32_t EntryCount = 0, NodeCount = 0, ConflictCount = 0, ChildCount = 0;
+  size_t EntryVar = 0, EntryNodeStart = 0, Mark = 0, Lower = 0, Upper = 0,
+         Flags = 0, ConflictStart = 0, ChildStart = 0, Conflicts = 0,
+         ChildLabel = 0, ChildTo = 0;
+  uint64_t End = 0;
+};
+
+bool bundleGeom(std::string_view P, uint64_t B, BundleGeom &G) {
+  if (B + 16 > P.size())
+    return false;
+  const char *D = P.data();
+  G.EntryCount = loadLE32(D + B);
+  G.NodeCount = loadLE32(D + B + 4);
+  G.ConflictCount = loadLE32(D + B + 8);
+  G.ChildCount = loadLE32(D + B + 12);
+  uint64_t Off = B + 16;
+  auto Take = [&Off](uint64_t Bytes) {
+    uint64_t At = Off;
+    Off += Bytes;
+    return At;
+  };
+  uint64_t EC = G.EntryCount, NC = G.NodeCount;
+  G.EntryVar = static_cast<size_t>(Take(4 * EC));
+  G.EntryNodeStart = static_cast<size_t>(Take(4 * (EC + 1)));
+  G.Mark = static_cast<size_t>(Take(4 * NC));
+  G.Lower = static_cast<size_t>(Take(4 * NC));
+  G.Upper = static_cast<size_t>(Take(4 * NC));
+  G.Flags = static_cast<size_t>(Take(NC));
+  G.ConflictStart = static_cast<size_t>(Take(4 * (NC + 1)));
+  G.ChildStart = static_cast<size_t>(Take(4 * (NC + 1)));
+  G.Conflicts = static_cast<size_t>(Take(4 * uint64_t(G.ConflictCount)));
+  G.ChildLabel = static_cast<size_t>(Take(8 * uint64_t(G.ChildCount)));
+  G.ChildTo = static_cast<size_t>(Take(4 * uint64_t(G.ChildCount)));
+  G.End = Off;
+  return G.End == P.size();
+}
+
+/// Validates a u32 prefix-sum array: Count+1 entries at \p Off, starting
+/// at 0, nondecreasing (or strictly increasing), ending at \p Want.
+bool validatePrefixSums(std::string_view P, size_t Off, uint32_t Count,
+                        uint32_t Want, bool Strict) {
+  const char *D = P.data();
+  if (loadLE32(D + Off) != 0)
+    return false;
+  uint32_t Prev = 0;
+  for (uint32_t I = 1; I <= Count; ++I) {
+    uint32_t V = loadLE32(D + Off + 4 * size_t(I));
+    if (Strict ? V <= Prev : V < Prev)
+      return false;
+    Prev = V;
+  }
+  return Prev == Want;
+}
+
+bool validateSketchBundle(std::string_view P, const Layout &L) {
+  BundleGeom G;
+  if (!bundleGeom(P, L.BodyOff, G))
+    return false;
+  const char *D = P.data();
+  if (!validateIndexArray(P, G.EntryVar, G.EntryCount, L.NameCount))
+    return false;
+  // Every entry owns at least one node (its root) — strictly increasing.
+  if (!validatePrefixSums(P, G.EntryNodeStart, G.EntryCount, G.NodeCount,
+                          /*Strict=*/true))
+    return false;
+  if (!validateIndexArray(P, G.Mark, G.NodeCount, L.NameCount) ||
+      !validateIndexArray(P, G.Lower, G.NodeCount, L.NameCount) ||
+      !validateIndexArray(P, G.Upper, G.NodeCount, L.NameCount))
+    return false;
+  for (uint32_t I = 0; I < G.NodeCount; ++I)
+    if (static_cast<uint8_t>(D[G.Flags + I]) > 3)
+      return false;
+  if (!validatePrefixSums(P, G.ConflictStart, G.NodeCount, G.ConflictCount,
+                          /*Strict=*/false) ||
+      !validatePrefixSums(P, G.ChildStart, G.NodeCount, G.ChildCount,
+                          /*Strict=*/false))
+    return false;
+  if (!validateIndexArray(P, G.Conflicts, G.ConflictCount, L.NameCount))
+    return false;
+  for (uint32_t I = 0; I < G.ChildCount; ++I)
+    if (!validLabelRaw(loadLE64(D + G.ChildLabel + 8 * size_t(I))))
+      return false;
+  // Child targets are node ids local to their entry's sketch.
+  for (uint32_t E = 0; E < G.EntryCount; ++E) {
+    uint32_t N0 = loadLE32(D + G.EntryNodeStart + 4 * size_t(E));
+    uint32_t N1 = loadLE32(D + G.EntryNodeStart + 4 * size_t(E) + 4);
+    uint32_t EntryNodes = N1 - N0;
+    uint32_t C0 = loadLE32(D + G.ChildStart + 4 * size_t(N0));
+    uint32_t C1 = loadLE32(D + G.ChildStart + 4 * size_t(N1));
+    for (uint32_t C = C0; C < C1; ++C)
+      if (loadLE32(D + G.ChildTo + 4 * size_t(C)) >= EntryNodes)
+        return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool retypd::validatePayload(std::string_view Payload, uint64_t PoolSize) {
+  Layout L;
+  if (!parseLayout(Payload, L) || !validateNames(Payload, L, PoolSize))
+    return false;
+  switch (L.Tag) {
+  case kSchemeTag:
+    return validateScheme(Payload, L);
+  case kGenResultTag:
+    return validateGenResult(Payload, L);
+  case kSketchBundleTag:
+    return validateSketchBundle(Payload, L);
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Name resolution (shared by the trusted decoders)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Resolves payload name indices to interned symbols / lattice elements.
+/// Inline mode interns each distinct name once (lazily, like the v2
+/// decoder); pool mode is two array loads through the store's translation
+/// table — no string hashing at all.
+class NameCtx {
+public:
+  NameCtx(std::string_view P, const Layout &L, SymbolTable &Syms,
+          const Lattice &Lat, const PoolBindingView *Pool)
+      : P(P), L(L), Syms(Syms), Lat(Lat), Pool(Pool) {
+    if (L.Mode == kNameModeInline) {
+      SymCache.assign(L.NameCount, kUnset);
+      LatCache.assign(L.NameCount, 0);
+      LatResolved.assign(L.NameCount, 0);
+    }
+  }
+
+  /// False when a pool-mode payload arrives without a binding.
+  bool ok() const { return L.Mode == kNameModeInline || Pool != nullptr; }
+
+  std::string_view view(uint32_t I) const {
+    size_t A = loadLE32(P.data() + L.NameTable + 4 * size_t(I));
+    size_t B = loadLE32(P.data() + L.NameTable + 4 * size_t(I) + 4);
+    return P.substr(L.Blob + A, B - A);
+  }
+
+  bool sym(uint32_t I, SymbolId &Out) {
+    if (L.Mode == kNameModePool) {
+      uint32_t Id = loadLE32(P.data() + L.NameTable + 4 * size_t(I));
+      if (Id >= Pool->Size)
+        return false;
+      Out = Pool->SymIds[Id];
+      return true;
+    }
+    SymbolId &C = SymCache[I];
+    if (C == kUnset)
+      C = Syms.intern(view(I));
+    Out = C;
+    return true;
+  }
+
+  bool lat(uint32_t I, LatticeElem &Out) {
+    if (L.Mode == kNameModePool) {
+      uint32_t Id = loadLE32(P.data() + L.NameTable + 4 * size_t(I));
+      if (Id >= Pool->Size || Pool->LatElems[Id] == 0)
+        return false;
+      Out = Pool->LatElems[Id] - 1;
+      return true;
+    }
+    if (!LatResolved[I]) {
+      auto E = Lat.lookup(view(I));
+      LatCache[I] = E ? *E + 1 : 0;
+      LatResolved[I] = 1;
+    }
+    if (LatCache[I] == 0)
+      return false;
+    Out = LatCache[I] - 1;
+    return true;
+  }
+
+private:
+  static constexpr SymbolId kUnset = static_cast<SymbolId>(-1);
+  std::string_view P;
+  const Layout &L;
+  SymbolTable &Syms;
+  const Lattice &Lat;
+  const PoolBindingView *Pool;
+  std::vector<SymbolId> SymCache;
+  std::vector<uint32_t> LatCache;
+  std::vector<char> LatResolved;
+};
+
+/// Materializes the DTV array of a validated scheme/gen body.
+bool decodeDtvs(std::string_view P, const DtvGeom &G, uint32_t Count,
+                NameCtx &N, std::vector<DerivedTypeVariable> &Out) {
+  const char *D = P.data();
+  Out.reserve(Count);
+  for (uint32_t I = 0; I < Count; ++I) {
+    uint8_t Rank = static_cast<uint8_t>(D[G.Rank + I]);
+    TypeVariable Base;
+    if (Rank == 1) {
+      LatticeElem E;
+      if (!N.lat(loadLE32(D + G.NameIx + 4 * size_t(I)), E))
+        return false;
+      Base = TypeVariable::constant(E);
+    } else if (Rank == 2) {
+      SymbolId S;
+      if (!N.sym(loadLE32(D + G.NameIx + 4 * size_t(I)), S))
+        return false;
+      Base = TypeVariable::var(S);
+    }
+    uint32_t A = loadLE32(D + G.LStart + 4 * size_t(I));
+    uint32_t B = loadLE32(D + G.LStart + 4 * size_t(I) + 4);
+    std::vector<Label> Word;
+    Word.reserve(B - A);
+    for (uint32_t J = A; J < B; ++J)
+      Word.push_back(Label::fromRaw(loadLE64(D + G.LRaw + 8 * size_t(J))));
+    Out.emplace_back(Base, std::move(Word));
+  }
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Encoding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
 /// Payload-local interner: names and DTVs become dense indices in
 /// first-use order.
 class Encoder {
@@ -104,23 +499,23 @@ public:
   Encoder(const SymbolTable &Syms, const Lattice &Lat)
       : Syms(Syms), Lat(Lat) {}
 
-  uint64_t nameIdx(const std::string &Name) {
+  uint32_t nameIdx(const std::string &Name) {
     auto [It, Inserted] = NameIds.try_emplace(Name, Names.size());
     if (Inserted)
-      Names.push_back(&Name);
-    return It->second;
+      Names.push_back(&It->first);
+    return static_cast<uint32_t>(It->second);
   }
 
-  uint64_t dtvIdx(const DerivedTypeVariable &V) {
+  uint32_t dtvIdx(const DerivedTypeVariable &V) {
     auto [It, Inserted] = DtvIds.try_emplace(V, Dtvs.size());
     if (Inserted)
       Dtvs.push_back(&It->first);
-    return It->second;
+    return static_cast<uint32_t>(It->second);
   }
 
   /// Resolves a DTV base to (rank, name index). Rank 0 (invalid) carries
-  /// no name.
-  std::pair<uint8_t, uint64_t> baseOf(const DerivedTypeVariable &V) {
+  /// no name — its index field encodes as 0.
+  std::pair<uint8_t, uint32_t> baseOf(const DerivedTypeVariable &V) {
     TypeVariable B = V.base();
     if (B.isConstant())
       return {1, nameIdx(Lat.name(B.latticeElem()))};
@@ -143,267 +538,201 @@ private:
   std::unordered_map<DerivedTypeVariable, uint64_t> DtvIds;
 };
 
+/// Assembles header + inline name section + body into the final payload.
+std::string assembleInline(uint8_t Tag,
+                           const std::vector<const std::string *> &Names,
+                           std::string_view Body) {
+  uint64_t BlobLen = 0;
+  for (const std::string *N : Names)
+    BlobLen += N->size();
+  uint64_t BodyOff = kHeaderBytes + 4 * (uint64_t(Names.size()) + 1) + BlobLen;
+  std::string Out;
+  Out.reserve(static_cast<size_t>(BodyOff) + Body.size());
+  Out.push_back(static_cast<char>(Tag));
+  Out.push_back(static_cast<char>(kNameModeInline));
+  Out.push_back(0);
+  Out.push_back(0);
+  appendLE32(Out, static_cast<uint32_t>(Names.size()));
+  appendLE32(Out, static_cast<uint32_t>(BodyOff));
+  uint32_t Off = 0;
+  for (const std::string *N : Names) {
+    appendLE32(Out, Off);
+    Off += static_cast<uint32_t>(N->size());
+  }
+  appendLE32(Out, Off);
+  for (const std::string *N : Names)
+    Out.append(*N);
+  Out.append(Body);
+  return Out;
+}
+
+/// Serializes a columnar DTV table (the encoder's DTV list, in id order).
+void encodeDtvTable(std::string &Body, Encoder &Enc) {
+  const auto &Dtvs = Enc.dtvs();
+  std::string NameIx, LStart, LRaw;
+  uint32_t Labels = 0;
+  for (const DerivedTypeVariable *V : Dtvs) {
+    auto [Rank, Idx] = Enc.baseOf(*V);
+    Body.push_back(static_cast<char>(Rank));
+    appendLE32(NameIx, Idx);
+    appendLE32(LStart, Labels);
+    Labels += static_cast<uint32_t>(V->size());
+    for (Label L : V->labels())
+      appendLE64(LRaw, L.raw());
+  }
+  appendLE32(LStart, Labels);
+  Body += NameIx;
+  Body += LStart;
+  Body += LRaw;
+}
+
+/// Serializes the constraint index arrays (subs, vars, addsubs).
+void encodeConstraintArrays(std::string &Body, Encoder &Enc,
+                            const ConstraintSet &C) {
+  for (const SubtypeConstraint &SC : C.subtypes()) {
+    appendLE32(Body, Enc.dtvIdx(SC.Lhs));
+    appendLE32(Body, Enc.dtvIdx(SC.Rhs));
+  }
+  for (const DerivedTypeVariable &V : C.vars())
+    appendLE32(Body, Enc.dtvIdx(V));
+  for (const AddSubConstraint &AC : C.addSubs()) {
+    appendLE32(Body, AC.IsSub ? 1 : 0);
+    appendLE32(Body, Enc.dtvIdx(AC.X));
+    appendLE32(Body, Enc.dtvIdx(AC.Y));
+    appendLE32(Body, Enc.dtvIdx(AC.Z));
+  }
+}
+
+/// Assigns DTV ids (and the names their bases pull in) in constraint
+/// order, so identical sets encode to identical bytes.
+void noteDtvs(Encoder &Enc, const ConstraintSet &C) {
+  for (const SubtypeConstraint &SC : C.subtypes()) {
+    Enc.dtvIdx(SC.Lhs);
+    Enc.dtvIdx(SC.Rhs);
+  }
+  for (const DerivedTypeVariable &V : C.vars())
+    Enc.dtvIdx(V);
+  for (const AddSubConstraint &AC : C.addSubs()) {
+    Enc.dtvIdx(AC.X);
+    Enc.dtvIdx(AC.Y);
+    Enc.dtvIdx(AC.Z);
+  }
+}
+
 } // namespace
 
-//===----------------------------------------------------------------------===//
-// encodeScheme / decodeScheme
-//===----------------------------------------------------------------------===//
-
-// Payload layout (schema kSchemePayloadVersion, all integers LEB128):
-//   u8     payload version
-//   n      name count;  n × (len, bytes)
-//   d      DTV count;   d × (u8 rank, [nameIdx unless rank 0],
-//                            wordLen, wordLen × labelRaw)
-//   procNameIdx
-//   e      existential count; e × nameIdx
-//   s      subtype count;     s × (lhsDtv, rhsDtv)
-//   v      var count;         v × dtvIdx
-//   a      addsub count;      a × (u8 isSub, xDtv, yDtv, zDtv)
-// Trailing bytes after the last field are corruption, not slack.
 std::string retypd::encodeScheme(const TypeScheme &Scheme,
                                  const SymbolTable &Syms, const Lattice &Lat) {
   EventCounters::SchemeEncodes.fetch_add(1, std::memory_order_relaxed);
   Encoder Enc(Syms, Lat);
+  const ConstraintSet &C = Scheme.Constraints;
+  noteDtvs(Enc, C);
 
-  // First pass: assign DTV/name ids in a deterministic traversal order
-  // (DTVs before the names their bases pull in, then proc/existential
-  // names) so identical schemes encode to identical bytes.
-  struct EncodedDtv {
-    uint8_t Rank;
-    uint64_t NameIdx;
-    const DerivedTypeVariable *V;
-  };
-  auto NoteDtv = [&](const DerivedTypeVariable &V) { Enc.dtvIdx(V); };
-  for (const SubtypeConstraint &C : Scheme.Constraints.subtypes()) {
-    NoteDtv(C.Lhs);
-    NoteDtv(C.Rhs);
-  }
-  for (const DerivedTypeVariable &V : Scheme.Constraints.vars())
-    NoteDtv(V);
-  for (const AddSubConstraint &C : Scheme.Constraints.addSubs()) {
-    NoteDtv(C.X);
-    NoteDtv(C.Y);
-    NoteDtv(C.Z);
-  }
-  std::vector<EncodedDtv> Dtvs;
-  Dtvs.reserve(Enc.dtvs().size());
-  for (const DerivedTypeVariable *V : Enc.dtvs()) {
-    auto [Rank, Idx] = Enc.baseOf(*V);
-    Dtvs.push_back({Rank, Idx, V});
-  }
-  uint64_t ProcIdx = Enc.nameIdx(Syms.name(Scheme.ProcVar.symbol()));
-  std::vector<uint64_t> ExistIdx;
-  ExistIdx.reserve(Scheme.Existentials.size());
+  std::string Body;
+  appendLE32(Body, static_cast<uint32_t>(Enc.dtvs().size()));
+  appendLE32(Body, static_cast<uint32_t>(C.subtypes().size()));
+  appendLE32(Body, static_cast<uint32_t>(C.vars().size()));
+  appendLE32(Body, static_cast<uint32_t>(C.addSubs().size()));
+  appendLE32(Body, static_cast<uint32_t>(Scheme.Existentials.size()));
+  encodeDtvTable(Body, Enc);
+  // Proc/existential names are assigned after the DTV bases, matching the
+  // id-assignment order of the v2 codec; the proc index lives in the
+  // fixed count block, so patch it in after assignment.
+  uint32_t ProcIdx = Enc.nameIdx(Syms.name(Scheme.ProcVar.symbol()));
+  std::string Tail;
   for (TypeVariable V : Scheme.Existentials)
-    ExistIdx.push_back(Enc.nameIdx(Syms.name(V.symbol())));
+    appendLE32(Tail, Enc.nameIdx(Syms.name(V.symbol())));
+  encodeConstraintArrays(Tail, Enc, C);
 
-  // Second pass: serialize.
-  std::string Out;
-  Out.push_back(static_cast<char>(kSchemePayloadVersion));
-  putVarint(Out, Enc.names().size());
-  for (const std::string *N : Enc.names()) {
-    putVarint(Out, N->size());
-    Out.append(*N);
-  }
-  putVarint(Out, Dtvs.size());
-  for (const EncodedDtv &D : Dtvs) {
-    Out.push_back(static_cast<char>(D.Rank));
-    if (D.Rank != 0)
-      putVarint(Out, D.NameIdx);
-    putVarint(Out, D.V->size());
-    for (Label L : D.V->labels())
-      putVarint(Out, L.raw());
-  }
-  putVarint(Out, ProcIdx);
-  putVarint(Out, ExistIdx.size());
-  for (uint64_t I : ExistIdx)
-    putVarint(Out, I);
-  putVarint(Out, Scheme.Constraints.subtypes().size());
-  for (const SubtypeConstraint &C : Scheme.Constraints.subtypes()) {
-    putVarint(Out, Enc.dtvIdx(C.Lhs));
-    putVarint(Out, Enc.dtvIdx(C.Rhs));
-  }
-  putVarint(Out, Scheme.Constraints.vars().size());
-  for (const DerivedTypeVariable &V : Scheme.Constraints.vars())
-    putVarint(Out, Enc.dtvIdx(V));
-  putVarint(Out, Scheme.Constraints.addSubs().size());
-  for (const AddSubConstraint &C : Scheme.Constraints.addSubs()) {
-    Out.push_back(C.IsSub ? 1 : 0);
-    putVarint(Out, Enc.dtvIdx(C.X));
-    putVarint(Out, Enc.dtvIdx(C.Y));
-    putVarint(Out, Enc.dtvIdx(C.Z));
-  }
-  return Out;
+  std::string Full;
+  Full.reserve(Body.size() + Tail.size() + 4);
+  Full.append(Body, 0, 20);
+  appendLE32(Full, ProcIdx);
+  Full.append(Body, 20, Body.size() - 20);
+  Full += Tail;
+  return assembleInline(kSchemeTag, Enc.names(), Full);
 }
+
+namespace {
+
+std::optional<TypeScheme> decodeSchemeImpl(std::string_view P,
+                                           SymbolTable &Syms,
+                                           const Lattice &Lat,
+                                           const PoolBindingView *Pool) {
+  Layout L;
+  if (!parseLayout(P, L) || L.Tag != kSchemeTag)
+    return std::nullopt;
+  NameCtx N(P, L, Syms, Lat, Pool);
+  if (!N.ok())
+    return std::nullopt;
+  const char *D = P.data();
+  size_t B = L.BodyOff;
+  uint32_t DtvCount = loadLE32(D + B), SubCount = loadLE32(D + B + 4),
+           VarCount = loadLE32(D + B + 8), AddSubCount = loadLE32(D + B + 12),
+           ExistCount = loadLE32(D + B + 16), ProcIdx = loadLE32(D + B + 20);
+  DtvGeom G;
+  if (!dtvGeom(P, B + 24, DtvCount, G))
+    return std::nullopt;
+  std::vector<DerivedTypeVariable> Dtvs;
+  if (!decodeDtvs(P, G, DtvCount, N, Dtvs))
+    return std::nullopt;
+
+  TypeScheme Scheme;
+  SymbolId ProcSym;
+  if (!N.sym(ProcIdx, ProcSym))
+    return std::nullopt;
+  Scheme.ProcVar = TypeVariable::var(ProcSym);
+  size_t Exist = static_cast<size_t>(G.End);
+  for (uint32_t I = 0; I < ExistCount; ++I) {
+    SymbolId S;
+    if (!N.sym(loadLE32(D + Exist + 4 * size_t(I)), S))
+      return std::nullopt;
+    Scheme.Existentials.push_back(TypeVariable::var(S));
+  }
+  size_t Subs = Exist + 4 * size_t(ExistCount);
+  for (uint32_t I = 0; I < SubCount; ++I) {
+    uint32_t Lh = loadLE32(D + Subs + 8 * size_t(I));
+    uint32_t Rh = loadLE32(D + Subs + 8 * size_t(I) + 4);
+    Scheme.Constraints.addSubtype(Dtvs[Lh], Dtvs[Rh]);
+  }
+  size_t Vars = Subs + 8 * size_t(SubCount);
+  for (uint32_t I = 0; I < VarCount; ++I)
+    Scheme.Constraints.addVar(Dtvs[loadLE32(D + Vars + 4 * size_t(I))]);
+  size_t Adds = Vars + 4 * size_t(VarCount);
+  for (uint32_t I = 0; I < AddSubCount; ++I) {
+    size_t A = Adds + 16 * size_t(I);
+    AddSubConstraint AC;
+    AC.IsSub = loadLE32(D + A) != 0;
+    AC.X = Dtvs[loadLE32(D + A + 4)];
+    AC.Y = Dtvs[loadLE32(D + A + 8)];
+    AC.Z = Dtvs[loadLE32(D + A + 12)];
+    Scheme.Constraints.addAddSub(AC);
+  }
+  return Scheme;
+}
+
+} // namespace
 
 std::optional<TypeScheme> retypd::decodeScheme(std::string_view Payload,
                                                SymbolTable &Syms,
                                                const Lattice &Lat) {
   EventCounters::SchemeDecodes.fetch_add(1, std::memory_order_relaxed);
-  Reader R(Payload);
-  uint8_t Version = 0;
-  if (!R.u8(Version) || Version != kSchemePayloadVersion)
+  if (!validatePayload(Payload, 0))
     return std::nullopt;
+  return decodeSchemeImpl(Payload, Syms, Lat, nullptr);
+}
 
-  // Name table: intern each distinct name exactly once.
-  uint64_t NameCount = 0;
-  if (!R.varint(NameCount) || NameCount > R.remaining())
-    return std::nullopt;
-  std::vector<std::string_view> Names(static_cast<size_t>(NameCount));
-  for (std::string_view &N : Names) {
-    uint64_t Len = 0;
-    if (!R.varint(Len) || !R.bytes(static_cast<size_t>(Len), N))
-      return std::nullopt;
-  }
-
-  // DTV table. Bases resolve through the name table; lattice constants
-  // must name a real element.
-  uint64_t DtvCount = 0;
-  if (!R.varint(DtvCount) || DtvCount > R.remaining())
-    return std::nullopt;
-  std::vector<SymbolId> InternedNames(Names.size(),
-                                      static_cast<SymbolId>(-1));
-  auto internName = [&](uint64_t Idx) -> std::optional<SymbolId> {
-    if (Idx >= Names.size())
-      return std::nullopt;
-    SymbolId &Cached = InternedNames[static_cast<size_t>(Idx)];
-    if (Cached == static_cast<SymbolId>(-1))
-      Cached = Syms.intern(Names[static_cast<size_t>(Idx)]);
-    return Cached;
-  };
-  std::vector<DerivedTypeVariable> Dtvs;
-  Dtvs.reserve(static_cast<size_t>(DtvCount));
-  for (uint64_t I = 0; I < DtvCount; ++I) {
-    uint8_t Rank = 0;
-    if (!R.u8(Rank) || Rank > 2)
-      return std::nullopt;
-    TypeVariable Base;
-    if (Rank != 0) {
-      uint64_t NameIdx = 0;
-      if (!R.varint(NameIdx) || NameIdx >= Names.size())
-        return std::nullopt;
-      if (Rank == 1) {
-        auto Elem = Lat.lookup(Names[static_cast<size_t>(NameIdx)]);
-        if (!Elem)
-          return std::nullopt;
-        Base = TypeVariable::constant(*Elem);
-      } else {
-        auto Sym = internName(NameIdx);
-        if (!Sym)
-          return std::nullopt;
-        Base = TypeVariable::var(*Sym);
-      }
-    }
-    uint64_t WordLen = 0;
-    if (!R.varint(WordLen) || WordLen > R.remaining())
-      return std::nullopt;
-    std::vector<Label> Word;
-    Word.reserve(static_cast<size_t>(WordLen));
-    for (uint64_t J = 0; J < WordLen; ++J) {
-      uint64_t Raw = 0;
-      if (!R.varint(Raw) || !validLabelRaw(Raw))
-        return std::nullopt;
-      Word.push_back(Label::fromRaw(Raw));
-    }
-    Dtvs.emplace_back(Base, std::move(Word));
-  }
-  auto dtvAt = [&](uint64_t Idx) -> const DerivedTypeVariable * {
-    return Idx < Dtvs.size() ? &Dtvs[static_cast<size_t>(Idx)] : nullptr;
-  };
-
-  TypeScheme Scheme;
-  uint64_t ProcIdx = 0;
-  if (!R.varint(ProcIdx))
-    return std::nullopt;
-  auto ProcSym = internName(ProcIdx);
-  if (!ProcSym)
-    return std::nullopt;
-  Scheme.ProcVar = TypeVariable::var(*ProcSym);
-
-  uint64_t ExistCount = 0;
-  if (!R.varint(ExistCount) || ExistCount > R.remaining() + 1)
-    return std::nullopt;
-  for (uint64_t I = 0; I < ExistCount; ++I) {
-    uint64_t Idx = 0;
-    if (!R.varint(Idx))
-      return std::nullopt;
-    auto Sym = internName(Idx);
-    if (!Sym)
-      return std::nullopt;
-    Scheme.Existentials.push_back(TypeVariable::var(*Sym));
-  }
-
-  uint64_t SubCount = 0;
-  if (!R.varint(SubCount) || SubCount > R.remaining() + 1)
-    return std::nullopt;
-  for (uint64_t I = 0; I < SubCount; ++I) {
-    uint64_t L = 0, Rr = 0;
-    if (!R.varint(L) || !R.varint(Rr))
-      return std::nullopt;
-    const DerivedTypeVariable *Lhs = dtvAt(L), *Rhs = dtvAt(Rr);
-    if (!Lhs || !Rhs)
-      return std::nullopt;
-    Scheme.Constraints.addSubtype(*Lhs, *Rhs);
-  }
-  uint64_t VarCount = 0;
-  if (!R.varint(VarCount) || VarCount > R.remaining() + 1)
-    return std::nullopt;
-  for (uint64_t I = 0; I < VarCount; ++I) {
-    uint64_t Idx = 0;
-    if (!R.varint(Idx))
-      return std::nullopt;
-    const DerivedTypeVariable *V = dtvAt(Idx);
-    if (!V)
-      return std::nullopt;
-    Scheme.Constraints.addVar(*V);
-  }
-  uint64_t AddSubCount = 0;
-  if (!R.varint(AddSubCount) || AddSubCount > R.remaining() + 1)
-    return std::nullopt;
-  for (uint64_t I = 0; I < AddSubCount; ++I) {
-    uint8_t IsSub = 0;
-    uint64_t X = 0, Y = 0, Z = 0;
-    if (!R.u8(IsSub) || IsSub > 1 || !R.varint(X) || !R.varint(Y) ||
-        !R.varint(Z))
-      return std::nullopt;
-    const DerivedTypeVariable *Xp = dtvAt(X), *Yp = dtvAt(Y), *Zp = dtvAt(Z);
-    if (!Xp || !Yp || !Zp)
-      return std::nullopt;
-    AddSubConstraint C;
-    C.IsSub = IsSub != 0;
-    C.X = *Xp;
-    C.Y = *Yp;
-    C.Z = *Zp;
-    Scheme.Constraints.addAddSub(C);
-  }
-  if (!R.atEnd())
-    return std::nullopt; // trailing garbage
-  return Scheme;
+std::optional<TypeScheme>
+retypd::decodeSchemeTrusted(std::string_view Payload, SymbolTable &Syms,
+                            const Lattice &Lat, const PoolBindingView *Pool) {
+  EventCounters::SchemeDecodes.fetch_add(1, std::memory_order_relaxed);
+  return decodeSchemeImpl(Payload, Syms, Lat, Pool);
 }
 
 //===----------------------------------------------------------------------===//
 // Generation-result payloads (cached ConstraintGen output)
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-/// First payload byte of a generation-result payload. Scheme payloads
-/// start with the plain version byte and sketch bundles with 0x80|version;
-/// 0x40|version keeps all three kinds mutually unmistakable.
-constexpr uint8_t kGenResultTag = 0x40 | kSchemePayloadVersion;
-
-} // namespace
-
-// Gen payload layout (all integers LEB128):
-//   u8     tag (0x40 | payload version)
-//   n      name count;  n × (len, bytes)
-//   d      DTV count;   d × (u8 rank, [nameIdx unless rank 0],
-//                            wordLen, wordLen × labelRaw)
-//   setHashHi, setHashLo
-//   i      interesting count; i × nameIdx   (sorted by name)
-//   k      callsite count;    k × nameIdx   (generation order)
-//   s/v/a  constraints exactly as in scheme payloads, order verbatim
-// Trailing bytes after the last field are corruption, not slack.
 std::string retypd::encodeGenResult(const ConstraintSet &C,
                                     const Hash128 &SetHash,
                                     const std::vector<TypeVariable>
@@ -413,26 +742,25 @@ std::string retypd::encodeGenResult(const ConstraintSet &C,
                                     const Lattice &Lat) {
   EventCounters::SchemeEncodes.fetch_add(1, std::memory_order_relaxed);
   Encoder Enc(Syms, Lat);
+  noteDtvs(Enc, C);
 
-  // Deterministic id assignment: DTVs (and the names their bases pull in)
-  // in constraint order, then the proc / interesting / callsite names.
-  auto NoteDtv = [&](const DerivedTypeVariable &V) { Enc.dtvIdx(V); };
-  for (const SubtypeConstraint &SC : C.subtypes()) {
-    NoteDtv(SC.Lhs);
-    NoteDtv(SC.Rhs);
-  }
-  for (const DerivedTypeVariable &V : C.vars())
-    NoteDtv(V);
-  for (const AddSubConstraint &AC : C.addSubs()) {
-    NoteDtv(AC.X);
-    NoteDtv(AC.Y);
-    NoteDtv(AC.Z);
-  }
-  std::vector<std::pair<uint8_t, uint64_t>> Dtvs;
-  Dtvs.reserve(Enc.dtvs().size());
-  std::vector<const DerivedTypeVariable *> DtvPtrs(Enc.dtvs());
-  for (const DerivedTypeVariable *V : DtvPtrs)
-    Dtvs.push_back(Enc.baseOf(*V));
+  std::string Body;
+  appendLE64(Body, SetHash.Hi);
+  appendLE64(Body, SetHash.Lo);
+  appendLE32(Body, static_cast<uint32_t>(Interesting.size()));
+  appendLE32(Body, static_cast<uint32_t>(Callsites.size()));
+  appendLE32(Body, static_cast<uint32_t>(Enc.dtvs().size()));
+  appendLE32(Body, static_cast<uint32_t>(C.subtypes().size()));
+  appendLE32(Body, static_cast<uint32_t>(C.vars().size()));
+  appendLE32(Body, static_cast<uint32_t>(C.addSubs().size()));
+
+  // The interesting/callsite arrays precede the DTV table, but their
+  // names must be ASSIGNED after the DTV bases to keep the v2 codec's
+  // deterministic id order — build the DTV table into a side buffer
+  // first, then emit the arrays, then splice.
+  std::string DtvTable;
+  encodeDtvTable(DtvTable, Enc);
+
   // Interesting is an unordered set at the producer: sort by name so
   // identical generation results encode to identical payload bytes.
   std::vector<const std::string *> InterestingNames;
@@ -441,203 +769,147 @@ std::string retypd::encodeGenResult(const ConstraintSet &C,
     InterestingNames.push_back(&Syms.name(V.symbol()));
   std::sort(InterestingNames.begin(), InterestingNames.end(),
             [](const std::string *A, const std::string *B) { return *A < *B; });
-  std::vector<uint64_t> InterestingIdx;
-  InterestingIdx.reserve(InterestingNames.size());
   for (const std::string *N : InterestingNames)
-    InterestingIdx.push_back(Enc.nameIdx(*N));
-  std::vector<uint64_t> CallsiteIdx;
-  CallsiteIdx.reserve(Callsites.size());
+    appendLE32(Body, Enc.nameIdx(*N));
   for (TypeVariable V : Callsites)
-    CallsiteIdx.push_back(Enc.nameIdx(Syms.name(V.symbol())));
+    appendLE32(Body, Enc.nameIdx(Syms.name(V.symbol())));
 
-  std::string Out;
-  Out.push_back(static_cast<char>(kGenResultTag));
-  putVarint(Out, Enc.names().size());
-  for (const std::string *N : Enc.names()) {
-    putVarint(Out, N->size());
-    Out.append(*N);
+  Body += DtvTable;
+  encodeConstraintArrays(Body, Enc, C);
+  return assembleInline(kGenResultTag, Enc.names(), Body);
+}
+
+namespace {
+
+/// Shared geometry walk for the full and meta gen decoders.
+struct GenGeom {
+  uint32_t IntCount, CallCount, DtvCount, SubCount, VarCount, AddSubCount;
+  size_t Int, Call;
+  DtvGeom Dtv;
+  Hash128 SetHash;
+};
+
+bool genGeom(std::string_view P, const Layout &L, GenGeom &G) {
+  const char *D = P.data();
+  size_t B = L.BodyOff;
+  G.SetHash.Hi = loadLE64(D + B);
+  G.SetHash.Lo = loadLE64(D + B + 8);
+  G.IntCount = loadLE32(D + B + 16);
+  G.CallCount = loadLE32(D + B + 20);
+  G.DtvCount = loadLE32(D + B + 24);
+  G.SubCount = loadLE32(D + B + 28);
+  G.VarCount = loadLE32(D + B + 32);
+  G.AddSubCount = loadLE32(D + B + 36);
+  G.Int = B + 40;
+  G.Call = G.Int + 4 * size_t(G.IntCount);
+  return dtvGeom(P, G.Call + 4 * size_t(G.CallCount), G.DtvCount, G.Dtv);
+}
+
+bool decodeVarList(std::string_view P, size_t Off, uint32_t Count, NameCtx &N,
+                   std::vector<TypeVariable> &Out) {
+  Out.reserve(Count);
+  for (uint32_t I = 0; I < Count; ++I) {
+    SymbolId S;
+    if (!N.sym(loadLE32(P.data() + Off + 4 * size_t(I)), S))
+      return false;
+    Out.push_back(TypeVariable::var(S));
   }
-  putVarint(Out, Dtvs.size());
-  for (size_t I = 0; I < Dtvs.size(); ++I) {
-    Out.push_back(static_cast<char>(Dtvs[I].first));
-    if (Dtvs[I].first != 0)
-      putVarint(Out, Dtvs[I].second);
-    putVarint(Out, DtvPtrs[I]->size());
-    for (Label L : DtvPtrs[I]->labels())
-      putVarint(Out, L.raw());
-  }
-  putVarint(Out, SetHash.Hi);
-  putVarint(Out, SetHash.Lo);
-  putVarint(Out, InterestingIdx.size());
-  for (uint64_t I : InterestingIdx)
-    putVarint(Out, I);
-  putVarint(Out, CallsiteIdx.size());
-  for (uint64_t I : CallsiteIdx)
-    putVarint(Out, I);
-  putVarint(Out, C.subtypes().size());
-  for (const SubtypeConstraint &SC : C.subtypes()) {
-    putVarint(Out, Enc.dtvIdx(SC.Lhs));
-    putVarint(Out, Enc.dtvIdx(SC.Rhs));
-  }
-  putVarint(Out, C.vars().size());
-  for (const DerivedTypeVariable &V : C.vars())
-    putVarint(Out, Enc.dtvIdx(V));
-  putVarint(Out, C.addSubs().size());
-  for (const AddSubConstraint &AC : C.addSubs()) {
-    Out.push_back(AC.IsSub ? 1 : 0);
-    putVarint(Out, Enc.dtvIdx(AC.X));
-    putVarint(Out, Enc.dtvIdx(AC.Y));
-    putVarint(Out, Enc.dtvIdx(AC.Z));
-  }
-  return Out;
+  return true;
 }
 
 std::optional<DecodedGenResult>
-retypd::decodeGenResult(std::string_view Payload, SymbolTable &Syms,
-                        const Lattice &Lat) {
-  EventCounters::SchemeDecodes.fetch_add(1, std::memory_order_relaxed);
-  Reader R(Payload);
-  uint8_t Tag = 0;
-  if (!R.u8(Tag) || Tag != kGenResultTag)
+decodeGenResultImpl(std::string_view P, SymbolTable &Syms, const Lattice &Lat,
+                    const PoolBindingView *Pool) {
+  Layout L;
+  if (!parseLayout(P, L) || L.Tag != kGenResultTag)
     return std::nullopt;
-
-  uint64_t NameCount = 0;
-  if (!R.varint(NameCount) || NameCount > R.remaining())
+  NameCtx N(P, L, Syms, Lat, Pool);
+  if (!N.ok())
     return std::nullopt;
-  std::vector<std::string_view> Names(static_cast<size_t>(NameCount));
-  for (std::string_view &N : Names) {
-    uint64_t Len = 0;
-    if (!R.varint(Len) || !R.bytes(static_cast<size_t>(Len), N))
-      return std::nullopt;
-  }
-  std::vector<SymbolId> InternedNames(Names.size(),
-                                      static_cast<SymbolId>(-1));
-  auto internName = [&](uint64_t Idx) -> std::optional<SymbolId> {
-    if (Idx >= Names.size())
-      return std::nullopt;
-    SymbolId &Cached = InternedNames[static_cast<size_t>(Idx)];
-    if (Cached == static_cast<SymbolId>(-1))
-      Cached = Syms.intern(Names[static_cast<size_t>(Idx)]);
-    return Cached;
-  };
-
-  uint64_t DtvCount = 0;
-  if (!R.varint(DtvCount) || DtvCount > R.remaining())
+  GenGeom G;
+  if (!genGeom(P, L, G))
     return std::nullopt;
-  std::vector<DerivedTypeVariable> Dtvs;
-  Dtvs.reserve(static_cast<size_t>(DtvCount));
-  for (uint64_t I = 0; I < DtvCount; ++I) {
-    uint8_t Rank = 0;
-    if (!R.u8(Rank) || Rank > 2)
-      return std::nullopt;
-    TypeVariable Base;
-    if (Rank != 0) {
-      uint64_t NameIdx = 0;
-      if (!R.varint(NameIdx) || NameIdx >= Names.size())
-        return std::nullopt;
-      if (Rank == 1) {
-        auto Elem = Lat.lookup(Names[static_cast<size_t>(NameIdx)]);
-        if (!Elem)
-          return std::nullopt;
-        Base = TypeVariable::constant(*Elem);
-      } else {
-        auto Sym = internName(NameIdx);
-        if (!Sym)
-          return std::nullopt;
-        Base = TypeVariable::var(*Sym);
-      }
-    }
-    uint64_t WordLen = 0;
-    if (!R.varint(WordLen) || WordLen > R.remaining())
-      return std::nullopt;
-    std::vector<Label> Word;
-    Word.reserve(static_cast<size_t>(WordLen));
-    for (uint64_t J = 0; J < WordLen; ++J) {
-      uint64_t Raw = 0;
-      if (!R.varint(Raw) || !validLabelRaw(Raw))
-        return std::nullopt;
-      Word.push_back(Label::fromRaw(Raw));
-    }
-    Dtvs.emplace_back(Base, std::move(Word));
-  }
-  auto dtvAt = [&](uint64_t Idx) -> const DerivedTypeVariable * {
-    return Idx < Dtvs.size() ? &Dtvs[static_cast<size_t>(Idx)] : nullptr;
-  };
 
   DecodedGenResult Out;
-  if (!R.varint(Out.SetHash.Hi) || !R.varint(Out.SetHash.Lo))
+  Out.SetHash = G.SetHash;
+  if (!decodeVarList(P, G.Int, G.IntCount, N, Out.Interesting) ||
+      !decodeVarList(P, G.Call, G.CallCount, N, Out.Callsites))
     return std::nullopt;
 
-  auto readVarList = [&](std::vector<TypeVariable> &Vars) -> bool {
-    uint64_t Count = 0;
-    if (!R.varint(Count) || Count > R.remaining() + 1)
-      return false;
-    Vars.reserve(static_cast<size_t>(Count));
-    for (uint64_t I = 0; I < Count; ++I) {
-      uint64_t Idx = 0;
-      if (!R.varint(Idx))
-        return false;
-      auto Sym = internName(Idx);
-      if (!Sym)
-        return false;
-      Vars.push_back(TypeVariable::var(*Sym));
-    }
-    return true;
-  };
-  if (!readVarList(Out.Interesting) || !readVarList(Out.Callsites))
+  std::vector<DerivedTypeVariable> Dtvs;
+  if (!decodeDtvs(P, G.Dtv, G.DtvCount, N, Dtvs))
     return std::nullopt;
 
   // The payload encodes an already-deduplicated set, so the trusted
   // appends skip the dedup-index hashing entirely — this is the hot loop
   // of a warm run's generate phase.
-  uint64_t SubCount = 0;
-  if (!R.varint(SubCount) || SubCount > R.remaining() + 1)
-    return std::nullopt;
-  Out.C.reserve(static_cast<size_t>(SubCount), 0, 0);
-  for (uint64_t I = 0; I < SubCount; ++I) {
-    uint64_t L = 0, Rr = 0;
-    if (!R.varint(L) || !R.varint(Rr))
-      return std::nullopt;
-    const DerivedTypeVariable *Lhs = dtvAt(L), *Rhs = dtvAt(Rr);
-    if (!Lhs || !Rhs)
-      return std::nullopt;
-    Out.C.appendSubtypeTrusted(*Lhs, *Rhs);
+  const char *D = P.data();
+  size_t Subs = static_cast<size_t>(G.Dtv.End);
+  Out.C.reserve(G.SubCount, G.VarCount, G.AddSubCount);
+  for (uint32_t I = 0; I < G.SubCount; ++I) {
+    uint32_t Lh = loadLE32(D + Subs + 8 * size_t(I));
+    uint32_t Rh = loadLE32(D + Subs + 8 * size_t(I) + 4);
+    Out.C.appendSubtypeTrusted(Dtvs[Lh], Dtvs[Rh]);
   }
-  uint64_t VarCount = 0;
-  if (!R.varint(VarCount) || VarCount > R.remaining() + 1)
-    return std::nullopt;
-  Out.C.reserve(0, static_cast<size_t>(VarCount), 0);
-  for (uint64_t I = 0; I < VarCount; ++I) {
-    uint64_t Idx = 0;
-    if (!R.varint(Idx))
-      return std::nullopt;
-    const DerivedTypeVariable *V = dtvAt(Idx);
-    if (!V)
-      return std::nullopt;
-    Out.C.appendVarTrusted(*V);
-  }
-  uint64_t AddSubCount = 0;
-  if (!R.varint(AddSubCount) || AddSubCount > R.remaining() + 1)
-    return std::nullopt;
-  Out.C.reserve(0, 0, static_cast<size_t>(AddSubCount));
-  for (uint64_t I = 0; I < AddSubCount; ++I) {
-    uint8_t IsSub = 0;
-    uint64_t X = 0, Y = 0, Z = 0;
-    if (!R.u8(IsSub) || IsSub > 1 || !R.varint(X) || !R.varint(Y) ||
-        !R.varint(Z))
-      return std::nullopt;
-    const DerivedTypeVariable *Xp = dtvAt(X), *Yp = dtvAt(Y), *Zp = dtvAt(Z);
-    if (!Xp || !Yp || !Zp)
-      return std::nullopt;
+  size_t Vars = Subs + 8 * size_t(G.SubCount);
+  for (uint32_t I = 0; I < G.VarCount; ++I)
+    Out.C.appendVarTrusted(Dtvs[loadLE32(D + Vars + 4 * size_t(I))]);
+  size_t Adds = Vars + 4 * size_t(G.VarCount);
+  for (uint32_t I = 0; I < G.AddSubCount; ++I) {
+    size_t A = Adds + 16 * size_t(I);
     AddSubConstraint AC;
-    AC.IsSub = IsSub != 0;
-    AC.X = *Xp;
-    AC.Y = *Yp;
-    AC.Z = *Zp;
+    AC.IsSub = loadLE32(D + A) != 0;
+    AC.X = Dtvs[loadLE32(D + A + 4)];
+    AC.Y = Dtvs[loadLE32(D + A + 8)];
+    AC.Z = Dtvs[loadLE32(D + A + 12)];
     Out.C.addAddSub(AC);
   }
-  if (!R.atEnd())
-    return std::nullopt; // trailing garbage
+  return Out;
+}
+
+} // namespace
+
+std::optional<DecodedGenResult>
+retypd::decodeGenResult(std::string_view Payload, SymbolTable &Syms,
+                        const Lattice &Lat) {
+  EventCounters::SchemeDecodes.fetch_add(1, std::memory_order_relaxed);
+  if (!validatePayload(Payload, 0))
+    return std::nullopt;
+  return decodeGenResultImpl(Payload, Syms, Lat, nullptr);
+}
+
+std::optional<DecodedGenResult>
+retypd::decodeGenResultTrusted(std::string_view Payload, SymbolTable &Syms,
+                               const Lattice &Lat,
+                               const PoolBindingView *Pool) {
+  EventCounters::SchemeDecodes.fetch_add(1, std::memory_order_relaxed);
+  return decodeGenResultImpl(Payload, Syms, Lat, Pool);
+}
+
+std::optional<GenResultMeta>
+retypd::decodeGenResultMetaTrusted(std::string_view Payload, SymbolTable &Syms,
+                                   const Lattice &Lat,
+                                   const PoolBindingView *Pool) {
+  EventCounters::SchemeDecodes.fetch_add(1, std::memory_order_relaxed);
+  Layout L;
+  if (!parseLayout(Payload, L) || L.Tag != kGenResultTag)
+    return std::nullopt;
+  NameCtx N(Payload, L, Syms, Lat, Pool);
+  if (!N.ok())
+    return std::nullopt;
+  const char *D = Payload.data();
+  size_t B = L.BodyOff;
+  GenResultMeta Out;
+  Out.SetHash.Hi = loadLE64(D + B);
+  Out.SetHash.Lo = loadLE64(D + B + 8);
+  uint32_t IntCount = loadLE32(D + B + 16), CallCount = loadLE32(D + B + 20);
+  Out.ConstraintCount = uint64_t(loadLE32(D + B + 28)) +
+                        loadLE32(D + B + 32) + loadLE32(D + B + 36);
+  size_t Int = B + 40;
+  size_t Call = Int + 4 * size_t(IntCount);
+  if (!decodeVarList(Payload, Int, IntCount, N, Out.Interesting) ||
+      !decodeVarList(Payload, Call, CallCount, N, Out.Callsites))
+    return std::nullopt;
   return Out;
 }
 
@@ -645,158 +917,177 @@ retypd::decodeGenResult(std::string_view Payload, SymbolTable &Syms,
 // Sketch bundles (cached solver solutions)
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-/// First payload byte of a sketch bundle: the payload version with the top
-/// bit set, so scheme payloads (plain version byte) and bundles can never
-/// be confused for one another.
-constexpr uint8_t kSketchBundleTag = 0x80 | kSchemePayloadVersion;
-
-} // namespace
-
-// Bundle layout (all integers LEB128):
-//   u8     tag (0x80 | payload version)
-//   n      name count; n × (len, bytes)   — variable AND lattice names
-//   e      entry count; e × (varNameIdx, sketch)
-//   sketch: nodeCount; nodeCount × (markIdx, lowerIdx, upperIdx, u8 flags,
-//           conflictCount × elemIdx, childCount × (labelRaw, nodeId))
 std::string retypd::encodeSketchBundle(
     const std::vector<std::pair<TypeVariable, const Sketch *>> &Entries,
     const SymbolTable &Syms, const Lattice &Lat) {
   EventCounters::SchemeEncodes.fetch_add(1, std::memory_order_relaxed);
   std::vector<const std::string *> Names;
   std::unordered_map<std::string, uint64_t> NameIds;
-  auto nameIdx = [&](const std::string &N) {
+  auto nameIdx = [&](const std::string &N) -> uint32_t {
     auto [It, Inserted] = NameIds.try_emplace(N, Names.size());
     if (Inserted)
       Names.push_back(&It->first);
-    return It->second;
+    return static_cast<uint32_t>(It->second);
   };
 
-  // Pass 1: pool names in deterministic first-use order.
-  std::string Body;
-  putVarint(Body, Entries.size());
+  // Column buffers: one walk over the entries fills them all, assigning
+  // names in deterministic first-use order.
+  std::string EntryVar, EntryNodeStart, Mark, Lower, Upper, Flags,
+      ConflictStart, ChildStart, Conflicts, ChildLabel, ChildTo;
+  uint32_t Nodes = 0, NConflicts = 0, NChildren = 0;
   for (const auto &[Var, Sk] : Entries) {
-    putVarint(Body, nameIdx(Syms.name(Var.symbol())));
-    putVarint(Body, Sk->size());
+    appendLE32(EntryVar, nameIdx(Syms.name(Var.symbol())));
+    appendLE32(EntryNodeStart, Nodes);
+    Nodes += Sk->size();
     for (uint32_t N = 0; N < Sk->size(); ++N) {
       const Sketch::Node &Node = Sk->node(N);
-      putVarint(Body, nameIdx(Lat.name(Node.Mark)));
-      putVarint(Body, nameIdx(Lat.name(Node.Lower)));
-      putVarint(Body, nameIdx(Lat.name(Node.Upper)));
-      Body.push_back(static_cast<char>((Node.PointerLike ? 1 : 0) |
-                                       (Node.IntegerLike ? 2 : 0)));
-      putVarint(Body, Node.Conflicts.size());
+      appendLE32(Mark, nameIdx(Lat.name(Node.Mark)));
+      appendLE32(Lower, nameIdx(Lat.name(Node.Lower)));
+      appendLE32(Upper, nameIdx(Lat.name(Node.Upper)));
+      Flags.push_back(static_cast<char>((Node.PointerLike ? 1 : 0) |
+                                        (Node.IntegerLike ? 2 : 0)));
+      appendLE32(ConflictStart, NConflicts);
+      NConflicts += static_cast<uint32_t>(Node.Conflicts.size());
       for (LatticeElem E : Node.Conflicts)
-        putVarint(Body, nameIdx(Lat.name(E)));
-      putVarint(Body, Node.Children.size());
+        appendLE32(Conflicts, nameIdx(Lat.name(E)));
+      appendLE32(ChildStart, NChildren);
+      NChildren += static_cast<uint32_t>(Node.Children.size());
       for (const auto &[L, To] : Node.Children) {
-        putVarint(Body, L.raw());
-        putVarint(Body, To);
+        appendLE64(ChildLabel, L.raw());
+        appendLE32(ChildTo, To);
       }
     }
   }
+  appendLE32(EntryNodeStart, Nodes);
+  appendLE32(ConflictStart, NConflicts);
+  appendLE32(ChildStart, NChildren);
 
-  std::string Out;
-  Out.push_back(static_cast<char>(kSketchBundleTag));
-  putVarint(Out, Names.size());
-  for (const std::string *N : Names) {
-    putVarint(Out, N->size());
-    Out.append(*N);
+  std::string Body;
+  appendLE32(Body, static_cast<uint32_t>(Entries.size()));
+  appendLE32(Body, Nodes);
+  appendLE32(Body, NConflicts);
+  appendLE32(Body, NChildren);
+  Body += EntryVar;
+  Body += EntryNodeStart;
+  Body += Mark;
+  Body += Lower;
+  Body += Upper;
+  Body += Flags;
+  Body += ConflictStart;
+  Body += ChildStart;
+  Body += Conflicts;
+  Body += ChildLabel;
+  Body += ChildTo;
+  return assembleInline(kSketchBundleTag, Names, Body);
+}
+
+namespace {
+
+std::optional<std::vector<SketchBinding>>
+decodeSketchBundleImpl(std::string_view P, SymbolTable &Syms,
+                       const Lattice &Lat, const PoolBindingView *Pool) {
+  Layout L;
+  if (!parseLayout(P, L) || L.Tag != kSketchBundleTag)
+    return std::nullopt;
+  NameCtx N(P, L, Syms, Lat, Pool);
+  if (!N.ok())
+    return std::nullopt;
+  BundleGeom G;
+  if (!bundleGeom(P, L.BodyOff, G))
+    return std::nullopt;
+  const char *D = P.data();
+
+  std::vector<SketchBinding> Out;
+  Out.reserve(G.EntryCount);
+  for (uint32_t E = 0; E < G.EntryCount; ++E) {
+    SymbolId VarSym;
+    if (!N.sym(loadLE32(D + G.EntryVar + 4 * size_t(E)), VarSym))
+      return std::nullopt;
+    uint32_t N0 = loadLE32(D + G.EntryNodeStart + 4 * size_t(E));
+    uint32_t N1 = loadLE32(D + G.EntryNodeStart + 4 * size_t(E) + 4);
+    Sketch Sk;
+    for (uint32_t NI = N0; NI < N1; ++NI) {
+      uint32_t Id = NI == N0 ? Sk.root() : Sk.addNode();
+      Sketch::Node &Node = Sk.node(Id);
+      LatticeElem Mark, Lower, Upper;
+      if (!N.lat(loadLE32(D + G.Mark + 4 * size_t(NI)), Mark) ||
+          !N.lat(loadLE32(D + G.Lower + 4 * size_t(NI)), Lower) ||
+          !N.lat(loadLE32(D + G.Upper + 4 * size_t(NI)), Upper))
+        return std::nullopt;
+      Node.Mark = Mark;
+      Node.Lower = Lower;
+      Node.Upper = Upper;
+      uint8_t F = static_cast<uint8_t>(D[G.Flags + NI]);
+      Node.PointerLike = (F & 1) != 0;
+      Node.IntegerLike = (F & 2) != 0;
+      uint32_t C0 = loadLE32(D + G.ConflictStart + 4 * size_t(NI));
+      uint32_t C1 = loadLE32(D + G.ConflictStart + 4 * size_t(NI) + 4);
+      Node.Conflicts.reserve(C1 - C0);
+      for (uint32_t C = C0; C < C1; ++C) {
+        LatticeElem El;
+        if (!N.lat(loadLE32(D + G.Conflicts + 4 * size_t(C)), El))
+          return std::nullopt;
+        Node.Conflicts.push_back(El);
+      }
+      uint32_t K0 = loadLE32(D + G.ChildStart + 4 * size_t(NI));
+      uint32_t K1 = loadLE32(D + G.ChildStart + 4 * size_t(NI) + 4);
+      for (uint32_t K = K0; K < K1; ++K) {
+        Label Lb = Label::fromRaw(loadLE64(D + G.ChildLabel + 8 * size_t(K)));
+        Node.Children[Lb] = loadLE32(D + G.ChildTo + 4 * size_t(K));
+      }
+    }
+    Out.emplace_back(TypeVariable::var(VarSym), std::move(Sk));
   }
-  Out += Body;
   return Out;
 }
+
+} // namespace
 
 std::optional<std::vector<SketchBinding>>
 retypd::decodeSketchBundle(std::string_view Payload, SymbolTable &Syms,
                            const Lattice &Lat) {
   EventCounters::SchemeDecodes.fetch_add(1, std::memory_order_relaxed);
-  Reader R(Payload);
-  uint8_t Tag = 0;
-  if (!R.u8(Tag) || Tag != kSketchBundleTag)
+  if (!validatePayload(Payload, 0))
     return std::nullopt;
-  uint64_t NameCount = 0;
-  if (!R.varint(NameCount) || NameCount > R.remaining())
-    return std::nullopt;
-  std::vector<std::string_view> Names(static_cast<size_t>(NameCount));
-  for (std::string_view &N : Names) {
-    uint64_t Len = 0;
-    if (!R.varint(Len) || !R.bytes(static_cast<size_t>(Len), N))
-      return std::nullopt;
-  }
-  // Lattice elements resolve by name; unknown names are corruption
-  // relative to this session's lattice.
-  std::vector<std::optional<LatticeElem>> ElemCache(Names.size());
-  std::vector<char> ElemResolved(Names.size(), 0);
-  auto elemAt = [&](uint64_t Idx) -> std::optional<LatticeElem> {
-    if (Idx >= Names.size())
-      return std::nullopt;
-    if (!ElemResolved[static_cast<size_t>(Idx)]) {
-      ElemCache[static_cast<size_t>(Idx)] =
-          Lat.lookup(Names[static_cast<size_t>(Idx)]);
-      ElemResolved[static_cast<size_t>(Idx)] = 1;
-    }
-    return ElemCache[static_cast<size_t>(Idx)];
-  };
+  return decodeSketchBundleImpl(Payload, Syms, Lat, nullptr);
+}
 
-  uint64_t EntryCount = 0;
-  if (!R.varint(EntryCount) || EntryCount > R.remaining() + 1)
+std::optional<std::vector<SketchBinding>>
+retypd::decodeSketchBundleTrusted(std::string_view Payload, SymbolTable &Syms,
+                                  const Lattice &Lat,
+                                  const PoolBindingView *Pool) {
+  EventCounters::SchemeDecodes.fetch_add(1, std::memory_order_relaxed);
+  return decodeSketchBundleImpl(Payload, Syms, Lat, Pool);
+}
+
+//===----------------------------------------------------------------------===//
+// Inline -> pool transcoding
+//===----------------------------------------------------------------------===//
+
+std::optional<std::string> retypd::transcodeNamesToPool(
+    std::string_view Payload,
+    const std::function<uint32_t(std::string_view)> &PoolIdFor) {
+  Layout L;
+  if (!parseLayout(Payload, L) || L.Mode != kNameModeInline ||
+      !validatePayload(Payload, 0))
     return std::nullopt;
-  std::vector<SketchBinding> Out;
-  Out.reserve(static_cast<size_t>(EntryCount));
-  for (uint64_t I = 0; I < EntryCount; ++I) {
-    uint64_t VarIdx = 0, NodeCount = 0;
-    if (!R.varint(VarIdx) || VarIdx >= Names.size() || !R.varint(NodeCount) ||
-        NodeCount == 0 || NodeCount > R.remaining() + 1)
-      return std::nullopt;
-    TypeVariable Var = TypeVariable::var(
-        Syms.intern(Names[static_cast<size_t>(VarIdx)]));
-    Sketch Sk;
-    for (uint64_t N = 0; N < NodeCount; ++N) {
-      uint32_t Id = N == 0 ? Sk.root() : Sk.addNode();
-      Sketch::Node &Node = Sk.node(Id);
-      uint64_t MarkIdx = 0, LowerIdx = 0, UpperIdx = 0;
-      uint8_t Flags = 0;
-      if (!R.varint(MarkIdx) || !R.varint(LowerIdx) || !R.varint(UpperIdx) ||
-          !R.u8(Flags) || Flags > 3)
-        return std::nullopt;
-      auto Mark = elemAt(MarkIdx), Lower = elemAt(LowerIdx),
-           Upper = elemAt(UpperIdx);
-      if (!Mark || !Lower || !Upper)
-        return std::nullopt;
-      Node.Mark = *Mark;
-      Node.Lower = *Lower;
-      Node.Upper = *Upper;
-      Node.PointerLike = (Flags & 1) != 0;
-      Node.IntegerLike = (Flags & 2) != 0;
-      uint64_t ConflictCount = 0;
-      if (!R.varint(ConflictCount) || ConflictCount > R.remaining())
-        return std::nullopt;
-      for (uint64_t C = 0; C < ConflictCount; ++C) {
-        uint64_t EIdx = 0;
-        if (!R.varint(EIdx))
-          return std::nullopt;
-        auto E = elemAt(EIdx);
-        if (!E)
-          return std::nullopt;
-        Node.Conflicts.push_back(*E);
-      }
-      uint64_t ChildCount = 0;
-      if (!R.varint(ChildCount) || ChildCount > R.remaining())
-        return std::nullopt;
-      for (uint64_t C = 0; C < ChildCount; ++C) {
-        uint64_t Raw = 0, To = 0;
-        if (!R.varint(Raw) || !validLabelRaw(Raw) || !R.varint(To) ||
-            To >= NodeCount)
-          return std::nullopt;
-        Node.Children[Label::fromRaw(Raw)] = static_cast<uint32_t>(To);
-      }
-    }
-    Out.emplace_back(Var, std::move(Sk));
+  const char *D = Payload.data();
+  uint64_t NewBodyOff = kHeaderBytes + 4 * uint64_t(L.NameCount);
+  std::string Out;
+  Out.reserve(static_cast<size_t>(NewBodyOff) +
+              (Payload.size() - L.BodyOff));
+  Out.push_back(static_cast<char>(L.Tag));
+  Out.push_back(static_cast<char>(kNameModePool));
+  Out.push_back(0);
+  Out.push_back(0);
+  appendLE32(Out, L.NameCount);
+  appendLE32(Out, static_cast<uint32_t>(NewBodyOff));
+  for (uint32_t I = 0; I < L.NameCount; ++I) {
+    size_t A = loadLE32(D + L.NameTable + 4 * size_t(I));
+    size_t B = loadLE32(D + L.NameTable + 4 * size_t(I) + 4);
+    appendLE32(Out, PoolIdFor(Payload.substr(L.Blob + A, B - A)));
   }
-  if (!R.atEnd())
-    return std::nullopt;
+  Out.append(Payload.substr(L.BodyOff));
   return Out;
 }
 
@@ -823,10 +1114,6 @@ void hashDtv(Fnv128 &H, const DerivedTypeVariable &V, const SymbolTable &Syms,
   for (Label L : V.labels())
     H.updateU64(L.raw());
 }
-
-} // namespace
-
-namespace {
 
 /// Streams one canonical view. Both hash entry points funnel here so the
 /// presorted and sorting variants can never diverge.

@@ -76,30 +76,66 @@ SummaryKey SummaryCache::solveKeyFor(const Hash128 &SetHash,
   return H.digest();
 }
 
-template <typename DecodeFn>
-auto SummaryCache::probeImpl(const SummaryKey &K, const SymbolTable &Syms,
-                             DecodeFn Decode) const
-    -> decltype(Decode(std::string_view())) {
-  using Result = decltype(Decode(std::string_view()));
-  using Value = typename Result::value_type;
-  Shard &Sh = shard(K);
-  const uint64_t Gen = Backing ? Backing->generation() : 0;
+std::shared_ptr<const SummaryCache::PoolBinding>
+SummaryCache::poolBindingFor(SymbolTable &Syms, const Lattice &Lat) const {
+  // Snapshot the guards first; the pool can grow between these reads and
+  // the build below, but never shrink within an epoch — a too-small
+  // binding only means the probe retries after refreshing.
+  const uint64_t Epoch = Backing->poolEpoch();
+  const uint64_t Size = Backing->poolSize();
   const uint64_t Uid = Syms.uid();
   {
-    // Fastest path: the decoded-value memo. Valid only for the same
-    // symbol table (decoded values carry its ids) and the same store
-    // generation (compaction may rewrite what a key resolves to).
-    std::shared_lock<std::shared_mutex> Lock(Sh.M);
-    auto It = Sh.Memos.find(K);
-    if (It != Sh.Memos.end() && It->second.StoreGen == Gen &&
-        It->second.SymsUid == Uid)
-      if (const Value *V = std::get_if<Value>(&It->second.V)) {
-        Hits.fetch_add(1, std::memory_order_relaxed);
-        EventCounters::DecodeMemoHits.fetch_add(1,
-                                                std::memory_order_relaxed);
-        return *V;
-      }
+    std::lock_guard<std::mutex> L(BindingM);
+    if (Binding && Binding->Epoch == Epoch && Binding->SymsUid == Uid &&
+        Binding->Lat == &Lat && Binding->SymIds.size() >= Size)
+      return Binding;
   }
+  // Build (or extend) OUTSIDE the store's read path: forEachPoolNameFrom
+  // takes the store's shared lock, so no PayloadRef may be alive here.
+  auto B = std::make_shared<PoolBinding>();
+  B->Epoch = Epoch;
+  B->SymsUid = Uid;
+  B->Lat = &Lat;
+  uint64_t From = 0;
+  {
+    std::lock_guard<std::mutex> L(BindingM);
+    if (Binding && Binding->Epoch == Epoch && Binding->SymsUid == Uid &&
+        Binding->Lat == &Lat) {
+      // Same epoch: the pool only grew, so the old table is a valid
+      // prefix — copy it and intern just the tail.
+      B->SymIds = Binding->SymIds;
+      B->LatElems = Binding->LatElems;
+      From = B->SymIds.size();
+    }
+  }
+  uint64_t Added = 0;
+  {
+    ScopedPhaseTimer Timer("cache.poolbind");
+    Backing->forEachPoolNameFrom(From, [&](uint64_t, std::string_view N) {
+      B->SymIds.push_back(Syms.intern(N));
+      std::optional<LatticeElem> E = Lat.lookup(N);
+      B->LatElems.push_back(E ? static_cast<uint32_t>(*E) + 1 : 0);
+      ++Added;
+    });
+  }
+  if (Added)
+    EventCounters::PoolBinds.fetch_add(Added, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> L(BindingM);
+  // Keep whichever binding is further along (a racing builder may have
+  // published a longer table while we interned).
+  if (!Binding || Binding->Epoch != Epoch || Binding->SymsUid != Uid ||
+      Binding->Lat != &Lat || Binding->SymIds.size() < B->SymIds.size())
+    Binding = B;
+  return Binding;
+}
+
+template <typename DecodeFn, typename TrustedFn>
+auto SummaryCache::probeImpl(const SummaryKey &K, SymbolTable &Syms,
+                             const Lattice &Lat, DecodeFn Decode,
+                             TrustedFn DecodeTrusted, bool Count) const
+    -> decltype(Decode(std::string_view())) {
+  using Result = decltype(Decode(std::string_view()));
+  Shard &Sh = shard(K);
   Result Out;
   bool FoundMem = false;
   {
@@ -125,64 +161,132 @@ auto SummaryCache::probeImpl(const SummaryKey &K, const SymbolTable &Syms,
       Sh.Entries.erase(It);
   }
   if (!Out && Backing) {
-    {
-      // Decode straight out of the store's mapped segment — the view is
-      // borrowed, no payload bytes are copied. The PayloadRef (and the
-      // store's shared lock it pins the mapping with) must drop before
-      // the memo takes the shard's exclusive lock below.
-      Store::PayloadRef Ref = Backing->lookup(K);
-      if (Ref) {
+    // The translation table is grabbed BEFORE the payload view: its
+    // build takes the store's shared lock, which must never nest inside
+    // a held PayloadRef.
+    std::shared_ptr<const PoolBinding> B = poolBindingFor(Syms, Lat);
+    for (int Attempt = 0; Attempt < 2 && !Out; ++Attempt) {
+      bool PoolMode = false;
+      {
+        // Decode straight out of the store's mapped segment — the view
+        // is borrowed, no payload bytes are copied. Records were
+        // structurally validated at segment scan, so this is the
+        // codec's trusted fast path; without a validating store (test
+        // seam) the payload is validated here instead.
+        Store::PayloadRef Ref = Backing->lookup(K);
+        if (!Ref)
+          break;
+        std::string_view V = Ref.view();
+        PoolMode =
+            V.size() >= 2 && static_cast<unsigned char>(V[1]) == 1;
+        if (!Backing->validatesPayloads() &&
+            !validatePayload(V, B->SymIds.size()))
+          break;
+        PoolBindingView PV;
+        PV.SymIds = B->SymIds.data();
+        PV.LatElems = B->LatElems.data();
+        PV.Size = B->SymIds.size();
         ScopedPhaseTimer Timer("cache.decode");
-        Out = Decode(Ref.view());
+        Out = DecodeTrusted(V, &PV);
+      }
+      if (Out) {
+        EventCounters::StoreHits.fetch_add(1, std::memory_order_relaxed);
+        if (PoolMode)
+          EventCounters::PoolBindHits.fetch_add(1,
+                                                std::memory_order_relaxed);
+      } else if (PoolMode && Attempt == 0) {
+        // The payload may reference pool ids added after our binding
+        // snapshot (another process flushed between the binding build
+        // and the lookup). Refresh once; a second failure is a genuine
+        // reject.
+        B = poolBindingFor(Syms, Lat);
+      } else {
+        // A store payload that fails to decode is a plain miss here;
+        // the record itself is folded away by the next compaction.
+        break;
       }
     }
-    if (Out)
-      EventCounters::StoreHits.fetch_add(1, std::memory_order_relaxed);
-    // A store payload that fails to decode is a plain miss here; the
-    // record itself is folded away by the next compaction.
   }
   if (Out) {
-    Hits.fetch_add(1, std::memory_order_relaxed);
-    std::unique_lock<std::shared_mutex> Lock(Sh.M);
-    // Past the cap, recycle an arbitrary slot: it is a memo, so losing
-    // one only costs a future re-decode.
-    if (Sh.Memos.size() >= kMemoCapPerShard && Sh.Memos.count(K) == 0)
-      Sh.Memos.erase(Sh.Memos.begin());
-    Sh.Memos[K] = DecodedMemo{Gen, Uid, *Out};
+    if (Count)
+      Hits.fetch_add(1, std::memory_order_relaxed);
     return Out;
   }
-  Misses.fetch_add(1, std::memory_order_relaxed);
+  if (Count)
+    Misses.fetch_add(1, std::memory_order_relaxed);
   return std::nullopt;
 }
 
 std::optional<TypeScheme> SummaryCache::lookup(const SummaryKey &K,
                                                SymbolTable &Syms,
                                                const Lattice &Lat) const {
-  return probeImpl(K, Syms, [&](std::string_view P) {
-    return decodeScheme(P, Syms, Lat);
-  });
+  return probeImpl(
+      K, Syms, Lat,
+      [&](std::string_view P) { return decodeScheme(P, Syms, Lat); },
+      [&](std::string_view P, const PoolBindingView *Pool) {
+        return decodeSchemeTrusted(P, Syms, Lat, Pool);
+      });
 }
 
 std::optional<std::vector<SketchBinding>>
 SummaryCache::lookupSolution(const SummaryKey &K, SymbolTable &Syms,
                              const Lattice &Lat) const {
-  return probeImpl(K, Syms, [&](std::string_view P) {
-    return decodeSketchBundle(P, Syms, Lat);
-  });
+  return probeImpl(
+      K, Syms, Lat,
+      [&](std::string_view P) { return decodeSketchBundle(P, Syms, Lat); },
+      [&](std::string_view P, const PoolBindingView *Pool) {
+        return decodeSketchBundleTrusted(P, Syms, Lat, Pool);
+      });
 }
 
 std::optional<DecodedGenResult> SummaryCache::lookupGen(const SummaryKey &K,
                                                         SymbolTable &Syms,
                                                         const Lattice &Lat)
     const {
-  auto Out = probeImpl(K, Syms, [&](std::string_view P) {
-    return decodeGenResult(P, Syms, Lat);
-  });
+  auto Out = probeImpl(
+      K, Syms, Lat,
+      [&](std::string_view P) { return decodeGenResult(P, Syms, Lat); },
+      [&](std::string_view P, const PoolBindingView *Pool) {
+        return decodeGenResultTrusted(P, Syms, Lat, Pool);
+      });
   if (Out)
     EventCounters::GenCacheHits.fetch_add(1, std::memory_order_relaxed);
   else
     EventCounters::GenCacheMisses.fetch_add(1, std::memory_order_relaxed);
   return Out;
+}
+
+std::optional<GenResultMeta>
+SummaryCache::lookupGenMeta(const SummaryKey &K, SymbolTable &Syms,
+                            const Lattice &Lat) const {
+  auto Out = probeImpl(
+      K, Syms, Lat,
+      [&](std::string_view P) -> std::optional<GenResultMeta> {
+        // In-memory entries skipped store-side validation; check here.
+        if (!validatePayload(P, 0))
+          return std::nullopt;
+        return decodeGenResultMetaTrusted(P, Syms, Lat);
+      },
+      [&](std::string_view P, const PoolBindingView *Pool) {
+        return decodeGenResultMetaTrusted(P, Syms, Lat, Pool);
+      });
+  if (Out)
+    EventCounters::GenCacheHits.fetch_add(1, std::memory_order_relaxed);
+  else
+    EventCounters::GenCacheMisses.fetch_add(1, std::memory_order_relaxed);
+  return Out;
+}
+
+std::optional<DecodedGenResult>
+SummaryCache::materializeGen(const SummaryKey &K, SymbolTable &Syms,
+                             const Lattice &Lat) const {
+  return probeImpl(
+      K, Syms, Lat,
+      [&](std::string_view P) { return decodeGenResult(P, Syms, Lat); },
+      [&](std::string_view P, const PoolBindingView *Pool) {
+        return decodeGenResultTrusted(P, Syms, Lat, Pool);
+      },
+      /*Count=*/false);
 }
 
 bool SummaryCache::openStore(const std::string &Dir, std::string *Err) {
@@ -191,6 +295,11 @@ bool SummaryCache::openStore(const std::string &Dir, std::string *Err) {
   // The analyze path owns regeneration: a stale store is a cold store,
   // exactly like a stale cache file (which load() simply ignores).
   O.RegenerateStale = true;
+  // Structural validation runs once per record at segment scan; every
+  // probe afterwards decodes through the codec's trusted fast path.
+  O.Validator = [](std::string_view Payload, uint64_t PoolSize) {
+    return validatePayload(Payload, PoolSize);
+  };
   auto S = Store::open(Dir, O, Err);
   if (!S)
     return false;
@@ -200,11 +309,9 @@ bool SummaryCache::openStore(const std::string &Dir, std::string *Err) {
 
 void SummaryCache::attachStore(std::unique_ptr<Store> S) {
   Backing = std::move(S);
-  // Memo generations are relative to the attached store; drop wholesale.
-  for (Shard &Sh : Shards) {
-    std::unique_lock<std::shared_mutex> Lock(Sh.M);
-    Sh.Memos.clear();
-  }
+  // Pool epochs are relative to the attached store; drop the table.
+  std::lock_guard<std::mutex> L(BindingM);
+  Binding.reset();
 }
 
 std::optional<size_t> SummaryCache::flushToStore(std::string *Err) {
@@ -213,31 +320,45 @@ std::optional<size_t> SummaryCache::flushToStore(std::string *Err) {
       *Err = "no store attached";
     return std::nullopt;
   }
-  // Snapshot keys per shard, then stream entries through lookupPayload
-  // one at a time: no shard lock is ever held across a store call (the
-  // store's lock and the shard locks must never nest in both orders).
-  size_t Appended = 0;
+  // Snapshot (key, payload) per shard FIRST: no shard lock is ever held
+  // across a store call (the store's lock and the shard locks must never
+  // nest in both orders). Sorted by key so pool id assignment — and with
+  // it the store's byte content — is deterministic for a given entry
+  // set, independent of insertion timing.
+  std::vector<std::pair<SummaryKey, std::string>> Snap;
   for (unsigned I = 0; I < kNumShards; ++I) {
-    std::vector<SummaryKey> Keys;
-    {
-      std::shared_lock<std::shared_mutex> Lock(Shards[I].M);
-      Keys.reserve(Shards[I].Entries.size());
-      for (const auto &E : Shards[I].Entries)
-        Keys.push_back(E.first);
-    }
-    for (const SummaryKey &K : Keys) {
-      std::optional<std::string> P = lookupPayload(K);
-      if (!P || Backing->payloadEquals(K, *P))
-        continue; // unchanged (or raced away): nothing to journal
-      Backing->append(K, *P,
-                      P->empty() ? 0
-                                 : static_cast<uint8_t>(
-                                       static_cast<unsigned char>((*P)[0])));
-      ++Appended;
-    }
+    std::shared_lock<std::shared_mutex> Lock(Shards[I].M);
+    for (const auto &E : Shards[I].Entries)
+      Snap.emplace_back(E.first, E.second);
   }
+  std::sort(Snap.begin(), Snap.end(), [](const auto &A, const auto &B) {
+    return A.first < B.first;
+  });
+  size_t Appended = 0;
   ScopedPhaseTimer Timer("store.flush");
-  if (!Backing->flush(Err))
+  bool Ok = Backing->flushWith(
+      [&](Store::Txn &T) {
+        Appended = 0;
+        for (const auto &E : Snap) {
+          // Transcode names to pool ids under the flush lock: id
+          // assignment is race-free across processes, and the store
+          // writes the pool additions durably before these records.
+          std::optional<std::string> Pooled = transcodeNamesToPool(
+              E.second,
+              [&](std::string_view N) { return T.poolIdFor(N); });
+          const std::string &P = Pooled ? *Pooled : E.second;
+          if (T.payloadEquals(E.first, P))
+            continue; // unchanged: nothing to journal
+          T.append(E.first, P,
+                   P.empty() ? 0
+                             : static_cast<uint8_t>(
+                                   static_cast<unsigned char>(P[0])));
+          ++Appended;
+        }
+        return true;
+      },
+      Err);
+  if (!Ok)
     return std::nullopt;
   return Appended;
 }
@@ -294,8 +415,6 @@ void SummaryCache::insertPayload(const SummaryKey &K, std::string Payload) {
   // duplicate inserts are benign because entries for one key are always
   // identical by construction.
   Sh.Entries.insert_or_assign(K, std::move(Payload));
-  // The memoized decoded value (if any) described the replaced bytes.
-  Sh.Memos.erase(K);
 }
 
 size_t SummaryCache::size() const {
@@ -311,7 +430,6 @@ void SummaryCache::clear() {
   for (Shard &Sh : Shards) {
     std::unique_lock<std::shared_mutex> Lock(Sh.M);
     Sh.Entries.clear();
-    Sh.Memos.clear();
   }
 }
 
@@ -353,9 +471,7 @@ size_t SummaryCache::pruneToBytes(size_t MaxBytes) {
       break;
     Total -= E->second.size();
     const SummaryKey K = E->first; // copy: E points into the erased node
-    Shard &Sh = Shards[shardOf(K)];
-    Sh.Memos.erase(K);
-    Sh.Entries.erase(K);
+    Shards[shardOf(K)].Entries.erase(K);
     ++Dropped;
   }
   return Dropped;

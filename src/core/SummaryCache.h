@@ -40,10 +40,15 @@
 /// the whole cache through one v3 file (now the import/export path), while
 /// openStore()/flushToStore() attach a multi-process artifact store
 /// (store/Store.h): probes that miss the in-memory map decode zero-copy
-/// out of the store's memory-mapped journal segments, appends are
-/// incremental under an advisory file lock, and a decoded-value memo
-/// keyed by (store generation, key, symbol-table uid) spares re-decoding
-/// unchanged payloads across analyze() calls of one session.
+/// out of the store's memory-mapped journal segments, and appends are
+/// incremental under an advisory file lock. The store is opened with a
+/// structural validator, so every record is checked ONCE at segment scan
+/// and probes run the codec's trusted decoders straight off the mapping.
+/// Store payloads carry names as ids into the store's name pool; the
+/// cache batch-interns the pool once per (store pool epoch, symbol
+/// table) into a translation table (PoolBindingView), so a warm probe
+/// performs zero per-payload string hashing
+/// (EventCounters::PoolBinds/PoolBindHits).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -60,11 +65,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
-#include <variant>
 #include <vector>
 
 namespace retypd {
@@ -166,6 +171,28 @@ public:
                                             SymbolTable &Syms,
                                             const Lattice &Lat) const;
 
+  /// Decodes only the meta prefix of a cached generation result — set
+  /// hash, interesting/callsite variables, constraint count — WITHOUT
+  /// materializing the constraint set. The fully warm path probes this;
+  /// it only falls back to lookupGen for SCCs whose downstream scheme or
+  /// solution probe misses. Bumps the same GenCacheHits/Misses counters
+  /// as lookupGen (one SCC probes exactly one of the two).
+  std::optional<GenResultMeta> lookupGenMeta(const SummaryKey &K,
+                                             SymbolTable &Syms,
+                                             const Lattice &Lat) const;
+
+  /// Materializes the full generation result for a key whose META probe
+  /// already hit — the residual decode the warm path defers until a
+  /// downstream scheme or solution probe actually misses. Counter-SILENT
+  /// (no GenCacheHits/Misses, no Hits/Misses): the logical probe was
+  /// already counted by lookupGenMeta, and this is its second half, not a
+  /// new probe. Can still return nullopt — the entry may have been
+  /// evicted or pruned since the meta probe — in which case the caller
+  /// regenerates.
+  std::optional<DecodedGenResult> materializeGen(const SummaryKey &K,
+                                                 SymbolTable &Syms,
+                                                 const Lattice &Lat) const;
+
   /// Encodes and inserts (or replaces) a generation result for \p K.
   /// \p C must already be canonical and \p SetHash its canonicalSetHash
   /// (both replay verbatim on lookup).
@@ -193,7 +220,7 @@ public:
   bool openStore(const std::string &Dir, std::string *Err = nullptr);
 
   /// Attaches an externally opened store (test seam for custom
-  /// StoreOptions). Drops the decoded-value memo: its generations are
+  /// StoreOptions). Drops the pool translation table: its epochs are
   /// store-relative.
   void attachStore(std::unique_ptr<Store> S);
 
@@ -203,8 +230,11 @@ public:
 
   /// Appends every in-memory entry whose bytes are not already the
   /// store's live value for its key (last writer wins per key), then
-  /// durably flushes the journal. Returns the number of records
-  /// appended — 0 is a successful no-op — or nullopt on I/O failure.
+  /// durably flushes the journal. Entries are transcoded to pool name
+  /// mode under the store's flush lock (pool id assignment is race-free
+  /// across processes), and the pool additions become durable before any
+  /// record referencing them. Returns the number of records appended —
+  /// 0 is a successful no-op — or nullopt on I/O failure.
   std::optional<size_t> flushToStore(std::string *Err = nullptr);
 
   /// Raw-payload probe of the IN-MEMORY map only, no decoding and no
@@ -245,45 +275,49 @@ public:
   static CacheFileInfo inspectFile(const std::string &Path);
 
 private:
-  /// A decoded payload remembered per (store generation, key, symbol
-  /// table): re-probes of an unchanged payload — the re-analysis-after-
-  /// invalidate() pattern — return the remembered value instead of
-  /// re-running the codec (EventCounters::DecodeMemoHits). Guarded by
-  /// the symbol-table uid because decoded values carry that table's
-  /// symbol ids, and by the store generation because compaction may
-  /// rewrite what a key resolves to.
-  struct DecodedMemo {
-    uint64_t StoreGen = 0;
-    uint64_t SymsUid = 0;
-    std::variant<TypeScheme, std::vector<SketchBinding>, DecodedGenResult> V;
-  };
-
-  /// Memo entries per shard before arbitrary recycling kicks in.
-  /// Decoded values are not small (a gen result is a whole SCC's
-  /// constraint set), and store-served keys have no Entries row that
-  /// pruneToBytes could evict — the cap is what bounds a long-lived
-  /// session's memo footprint.
-  static constexpr size_t kMemoCapPerShard = 1024;
-
   struct Shard {
     mutable std::shared_mutex M;
     std::unordered_map<SummaryKey, std::string, SummaryKeyHash> Entries;
-    std::unordered_map<SummaryKey, DecodedMemo, SummaryKeyHash> Memos;
   };
 
   Shard &shard(const SummaryKey &K) const { return Shards[shardOf(K)]; }
 
-  /// The shared probe shape: decoded-value memo, then the in-memory map
-  /// (decoding in place under the shard's shared lock), then the
-  /// attached store (decoding zero-copy out of the mapped segment).
-  template <typename DecodeFn>
-  auto probeImpl(const SummaryKey &K, const SymbolTable &Syms,
-                 DecodeFn Decode) const
+  /// The pool -> interned translation table: PoolBindingView arrays plus
+  /// the guards that scope their validity. Immutable once published
+  /// (extending builds a successor and swaps the shared_ptr), so probes
+  /// decode through a grabbed snapshot with no lock held.
+  struct PoolBinding {
+    uint64_t Epoch = 0;        ///< Store::poolEpoch at build
+    uint64_t SymsUid = 0;      ///< decoded ids belong to this table
+    const Lattice *Lat = nullptr;
+    std::vector<uint32_t> SymIds;
+    std::vector<uint32_t> LatElems; ///< elem + 1; 0 = not a lattice name
+  };
+
+  /// Returns a binding current for (store pool, \p Syms, \p Lat),
+  /// batch-interning any pool names added since the last build
+  /// (EventCounters::PoolBinds per name). Never called while a store
+  /// PayloadRef is alive — the build takes the store's shared lock.
+  std::shared_ptr<const PoolBinding> poolBindingFor(SymbolTable &Syms,
+                                                    const Lattice &Lat) const;
+
+  /// The shared probe shape: the in-memory map (decoding in place under
+  /// the shard's shared lock, validating decoders), then the attached
+  /// store (trusted decoders zero-copy out of the mapped segment, with
+  /// the pool translation table resolving pool-mode names).
+  /// \p Count=false skips the Hits/Misses bump (materializeGen's second
+  /// half of an already-counted probe).
+  template <typename DecodeFn, typename TrustedFn>
+  auto probeImpl(const SummaryKey &K, SymbolTable &Syms, const Lattice &Lat,
+                 DecodeFn Decode, TrustedFn DecodeTrusted,
+                 bool Count = true) const
       -> decltype(Decode(std::string_view()));
 
   mutable std::array<Shard, kNumShards> Shards;
   mutable std::atomic<uint64_t> Hits{0}, Misses{0};
   std::unique_ptr<Store> Backing;
+  mutable std::mutex BindingM; ///< guards the Binding pointer swap
+  mutable std::shared_ptr<const PoolBinding> Binding;
 };
 
 } // namespace retypd

@@ -73,7 +73,7 @@ std::string retypd::statsJson(const PipelineStats &S) {
   J += "\"gen_cache_misses\": " + std::to_string(S.GenCacheMisses) + ", ";
   J += "\"store_hits\": " + std::to_string(S.StoreHits) + ", ";
   J += "\"store_appends\": " + std::to_string(S.StoreAppends) + ", ";
-  J += "\"decode_memo_hits\": " + std::to_string(S.DecodeMemoHits) + ", ";
+  J += "\"pool_bind_hits\": " + std::to_string(S.PoolBindHits) + ", ";
   J += std::string("\"incremental\": ") + (S.IncrementalRun ? "true" : "false") + ", ";
   J += "\"functions_dirty\": " + std::to_string(S.FunctionsDirty) + ", ";
   J += "\"sccs_simplified\": " + std::to_string(S.SccsSimplified) + ", ";

@@ -132,10 +132,17 @@ std::string TypeReport::prototypeOf(uint32_t FuncId, const Module &M) const {
 /// produced them are provably unchanged.
 struct AnalysisSession::SccArtifact {
   std::vector<std::string> MemberNames; ///< non-external, condensation order
-  ConstraintSet Combined;               ///< merged member constraints
-  Hash128 SetHash;                      ///< structural hash of Combined
-                                        ///< ({0,0} = not computed: no cache)
-  size_t ConstraintCount = 0;           ///< Combined.size() at generation
+  /// Merged member constraints. May be EMPTY on a fully warm run even
+  /// though ConstraintCount > 0: the meta probe defers constraint
+  /// materialization until something actually needs the set (a scheme or
+  /// solution probe miss), which then replays it through GenKey.
+  ConstraintSet Combined;
+  Hash128 SetHash;            ///< structural hash of Combined
+                              ///< ({0,0} = not computed: no cache)
+  SummaryKey GenKey{};        ///< generation-payload content key
+                              ///< ({0,0} = none: no cache at generation)
+  size_t ConstraintCount = 0; ///< constraints at generation (authoritative
+                              ///< even while Combined is unmaterialized)
   std::vector<TypeScheme> MemberSchemes;
   std::vector<Hash128> MemberSchemeHashes;
   bool HasSolution = false; ///< raw/final sketches below are valid
@@ -370,11 +377,11 @@ AnalysisSession::sketchOf(const std::string &Name, unsigned MaxDepth) const {
 // Simplification (shared with the summary cache)
 //===----------------------------------------------------------------------===//
 
-TypeScheme
-AnalysisSession::summarize(const ConstraintSet &Combined,
-                           const Hash128 &SetHash, TypeVariable ProcVar,
-                           const std::unordered_set<TypeVariable> &Keep,
-                           Simplifier &Simp, SummaryCache *Cache) {
+std::optional<TypeScheme> AnalysisSession::summarize(
+    const std::function<const ConstraintSet *()> &Constraints,
+    const Hash128 &SetHash, TypeVariable ProcVar,
+    const std::unordered_set<TypeVariable> &Keep, Simplifier &Simp,
+    SummaryCache *Cache) {
   SymbolTable &S = *Syms;
   SummaryKey Key;
   if (Cache) {
@@ -386,13 +393,17 @@ AnalysisSession::summarize(const ConstraintSet &Combined,
     Key = SummaryCache::keyFor(SetHash, S.name(ProcVar.symbol()), Names,
                                Opts.Simplify);
     // A hit hands back the decoded scheme — the warm path never parses
-    // text. Corrupt entries self-heal inside lookup() (dropped + counted
-    // as a miss) so the recomputed insert below overwrites them.
+    // text and never touches the constraint set. Corrupt entries
+    // self-heal inside lookup() (dropped + counted as a miss) so the
+    // recomputed insert below overwrites them.
     if (auto Hit = Cache->lookup(Key, S, Lat))
       return std::move(*Hit);
   }
 
-  TypeScheme Scheme = Simp.simplify(Combined, ProcVar, Keep);
+  const ConstraintSet *C = Constraints();
+  if (!C)
+    return std::nullopt;
+  TypeScheme Scheme = Simp.simplify(*C, ProcVar, Keep);
   // Canonical constraint order: identical whether the scheme was computed
   // here or replayed from the cache (the codec preserves order verbatim).
   Scheme.Constraints.canonicalize(S, Lat);
@@ -456,17 +467,30 @@ Sketch AnalysisSession::refineSketch(Sketch Sk, uint32_t FuncId,
 
 namespace {
 
-/// Phase-1 unit for an SCC that must be (re)computed: generated on the
-/// main thread, simplified on the pool, committed on the main thread.
+/// Phase-1 unit for an SCC that must be (re)computed. Cache runs probe the
+/// generation cache's META prefix on the pool first (prefetch-decoding the
+/// wave's gen payloads without materializing any constraints); misses are
+/// generated on the main thread; simplification runs on the pool and
+/// lazily materializes the constraint set only when a member's scheme
+/// probe misses; commits happen on the main thread in wave order.
 struct P1Item {
   uint32_t Scc = 0;
   std::string Key;
   std::vector<uint32_t> Members;         ///< non-external, module order
   std::vector<std::string> MemberNames;  ///< parallel to Members
   ConstraintSet Combined;
+  bool HasCombined = false;              ///< Combined is materialized
+  size_t ConstraintCount = 0;            ///< |Combined| (from meta or gen)
   Hash128 SetHash;                       ///< structural hash (cache runs only)
+  SummaryKey GenKey{};                   ///< gen content key (cache runs)
+  bool HasGenKey = false;
+  std::optional<GenResultMeta> Meta;     ///< parallel meta-probe result
   std::unordered_set<TypeVariable> Interesting;
   std::vector<TypeScheme> Schemes;       ///< filled by the worker
+  /// The worker needed the constraints but materializeGen came back empty
+  /// (entry evicted/pruned between the meta probe and the residual
+  /// decode); the main thread regenerates and re-simplifies inline.
+  bool SimplifyFailed = false;
 };
 
 enum class P2Mode { Solve, RefineOnly, Reuse };
@@ -482,6 +506,9 @@ struct P2Item {
   SummaryKey SolveKey;   ///< content key of the raw solution (cache runs)
   bool ProbeCache = false;   ///< SolveKey is valid; probe before solving
   bool SolFromCache = false; ///< Sol replayed from the summary cache
+  /// The solve worker needed the SCC's (lazily replayed) constraints but
+  /// the gen entry vanished; the main thread regenerates + solves inline.
+  bool NeedGen = false;
 };
 
 } // namespace
@@ -538,8 +565,8 @@ const TypeReport &AnalysisSession::analyze() {
       EventCounters::StoreHits.load(std::memory_order_relaxed);
   const uint64_t StoreAppends0 =
       EventCounters::StoreAppends.load(std::memory_order_relaxed);
-  const uint64_t MemoHits0 =
-      EventCounters::DecodeMemoHits.load(std::memory_order_relaxed);
+  const uint64_t PoolBindHits0 =
+      EventCounters::PoolBindHits.load(std::memory_order_relaxed);
 
   // ---- Edit detection -------------------------------------------------
   const bool HadHistory = !Snapshots.empty();
@@ -673,7 +700,8 @@ const TypeReport &AnalysisSession::analyze() {
           continue;
         }
 
-        // ---- Compute path: generate now, simplify on the pool below.
+        // ---- Compute path: key now, meta-probe on the pool, generate
+        // misses sequentially, simplify on the pool below.
         P1Computed[Scc] = 1;
         ++Report.Stats.SccsSimplified;
         std::set<uint32_t> Mates(AllMembers.begin(), AllMembers.end());
@@ -700,35 +728,54 @@ const TypeReport &AnalysisSession::analyze() {
         // hit therefore replays exactly what the walk+merge+canonicalize+
         // hash below would produce — byte for byte — including the
         // callsite variables the phase-2 solve-prep probe expects to find
-        // interned (the decoder interns them).
-        SummaryKey GenKey{};
-        bool Replayed = false;
+        // interned (the meta decoder interns them).
         if (Cache) {
-          {
-            ScopedPhaseTimer KeyTimer("gencache.key");
-            Fnv128 KeyHash;
-            KeyHash.update("retypd-genscc-v1");
-            KeyHash.sep();
-            KeyHash.updateU64(Item.Members.size());
-            for (uint32_t F : Item.Members) {
-              Hash128 K = Gen.genKey(F, Mates, GenEnvSig, schemeHashFor);
-              KeyHash.updateU64(K.Hi);
-              KeyHash.updateU64(K.Lo);
-            }
-            GenKey = KeyHash.digest();
+          ScopedPhaseTimer KeyTimer("gencache.key");
+          Fnv128 KeyHash;
+          KeyHash.update("retypd-genscc-v1");
+          KeyHash.sep();
+          KeyHash.updateU64(Item.Members.size());
+          for (uint32_t F : Item.Members) {
+            Hash128 K = Gen.genKey(F, Mates, GenEnvSig, schemeHashFor);
+            KeyHash.updateU64(K.Hi);
+            KeyHash.updateU64(K.Lo);
           }
-          if (auto Hit = Cache->lookupGen(GenKey, S, Lat)) {
-            Item.Combined = std::move(Hit->C); // already canonical
-            Item.SetHash = Hit->SetHash;
-            Item.Interesting.insert(Hit->Interesting.begin(),
-                                    Hit->Interesting.end());
-            Replayed = true;
-            ++Report.Stats.GenCacheHits;
-          } else {
-            ++Report.Stats.GenCacheMisses;
-          }
+          Item.GenKey = KeyHash.digest();
+          Item.HasGenKey = true;
         }
-        if (!Replayed) {
+        Items.push_back(std::move(Item));
+      }
+
+      // Prefetch-decode this wave's generation payloads on the pool: the
+      // META prefix only — set hash, interesting/callsite variables,
+      // constraint count — straight off the mapped store bytes. No
+      // constraint set is materialized; the residual decode happens
+      // inside a simplify/solve worker if (and only if) a downstream
+      // probe misses, overlapping it with that wave's compute.
+      if (Cache) {
+        for (P1Item &Item : Items)
+          if (Item.HasGenKey)
+            Pool.submit([&] {
+              Item.Meta = Cache->lookupGenMeta(Item.GenKey, S, Lat);
+            });
+        Pool.waitAll();
+      }
+
+      for (P1Item &Item : Items) {
+        if (Item.Meta) {
+          // Replayed: adopt the meta; the constraints stay encoded until
+          // a scheme or solution probe actually needs them.
+          Item.SetHash = Item.Meta->SetHash;
+          Item.Interesting.insert(Item.Meta->Interesting.begin(),
+                                  Item.Meta->Interesting.end());
+          Item.ConstraintCount =
+              static_cast<size_t>(Item.Meta->ConstraintCount);
+          ++Report.Stats.GenCacheHits;
+        } else {
+          if (Item.HasGenKey)
+            ++Report.Stats.GenCacheMisses;
+          const std::vector<uint32_t> &AllMembers = CG.sccs()[Item.Scc];
+          std::set<uint32_t> Mates(AllMembers.begin(), AllMembers.end());
           std::vector<TypeVariable> Callsites;
           for (uint32_t F : Item.Members) {
             GenResult R = Gen.generate(F, Schemes, Mates);
@@ -751,6 +798,8 @@ const TypeReport &AnalysisSession::analyze() {
           // *set*, which both the cache and incremental reuse depend on —
           // with no canonical text ever materialized.
           Item.Combined.canonicalize(S, Lat);
+          Item.HasCombined = true;
+          Item.ConstraintCount = Item.Combined.size();
           if (Cache) {
             {
               ScopedPhaseTimer HashTimer("cache.hash");
@@ -758,12 +807,11 @@ const TypeReport &AnalysisSession::analyze() {
             }
             std::vector<TypeVariable> Interesting(Item.Interesting.begin(),
                                                   Item.Interesting.end());
-            Cache->insertGen(GenKey, Item.Combined, Item.SetHash,
+            Cache->insertGen(Item.GenKey, Item.Combined, Item.SetHash,
                              Interesting, Callsites, S, Lat);
           }
         }
-        Report.ConstraintsGenerated += Item.Combined.size();
-        Items.push_back(std::move(Item));
+        Report.ConstraintsGenerated += Item.ConstraintCount;
       }
       Report.Stats.GenerateSecs += secondsSince(T0);
     }
@@ -771,26 +819,66 @@ const TypeReport &AnalysisSession::analyze() {
     {
       Clock::time_point T0 = Clock::now();
       ScopedPhaseTimer Timer("pipeline.simplify");
-      for (P1Item &Item : Items) {
-        Pool.submit([&] {
-          const std::vector<uint32_t> &AllMembers = CG.sccs()[Item.Scc];
-          // One structural hash per SCC (computed during generation above)
-          // keys every member's cache probe.
-          Item.Schemes.resize(Item.Members.size());
-          for (size_t I = 0; I < Item.Members.size(); ++I) {
-            uint32_t F = Item.Members[I];
-            // The member's scheme keeps its SCC-mates and globals
-            // interesting.
-            std::unordered_set<TypeVariable> Keep = Item.Interesting;
-            for (uint32_t Mate : AllMembers)
-              if (Mate != F)
-                Keep.insert(Gen.procVar(Mate));
-            Item.Schemes[I] = summarize(Item.Combined, Item.SetHash,
-                                        Gen.procVar(F), Keep, Simp, Cache);
+      // Simplifies every member of one item; returns false when the item
+      // needed its (lazily replayed) constraint set but the cache entry
+      // vanished between the meta probe and the residual decode.
+      auto simplifyItem = [&](P1Item &Item) -> bool {
+        const std::vector<uint32_t> &AllMembers = CG.sccs()[Item.Scc];
+        Item.Schemes.resize(Item.Members.size());
+        // The residual decode, run at most once per SCC and only when a
+        // member's scheme probe misses: the fully warm path hands every
+        // member a cache hit and never touches the constraint set.
+        auto Constraints = [&]() -> const ConstraintSet * {
+          if (!Item.HasCombined) {
+            auto Replay = Cache->materializeGen(Item.GenKey, S, Lat);
+            if (!Replay)
+              return nullptr;
+            Item.Combined = std::move(Replay->C); // already canonical
+            Item.HasCombined = true;
           }
-        });
+          return &Item.Combined;
+        };
+        for (size_t I = 0; I < Item.Members.size(); ++I) {
+          uint32_t F = Item.Members[I];
+          // The member's scheme keeps its SCC-mates and globals
+          // interesting. One structural hash per SCC (computed during
+          // generation above) keys every member's cache probe.
+          std::unordered_set<TypeVariable> Keep = Item.Interesting;
+          for (uint32_t Mate : AllMembers)
+            if (Mate != F)
+              Keep.insert(Gen.procVar(Mate));
+          auto Scheme = summarize(Constraints, Item.SetHash, Gen.procVar(F),
+                                  Keep, Simp, Cache);
+          if (!Scheme)
+            return false;
+          Item.Schemes[I] = std::move(*Scheme);
+        }
+        return true;
+      };
+      for (P1Item &Item : Items) {
+        Pool.submit([&] { Item.SimplifyFailed = !simplifyItem(Item); });
       }
       Pool.waitAll();
+      // Fallback for vanished gen entries (evicted or pruned since the
+      // meta probe): regenerate the set — deterministic, so identical to
+      // what the replay would have produced — and redo the item inline.
+      for (P1Item &Item : Items) {
+        if (!Item.SimplifyFailed)
+          continue;
+        const std::vector<uint32_t> &AllMembers = CG.sccs()[Item.Scc];
+        std::set<uint32_t> Mates(AllMembers.begin(), AllMembers.end());
+        Item.Combined = ConstraintSet();
+        for (uint32_t F : Item.Members) {
+          GenResult R = Gen.generate(F, Schemes, Mates);
+          if (Item.Members.size() == 1)
+            Item.Combined = std::move(R.C);
+          else
+            Item.Combined.merge(R.C);
+        }
+        Item.Combined.canonicalize(S, Lat);
+        Item.HasCombined = true;
+        Item.SimplifyFailed = !simplifyItem(Item);
+      }
       Report.Stats.SimplifySecs += secondsSince(T0);
     }
 
@@ -798,9 +886,10 @@ const TypeReport &AnalysisSession::analyze() {
     for (P1Item &Item : Items) {
       SccArtifact Art;
       Art.MemberNames = Item.MemberNames;
-      Art.ConstraintCount = Item.Combined.size();
+      Art.ConstraintCount = Item.ConstraintCount;
       Art.SetHash = Item.SetHash;
-      Art.Combined = std::move(Item.Combined);
+      Art.GenKey = Item.GenKey;
+      Art.Combined = std::move(Item.Combined); // may still be unmaterialized
       if (KeepHist)
         Art.MemberSchemes = Item.Schemes; // keep a replayable copy
       // Carry the previous run's callsite records forward (same member
@@ -859,7 +948,9 @@ const TypeReport &AnalysisSession::analyze() {
     PrepTimer.emplace("pipeline.solveprep");
     for (uint32_t Scc : Wave) {
       SccArtifact *Art = ArtOfScc[Scc];
-      if (!Art || Art->Combined.empty())
+      // ConstraintCount, not Combined.empty(): a fully warm SCC keeps its
+      // constraint set unmaterialized, but it still must be solved.
+      if (!Art || Art->ConstraintCount == 0)
         continue;
 
       P2Item Item;
@@ -956,10 +1047,44 @@ const TypeReport &AnalysisSession::analyze() {
                 return;
               }
             }
-            Item.Sol =
-                Solver.solve(ArtOfScc[Item.Scc]->Combined, Item.Wanted);
+            SccArtifact *Art = ArtOfScc[Item.Scc];
+            // Residual decode: the solution probe missed, so the solver
+            // really needs the constraint set this SCC's meta probe left
+            // unmaterialized. (Items don't share SCCs, so writing the
+            // artifact here is race-free.)
+            if (Art->Combined.empty() && Cache && Art->GenKey != Hash128{})
+              if (auto Replay =
+                      Cache->materializeGen(Art->GenKey, *Syms, Lat))
+                Art->Combined = std::move(Replay->C);
+            if (Art->Combined.empty()) {
+              Item.NeedGen = true; // gen entry vanished; main thread below
+              return;
+            }
+            Item.Sol = Solver.solve(Art->Combined, Item.Wanted);
           });
       Pool.waitAll();
+      // Fallback for vanished gen entries: regenerate deterministically on
+      // the main thread and solve inline (rare — requires eviction between
+      // the meta probe and this wave).
+      for (P2Item &Item : Work) {
+        if (!Item.NeedGen)
+          continue;
+        SccArtifact *Art = ArtOfScc[Item.Scc];
+        const std::vector<uint32_t> &AllMembers = CG.sccs()[Item.Scc];
+        std::set<uint32_t> Mates(AllMembers.begin(), AllMembers.end());
+        ConstraintSet C;
+        for (uint32_t F : Item.Members) {
+          GenResult R = Gen.generate(F, Schemes, Mates);
+          if (Item.Members.size() == 1)
+            C = std::move(R.C);
+          else
+            C.merge(R.C);
+        }
+        C.canonicalize(S, Lat);
+        Art->Combined = std::move(C);
+        Item.Sol = Solver.solve(Art->Combined, Item.Wanted);
+        Item.NeedGen = false;
+      }
       Report.Stats.SolveSecs += secondsSince(T0);
     }
 
@@ -1138,9 +1263,9 @@ const TypeReport &AnalysisSession::analyze() {
   Report.Stats.StoreAppends =
       EventCounters::StoreAppends.load(std::memory_order_relaxed) -
       StoreAppends0;
-  Report.Stats.DecodeMemoHits =
-      EventCounters::DecodeMemoHits.load(std::memory_order_relaxed) -
-      MemoHits0;
+  Report.Stats.PoolBindHits =
+      EventCounters::PoolBindHits.load(std::memory_order_relaxed) -
+      PoolBindHits0;
 
   Analyzed = true;
   return Report;

@@ -56,6 +56,7 @@
 #include "ctypes/Conversion.h"
 #include "mir/MIR.h"
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -83,11 +84,11 @@ struct PipelineStats {
   uint64_t GenCacheMisses = 0;
   /// Artifact-store traffic this run (zero without an attached store):
   /// probes served zero-copy from the mapped store, records journaled by
-  /// the end-of-run flush, and probes answered straight from the
-  /// decoded-payload memo without touching the codec.
+  /// the end-of-run flush, and store decodes whose names resolved through
+  /// the pool translation table — no per-payload string hashing.
   uint64_t StoreHits = 0;
   uint64_t StoreAppends = 0;
-  uint64_t DecodeMemoHits = 0;
+  uint64_t PoolBindHits = 0;
 
   // --- Incremental re-analysis counters (all zero on a first run) ---
   /// Whether this run could draw on a previous run's artifacts.
@@ -303,10 +304,17 @@ private:
   struct FuncSnapshot;
 
   SummaryCache *activeCache();
-  TypeScheme summarize(const ConstraintSet &Combined, const Hash128 &SetHash,
-                       TypeVariable ProcVar,
-                       const std::unordered_set<TypeVariable> &Keep,
-                       Simplifier &Simp, SummaryCache *Cache);
+  /// Probes the scheme cache, then simplifies on a miss. \p Constraints is
+  /// invoked only on that miss — the fully warm path never materializes a
+  /// constraint set — and may return nullptr when a lazily-replayed set
+  /// can no longer be materialized (cache entry evicted since the meta
+  /// probe), in which case summarize returns nullopt and the caller
+  /// regenerates.
+  std::optional<TypeScheme>
+  summarize(const std::function<const ConstraintSet *()> &Constraints,
+            const Hash128 &SetHash, TypeVariable ProcVar,
+            const std::unordered_set<TypeVariable> &Keep, Simplifier &Simp,
+            SummaryCache *Cache);
   Sketch refineSketch(Sketch Sk, uint32_t FuncId,
                       const std::vector<Sketch> &Actuals) const;
   SessionQuery<std::string> queryGate(uint32_t FuncId) const;

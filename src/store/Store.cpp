@@ -3,6 +3,7 @@
 #include "store/Store.h"
 
 #include "support/Crc32c.h"
+#include "support/Endian.h"
 #include "support/Stats.h"
 
 #include <algorithm>
@@ -34,16 +35,8 @@ constexpr size_t kMinRecordBytes = 1 + 16 + 4 + 1;
 /// Sanity cap on a record body; a corrupt length beyond this is treated
 /// as a torn tail rather than a multi-GB skip.
 constexpr size_t kMaxBodyBytes = size_t(1) << 30;
-
-void putU32(std::string &Out, uint32_t V) {
-  for (int I = 0; I < 4; ++I)
-    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
-}
-
-void putU64(std::string &Out, uint64_t V) {
-  for (int I = 0; I < 8; ++I)
-    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
-}
+/// Sanity cap on a pool name; same torn-tail treatment.
+constexpr size_t kMaxPoolNameBytes = size_t(1) << 20;
 
 void putLeb(std::string &Out, uint64_t V) {
   do {
@@ -53,19 +46,6 @@ void putLeb(std::string &Out, uint64_t V) {
       B |= 0x80;
     Out.push_back(static_cast<char>(B));
   } while (V);
-}
-
-uint32_t getU32(const unsigned char *P) {
-  return static_cast<uint32_t>(P[0]) | (static_cast<uint32_t>(P[1]) << 8) |
-         (static_cast<uint32_t>(P[2]) << 16) |
-         (static_cast<uint32_t>(P[3]) << 24);
-}
-
-uint64_t getU64(const unsigned char *P) {
-  uint64_t V = 0;
-  for (int I = 7; I >= 0; --I)
-    V = (V << 8) | P[I];
-  return V;
 }
 
 /// Serializes one record. The CRC covers kind, key, the LEB length
@@ -79,14 +59,14 @@ size_t serializeRecord(std::string &Out, const Hash128 &K,
   Crc32c C;
   C.updateByte(Kind);
   std::string KeyBytes;
-  putU64(KeyBytes, K.Hi);
-  putU64(KeyBytes, K.Lo);
+  appendLE64(KeyBytes, K.Hi);
+  appendLE64(KeyBytes, K.Lo);
   C.update(KeyBytes);
   C.update(Leb);
   C.update(Body);
   Out.push_back(static_cast<char>(Kind));
   Out += KeyBytes;
-  putU32(Out, C.value());
+  appendLE32(Out, C.value());
   Out += Leb;
   size_t BodyOff = Out.size();
   Out.append(Body.data(), Body.size());
@@ -117,9 +97,9 @@ size_t scanRecords(std::string_view Bytes, size_t From,
     RawRecord R;
     R.Start = Pos;
     R.Kind = Base[Pos];
-    R.Key.Hi = getU64(Base + Pos + 1);
-    R.Key.Lo = getU64(Base + Pos + 9);
-    uint32_t Crc = getU32(Base + Pos + 17);
+    R.Key.Hi = loadLE64(Base + Pos + 1);
+    R.Key.Lo = loadLE64(Base + Pos + 9);
+    uint32_t Crc = loadLE32(Base + Pos + 17);
     size_t LebPos = Pos + 21;
     uint64_t Len = 0;
     unsigned Shift = 0;
@@ -150,6 +130,43 @@ size_t scanRecords(std::string_view Bytes, size_t From,
   return Pos;
 }
 
+/// Scans [From, Bytes.size()) of a pool file for name records
+/// (crc32c:u32le len:u32le bytes[len]; CRC covers len + bytes). A name's
+/// pool id is its ordinal, so a bad record invalidates every id after
+/// it — the scan stops at the first torn OR corrupt record, and records
+/// past that point are unreachable (payloads referencing their ids fail
+/// validation because the pool size excludes them). Returns the valid
+/// end.
+size_t scanPoolRecords(std::string_view Bytes, size_t From,
+                       std::vector<std::string_view> &Out) {
+  size_t Pos = From;
+  const char *Base = Bytes.data();
+  while (Pos + 8 <= Bytes.size()) {
+    uint32_t Crc = loadLE32(Base + Pos);
+    uint64_t Len = loadLE32(Base + Pos + 4);
+    if (Len > kMaxPoolNameBytes || Len > Bytes.size() - Pos - 8)
+      break;
+    Crc32c C;
+    C.update(Base + Pos + 4, 4 + Len);
+    if (C.value() != Crc)
+      break;
+    Out.push_back(Bytes.substr(Pos + 8, Len));
+    Pos += 8 + Len;
+  }
+  return Pos;
+}
+
+/// Serializes one pool name record.
+void serializePoolRecord(std::string &Out, std::string_view Name) {
+  std::string Framed;
+  appendLE32(Framed, static_cast<uint32_t>(Name.size()));
+  Framed.append(Name.data(), Name.size());
+  Crc32c C;
+  C.update(Framed);
+  appendLE32(Out, C.value());
+  Out += Framed;
+}
+
 //===----------------------------------------------------------------------===//
 // MANIFEST and segment headers
 //===----------------------------------------------------------------------===//
@@ -158,6 +175,7 @@ struct ManifestData {
   unsigned FormatVersion = 0;
   unsigned SchemaVersion = 0;
   uint64_t Generation = 0;
+  std::string PoolName; ///< name-pool file ("" when none exists yet)
   std::vector<std::string> SegmentNames;
 };
 
@@ -235,15 +253,26 @@ ManifestStatus readManifest(const std::string &Path, unsigned WantSchema,
         return ManifestStatus::Unrecognized;
       }
       Out.SegmentNames.push_back(std::move(Name));
+    } else if (std::sscanf(Line.c_str(), "pool %255s", NameBuf) == 1) {
+      std::string Name = NameBuf;
+      if (Name.find('/') != std::string::npos || !Out.PoolName.empty()) {
+        if (Err)
+          *Err = "malformed MANIFEST: bad pool line '" + Line + "'";
+        return ManifestStatus::Unrecognized;
+      }
+      Out.PoolName = std::move(Name);
     } else {
       if (Err)
         *Err = "malformed MANIFEST line: " + Line;
       return ManifestStatus::Unrecognized;
     }
   }
-  if (!HaveGen || Out.SegmentNames.empty()) {
+  // Zero segment lines is a valid empty store: the state between writing
+  // the MANIFEST and the first flush, and what external tooling may leave
+  // behind. Only a missing generation makes the file malformed.
+  if (!HaveGen) {
     if (Err)
-      *Err = "malformed MANIFEST: missing generation or segments";
+      *Err = "malformed MANIFEST: missing generation";
     return ManifestStatus::Unrecognized;
   }
   return ManifestStatus::Ok;
@@ -253,6 +282,8 @@ std::string renderManifest(const ManifestData &MD) {
   std::string Out = "retypd-store v" + std::to_string(MD.FormatVersion) +
                     " schema " + std::to_string(MD.SchemaVersion) + "\n" +
                     "generation " + std::to_string(MD.Generation) + "\n";
+  if (!MD.PoolName.empty())
+    Out += "pool " + MD.PoolName + "\n";
   for (const std::string &N : MD.SegmentNames)
     Out += "segment " + N + "\n";
   return Out;
@@ -272,6 +303,25 @@ size_t parseSegmentHeader(std::string_view Bytes, unsigned WantSchema) {
   std::string Line(Bytes.substr(0, Nl));
   unsigned V = 0, S = 0;
   if (std::sscanf(Line.c_str(), "retypd-segment v%u schema %u", &V, &S) != 2)
+    return 0;
+  if (V != kStoreFormatVersion || (WantSchema != 0 && S != WantSchema))
+    return 0;
+  return Nl + 1;
+}
+
+std::string poolHeader(unsigned SchemaVersion) {
+  return "retypd-pool v" + std::to_string(kStoreFormatVersion) + " schema " +
+         std::to_string(SchemaVersion) + "\n";
+}
+
+/// Parses a pool file's header line; same contract as parseSegmentHeader.
+size_t parsePoolHeader(std::string_view Bytes, unsigned WantSchema) {
+  size_t Nl = Bytes.substr(0, 64).find('\n');
+  if (Nl == std::string_view::npos)
+    return 0;
+  std::string Line(Bytes.substr(0, Nl));
+  unsigned V = 0, S = 0;
+  if (std::sscanf(Line.c_str(), "retypd-pool v%u schema %u", &V, &S) != 2)
     return 0;
   if (V != kStoreFormatVersion || (WantSchema != 0 && S != WantSchema))
     return 0;
@@ -381,6 +431,13 @@ std::string segmentName(uint64_t Gen, uint64_t Seq) {
   std::snprintf(Buf, sizeof(Buf), "seg-%06llx-%06llx.rseg",
                 static_cast<unsigned long long>(Gen),
                 static_cast<unsigned long long>(Seq));
+  return Buf;
+}
+
+std::string poolFileName(uint64_t Gen) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "pool-%06llx.rpool",
+                static_cast<unsigned long long>(Gen));
   return Buf;
 }
 
@@ -503,6 +560,69 @@ bool Store::remapSegment(Segment &S, std::string *Err) {
   return true;
 }
 
+bool Store::loadPoolLocked(const std::string &Name, std::string *Err) {
+  if (Name.empty()) {
+    if (!PoolNames.empty())
+      ++PoolEpoch;
+    PoolNames.clear();
+    PoolIds.clear();
+    PoolName.clear();
+    PoolValidEnd = 0;
+    PoolSynced = 0;
+    return true;
+  }
+  if (Name == PoolName) {
+    // Same file: it is append-only, so if it has not grown there is
+    // nothing to do, and if it has, only the tail needs scanning.
+    std::error_code EC;
+    uintmax_t Sz = fs::file_size(Dir + "/" + Name, EC);
+    if (!EC && Sz == PoolValidEnd)
+      return true;
+  }
+  std::string Bytes = slurpFile(Dir + "/" + Name);
+  bool TailOnly = Name == PoolName && Bytes.size() >= PoolValidEnd;
+  size_t From = PoolValidEnd;
+  if (!TailOnly) {
+    From = parsePoolHeader(Bytes, Opts.SchemaVersion);
+    if (From == 0) {
+      if (Err)
+        *Err = "pool " + Name + " has a bad header";
+      return false;
+    }
+  }
+  std::vector<std::string_view> Scanned;
+  size_t ValidEnd = scanPoolRecords(Bytes, From, Scanned);
+  if (TailOnly) {
+    for (std::string_view N : Scanned) {
+      std::string Owned(N);
+      PoolIds.emplace(Owned, static_cast<uint32_t>(PoolNames.size()));
+      PoolNames.push_back(std::move(Owned));
+    }
+  } else {
+    // Wholesale (re)load. Translation tables built against the old
+    // contents stay valid only if the new contents extend them — a
+    // compaction carries the pool verbatim, so the common case keeps
+    // the epoch.
+    bool Extends = Scanned.size() >= PoolNames.size();
+    for (size_t I = 0; Extends && I < PoolNames.size(); ++I)
+      Extends = Scanned[I] == PoolNames[I];
+    if (!Extends)
+      ++PoolEpoch;
+    PoolNames.clear();
+    PoolIds.clear();
+    PoolNames.reserve(Scanned.size());
+    for (std::string_view N : Scanned) {
+      std::string Owned(N);
+      PoolIds.emplace(Owned, static_cast<uint32_t>(PoolNames.size()));
+      PoolNames.push_back(std::move(Owned));
+    }
+  }
+  PoolName = Name;
+  PoolValidEnd = ValidEnd;
+  PoolSynced = PoolNames.size();
+  return true;
+}
+
 bool Store::loadViewLocked(std::string *Err) {
   for (Segment &S : Segments)
     S.close();
@@ -519,6 +639,10 @@ bool Store::loadViewLocked(std::string *Err) {
     return false;
   }
   Generation = MD.Generation;
+  // The pool loads BEFORE segments: scan-time payload validation checks
+  // pool-mode name ids against the pool size.
+  if (!loadPoolLocked(MD.PoolName, Err))
+    return false;
   Segments.reserve(MD.SegmentNames.size());
   for (const std::string &Name : MD.SegmentNames) {
     Segments.emplace_back();
@@ -561,6 +685,16 @@ bool Store::scanSegmentTail(size_t SegIdx, std::string *Err) {
   for (const RawRecord &R : Recs) {
     if (R.Corrupt)
       continue; // contained: neighbors still index
+    if (Opts.Validator) {
+      // Structural validation happens HERE, once per record per process
+      // lifetime — lookups then decode through the codec's trusted fast
+      // path. A record that fails is treated exactly like a CRC
+      // mismatch: skipped, neighbors unaffected.
+      EventCounters::SegmentValidates.fetch_add(1, std::memory_order_relaxed);
+      if (!Opts.Validator(S.bytes().substr(R.BodyOff, R.BodyLen),
+                          PoolNames.size()))
+        continue;
+    }
     Index[R.Key] = Loc{static_cast<uint32_t>(SegIdx), R.BodyOff, R.BodyLen};
   }
   return true;
@@ -602,10 +736,12 @@ std::unique_ptr<Store> Store::open(const std::string &Dir,
     // waited for the lock.
     St = readManifest(Dir + "/MANIFEST", Opts.SchemaVersion, MD, &E);
     if (St == ManifestStatus::Stale && Opts.RegenerateStale) {
-      // A stale store is a cold store: drop its segments wholesale.
+      // A stale store is a cold store: drop its segments and pool
+      // wholesale.
       for (const auto &Entry : fs::directory_iterator(Dir, EC)) {
         std::string Name = Entry.path().filename().string();
         if (Entry.path().extension() == ".rseg" ||
+            Entry.path().extension() == ".rpool" ||
             Name.rfind("MANIFEST", 0) == 0)
           fs::remove(Entry.path(), EC);
       }
@@ -648,8 +784,8 @@ Store::PayloadRef Store::lookup(const Hash128 &K) const {
   return R;
 }
 
-bool Store::payloadEquals(const Hash128 &K, std::string_view Bytes) const {
-  std::shared_lock<std::shared_mutex> L(M);
+bool Store::payloadEqualsLocked(const Hash128 &K,
+                                std::string_view Bytes) const {
   auto It = Index.find(K);
   if (It == Index.end())
     return false;
@@ -657,9 +793,32 @@ bool Store::payloadEquals(const Hash128 &K, std::string_view Bytes) const {
   return S.bytes().substr(It->second.BodyOff, It->second.BodyLen) == Bytes;
 }
 
+bool Store::payloadEquals(const Hash128 &K, std::string_view Bytes) const {
+  std::shared_lock<std::shared_mutex> L(M);
+  return payloadEqualsLocked(K, Bytes);
+}
+
 uint64_t Store::generation() const {
   std::shared_lock<std::shared_mutex> L(M);
   return Generation;
+}
+
+uint64_t Store::poolSize() const {
+  std::shared_lock<std::shared_mutex> L(M);
+  return PoolNames.size();
+}
+
+uint64_t Store::poolEpoch() const {
+  std::shared_lock<std::shared_mutex> L(M);
+  return PoolEpoch;
+}
+
+void Store::forEachPoolNameFrom(
+    uint64_t From,
+    const std::function<void(uint64_t, std::string_view)> &Fn) const {
+  std::shared_lock<std::shared_mutex> L(M);
+  for (uint64_t I = From; I < PoolNames.size(); ++I)
+    Fn(I, PoolNames[I]);
 }
 
 size_t Store::keyCount() const {
@@ -694,8 +853,8 @@ std::vector<std::pair<Hash128, size_t>> Store::liveEntries() const {
 // Appends
 //===----------------------------------------------------------------------===//
 
-void Store::append(const Hash128 &K, std::string_view Payload, uint8_t Kind) {
-  std::unique_lock<std::shared_mutex> L(M);
+void Store::appendLocked(const Hash128 &K, std::string_view Payload,
+                         uint8_t Kind) {
   PendingRec R;
   R.Key = K;
   R.BodyOff = serializeRecord(PendingBytes, K, Payload, Kind);
@@ -703,9 +862,39 @@ void Store::append(const Hash128 &K, std::string_view Payload, uint8_t Kind) {
   Pending.push_back(R);
 }
 
+void Store::append(const Hash128 &K, std::string_view Payload, uint8_t Kind) {
+  std::unique_lock<std::shared_mutex> L(M);
+  appendLocked(K, Payload, Kind);
+}
+
 size_t Store::pendingRecords() const {
   std::shared_lock<std::shared_mutex> L(M);
   return Pending.size();
+}
+
+uint32_t Store::poolIdForLocked(std::string_view Name) {
+  std::string Key(Name);
+  auto It = PoolIds.find(Key);
+  if (It != PoolIds.end())
+    return It->second;
+  uint32_t Id = static_cast<uint32_t>(PoolNames.size());
+  PoolIds.emplace(Key, Id);
+  PoolNames.push_back(std::move(Key));
+  return Id;
+}
+
+uint32_t Store::Txn::poolIdFor(std::string_view Name) {
+  return S.poolIdForLocked(Name);
+}
+
+bool Store::Txn::payloadEquals(const Hash128 &K,
+                               std::string_view Bytes) const {
+  return S.payloadEqualsLocked(K, Bytes);
+}
+
+void Store::Txn::append(const Hash128 &K, std::string_view Payload,
+                        uint8_t Kind) {
+  S.appendLocked(K, Payload, Kind);
 }
 
 bool Store::syncLocked(std::string *Err) {
@@ -725,6 +914,14 @@ bool Store::syncLocked(std::string *Err) {
   if (!SameView)
     // Another process rolled a segment or compacted: rebuild wholesale.
     return loadViewLocked(Err);
+  // Pool first (another process may have created or extended it), so a
+  // grown segment tail validates against the matching pool size.
+  if (MD.PoolName != PoolName || !PoolName.empty())
+    if (!loadPoolLocked(MD.PoolName, Err))
+      return false;
+  // An empty store has no tail to rescan.
+  if (Segments.empty())
+    return true;
   // Only the active segment can have grown (appends are tail-only).
   Segment &A = Segments.back();
   struct stat St;
@@ -751,6 +948,83 @@ bool Store::flush(std::string *Err) {
   std::unique_lock<std::shared_mutex> L(M);
   if (Pending.empty())
     return true;
+  return flushLocked(nullptr, Err);
+}
+
+bool Store::flushWith(const std::function<bool(Txn &)> &Fill,
+                      std::string *Err) {
+  std::unique_lock<std::shared_mutex> L(M);
+  return flushLocked(&Fill, Err);
+}
+
+bool Store::writePoolAdditionsLocked(size_t FromId, std::string *Err) {
+  if (PoolNames.size() <= FromId)
+    return true;
+  std::string Bytes;
+  for (size_t I = FromId; I < PoolNames.size(); ++I)
+    serializePoolRecord(Bytes, PoolNames[I]);
+  if (PoolName.empty()) {
+    // First pool for this store: write the file under its final name,
+    // then publish it with a MANIFEST that carries the pool line. Until
+    // that rename lands, no reader sees the pool — and no record
+    // referencing its ids exists yet, because segment records are only
+    // written after this returns.
+    std::string Name = poolFileName(Generation);
+    std::string Content = poolHeader(Opts.SchemaVersion) + Bytes;
+    if (!writeFileDurable(Dir + "/" + Name, Content, Opts.Fsync, Err))
+      return false;
+    ManifestData MD;
+    MD.FormatVersion = kStoreFormatVersion;
+    MD.SchemaVersion = Opts.SchemaVersion;
+    MD.Generation = Generation;
+    MD.PoolName = Name;
+    for (const Segment &S : Segments)
+      MD.SegmentNames.push_back(S.Name);
+    if (!writeManifest(Dir, MD, Opts.Fsync, Err))
+      return false;
+    PoolName = Name;
+    PoolValidEnd = Content.size();
+    PoolSynced = PoolNames.size();
+    return true;
+  }
+  int Fd = ::open((Dir + "/" + PoolName).c_str(), O_RDWR | O_CLOEXEC);
+  if (Fd < 0) {
+    if (Err)
+      *Err = "cannot open pool " + PoolName + ": " + std::strerror(errno);
+    return false;
+  }
+  // Heal a torn pool tail before appending: under the exclusive lock,
+  // bytes past the valid end are debris from a crashed writer.
+  bool Ok = ::ftruncate(Fd, static_cast<off_t>(PoolValidEnd)) == 0;
+  size_t Done = 0;
+  while (Ok && Done < Bytes.size()) {
+    ssize_t N = ::pwrite(Fd, Bytes.data() + Done, Bytes.size() - Done,
+                         static_cast<off_t>(PoolValidEnd + Done));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Ok = false;
+      break;
+    }
+    Done += static_cast<size_t>(N);
+  }
+  // The pool additions are durable BEFORE any segment record that
+  // references them: a crash after this point leaves unused names, never
+  // dangling ids.
+  Ok = Ok && (!Opts.Fsync || ::fdatasync(Fd) == 0);
+  ::close(Fd);
+  if (!Ok) {
+    if (Err)
+      *Err = "cannot append to pool " + PoolName;
+    return false;
+  }
+  PoolValidEnd += Bytes.size();
+  PoolSynced = PoolNames.size();
+  return true;
+}
+
+bool Store::flushLocked(const std::function<bool(Txn &)> *Fill,
+                        std::string *Err) {
   if (ReadOnly) {
     if (Err)
       *Err = "store is read-only";
@@ -762,9 +1036,55 @@ bool Store::flush(std::string *Err) {
   if (!syncLocked(Err))
     return false;
 
+  size_t PoolStart = PoolNames.size();
+  size_t PendStart = Pending.size();
+  size_t PendBytesStart = PendingBytes.size();
+  auto RollbackPool = [&] {
+    for (size_t I = PoolStart; I < PoolNames.size(); ++I)
+      PoolIds.erase(PoolNames[I]);
+    PoolNames.resize(PoolStart);
+  };
+  auto RollbackPending = [&] {
+    Pending.resize(PendStart);
+    PendingBytes.resize(PendBytesStart);
+  };
+
+  if (Fill) {
+    Txn T(*this);
+    if (!(*Fill)(T)) {
+      RollbackPool();
+      RollbackPending();
+      if (Err && Err->empty())
+        *Err = "flush callback failed";
+      return false;
+    }
+  }
+  if (Pending.empty() && PoolNames.size() == PoolStart)
+    return true;
+
+  // Pool additions land first. If this fails, nothing referencing the
+  // new ids was written, so both the names and the staged records roll
+  // back cleanly. Once it succeeds the names are durable and stay —
+  // later failures roll back only the staged records (a retried flush
+  // re-resolves the same names to the same ids).
+  if (!writePoolAdditionsLocked(PoolStart, Err)) {
+    RollbackPool();
+    RollbackPending();
+    return false;
+  }
+  if (Pending.empty())
+    return true;
+  if (!writePendingLocked(Err)) {
+    RollbackPending();
+    return false;
+  }
+  return true;
+}
+
+bool Store::writePendingLocked(std::string *Err) {
   // Heal a torn tail: under the exclusive lock nobody else is mid-append,
   // so bytes past the valid end are debris from a crashed writer.
-  {
+  if (!Segments.empty()) {
     Segment &A = Segments.back();
     if (A.FileBytes > A.ValidEnd) {
       if (::ftruncate(A.Fd, static_cast<off_t>(A.ValidEnd)) != 0) {
@@ -778,13 +1098,18 @@ bool Store::flush(std::string *Err) {
     }
   }
 
-  // Roll to a fresh segment once the active one is oversized. The
-  // MANIFEST gains a segment line (same generation) before any record
-  // lands in the new file, so readers always discover it.
-  if (Segments.back().ValidEnd >= Opts.MaxSegmentBytes) {
-    uint64_t Gen = 0, Seq = 0;
-    parseSegmentName(Segments.back().Name, Gen, Seq);
-    std::string Name = segmentName(Generation, Seq + 1);
+  // Roll to a fresh segment once the active one is oversized — or when
+  // the view has none at all (a MANIFEST-only empty store). The MANIFEST
+  // gains a segment line (same generation) before any record lands in
+  // the new file, so readers always discover it.
+  if (Segments.empty() || Segments.back().ValidEnd >= Opts.MaxSegmentBytes) {
+    uint64_t Seq = 0;
+    if (!Segments.empty()) {
+      uint64_t Gen = 0, PrevSeq = 0;
+      parseSegmentName(Segments.back().Name, Gen, PrevSeq);
+      Seq = PrevSeq + 1;
+    }
+    std::string Name = segmentName(Generation, Seq);
     if (!writeFileDurable(Dir + "/" + Name, segmentHeader(Opts.SchemaVersion),
                           Opts.Fsync, Err))
       return false;
@@ -792,6 +1117,7 @@ bool Store::flush(std::string *Err) {
     MD.FormatVersion = kStoreFormatVersion;
     MD.SchemaVersion = Opts.SchemaVersion;
     MD.Generation = Generation;
+    MD.PoolName = PoolName;
     for (const Segment &S : Segments)
       MD.SegmentNames.push_back(S.Name);
     MD.SegmentNames.push_back(Name);
@@ -916,27 +1242,47 @@ Store::compactImpl(const std::function<bool(const Hash128 &, size_t)> *Keep,
 
   uint64_t NewGen = Generation + 1;
   std::string NewName = segmentName(NewGen, 0);
+  std::string NewPoolName =
+      PoolNames.empty() ? std::string() : poolFileName(NewGen);
 
-  // Old directory footprint: the manifest's segments plus any orphan
-  // segments a killed compaction left behind. A gen+1 orphan shares the
-  // NEW segment's name (this compaction IS that one's retry) — it gets
-  // overwritten below, so it is neither an orphan to delete nor old
-  // bytes to count.
+  // Old directory footprint: the manifest's segments and pool plus any
+  // orphan segments/pools a killed compaction left behind. A gen+1
+  // orphan shares the NEW segment's (or pool's) name (this compaction IS
+  // that one's retry) — it gets overwritten below, so it is neither an
+  // orphan to delete nor old bytes to count.
   size_t OldBytes = 0;
   for (const Segment &S : Segments)
     OldBytes += S.FileBytes;
+  OldBytes += PoolValidEnd;
   std::error_code EC;
   std::vector<std::string> Orphans;
   for (const auto &Entry : fs::directory_iterator(Dir, EC)) {
     std::string Name = Entry.path().filename().string();
-    bool InManifest = Name == NewName;
+    bool InManifest = Name == NewName || Name == NewPoolName ||
+                      (!PoolName.empty() && Name == PoolName);
     for (const Segment &S : Segments)
       InManifest = InManifest || S.Name == Name;
     if (!InManifest && (Entry.path().extension() == ".rseg" ||
+                        Entry.path().extension() == ".rpool" ||
                         Name.rfind("MANIFEST.tmp", 0) == 0)) {
       Orphans.push_back(Name);
       OldBytes += static_cast<size_t>(fs::file_size(Entry.path(), EC));
     }
+  }
+
+  // The pool is carried into the new generation verbatim (same names,
+  // same ids — records keep their pool references bit-for-bit). Written
+  // under its final name BEFORE the MANIFEST flips, same crash
+  // discipline as the segment: a crash leaves an orphan the old
+  // generation never reads.
+  std::string NewPoolBytes;
+  if (!NewPoolName.empty()) {
+    NewPoolBytes = poolHeader(Opts.SchemaVersion);
+    for (const std::string &N : PoolNames)
+      serializePoolRecord(NewPoolBytes, N);
+    if (!writeFileDurable(Dir + "/" + NewPoolName, NewPoolBytes, Opts.Fsync,
+                          Err))
+      return std::nullopt;
   }
   std::string NewBytes = segmentHeader(Opts.SchemaVersion);
   for (const auto &E : Kept) {
@@ -957,22 +1303,25 @@ Store::compactImpl(const std::function<bool(const Hash128 &, size_t)> *Keep,
   MD.FormatVersion = kStoreFormatVersion;
   MD.SchemaVersion = Opts.SchemaVersion;
   MD.Generation = NewGen;
+  MD.PoolName = NewPoolName;
   MD.SegmentNames.push_back(NewName);
   if (!writeManifest(Dir, MD, Opts.Fsync, Err))
     return std::nullopt;
 
   // Point of no return: the new generation is durable. Retire the old
-  // segments and any orphans (readers that mmapped them keep their
-  // mappings — unlink does not invalidate established maps).
+  // segments, the old pool, and any orphans (readers that mmapped them
+  // keep their mappings — unlink does not invalidate established maps).
   for (Segment &S : Segments) {
     std::string Name = S.Name;
     S.close();
     fs::remove(Dir + "/" + Name, EC);
   }
+  if (!PoolName.empty() && PoolName != NewPoolName)
+    fs::remove(Dir + "/" + PoolName, EC);
   for (const std::string &Name : Orphans)
     fs::remove(Dir + "/" + Name, EC);
-  Out.ReclaimedBytes =
-      OldBytes > NewBytes.size() ? OldBytes - NewBytes.size() : 0;
+  size_t NewTotal = NewBytes.size() + NewPoolBytes.size();
+  Out.ReclaimedBytes = OldBytes > NewTotal ? OldBytes - NewTotal : 0;
   Out.Generation = NewGen;
 
   Pending.clear();
@@ -992,6 +1341,21 @@ Store::compactImpl(const std::function<bool(const Hash128 &, size_t)> *Keep,
 bool Store::looksLikeStoreDir(const std::string &Path) {
   std::error_code EC;
   return fs::is_directory(Path, EC);
+}
+
+bool Store::isUninitializedDir(const std::string &Path) {
+  std::error_code EC;
+  if (!fs::exists(Path, EC))
+    return true;
+  if (!fs::is_directory(Path, EC))
+    return false;
+  for (const auto &Entry : fs::directory_iterator(Path, EC)) {
+    std::string Name = Entry.path().filename().string();
+    if (Name == "LOCK")
+      continue; // a concurrent open's lock file does not make it a store
+    return false;
+  }
+  return true;
 }
 
 StoreInfo Store::inspect(const std::string &Dir, unsigned SchemaVersion) {
@@ -1021,6 +1385,16 @@ StoreInfo Store::inspect(const std::string &Dir, unsigned SchemaVersion) {
     return Info;
   }
   Info.Generation = MD.Generation;
+  if (!MD.PoolName.empty()) {
+    std::string PoolBytes = slurpFile(Dir + "/" + MD.PoolName);
+    Info.PoolBytes = PoolBytes.size();
+    size_t H = parsePoolHeader(PoolBytes, MD.SchemaVersion);
+    if (H != 0) {
+      std::vector<std::string_view> Names;
+      scanPoolRecords(PoolBytes, H, Names);
+      Info.PoolNames = Names.size();
+    }
+  }
 
   // Scan every segment, then attribute live/dead per segment: the live
   // record for a key is the LAST frame-valid one in manifest+file order.

@@ -36,6 +36,7 @@
 ///
 ///   MANIFEST                        retypd-store v1 schema <S>
 ///                                   generation <G>
+///                                   pool <name>           (at most one)
 ///                                   segment <name>        (one per line;
 ///                                   ...                    last = active)
 ///   LOCK                            empty flock target for appenders
@@ -45,6 +46,14 @@
 ///
 ///   record := kind:u8  key:u64le*2  crc32c:u32le  len:LEB128  body[len]
 ///
+///   pool-<gen%06x>.rpool            the name pool: one header line
+///                                   ("retypd-pool v1 schema <S>"), then
+///                                   append-only name records back to
+///                                   back; a name's pool id is its
+///                                   ordinal in the file:
+///
+///   name := crc32c:u32le  len:u32le  bytes[len]
+///
 /// The CRC covers kind, key, the LEB length bytes, and the body, so any
 /// torn or flipped byte in a record is detected without trusting the
 /// record's own framing. `schema` tracks the payload codec version
@@ -52,6 +61,17 @@
 /// older codec is stale wholesale — same philosophy as the cache file
 /// header — and is either refused with an actionable message or, when
 /// the caller opts in (the analyze path), reinitialized empty.
+///
+/// The name pool makes payload name resolution a batch operation: pool-
+/// mode payloads reference names as u32 ids into the pool, and a reader
+/// interns each pool name exactly once per store generation (building an
+/// id -> SymbolId translation table) instead of hashing strings out of
+/// every payload. Pool ids are assigned under the flush lock and the
+/// pool records are fdatasync'd BEFORE any segment record that uses them
+/// lands, so a published payload can never reference a name id the pool
+/// does not durably hold. Compaction carries the pool verbatim into a
+/// generation-stamped successor file before the MANIFEST flips, same
+/// crash discipline as segments.
 ///
 /// Thread safety: one `Store` object may be shared by the pipeline's
 /// worker threads. Lookups take a shared lock (the returned `PayloadRef`
@@ -97,6 +117,14 @@ struct StoreOptions {
   /// off so they can report instead of destroy. Newer-than-this-binary
   /// stores are never touched.
   bool RegenerateStale = false;
+  /// Structural payload validator, run ONCE per frame-valid record at
+  /// segment scan (open/sync) with the payload bytes and the pool size
+  /// visible at that point. Records it rejects are not indexed — exactly
+  /// like a CRC mismatch, contained per record. With a validator
+  /// installed, lookups may decode through the codec's trusted fast path
+  /// (no per-probe validation); EventCounters::SegmentValidates counts
+  /// the scan-time runs.
+  std::function<bool(std::string_view Payload, uint64_t PoolSize)> Validator;
 };
 
 /// Per-segment accounting from Store::inspect.
@@ -122,6 +150,8 @@ struct StoreInfo {
   size_t KeyCount = 0; ///< distinct live keys across segments
   size_t LiveBytes = 0;
   size_t DeadBytes = 0;
+  size_t PoolNames = 0; ///< valid name records in the pool file
+  size_t PoolBytes = 0; ///< pool file size on disk
   std::vector<StoreSegmentInfo> Segments;
 };
 
@@ -185,6 +215,58 @@ public:
   /// index. Counted on EventCounters::StoreAppends per record written.
   bool flush(std::string *Err = nullptr);
 
+  /// The write half of a flushWith() call: a scope in which the caller
+  /// builds records against the LOCKED, freshly synced store — so pool
+  /// id assignment and duplicate checks are race-free across processes.
+  class Txn {
+  public:
+    /// The pool id for \p Name, assigning the next ordinal on first use.
+    /// Ids handed out here become durable before any record appended
+    /// through this transaction.
+    uint32_t poolIdFor(std::string_view Name);
+    /// True when the live payload for \p K equals \p Bytes exactly —
+    /// checked against the synced view, so a record another process just
+    /// published is seen.
+    bool payloadEquals(const Hash128 &K, std::string_view Bytes) const;
+    /// Buffers one record for this flush.
+    void append(const Hash128 &K, std::string_view Payload, uint8_t Kind = 0);
+
+  private:
+    friend class Store;
+    explicit Txn(Store &S) : S(S) {}
+    Store &S;
+  };
+
+  /// Locked flush with a build callback: takes the advisory file lock,
+  /// syncs, then runs \p Fill(Txn) to stage records (and pool names),
+  /// then writes pool additions — fdatasync'd FIRST — followed by the
+  /// segment records. If \p Fill returns false or any write fails, pool
+  /// ids assigned by this transaction and records it staged are rolled
+  /// back. Records append()ed before the call are flushed too.
+  bool flushWith(const std::function<bool(Txn &)> &Fill,
+                 std::string *Err = nullptr);
+
+  /// Number of names in the (synced) pool. Ids < poolSize() are valid.
+  uint64_t poolSize() const;
+
+  /// Streams pool names with id >= \p From, in id order, under the
+  /// store's shared lock. The summary cache batch-extends its pool ->
+  /// SymbolTable translation table with this. Do not call with a
+  /// PayloadRef alive (both take the same shared mutex).
+  void forEachPoolNameFrom(
+      uint64_t From,
+      const std::function<void(uint64_t Id, std::string_view Name)> &Fn) const;
+
+  /// Bumped whenever a reload replaces pool contents with something that
+  /// is NOT a pure extension of what we had (compaction by another
+  /// process, wholesale reload). Translation tables built against an
+  /// older epoch must be discarded; tables from the same epoch are valid
+  /// prefixes and only need extending.
+  uint64_t poolEpoch() const;
+
+  /// True when a Validator is installed (every indexed record passed it).
+  bool validatesPayloads() const { return static_cast<bool>(Opts.Validator); }
+
   /// Re-reads MANIFEST and the active segment tail to pick up work other
   /// processes published. Lock-free on disk (readers never block).
   bool refresh(std::string *Err = nullptr);
@@ -219,6 +301,13 @@ public:
   /// store — used by the CLI to route `cache` verbs.
   static bool looksLikeStoreDir(const std::string &Path);
 
+  /// True when \p Path is absent or an empty directory (a leftover LOCK
+  /// file is tolerated) — the state a `--store` path is in before the
+  /// first analyze. The CLI reports such directories as a clean empty
+  /// store instead of an error, and must NOT initialize them: a read
+  /// verb against a mistyped path should leave no files behind.
+  static bool isUninitializedDir(const std::string &Path);
+
 private:
   struct Segment;
   struct Loc {
@@ -233,6 +322,13 @@ private:
   bool syncLocked(std::string *Err);
   bool scanSegmentTail(size_t SegIdx, std::string *Err);
   bool remapSegment(Segment &S, std::string *Err);
+  bool loadPoolLocked(const std::string &Name, std::string *Err);
+  bool flushLocked(const std::function<bool(Txn &)> *Fill, std::string *Err);
+  bool writePoolAdditionsLocked(size_t FromId, std::string *Err);
+  bool writePendingLocked(std::string *Err);
+  bool payloadEqualsLocked(const Hash128 &K, std::string_view Bytes) const;
+  uint32_t poolIdForLocked(std::string_view Name);
+  void appendLocked(const Hash128 &K, std::string_view Payload, uint8_t Kind);
   std::optional<StoreCompactResult>
   compactImpl(const std::function<bool(const Hash128 &, size_t)> *Keep,
               std::string *Err);
@@ -245,6 +341,16 @@ private:
   std::vector<Segment> Segments;
   std::unordered_map<Hash128, Loc, Hash128Hasher> Index;
   bool ReadOnly = false;
+
+  /// The name pool, mirrored from the pool file. PoolNames[id] holds the
+  /// bytes; PoolIds is the reverse map (owning keys — PoolNames entries
+  /// can move when the vector grows, so views into them are not stable).
+  std::vector<std::string> PoolNames;
+  std::unordered_map<std::string, uint32_t> PoolIds;
+  std::string PoolName;     ///< pool file name from MANIFEST ("" = none)
+  size_t PoolValidEnd = 0;  ///< byte offset scanned so far in pool file
+  uint64_t PoolEpoch = 0;   ///< bumped on non-extension reloads
+  size_t PoolSynced = 0;    ///< names that exist durably in the file
 
   std::string PendingBytes; ///< serialized records awaiting flush
   struct PendingRec {

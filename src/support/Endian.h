@@ -1,0 +1,86 @@
+//===- Endian.h - Alignment-safe little-endian accessors ------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// memcpy-based little-endian loads and stores. The binary data plane reads
+/// fixed-layout records directly out of memory-mapped store segments, where
+/// a u32/u64 field can sit at ANY byte offset — a `reinterpret_cast` load
+/// there is undefined behavior (misaligned access) even on architectures
+/// that happen to tolerate it. memcpy through these helpers compiles to the
+/// same single load instruction on every target we care about, and is what
+/// the UBSan (alignment) CI job certifies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_SUPPORT_ENDIAN_H
+#define RETYPD_SUPPORT_ENDIAN_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace retypd {
+
+inline uint16_t loadLE16(const void *P) {
+  unsigned char B[2];
+  std::memcpy(B, P, 2);
+  return static_cast<uint16_t>(B[0]) | static_cast<uint16_t>(B[1]) << 8;
+}
+
+inline uint32_t loadLE32(const void *P) {
+  unsigned char B[4];
+  std::memcpy(B, P, 4);
+  return static_cast<uint32_t>(B[0]) | static_cast<uint32_t>(B[1]) << 8 |
+         static_cast<uint32_t>(B[2]) << 16 | static_cast<uint32_t>(B[3]) << 24;
+}
+
+inline uint64_t loadLE64(const void *P) {
+  unsigned char B[8];
+  std::memcpy(B, P, 8);
+  uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = V << 8 | B[I];
+  return V;
+}
+
+inline void storeLE16(void *P, uint16_t V) {
+  unsigned char B[2] = {static_cast<unsigned char>(V),
+                        static_cast<unsigned char>(V >> 8)};
+  std::memcpy(P, B, 2);
+}
+
+inline void storeLE32(void *P, uint32_t V) {
+  unsigned char B[4] = {static_cast<unsigned char>(V),
+                        static_cast<unsigned char>(V >> 8),
+                        static_cast<unsigned char>(V >> 16),
+                        static_cast<unsigned char>(V >> 24)};
+  std::memcpy(P, B, 4);
+}
+
+inline void storeLE64(void *P, uint64_t V) {
+  unsigned char B[8];
+  for (int I = 0; I < 8; ++I)
+    B[I] = static_cast<unsigned char>(V >> (8 * I));
+  std::memcpy(P, B, 8);
+}
+
+/// Appends a little-endian u32 to a byte string.
+inline void appendLE32(std::string &Out, uint32_t V) {
+  char B[4];
+  storeLE32(B, V);
+  Out.append(B, 4);
+}
+
+/// Appends a little-endian u64 to a byte string.
+inline void appendLE64(std::string &Out, uint64_t V) {
+  char B[8];
+  storeLE64(B, V);
+  Out.append(B, 8);
+}
+
+} // namespace retypd
+
+#endif // RETYPD_SUPPORT_ENDIAN_H

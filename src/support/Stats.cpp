@@ -39,7 +39,9 @@ std::atomic<uint64_t> EventCounters::StoreHits{0};
 std::atomic<uint64_t> EventCounters::StoreAppends{0};
 std::atomic<uint64_t> EventCounters::StoreCompactions{0};
 std::atomic<uint64_t> EventCounters::StorePayloadCopies{0};
-std::atomic<uint64_t> EventCounters::DecodeMemoHits{0};
+std::atomic<uint64_t> EventCounters::SegmentValidates{0};
+std::atomic<uint64_t> EventCounters::PoolBinds{0};
+std::atomic<uint64_t> EventCounters::PoolBindHits{0};
 
 void EventCounters::reset() {
   ConstraintParseCalls.store(0, std::memory_order_relaxed);
@@ -51,7 +53,9 @@ void EventCounters::reset() {
   StoreAppends.store(0, std::memory_order_relaxed);
   StoreCompactions.store(0, std::memory_order_relaxed);
   StorePayloadCopies.store(0, std::memory_order_relaxed);
-  DecodeMemoHits.store(0, std::memory_order_relaxed);
+  SegmentValidates.store(0, std::memory_order_relaxed);
+  PoolBinds.store(0, std::memory_order_relaxed);
+  PoolBindHits.store(0, std::memory_order_relaxed);
 }
 
 namespace {

@@ -67,10 +67,18 @@ struct EventCounters {
   static std::atomic<uint64_t> StoreAppends;
   static std::atomic<uint64_t> StoreCompactions;
   static std::atomic<uint64_t> StorePayloadCopies;
-  /// Probes answered from SummaryCache's decoded-payload memo: the value
-  /// was returned without re-running the binary codec at all (the
-  /// re-analysis-after-invalidate() fast path).
-  static std::atomic<uint64_t> DecodeMemoHits;
+  /// Store records validated structurally at segment-open (scan time).
+  /// With open-time validation in place, per-lookup decodes run the
+  /// trusted fast path — so this counter plus SchemeDecodes together
+  /// prove validation happened exactly once per record, not per probe.
+  static std::atomic<uint64_t> SegmentValidates;
+  /// Name-pool binding counters. PoolBinds counts pool names translated
+  /// to SymbolTable ids (batch interning at first use per store
+  /// generation); PoolBindHits counts store probes whose payload resolved
+  /// every name through the translation table — i.e. with zero string
+  /// hashing. A warm run must show nonzero PoolBindHits.
+  static std::atomic<uint64_t> PoolBinds;
+  static std::atomic<uint64_t> PoolBindHits;
 
   /// Zeroes every counter. Call between measured runs.
   static void reset();

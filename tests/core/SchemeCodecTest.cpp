@@ -378,6 +378,155 @@ TEST_F(SchemeCodecTest, GenResultSurvivesByteFlipFuzzing) {
   EXPECT_GT(Rejected, 0u);
 }
 
+namespace {
+
+/// Transcodes an inline payload to pool mode, appending each distinct
+/// name to \p PoolNames (store flush order: first use assigns the id).
+std::string toPoolMode(std::string_view Payload,
+                       std::vector<std::string> &PoolNames) {
+  auto Pooled = transcodeNamesToPool(Payload, [&](std::string_view N) {
+    for (size_t I = 0; I < PoolNames.size(); ++I)
+      if (PoolNames[I] == N)
+        return static_cast<uint32_t>(I);
+    PoolNames.emplace_back(N);
+    return static_cast<uint32_t>(PoolNames.size() - 1);
+  });
+  EXPECT_TRUE(Pooled.has_value());
+  return Pooled ? *Pooled : std::string();
+}
+
+/// Builds the pool id -> (SymbolId, LatticeElem+1) translation arrays the
+/// way SummaryCache::poolBinding does at segment-open.
+struct TestBinding {
+  std::vector<uint32_t> SymIds, LatElems;
+  TestBinding(const std::vector<std::string> &PoolNames, SymbolTable &Syms,
+              const Lattice &Lat) {
+    for (const std::string &N : PoolNames) {
+      SymIds.push_back(Syms.intern(N));
+      std::optional<LatticeElem> E = Lat.lookup(N);
+      LatElems.push_back(E ? static_cast<uint32_t>(*E) + 1 : 0);
+    }
+  }
+  PoolBindingView view() const {
+    PoolBindingView V;
+    V.SymIds = SymIds.data();
+    V.LatElems = LatElems.data();
+    V.Size = SymIds.size();
+    return V;
+  }
+};
+
+} // namespace
+
+TEST_F(SchemeCodecTest, ValidateGatesEveryKindAndEveryTruncation) {
+  // validatePayload is the single segment-open gate for all three payload
+  // kinds: every encoder output passes, and no proper prefix or extended
+  // payload does (sections must exactly tile the length).
+  RandomSchemeGen Gen(23, Syms, Lat);
+  TypeScheme S = Gen.scheme();
+  Sketch Sk;
+  std::vector<std::string> Payloads = {
+      encodeScheme(S, Syms, Lat),
+      encodeGenResult(S.Constraints,
+                      canonicalSetHash(S.Constraints, Syms, Lat),
+                      {TypeVariable::var(Syms.intern("g!i"))},
+                      {TypeVariable::var(Syms.intern("f!c@2"))}, Syms, Lat),
+      encodeSketchBundle({{TypeVariable::var(Syms.intern("F")), &Sk}}, Syms,
+                         Lat)};
+  for (const std::string &P : Payloads) {
+    EXPECT_TRUE(validatePayload(P, 0)) << "kind byte "
+                                       << static_cast<unsigned>(P[0]);
+    for (size_t Len = 0; Len < P.size(); ++Len)
+      EXPECT_FALSE(validatePayload(std::string_view(P).substr(0, Len), 0))
+          << "prefix length " << Len;
+    EXPECT_FALSE(validatePayload(P + "x", 0));
+  }
+}
+
+TEST_F(SchemeCodecTest, PoolModeRoundTripsAndRejectsOutOfRangePoolIds) {
+  for (uint32_t Seed = 300; Seed < 320; ++Seed) {
+    RandomSchemeGen Gen(Seed, Syms, Lat);
+    TypeScheme S = Gen.scheme();
+    std::string Inline = encodeScheme(S, Syms, Lat);
+    std::vector<std::string> PoolNames;
+    std::string Pooled = toPoolMode(Inline, PoolNames);
+    ASSERT_FALSE(Pooled.empty()) << "seed " << Seed;
+
+    // Pool ids range over [0, PoolNames.size()): exactly that size
+    // validates; any smaller pool makes some id dangle and must reject.
+    EXPECT_TRUE(validatePayload(Pooled, PoolNames.size())) << "seed " << Seed;
+    if (!PoolNames.empty())
+      EXPECT_FALSE(validatePayload(Pooled, PoolNames.size() - 1))
+          << "seed " << Seed;
+    EXPECT_FALSE(validatePayload(Pooled, 0) && !PoolNames.empty());
+
+    // The untrusted decoder never accepts pool mode (pool-mode payloads
+    // only exist inside a store, whose probes run the trusted path).
+    EXPECT_FALSE(decodeScheme(Pooled, Syms, Lat).has_value());
+
+    // Trusted decode through the translation table renders identically
+    // to the inline payload — in the encoding table and in a fresh one.
+    TestBinding B(PoolNames, Syms, Lat);
+    PoolBindingView V = B.view();
+    auto Back = decodeSchemeTrusted(Pooled, Syms, Lat, &V);
+    ASSERT_TRUE(Back.has_value()) << "seed " << Seed;
+    EXPECT_EQ(Back->str(Syms, Lat), S.str(Syms, Lat)) << "seed " << Seed;
+
+    SymbolTable Fresh;
+    TestBinding FB(PoolNames, Fresh, Lat);
+    PoolBindingView FV = FB.view();
+    auto Ported = decodeSchemeTrusted(Pooled, Fresh, Lat, &FV);
+    ASSERT_TRUE(Ported.has_value()) << "seed " << Seed;
+    EXPECT_EQ(Ported->str(Fresh, Lat), S.str(Syms, Lat)) << "seed " << Seed;
+  }
+}
+
+TEST_F(SchemeCodecTest, PoolModePayloadSurvivesByteFlipFuzzing) {
+  // The store's contract: a record only reaches a trusted decoder after
+  // validatePayload accepts it against the live pool size. Flip every
+  // byte of a pool-mode gen payload: whatever still validates must
+  // trusted-decode without crashing or reading out of bounds, and
+  // plenty of flips (offsets, counts, pool ids) must be caught.
+  RandomSchemeGen Gen(29, Syms, Lat);
+  ConstraintSet C = Gen.scheme().Constraints;
+  std::string Inline =
+      encodeGenResult(C, canonicalSetHash(C, Syms, Lat),
+                      {TypeVariable::var(Syms.intern("g!y"))},
+                      {TypeVariable::var(Syms.intern("f!h@4"))}, Syms, Lat);
+  std::vector<std::string> PoolNames;
+  std::string Pooled = toPoolMode(Inline, PoolNames);
+  ASSERT_TRUE(validatePayload(Pooled, PoolNames.size()));
+  TestBinding B(PoolNames, Syms, Lat);
+  PoolBindingView V = B.view();
+
+  size_t Rejected = 0, Accepted = 0;
+  for (size_t Pos = 0; Pos < Pooled.size(); ++Pos) {
+    for (uint8_t Delta : {1, 0x7f, 0x80, 0xff}) {
+      std::string Mut = Pooled;
+      Mut[Pos] = static_cast<char>(static_cast<uint8_t>(Mut[Pos]) ^ Delta);
+      if (!validatePayload(Mut, PoolNames.size())) {
+        ++Rejected;
+        continue;
+      }
+      ++Accepted;
+      auto R = decodeGenResultTrusted(Mut, Syms, Lat, &V);
+      if (R)
+        EXPECT_FALSE(R->C.size() > 0 && R->C.str(Syms, Lat).empty());
+      auto M = decodeGenResultMetaTrusted(Mut, Syms, Lat, &V);
+      if (M)
+        EXPECT_LE(M->ConstraintCount, Mut.size());
+    }
+  }
+  EXPECT_GT(Rejected, 0u);
+  EXPECT_EQ(Accepted + Rejected, 4 * Pooled.size());
+
+  // Truncations of the pool-mode payload are all caught by validation.
+  for (size_t Len = 0; Len < Pooled.size(); ++Len)
+    EXPECT_FALSE(validatePayload(std::string_view(Pooled).substr(0, Len),
+                                 PoolNames.size()))
+        << "prefix length " << Len;
+}
+
 TEST_F(SchemeCodecTest, PayloadKindsAreMutuallyUnmistakable) {
   // The three payload kinds carry distinct first bytes: decoding one kind
   // as another must reject cleanly, never mis-materialize.

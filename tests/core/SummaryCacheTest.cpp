@@ -251,6 +251,9 @@ TEST_F(SummaryCacheTest, LoadRejectsStaleVersionsCleanly) {
       {"retypd-summary-cache-v1", true, false, "re-run analyze"},
       {"retypd-summary-cache v1 schema 1", true, false, "re-run analyze"},
       {"retypd-summary-cache v2 schema 1", true, false, "re-run analyze"},
+      // Same container version, older payload schema (the v2 inline-name
+      // payloads of schema 2 vs today's offset-based schema).
+      {"retypd-summary-cache v3 schema 2", true, false, "re-run analyze"},
       // Files NEWER than the binary must NOT be flagged stale — a script
       // keying off `stale` would regenerate and destroy a newer binary's
       // valid cache.
@@ -293,7 +296,8 @@ TEST_F(SummaryCacheTest, CorruptByteCountsAreMalformedTailNotACrash) {
                           "999999"};
   for (const char *Count : Counts) {
     std::ofstream Out(File, std::ios::binary | std::ios::trunc);
-    Out << "retypd-summary-cache v3 schema 2\n"
+    Out << "retypd-summary-cache v" << kSummaryCacheFileVersion << " schema "
+        << kSummaryCacheSchemaVersion << "\n"
         << "entry 0000000000000000000000000000000f " << Count << "\nx\n";
     Out.close();
 
@@ -456,8 +460,8 @@ TEST_F(SummaryCacheTest, StoreBackedLookupIsZeroCopyAndCountsHits) {
       << "mmap read path copied payload bytes";
 }
 
-TEST_F(SummaryCacheTest, DecodeMemoSkipsRedecodeForSameTableAndGeneration) {
-  TempStoreDir Dir("memo");
+TEST_F(SummaryCacheTest, PoolBindingTranslatesStoreNamesOnce) {
+  TempStoreDir Dir("poolbind");
   TypeScheme Scheme = makeScheme("F");
   auto K = SummaryCache::keyFor(Scheme.Constraints, var("F"), {}, Opts, Syms,
                                 Lat);
@@ -465,48 +469,46 @@ TEST_F(SummaryCacheTest, DecodeMemoSkipsRedecodeForSameTableAndGeneration) {
   ASSERT_TRUE(Cache.openStore(Dir.str()));
   Cache.insert(K, Scheme, Syms, Lat);
   ASSERT_TRUE(Cache.flushToStore().has_value());
+  Cache.clear(); // force every probe through the mapped store
 
   EventCounters::reset();
-  ASSERT_TRUE(Cache.lookup(K, Syms, Lat).has_value()); // decodes + memoizes
-  uint64_t DecodesAfterFirst = EventCounters::SchemeDecodes.load();
-  auto Back = Cache.lookup(K, Syms, Lat); // memo: no codec work at all
-  ASSERT_TRUE(Back.has_value());
-  EXPECT_EQ(Back->str(Syms, Lat), Scheme.str(Syms, Lat));
-  EXPECT_EQ(EventCounters::SchemeDecodes.load(), DecodesAfterFirst)
-      << "second probe re-decoded the payload";
-  EXPECT_EQ(EventCounters::DecodeMemoHits.load(), 1u);
-  EXPECT_EQ(Cache.hits(), 2u);
-  EXPECT_EQ(Cache.misses(), 0u);
+  ASSERT_TRUE(Cache.lookup(K, Syms, Lat).has_value());
+  uint64_t Binds = EventCounters::PoolBinds.load();
+  EXPECT_GT(Binds, 0u) << "first store probe batch-interns the name pool";
+  EXPECT_EQ(EventCounters::PoolBindHits.load(), 1u)
+      << "flushed payloads must decode in pool name mode";
 
-  // A different symbol table cannot reuse the memo (decoded values carry
-  // table-relative ids) — it decodes fresh and still answers correctly.
+  // Second probe: the pool grew by nothing, so the translation table is
+  // reused as-is — zero per-payload string hashing.
+  ASSERT_TRUE(Cache.lookup(K, Syms, Lat).has_value());
+  EXPECT_EQ(EventCounters::PoolBinds.load(), Binds)
+      << "unchanged pool re-interned names";
+  EXPECT_EQ(EventCounters::PoolBindHits.load(), 2u);
+
+  // Compaction carries the pool verbatim (ids preserved): the binding
+  // stays valid — no re-interning afterwards either.
+  ASSERT_TRUE(Cache.store()->compact().has_value());
+  ASSERT_TRUE(Cache.lookup(K, Syms, Lat).has_value());
+  EXPECT_EQ(EventCounters::PoolBinds.load(), Binds)
+      << "compaction invalidated the pool translation table";
+  EXPECT_EQ(EventCounters::PoolBindHits.load(), 3u);
+
+  // A different symbol table needs its own translation (decoded ids are
+  // table-relative) and still answers correctly.
   SymbolTable Other;
-  uint64_t MemoHits = EventCounters::DecodeMemoHits.load();
   auto FromOther = Cache.lookup(K, Other, Lat);
   ASSERT_TRUE(FromOther.has_value());
   EXPECT_EQ(FromOther->str(Other, Lat), Scheme.str(Syms, Lat));
-  EXPECT_EQ(EventCounters::DecodeMemoHits.load(), MemoHits);
-  EXPECT_GT(EventCounters::SchemeDecodes.load(), DecodesAfterFirst);
-
-  // A store generation change (compaction) conservatively invalidates.
-  ASSERT_TRUE(Cache.store()->compact().has_value());
-  MemoHits = EventCounters::DecodeMemoHits.load();
-  uint64_t Decodes = EventCounters::SchemeDecodes.load();
-  ASSERT_TRUE(Cache.lookup(K, Syms, Lat).has_value());
-  EXPECT_EQ(EventCounters::DecodeMemoHits.load(), MemoHits);
-  EXPECT_GT(EventCounters::SchemeDecodes.load(), Decodes);
-  // ... and the re-decode re-primes the memo.
-  ASSERT_TRUE(Cache.lookup(K, Syms, Lat).has_value());
-  EXPECT_EQ(EventCounters::DecodeMemoHits.load(), MemoHits + 1);
+  EXPECT_GT(EventCounters::PoolBinds.load(), Binds);
 }
 
-TEST_F(SummaryCacheTest, MemoInvalidatedByPayloadReplacement) {
-  SummaryCache Cache; // memo works without a store too (generation 0)
+TEST_F(SummaryCacheTest, PayloadReplacementServesTheNewValue) {
+  SummaryCache Cache;
   TypeScheme F = makeScheme("F"), G = makeScheme("G");
   auto K = SummaryCache::keyFor(F.Constraints, var("F"), {}, Opts, Syms, Lat);
   Cache.insert(K, F, Syms, Lat);
-  ASSERT_TRUE(Cache.lookup(K, Syms, Lat).has_value()); // memoized
-  // Replacing the payload must not serve the stale decoded value.
+  ASSERT_TRUE(Cache.lookup(K, Syms, Lat).has_value());
+  // Replacing the payload must not serve the previous decoded value.
   Cache.insert(K, G, Syms, Lat);
   auto Back = Cache.lookup(K, Syms, Lat);
   ASSERT_TRUE(Back.has_value());

@@ -301,32 +301,42 @@ fn top:
   EXPECT_EQ(S.report()->Stats.GenCacheMisses, 0u);
 }
 
-TEST(SessionTest, InvalidateReanalysisHitsTheDecodeMemo) {
-  // The decoded-payload memo: once a re-analysis has decoded a payload
-  // for this session's symbol table, further invalidate()/analyze()
-  // rounds replay it without touching the codec at all. Reports stay
-  // byte-identical throughout.
-  AnalysisSession S(makeDefaultLattice());
-  ASSERT_TRUE(S.loadModuleText(kTwoIslandAsm));
-  S.analyze();
-  std::string Baseline = renderSession(S);
+TEST(SessionTest, StoreWarmRunResolvesNamesThroughThePoolBinding) {
+  // Store payloads carry names as pool ids; a warm run batch-interns the
+  // pool once and every store decode resolves names through the
+  // translation table (PoolBindHits) instead of hashing strings. Reports
+  // stay byte-identical with the cold run throughout.
+  namespace fs2 = std::filesystem;
+  fs2::path Dir = fs2::temp_directory_path() / "retypd_session_poolbind";
+  fs2::remove_all(Dir);
 
-  // Round 1 after invalidate: replays from cache payloads (decodes and
-  // primes the memo for every probed key).
-  ASSERT_TRUE(S.invalidate("leaf_a"));
-  S.analyze();
-  EXPECT_EQ(renderSession(S), Baseline);
-  ASSERT_GT(S.report()->Stats.CacheHits, 0u)
-      << "nothing replayed from the cache";
-
-  // Round 2: the same probes answer straight from the memo.
-  EventCounters::reset();
-  ASSERT_TRUE(S.invalidate("leaf_a"));
-  S.analyze();
-  EXPECT_EQ(renderSession(S), Baseline);
-  EXPECT_GT(S.report()->Stats.DecodeMemoHits, 0u)
-      << "second re-analysis re-decoded unchanged payloads";
-  EXPECT_GT(EventCounters::DecodeMemoHits.load(), 0u);
+  std::string Baseline;
+  {
+    SessionOptions Opts;
+    Opts.StoreDir = Dir.string();
+    AnalysisSession S(makeDefaultLattice(), Opts);
+    ASSERT_TRUE(S.storeError().empty()) << S.storeError();
+    ASSERT_TRUE(S.loadModuleText(kTwoIslandAsm));
+    S.analyze();
+    Baseline = renderSession(S);
+  }
+  {
+    SessionOptions Opts;
+    Opts.StoreDir = Dir.string();
+    AnalysisSession S(makeDefaultLattice(), Opts);
+    ASSERT_TRUE(S.storeError().empty()) << S.storeError();
+    ASSERT_TRUE(S.loadModuleText(kTwoIslandAsm));
+    EventCounters::reset();
+    S.analyze();
+    EXPECT_EQ(renderSession(S), Baseline);
+    EXPECT_GT(S.report()->Stats.PoolBindHits, 0u)
+        << "warm store decodes did not use the pool translation table";
+    EXPECT_GT(EventCounters::PoolBinds.load(), 0u)
+        << "the pool was never batch-interned";
+    EXPECT_EQ(EventCounters::PoolBindHits.load(),
+              S.report()->Stats.PoolBindHits);
+  }
+  fs2::remove_all(Dir);
 }
 
 TEST(SessionTest, StoreDirOptionJournalsAndReplays) {

@@ -50,6 +50,25 @@ struct StoreTest : ::testing::Test {
     return O;
   }
 
+  /// Options with a validator mimicking the summary cache's: the payload
+  /// is a decimal pool id, structurally valid only when the pool
+  /// resolves it. Lets the pool crash tests assert "never dangling ids".
+  StoreOptions poolOpts() {
+    StoreOptions O = opts();
+    O.Validator = [](std::string_view P, uint64_t PoolSize) {
+      if (P.empty())
+        return false;
+      uint64_t Id = 0;
+      for (char C : P) {
+        if (C < '0' || C > '9')
+          return false;
+        Id = Id * 10 + static_cast<uint64_t>(C - '0');
+      }
+      return Id < PoolSize;
+    };
+    return O;
+  }
+
   std::unique_ptr<Store> openStore(size_t MaxSegmentBytes = 8u << 20) {
     std::string Err;
     auto S = Store::open(Dir.string(), opts(MaxSegmentBytes), &Err);
@@ -275,6 +294,147 @@ TEST_F(StoreTest, KilledMidCompactionOpensPreviousGeneration) {
   EXPECT_FALSE(fs::exists(Dir / "MANIFEST.tmp.999.0"));
   auto S = openStore();
   EXPECT_EQ(S->keyCount(), 4u);
+}
+
+TEST_F(StoreTest, TornPoolTailAndDanglingPoolIdsAreContainedOnReopen) {
+  std::string Err;
+  {
+    auto S = Store::open(Dir.string(), poolOpts(), &Err);
+    ASSERT_TRUE(S) << Err;
+    ASSERT_TRUE(S->flushWith(
+        [&](Store::Txn &T) {
+          EXPECT_EQ(T.poolIdFor("alpha"), 0u);
+          EXPECT_EQ(T.poolIdFor("beta"), 1u);
+          EXPECT_EQ(T.poolIdFor("alpha"), 0u) << "pool ids are per-name stable";
+          T.append(key(0), "0");
+          T.append(key(1), "1");
+          return true;
+        },
+        &Err))
+        << Err;
+    EXPECT_EQ(S->poolSize(), 2u);
+    // A record referencing a pool id that was never published — the
+    // state a writer killed between segment write and pool durability
+    // would leave if the pool-first ordering were violated. Plant it
+    // directly (own-process appends skip the validator): the scan-time
+    // validator must contain it on the next open.
+    S->append(key(2), "7");
+    ASSERT_TRUE(S->flush(&Err)) << Err;
+  }
+  // Tear the pool's tail: half a record from a killed mid-append writer.
+  fs::path Pool;
+  for (const auto &E : fs::directory_iterator(Dir))
+    if (E.path().extension() == ".rpool")
+      Pool = E.path();
+  ASSERT_FALSE(Pool.empty());
+  std::ofstream(Pool, std::ios::binary | std::ios::app) << "\x01\x02\x03";
+
+  auto S = Store::open(Dir.string(), poolOpts(), &Err);
+  ASSERT_TRUE(S) << Err;
+  EXPECT_EQ(S->poolSize(), 2u) << "torn pool tail must be dropped";
+  EXPECT_TRUE(S->lookup(key(0)));
+  EXPECT_TRUE(S->lookup(key(1)));
+  EXPECT_FALSE(S->lookup(key(2)))
+      << "a record with a dangling pool id must never be indexed";
+
+  // The next pool append heals the torn tail in place; the healed pool
+  // extends the old one (ids stable), and the new record resolves.
+  ASSERT_TRUE(S->flushWith(
+      [&](Store::Txn &T) {
+        EXPECT_EQ(T.poolIdFor("gamma"), 2u);
+        T.append(key(3), "2");
+        return true;
+      },
+      &Err))
+      << Err;
+  auto S2 = Store::open(Dir.string(), poolOpts(), &Err);
+  ASSERT_TRUE(S2) << Err;
+  EXPECT_EQ(S2->poolSize(), 3u);
+  std::vector<std::string> Names;
+  S2->forEachPoolNameFrom(
+      0, [&](uint64_t, std::string_view N) { Names.emplace_back(N); });
+  EXPECT_EQ(Names, (std::vector<std::string>{"alpha", "beta", "gamma"}));
+  EXPECT_TRUE(S2->lookup(key(3)));
+}
+
+TEST_F(StoreTest, KilledBeforeFirstPoolPublicationStaysInvisible) {
+  {
+    auto S = openStore();
+    S->append(key(0), payload(0));
+    ASSERT_TRUE(S->flush());
+  }
+  // The first pool is published by the MANIFEST gaining a pool line.
+  // Simulate a writer killed after writing the pool file but before the
+  // rename: an orphan pool plus a staged manifest.
+  std::ofstream(Dir / "pool-000001.rpool", std::ios::binary)
+      << "retypd-pool v1 schema " << kTestSchema << "\n";
+  std::ofstream(Dir / "MANIFEST.tmp.123.9", std::ios::binary)
+      << "half a manifest";
+  {
+    auto S = openStore();
+    ASSERT_TRUE(S);
+    EXPECT_EQ(S->poolSize(), 0u) << "unpublished pool leaked in";
+    EXPECT_TRUE(S->lookup(key(0)));
+    ASSERT_TRUE(S->compact());
+  }
+  EXPECT_FALSE(fs::exists(Dir / "pool-000001.rpool"))
+      << "orphan pool survived compaction";
+  EXPECT_FALSE(fs::exists(Dir / "MANIFEST.tmp.123.9"));
+}
+
+TEST_F(StoreTest, KilledMidCompactionKeepsPoolVerbatimAndEpochStable) {
+  std::string Err;
+  auto A = Store::open(Dir.string(), poolOpts(), &Err);
+  ASSERT_TRUE(A) << Err;
+  ASSERT_TRUE(A->flushWith(
+      [&](Store::Txn &T) {
+        T.poolIdFor("alpha");
+        T.poolIdFor("beta");
+        T.append(key(0), "0");
+        T.append(key(1), "1");
+        return true;
+      },
+      &Err))
+      << Err;
+  A.reset();
+
+  // A compaction killed after writing its gen-2 segment AND gen-2 pool,
+  // but before the MANIFEST rename published either.
+  std::ofstream(Dir / "seg-000002-000000.rseg", std::ios::binary)
+      << "retypd-segment v1 schema " << kTestSchema << "\n";
+  std::ofstream(Dir / "pool-000002.rpool", std::ios::binary)
+      << "retypd-pool v1 schema " << kTestSchema << "\n";
+  std::ofstream(Dir / "MANIFEST.tmp.999.1", std::ios::binary)
+      << "half a manifest";
+
+  A = Store::open(Dir.string(), poolOpts(), &Err);
+  ASSERT_TRUE(A) << Err;
+  EXPECT_EQ(A->generation(), 1u) << "unpublished compaction leaked in";
+  EXPECT_EQ(A->poolSize(), 2u) << "previous pool must stay authoritative";
+  EXPECT_TRUE(A->lookup(key(0)));
+
+  // A second object (another process) holds its translation table across
+  // the retry compaction: the pool is carried verbatim, so its epoch —
+  // and with it every table built against it — must survive.
+  auto B = Store::open(Dir.string(), poolOpts(), &Err);
+  ASSERT_TRUE(B) << Err;
+  uint64_t Epoch0 = B->poolEpoch();
+
+  auto R = A->compact(&Err);
+  ASSERT_TRUE(R) << Err;
+  EXPECT_EQ(A->poolSize(), 2u);
+  std::vector<std::string> Names;
+  A->forEachPoolNameFrom(
+      0, [&](uint64_t, std::string_view N) { Names.emplace_back(N); });
+  EXPECT_EQ(Names, (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_TRUE(A->lookup(key(0)));
+  EXPECT_TRUE(A->lookup(key(1)));
+
+  ASSERT_TRUE(B->refresh(&Err)) << Err;
+  EXPECT_EQ(B->poolEpoch(), Epoch0)
+      << "verbatim pool carry must not invalidate reader translation tables";
+  EXPECT_TRUE(B->lookup(key(1)));
+  EXPECT_FALSE(fs::exists(Dir / "MANIFEST.tmp.999.1"));
 }
 
 TEST_F(StoreTest, CompactionReclaimsAtLeastReportedDeadBytes) {

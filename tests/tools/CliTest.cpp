@@ -159,9 +159,9 @@ TEST(CliTest, CacheInspectAndPrune) {
 
   R = runCli("cache inspect " + Cache.string());
   EXPECT_EQ(R.Exit, 0);
-  EXPECT_NE(R.Out.find("header: ok (v3 schema 2)"), std::string::npos)
+  EXPECT_NE(R.Out.find("header: ok (v3 schema 3)"), std::string::npos)
       << R.Out;
-  EXPECT_NE(R.Out.find("codec: binary scheme payload v2"), std::string::npos)
+  EXPECT_NE(R.Out.find("codec: binary scheme payload v3"), std::string::npos)
       << R.Out;
   // Per-shard entry counts are part of the report.
   EXPECT_NE(R.Out.find("shard entries: 0:"), std::string::npos) << R.Out;
@@ -243,7 +243,7 @@ TEST(CliTest, StoreAnalyzeWarmInspectCompact) {
   // inspect: generation, per-segment record counts, live/dead bytes.
   CmdResult R = runCli("cache inspect " + Dir.string());
   EXPECT_EQ(R.Exit, 0) << R.Out;
-  EXPECT_NE(R.Out.find("header: ok (v1 schema 2)"), std::string::npos)
+  EXPECT_NE(R.Out.find("header: ok (v1 schema 3)"), std::string::npos)
       << R.Out;
   EXPECT_NE(R.Out.find("generation: 1"), std::string::npos) << R.Out;
   EXPECT_NE(R.Out.find("segment seg-000001-000000.rseg: records"),
@@ -272,20 +272,79 @@ TEST(CliTest, StoreAnalyzeWarmInspectCompact) {
       << R.Out;
   fs::remove(File);
 
-  // Mutating verbs on a directory that is NOT a store refuse without
-  // polluting it with a fresh MANIFEST/LOCK/segment.
+  // Mutating verbs on a directory with unrelated contents (a mistyped
+  // path) refuse without polluting it with a fresh MANIFEST/LOCK/segment.
   fs::path PlainDir = fs::temp_directory_path() / "cli_store_plain_dir";
   fs::remove_all(PlainDir);
   fs::create_directories(PlainDir);
+  { std::ofstream Junk(PlainDir / "notes.txt", std::ios::binary); Junk << "x"; }
   for (const char *Verb : {"compact ", "prune --max-bytes 0 "}) {
     R = runCli("cache " + std::string(Verb) + PlainDir.string());
     EXPECT_EQ(R.Exit, 1) << Verb << R.Out;
     EXPECT_NE(R.Out.find("not an artifact store"), std::string::npos)
         << Verb << R.Out;
   }
-  EXPECT_TRUE(fs::is_empty(PlainDir)) << "cache verb polluted a plain dir";
+  size_t Entries = 0;
+  for ([[maybe_unused]] const auto &E : fs::directory_iterator(PlainDir))
+    ++Entries;
+  EXPECT_EQ(Entries, 1u) << "cache verb polluted a plain dir";
   fs::remove_all(PlainDir);
   fs::remove_all(Dir);
+}
+
+TEST(CliTest, EmptyOrFreshStoreDirIsCleanZeroState) {
+  // An empty directory — the state a `--store` path is in before the
+  // first analyze — is a zero-state store for every verb, not an error,
+  // and the verbs must leave it empty.
+  fs::path Dir = fs::temp_directory_path() / "cli_store_empty_dir";
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+  CmdResult R = runCli("cache inspect " + Dir.string());
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("empty store (not yet initialized)"),
+            std::string::npos)
+      << R.Out;
+  EXPECT_NE(R.Out.find("keys: 0"), std::string::npos) << R.Out;
+  R = runCli("cache inspect --format=json " + Dir.string());
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("\"ok\": true"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("\"empty\": true"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("\"keys\": 0"), std::string::npos) << R.Out;
+  R = runCli("cache compact " + Dir.string());
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("nothing to compact"), std::string::npos) << R.Out;
+  R = runCli("cache prune " + Dir.string() + " --max-bytes 0");
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("nothing to prune"), std::string::npos) << R.Out;
+  EXPECT_TRUE(fs::is_empty(Dir)) << "zero-state verbs must not create files";
+
+  // A freshly-initialized MANIFEST-only store (generation line written,
+  // no segments yet) is a valid empty store: inspect reports zero
+  // counts, prune no-ops, and a later analyze appends into it in place.
+  fs::path Fresh = fs::temp_directory_path() / "cli_store_fresh";
+  fs::remove_all(Fresh);
+  fs::create_directories(Fresh);
+  {
+    std::ofstream M(Fresh / "MANIFEST", std::ios::binary);
+    M << "retypd-store v1 schema 3\ngeneration 0\n";
+  }
+  R = runCli("cache inspect " + Fresh.string());
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("header: ok (v1 schema 3)"), std::string::npos)
+      << R.Out;
+  EXPECT_NE(R.Out.find("keys: 0"), std::string::npos) << R.Out;
+  R = runCli("cache prune " + Fresh.string() + " --max-bytes 0");
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("pruned 0 of 0"), std::string::npos) << R.Out;
+  R = runCli("analyze --store " + Fresh.string() + " " +
+             goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  R = runCli("cache inspect " + Fresh.string());
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_EQ(R.Out.find("keys: 0"), std::string::npos)
+      << "analyze against a fresh store left it empty: " << R.Out;
+  fs::remove_all(Dir);
+  fs::remove_all(Fresh);
 }
 
 TEST(CliTest, StaleStoreGetsActionableMessageAndAnalyzeRegenerates) {
@@ -314,7 +373,7 @@ TEST(CliTest, StaleStoreGetsActionableMessageAndAnalyzeRegenerates) {
   EXPECT_EQ(R.Exit, 0) << R.Out;
   R = runCli("cache inspect " + Dir.string());
   EXPECT_EQ(R.Exit, 0) << R.Out;
-  EXPECT_NE(R.Out.find("header: ok (v1 schema 2)"), std::string::npos)
+  EXPECT_NE(R.Out.find("header: ok (v1 schema 3)"), std::string::npos)
       << R.Out;
   fs::remove_all(Dir);
 }

@@ -308,10 +308,10 @@ void printReport(AnalysisSession &S, const AnalyzeOpts &O) {
                 St.IncrementalRun ? "yes" : "no", St.FunctionsDirty,
                 St.SccsSimplified, St.SccsReused, St.SccsSolved,
                 St.SccsRefinedOnly, St.SccsSolveReused);
-    std::printf("/* store: hits=%llu appends=%llu memo_hits=%llu */\n",
+    std::printf("/* store: hits=%llu appends=%llu pool_bind_hits=%llu */\n",
                 static_cast<unsigned long long>(St.StoreHits),
                 static_cast<unsigned long long>(St.StoreAppends),
-                static_cast<unsigned long long>(St.DecodeMemoHits));
+                static_cast<unsigned long long>(St.PoolBindHits));
   }
 }
 
@@ -475,7 +475,14 @@ int cmdReanalyze(int argc, char **argv, int Start) {
 /// counts, live/dead bytes, and the MANIFEST generation. Stale or newer
 /// stores get the same actionable message as stale cache files.
 int storeInspect(const std::string &Dir, const std::string &Format) {
-  StoreInfo Info = Store::inspect(Dir, kSummaryCacheSchemaVersion);
+  // An absent or empty directory is the pre-first-analyze state, not an
+  // error: report a clean zero-state and leave the directory untouched.
+  bool Empty = Store::isUninitializedDir(Dir);
+  StoreInfo Info;
+  if (Empty)
+    Info.Ok = true;
+  else
+    Info = Store::inspect(Dir, kSummaryCacheSchemaVersion);
   if (Format == "json") {
     std::string Segs = "[";
     for (size_t I = 0; I < Info.Segments.size(); ++I) {
@@ -491,17 +498,21 @@ int storeInspect(const std::string &Dir, const std::string &Format) {
               ", \"file_bytes\": " + std::to_string(S.FileBytes) + "}";
     }
     Segs += "]";
-    std::printf("{\"store\": \"%s\", \"ok\": %s, \"stale\": %s, "
+    std::printf("{\"store\": \"%s\", \"ok\": %s, \"empty\": %s, "
+                "\"stale\": %s, "
                 "\"newer_than_binary\": %s, \"format_version\": %u, "
                 "\"schema_version\": %u, \"generation\": %llu, "
                 "\"keys\": %zu, \"live_bytes\": %zu, \"dead_bytes\": %zu, "
+                "\"pool_names\": %zu, \"pool_bytes\": %zu, "
                 "\"segments\": %s, \"error\": \"%s\"}\n",
                 jsonEscape(Dir).c_str(), Info.Ok ? "true" : "false",
+                Empty ? "true" : "false",
                 Info.Stale ? "true" : "false",
                 Info.Newer ? "true" : "false", Info.FormatVersion,
                 Info.SchemaVersion,
                 static_cast<unsigned long long>(Info.Generation),
-                Info.KeyCount, Info.LiveBytes, Info.DeadBytes, Segs.c_str(),
+                Info.KeyCount, Info.LiveBytes, Info.DeadBytes,
+                Info.PoolNames, Info.PoolBytes, Segs.c_str(),
                 jsonEscape(Info.Error).c_str());
     return Info.Ok ? 0 : 1;
   }
@@ -510,12 +521,18 @@ int storeInspect(const std::string &Dir, const std::string &Format) {
     std::printf("header: %s\n", Info.Error.c_str());
     return 1;
   }
-  std::printf("header: ok (v%u schema %u)\n", Info.FormatVersion,
-              Info.SchemaVersion);
+  if (Empty)
+    std::printf("header: empty store (not yet initialized)\n");
+  else
+    std::printf("header: ok (v%u schema %u)\n", Info.FormatVersion,
+                Info.SchemaVersion);
   std::printf("generation: %llu\n",
               static_cast<unsigned long long>(Info.Generation));
   std::printf("keys: %zu\nlive bytes: %zu\ndead bytes: %zu\n", Info.KeyCount,
               Info.LiveBytes, Info.DeadBytes);
+  if (Info.PoolNames || Info.PoolBytes)
+    std::printf("pool: %zu names, %zu bytes\n", Info.PoolNames,
+                Info.PoolBytes);
   for (const StoreSegmentInfo &S : Info.Segments)
     std::printf("segment %s: records %zu live %zu live_bytes %zu "
                 "dead_bytes %zu corrupt %zu file_bytes %zu\n",
@@ -546,6 +563,16 @@ std::unique_ptr<Store> openStoreForVerb(const std::string &Dir) {
 }
 
 int storeCompact(const std::string &Dir, const std::string &Format) {
+  if (Store::isUninitializedDir(Dir)) {
+    if (Format == "json")
+      std::printf("{\"store\": \"%s\", \"empty\": true, \"generation\": 0, "
+                  "\"live_records\": 0, \"live_bytes\": 0, "
+                  "\"dropped_records\": 0, \"reclaimed_bytes\": 0}\n",
+                  jsonEscape(Dir).c_str());
+    else
+      std::printf("empty store (not yet initialized): nothing to compact\n");
+    return 0;
+  }
   auto S = openStoreForVerb(Dir);
   if (!S)
     return 1;
@@ -575,6 +602,15 @@ int storeCompact(const std::string &Dir, const std::string &Format) {
 
 int storePrune(const std::string &Dir, size_t MaxBytes,
                const std::string &Format) {
+  if (Store::isUninitializedDir(Dir)) {
+    if (Format == "json")
+      std::printf("{\"store\": \"%s\", \"empty\": true, \"pruned\": 0, "
+                  "\"before\": 0, \"remaining\": 0, \"payload_bytes\": 0}\n",
+                  jsonEscape(Dir).c_str());
+    else
+      std::printf("empty store (not yet initialized): nothing to prune\n");
+    return 0;
+  }
   auto S = openStoreForVerb(Dir);
   if (!S)
     return 1;
