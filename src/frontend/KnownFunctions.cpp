@@ -17,12 +17,12 @@ public:
     S.ProcVar = TypeVariable::var(Syms.intern(Name));
   }
 
-  DerivedTypeVariable in(unsigned K, std::vector<Label> More = {}) {
+  DerivedTypeVariable in(unsigned K, const std::vector<Label> &More = {}) {
     std::vector<Label> W{Label::in(K)};
     W.insert(W.end(), More.begin(), More.end());
     return DerivedTypeVariable(S.ProcVar, std::move(W));
   }
-  DerivedTypeVariable out(std::vector<Label> More = {}) {
+  DerivedTypeVariable out(const std::vector<Label> &More = {}) {
     std::vector<Label> W{Label::out()};
     W.insert(W.end(), More.begin(), More.end());
     return DerivedTypeVariable(S.ProcVar, std::move(W));

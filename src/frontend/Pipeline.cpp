@@ -16,6 +16,7 @@ TypeReport Pipeline::run(Module &M) {
   SOpts.UseSummaryCache = Opts.Cache != nullptr;
   SOpts.ExternalCache = Opts.Cache;
   SOpts.StoreDir = Opts.StoreDir;
+  SOpts.Verify = Opts.Verify;
   // One-shot: skip the incremental bookkeeping (body/scheme snapshots)
   // that only a second analyze() on the same session could use.
   SOpts.KeepHistory = false;

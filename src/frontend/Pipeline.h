@@ -45,6 +45,9 @@ struct PipelineOptions {
   /// attach a store to that cache directly. Open/flush failures are
   /// reported in TypeReport::StoreError (the run completes either way).
   std::string StoreDir;
+  /// Formation-rule verification level (see SessionOptions::Verify).
+  /// Findings land in TypeReport::VerifyErrors; the run always completes.
+  VerifyLevel Verify = VerifyLevel::Off;
   ConversionOptions Conversion;
   SimplifyOptions Simplify;
 };

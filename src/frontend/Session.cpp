@@ -532,6 +532,14 @@ const TypeReport &AnalysisSession::analyze() {
   Report.Stats.JobsUsed = Jobs;
   ThreadPool Pool(Jobs > 1 ? Jobs - 1 : 0);
 
+  // Formation-rule verification (core/Verifier.h). All hooks sit at the
+  // main-thread, wave-order commit points below, so the diagnostics come
+  // out in the same deterministic order at any Jobs value and the
+  // verifier never races the workers. With Verify == Off not a single
+  // check runs.
+  const VerifyLevel VL = Opts.Verify;
+  VerifyDiags VDiags;
+
   // ---- Phase 0: IR-level interface recovery + library summaries ----
   std::unordered_map<uint32_t, TypeScheme> Schemes;
   {
@@ -682,6 +690,15 @@ const TypeReport &AnalysisSession::analyze() {
         }
 
         if (Reused) {
+          // Full verification covers replayed artifacts too: a stale or
+          // corrupted incremental replay surfaces here instead of as a
+          // wrong report. The allowed-free set of a replayed scheme is
+          // not recorded, so the closure check is skipped (nullptr).
+          if (VL == VerifyLevel::Full)
+            for (size_t I = 0; I < Members.size(); ++I)
+              verifyScheme(Reused->MemberSchemes[I], S, Lat, nullptr,
+                           "phase1 reused scheme '" + MemberNames[I] + "'",
+                           VDiags);
           for (size_t I = 0; I < Members.size(); ++I) {
             uint32_t F = Members[I];
             Schemes[F] = Reused->MemberSchemes[I];
@@ -884,6 +901,17 @@ const TypeReport &AnalysisSession::analyze() {
 
     // Commit in wave order (deterministic regardless of task scheduling).
     for (P1Item &Item : Items) {
+      // Verify what this SCC is about to commit: the combined constraint
+      // set when it was materialized this run (fresh generation, or — in
+      // Full mode the interesting case — a residual decode straight off
+      // the cache/store bytes), including the canonical-order invariant
+      // the content keys and the binary codec rely on.
+      if (VL != VerifyLevel::Off && Item.HasCombined) {
+        std::string Ctx =
+            "phase1 scc '" + Item.MemberNames.front() + "' constraints";
+        verifyConstraintSet(Item.Combined, S, Lat, Ctx, VDiags);
+        verifyCanonicalOrder(Item.Combined, S, Lat, Ctx, VDiags);
+      }
       SccArtifact Art;
       Art.MemberNames = Item.MemberNames;
       Art.ConstraintCount = Item.ConstraintCount;
@@ -913,6 +941,20 @@ const TypeReport &AnalysisSession::analyze() {
                                 SnapIt->second.SchemeHash != H;
           Art.MemberSchemeHashes.push_back(H);
           NewSchemeHashes[Name] = H;
+        }
+        // Scheme closure: besides its own bound variables the scheme may
+        // mention exactly what simplification was told to keep — the
+        // SCC's interesting variables plus its mates' procedure
+        // variables. Anything else escaping is a formation violation
+        // (whether the scheme was computed here or decoded from the
+        // cache; both commit through this loop).
+        if (VL != VerifyLevel::Off) {
+          std::unordered_set<TypeVariable> Allowed = Item.Interesting;
+          for (uint32_t Mate : CG.sccs()[Item.Scc])
+            if (Mate != F)
+              Allowed.insert(Gen.procVar(Mate));
+          verifyScheme(Item.Schemes[I], S, Lat, &Allowed,
+                       "phase1 scheme '" + Name + "'", VDiags);
         }
         Schemes[F] = Item.Schemes[I];
         FunctionTypes &FT = Report.Funcs[F];
@@ -1095,6 +1137,19 @@ const TypeReport &AnalysisSession::analyze() {
       switch (Item.Mode) {
       case P2Mode::Solve: {
         ++Report.Stats.SccsSolved;
+        // Full verification inspects every sketch decoded from the
+        // summary cache/store before anything derives from it. Iterating
+        // Wanted (not the solution map) keeps the diagnostic order
+        // deterministic.
+        if (VL == VerifyLevel::Full && Item.SolFromCache)
+          for (TypeVariable V : Item.Wanted) {
+            std::string VName = V.isVar() && V.symbol() < S.size()
+                                    ? S.name(V.symbol())
+                                    : "<invalid>";
+            verifySketch(Item.Sol.sketchFor(V), Lat,
+                         "phase2 cached solution for '" + VName + "'",
+                         VDiags);
+          }
         if (Cache && !Item.SolFromCache && !Item.Wanted.empty()) {
           std::vector<std::pair<TypeVariable, const Sketch *>> Entries;
           Entries.reserve(Item.Wanted.size());
@@ -1156,6 +1211,9 @@ const TypeReport &AnalysisSession::analyze() {
           Sketch Final = refineSketch(
               std::move(Raw), F,
               ActIt == ActualSketches.end() ? None : ActIt->second);
+          if (VL != VerifyLevel::Off)
+            verifySketch(Final, Lat,
+                         "phase2 sketch '" + M.Funcs[F].Name + "'", VDiags);
           if (KeepHist)
             Art->FinalSketches.push_back(Final);
           Report.Funcs[F].FuncSketch = std::move(Final);
@@ -1178,6 +1236,9 @@ const TypeReport &AnalysisSession::analyze() {
           Sketch Final = refineSketch(
               Art->RawSketches[I], F,
               ActIt == ActualSketches.end() ? None : ActIt->second);
+          if (VL != VerifyLevel::Off)
+            verifySketch(Final, Lat,
+                         "phase2 sketch '" + M.Funcs[F].Name + "'", VDiags);
           Art->FinalSketches[I] = Final;
           Report.Funcs[F].FuncSketch = std::move(Final);
         }
@@ -1191,8 +1252,16 @@ const TypeReport &AnalysisSession::analyze() {
       }
       case P2Mode::Reuse: {
         ++Report.Stats.SccsSolveReused;
-        for (size_t I = 0; I < Item.Members.size(); ++I)
+        for (size_t I = 0; I < Item.Members.size(); ++I) {
+          // Replayed final sketches are only re-inspected under Full —
+          // like reused schemes, they were verified when first computed.
+          if (VL == VerifyLevel::Full)
+            verifySketch(Art->FinalSketches[I], Lat,
+                         "phase2 reused sketch '" +
+                             M.Funcs[Item.Members[I]].Name + "'",
+                         VDiags);
           Report.Funcs[Item.Members[I]].FuncSketch = Art->FinalSketches[I];
+        }
         for (const auto &[CalleeName, Sk] : Art->CallsiteRecords)
           if (auto CalleeId = M.findFunction(CalleeName))
             ActualSketches[*CalleeId].push_back(Sk);
@@ -1266,6 +1335,7 @@ const TypeReport &AnalysisSession::analyze() {
   Report.Stats.PoolBindHits =
       EventCounters::PoolBindHits.load(std::memory_order_relaxed) -
       PoolBindHits0;
+  Report.VerifyErrors = std::move(VDiags.Errors);
 
   Analyzed = true;
   return Report;

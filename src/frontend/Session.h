@@ -52,6 +52,7 @@
 #include "core/Sketch.h"
 #include "core/Solver.h"
 #include "core/SummaryCache.h"
+#include "core/Verifier.h"
 #include "support/Hash128.h"
 #include "ctypes/Conversion.h"
 #include "mir/MIR.h"
@@ -163,6 +164,12 @@ struct TypeReport {
   /// correct either way.
   std::string StoreError;
 
+  /// Formation-rule violations the verifier found this run (empty when
+  /// clean, or when SessionOptions::Verify is Off). Fully rendered
+  /// one-line diagnostics, in deterministic wave-commit order — the same
+  /// order at any --jobs value.
+  std::vector<std::string> VerifyErrors;
+
   const FunctionTypes *typesOf(uint32_t FuncId) const {
     auto It = Funcs.find(FuncId);
     return It == Funcs.end() ? nullptr : &It->second;
@@ -203,6 +210,13 @@ struct SessionOptions {
   /// analyze() can be incremental. One-shot callers (the Pipeline facade)
   /// turn this off to skip the bookkeeping entirely.
   bool KeepHistory = true;
+  /// Formation-rule verification level (core/Verifier.h). Off adds zero
+  /// work to the pipeline (EventCounters::VerifierChecks stays 0). Phase
+  /// verifies freshly committed artifacts at the wave-order commit
+  /// points; Full additionally verifies artifacts replayed from the
+  /// summary cache and the durable store. Findings are collected in
+  /// TypeReport::VerifyErrors — the run always completes.
+  VerifyLevel Verify = VerifyLevel::Off;
   ConversionOptions Conversion;
   SimplifyOptions Simplify;
 };

@@ -66,6 +66,7 @@ bool splitOperands(std::string_view S, std::string_view &A,
 
 std::optional<Module> AsmParser::parse(std::string_view Text) {
   Module M;
+  LineTable.clear();
   // Index of the function being parsed (-1 outside); an index is used
   // instead of a pointer because Funcs may reallocate on addFunction.
   int CurIdx = -1;
@@ -223,7 +224,12 @@ std::optional<Module> AsmParser::parse(std::string_view Text) {
                                         : trim(Line.substr(Space));
 
     Instr I;
-    auto Emit = [&]() { Cur().Body.push_back(I); };
+    auto Emit = [&]() {
+      if (LineTable.size() < M.Funcs.size())
+        LineTable.resize(M.Funcs.size());
+      LineTable[CurIdx].push_back(LineNo);
+      Cur().Body.push_back(I);
+    };
 
     auto RegOp = [&](std::string_view S, Reg &Out) -> bool {
       auto R = regByName(std::string(trim(S)));
@@ -427,5 +433,7 @@ std::optional<Module> AsmParser::parse(std::string_view Text) {
     }
     M.Funcs[CallSites[K].first].Body[CallSites[K].second].Target = *Callee;
   }
+  if (LineTable.size() < M.Funcs.size())
+    LineTable.resize(M.Funcs.size());
   return M;
 }

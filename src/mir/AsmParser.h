@@ -31,9 +31,11 @@
 
 #include "mir/MIR.h"
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace retypd {
 
@@ -45,8 +47,17 @@ public:
 
   const std::string &error() const { return Err; }
 
+  /// 1-based source line of every parsed instruction: lineTable()[F][K] is
+  /// the line that produced Funcs[F].Body[K]. Sized to the module's
+  /// function count after a successful parse (externals get empty rows).
+  /// The module verifier uses this to render file:line diagnostics.
+  const std::vector<std::vector<uint32_t>> &lineTable() const {
+    return LineTable;
+  }
+
 private:
   std::string Err;
+  std::vector<std::vector<uint32_t>> LineTable;
 };
 
 } // namespace retypd

@@ -1,0 +1,227 @@
+//===- Verifier.cpp - Structural module verification -------------------------===//
+
+#include "mir/Verifier.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace retypd;
+
+namespace {
+
+constexpr uint8_t kRegNone = static_cast<uint8_t>(Reg::None);
+constexpr uint8_t kMaxOpcode = static_cast<uint8_t>(Opcode::Nop);
+constexpr uint8_t kMaxCond = static_cast<uint8_t>(Cond::Gt);
+
+bool regEncodable(Reg R) { return static_cast<uint8_t>(R) <= kRegNone; }
+bool regPresent(Reg R) { return static_cast<uint8_t>(R) < NumRegs; }
+
+/// Per-opcode operand requirements: which register operands must hold a
+/// real register, and whether the instruction reads a memory operand.
+struct OpShape {
+  bool NeedDst = false;
+  bool NeedSrc = false;
+  bool NeedMem = false;
+};
+
+OpShape shapeOf(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mov:
+    return {true, true, false};
+  case Opcode::MovImm:
+  case Opcode::MovGlobal:
+    return {true, false, false};
+  case Opcode::Load:
+  case Opcode::Lea:
+    return {true, false, true};
+  case Opcode::Store:
+    return {false, true, true};
+  case Opcode::StoreImm:
+    return {false, false, true};
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Cmp:
+  case Opcode::Test:
+    return {true, true, false};
+  case Opcode::AddImm:
+  case Opcode::SubImm:
+  case Opcode::AndImm:
+  case Opcode::OrImm:
+  case Opcode::CmpImm:
+    return {true, false, false};
+  case Opcode::Push:
+  case Opcode::CallInd:
+    return {false, true, false};
+  case Opcode::Pop:
+    return {true, false, false};
+  case Opcode::PushImm:
+  case Opcode::Jmp:
+  case Opcode::Jcc:
+  case Opcode::Call:
+  case Opcode::Ret:
+  case Opcode::Halt:
+  case Opcode::Nop:
+    return {};
+  }
+  return {};
+}
+
+} // namespace
+
+ModuleVerifyResult retypd::verifyModule(const Module &M) {
+  ModuleVerifyResult R;
+  auto Err = [&](uint32_t F, uint32_t I, std::string Msg) {
+    R.Errors.push_back({F, I, std::move(Msg)});
+  };
+
+  // Module-level: duplicate names and name-map consistency. Duplicates
+  // make FuncByName/GlobalByName silently drop entries, so the analyses'
+  // by-name lookups would resolve to the wrong definition.
+  {
+    std::unordered_set<std::string> Seen;
+    for (uint32_t F = 0; F < M.Funcs.size(); ++F)
+      if (!Seen.insert(M.Funcs[F].Name).second)
+        Err(F, ModuleDiag::NoPos,
+            "duplicate function name '" + M.Funcs[F].Name + "'");
+    Seen.clear();
+    for (uint32_t G = 0; G < M.Globals.size(); ++G)
+      if (!Seen.insert(M.Globals[G].Name).second)
+        Err(ModuleDiag::NoPos, ModuleDiag::NoPos,
+            "duplicate global name '" + M.Globals[G].Name + "'");
+  }
+  for (const auto &[Name, Id] : M.FuncByName)
+    if (Id >= M.Funcs.size() || M.Funcs[Id].Name != Name)
+      Err(ModuleDiag::NoPos, ModuleDiag::NoPos,
+          "function name map entry '" + Name + "' does not match its function");
+  for (const auto &[Name, Id] : M.GlobalByName)
+    if (Id >= M.Globals.size() || M.Globals[Id].Name != Name)
+      Err(ModuleDiag::NoPos, ModuleDiag::NoPos,
+          "global name map entry '" + Name + "' does not match its global");
+  for (uint32_t F = 0; F < M.Funcs.size(); ++F)
+    if (!M.FuncByName.count(M.Funcs[F].Name))
+      Err(F, ModuleDiag::NoPos,
+          "function '" + M.Funcs[F].Name + "' missing from the name map");
+
+  if (!M.Funcs.empty() && M.EntryFunc >= M.Funcs.size())
+    Err(ModuleDiag::NoPos, ModuleDiag::NoPos,
+        "entry function id " + std::to_string(M.EntryFunc) +
+            " out of range (module has " + std::to_string(M.Funcs.size()) +
+            " functions)");
+
+  for (uint32_t F = 0; F < M.Funcs.size(); ++F) {
+    const Function &Fn = M.Funcs[F];
+    if (Fn.IsExternal) {
+      if (!Fn.Body.empty())
+        Err(F, 0, "external function '" + Fn.Name + "' has a body");
+      continue;
+    }
+    for (Reg P : Fn.RegParams)
+      if (!regPresent(P))
+        Err(F, ModuleDiag::NoPos,
+            "register parameter of '" + Fn.Name + "' is not a register");
+
+    for (uint32_t I = 0; I < Fn.Body.size(); ++I) {
+      const Instr &Ins = Fn.Body[I];
+      if (static_cast<uint8_t>(Ins.Op) > kMaxOpcode) {
+        Err(F, I,
+            "unknown opcode " + std::to_string(static_cast<unsigned>(Ins.Op)));
+        continue; // shape table has nothing to say about it
+      }
+      const char *Name = opcodeName(Ins.Op);
+
+      // Register-class sanity first: any encodable slot must hold a value
+      // the Reg enum covers, required slots must hold a real register.
+      if (!regEncodable(Ins.Dst) || !regEncodable(Ins.Src) ||
+          !regEncodable(Ins.Mem.Base)) {
+        Err(F, I, std::string(Name) + ": register operand out of range");
+        continue;
+      }
+      OpShape S = shapeOf(Ins.Op);
+      if (S.NeedDst && !regPresent(Ins.Dst))
+        Err(F, I, std::string(Name) + ": missing destination register");
+      if (S.NeedSrc && !regPresent(Ins.Src))
+        Err(F, I, std::string(Name) + ": missing source register");
+      if (S.NeedMem) {
+        if (Ins.Mem.Size != 1 && Ins.Mem.Size != 2 && Ins.Mem.Size != 4 &&
+            Ins.Mem.Size != 8)
+          Err(F, I,
+              std::string(Name) + ": bad memory access size " +
+                  std::to_string(static_cast<unsigned>(Ins.Mem.Size)));
+        if (Ins.Mem.isGlobal()) {
+          if (Ins.Mem.GlobalSym >= M.Globals.size())
+            Err(F, I,
+                std::string(Name) + ": memory operand references global #" +
+                    std::to_string(Ins.Mem.GlobalSym) + " of " +
+                    std::to_string(M.Globals.size()));
+        } else if (!regPresent(Ins.Mem.Base)) {
+          Err(F, I,
+              std::string(Name) +
+                  ": memory operand has neither base register nor global");
+        }
+      }
+
+      switch (Ins.Op) {
+      case Opcode::Jmp:
+      case Opcode::Jcc:
+        if (Ins.Target >= Fn.Body.size())
+          Err(F, I,
+              std::string(Name) + ": branch target #" +
+                  std::to_string(Ins.Target) + " out of range (function has " +
+                  std::to_string(Fn.Body.size()) + " instructions)");
+        if (Ins.Op == Opcode::Jcc &&
+            static_cast<uint8_t>(Ins.CC) > kMaxCond)
+          Err(F, I, "jcc: unknown condition code");
+        break;
+      case Opcode::Call:
+        if (Ins.Target >= M.Funcs.size())
+          Err(F, I,
+              "call: unknown call target #" + std::to_string(Ins.Target) +
+                  " (module has " + std::to_string(M.Funcs.size()) +
+                  " functions)");
+        break;
+      case Opcode::MovGlobal:
+        if (Ins.Target >= M.Globals.size())
+          Err(F, I,
+              "mov: unknown global #" + std::to_string(Ins.Target) +
+                  " (module has " + std::to_string(M.Globals.size()) +
+                  " globals)");
+        break;
+      default:
+        break;
+      }
+    }
+
+    // A conditional branch as the last instruction falls through past the
+    // end of the body on its false edge.
+    if (!Fn.Body.empty() && Fn.Body.back().Op == Opcode::Jcc)
+      Err(F, static_cast<uint32_t>(Fn.Body.size() - 1),
+          "conditional branch falls off the end of '" + Fn.Name + "'");
+  }
+  return R;
+}
+
+std::string retypd::renderModuleDiags(
+    const Module &M, const ModuleVerifyResult &R, std::string_view File,
+    const std::vector<std::vector<uint32_t>> *Lines) {
+  std::string Prefix = File.empty() ? "<module>" : std::string(File);
+  std::string Out;
+  for (const ModuleDiag &D : R.Errors) {
+    if (Lines && D.Func < Lines->size() && D.Instr < (*Lines)[D.Func].size()) {
+      Out += Prefix + ":" + std::to_string((*Lines)[D.Func][D.Instr]) +
+             ": error: " + D.Message + "\n";
+      continue;
+    }
+    Out += Prefix + ": ";
+    if (D.Func != ModuleDiag::NoPos && D.Func < M.Funcs.size()) {
+      Out += "function '" + M.Funcs[D.Func].Name + "'";
+      if (D.Instr != ModuleDiag::NoPos)
+        Out += " instr #" + std::to_string(D.Instr);
+      Out += ": ";
+    }
+    Out += "error: " + D.Message + "\n";
+  }
+  return Out;
+}

@@ -14,6 +14,7 @@
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <unordered_set>
 
 #include <fcntl.h>
 #include <sys/file.h>
@@ -29,6 +30,22 @@ namespace fs = std::filesystem;
 //===----------------------------------------------------------------------===//
 
 namespace {
+
+/// Dispatches on the two strerror_r flavors: XSI returns int and fills
+/// Buf; GNU returns the message pointer (which may ignore Buf).
+template <class Ret> const char *strerrorResult(Ret, const char *Buf) {
+  return Buf;
+}
+const char *strerrorResult(char *Msg, const char *Buf) {
+  return Msg ? Msg : Buf;
+}
+
+/// Thread-safe errno rendering: multiple store writers can fail
+/// concurrently, and strerror shares a static buffer.
+std::string errnoString(int E) {
+  char Buf[128] = "unknown error";
+  return strerrorResult(strerror_r(E, Buf, sizeof(Buf)), Buf);
+}
 
 /// kind(1) + key(16) + crc(4) + at least one length byte.
 constexpr size_t kMinRecordBytes = 1 + 16 + 4 + 1;
@@ -341,12 +358,12 @@ public:
     Fd = ::open(Path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
     if (Fd < 0) {
       if (Err)
-        *Err = "cannot open " + Path + ": " + std::strerror(errno);
+        *Err = "cannot open " + Path + ": " + errnoString(errno);
       return false;
     }
     if (::flock(Fd, LOCK_EX) != 0) {
       if (Err)
-        *Err = "cannot lock " + Path + ": " + std::strerror(errno);
+        *Err = "cannot lock " + Path + ": " + errnoString(errno);
       ::close(Fd);
       Fd = -1;
       return false;
@@ -370,7 +387,7 @@ bool writeFileDurable(const std::string &Path, std::string_view Bytes,
                   0644);
   if (Fd < 0) {
     if (Err)
-      *Err = "cannot create " + Path + ": " + std::strerror(errno);
+      *Err = "cannot create " + Path + ": " + errnoString(errno);
     return false;
   }
   size_t Done = 0;
@@ -380,7 +397,7 @@ bool writeFileDurable(const std::string &Path, std::string_view Bytes,
       if (errno == EINTR)
         continue;
       if (Err)
-        *Err = "cannot write " + Path + ": " + std::strerror(errno);
+        *Err = "cannot write " + Path + ": " + errnoString(errno);
       ::close(Fd);
       ::unlink(Path.c_str());
       return false;
@@ -417,7 +434,7 @@ bool writeManifest(const std::string &Dir, const ManifestData &MD,
   std::string Final = Dir + "/MANIFEST";
   if (std::rename(Tmp.c_str(), Final.c_str()) != 0) {
     if (Err)
-      *Err = "cannot publish MANIFEST: " + std::string(std::strerror(errno));
+      *Err = "cannot publish MANIFEST: " + errnoString(errno);
     std::remove(Tmp.c_str());
     return false;
   }
@@ -990,7 +1007,7 @@ bool Store::writePoolAdditionsLocked(size_t FromId, std::string *Err) {
   int Fd = ::open((Dir + "/" + PoolName).c_str(), O_RDWR | O_CLOEXEC);
   if (Fd < 0) {
     if (Err)
-      *Err = "cannot open pool " + PoolName + ": " + std::strerror(errno);
+      *Err = "cannot open pool " + PoolName + ": " + errnoString(errno);
     return false;
   }
   // Heal a torn pool tail before appending: under the exclusive lock,
@@ -1148,7 +1165,7 @@ bool Store::writePendingLocked(std::string *Err) {
       if (errno == EINTR)
         continue;
       if (Err)
-        *Err = "cannot append to " + A.Name + ": " + std::strerror(errno);
+        *Err = "cannot append to " + A.Name + ": " + errnoString(errno);
       return false;
     }
     Done += static_cast<size_t>(N);
@@ -1450,4 +1467,218 @@ StoreInfo Store::inspect(const std::string &Dir, unsigned SchemaVersion) {
   Info.KeyCount = LiveAt.size();
   Info.Ok = true;
   return Info;
+}
+
+//===----------------------------------------------------------------------===//
+// fsck
+//===----------------------------------------------------------------------===//
+
+StoreFsckReport Store::fsck(
+    const std::string &Dir, unsigned SchemaVersion,
+    const std::function<bool(std::string_view, uint64_t)> &ValidatePayload) {
+  StoreFsckReport Rep;
+  std::error_code EC;
+  if (!fs::is_directory(Dir, EC)) {
+    Rep.Error = "not a directory";
+    return Rep;
+  }
+  ManifestData MD;
+  std::string E;
+  ManifestStatus St = readManifest(Dir + "/MANIFEST", SchemaVersion, MD, &E);
+  if (St == ManifestStatus::Missing) {
+    Rep.Error = "no MANIFEST — not an artifact store";
+    return Rep;
+  }
+  if (St == ManifestStatus::Stale || St == ManifestStatus::Newer) {
+    Rep.Stale = St == ManifestStatus::Stale;
+    Rep.Newer = St == ManifestStatus::Newer;
+    Rep.Error = E;
+    return Rep;
+  }
+  if (St != ManifestStatus::Ok) {
+    // A readable but malformed MANIFEST: the scan cannot run, but the
+    // finding is still localized (the MANIFEST itself).
+    Rep.Error = E;
+    Rep.Violations.push_back({"MANIFEST", 0, false, {}, E});
+    return Rep;
+  }
+  Rep.Generation = MD.Generation;
+
+  auto Violate = [&](const std::string &File, uint64_t Off, std::string Msg) {
+    Rep.Violations.push_back({File, Off, false, {}, std::move(Msg)});
+  };
+  auto ViolateKey = [&](const std::string &File, uint64_t Off,
+                        const Hash128 &K, std::string Msg) {
+    Rep.Violations.push_back({File, Off, true, K, std::move(Msg)});
+  };
+
+  // ---- Cross-references: every store-shaped file accounted for --------
+  {
+    std::unordered_set<std::string> Referenced(MD.SegmentNames.begin(),
+                                               MD.SegmentNames.end());
+    if (!MD.PoolName.empty())
+      Referenced.insert(MD.PoolName);
+    for (const auto &Entry : fs::directory_iterator(Dir, EC)) {
+      std::string Name = Entry.path().filename().string();
+      bool StoreShaped = Name.size() > 5 &&
+                         (Name.rfind(".rseg") == Name.size() - 5 ||
+                          Name.rfind(".rpool") == Name.size() - 6);
+      if (StoreShaped && !Referenced.count(Name))
+        Violate(Name, 0,
+                "not referenced by MANIFEST (orphan of an interrupted "
+                "compaction)");
+    }
+  }
+
+  // ---- The name pool --------------------------------------------------
+  // A name's pool id is its ordinal, so the first corrupt record
+  // invalidates every id at or after it; the walk distinguishes that
+  // from a torn tail and reports the exact offset either way.
+  uint64_t PoolSize = 0;
+  if (!MD.PoolName.empty()) {
+    if (!fs::exists(Dir + "/" + MD.PoolName, EC)) {
+      Violate(MD.PoolName, 0, "pool file named by MANIFEST is missing");
+    } else {
+      std::string PB = slurpFile(Dir + "/" + MD.PoolName);
+      size_t H = parsePoolHeader(PB, MD.SchemaVersion);
+      if (H == 0) {
+        Violate(MD.PoolName, 0, "bad pool header");
+      } else {
+        size_t Pos = H;
+        bool Bad = false;
+        while (Pos + 8 <= PB.size()) {
+          uint32_t Crc = loadLE32(PB.data() + Pos);
+          uint64_t Len = loadLE32(PB.data() + Pos + 4);
+          if (Len > kMaxPoolNameBytes || Len > PB.size() - Pos - 8) {
+            Violate(MD.PoolName, Pos,
+                    "torn pool record for name #" + std::to_string(PoolSize));
+            Bad = true;
+            break;
+          }
+          Crc32c C;
+          C.update(PB.data() + Pos + 4, 4 + Len);
+          if (C.value() != Crc) {
+            Violate(MD.PoolName, Pos,
+                    "pool name record #" + std::to_string(PoolSize) +
+                        " CRC mismatch (this id and every later one is "
+                        "unresolvable)");
+            Bad = true;
+            break;
+          }
+          ++PoolSize;
+          Pos += 8 + Len;
+        }
+        if (!Bad && Pos != PB.size())
+          Violate(MD.PoolName, Pos,
+                  "torn pool tail (" + std::to_string(PB.size() - Pos) +
+                      " trailing bytes)");
+      }
+    }
+  }
+  Rep.PoolNames = PoolSize;
+
+  // ---- Segments: frame CRC, kind convention, payload validation -------
+  struct SegScan {
+    std::string Bytes;
+    std::vector<RawRecord> Recs;
+    size_t ValidEnd = 0;
+  };
+  std::vector<SegScan> Scans(MD.SegmentNames.size());
+  std::unordered_map<Hash128, std::pair<size_t, size_t>, Hash128Hasher>
+      LiveAt; // key -> (segment, record index), last frame-valid wins
+  for (size_t SI = 0; SI < MD.SegmentNames.size(); ++SI) {
+    const std::string &Name = MD.SegmentNames[SI];
+    SegScan &SS = Scans[SI];
+    if (!fs::exists(Dir + "/" + Name, EC)) {
+      Violate(Name, 0, "segment named by MANIFEST is missing");
+      continue;
+    }
+    SS.Bytes = slurpFile(Dir + "/" + Name);
+    size_t Header = parseSegmentHeader(SS.Bytes, MD.SchemaVersion);
+    if (Header == 0) {
+      Violate(Name, 0, "bad segment header");
+      continue;
+    }
+    ++Rep.SegmentsScanned;
+    SS.ValidEnd = scanRecords(SS.Bytes, Header, SS.Recs);
+    Rep.RecordsScanned += SS.Recs.size();
+    if (SS.ValidEnd != SS.Bytes.size())
+      Violate(Name, SS.ValidEnd,
+              "torn record tail (" +
+                  std::to_string(SS.Bytes.size() - SS.ValidEnd) +
+                  " trailing bytes unreadable)");
+    for (size_t RI = 0; RI < SS.Recs.size(); ++RI) {
+      const RawRecord &R = SS.Recs[RI];
+      if (R.Corrupt) {
+        ViolateKey(Name, R.Start, R.Key, "record CRC32C mismatch");
+        continue;
+      }
+      LiveAt[R.Key] = {SI, RI};
+      std::string_view Body(SS.Bytes.data() + R.BodyOff, R.BodyLen);
+      // Kind-byte convention (appends stamp the payload's leading tag
+      // byte); only meaningful for payloads the caller can interpret.
+      if (ValidatePayload && R.BodyLen > 0 &&
+          R.Kind != static_cast<uint8_t>(static_cast<unsigned char>(Body[0])))
+        ViolateKey(Name, R.Start, R.Key,
+                   "kind byte " + std::to_string(unsigned(R.Kind)) +
+                       " disagrees with payload tag " +
+                       std::to_string(unsigned(static_cast<unsigned char>(
+                           Body[0]))));
+      if (ValidatePayload && !ValidatePayload(Body, PoolSize))
+        ViolateKey(Name, R.Start, R.Key,
+                   "payload fails structural validation against a pool of " +
+                       std::to_string(PoolSize) + " names");
+    }
+  }
+  for (const auto &[K, Loc] : LiveAt) {
+    (void)K;
+    (void)Loc;
+    ++Rep.LiveRecords;
+  }
+
+  // ---- LWW liveness reconciled with inspect() -------------------------
+  // inspect() attributes live/dead bytes with its own pass over the same
+  // files; the two accountings must agree exactly.
+  StoreInfo Info = Store::inspect(Dir, SchemaVersion);
+  if (!Info.Ok) {
+    Violate("MANIFEST", 0, "inspect() failed on a scannable store: " +
+                               Info.Error);
+  } else {
+    if (Info.KeyCount != LiveAt.size())
+      Violate("MANIFEST", 0,
+              "liveness accounting mismatch: fsck sees " +
+                  std::to_string(LiveAt.size()) + " live keys, inspect " +
+                  std::to_string(Info.KeyCount));
+    if (Info.PoolNames != PoolSize)
+      Violate(MD.PoolName.empty() ? "MANIFEST" : MD.PoolName, 0,
+              "pool accounting mismatch: fsck sees " +
+                  std::to_string(PoolSize) + " names, inspect " +
+                  std::to_string(Info.PoolNames));
+    for (size_t SI = 0;
+         SI < Scans.size() && SI < Info.Segments.size(); ++SI) {
+      size_t Live = 0, LiveBytes = 0;
+      for (size_t RI = 0; RI < Scans[SI].Recs.size(); ++RI) {
+        const RawRecord &R = Scans[SI].Recs[RI];
+        if (R.Corrupt)
+          continue;
+        auto It = LiveAt.find(R.Key);
+        if (It != LiveAt.end() && It->second.first == SI &&
+            It->second.second == RI) {
+          ++Live;
+          LiveBytes += R.TotalLen;
+        }
+      }
+      if (Live != Info.Segments[SI].LiveRecords ||
+          LiveBytes != Info.Segments[SI].LiveBytes)
+        Violate(MD.SegmentNames[SI], 0,
+                "per-segment liveness mismatch: fsck sees " +
+                    std::to_string(Live) + " live records / " +
+                    std::to_string(LiveBytes) + " bytes, inspect " +
+                    std::to_string(Info.Segments[SI].LiveRecords) + " / " +
+                    std::to_string(Info.Segments[SI].LiveBytes));
+    }
+  }
+
+  Rep.Ok = true;
+  return Rep;
 }

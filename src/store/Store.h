@@ -155,6 +155,36 @@ struct StoreInfo {
   std::vector<StoreSegmentInfo> Segments;
 };
 
+/// One violation found by Store::fsck, localized to the exact file and
+/// byte offset of the containing record (or header / torn tail), plus
+/// the record's key when its frame was readable.
+struct StoreFsckViolation {
+  std::string File;    ///< file name within the store directory
+  uint64_t Offset = 0; ///< byte offset of the violating record/site
+  bool HasKey = false; ///< Key holds the containing record's key
+  Hash128 Key{};
+  std::string Message;
+};
+
+/// What Store::fsck found. `Ok` means the directory was readable as a
+/// store of the wanted schema and the full scan ran; `clean()` means Ok
+/// with zero violations. A store that cannot even be scanned (missing,
+/// foreign, stale, or newer) reports !Ok with Error set.
+struct StoreFsckReport {
+  bool Ok = false;
+  std::string Error;  ///< why the scan could not run, when !Ok
+  bool Stale = false; ///< recognized store, OLDER format/schema
+  bool Newer = false; ///< recognized store written by a NEWER binary
+  uint64_t Generation = 0;
+  size_t SegmentsScanned = 0;
+  size_t RecordsScanned = 0; ///< frame-complete records across segments
+  size_t LiveRecords = 0;    ///< LWW-live among the frame-valid records
+  size_t PoolNames = 0;      ///< valid name records in the pool file
+  std::vector<StoreFsckViolation> Violations;
+
+  bool clean() const { return Ok && Violations.empty(); }
+};
+
 /// Outcome of one Store::compact call.
 struct StoreCompactResult {
   uint64_t Generation = 0;   ///< the new MANIFEST generation
@@ -296,6 +326,29 @@ public:
   /// flag and an actionable Error.
   static StoreInfo inspect(const std::string &Dir,
                            unsigned SchemaVersion = 0);
+
+  /// Offline fsck over a store directory — the auditor behind
+  /// `retypd-cli cache verify`. Opens nothing, heals nothing, writes
+  /// nothing; every finding is localized to file + offset (+ record key
+  /// where the frame was readable):
+  ///
+  ///  - MANIFEST cross-references: every named segment/pool file exists
+  ///    and carries a well-formed header of the manifest's schema;
+  ///    unreferenced `*.rseg`/`*.rpool` files are reported as orphans.
+  ///  - Per record: CRC32C over the whole frame, the kind-byte/payload
+  ///    tag convention, and (when \p ValidatePayload is supplied — pass
+  ///    the owning cache's structural validator) payload validation
+  ///    against the pool size, which covers pool-id referential
+  ///    integrity. Torn tails are reported at their exact offset.
+  ///  - The pool file: per-name CRC walk distinguishing a corrupt record
+  ///    (every later pool id is invalidated) from a torn tail.
+  ///  - LWW liveness: fsck's own last-writer-wins accounting is
+  ///    reconciled against inspect() — key count, per-segment live
+  ///    records, live/dead bytes must agree.
+  static StoreFsckReport
+  fsck(const std::string &Dir, unsigned SchemaVersion = 0,
+       const std::function<bool(std::string_view Payload, uint64_t PoolSize)>
+           &ValidatePayload = {});
 
   /// True when \p Path is a directory that looks like (any version of) a
   /// store — used by the CLI to route `cache` verbs.

@@ -42,6 +42,7 @@ std::atomic<uint64_t> EventCounters::StorePayloadCopies{0};
 std::atomic<uint64_t> EventCounters::SegmentValidates{0};
 std::atomic<uint64_t> EventCounters::PoolBinds{0};
 std::atomic<uint64_t> EventCounters::PoolBindHits{0};
+std::atomic<uint64_t> EventCounters::VerifierChecks{0};
 
 void EventCounters::reset() {
   ConstraintParseCalls.store(0, std::memory_order_relaxed);
@@ -56,6 +57,7 @@ void EventCounters::reset() {
   SegmentValidates.store(0, std::memory_order_relaxed);
   PoolBinds.store(0, std::memory_order_relaxed);
   PoolBindHits.store(0, std::memory_order_relaxed);
+  VerifierChecks.store(0, std::memory_order_relaxed);
 }
 
 namespace {

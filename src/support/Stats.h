@@ -79,6 +79,11 @@ struct EventCounters {
   /// hashing. A warm run must show nonzero PoolBindHits.
   static std::atomic<uint64_t> PoolBinds;
   static std::atomic<uint64_t> PoolBindHits;
+  /// Top-level objects checked by the formation-rule verifier
+  /// (core/Verifier.h). With --verify=off this must stay ZERO — the
+  /// verifier adds no work to the hot path — and bench_warmpath asserts
+  /// it.
+  static std::atomic<uint64_t> VerifierChecks;
 
   /// Zeroes every counter. Call between measured runs.
   static void reset();

@@ -185,6 +185,64 @@ TEST(GoldenTest, StoreWarmMatchesLegacyFileAndFreshRuns) {
   fs::remove(File);
 }
 
+TEST(GoldenTest, VerifyFullIsByteIdenticalAndClean) {
+  // --verify=full must be a pure observer: for the whole corpus, the
+  // rendered report is byte-identical to the unverified run at any job
+  // count, no formation-rule violations are found, and the checks
+  // actually ran (the Off-mode counter gate lives in bench_warmpath).
+  for (const fs::path &P : corpus()) {
+    std::string Plain = runReport(P, 1);
+    for (unsigned Jobs : {1u, 4u}) {
+      Module M = parseProgram(P);
+      Lattice Lat = makeDefaultLattice();
+      PipelineOptions Opts;
+      Opts.Jobs = Jobs;
+      Opts.Verify = VerifyLevel::Full;
+      uint64_t Checks0 =
+          EventCounters::VerifierChecks.load(std::memory_order_relaxed);
+      Pipeline Pipe(Lat, Opts);
+      TypeReport R = Pipe.run(M);
+      EXPECT_TRUE(R.VerifyErrors.empty())
+          << P << " jobs=" << Jobs << ": " << R.VerifyErrors.front();
+      EXPECT_GT(EventCounters::VerifierChecks.load(std::memory_order_relaxed),
+                Checks0)
+          << "verify=full ran no checks: " << P;
+      ReportPrintOptions Print;
+      Print.Schemes = true;
+      EXPECT_EQ(renderReport(R, M, Lat, Print), Plain)
+          << "verify=full changed the report: " << P << " jobs=" << Jobs;
+    }
+  }
+}
+
+TEST(GoldenTest, VerifyFullCoversCacheReplayedArtifacts) {
+  // A warm cached run under Full re-verifies the decoded artifacts; it
+  // must stay clean and byte-identical too.
+  const fs::path P = corpus().front();
+  std::string Plain = runReport(P, 1);
+  SummaryCache Cache;
+  Module MCold = parseProgram(P);
+  Lattice Lat = makeDefaultLattice();
+  PipelineOptions Opts;
+  Opts.Jobs = 2;
+  Opts.Cache = &Cache;
+  Opts.Verify = VerifyLevel::Full;
+  {
+    Pipeline Pipe(Lat, Opts);
+    TypeReport R = Pipe.run(MCold);
+    EXPECT_TRUE(R.VerifyErrors.empty()) << R.VerifyErrors.front();
+  }
+  Module MWarm = parseProgram(P);
+  Pipeline Pipe(Lat, Opts);
+  TypeReport R = Pipe.run(MWarm);
+  EXPECT_TRUE(R.VerifyErrors.empty()) << R.VerifyErrors.front();
+  EXPECT_GT(Cache.hits(), 0u);
+  ReportPrintOptions Print;
+  Print.Schemes = true;
+  EXPECT_EQ(renderReport(R, MWarm, Lat, Print), Plain)
+      << "verified warm run diverged: " << P;
+}
+
 TEST(GoldenTest, StoreWarmIsByteIdenticalAcrossJobCounts) {
   fs::path Dir = fs::temp_directory_path() / "retypd_golden_store_jobs";
   fs::remove_all(Dir);

@@ -440,3 +440,101 @@ TEST(CliTest, CrossProcessHammerLeavesStoreCleanAndDecodable) {
   EXPECT_EQ(R.Exit, 0) << R.Out;
   fs::remove_all(Dir);
 }
+
+//===----------------------------------------------------------------------===//
+// Verification surfaces (--verify, module verifier, cache verify)
+//===----------------------------------------------------------------------===//
+
+TEST(CliTest, MalformedAsmExitsTwoListingEveryError) {
+  // Structurally malformed input must never reach constraint generation:
+  // exit 2, and ALL violations are reported, not just the first.
+  fs::path Bad = writeTemp("cli_bad_module.asm",
+                           "fn f:\n"
+                           "  jz end\n"
+                           "end:\n"
+                           "fn f:\n"
+                           "  ret\n");
+  CmdResult R = runCli("analyze " + Bad.string());
+  EXPECT_EQ(R.Exit, 2) << R.Out;
+  EXPECT_NE(R.Out.find("duplicate function name 'f'"), std::string::npos)
+      << R.Out;
+  EXPECT_NE(R.Out.find("branch target"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("falls off the end"), std::string::npos) << R.Out;
+  // file:line positions come from the parser's line table.
+  EXPECT_NE(R.Out.find(Bad.string() + ":2: error:"), std::string::npos)
+      << R.Out;
+  fs::remove(Bad);
+}
+
+TEST(CliTest, VerifyFlagParsesAndRunsCleanOnGoldens) {
+  CmdResult R = runCli("analyze --verify=full " +
+                       goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  CmdResult Plain = runCli("analyze " + goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(R.Out, Plain.Out) << "--verify=full changed the report";
+
+  R = runCli("analyze --verify=banana " + goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(R.Exit, 2);
+  EXPECT_NE(R.Out.find("--verify expects off, phase or full"),
+            std::string::npos)
+      << R.Out;
+
+  R = runCli("reanalyze --verify=phase " + goldenAsm("list_traverse.asm") +
+             " " + goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+}
+
+TEST(CliTest, CacheVerifyCleanAndCorrupt) {
+  fs::path Dir = fs::temp_directory_path() / "cli_store_verify";
+  fs::remove_all(Dir);
+
+  // Empty dir: vacuously clean, untouched.
+  fs::create_directories(Dir);
+  CmdResult R = runCli("cache verify " + Dir.string());
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("empty store"), std::string::npos) << R.Out;
+  EXPECT_TRUE(fs::is_empty(Dir)) << "cache verify polluted an empty dir";
+
+  CmdResult Pop = runCli("analyze --store " + Dir.string() + " " +
+                         goldenAsm("list_traverse.asm"));
+  ASSERT_EQ(Pop.Exit, 0) << Pop.Out;
+
+  R = runCli("cache verify " + Dir.string());
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find(": clean"), std::string::npos) << R.Out;
+  R = runCli("cache verify --format=json " + Dir.string());
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("\"clean\": true"), std::string::npos) << R.Out;
+
+  // Flip one byte of the segment: nonzero exit naming file+offset+key.
+  fs::path Seg;
+  for (const auto &E : fs::directory_iterator(Dir))
+    if (E.path().extension() == ".rseg")
+      Seg = E.path();
+  ASSERT_FALSE(Seg.empty());
+  std::string Bytes = slurpFile(Seg);
+  ASSERT_GT(Bytes.size(), 100u);
+  Bytes[100] = static_cast<char>(Bytes[100] ^ 0xff);
+  {
+    std::ofstream Out(Seg, std::ios::binary | std::ios::trunc);
+    Out << Bytes;
+  }
+  R = runCli("cache verify " + Dir.string());
+  EXPECT_EQ(R.Exit, 1) << R.Out;
+  EXPECT_NE(R.Out.find(Seg.filename().string() + ":"), std::string::npos)
+      << R.Out;
+  EXPECT_NE(R.Out.find("key "), std::string::npos) << R.Out;
+  R = runCli("cache verify --format=json " + Dir.string());
+  EXPECT_EQ(R.Exit, 1) << R.Out;
+  EXPECT_NE(R.Out.find("\"clean\": false"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("\"offset\": "), std::string::npos) << R.Out;
+
+  // verify on a FILE is rejected with guidance.
+  fs::path File = writeTemp("cli_verify_file.bin", "not a dir");
+  R = runCli("cache verify " + File.string());
+  EXPECT_EQ(R.Exit, 2);
+  EXPECT_NE(R.Out.find("artifact store directory"), std::string::npos)
+      << R.Out;
+  fs::remove(File);
+  fs::remove_all(Dir);
+}

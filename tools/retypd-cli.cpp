@@ -14,6 +14,11 @@
 //   retypd-cli cache prune PATH --max-bytes N   drop largest entries
 //   retypd-cli cache compact DIR           fold an artifact store's dead
 //                                          records into a fresh segment
+//   retypd-cli cache verify DIR            offline fsck of an artifact
+//                                          store: manifest cross-refs,
+//                                          per-record CRC + payload
+//                                          validation, pool integrity,
+//                                          liveness reconciliation
 //   retypd-cli help [command]
 //
 // `retypd-cli [options] prog.asm` (no subcommand) still works and means
@@ -35,6 +40,10 @@
 //                                store: appends are journaled, reads are
 //                                zero-copy out of mmapped segments
 //   --format=text|json           report rendering
+//   --verify=off|phase|full      formation-rule checks at phase
+//                                boundaries (phase) and additionally on
+//                                cache/store-replayed artifacts (full);
+//                                violations go to stderr, exit 2
 // analyze only:
 //   --strip                      stripped-binary round trip first
 //   --engine=retypd|unify|interval   baseline engines (text only)
@@ -44,11 +53,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "baseline/Baselines.h"
+#include "core/SchemeCodec.h"
 #include "frontend/ReportJson.h"
 #include "frontend/ReportPrinter.h"
 #include "frontend/Session.h"
 #include "loader/BinaryImage.h"
 #include "mir/AsmParser.h"
+#include "mir/Verifier.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -134,11 +145,14 @@ int usage(FILE *Out = stderr) {
       "                                         directory info\n"
       "  cache prune PATH --max-bytes N         shrink a cache file / store\n"
       "  cache compact DIR                      reclaim a store's dead bytes\n"
+      "  cache verify DIR                       offline fsck of a store:\n"
+      "                                         every violation named by\n"
+      "                                         file, offset and key\n"
       "  help [command]                         this text\n"
       "\n"
       "analyze/reanalyze options:\n"
       "  --schemes --sketches --stats --jobs N --summary-cache FILE\n"
-      "  --store DIR --format=text|json\n"
+      "  --store DIR --format=text|json --verify=off|phase|full\n"
       "analyze only: --strip --engine=retypd|unify|interval\n"
       "\n"
       "'retypd-cli [options] prog.asm' without a command means 'analyze'.\n");
@@ -169,6 +183,7 @@ bool parseJobs(const char *Text, unsigned &Jobs) {
 struct AnalyzeOpts {
   bool Schemes = false, Sketches = false, Strip = false, Stats = false;
   unsigned Jobs = 1;
+  VerifyLevel Verify = VerifyLevel::Off;
   std::string Engine = "retypd";
   std::string CachePath;
   std::string StoreDir;
@@ -178,10 +193,10 @@ struct AnalyzeOpts {
 
 const std::vector<std::string> kAnalyzeFlags = {
     "--schemes", "--sketches",      "--strip",   "--stats",  "--jobs",
-    "--summary-cache", "--store", "--engine=", "--format="};
+    "--summary-cache", "--store", "--engine=", "--format=", "--verify="};
 const std::vector<std::string> kReanalyzeFlags = {
     "--schemes", "--sketches", "--stats", "--jobs",
-    "--summary-cache", "--store", "--format="};
+    "--summary-cache", "--store", "--format=", "--verify="};
 
 /// Parses analyze/reanalyze arguments from argv[Start..). Returns 0 on
 /// success, 2 on a usage error (already reported).
@@ -236,6 +251,15 @@ int parseAnalyzeArgs(int argc, char **argv, int Start, const char *Command,
                      O.Format.c_str());
         return 2;
       }
+    } else if (Arg.rfind("--verify=", 0) == 0) {
+      auto Level = parseVerifyLevel(Arg.substr(9));
+      if (!Level) {
+        std::fprintf(stderr,
+                     "error: --verify expects off, phase or full, got '%s'\n",
+                     Arg.c_str() + 9);
+        return 2;
+      }
+      O.Verify = *Level;
     } else if (!Arg.empty() && Arg[0] == '-') {
       // Flags gated off for this command get a precise message, not a
       // self-referential "did you mean".
@@ -253,11 +277,15 @@ int parseAnalyzeArgs(int argc, char **argv, int Start, const char *Command,
   return 0;
 }
 
-/// Reads and parses one assembly module; reports errors itself.
-std::optional<Module> loadAsm(const std::string &Path) {
+/// Reads, parses and structurally verifies one assembly module; reports
+/// errors itself. On failure \p Rc is set to the exit code: 1 when the
+/// file cannot be read, 2 when the input is malformed (parse error or
+/// module-verifier diagnostics — all of them, not just the first).
+std::optional<Module> loadAsm(const std::string &Path, int &Rc) {
   std::ifstream In(Path);
   if (!In) {
     std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+    Rc = 1;
     return std::nullopt;
   }
   std::stringstream Buf;
@@ -267,6 +295,19 @@ std::optional<Module> loadAsm(const std::string &Path) {
   if (!M) {
     std::fprintf(stderr, "%s: parse error: %s\n", Path.c_str(),
                  Parser.error().c_str());
+    Rc = 2;
+    return std::nullopt;
+  }
+  // Nothing malformed may reach constraint generation undiagnosed: check
+  // the structural well-formedness rules and report every violation with
+  // a file:line position where the parser's line table has one.
+  ModuleVerifyResult V = verifyModule(*M);
+  if (!V.ok()) {
+    std::string Text = renderModuleDiags(*M, V, Path, &Parser.lineTable());
+    std::fwrite(Text.data(), 1, Text.size(), stderr);
+    std::fprintf(stderr, "%s: %zu malformed-module error%s\n", Path.c_str(),
+                 V.Errors.size(), V.Errors.size() == 1 ? "" : "s");
+    Rc = 2;
     return std::nullopt;
   }
   if (auto Main = M->findFunction("main"))
@@ -350,8 +391,25 @@ SessionOptions sessionOptsFor(const AnalyzeOpts &O, bool Incremental) {
   SO.Jobs = O.Jobs;
   SO.UseSummaryCache = !O.CachePath.empty() || !O.StoreDir.empty();
   SO.StoreDir = O.StoreDir;
+  SO.Verify = O.Verify;
   SO.KeepHistory = Incremental;
   return SO;
+}
+
+/// Prints formation-rule violations found under --verify and returns the
+/// exit code: 2 when there are any, 0 otherwise. The report itself has
+/// already been printed — a verifier finding means the pipeline produced
+/// a malformed artifact, and the output cannot be trusted.
+int checkVerify(AnalysisSession &S, const AnalyzeOpts &O) {
+  const std::vector<std::string> &Errs = S.report()->VerifyErrors;
+  if (Errs.empty())
+    return 0;
+  for (const std::string &E : Errs)
+    std::fprintf(stderr, "verify: error: %s\n", E.c_str());
+  std::fprintf(stderr, "verify: %zu formation-rule violation%s (--verify=%s)\n",
+               Errs.size(), Errs.size() == 1 ? "" : "s",
+               verifyLevelName(O.Verify));
+  return 2;
 }
 
 /// A requested store that failed to open is loud and fatal: silently
@@ -394,9 +452,10 @@ int cmdAnalyze(int argc, char **argv, int Start, const char *Command) {
     return usage();
   }
 
-  auto M = loadAsm(O.Paths[0]);
+  int LoadRc = 1;
+  auto M = loadAsm(O.Paths[0], LoadRc);
   if (!M)
-    return 1;
+    return LoadRc;
 
   if (O.Strip) {
     EncodedImage Img = encodeModule(*M);
@@ -433,7 +492,7 @@ int cmdAnalyze(int argc, char **argv, int Start, const char *Command) {
   warnStoreFlush(S, O);
   saveCacheIfAsked(S, O);
   printReport(S, O);
-  return 0;
+  return checkVerify(S, O);
 }
 
 int cmdReanalyze(int argc, char **argv, int Start) {
@@ -448,10 +507,13 @@ int cmdReanalyze(int argc, char **argv, int Start) {
     return usage();
   }
 
-  auto Base = loadAsm(O.Paths[0]);
-  auto Edited = loadAsm(O.Paths[1]);
-  if (!Base || !Edited)
-    return 1;
+  int LoadRc = 1;
+  auto Base = loadAsm(O.Paths[0], LoadRc);
+  if (!Base)
+    return LoadRc;
+  auto Edited = loadAsm(O.Paths[1], LoadRc);
+  if (!Edited)
+    return LoadRc;
 
   AnalysisSession S(makeDefaultLattice(), sessionOptsFor(O, true));
   if (int Rc = checkStore(S, O))
@@ -464,7 +526,7 @@ int cmdReanalyze(int argc, char **argv, int Start) {
   warnStoreFlush(S, O);
   saveCacheIfAsked(S, O);
   printReport(S, O);
-  return 0;
+  return checkVerify(S, O);
 }
 
 //===----------------------------------------------------------------------===//
@@ -653,16 +715,96 @@ int storePrune(const std::string &Dir, size_t MaxBytes,
   return 0;
 }
 
+/// `cache verify`: offline fsck over an artifact store. Read-only; every
+/// violation is localized to its file, byte offset and (when the framing
+/// was readable) record key. Exit 0 = clean, 1 = violations or an
+/// unscannable store.
+int storeVerify(const std::string &Dir, const std::string &Format) {
+  bool Empty = Store::isUninitializedDir(Dir);
+  StoreFsckReport Rep;
+  if (Empty)
+    Rep.Ok = true; // the pre-first-analyze state: vacuously clean
+  else
+    Rep = Store::fsck(Dir, kSummaryCacheSchemaVersion, validatePayload);
+  if (Format == "json") {
+    std::string Viols = "[";
+    for (size_t I = 0; I < Rep.Violations.size(); ++I) {
+      const StoreFsckViolation &V = Rep.Violations[I];
+      if (I)
+        Viols += ", ";
+      Viols += "{\"file\": \"" + jsonEscape(V.File) +
+               "\", \"offset\": " + std::to_string(V.Offset);
+      if (V.HasKey) {
+        char KeyBuf[36];
+        std::snprintf(KeyBuf, sizeof(KeyBuf), "%016llx%016llx",
+                      static_cast<unsigned long long>(V.Key.Hi),
+                      static_cast<unsigned long long>(V.Key.Lo));
+        Viols += std::string(", \"key\": \"") + KeyBuf + "\"";
+      }
+      Viols += ", \"message\": \"" + jsonEscape(V.Message) + "\"}";
+    }
+    Viols += "]";
+    std::printf("{\"store\": \"%s\", \"ok\": %s, \"empty\": %s, "
+                "\"clean\": %s, \"generation\": %llu, "
+                "\"segments_scanned\": %zu, \"records_scanned\": %zu, "
+                "\"live_records\": %zu, \"pool_names\": %zu, "
+                "\"violations\": %s, \"error\": \"%s\"}\n",
+                jsonEscape(Dir).c_str(), Rep.Ok ? "true" : "false",
+                Empty ? "true" : "false", Rep.clean() ? "true" : "false",
+                static_cast<unsigned long long>(Rep.Generation),
+                Rep.SegmentsScanned, Rep.RecordsScanned, Rep.LiveRecords,
+                Rep.PoolNames, Viols.c_str(), jsonEscape(Rep.Error).c_str());
+    return Rep.clean() ? 0 : 1;
+  }
+  std::printf("store: %s\n", Dir.c_str());
+  if (!Rep.Ok) {
+    std::printf("verify: cannot scan: %s\n", Rep.Error.c_str());
+    for (const StoreFsckViolation &V : Rep.Violations)
+      std::printf("%s:%llu: %s\n", V.File.c_str(),
+                  static_cast<unsigned long long>(V.Offset),
+                  V.Message.c_str());
+    return 1;
+  }
+  if (Empty) {
+    std::printf("verify: empty store (not yet initialized): clean\n");
+    return 0;
+  }
+  for (const StoreFsckViolation &V : Rep.Violations) {
+    if (V.HasKey)
+      std::printf("%s:%llu: key %016llx%016llx: %s\n", V.File.c_str(),
+                  static_cast<unsigned long long>(V.Offset),
+                  static_cast<unsigned long long>(V.Key.Hi),
+                  static_cast<unsigned long long>(V.Key.Lo),
+                  V.Message.c_str());
+    else
+      std::printf("%s:%llu: %s\n", V.File.c_str(),
+                  static_cast<unsigned long long>(V.Offset),
+                  V.Message.c_str());
+  }
+  std::printf("verify: generation %llu, %zu segments, %zu records "
+              "(%zu live), %zu pool names: %s\n",
+              static_cast<unsigned long long>(Rep.Generation),
+              Rep.SegmentsScanned, Rep.RecordsScanned, Rep.LiveRecords,
+              Rep.PoolNames,
+              Rep.Violations.empty()
+                  ? "clean"
+                  : (std::to_string(Rep.Violations.size()) + " violations")
+                        .c_str());
+  return Rep.clean() ? 0 : 1;
+}
+
 int cmdCache(int argc, char **argv, int Start) {
-  const std::vector<std::string> Actions = {"inspect", "prune", "compact"};
+  const std::vector<std::string> Actions = {"inspect", "prune", "compact",
+                                            "verify"};
   if (Start >= argc) {
     std::fprintf(stderr,
                  "error: 'cache' expects an action: inspect, prune, "
-                 "compact\n");
+                 "compact, verify\n");
     return usage();
   }
   std::string Action = argv[Start];
-  if (Action != "inspect" && Action != "prune" && Action != "compact") {
+  if (Action != "inspect" && Action != "prune" && Action != "compact" &&
+      Action != "verify") {
     std::string Hint = suggestFor(Action, Actions);
     if (!Hint.empty())
       std::fprintf(stderr,
@@ -734,16 +876,18 @@ int cmdCache(int argc, char **argv, int Start) {
       return storeInspect(File, Format);
     if (Action == "compact")
       return storeCompact(File, Format);
+    if (Action == "verify")
+      return storeVerify(File, Format);
     if (!HaveMaxBytes) {
       std::fprintf(stderr, "error: 'cache prune' requires --max-bytes N\n");
       return usage();
     }
     return storePrune(File, MaxBytes, Format);
   }
-  if (Action == "compact") {
+  if (Action == "compact" || Action == "verify") {
     std::fprintf(stderr,
-                 "error: 'cache compact' expects an artifact store "
-                 "directory; for files use 'cache prune'\n");
+                 "error: 'cache %s' expects an artifact store directory\n",
+                 Action.c_str());
     return 2;
   }
 
