@@ -69,6 +69,10 @@ struct RunResult {
   uint64_t StoreCopies = 0;
   uint64_t PoolBindHits = 0;
   uint64_t VerifierChecks = 0;
+  uint64_t SccsScheduled = 0;
+  uint64_t BatchesFormed = 0;
+  uint64_t MaxReadyQueue = 0;
+  uint64_t CommitStalls = 0;
 };
 
 RunResult timedRun(const SynthProgram &P, const Lattice &Lat,
@@ -84,8 +88,11 @@ RunResult timedRun(const SynthProgram &P, const Lattice &Lat,
   auto T0 = std::chrono::steady_clock::now();
   Pipeline Pipe(Lat, Opts);
   TypeReport R = Pipe.run(M);
-  (void)R;
   RunResult Out;
+  Out.SccsScheduled = R.Stats.SccsScheduled;
+  Out.BatchesFormed = R.Stats.BatchesFormed;
+  Out.MaxReadyQueue = R.Stats.MaxReadyQueue;
+  Out.CommitStalls = R.Stats.CommitStalls;
   Out.WallSecs = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - T0)
                      .count();
@@ -158,6 +165,10 @@ void emitPhases(FILE *J, const RunResult &R, const char *Indent) {
                "%s\"store_payload_copies\": %llu,\n"
                "%s\"pool_bind_hits\": %llu,\n"
                "%s\"verifier_checks\": %llu,\n"
+               "%s\"sccs_scheduled\": %llu,\n"
+               "%s\"batches_formed\": %llu,\n"
+               "%s\"max_ready_queue\": %llu,\n"
+               "%s\"commit_stalls\": %llu,\n"
                "%s\"wall_secs\": %.6f\n",
                Indent, phase(R, "pipeline.phase0"), Indent,
                phase(R, "pipeline.generate"), Indent,
@@ -179,6 +190,10 @@ void emitPhases(FILE *J, const RunResult &R, const char *Indent) {
                static_cast<unsigned long long>(R.StoreCopies), Indent,
                static_cast<unsigned long long>(R.PoolBindHits), Indent,
                static_cast<unsigned long long>(R.VerifierChecks), Indent,
+               static_cast<unsigned long long>(R.SccsScheduled), Indent,
+               static_cast<unsigned long long>(R.BatchesFormed), Indent,
+               static_cast<unsigned long long>(R.MaxReadyQueue), Indent,
+               static_cast<unsigned long long>(R.CommitStalls), Indent,
                R.WallSecs);
 }
 

@@ -110,4 +110,22 @@ CallGraph::CallGraph(const Module &M) {
   Waves.assign(Sccs.empty() ? 0 : MaxDepth + 1, {});
   for (uint32_t S : BottomUp)
     Waves[Depth[S]].push_back(S);
+
+  // Reverse condensation edges, deduplicated by construction (SccSuccs
+  // already is). Built in ascending SCC order so the adjacency — and with
+  // it the order newly-ready SCCs enter the scheduler — is deterministic.
+  SccPreds.resize(Sccs.size());
+  for (uint32_t S = 0; S < Sccs.size(); ++S)
+    for (uint32_t T : SccSuccs[S])
+      SccPreds[T].push_back(S);
+
+  // Commit sequences for the readiness scheduler: the wave concatenations,
+  // which are topological orders of the condensation in both directions
+  // and match the historical wave-by-wave commit order byte for byte.
+  BottomUpSeq.reserve(Sccs.size());
+  for (const std::vector<uint32_t> &W : Waves)
+    BottomUpSeq.insert(BottomUpSeq.end(), W.begin(), W.end());
+  TopDownSeq.reserve(Sccs.size());
+  for (auto It = Waves.rbegin(); It != Waves.rend(); ++It)
+    TopDownSeq.insert(TopDownSeq.end(), It->begin(), It->end());
 }

@@ -46,6 +46,28 @@ public:
     return SccSuccs[Scc];
   }
 
+  /// Deduplicated SCC-level caller edges (condensation DAG predecessors —
+  /// the reverse of sccCallees). The top-down scheduler counts these as
+  /// its dependencies; the bottom-up scheduler notifies them on commit.
+  const std::vector<uint32_t> &sccCallers(uint32_t Scc) const {
+    return SccPreds[Scc];
+  }
+
+  /// Every SCC id, in concatenated bottom-up wave order. This is the
+  /// phase-1 commit sequence: a topological order of the condensation
+  /// (callees strictly before callers) that is identical for every --jobs
+  /// value, and byte-compatible with the historical wave-by-wave commit
+  /// order the golden corpus was recorded under.
+  const std::vector<uint32_t> &bottomUpOrder() const { return BottomUpSeq; }
+
+  /// Every SCC id, in concatenated top-down wave order (the reverse wave
+  /// concatenation, NOT the element-wise reverse of bottomUpOrder). This
+  /// is the phase-2 commit sequence: callers strictly before callees, and
+  /// exactly the order in which callsite sketches have always been pushed
+  /// into the refinement accumulators — sketch joins are order-sensitive,
+  /// so this sequence is part of the byte-identity contract.
+  const std::vector<uint32_t> &topDownOrder() const { return TopDownSeq; }
+
   /// The bottom-up wavefront: Waves[0] holds the leaf SCCs (no callees
   /// outside themselves), Waves[k] the SCCs whose deepest callee chain has
   /// length k. Every SCC in a wave depends only on strictly earlier waves,
@@ -70,7 +92,10 @@ private:
   std::vector<std::vector<uint32_t>> Sccs;
   std::vector<uint32_t> BottomUp;
   std::vector<std::vector<uint32_t>> SccSuccs;
+  std::vector<std::vector<uint32_t>> SccPreds;
   std::vector<std::vector<uint32_t>> Waves;
+  std::vector<uint32_t> BottomUpSeq;
+  std::vector<uint32_t> TopDownSeq;
 };
 
 } // namespace retypd

@@ -8,6 +8,7 @@ TypeReport Pipeline::run(Module &M) {
   SessionOptions SOpts;
   SOpts.RefineParameters = Opts.RefineParameters;
   SOpts.Jobs = Opts.Jobs;
+  SOpts.TinySccConstraints = Opts.TinySccConstraints;
   SOpts.Conversion = Opts.Conversion;
   SOpts.Simplify = Opts.Simplify;
   // Match the historical batch behavior exactly: no memoization at all

@@ -7,8 +7,9 @@
 /// \file
 /// The classic batch entry point: machine-code module in, C types out.
 /// Since the API redesign this is a thin facade over `AnalysisSession`
-/// (frontend/Session.h), which owns the actual wave-parallel engine and
-/// additionally supports incremental re-analysis and structured queries.
+/// (frontend/Session.h), which owns the readiness-scheduled parallel
+/// engine and additionally supports incremental re-analysis and
+/// structured queries.
 /// `Pipeline` remains the right tool for one-shot callers (benchmarks,
 /// evaluation sweeps, tests) that want a `TypeReport` by value and no
 /// resident state.
@@ -33,10 +34,13 @@ namespace retypd {
 struct PipelineOptions {
   /// Apply Algorithm F.3 (specialize formals to their observed uses).
   bool RefineParameters = true;
-  /// Total executors for the per-wave parallel stages. 1 = run inline on
-  /// the calling thread (same code path, so results are identical); 0 =
-  /// one per hardware thread.
+  /// Total executors for the readiness-scheduled parallel stages. 1 = run
+  /// inline on the calling thread (same code path, so results are
+  /// identical); 0 = one per hardware thread.
   unsigned Jobs = 1;
+  /// Tiny-SCC batching threshold (see SessionOptions::TinySccConstraints).
+  /// 0 disables batching; results are byte-identical at any setting.
+  unsigned TinySccConstraints = 64;
   /// Optional content-addressed scheme cache (not owned). Shared across
   /// runs and across modules; thread safe.
   SummaryCache *Cache = nullptr;

@@ -82,7 +82,11 @@ std::string retypd::statsJson(const PipelineStats &S) {
   J += "\"schemes_reused\": " + std::to_string(S.SchemesReused) + ", ";
   J += "\"sccs_solved\": " + std::to_string(S.SccsSolved) + ", ";
   J += "\"sccs_refined_only\": " + std::to_string(S.SccsRefinedOnly) + ", ";
-  J += "\"sccs_solve_reused\": " + std::to_string(S.SccsSolveReused);
+  J += "\"sccs_solve_reused\": " + std::to_string(S.SccsSolveReused) + ", ";
+  J += "\"sccs_scheduled\": " + std::to_string(S.SccsScheduled) + ", ";
+  J += "\"batches_formed\": " + std::to_string(S.BatchesFormed) + ", ";
+  J += "\"max_ready_queue\": " + std::to_string(S.MaxReadyQueue) + ", ";
+  J += "\"commit_stalls\": " + std::to_string(S.CommitStalls);
   J += "}";
   return J;
 }

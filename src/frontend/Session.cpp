@@ -1,9 +1,17 @@
 //===- Session.cpp - Long-lived incremental analysis engine ---------------===//
 //
-// The resident engine. One analyze() call runs the same wave-parallel
-// phases as the classic batch pipeline — constraint generation and commits
-// sequential in SCC order, simplification/solving fanned out per wave —
-// but consults the previous run's per-SCC artifacts first:
+// The resident engine. One analyze() call runs both inference phases under
+// a dependency-counted readiness scheduler (no wave barriers): every SCC
+// owns a commit slot at its fixed position in the bottom-up (phase 1) or
+// top-down (phase 2) sequence, becomes ready the moment its last
+// dependency SCC commits, and is then prepped by the main thread —
+// generation is not thread-safe, so it stays there — and dispatched to the
+// thread pool for simplification/solving, with ready tiny SCCs batched
+// into shared work units to amortize dispatch. Workers publish results
+// into their own slots; the main thread commits slots strictly in sequence
+// order, which replays the exact sequential schedule and keeps reports
+// byte-identical for every --jobs value. The previous run's per-SCC
+// artifacts are consulted at prep:
 //
 //   phase 1: an SCC whose members' body hashes and whose callees' scheme
 //     hashes are unchanged replays its schemes; a recomputed SCC whose
@@ -16,11 +24,11 @@
 //   phase 3: C-type conversion always re-runs (it is cheap and keeps
 //     struct numbering identical to a from-scratch analysis).
 //
-// Byte-identity with a from-scratch run follows inductively over waves:
-// generation is procedure-pure (fresh names are procedure/callsite-scoped),
-// simplification and solving are deterministic functions of the constraint
-// sequence, and every reused artifact was produced by an identical-input
-// computation in an earlier run.
+// Byte-identity with a from-scratch run follows inductively over the
+// commit sequence: generation is procedure-pure (fresh names are
+// procedure/callsite-scoped), simplification and solving are deterministic
+// functions of the constraint sequence, and every reused artifact was
+// produced by an identical-input computation in an earlier run.
 //
 //===----------------------------------------------------------------------===//
 
@@ -35,10 +43,14 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <limits>
+#include <mutex>
 #include <set>
 #include <thread>
+#include <utility>
 
 using namespace retypd;
 
@@ -467,12 +479,13 @@ Sketch AnalysisSession::refineSketch(Sketch Sk, uint32_t FuncId,
 
 namespace {
 
-/// Phase-1 unit for an SCC that must be (re)computed. Cache runs probe the
-/// generation cache's META prefix on the pool first (prefetch-decoding the
-/// wave's gen payloads without materializing any constraints); misses are
-/// generated on the main thread; simplification runs on the pool and
-/// lazily materializes the constraint set only when a member's scheme
-/// probe misses; commits happen on the main thread in wave order.
+/// Phase-1 commit slot for an SCC that must be (re)computed. The main
+/// thread preps it when its last callee commits (gen-cache META probe
+/// inline — no constraints materialized — and generation of misses);
+/// simplification runs on the pool inside a work unit and lazily
+/// materializes the constraint set only when a member's scheme probe
+/// misses; the slot is then published and committed on the main thread in
+/// bottom-up sequence order.
 struct P1Item {
   uint32_t Scc = 0;
   std::string Key;
@@ -484,18 +497,23 @@ struct P1Item {
   Hash128 SetHash;                       ///< structural hash (cache runs only)
   SummaryKey GenKey{};                   ///< gen content key (cache runs)
   bool HasGenKey = false;
-  std::optional<GenResultMeta> Meta;     ///< parallel meta-probe result
+  std::optional<GenResultMeta> Meta;     ///< meta-probe result
   std::unordered_set<TypeVariable> Interesting;
   std::vector<TypeScheme> Schemes;       ///< filled by the worker
   /// The worker needed the constraints but materializeGen came back empty
   /// (entry evicted/pruned between the meta probe and the residual
-  /// decode); the main thread regenerates and re-simplifies inline.
+  /// decode); the main thread regenerates and re-simplifies inline at
+  /// this slot's commit.
   bool SimplifyFailed = false;
+  double SimplifySecs = 0; ///< worker-side time, summed into stats at commit
 };
 
 enum class P2Mode { Solve, RefineOnly, Reuse };
 
-/// Phase-2 unit per SCC.
+/// Phase-2 commit slot per SCC. Solve-mode slots are dispatched to the
+/// pool; RefineOnly/Reuse slots publish at prep and do all their work at
+/// the sequence-ordered commit (callsite-sketch pushes are join-order-
+/// sensitive, so they can only ever happen in commit order).
 struct P2Item {
   uint32_t Scc = 0;
   P2Mode Mode = P2Mode::Solve;
@@ -509,6 +527,16 @@ struct P2Item {
   /// The solve worker needed the SCC's (lazily replayed) constraints but
   /// the gen entry vanished; the main thread regenerates + solves inline.
   bool NeedGen = false;
+  double SolveSecs = 0; ///< worker-side time, summed into stats at commit
+};
+
+/// Slot lifecycle shared by both phase drivers. Trivial slots (external-
+/// only SCCs, phase-2 SCCs with nothing to solve) and replay slots publish
+/// at prep; compute slots publish from the pool work unit that ran them.
+enum SlotStatus : uint8_t {
+  SlotTrivial = 0, ///< nothing to do beyond readiness bookkeeping
+  SlotReplay,      ///< artifact replay; effects at prep or commit, no pool
+  SlotCompute,     ///< dispatched to the pool as (part of) a work unit
 };
 
 } // namespace
@@ -530,7 +558,15 @@ const TypeReport &AnalysisSession::analyze() {
   if (Jobs == 0)
     Jobs = std::max(1u, std::thread::hardware_concurrency());
   Report.Stats.JobsUsed = Jobs;
-  ThreadPool Pool(Jobs > 1 ? Jobs - 1 : 0);
+  // The main thread is an executor too (the drainer runs work units
+  // between commits), so Jobs executors means Jobs - 1 pool workers,
+  // and total executors are capped at the machine width: runnable
+  // threads beyond the core count add preemption, never progress (on a
+  // single hardware thread --jobs N drains inline, workerless). Output
+  // bytes never depend on worker count — commit order is fixed by
+  // sequence numbers — so the cap is invisible outside timing.
+  const unsigned HwWidth = std::max(1u, std::thread::hardware_concurrency());
+  ThreadPool Pool(std::min(Jobs, HwWidth) - 1);
 
   // Formation-rule verification (core/Verifier.h). All hooks sit at the
   // main-thread, wave-order commit points below, so the diagnostics come
@@ -642,91 +678,233 @@ const TypeReport &AnalysisSession::analyze() {
   };
 
   // ---- Phase 1: bottom-up scheme inference (Algorithm F.1) ----
-  for (const std::vector<uint32_t> &Wave : CG.bottomUpWaves()) {
-    std::vector<P1Item> Items;
+  //
+  // Readiness-scheduled, no wave barriers. Every SCC owns a commit slot
+  // at its fixed position in the bottom-up sequence (the wave
+  // concatenation — a topological order identical for every --jobs
+  // value). The main thread is prep + generator + drainer: an SCC is
+  // prepped the moment its last callee SCC commits (reuse check, gen-
+  // cache meta probe, inline generation — the constraint generator is
+  // not thread-safe), simplification is dispatched to the pool with
+  // ready tiny SCCs batched into shared work units, and published slots
+  // are committed strictly in sequence order. Readiness is driven by
+  // commits, so everything a prep reads (Schemes, SchemeChanged, the
+  // artifact maps) is final when it runs; and because the commit order
+  // replays the exact sequential schedule, report bytes cannot depend on
+  // scheduling. Workers only simplify: each writes its own slot,
+  // publishes it, and never touches shared session state.
+  {
+    const std::vector<uint32_t> &Seq = CG.bottomUpOrder();
+    std::vector<uint32_t> SeqOf(NumSccs, 0);
+    for (uint32_t I = 0; I < Seq.size(); ++I)
+      SeqOf[Seq[I]] = I;
 
-    {
-      Clock::time_point T0 = Clock::now();
-      ScopedPhaseTimer Timer("pipeline.generate");
-      for (uint32_t Scc : Wave) {
-        const std::vector<uint32_t> &AllMembers = CG.sccs()[Scc];
-        std::vector<uint32_t> Members;
-        std::vector<std::string> MemberNames;
-        for (uint32_t F : AllMembers) {
-          if (M.Funcs[F].IsExternal)
-            continue;
-          Members.push_back(F);
-          MemberNames.push_back(M.Funcs[F].Name);
+    std::vector<uint8_t> Status(NumSccs, SlotTrivial);
+    std::vector<P1Item> Slots(NumSccs);
+
+    // Uncommitted-callee counts. Only the drainer (main thread) mutates
+    // them: workers publish slots, they never touch readiness state.
+    std::vector<uint32_t> DepCount(NumSccs, 0);
+    for (uint32_t Scc = 0; Scc < NumSccs; ++Scc)
+      DepCount[Scc] = static_cast<uint32_t>(CG.sccCallees(Scc).size());
+
+    std::vector<std::atomic<uint8_t>> Done(NumSccs);
+    for (auto &D : Done)
+      D.store(0, std::memory_order_relaxed);
+    std::atomic<size_t> NextCommit{0};
+    std::atomic<uint64_t> Stalls{0};
+    std::atomic<bool> HasErr{false};
+    std::mutex SchedMu;
+    std::condition_variable SchedCv;
+    std::exception_ptr SchedErr; // guarded by SchedMu
+
+    // FIFO ready queue (main-thread only): SCCs whose callees have all
+    // committed, in deterministic commit-discovery order.
+    std::vector<uint32_t> ReadyQ;
+    size_t ReadyHead = 0;
+    auto pushReady = [&](uint32_t Scc) {
+      ReadyQ.push_back(Scc);
+      Report.Stats.MaxReadyQueue = std::max<uint64_t>(
+          Report.Stats.MaxReadyQueue, ReadyQ.size() - ReadyHead);
+    };
+    for (uint32_t Scc : Seq)
+      if (DepCount[Scc] == 0)
+        pushReady(Scc);
+
+    // Simplifies every member of one slot (worker side); returns false
+    // when the slot needed its (lazily replayed) constraint set but the
+    // cache entry vanished between the meta probe and the residual decode.
+    auto simplifyItem = [&](P1Item &Item) -> bool {
+      const std::vector<uint32_t> &AllMembers = CG.sccs()[Item.Scc];
+      Item.Schemes.resize(Item.Members.size());
+      // The residual decode, run at most once per SCC and only when a
+      // member's scheme probe misses: the fully warm path hands every
+      // member a cache hit and never touches the constraint set.
+      auto Constraints = [&]() -> const ConstraintSet * {
+        if (!Item.HasCombined) {
+          auto Replay = Cache->materializeGen(Item.GenKey, S, Lat);
+          if (!Replay)
+            return nullptr;
+          Item.Combined = std::move(Replay->C); // already canonical
+          Item.HasCombined = true;
         }
-        if (Members.empty())
-          continue;
-        std::string Key = sccKey(Scc, MemberNames);
+        return &Item.Combined;
+      };
+      for (size_t I = 0; I < Item.Members.size(); ++I) {
+        uint32_t F = Item.Members[I];
+        // The member's scheme keeps its SCC-mates and globals
+        // interesting. One structural hash per SCC (computed during
+        // generation) keys every member's cache probe.
+        std::unordered_set<TypeVariable> Keep = Item.Interesting;
+        for (uint32_t Mate : AllMembers)
+          if (Mate != F)
+            Keep.insert(Gen.procVar(Mate));
+        auto Scheme = summarize(Constraints, Item.SetHash, Gen.procVar(F),
+                                Keep, Simp, Cache);
+        if (!Scheme)
+          return false;
+        Item.Schemes[I] = std::move(*Scheme);
+      }
+      return true;
+    };
 
-        // ---- Reuse check: unchanged members, unchanged callee schemes.
-        SccArtifact *Reused = nullptr;
-        if (!AllDirty) {
-          auto ArtIt = Artifacts.find(Key);
-          bool Ok = ArtIt != Artifacts.end() &&
-                    ArtIt->second.MemberNames == MemberNames;
-          for (size_t I = 0; Ok && I < Members.size(); ++I) {
-            if (Edited[Members[I]]) {
+    // One pool work unit: simplify a group of slots, publish each as it
+    // finishes (a publish of the slot the drainer is blocked on wakes it
+    // via SchedCv; out-of-order publishes count as commit stalls).
+    auto submitUnit = [&](std::vector<uint32_t> Unit) {
+      ++Report.Stats.BatchesFormed;
+      Pool.submit([&, Unit = std::move(Unit)] {
+        ScopedPhaseTimer Timer("pipeline.simplify");
+        for (uint32_t Scc : Unit) {
+          P1Item &Item = Slots[Scc];
+          Clock::time_point T0 = Clock::now();
+          try {
+            Item.SimplifyFailed = !simplifyItem(Item);
+          } catch (...) {
+            // Record the first error and keep publishing: the drainer
+            // stops before committing further slots (one it already
+            // reached falls back to the deterministic inline recompute).
+            Item.SimplifyFailed = true;
+            std::lock_guard<std::mutex> Lock(SchedMu);
+            if (!SchedErr)
+              SchedErr = std::current_exception();
+            HasErr.store(true, std::memory_order_relaxed);
+          }
+          Item.SimplifySecs = secondsSince(T0);
+          if (SeqOf[Scc] != NextCommit.load(std::memory_order_relaxed))
+            Stalls.fetch_add(1, std::memory_order_relaxed);
+          Done[Scc].store(1, std::memory_order_release);
+        }
+        // Lock-then-notify so a publish cannot slip between the drainer's
+        // predicate check and its wait.
+        { std::lock_guard<std::mutex> Lock(SchedMu); }
+        SchedCv.notify_one();
+      });
+    };
+
+    std::vector<uint32_t> TinyBatch;
+    const unsigned TinyMax = Opts.TinySccConstraints;
+    constexpr size_t kMaxBatchSccs = 64;
+    auto flushTiny = [&] {
+      if (!TinyBatch.empty())
+        submitUnit(std::exchange(TinyBatch, {}));
+    };
+    auto dispatch = [&](uint32_t Scc) {
+      ++Report.Stats.SccsScheduled;
+      if (TinyMax != 0 && Slots[Scc].ConstraintCount < TinyMax) {
+        TinyBatch.push_back(Scc);
+        if (TinyBatch.size() >= kMaxBatchSccs)
+          flushTiny();
+      } else {
+        submitUnit({Scc});
+      }
+    };
+
+    // Prep one ready SCC (main thread): decide trivial/replay/compute,
+    // apply replay effects, generate compute slots, dispatch to the pool.
+    auto prep = [&](uint32_t Scc) {
+      P1Item &Item = Slots[Scc];
+      Item.Scc = Scc;
+      const std::vector<uint32_t> &AllMembers = CG.sccs()[Scc];
+      for (uint32_t F : AllMembers) {
+        if (M.Funcs[F].IsExternal)
+          continue;
+        Item.Members.push_back(F);
+        Item.MemberNames.push_back(M.Funcs[F].Name);
+      }
+      if (Item.Members.empty()) {
+        Done[Scc].store(1, std::memory_order_release);
+        return; // stays SlotTrivial
+      }
+      std::string Key = sccKey(Scc, Item.MemberNames);
+
+      // ---- Reuse check: unchanged members, unchanged callee schemes.
+      // Sound to evaluate here because every callee committed before this
+      // SCC became ready — their SchemeChanged entries are final.
+      SccArtifact *Reused = nullptr;
+      if (!AllDirty) {
+        auto ArtIt = Artifacts.find(Key);
+        bool Ok = ArtIt != Artifacts.end() &&
+                  ArtIt->second.MemberNames == Item.MemberNames;
+        for (size_t I = 0; Ok && I < Item.Members.size(); ++I) {
+          if (Edited[Item.Members[I]]) {
+            Ok = false;
+            break;
+          }
+          for (uint32_t Callee : CG.callees(Item.Members[I])) {
+            if (CG.sccOf(Callee) == Scc)
+              continue;
+            auto ChIt = SchemeChanged.find(M.Funcs[Callee].Name);
+            if (ChIt == SchemeChanged.end() || ChIt->second) {
               Ok = false;
               break;
             }
-            for (uint32_t Callee : CG.callees(Members[I])) {
-              if (CG.sccOf(Callee) == Scc)
-                continue;
-              auto ChIt = SchemeChanged.find(M.Funcs[Callee].Name);
-              if (ChIt == SchemeChanged.end() || ChIt->second) {
-                Ok = false;
-                break;
-              }
-            }
-          }
-          if (Ok) {
-            auto Ins = NewArtifacts.insert(Artifacts.extract(ArtIt));
-            Reused = &Ins.position->second;
           }
         }
-
-        if (Reused) {
-          // Full verification covers replayed artifacts too: a stale or
-          // corrupted incremental replay surfaces here instead of as a
-          // wrong report. The allowed-free set of a replayed scheme is
-          // not recorded, so the closure check is skipped (nullptr).
-          if (VL == VerifyLevel::Full)
-            for (size_t I = 0; I < Members.size(); ++I)
-              verifyScheme(Reused->MemberSchemes[I], S, Lat, nullptr,
-                           "phase1 reused scheme '" + MemberNames[I] + "'",
-                           VDiags);
-          for (size_t I = 0; I < Members.size(); ++I) {
-            uint32_t F = Members[I];
-            Schemes[F] = Reused->MemberSchemes[I];
-            FunctionTypes &FT = Report.Funcs[F];
-            FT.Scheme = Reused->MemberSchemes[I];
-            FT.NumParams =
-                M.Funcs[F].NumStackParams +
-                static_cast<unsigned>(M.Funcs[F].RegParams.size());
-            SchemeChanged[MemberNames[I]] = 0;
-            NewSchemeHashes[MemberNames[I]] = Reused->MemberSchemeHashes[I];
-          }
-          Report.ConstraintsGenerated += Reused->ConstraintCount;
-          ArtOfScc[Scc] = Reused;
-          ++Report.Stats.SccsReused;
-          Report.Stats.SchemesReused += Members.size();
-          continue;
+        if (Ok) {
+          auto Ins = NewArtifacts.insert(Artifacts.extract(ArtIt));
+          Reused = &Ins.position->second;
         }
+      }
 
-        // ---- Compute path: key now, meta-probe on the pool, generate
-        // misses sequentially, simplify on the pool below.
-        P1Computed[Scc] = 1;
-        ++Report.Stats.SccsSimplified;
+      if (Reused) {
+        // Apply the replay effects now: they are keyed, single-writer
+        // map/report writes, so their order across SCCs is immaterial.
+        // Full-mode verification of the replayed schemes waits for the
+        // commit slot, keeping diagnostics in sequence order.
+        for (size_t I = 0; I < Item.Members.size(); ++I) {
+          uint32_t F = Item.Members[I];
+          Schemes[F] = Reused->MemberSchemes[I];
+          FunctionTypes &FT = Report.Funcs[F];
+          FT.Scheme = Reused->MemberSchemes[I];
+          FT.NumParams =
+              M.Funcs[F].NumStackParams +
+              static_cast<unsigned>(M.Funcs[F].RegParams.size());
+          SchemeChanged[Item.MemberNames[I]] = 0;
+          NewSchemeHashes[Item.MemberNames[I]] =
+              Reused->MemberSchemeHashes[I];
+        }
+        Report.ConstraintsGenerated += Reused->ConstraintCount;
+        ArtOfScc[Scc] = Reused;
+        ++Report.Stats.SccsReused;
+        Report.Stats.SchemesReused += Item.Members.size();
+        Status[Scc] = SlotReplay;
+        Done[Scc].store(1, std::memory_order_release);
+        return;
+      }
+
+      // ---- Compute path: key + meta-probe + generate inline, then hand
+      // simplification to the pool. The meta probe overlaps with compute
+      // naturally here — other SCCs are simplifying on the workers while
+      // the main thread preps.
+      Status[Scc] = SlotCompute;
+      P1Computed[Scc] = 1;
+      ++Report.Stats.SccsSimplified;
+      Item.Key = std::move(Key);
+      Clock::time_point T0 = Clock::now();
+      {
+        ScopedPhaseTimer Timer("pipeline.generate");
         std::set<uint32_t> Mates(AllMembers.begin(), AllMembers.end());
-        P1Item Item;
-        Item.Scc = Scc;
-        Item.Key = std::move(Key);
-        Item.Members = std::move(Members);
-        Item.MemberNames = std::move(MemberNames);
         auto schemeHashFor = [&](uint32_t Callee) -> const Hash128 * {
           auto SchemeIt = Schemes.find(Callee);
           if (SchemeIt == Schemes.end())
@@ -738,8 +916,8 @@ const TypeReport &AnalysisSession::analyze() {
         };
 
         // Generation is content-addressed: the SCC's gen key combines the
-        // per-member dependency keys (own body, callee interfaces + scheme
-        // hashes, SCC membership, globals table, lattice — see
+        // per-member dependency keys (own body, callee interfaces +
+        // scheme hashes, SCC membership, globals table, lattice — see
         // ConstraintGenerator::genKey), and the cached payload is the
         // merged, canonicalized combined set with its structural hash. A
         // hit therefore replays exactly what the walk+merge+canonicalize+
@@ -747,38 +925,27 @@ const TypeReport &AnalysisSession::analyze() {
         // callsite variables the phase-2 solve-prep probe expects to find
         // interned (the meta decoder interns them).
         if (Cache) {
-          ScopedPhaseTimer KeyTimer("gencache.key");
-          Fnv128 KeyHash;
-          KeyHash.update("retypd-genscc-v1");
-          KeyHash.sep();
-          KeyHash.updateU64(Item.Members.size());
-          for (uint32_t F : Item.Members) {
-            Hash128 K = Gen.genKey(F, Mates, GenEnvSig, schemeHashFor);
-            KeyHash.updateU64(K.Hi);
-            KeyHash.updateU64(K.Lo);
+          {
+            ScopedPhaseTimer KeyTimer("gencache.key");
+            Fnv128 KeyHash;
+            KeyHash.update("retypd-genscc-v1");
+            KeyHash.sep();
+            KeyHash.updateU64(Item.Members.size());
+            for (uint32_t F : Item.Members) {
+              Hash128 K = Gen.genKey(F, Mates, GenEnvSig, schemeHashFor);
+              KeyHash.updateU64(K.Hi);
+              KeyHash.updateU64(K.Lo);
+            }
+            Item.GenKey = KeyHash.digest();
+            Item.HasGenKey = true;
           }
-          Item.GenKey = KeyHash.digest();
-          Item.HasGenKey = true;
+          // META prefix only — set hash, interesting/callsite variables,
+          // constraint count — straight off the mapped store bytes. No
+          // constraint set is materialized; the residual decode happens
+          // inside a simplify/solve worker if (and only if) a downstream
+          // probe misses.
+          Item.Meta = Cache->lookupGenMeta(Item.GenKey, S, Lat);
         }
-        Items.push_back(std::move(Item));
-      }
-
-      // Prefetch-decode this wave's generation payloads on the pool: the
-      // META prefix only — set hash, interesting/callsite variables,
-      // constraint count — straight off the mapped store bytes. No
-      // constraint set is materialized; the residual decode happens
-      // inside a simplify/solve worker if (and only if) a downstream
-      // probe misses, overlapping it with that wave's compute.
-      if (Cache) {
-        for (P1Item &Item : Items)
-          if (Item.HasGenKey)
-            Pool.submit([&] {
-              Item.Meta = Cache->lookupGenMeta(Item.GenKey, S, Lat);
-            });
-        Pool.waitAll();
-      }
-
-      for (P1Item &Item : Items) {
         if (Item.Meta) {
           // Replayed: adopt the meta; the constraints stay encoded until
           // a scheme or solution probe actually needs them.
@@ -791,8 +958,6 @@ const TypeReport &AnalysisSession::analyze() {
         } else {
           if (Item.HasGenKey)
             ++Report.Stats.GenCacheMisses;
-          const std::vector<uint32_t> &AllMembers = CG.sccs()[Item.Scc];
-          std::set<uint32_t> Mates(AllMembers.begin(), AllMembers.end());
           std::vector<TypeVariable> Callsites;
           for (uint32_t F : Item.Members) {
             GenResult R = Gen.generate(F, Schemes, Mates);
@@ -831,142 +996,181 @@ const TypeReport &AnalysisSession::analyze() {
         Report.ConstraintsGenerated += Item.ConstraintCount;
       }
       Report.Stats.GenerateSecs += secondsSince(T0);
-    }
+      dispatch(Scc);
+    };
 
-    {
-      Clock::time_point T0 = Clock::now();
-      ScopedPhaseTimer Timer("pipeline.simplify");
-      // Simplifies every member of one item; returns false when the item
-      // needed its (lazily replayed) constraint set but the cache entry
-      // vanished between the meta probe and the residual decode.
-      auto simplifyItem = [&](P1Item &Item) -> bool {
-        const std::vector<uint32_t> &AllMembers = CG.sccs()[Item.Scc];
-        Item.Schemes.resize(Item.Members.size());
-        // The residual decode, run at most once per SCC and only when a
-        // member's scheme probe misses: the fully warm path hands every
-        // member a cache hit and never touches the constraint set.
-        auto Constraints = [&]() -> const ConstraintSet * {
-          if (!Item.HasCombined) {
-            auto Replay = Cache->materializeGen(Item.GenKey, S, Lat);
-            if (!Replay)
-              return nullptr;
-            Item.Combined = std::move(Replay->C); // already canonical
-            Item.HasCombined = true;
+    // Commit one slot (main thread, strictly in sequence order) and
+    // release its dependents.
+    auto commit = [&](uint32_t Scc) {
+      P1Item &Item = Slots[Scc];
+      switch (Status[Scc]) {
+      case SlotTrivial:
+        break;
+      case SlotReplay: {
+        // Full verification covers replayed artifacts too: a stale or
+        // corrupted incremental replay surfaces here instead of as a
+        // wrong report. The allowed-free set of a replayed scheme is
+        // not recorded, so the closure check is skipped (nullptr).
+        if (VL == VerifyLevel::Full) {
+          SccArtifact *Reused = ArtOfScc[Scc];
+          for (size_t I = 0; I < Item.Members.size(); ++I)
+            verifyScheme(Reused->MemberSchemes[I], S, Lat, nullptr,
+                         "phase1 reused scheme '" + Item.MemberNames[I] +
+                             "'",
+                         VDiags);
+        }
+        break;
+      }
+      case SlotCompute: {
+        // Fallback for vanished gen entries (evicted or pruned since the
+        // meta probe): regenerate the set — deterministic, so identical
+        // to what the replay would have produced — and redo the slot
+        // inline.
+        if (Item.SimplifyFailed) {
+          Clock::time_point T0 = Clock::now();
+          const std::vector<uint32_t> &AllMembers = CG.sccs()[Scc];
+          std::set<uint32_t> Mates(AllMembers.begin(), AllMembers.end());
+          Item.Combined = ConstraintSet();
+          for (uint32_t F : Item.Members) {
+            GenResult R = Gen.generate(F, Schemes, Mates);
+            if (Item.Members.size() == 1)
+              Item.Combined = std::move(R.C);
+            else
+              Item.Combined.merge(R.C);
           }
-          return &Item.Combined;
-        };
+          Item.Combined.canonicalize(S, Lat);
+          Item.HasCombined = true;
+          Item.SimplifyFailed = !simplifyItem(Item);
+          Item.SimplifySecs += secondsSince(T0);
+        }
+        Report.Stats.SimplifySecs += Item.SimplifySecs;
+        // Verify what this SCC is about to commit: the combined
+        // constraint set when it was materialized this run (fresh
+        // generation, or — in Full mode the interesting case — a residual
+        // decode straight off the cache/store bytes), including the
+        // canonical-order invariant the content keys and the binary codec
+        // rely on.
+        if (VL != VerifyLevel::Off && Item.HasCombined) {
+          std::string Ctx =
+              "phase1 scc '" + Item.MemberNames.front() + "' constraints";
+          verifyConstraintSet(Item.Combined, S, Lat, Ctx, VDiags);
+          verifyCanonicalOrder(Item.Combined, S, Lat, Ctx, VDiags);
+        }
+        SccArtifact Art;
+        Art.MemberNames = Item.MemberNames;
+        Art.ConstraintCount = Item.ConstraintCount;
+        Art.SetHash = Item.SetHash;
+        Art.GenKey = Item.GenKey;
+        Art.Combined = std::move(Item.Combined); // may be unmaterialized
+        if (KeepHist)
+          Art.MemberSchemes = Item.Schemes; // keep a replayable copy
+        // Carry the previous run's callsite records forward (same member
+        // set): they are the baseline the phase-2 Solve commit compares
+        // against, which lets an edit that re-solves to identical actuals
+        // stop dirtying its callees. The stale raw/final sketches ride
+        // along but are unreachable — P1Computed forces Solve mode, which
+        // overwrites them before any replay path could read them.
+        if (auto OldIt = Artifacts.find(Item.Key);
+            OldIt != Artifacts.end() && OldIt->second.HasSolution) {
+          Art.CallsiteRecords = std::move(OldIt->second.CallsiteRecords);
+          Art.HasSolution = true;
+        }
         for (size_t I = 0; I < Item.Members.size(); ++I) {
           uint32_t F = Item.Members[I];
-          // The member's scheme keeps its SCC-mates and globals
-          // interesting. One structural hash per SCC (computed during
-          // generation above) keys every member's cache probe.
-          std::unordered_set<TypeVariable> Keep = Item.Interesting;
-          for (uint32_t Mate : AllMembers)
-            if (Mate != F)
-              Keep.insert(Gen.procVar(Mate));
-          auto Scheme = summarize(Constraints, Item.SetHash, Gen.procVar(F),
-                                  Keep, Simp, Cache);
-          if (!Scheme)
-            return false;
-          Item.Schemes[I] = std::move(*Scheme);
+          const std::string &Name = Item.MemberNames[I];
+          if (KeepHist) {
+            Hash128 H = schemeStructuralHash(Item.Schemes[I], S, Lat);
+            auto SnapIt = Snapshots.find(Name);
+            SchemeChanged[Name] = AllDirty || SnapIt == Snapshots.end() ||
+                                  SnapIt->second.SchemeHash != H;
+            Art.MemberSchemeHashes.push_back(H);
+            NewSchemeHashes[Name] = H;
+          }
+          // Scheme closure: besides its own bound variables the scheme
+          // may mention exactly what simplification was told to keep —
+          // the SCC's interesting variables plus its mates' procedure
+          // variables. Anything else escaping is a formation violation
+          // (whether the scheme was computed here or decoded from the
+          // cache; both commit through this path).
+          if (VL != VerifyLevel::Off) {
+            std::unordered_set<TypeVariable> Allowed = Item.Interesting;
+            for (uint32_t Mate : CG.sccs()[Scc])
+              if (Mate != F)
+                Allowed.insert(Gen.procVar(Mate));
+            verifyScheme(Item.Schemes[I], S, Lat, &Allowed,
+                         "phase1 scheme '" + Name + "'", VDiags);
+          }
+          Schemes[F] = Item.Schemes[I];
+          FunctionTypes &FT = Report.Funcs[F];
+          FT.Scheme = std::move(Item.Schemes[I]);
+          FT.NumParams = M.Funcs[F].NumStackParams +
+                         static_cast<unsigned>(M.Funcs[F].RegParams.size());
+          ++Report.Stats.SchemesComputed;
         }
-        return true;
-      };
-      for (P1Item &Item : Items) {
-        Pool.submit([&] { Item.SimplifyFailed = !simplifyItem(Item); });
+        auto [NewIt, Inserted] =
+            NewArtifacts.emplace(std::move(Item.Key), std::move(Art));
+        (void)Inserted;
+        ArtOfScc[Scc] = &NewIt->second;
+        // Drop per-slot scratch early: slots live to the end of the
+        // phase, their artifacts live on.
+        Item.Interesting = {};
+        Item.Schemes = {};
+        Item.Meta.reset();
+        break;
       }
-      Pool.waitAll();
-      // Fallback for vanished gen entries (evicted or pruned since the
-      // meta probe): regenerate the set — deterministic, so identical to
-      // what the replay would have produced — and redo the item inline.
-      for (P1Item &Item : Items) {
-        if (!Item.SimplifyFailed)
-          continue;
-        const std::vector<uint32_t> &AllMembers = CG.sccs()[Item.Scc];
-        std::set<uint32_t> Mates(AllMembers.begin(), AllMembers.end());
-        Item.Combined = ConstraintSet();
-        for (uint32_t F : Item.Members) {
-          GenResult R = Gen.generate(F, Schemes, Mates);
-          if (Item.Members.size() == 1)
-            Item.Combined = std::move(R.C);
-          else
-            Item.Combined.merge(R.C);
-        }
-        Item.Combined.canonicalize(S, Lat);
-        Item.HasCombined = true;
-        Item.SimplifyFailed = !simplifyItem(Item);
       }
-      Report.Stats.SimplifySecs += secondsSince(T0);
-    }
+      for (uint32_t Caller : CG.sccCallers(Scc))
+        if (--DepCount[Caller] == 0)
+          pushReady(Caller);
+    };
 
-    // Commit in wave order (deterministic regardless of task scheduling).
-    for (P1Item &Item : Items) {
-      // Verify what this SCC is about to commit: the combined constraint
-      // set when it was materialized this run (fresh generation, or — in
-      // Full mode the interesting case — a residual decode straight off
-      // the cache/store bytes), including the canonical-order invariant
-      // the content keys and the binary codec rely on.
-      if (VL != VerifyLevel::Off && Item.HasCombined) {
-        std::string Ctx =
-            "phase1 scc '" + Item.MemberNames.front() + "' constraints";
-        verifyConstraintSet(Item.Combined, S, Lat, Ctx, VDiags);
-        verifyCanonicalOrder(Item.Combined, S, Lat, Ctx, VDiags);
+    // The drainer loop. Priorities: commit whatever is committable (it
+    // releases dependents), then prep newly-ready SCCs (it feeds the
+    // pool), then flush a pending tiny batch, then help the pool; only
+    // when the queues are empty and the next slot is still in flight on a
+    // worker does the main thread sleep.
+    size_t Next = 0;
+    const size_t N = Seq.size();
+    while (Next < N) {
+      if (HasErr.load(std::memory_order_relaxed))
+        break;
+      uint32_t Scc = Seq[Next];
+      if (Done[Scc].load(std::memory_order_acquire)) {
+        commit(Scc);
+        ++Next;
+        NextCommit.store(Next, std::memory_order_relaxed);
+        continue;
       }
-      SccArtifact Art;
-      Art.MemberNames = Item.MemberNames;
-      Art.ConstraintCount = Item.ConstraintCount;
-      Art.SetHash = Item.SetHash;
-      Art.GenKey = Item.GenKey;
-      Art.Combined = std::move(Item.Combined); // may still be unmaterialized
-      if (KeepHist)
-        Art.MemberSchemes = Item.Schemes; // keep a replayable copy
-      // Carry the previous run's callsite records forward (same member
-      // set): they are the baseline the phase-2 Solve commit compares
-      // against, which lets an edit that re-solves to identical actuals
-      // stop dirtying its callees. The stale raw/final sketches ride
-      // along but are unreachable — P1Computed forces Solve mode, which
-      // overwrites them before any replay path could read them.
-      if (auto OldIt = Artifacts.find(Item.Key); OldIt != Artifacts.end() &&
-                                                 OldIt->second.HasSolution) {
-        Art.CallsiteRecords = std::move(OldIt->second.CallsiteRecords);
-        Art.HasSolution = true;
+      if (ReadyHead < ReadyQ.size()) {
+        prep(ReadyQ[ReadyHead++]);
+        continue;
       }
-      for (size_t I = 0; I < Item.Members.size(); ++I) {
-        uint32_t F = Item.Members[I];
-        const std::string &Name = Item.MemberNames[I];
-        if (KeepHist) {
-          Hash128 H = schemeStructuralHash(Item.Schemes[I], S, Lat);
-          auto SnapIt = Snapshots.find(Name);
-          SchemeChanged[Name] = AllDirty || SnapIt == Snapshots.end() ||
-                                SnapIt->second.SchemeHash != H;
-          Art.MemberSchemeHashes.push_back(H);
-          NewSchemeHashes[Name] = H;
-        }
-        // Scheme closure: besides its own bound variables the scheme may
-        // mention exactly what simplification was told to keep — the
-        // SCC's interesting variables plus its mates' procedure
-        // variables. Anything else escaping is a formation violation
-        // (whether the scheme was computed here or decoded from the
-        // cache; both commit through this loop).
-        if (VL != VerifyLevel::Off) {
-          std::unordered_set<TypeVariable> Allowed = Item.Interesting;
-          for (uint32_t Mate : CG.sccs()[Item.Scc])
-            if (Mate != F)
-              Allowed.insert(Gen.procVar(Mate));
-          verifyScheme(Item.Schemes[I], S, Lat, &Allowed,
-                       "phase1 scheme '" + Name + "'", VDiags);
-        }
-        Schemes[F] = Item.Schemes[I];
-        FunctionTypes &FT = Report.Funcs[F];
-        FT.Scheme = std::move(Item.Schemes[I]);
-        FT.NumParams = M.Funcs[F].NumStackParams +
-                       static_cast<unsigned>(M.Funcs[F].RegParams.size());
-        ++Report.Stats.SchemesComputed;
+      if (!TinyBatch.empty()) {
+        flushTiny();
+        continue;
       }
-      auto [NewIt, Inserted] =
-          NewArtifacts.emplace(std::move(Item.Key), std::move(Art));
-      (void)Inserted;
-      ArtOfScc[Item.Scc] = &NewIt->second;
+      if (Pool.tryRunOne())
+        continue;
+      std::unique_lock<std::mutex> Lock(SchedMu);
+      SchedCv.wait(Lock, [&] {
+        return Done[Scc].load(std::memory_order_acquire) ||
+               HasErr.load(std::memory_order_relaxed);
+      });
+    }
+    // Teardown join, not a scheduling barrier: on the normal path every
+    // slot has committed, so this only waits out a work unit's final
+    // bookkeeping; on the error path it drains in-flight units before
+    // their slots leave scope.
+    Pool.waitAll();
+    Report.Stats.CommitStalls += Stalls.load(std::memory_order_relaxed);
+    {
+      std::exception_ptr E;
+      {
+        std::lock_guard<std::mutex> Lock(SchedMu);
+        E = SchedErr;
+      }
+      if (E)
+        std::rethrow_exception(E);
     }
   }
 
@@ -980,28 +1184,148 @@ const TypeReport &AnalysisSession::analyze() {
   std::vector<char> IncomingChangedFlag(M.Funcs.size(), 0);
   std::unordered_map<std::string, size_t> NewIncomingCount;
 
-  // Callers always sit in a strictly earlier top-down wave than their
-  // callees, so by the time a wave is processed every ActualSketches entry
-  // its members need has been committed.
-  for (const std::vector<uint32_t> &Wave : CG.topDownWaves()) {
-    std::vector<P2Item> Work;
+  // Top-down readiness scheduler, mirroring phase 1 with the roles of
+  // callers and callees swapped: an SCC becomes ready the moment its last
+  // *caller* SCC commits, so everything its prep reads — ActualSketches
+  // tallies, IncomingChangedFlag bits, snapshots — is final. Commit slots
+  // follow the top-down sequence (the reverse wave concatenation): sketch
+  // joins are order-sensitive, so the refinement accumulators must
+  // receive callsite sketches in exactly the historical push order, and
+  // the sequence-ordered commit is what pins that for every --jobs value.
+  {
+    const std::vector<uint32_t> &Seq = CG.topDownOrder();
+    std::vector<uint32_t> SeqOf(NumSccs, 0);
+    for (uint32_t I = 0; I < Seq.size(); ++I)
+      SeqOf[Seq[I]] = I;
 
-    std::optional<ScopedPhaseTimer> PrepTimer;
-    PrepTimer.emplace("pipeline.solveprep");
-    for (uint32_t Scc : Wave) {
+    std::vector<uint8_t> Status(NumSccs, SlotTrivial);
+    std::vector<P2Item> Slots(NumSccs);
+
+    // Uncommitted-caller counts. Main-thread only, like phase 1.
+    std::vector<uint32_t> DepCount(NumSccs, 0);
+    for (uint32_t Scc = 0; Scc < NumSccs; ++Scc)
+      DepCount[Scc] = static_cast<uint32_t>(CG.sccCallers(Scc).size());
+
+    std::vector<std::atomic<uint8_t>> Done(NumSccs);
+    for (auto &D : Done)
+      D.store(0, std::memory_order_relaxed);
+    std::atomic<size_t> NextCommit{0};
+    std::atomic<uint64_t> Stalls{0};
+    std::atomic<bool> HasErr{false};
+    std::mutex SchedMu;
+    std::condition_variable SchedCv;
+    std::exception_ptr SchedErr; // guarded by SchedMu
+
+    std::vector<uint32_t> ReadyQ;
+    size_t ReadyHead = 0;
+    auto pushReady = [&](uint32_t Scc) {
+      ReadyQ.push_back(Scc);
+      Report.Stats.MaxReadyQueue = std::max<uint64_t>(
+          Report.Stats.MaxReadyQueue, ReadyQ.size() - ReadyHead);
+    };
+    for (uint32_t Scc : Seq)
+      if (DepCount[Scc] == 0)
+        pushReady(Scc);
+
+    // Solves one slot (worker side). Warm probe and cold solve both run
+    // here, so bundle decodes parallelize exactly like solves do.
+    auto solveItem = [&](P2Item &Item) {
+      if (Item.ProbeCache) {
+        if (auto Bindings =
+                Cache->lookupSolution(Item.SolveKey, *Syms, Lat)) {
+          for (auto &[V, Sk] : *Bindings)
+            Item.Sol.Sketches.emplace(V, std::move(Sk));
+          Item.SolFromCache = true;
+          return;
+        }
+      }
+      SccArtifact *Art = ArtOfScc[Item.Scc];
+      // Residual decode: the solution probe missed, so the solver really
+      // needs the constraint set this SCC's meta probe left
+      // unmaterialized. (Slots don't share SCCs, so writing the artifact
+      // here is race-free.)
+      if (Art->Combined.empty() && Cache && Art->GenKey != Hash128{})
+        if (auto Replay = Cache->materializeGen(Art->GenKey, *Syms, Lat))
+          Art->Combined = std::move(Replay->C);
+      if (Art->Combined.empty()) {
+        Item.NeedGen = true; // gen entry vanished; commit solves inline
+        return;
+      }
+      Item.Sol = Solver.solve(Art->Combined, Item.Wanted);
+    };
+
+    auto submitUnit = [&](std::vector<uint32_t> Unit) {
+      ++Report.Stats.BatchesFormed;
+      Pool.submit([&, Unit = std::move(Unit)] {
+        ScopedPhaseTimer Timer("pipeline.solve");
+        for (uint32_t Scc : Unit) {
+          P2Item &Item = Slots[Scc];
+          Clock::time_point T0 = Clock::now();
+          try {
+            solveItem(Item);
+          } catch (...) {
+            // NeedGen routes a slot the drainer already reached through
+            // the deterministic inline regenerate+solve, which surfaces
+            // the real error on the main thread; otherwise the drainer
+            // stops on HasErr and rethrows below.
+            Item.NeedGen = true;
+            std::lock_guard<std::mutex> Lock(SchedMu);
+            if (!SchedErr)
+              SchedErr = std::current_exception();
+            HasErr.store(true, std::memory_order_relaxed);
+          }
+          Item.SolveSecs = secondsSince(T0);
+          if (SeqOf[Scc] != NextCommit.load(std::memory_order_relaxed))
+            Stalls.fetch_add(1, std::memory_order_relaxed);
+          Done[Scc].store(1, std::memory_order_release);
+        }
+        { std::lock_guard<std::mutex> Lock(SchedMu); }
+        SchedCv.notify_one();
+      });
+    };
+
+    std::vector<uint32_t> TinyBatch;
+    const unsigned TinyMax = Opts.TinySccConstraints;
+    constexpr size_t kMaxBatchSccs = 64;
+    auto flushTiny = [&] {
+      if (!TinyBatch.empty())
+        submitUnit(std::exchange(TinyBatch, {}));
+    };
+    auto dispatch = [&](uint32_t Scc) {
+      ++Report.Stats.SccsScheduled;
+      if (TinyMax != 0 && ArtOfScc[Scc]->ConstraintCount < TinyMax) {
+        TinyBatch.push_back(Scc);
+        if (TinyBatch.size() >= kMaxBatchSccs)
+          flushTiny();
+      } else {
+        submitUnit({Scc});
+      }
+    };
+
+    // Prep one ready SCC: decide trivial/replay/solve. RefineOnly and
+    // Reuse slots publish immediately and do ALL their work at the commit
+    // slot — their replayed callsite pushes feed the order-sensitive
+    // accumulators, so nothing may run early. Solve slots build their
+    // wanted set and solve key here and dispatch to the pool; co-batched
+    // solves cannot contend because every callsite variable is scoped to
+    // its caller function (`fn!callee@idx`) and SCCs partition functions.
+    auto prep = [&](uint32_t Scc) {
       SccArtifact *Art = ArtOfScc[Scc];
       // ConstraintCount, not Combined.empty(): a fully warm SCC keeps its
       // constraint set unmaterialized, but it still must be solved.
-      if (!Art || Art->ConstraintCount == 0)
-        continue;
-
-      P2Item Item;
+      if (!Art || Art->ConstraintCount == 0) {
+        Done[Scc].store(1, std::memory_order_release);
+        return; // stays SlotTrivial
+      }
+      ScopedPhaseTimer PrepTimer("pipeline.solveprep");
+      P2Item &Item = Slots[Scc];
       Item.Scc = Scc;
       for (uint32_t F : CG.sccs()[Scc])
         if (!M.Funcs[F].IsExternal)
           Item.Members.push_back(F);
 
       // Did this SCC's refinement inputs change since the last run?
+      // Final by readiness: every caller committed its records already.
       bool IncomingChanged = false;
       for (uint32_t F : Item.Members) {
         auto ActIt = ActualSketches.find(F);
@@ -1022,121 +1346,98 @@ const TypeReport &AnalysisSession::analyze() {
       else
         Item.Mode = P2Mode::Reuse;
 
-      if (Item.Mode == P2Mode::Solve) {
-        // Solve for the member procedure variables and for every callsite
-        // variable (needed for parameter refinement of callees).
-        for (uint32_t F : Item.Members) {
-          Item.Wanted.push_back(Gen.procVar(F));
-          const std::vector<uint32_t> &AllMembers = CG.sccs()[Scc];
-          for (uint32_t Idx = 0; Idx < M.Funcs[F].Body.size(); ++Idx) {
-            const Instr &I = M.Funcs[F].Body[Idx];
-            if (I.Op != Opcode::Call || I.Target >= M.Funcs.size())
-              continue;
-            if (std::find(AllMembers.begin(), AllMembers.end(), I.Target) !=
-                AllMembers.end())
-              continue;
-            SymbolId Sym;
-            std::string Name = M.Funcs[F].Name + "!" +
-                               M.Funcs[I.Target].Name + "@" +
-                               std::to_string(Idx);
-            if (!S.lookup(Name, Sym))
-              continue;
-            TypeVariable V = TypeVariable::var(Sym);
-            Item.Wanted.push_back(V);
-            Item.CallsiteVars.push_back({I.Target, V});
-          }
-        }
-        // The raw solution is a pure function of (canonical constraint
-        // set, wanted names) — content-address it like schemes, so warm
-        // runs replay sketches through the codec instead of re-solving.
-        // Only the key is computed here; the probe (payload copy + bundle
-        // decode) runs on the pool below, alongside the solves.
-        if (Cache && !Item.Wanted.empty()) {
-          // Phase 1 already hashed this SCC's canonical set; artifacts
-          // replayed from a cacheless earlier run ({0,0}) hash on demand.
-          Hash128 SetHash = Art->SetHash;
-          if (SetHash == Hash128{}) {
-            ScopedPhaseTimer HashTimer("cache.hash");
-            SetHash = canonicalSetHash(Art->Combined, S, Lat);
-            Art->SetHash = SetHash;
-          }
-          std::vector<std::string> Names;
-          Names.reserve(Item.Wanted.size());
-          for (TypeVariable V : Item.Wanted)
-            Names.push_back(S.name(V.symbol()));
-          Item.SolveKey = SummaryCache::solveKeyFor(SetHash, Names);
-          Item.ProbeCache = true;
+      if (Item.Mode != P2Mode::Solve) {
+        Status[Scc] = SlotReplay;
+        Done[Scc].store(1, std::memory_order_release);
+        return;
+      }
+
+      Status[Scc] = SlotCompute;
+      // Solve for the member procedure variables and for every callsite
+      // variable (needed for parameter refinement of callees).
+      for (uint32_t F : Item.Members) {
+        Item.Wanted.push_back(Gen.procVar(F));
+        const std::vector<uint32_t> &AllMembers = CG.sccs()[Scc];
+        for (uint32_t Idx = 0; Idx < M.Funcs[F].Body.size(); ++Idx) {
+          const Instr &I = M.Funcs[F].Body[Idx];
+          if (I.Op != Opcode::Call || I.Target >= M.Funcs.size())
+            continue;
+          if (std::find(AllMembers.begin(), AllMembers.end(), I.Target) !=
+              AllMembers.end())
+            continue;
+          SymbolId Sym;
+          std::string Name = M.Funcs[F].Name + "!" +
+                             M.Funcs[I.Target].Name + "@" +
+                             std::to_string(Idx);
+          if (!S.lookup(Name, Sym))
+            continue;
+          TypeVariable V = TypeVariable::var(Sym);
+          Item.Wanted.push_back(V);
+          Item.CallsiteVars.push_back({I.Target, V});
         }
       }
-      Work.push_back(std::move(Item));
-    }
-    PrepTimer.reset();
-
-    {
-      Clock::time_point T0 = Clock::now();
-      ScopedPhaseTimer Timer("pipeline.solve");
-      for (P2Item &Item : Work)
-        if (Item.Mode == P2Mode::Solve)
-          Pool.submit([&] {
-            // Warm probe and cold solve both run here, so bundle decodes
-            // parallelize across the wave exactly like solves do.
-            if (Item.ProbeCache) {
-              if (auto Bindings =
-                      Cache->lookupSolution(Item.SolveKey, *Syms, Lat)) {
-                for (auto &[V, Sk] : *Bindings)
-                  Item.Sol.Sketches.emplace(V, std::move(Sk));
-                Item.SolFromCache = true;
-                return;
-              }
-            }
-            SccArtifact *Art = ArtOfScc[Item.Scc];
-            // Residual decode: the solution probe missed, so the solver
-            // really needs the constraint set this SCC's meta probe left
-            // unmaterialized. (Items don't share SCCs, so writing the
-            // artifact here is race-free.)
-            if (Art->Combined.empty() && Cache && Art->GenKey != Hash128{})
-              if (auto Replay =
-                      Cache->materializeGen(Art->GenKey, *Syms, Lat))
-                Art->Combined = std::move(Replay->C);
-            if (Art->Combined.empty()) {
-              Item.NeedGen = true; // gen entry vanished; main thread below
-              return;
-            }
-            Item.Sol = Solver.solve(Art->Combined, Item.Wanted);
-          });
-      Pool.waitAll();
-      // Fallback for vanished gen entries: regenerate deterministically on
-      // the main thread and solve inline (rare — requires eviction between
-      // the meta probe and this wave).
-      for (P2Item &Item : Work) {
-        if (!Item.NeedGen)
-          continue;
-        SccArtifact *Art = ArtOfScc[Item.Scc];
-        const std::vector<uint32_t> &AllMembers = CG.sccs()[Item.Scc];
-        std::set<uint32_t> Mates(AllMembers.begin(), AllMembers.end());
-        ConstraintSet C;
-        for (uint32_t F : Item.Members) {
-          GenResult R = Gen.generate(F, Schemes, Mates);
-          if (Item.Members.size() == 1)
-            C = std::move(R.C);
-          else
-            C.merge(R.C);
+      // The raw solution is a pure function of (canonical constraint
+      // set, wanted names) — content-address it like schemes, so warm
+      // runs replay sketches through the codec instead of re-solving.
+      // Only the key is computed here; the probe (payload copy + bundle
+      // decode) runs inside the pool work unit, alongside the solves.
+      if (Cache && !Item.Wanted.empty()) {
+        // Phase 1 already hashed this SCC's canonical set; artifacts
+        // replayed from a cacheless earlier run ({0,0}) hash on demand.
+        Hash128 SetHash = Art->SetHash;
+        if (SetHash == Hash128{}) {
+          ScopedPhaseTimer HashTimer("cache.hash");
+          SetHash = canonicalSetHash(Art->Combined, S, Lat);
+          Art->SetHash = SetHash;
         }
-        C.canonicalize(S, Lat);
-        Art->Combined = std::move(C);
-        Item.Sol = Solver.solve(Art->Combined, Item.Wanted);
-        Item.NeedGen = false;
+        std::vector<std::string> Names;
+        Names.reserve(Item.Wanted.size());
+        for (TypeVariable V : Item.Wanted)
+          Names.push_back(S.name(V.symbol()));
+        Item.SolveKey = SummaryCache::solveKeyFor(SetHash, Names);
+        Item.ProbeCache = true;
       }
-      Report.Stats.SolveSecs += secondsSince(T0);
-    }
+      dispatch(Scc);
+    };
 
-    // Commit: refinement + sketch assignment + callsite records, in wave
-    // order.
-    for (P2Item &Item : Work) {
-      SccArtifact *Art = ArtOfScc[Item.Scc];
+    // Commit one slot (strictly in top-down sequence order) and release
+    // its callees. All refinement, sketch assignment, and callsite-record
+    // pushes happen here, so the accumulators see contributions in
+    // exactly the historical order.
+    auto commit = [&](uint32_t Scc) {
+      P2Item &Item = Slots[Scc];
+      if (Status[Scc] == SlotTrivial) {
+        for (uint32_t T : CG.sccCallees(Scc))
+          if (--DepCount[T] == 0)
+            pushReady(T);
+        return;
+      }
+      SccArtifact *Art = ArtOfScc[Scc];
       switch (Item.Mode) {
       case P2Mode::Solve: {
         ++Report.Stats.SccsSolved;
+        // Fallback for vanished gen entries: regenerate deterministically
+        // and solve inline (rare — requires eviction between the meta
+        // probe and the slot's solve).
+        if (Item.NeedGen) {
+          Clock::time_point T0 = Clock::now();
+          const std::vector<uint32_t> &AllMembers = CG.sccs()[Scc];
+          std::set<uint32_t> Mates(AllMembers.begin(), AllMembers.end());
+          ConstraintSet C;
+          for (uint32_t F : Item.Members) {
+            GenResult R = Gen.generate(F, Schemes, Mates);
+            if (Item.Members.size() == 1)
+              C = std::move(R.C);
+            else
+              C.merge(R.C);
+          }
+          C.canonicalize(S, Lat);
+          Art->Combined = std::move(C);
+          Item.Sol = Solver.solve(Art->Combined, Item.Wanted);
+          Item.NeedGen = false;
+          Item.SolveSecs += secondsSince(T0);
+        }
+        Report.Stats.SolveSecs += Item.SolveSecs;
         // Full verification inspects every sketch decoded from the
         // summary cache/store before anything derives from it. Iterating
         // Wanted (not the solution map) keeps the diagnostic order
@@ -1225,6 +1526,10 @@ const TypeReport &AnalysisSession::analyze() {
           Art->CallsiteRecords = std::move(NewRecords);
           Art->HasSolution = true;
         }
+        // Drop per-slot scratch early: slots live to the end of the
+        // phase, the report and artifacts carry everything that matters.
+        Item.Sol = SketchSolution();
+        Item.Wanted = {};
         break;
       }
       case P2Mode::RefineOnly: {
@@ -1268,6 +1573,53 @@ const TypeReport &AnalysisSession::analyze() {
         break;
       }
       }
+      for (uint32_t T : CG.sccCallees(Scc))
+        if (--DepCount[T] == 0)
+          pushReady(T);
+    };
+
+    // The drainer loop — same priorities as phase 1: commit, prep, flush
+    // tiny batch, help the pool, sleep only when the next slot is in
+    // flight on a worker.
+    size_t Next = 0;
+    const size_t N = Seq.size();
+    while (Next < N) {
+      if (HasErr.load(std::memory_order_relaxed))
+        break;
+      uint32_t Scc = Seq[Next];
+      if (Done[Scc].load(std::memory_order_acquire)) {
+        commit(Scc);
+        ++Next;
+        NextCommit.store(Next, std::memory_order_relaxed);
+        continue;
+      }
+      if (ReadyHead < ReadyQ.size()) {
+        prep(ReadyQ[ReadyHead++]);
+        continue;
+      }
+      if (!TinyBatch.empty()) {
+        flushTiny();
+        continue;
+      }
+      if (Pool.tryRunOne())
+        continue;
+      std::unique_lock<std::mutex> Lock(SchedMu);
+      SchedCv.wait(Lock, [&] {
+        return Done[Scc].load(std::memory_order_acquire) ||
+               HasErr.load(std::memory_order_relaxed);
+      });
+    }
+    // Teardown join, not a scheduling barrier (see phase 1).
+    Pool.waitAll();
+    Report.Stats.CommitStalls += Stalls.load(std::memory_order_relaxed);
+    {
+      std::exception_ptr E;
+      {
+        std::lock_guard<std::mutex> Lock(SchedMu);
+        E = SchedErr;
+      }
+      if (E)
+        std::rethrow_exception(E);
     }
   }
 

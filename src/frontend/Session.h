@@ -69,14 +69,30 @@ namespace retypd {
 
 /// Wall-clock, cache, and incrementality counters for one analyze() call.
 struct PipelineStats {
-  double GenerateSecs = 0;  ///< constraint generation (sequential)
-  double SimplifySecs = 0;  ///< scheme simplification (parallel wall time)
-  double SolveSecs = 0;     ///< sketch solving (parallel wall time)
+  double GenerateSecs = 0;  ///< constraint generation (main thread)
+  double SimplifySecs = 0;  ///< scheme simplification, summed over work
+                            ///< units (CPU time: exceeds wall when parallel)
+  double SolveSecs = 0;     ///< sketch solving, summed over work units
+                            ///< (CPU time: exceeds wall when parallel)
   double ConvertSecs = 0;   ///< C-type conversion (sequential)
   size_t SccCount = 0;
-  size_t WaveCount = 0;
-  size_t WidestWave = 0;
+  size_t WaveCount = 0;  ///< condensation depth (diagnostic; no barriers)
+  size_t WidestWave = 0; ///< widest antichain the scheduler can exploit
   unsigned JobsUsed = 1;
+
+  // --- Readiness-scheduler counters (see README "Execution model") ---
+  /// SCCs dispatched to the pool as (part of) a work unit, both phases.
+  /// Always equals SccsSimplified + SccsSolved: reused/trivial SCCs are
+  /// never scheduled, which is what keeps incremental runs cheap.
+  uint64_t SccsScheduled = 0;
+  /// Work units submitted to the pool (a batch of tiny SCCs counts once).
+  uint64_t BatchesFormed = 0;
+  /// High-water mark of the ready queue (SCCs whose dependencies had all
+  /// committed but which the main thread had not yet prepped).
+  uint64_t MaxReadyQueue = 0;
+  /// Slots published out of commit order — results that sat finished
+  /// while the drainer waited on an earlier sequence number.
+  uint64_t CommitStalls = 0;
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
   /// Generation-result cache probes this run (a subset of
@@ -166,7 +182,7 @@ struct TypeReport {
 
   /// Formation-rule violations the verifier found this run (empty when
   /// clean, or when SessionOptions::Verify is Off). Fully rendered
-  /// one-line diagnostics, in deterministic wave-commit order — the same
+  /// one-line diagnostics, in deterministic commit-slot order — the same
   /// order at any --jobs value.
   std::vector<std::string> VerifyErrors;
 
@@ -188,10 +204,17 @@ struct TypeReport {
 struct SessionOptions {
   /// Apply Algorithm F.3 (specialize formals to their observed uses).
   bool RefineParameters = true;
-  /// Total executors for the per-wave parallel stages. 1 = run inline on
-  /// the calling thread (same code path, so results are identical); 0 =
-  /// one per hardware thread.
+  /// Total executors for the parallel simplify/solve stages. 1 = run
+  /// inline on the calling thread (same code path, so results are
+  /// identical); 0 = one per hardware thread.
   unsigned Jobs = 1;
+  /// Tiny-SCC batching threshold for the readiness scheduler: ready SCCs
+  /// whose constraint count is below this are grouped into one pool work
+  /// unit instead of dispatched individually, amortizing submit/wakeup
+  /// overhead in the many-tiny-SCCs common case. 0 disables batching
+  /// (every SCC is its own work unit). Results are byte-identical at any
+  /// setting — batching only changes work-unit granularity.
+  unsigned TinySccConstraints = 64;
   /// Memoize simplifications in the session-owned summary cache. Distinct
   /// from incremental SCC reuse: the cache also hits on content-identical
   /// SCCs across modules and (when persisted) across processes.
@@ -212,7 +235,7 @@ struct SessionOptions {
   bool KeepHistory = true;
   /// Formation-rule verification level (core/Verifier.h). Off adds zero
   /// work to the pipeline (EventCounters::VerifierChecks stays 0). Phase
-  /// verifies freshly committed artifacts at the wave-order commit
+  /// verifies freshly committed artifacts at the sequence-ordered commit
   /// points; Full additionally verifies artifacts replayed from the
   /// summary cache and the durable store. Findings are collected in
   /// TypeReport::VerifyErrors — the run always completes.

@@ -9,10 +9,18 @@
 /// Each worker owns a deque: it pushes and pops at the back (LIFO, cache
 /// friendly) and victims are stolen from the front (FIFO, coarse tasks
 /// first). The submitting thread participates in execution inside
-/// \c waitAll(), so a pool of N threads gives N+1 executors and
-/// `ThreadPool(0)` degenerates to plain inline execution — the `--jobs 1`
-/// mode runs the exact same code path as `--jobs N`, which is what makes
-/// the determinism guarantee cheap to state.
+/// \c waitAll() — or one task at a time via \c tryRunOne(), which is how
+/// the readiness scheduler's drainer helps out between commits — so a pool
+/// of N threads gives N+1 executors and `ThreadPool(0)` degenerates to
+/// plain inline execution: the `--jobs 1` mode runs the exact same code
+/// path as `--jobs N`, which is what makes the determinism guarantee cheap
+/// to state.
+///
+/// Wakeups are targeted: submitting one task wakes at most one idle
+/// worker (a woken worker keeps draining until the queues are empty, so
+/// per-task notifications are unnecessary), and external waiters are only
+/// poked when no worker is idle to take the task. `workerWakeups()` counts
+/// worker wakeups so tests can pin the no-thundering-herd property.
 ///
 /// Tasks may submit further tasks. Exceptions escaping a task are captured
 /// and rethrown from waitAll() (first one wins).
@@ -24,6 +32,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -37,7 +46,7 @@ namespace retypd {
 class ThreadPool {
 public:
   /// \p Threads background workers. 0 means "run everything inline in
-  /// waitAll()"; the pool is still fully functional.
+  /// waitAll()/tryRunOne()"; the pool is still fully functional.
   explicit ThreadPool(unsigned Threads) {
     Queues.resize(Threads == 0 ? 1 : Threads);
     for (unsigned I = 0; I < Threads; ++I)
@@ -60,16 +69,24 @@ public:
   unsigned numWorkers() const { return static_cast<unsigned>(Workers.size()); }
 
   /// Enqueues \p Fn. Tasks are distributed round-robin over the worker
-  /// deques; idle workers steal from the front of other deques.
+  /// deques; idle workers steal from the front of other deques. Wakes at
+  /// most one idle worker — a running worker re-checks the queues before
+  /// sleeping, so one wakeup per submission is enough — and falls back to
+  /// waking external waiters (a blocked waitAll) only when every worker is
+  /// already busy.
   void submit(std::function<void()> Fn) {
+    bool WakeWorker;
     {
       std::unique_lock<std::mutex> Lock(Mutex);
       unsigned Q = NextQueue++ % Queues.size();
       Queues[Q].push_back(std::move(Fn));
       ++Pending;
+      WakeWorker = IdleWorkers > 0;
     }
-    Ready.notify_one();
-    Idle.notify_all(); // a blocked waitAll() can steal this task
+    if (WakeWorker)
+      Ready.notify_one();
+    else
+      Idle.notify_all(); // a blocked waitAll() can steal this task
   }
 
   /// Runs tasks on the calling thread until every submitted task (including
@@ -93,6 +110,31 @@ public:
       FirstError = nullptr;
       std::rethrow_exception(E);
     }
+  }
+
+  /// Runs exactly one queued task on the calling thread, if any is queued.
+  /// Returns false when the queues are empty (tasks may still be running
+  /// on workers). Task exceptions are captured exactly like worker-side
+  /// ones — rethrown from the next waitAll().
+  bool tryRunOne() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    std::function<void()> Fn = takeLocked();
+    if (!Fn)
+      return false;
+    runTask(Lock, std::move(Fn));
+    return true;
+  }
+
+  /// Workers currently blocked waiting for work (locked read; exact).
+  unsigned idleWorkers() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    return IdleWorkers;
+  }
+
+  /// Total times any worker woke from its idle wait. With targeted
+  /// wakeups this stays O(submissions), not O(submissions x workers).
+  uint64_t workerWakeups() const {
+    return WorkerWakeups.load(std::memory_order_relaxed);
   }
 
 private:
@@ -151,13 +193,22 @@ private:
       if (std::function<void()> Fn = takeLocked(Self)) {
         runTask(Lock, std::move(Fn));
         // A finished task may have enqueued more work for others.
-        if (anyQueued())
+        if (anyQueued() && IdleWorkers > 0)
           Ready.notify_one();
         continue;
       }
       if (Stop)
         return;
-      Ready.wait(Lock, [this] { return Stop || anyQueued(); });
+      // Manual wait loop: IdleWorkers must be exact while the lock is
+      // held (submit() reads it to decide whether to notify at all), and
+      // every return from wait() is counted so ThreadPoolTest can assert
+      // wakeups stay proportional to submissions.
+      ++IdleWorkers;
+      while (!Stop && !anyQueued()) {
+        Ready.wait(Lock);
+        WorkerWakeups.fetch_add(1, std::memory_order_relaxed);
+      }
+      --IdleWorkers;
     }
   }
 
@@ -169,7 +220,9 @@ private:
   unsigned NextQueue = 0;
   size_t Pending = 0; ///< queued, not yet started
   size_t Running = 0; ///< currently executing
+  unsigned IdleWorkers = 0; ///< workers blocked in Ready.wait
   bool Stop = false;
+  std::atomic<uint64_t> WorkerWakeups{0};
   std::exception_ptr FirstError;
 };
 

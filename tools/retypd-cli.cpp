@@ -353,6 +353,12 @@ void printReport(AnalysisSession &S, const AnalyzeOpts &O) {
                 static_cast<unsigned long long>(St.StoreHits),
                 static_cast<unsigned long long>(St.StoreAppends),
                 static_cast<unsigned long long>(St.PoolBindHits));
+    std::printf("/* scheduler: scheduled=%llu batches=%llu "
+                "max_ready_queue=%llu commit_stalls=%llu */\n",
+                static_cast<unsigned long long>(St.SccsScheduled),
+                static_cast<unsigned long long>(St.BatchesFormed),
+                static_cast<unsigned long long>(St.MaxReadyQueue),
+                static_cast<unsigned long long>(St.CommitStalls));
   }
 }
 
