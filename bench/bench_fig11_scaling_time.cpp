@@ -33,11 +33,13 @@ using namespace retypd;
 namespace {
 
 double timedRun(const SynthProgram &P, const Lattice &Lat, unsigned Jobs,
-                SummaryCache *Cache, TypeReport *OutReport = nullptr) {
+                SummaryCache *Cache, TypeReport *OutReport = nullptr,
+                BackendKind Backend = BackendKind::Retypd) {
   Module M = P.M; // run on a copy: the pipeline mutates the module
   PipelineOptions Opts;
   Opts.Jobs = Jobs;
   Opts.Cache = Cache;
+  Opts.Backend = Backend;
   auto T0 = std::chrono::steady_clock::now();
   Pipeline Pipe(Lat, Opts);
   TypeReport R = Pipe.run(M);
@@ -191,6 +193,16 @@ int main(int argc, char **argv) {
     }
     double CacheSpeedup = Warm > 0 ? Seq / Warm : 0;
 
+    // Backend race: the same module through the binsub backend
+    // (algebraic-subtyping simplification, arXiv:2409.01841) at --jobs 1,
+    // against the retypd sequential baseline measured above. Same min-of
+    // estimator so the ratio is honest.
+    double BinSub = timedRun(P, Lat, 1, nullptr, nullptr, BackendKind::BinSub);
+    for (int Rep = 0; Rep < (Quick ? 1 : 2); ++Rep)
+      BinSub = std::min(
+          BinSub, timedRun(P, Lat, 1, nullptr, nullptr, BackendKind::BinSub));
+    double BinSubSpeedup = BinSub > 0 ? Seq / BinSub : 0;
+
     std::printf("\nparallel pipeline (largest module, %zu instructions, "
                 "%zu SCCs over %zu waves, widest %zu):\n",
                 P.M.instructionCount(), SeqReport.Stats.SccCount,
@@ -204,6 +216,8 @@ int main(int argc, char **argv) {
     std::printf("  %-28s %8.3f s\n", "warm summary cache (jobs 4)", Warm4);
     std::printf("  %-28s %8.3f s   (%.2fx vs sequential)\n",
                 "warm summary cache (jobs 1)", Warm, CacheSpeedup);
+    std::printf("  %-28s %8.3f s   (%.2fx vs retypd)\n",
+                "binsub backend (--jobs 1)", BinSub, BinSubSpeedup);
     std::printf("  scheduler (jobs 4): scheduled=%llu batches=%llu "
                 "max_ready_queue=%llu commit_stalls=%llu\n",
                 static_cast<unsigned long long>(
@@ -233,6 +247,7 @@ int main(int argc, char **argv) {
           J,
           "{\n"
           "  \"benchmark\": \"pipeline_parallel_scaling\",\n"
+          "  \"backend\": \"%s\",\n"
           "  \"instructions\": %zu,\n"
           "  \"sccs\": %zu,\n"
           "  \"waves\": %zu,\n"
@@ -252,10 +267,13 @@ int main(int argc, char **argv) {
           "  \"cache_warm_jobs4_secs\": %.6f,\n"
           "  \"cache_warm_secs\": %.6f,\n"
           "  \"cache_warm_speedup\": %.3f,\n"
+          "  \"binsub_jobs1_secs\": %.6f,\n"
+          "  \"binsub_vs_retypd_speedup\": %.3f,\n"
           "  \"fit_beta\": %.3f,\n"
           "  \"fit_r2\": %.3f\n"
           "}\n",
-          P.M.instructionCount(), SeqReport.Stats.SccCount,
+          backendName(BackendKind::Retypd), P.M.instructionCount(),
+          SeqReport.Stats.SccCount,
           SeqReport.Stats.WaveCount, SeqReport.Stats.WidestWave, Hw, Seq,
           Par4, Speedup, GateSpeedup, MinSpeedup,
           ScalingOk ? "true" : "false",
@@ -263,7 +281,7 @@ int main(int argc, char **argv) {
           static_cast<unsigned long long>(Par4Report.Stats.BatchesFormed),
           static_cast<unsigned long long>(Par4Report.Stats.MaxReadyQueue),
           static_cast<unsigned long long>(Par4Report.Stats.CommitStalls),
-          Cold, Warm4, Warm, CacheSpeedup, Beta, R2);
+          Cold, Warm4, Warm, CacheSpeedup, BinSub, BinSubSpeedup, Beta, R2);
       std::fclose(J);
       std::printf("  wrote BENCH_pipeline.json\n");
     }

@@ -1,0 +1,44 @@
+//===- BackendKind.h - Solver backend identity ----------------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The backend identity enum, split out of core/SolverBackend.h so the
+/// data-plane layers (codec, summary cache, store inspection) can tag and
+/// key artifacts by backend without depending on the solver headers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_CORE_BACKENDKIND_H
+#define RETYPD_CORE_BACKENDKIND_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace retypd {
+
+/// Which solver backend produced (or should produce) an artifact. The
+/// numeric values are stable: they participate in cache keys and in the
+/// payload tag byte (bit 4), so reordering them would silently invalidate
+/// every persisted store.
+enum class BackendKind : uint8_t {
+  Retypd = 0, ///< saturation + proof trimming (the paper's algorithm)
+  BinSub = 1, ///< algebraic subtyping (bisubstitution + polarity)
+};
+
+/// Stable lowercase name, as spelled on the CLI (`--backend=<name>`).
+const char *backendName(BackendKind K);
+
+/// Parses a CLI/spec spelling. Returns nullopt on unknown names — callers
+/// own the did-you-mean/exit-code policy.
+std::optional<BackendKind> parseBackendKind(std::string_view Name);
+
+/// All valid spellings, for suggestion lists.
+inline constexpr const char *kBackendNames[] = {"retypd", "binsub"};
+
+} // namespace retypd
+
+#endif // RETYPD_CORE_BACKENDKIND_H

@@ -1,0 +1,71 @@
+//===- BinSub.h - Algebraic-subtyping backend (BinSub) --------*- C++ -*-===//
+//
+// Part of the Retypd reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A second `SolverBackend` implementing the BinSub recasting of retypd
+/// (arXiv:2409.01841): machine-code type inference as algebraic subtyping.
+/// Where the retypd backend saturates a transducer graph (Algorithm D.2)
+/// and trims it against the elementary-proof discipline, BinSub works
+/// directly on atomic subtyping bounds:
+///
+///  - **Polarity-directed decomposition**: a constraint `a <= b` is
+///    decomposed along the capability labels the two sides are known to
+///    carry — covariant labels descend in the same orientation
+///    (`a.l <= b.l`), contravariant labels flip (`b.l <= a.l`). This
+///    replaces the S-FIELD⊕/S-FIELD⊖ closure that saturation performs
+///    through forget/recall edge pairs.
+///  - **Bisubstitution-based elimination**: an uninteresting variable that
+///    only ever occurs bare is eliminated by substituting its lower
+///    bounds into its upper bounds (every `a <= v`, `v <= b` pair becomes
+///    `a <= b`), the finite-state analogue of Dolan-style bisubstitution.
+///    Variables that occur under labels survive as existentials with the
+///    same deterministic `τ$proc$N` naming the retypd backend uses.
+///  - **Shape-local bound propagation** (phase 2): sketches take their
+///    structure from the Steensgaard shape quotient (Theorem 3.1, shared
+///    with retypd — BinSub keeps the same shape theory) and their lattice
+///    decorations from type constants attached directly to shape classes,
+///    with the Figure-13 ADD/SUB pointer/integer fixpoint on top. No
+///    saturated-graph path queries are run.
+///
+/// Both entry points are pure functions of their inputs and deterministic
+/// (fresh names derive from the procedure name and a call-local counter),
+/// so BinSub artifacts cache, replay, and parallelize exactly like retypd
+/// ones — under backend-tagged keys.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RETYPD_CORE_BINSUB_H
+#define RETYPD_CORE_BINSUB_H
+
+#include "core/SolverBackend.h"
+
+namespace retypd {
+
+/// BinSub-style algebraic-subtyping backend.
+class BinSubBackend : public SolverBackend {
+public:
+  BinSubBackend(SymbolTable &Syms, const Lattice &Lat,
+                SimplifyOptions Opts = SimplifyOptions())
+      : Syms(Syms), Lat(Lat), Opts(Opts) {}
+
+  BackendKind kind() const override { return BackendKind::BinSub; }
+
+  TypeScheme
+  simplify(const ConstraintSet &C, TypeVariable ProcVar,
+           const std::unordered_set<TypeVariable> &Interesting) const override;
+
+  SketchSolution solve(const ConstraintSet &C,
+                       std::span<const TypeVariable> Wanted) const override;
+
+private:
+  SymbolTable &Syms;
+  const Lattice &Lat;
+  SimplifyOptions Opts;
+};
+
+} // namespace retypd
+
+#endif // RETYPD_CORE_BINSUB_H

@@ -45,6 +45,18 @@ constexpr uint8_t kSchemeTag = static_cast<uint8_t>(kSchemePayloadVersion);
 constexpr uint8_t kGenResultTag = 0x40 | kSchemePayloadVersion;
 constexpr uint8_t kSketchBundleTag = 0x80 | kSchemePayloadVersion;
 
+/// Tag with the payload-kind bits only — the backend marker (bit 4) is
+/// orthogonal to the layout, so validation and decoding mask it off.
+/// Generation results are encoded before any backend runs and never carry
+/// the bit; their validator/decoders compare the raw tag.
+uint8_t baseTag(uint8_t Tag) { return Tag & ~kPayloadBackendBit; }
+
+uint8_t backendTag(uint8_t Kind, BackendKind Backend) {
+  return Backend == BackendKind::Retypd
+             ? Kind
+             : static_cast<uint8_t>(Kind | kPayloadBackendBit);
+}
+
 constexpr uint8_t kNameModeInline = 0;
 constexpr uint8_t kNameModePool = 1;
 constexpr size_t kHeaderBytes = 12;
@@ -365,15 +377,29 @@ bool retypd::validatePayload(std::string_view Payload, uint64_t PoolSize) {
   Layout L;
   if (!parseLayout(Payload, L) || !validateNames(Payload, L, PoolSize))
     return false;
-  switch (L.Tag) {
+  switch (baseTag(L.Tag)) {
   case kSchemeTag:
     return validateScheme(Payload, L);
   case kGenResultTag:
-    return validateGenResult(Payload, L);
+    // Gen results precede the solver; a backend-marked gen tag is corrupt.
+    return L.Tag == kGenResultTag && validateGenResult(Payload, L);
   case kSketchBundleTag:
     return validateSketchBundle(Payload, L);
   default:
     return false;
+  }
+}
+
+const char *retypd::payloadKindName(uint8_t Tag) {
+  switch (baseTag(Tag)) {
+  case kSchemeTag:
+    return "scheme";
+  case kGenResultTag:
+    return "gen";
+  case kSketchBundleTag:
+    return "sketches";
+  default:
+    return nullptr;
   }
 }
 
@@ -622,7 +648,8 @@ void noteDtvs(Encoder &Enc, const ConstraintSet &C) {
 } // namespace
 
 std::string retypd::encodeScheme(const TypeScheme &Scheme,
-                                 const SymbolTable &Syms, const Lattice &Lat) {
+                                 const SymbolTable &Syms, const Lattice &Lat,
+                                 BackendKind Backend) {
   EventCounters::SchemeEncodes.fetch_add(1, std::memory_order_relaxed);
   Encoder Enc(Syms, Lat);
   const ConstraintSet &C = Scheme.Constraints;
@@ -650,7 +677,7 @@ std::string retypd::encodeScheme(const TypeScheme &Scheme,
   appendLE32(Full, ProcIdx);
   Full.append(Body, 20, Body.size() - 20);
   Full += Tail;
-  return assembleInline(kSchemeTag, Enc.names(), Full);
+  return assembleInline(backendTag(kSchemeTag, Backend), Enc.names(), Full);
 }
 
 namespace {
@@ -660,7 +687,7 @@ std::optional<TypeScheme> decodeSchemeImpl(std::string_view P,
                                            const Lattice &Lat,
                                            const PoolBindingView *Pool) {
   Layout L;
-  if (!parseLayout(P, L) || L.Tag != kSchemeTag)
+  if (!parseLayout(P, L) || baseTag(L.Tag) != kSchemeTag)
     return std::nullopt;
   NameCtx N(P, L, Syms, Lat, Pool);
   if (!N.ok())
@@ -919,7 +946,7 @@ retypd::decodeGenResultMetaTrusted(std::string_view Payload, SymbolTable &Syms,
 
 std::string retypd::encodeSketchBundle(
     const std::vector<std::pair<TypeVariable, const Sketch *>> &Entries,
-    const SymbolTable &Syms, const Lattice &Lat) {
+    const SymbolTable &Syms, const Lattice &Lat, BackendKind Backend) {
   EventCounters::SchemeEncodes.fetch_add(1, std::memory_order_relaxed);
   std::vector<const std::string *> Names;
   std::unordered_map<std::string, uint64_t> NameIds;
@@ -978,7 +1005,7 @@ std::string retypd::encodeSketchBundle(
   Body += Conflicts;
   Body += ChildLabel;
   Body += ChildTo;
-  return assembleInline(kSketchBundleTag, Names, Body);
+  return assembleInline(backendTag(kSketchBundleTag, Backend), Names, Body);
 }
 
 namespace {
@@ -987,7 +1014,7 @@ std::optional<std::vector<SketchBinding>>
 decodeSketchBundleImpl(std::string_view P, SymbolTable &Syms,
                        const Lattice &Lat, const PoolBindingView *Pool) {
   Layout L;
-  if (!parseLayout(P, L) || L.Tag != kSketchBundleTag)
+  if (!parseLayout(P, L) || baseTag(L.Tag) != kSketchBundleTag)
     return std::nullopt;
   NameCtx N(P, L, Syms, Lat, Pool);
   if (!N.ok())

@@ -45,6 +45,7 @@
 #ifndef RETYPD_CORE_SCHEMECODEC_H
 #define RETYPD_CORE_SCHEMECODEC_H
 
+#include "core/BackendKind.h"
 #include "core/ConstraintSet.h"
 #include "core/Sketch.h"
 #include "support/Hash128.h"
@@ -62,6 +63,25 @@ namespace retypd {
 /// payload byte, and the cache file header's schema version. v3 is the
 /// fixed-layout offset format; v2 (LEB128 streams) payloads are refused.
 inline constexpr unsigned kSchemePayloadVersion = 3;
+
+/// Bit 4 of the payload tag byte marks scheme and sketch-bundle payloads
+/// produced by the BinSub backend (core/BinSub.h). Generation results are
+/// backend-independent (they precede the solver) and never carry the bit.
+/// The bit rides the payload's leading byte into the store's record kind
+/// (Store::append copies byte 0 by convention), so `cache inspect` can
+/// attribute stored artifacts to their backend without decoding bodies.
+inline constexpr uint8_t kPayloadBackendBit = 0x10;
+
+/// Which backend produced a payload whose leading tag byte is \p Tag.
+inline BackendKind payloadBackend(uint8_t Tag) {
+  return (Tag & kPayloadBackendBit) ? BackendKind::BinSub
+                                    : BackendKind::Retypd;
+}
+
+/// Human-readable payload kind ("scheme", "gen", "sketches") for a tag
+/// byte, or nullptr if the tag is not a known v3 payload kind. Backend
+/// bit is masked before matching.
+const char *payloadKindName(uint8_t Tag);
 
 /// Translation tables from a store name-pool id to this process's interned
 /// representation. Built once per (store generation, symbol table) by the
@@ -89,9 +109,12 @@ bool validatePayload(std::string_view Payload, uint64_t PoolSize);
 /// Encodes \p Scheme into the self-contained (inline-name-mode) binary
 /// payload format. The scheme's constraint order is preserved verbatim
 /// (canonicalize before encoding; decode then reproduces the canonical
-/// set exactly, order included).
+/// set exactly, order included). \p Backend stamps kPayloadBackendBit
+/// into the tag byte for non-retypd producers; the body layout is
+/// backend-independent.
 std::string encodeScheme(const TypeScheme &Scheme, const SymbolTable &Syms,
-                         const Lattice &Lat);
+                         const Lattice &Lat,
+                         BackendKind Backend = BackendKind::Retypd);
 
 /// Decodes a payload produced by encodeScheme, interning names into
 /// \p Syms. Validates first: returns nullopt on any corruption; never
@@ -211,7 +234,8 @@ using SketchBinding = std::pair<TypeVariable, Sketch>;
 std::string
 encodeSketchBundle(const std::vector<std::pair<TypeVariable, const Sketch *>>
                        &Entries,
-                   const SymbolTable &Syms, const Lattice &Lat);
+                   const SymbolTable &Syms, const Lattice &Lat,
+                   BackendKind Backend = BackendKind::Retypd);
 
 /// Decodes a sketch bundle, interning variable names into \p Syms and
 /// resolving lattice marks by name. Validates first; returns nullopt on

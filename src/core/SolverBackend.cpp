@@ -1,0 +1,71 @@
+//===- SolverBackend.cpp - Backend registry + retypd backend --------------===//
+
+#include "core/SolverBackend.h"
+
+#include "core/BinSub.h"
+
+using namespace retypd;
+
+const char *retypd::backendName(BackendKind K) {
+  switch (K) {
+  case BackendKind::Retypd:
+    return "retypd";
+  case BackendKind::BinSub:
+    return "binsub";
+  }
+  return "retypd";
+}
+
+std::optional<BackendKind> retypd::parseBackendKind(std::string_view Name) {
+  if (Name == "retypd")
+    return BackendKind::Retypd;
+  if (Name == "binsub")
+    return BackendKind::BinSub;
+  return std::nullopt;
+}
+
+namespace {
+
+/// The paper's pipeline behind the seam: Simplifier (saturation + proof
+/// trimming) for phase 1, SketchSolver (saturated-graph bound queries)
+/// for phase 2. Both engines are cheap reference-holders, so each call
+/// constructs its own — that is what makes the backend const-callable
+/// from concurrent pool workers.
+class RetypdBackend : public SolverBackend {
+public:
+  RetypdBackend(SymbolTable &Syms, const Lattice &Lat, SimplifyOptions Opts)
+      : Syms(Syms), Lat(Lat), Opts(Opts) {}
+
+  BackendKind kind() const override { return BackendKind::Retypd; }
+
+  TypeScheme
+  simplify(const ConstraintSet &C, TypeVariable ProcVar,
+           const std::unordered_set<TypeVariable> &Interesting) const override {
+    Simplifier Simp(Syms, Lat, Opts);
+    return Simp.simplify(C, ProcVar, Interesting);
+  }
+
+  SketchSolution solve(const ConstraintSet &C,
+                       std::span<const TypeVariable> Wanted) const override {
+    return SketchSolver(Lat).solve(C, Wanted);
+  }
+
+private:
+  SymbolTable &Syms;
+  const Lattice &Lat;
+  SimplifyOptions Opts;
+};
+
+} // namespace
+
+std::unique_ptr<SolverBackend>
+retypd::makeSolverBackend(BackendKind Kind, SymbolTable &Syms,
+                          const Lattice &Lat, const SimplifyOptions &Opts) {
+  switch (Kind) {
+  case BackendKind::BinSub:
+    return std::make_unique<BinSubBackend>(Syms, Lat, Opts);
+  case BackendKind::Retypd:
+    break;
+  }
+  return std::make_unique<RetypdBackend>(Syms, Lat, Opts);
+}

@@ -36,7 +36,8 @@ void hashSortedNames(Fnv128 &H, const std::vector<std::string> &Names) {
 SummaryKey SummaryCache::keyFor(const Hash128 &SetHash,
                                 std::string_view ProcName,
                                 const std::vector<std::string> &InterestingNames,
-                                const SimplifyOptions &Opts) {
+                                const SimplifyOptions &Opts,
+                                BackendKind Backend) {
   Fnv128 H;
   H.update("retypd-summary-v3");
   H.sep();
@@ -49,23 +50,32 @@ SummaryKey SummaryCache::keyFor(const Hash128 &SetHash,
   H.sep();
   H.updateU64(Opts.MaxTidyIterations);
   H.updateU64(Opts.BloatSlack);
+  // The default backend hashes the exact historical byte stream, so
+  // every pre-seam store/cache file stays warm; other backends extend
+  // the stream and land in a disjoint key space.
+  if (Backend != BackendKind::Retypd) {
+    H.sep();
+    H.update(backendName(Backend));
+  }
   return H.digest();
 }
 
 SummaryKey SummaryCache::keyFor(const ConstraintSet &C, TypeVariable ProcVar,
                                 const std::vector<std::string> &InterestingNames,
                                 const SimplifyOptions &Opts,
-                                const SymbolTable &Syms, const Lattice &Lat) {
+                                const SymbolTable &Syms, const Lattice &Lat,
+                                BackendKind Backend) {
   // The canonical structural hash is the content identity — insertion
   // order and symbol-id allocation cannot leak into it.
   ScopedPhaseTimer Timer("cache.hash");
   return keyFor(constraintSetHash(C, Syms, Lat),
-                Syms.name(ProcVar.symbol()), InterestingNames, Opts);
+                Syms.name(ProcVar.symbol()), InterestingNames, Opts, Backend);
 }
 
 SummaryKey SummaryCache::solveKeyFor(const Hash128 &SetHash,
                                      const std::vector<std::string>
-                                         &WantedNames) {
+                                         &WantedNames,
+                                     BackendKind Backend) {
   Fnv128 H;
   H.update("retypd-solve-v1");
   H.sep();
@@ -73,6 +83,10 @@ SummaryKey SummaryCache::solveKeyFor(const Hash128 &SetHash,
   H.updateU64(SetHash.Lo);
   H.sep();
   hashSortedNames(H, WantedNames);
+  if (Backend != BackendKind::Retypd) {
+    H.sep();
+    H.update(backendName(Backend));
+  }
   return H.digest();
 }
 
@@ -379,21 +393,22 @@ void SummaryCache::insertGen(const SummaryKey &K, const ConstraintSet &C,
 void SummaryCache::insertSolution(
     const SummaryKey &K,
     const std::vector<std::pair<TypeVariable, const Sketch *>> &Entries,
-    const SymbolTable &Syms, const Lattice &Lat) {
+    const SymbolTable &Syms, const Lattice &Lat, BackendKind Backend) {
   std::string Payload;
   {
     ScopedPhaseTimer Timer("cache.encode");
-    Payload = encodeSketchBundle(Entries, Syms, Lat);
+    Payload = encodeSketchBundle(Entries, Syms, Lat, Backend);
   }
   insertPayload(K, std::move(Payload));
 }
 
 void SummaryCache::insert(const SummaryKey &K, const TypeScheme &Scheme,
-                          const SymbolTable &Syms, const Lattice &Lat) {
+                          const SymbolTable &Syms, const Lattice &Lat,
+                          BackendKind Backend) {
   std::string Payload;
   {
     ScopedPhaseTimer Timer("cache.encode");
-    Payload = encodeScheme(Scheme, Syms, Lat);
+    Payload = encodeScheme(Scheme, Syms, Lat, Backend);
   }
   insertPayload(K, std::move(Payload));
 }

@@ -124,25 +124,32 @@ public:
   /// \p ProcVar with \p Interesting preserved. Hashing walks the set's
   /// canonical structural view, so two structurally identical problems key
   /// identically regardless of symbol ids or constraint insertion order —
-  /// and no canonical text is ever materialized.
+  /// and no canonical text is ever materialized. \p Backend participates
+  /// in the key (the default retypd backend hashes the exact historical
+  /// byte stream, so existing stores stay warm), so artifacts produced by
+  /// different solver backends never collide.
   static SummaryKey keyFor(const ConstraintSet &C, TypeVariable ProcVar,
                            const std::vector<std::string> &InterestingNames,
                            const SimplifyOptions &Opts,
-                           const SymbolTable &Syms, const Lattice &Lat);
+                           const SymbolTable &Syms, const Lattice &Lat,
+                           BackendKind Backend = BackendKind::Retypd);
 
   /// Same, over a precomputed structural hash of the (already canonical)
   /// constraint set. The pipeline hashes each SCC's combined set once and
   /// keys every member against it.
   static SummaryKey keyFor(const Hash128 &SetHash, std::string_view ProcName,
                            const std::vector<std::string> &InterestingNames,
-                           const SimplifyOptions &Opts);
+                           const SimplifyOptions &Opts,
+                           BackendKind Backend = BackendKind::Retypd);
 
   /// Computes the content key for SOLVING an (already canonical) constraint
   /// set for the given wanted-variable names (Algorithm F.2's per-SCC raw
   /// solution — a pure function of exactly these inputs). Domain-separated
   /// from scheme keys, so the two entry kinds can share one cache file.
+  /// Backend-separated like keyFor.
   static SummaryKey solveKeyFor(const Hash128 &SetHash,
-                                const std::vector<std::string> &WantedNames);
+                                const std::vector<std::string> &WantedNames,
+                                BackendKind Backend = BackendKind::Retypd);
 
   /// Returns the decoded scheme for \p K, if cached. Decoding interns the
   /// payload's names into \p Syms; a payload that fails to decode is NOT
@@ -151,9 +158,12 @@ public:
   std::optional<TypeScheme> lookup(const SummaryKey &K, SymbolTable &Syms,
                                    const Lattice &Lat) const;
 
-  /// Encodes and inserts (or replaces) the scheme for \p K.
+  /// Encodes and inserts (or replaces) the scheme for \p K. \p Backend
+  /// stamps the payload tag (and must match the backend folded into the
+  /// key).
   void insert(const SummaryKey &K, const TypeScheme &Scheme,
-              const SymbolTable &Syms, const Lattice &Lat);
+              const SymbolTable &Syms, const Lattice &Lat,
+              BackendKind Backend = BackendKind::Retypd);
 
   /// Returns the decoded sketch bindings for a solve key, if cached. Same
   /// self-healing/miss-accounting contract as lookup().
@@ -206,7 +216,8 @@ public:
   void insertSolution(
       const SummaryKey &K,
       const std::vector<std::pair<TypeVariable, const Sketch *>> &Entries,
-      const SymbolTable &Syms, const Lattice &Lat);
+      const SymbolTable &Syms, const Lattice &Lat,
+      BackendKind Backend = BackendKind::Retypd);
 
   // --- Durable artifact store (store/Store.h) ---------------------------
   /// Opens (creating if needed; reinitializing if stale — a stale store

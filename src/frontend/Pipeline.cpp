@@ -6,18 +6,14 @@ using namespace retypd;
 
 TypeReport Pipeline::run(Module &M) {
   SessionOptions SOpts;
-  SOpts.RefineParameters = Opts.RefineParameters;
-  SOpts.Jobs = Opts.Jobs;
-  SOpts.TinySccConstraints = Opts.TinySccConstraints;
-  SOpts.Conversion = Opts.Conversion;
-  SOpts.Simplify = Opts.Simplify;
+  // Every shared knob rides the AnalysisOptions base in one assignment —
+  // new shared options need no facade plumbing.
+  static_cast<AnalysisOptions &>(SOpts) = Opts;
   // Match the historical batch behavior exactly: no memoization at all
   // unless the caller supplied a cache (keeps cache hit/miss counters and
   // GoldenTest's warm-run assertions meaningful).
   SOpts.UseSummaryCache = Opts.Cache != nullptr;
   SOpts.ExternalCache = Opts.Cache;
-  SOpts.StoreDir = Opts.StoreDir;
-  SOpts.Verify = Opts.Verify;
   // One-shot: skip the incremental bookkeeping (body/scheme snapshots)
   // that only a second analyze() on the same session could use.
   SOpts.KeepHistory = false;

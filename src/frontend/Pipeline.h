@@ -30,30 +30,14 @@
 
 namespace retypd {
 
-/// Pipeline configuration (the batch-facing subset of SessionOptions).
-struct PipelineOptions {
-  /// Apply Algorithm F.3 (specialize formals to their observed uses).
-  bool RefineParameters = true;
-  /// Total executors for the readiness-scheduled parallel stages. 1 = run
-  /// inline on the calling thread (same code path, so results are
-  /// identical); 0 = one per hardware thread.
-  unsigned Jobs = 1;
-  /// Tiny-SCC batching threshold (see SessionOptions::TinySccConstraints).
-  /// 0 disables batching; results are byte-identical at any setting.
-  unsigned TinySccConstraints = 64;
+/// Pipeline configuration: the shared AnalysisOptions knobs
+/// (frontend/AnalysisOptions.h) plus the one batch-only field. Note for
+/// AnalysisOptions::StoreDir here: ignored when \p Cache is set — attach
+/// a store to that cache directly.
+struct PipelineOptions : AnalysisOptions {
   /// Optional content-addressed scheme cache (not owned). Shared across
   /// runs and across modules; thread safe.
   SummaryCache *Cache = nullptr;
-  /// Directory of a durable artifact store to open behind the run's
-  /// cache (see SessionOptions::StoreDir). Ignored when \p Cache is set —
-  /// attach a store to that cache directly. Open/flush failures are
-  /// reported in TypeReport::StoreError (the run completes either way).
-  std::string StoreDir;
-  /// Formation-rule verification level (see SessionOptions::Verify).
-  /// Findings land in TypeReport::VerifyErrors; the run always completes.
-  VerifyLevel Verify = VerifyLevel::Off;
-  ConversionOptions Conversion;
-  SimplifyOptions Simplify;
 };
 
 /// Runs Retypd over modules, one shot at a time.

@@ -59,6 +59,7 @@ std::string numField(const char *Name, double V) {
 
 std::string retypd::statsJson(const PipelineStats &S) {
   std::string J = "{";
+  J += "\"backend\": " + quoted(S.Backend) + ", ";
   J += numField("generate_secs", S.GenerateSecs) + ", ";
   J += numField("simplify_secs", S.SimplifySecs) + ", ";
   J += numField("solve_secs", S.SolveSecs) + ", ";

@@ -392,7 +392,7 @@ AnalysisSession::sketchOf(const std::string &Name, unsigned MaxDepth) const {
 std::optional<TypeScheme> AnalysisSession::summarize(
     const std::function<const ConstraintSet *()> &Constraints,
     const Hash128 &SetHash, TypeVariable ProcVar,
-    const std::unordered_set<TypeVariable> &Keep, Simplifier &Simp,
+    const std::unordered_set<TypeVariable> &Keep, const SolverBackend &Backend,
     SummaryCache *Cache) {
   SymbolTable &S = *Syms;
   SummaryKey Key;
@@ -403,7 +403,7 @@ std::optional<TypeScheme> AnalysisSession::summarize(
       if (V.isVar())
         Names.push_back(S.name(V.symbol()));
     Key = SummaryCache::keyFor(SetHash, S.name(ProcVar.symbol()), Names,
-                               Opts.Simplify);
+                               Opts.Simplify, Backend.kind());
     // A hit hands back the decoded scheme — the warm path never parses
     // text and never touches the constraint set. Corrupt entries
     // self-heal inside lookup() (dropped + counted as a miss) so the
@@ -415,13 +415,13 @@ std::optional<TypeScheme> AnalysisSession::summarize(
   const ConstraintSet *C = Constraints();
   if (!C)
     return std::nullopt;
-  TypeScheme Scheme = Simp.simplify(*C, ProcVar, Keep);
+  TypeScheme Scheme = Backend.simplify(*C, ProcVar, Keep);
   // Canonical constraint order: identical whether the scheme was computed
   // here or replayed from the cache (the codec preserves order verbatim).
   Scheme.Constraints.canonicalize(S, Lat);
 
   if (Cache)
-    Cache->insert(Key, Scheme, S, Lat);
+    Cache->insert(Key, Scheme, S, Lat, Backend.kind());
   return Scheme;
 }
 
@@ -586,7 +586,12 @@ const TypeReport &AnalysisSession::analyze() {
 
   CallGraph CG(M);
   ConstraintGenerator Gen(S, Lat, M);
-  Simplifier Simp(S, Lat, Opts.Simplify);
+  // The solver seam: phase 1 (simplify) and phase 2 (solve) below only
+  // ever dispatch through this backend. Its entry points are const and
+  // thread-safe, so pool workers share the one instance.
+  const std::unique_ptr<SolverBackend> Backend =
+      makeSolverBackend(Opts.Backend, S, Lat, Opts.Simplify);
+  Report.Stats.Backend = Backend->name();
   SummaryCache *Cache = activeCache();
 
   // Generation-cache key plumbing: the environment signature is shared by
@@ -760,7 +765,7 @@ const TypeReport &AnalysisSession::analyze() {
           if (Mate != F)
             Keep.insert(Gen.procVar(Mate));
         auto Scheme = summarize(Constraints, Item.SetHash, Gen.procVar(F),
-                                Keep, Simp, Cache);
+                                Keep, *Backend, Cache);
         if (!Scheme)
           return false;
         Item.Schemes[I] = std::move(*Scheme);
@@ -1175,7 +1180,6 @@ const TypeReport &AnalysisSession::analyze() {
   }
 
   // ---- Phase 2: top-down sketch solving (Algorithm F.2) ----
-  SketchSolver Solver(Lat);
   // Join of actual-in/out sketches observed at callsites, per callee
   // (Algorithm F.3 accumulators).
   std::map<uint32_t, std::vector<Sketch>> ActualSketches;
@@ -1251,7 +1255,7 @@ const TypeReport &AnalysisSession::analyze() {
         Item.NeedGen = true; // gen entry vanished; commit solves inline
         return;
       }
-      Item.Sol = Solver.solve(Art->Combined, Item.Wanted);
+      Item.Sol = Backend->solve(Art->Combined, Item.Wanted);
     };
 
     auto submitUnit = [&](std::vector<uint32_t> Unit) {
@@ -1394,7 +1398,8 @@ const TypeReport &AnalysisSession::analyze() {
         Names.reserve(Item.Wanted.size());
         for (TypeVariable V : Item.Wanted)
           Names.push_back(S.name(V.symbol()));
-        Item.SolveKey = SummaryCache::solveKeyFor(SetHash, Names);
+        Item.SolveKey =
+            SummaryCache::solveKeyFor(SetHash, Names, Backend->kind());
         Item.ProbeCache = true;
       }
       dispatch(Scc);
@@ -1433,7 +1438,7 @@ const TypeReport &AnalysisSession::analyze() {
           }
           C.canonicalize(S, Lat);
           Art->Combined = std::move(C);
-          Item.Sol = Solver.solve(Art->Combined, Item.Wanted);
+          Item.Sol = Backend->solve(Art->Combined, Item.Wanted);
           Item.NeedGen = false;
           Item.SolveSecs += secondsSince(T0);
         }
@@ -1456,7 +1461,8 @@ const TypeReport &AnalysisSession::analyze() {
           Entries.reserve(Item.Wanted.size());
           for (TypeVariable V : Item.Wanted)
             Entries.push_back({V, &Item.Sol.sketchFor(V)});
-          Cache->insertSolution(Item.SolveKey, Entries, S, Lat);
+          Cache->insertSolution(Item.SolveKey, Entries, S, Lat,
+                                Backend->kind());
         }
         // Records carry the callee *name* for cross-run replay (name keys
         // survive id shifts), but this run's pushes below use the known

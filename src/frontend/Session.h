@@ -48,13 +48,11 @@
 #ifndef RETYPD_FRONTEND_SESSION_H
 #define RETYPD_FRONTEND_SESSION_H
 
-#include "core/Simplifier.h"
 #include "core/Sketch.h"
-#include "core/Solver.h"
+#include "core/SolverBackend.h"
 #include "core/SummaryCache.h"
-#include "core/Verifier.h"
+#include "frontend/AnalysisOptions.h"
 #include "support/Hash128.h"
-#include "ctypes/Conversion.h"
 #include "mir/MIR.h"
 
 #include <functional>
@@ -69,6 +67,9 @@ namespace retypd {
 
 /// Wall-clock, cache, and incrementality counters for one analyze() call.
 struct PipelineStats {
+  /// Solver backend that produced this run ("retypd" or "binsub") —
+  /// recorded in the stats JSON so archived reports are attributable.
+  std::string Backend = "retypd";
   double GenerateSecs = 0;  ///< constraint generation (main thread)
   double SimplifySecs = 0;  ///< scheme simplification, summed over work
                             ///< units (CPU time: exceeds wall when parallel)
@@ -200,48 +201,24 @@ struct TypeReport {
   std::string prototypeOf(uint32_t FuncId, const Module &M) const;
 };
 
-/// Session configuration.
-struct SessionOptions {
-  /// Apply Algorithm F.3 (specialize formals to their observed uses).
-  bool RefineParameters = true;
-  /// Total executors for the parallel simplify/solve stages. 1 = run
-  /// inline on the calling thread (same code path, so results are
-  /// identical); 0 = one per hardware thread.
-  unsigned Jobs = 1;
-  /// Tiny-SCC batching threshold for the readiness scheduler: ready SCCs
-  /// whose constraint count is below this are grouped into one pool work
-  /// unit instead of dispatched individually, amortizing submit/wakeup
-  /// overhead in the many-tiny-SCCs common case. 0 disables batching
-  /// (every SCC is its own work unit). Results are byte-identical at any
-  /// setting — batching only changes work-unit granularity.
-  unsigned TinySccConstraints = 64;
+/// Session configuration. The knobs shared with the one-shot Pipeline
+/// facade live in the AnalysisOptions base (frontend/AnalysisOptions.h);
+/// only the session-lifetime fields are declared here. Note for
+/// SessionOptions::StoreDir: when an ExternalCache is configured the
+/// store is NOT opened here — attach one to that cache directly.
+struct SessionOptions : AnalysisOptions {
   /// Memoize simplifications in the session-owned summary cache. Distinct
   /// from incremental SCC reuse: the cache also hits on content-identical
-  /// SCCs across modules and (when persisted) across processes.
+  /// SCCs across modules and (when persisted) across processes. StoreDir
+  /// implies this.
   bool UseSummaryCache = true;
   /// Share an external cache instead of the session-owned one (not owned;
   /// overrides UseSummaryCache when set).
   SummaryCache *ExternalCache = nullptr;
-  /// Directory of a durable multi-process artifact store (store/Store.h)
-  /// to open behind the summary cache. Empty = none. Implies
-  /// UseSummaryCache; analyze() flushes new entries to it. When an
-  /// ExternalCache is configured the store is NOT opened here — attach
-  /// one to that cache directly. Open failures are reported via
-  /// AnalysisSession::storeError().
-  std::string StoreDir;
   /// Record per-function snapshots and per-SCC artifacts so the *next*
   /// analyze() can be incremental. One-shot callers (the Pipeline facade)
   /// turn this off to skip the bookkeeping entirely.
   bool KeepHistory = true;
-  /// Formation-rule verification level (core/Verifier.h). Off adds zero
-  /// work to the pipeline (EventCounters::VerifierChecks stays 0). Phase
-  /// verifies freshly committed artifacts at the sequence-ordered commit
-  /// points; Full additionally verifies artifacts replayed from the
-  /// summary cache and the durable store. Findings are collected in
-  /// TypeReport::VerifyErrors — the run always completes.
-  VerifyLevel Verify = VerifyLevel::Off;
-  ConversionOptions Conversion;
-  SimplifyOptions Simplify;
 };
 
 /// A long-lived, incrementally re-analyzable instance of the engine.
@@ -350,8 +327,8 @@ private:
   std::optional<TypeScheme>
   summarize(const std::function<const ConstraintSet *()> &Constraints,
             const Hash128 &SetHash, TypeVariable ProcVar,
-            const std::unordered_set<TypeVariable> &Keep, Simplifier &Simp,
-            SummaryCache *Cache);
+            const std::unordered_set<TypeVariable> &Keep,
+            const SolverBackend &Backend, SummaryCache *Cache);
   Sketch refineSketch(Sketch Sk, uint32_t FuncId,
                       const std::vector<Sketch> &Actuals) const;
   SessionQuery<std::string> queryGate(uint32_t FuncId) const;

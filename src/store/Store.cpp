@@ -1456,6 +1456,7 @@ StoreInfo Store::inspect(const std::string &Dir, unsigned SchemaVersion) {
       if (IsLive) {
         ++Seg.LiveRecords;
         Seg.LiveBytes += R.TotalLen;
+        ++Info.LiveKindCounts[R.Kind];
       } else {
         Seg.DeadBytes += R.TotalLen;
       }

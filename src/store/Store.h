@@ -87,6 +87,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <shared_mutex>
@@ -152,6 +153,12 @@ struct StoreInfo {
   size_t DeadBytes = 0;
   size_t PoolNames = 0; ///< valid name records in the pool file
   size_t PoolBytes = 0; ///< pool file size on disk
+  /// Live records per record kind byte. The kind is the payload's leading
+  /// tag byte by convention, which encodes both the payload kind and the
+  /// producing solver backend (core/SchemeCodec.h: payloadKindName /
+  /// payloadBackend), so `cache inspect` can attribute stored artifacts
+  /// per backend without decoding a single body.
+  std::map<uint8_t, size_t> LiveKindCounts;
   std::vector<StoreSegmentInfo> Segments;
 };
 

@@ -538,3 +538,66 @@ TEST(CliTest, CacheVerifyCleanAndCorrupt) {
   fs::remove(File);
   fs::remove_all(Dir);
 }
+
+TEST(CliTest, BackendFlagSelectsAndMisspellingExitsTwo) {
+  // --backend=binsub runs end-to-end and the stats line attributes it.
+  CmdResult R = runCli("analyze --backend=binsub --stats " +
+                       goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("backend=binsub"), std::string::npos) << R.Out;
+
+  // The default spelled out explicitly is the same as omitting the flag.
+  CmdResult Explicit = runCli("analyze --backend=retypd --schemes " +
+                              goldenAsm("list_traverse.asm"));
+  CmdResult Implicit =
+      runCli("analyze --schemes " + goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(Explicit.Exit, 0);
+  EXPECT_EQ(Explicit.Out, Implicit.Out);
+
+  // JSON stats carry the backend too.
+  R = runCli("analyze --backend=binsub --format=json --stats " +
+             goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("\"backend\": \"binsub\""), std::string::npos) << R.Out;
+
+  // An unknown backend must exit 2 with a hint — never fall back silently.
+  R = runCli("analyze --backend=binsab " + goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(R.Exit, 2);
+  EXPECT_NE(R.Out.find("--backend expects retypd or binsub, got 'binsab'"),
+            std::string::npos)
+      << R.Out;
+  EXPECT_NE(R.Out.find("did you mean 'binsub'?"), std::string::npos) << R.Out;
+
+  // No-hint spelling still exits 2.
+  R = runCli("analyze --backend=zzz " + goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(R.Exit, 2);
+
+  // reanalyze accepts the flag as well.
+  R = runCli("reanalyze --backend=binsub " + goldenAsm("list_traverse.asm") +
+             " " + goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+}
+
+TEST(CliTest, CacheInspectAttributesBackends) {
+  // A store fed by both backends is attributed per backend in both the
+  // text and JSON renderings of `cache inspect`.
+  fs::path Dir = fs::temp_directory_path() / "cli_backend_store";
+  fs::remove_all(Dir);
+  CmdResult R = runCli("analyze --store " + Dir.string() + " " +
+                       goldenAsm("list_traverse.asm"));
+  ASSERT_EQ(R.Exit, 0) << R.Out;
+  R = runCli("analyze --backend=binsub --store " + Dir.string() + " " +
+             goldenAsm("list_traverse.asm"));
+  ASSERT_EQ(R.Exit, 0) << R.Out;
+
+  R = runCli("cache inspect " + Dir.string());
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("scheme[retypd]="), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("scheme[binsub]="), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("sketches[binsub]="), std::string::npos) << R.Out;
+
+  R = runCli("cache inspect --format=json " + Dir.string());
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("\"live_kinds\""), std::string::npos) << R.Out;
+  fs::remove_all(Dir);
+}

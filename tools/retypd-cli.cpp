@@ -40,6 +40,10 @@
 //                                store: appends are journaled, reads are
 //                                zero-copy out of mmapped segments
 //   --format=text|json           report rendering
+//   --backend=retypd|binsub      solver backend: the paper's saturation
+//                                pipeline (default) or BinSub-style
+//                                algebraic subtyping; artifacts are
+//                                backend-keyed in caches and stores
 //   --verify=off|phase|full      formation-rule checks at phase
 //                                boundaries (phase) and additionally on
 //                                cache/store-replayed artifacts (full);
@@ -153,6 +157,7 @@ int usage(FILE *Out = stderr) {
       "analyze/reanalyze options:\n"
       "  --schemes --sketches --stats --jobs N --summary-cache FILE\n"
       "  --store DIR --format=text|json --verify=off|phase|full\n"
+      "  --backend=retypd|binsub\n"
       "analyze only: --strip --engine=retypd|unify|interval\n"
       "\n"
       "'retypd-cli [options] prog.asm' without a command means 'analyze'.\n");
@@ -184,6 +189,7 @@ struct AnalyzeOpts {
   bool Schemes = false, Sketches = false, Strip = false, Stats = false;
   unsigned Jobs = 1;
   VerifyLevel Verify = VerifyLevel::Off;
+  BackendKind Backend = BackendKind::Retypd;
   std::string Engine = "retypd";
   std::string CachePath;
   std::string StoreDir;
@@ -193,10 +199,11 @@ struct AnalyzeOpts {
 
 const std::vector<std::string> kAnalyzeFlags = {
     "--schemes", "--sketches",      "--strip",   "--stats",  "--jobs",
-    "--summary-cache", "--store", "--engine=", "--format=", "--verify="};
+    "--summary-cache", "--store", "--engine=", "--format=", "--verify=",
+    "--backend="};
 const std::vector<std::string> kReanalyzeFlags = {
     "--schemes", "--sketches", "--stats", "--jobs",
-    "--summary-cache", "--store", "--format=", "--verify="};
+    "--summary-cache", "--store", "--format=", "--verify=", "--backend="};
 
 /// Parses analyze/reanalyze arguments from argv[Start..). Returns 0 on
 /// success, 2 on a usage error (already reported).
@@ -260,6 +267,28 @@ int parseAnalyzeArgs(int argc, char **argv, int Start, const char *Command,
         return 2;
       }
       O.Verify = *Level;
+    } else if (Arg.rfind("--backend=", 0) == 0) {
+      std::string Value = Arg.substr(10);
+      auto Kind = parseBackendKind(Value);
+      if (!Kind) {
+        // Unknown backends must fail loudly (exit 2), never silently run
+        // the default — the two backends produce different artifacts.
+        std::string Hint = suggestFor(
+            Value, std::vector<std::string>(std::begin(kBackendNames),
+                                            std::end(kBackendNames)));
+        if (!Hint.empty())
+          std::fprintf(stderr,
+                       "error: --backend expects retypd or binsub, got "
+                       "'%s' — did you mean '%s'?\n",
+                       Value.c_str(), Hint.c_str());
+        else
+          std::fprintf(stderr,
+                       "error: --backend expects retypd or binsub, got "
+                       "'%s'\n",
+                       Value.c_str());
+        return 2;
+      }
+      O.Backend = *Kind;
     } else if (!Arg.empty() && Arg[0] == '-') {
       // Flags gated off for this command get a precise message, not a
       // self-referential "did you mean".
@@ -336,11 +365,11 @@ void printReport(AnalysisSession &S, const AnalyzeOpts &O) {
   std::fwrite(Text.data(), 1, Text.size(), stdout);
   if (O.Stats) {
     const PipelineStats &St = S.report()->Stats;
-    std::printf("/* stats: jobs=%u sccs=%zu waves=%zu widest=%zu "
+    std::printf("/* stats: backend=%s jobs=%u sccs=%zu waves=%zu widest=%zu "
                 "gen=%.3fs simplify=%.3fs solve=%.3fs convert=%.3fs "
                 "cache_hits=%llu cache_misses=%llu */\n",
-                St.JobsUsed, St.SccCount, St.WaveCount, St.WidestWave,
-                St.GenerateSecs, St.SimplifySecs, St.SolveSecs,
+                St.Backend.c_str(), St.JobsUsed, St.SccCount, St.WaveCount,
+                St.WidestWave, St.GenerateSecs, St.SimplifySecs, St.SolveSecs,
                 St.ConvertSecs, static_cast<unsigned long long>(St.CacheHits),
                 static_cast<unsigned long long>(St.CacheMisses));
     std::printf("/* incremental: %s dirty=%zu sccs_simplified=%zu "
@@ -398,6 +427,7 @@ SessionOptions sessionOptsFor(const AnalyzeOpts &O, bool Incremental) {
   SO.UseSummaryCache = !O.CachePath.empty() || !O.StoreDir.empty();
   SO.StoreDir = O.StoreDir;
   SO.Verify = O.Verify;
+  SO.Backend = O.Backend;
   SO.KeepHistory = Incremental;
   return SO;
 }
@@ -551,6 +581,24 @@ int storeInspect(const std::string &Dir, const std::string &Format) {
     Info.Ok = true;
   else
     Info = Store::inspect(Dir, kSummaryCacheSchemaVersion);
+  // Record kinds are the payloads' leading tag bytes, which carry both
+  // the payload kind and the producing solver backend — this is what
+  // makes backend-keyed artifacts auditable from the outside.
+  auto kindLabel = [](uint8_t Kind) -> std::string {
+    const char *Name = payloadKindName(Kind);
+    if (!Name) {
+      char Buf[16];
+      std::snprintf(Buf, sizeof(Buf), "kind_0x%02x", Kind);
+      return Buf;
+    }
+    std::string Label = Name;
+    if (std::string(Name) != "gen") {
+      Label += '[';
+      Label += backendName(payloadBackend(Kind));
+      Label += ']';
+    }
+    return Label;
+  };
   if (Format == "json") {
     std::string Segs = "[";
     for (size_t I = 0; I < Info.Segments.size(); ++I) {
@@ -566,12 +614,23 @@ int storeInspect(const std::string &Dir, const std::string &Format) {
               ", \"file_bytes\": " + std::to_string(S.FileBytes) + "}";
     }
     Segs += "]";
+    std::string Kinds = "{";
+    bool FirstKind = true;
+    for (const auto &[Kind, Count] : Info.LiveKindCounts) {
+      if (!FirstKind)
+        Kinds += ", ";
+      FirstKind = false;
+      Kinds += "\"" + jsonEscape(kindLabel(Kind)) +
+               "\": " + std::to_string(Count);
+    }
+    Kinds += "}";
     std::printf("{\"store\": \"%s\", \"ok\": %s, \"empty\": %s, "
                 "\"stale\": %s, "
                 "\"newer_than_binary\": %s, \"format_version\": %u, "
                 "\"schema_version\": %u, \"generation\": %llu, "
                 "\"keys\": %zu, \"live_bytes\": %zu, \"dead_bytes\": %zu, "
                 "\"pool_names\": %zu, \"pool_bytes\": %zu, "
+                "\"live_kinds\": %s, "
                 "\"segments\": %s, \"error\": \"%s\"}\n",
                 jsonEscape(Dir).c_str(), Info.Ok ? "true" : "false",
                 Empty ? "true" : "false",
@@ -580,7 +639,7 @@ int storeInspect(const std::string &Dir, const std::string &Format) {
                 Info.SchemaVersion,
                 static_cast<unsigned long long>(Info.Generation),
                 Info.KeyCount, Info.LiveBytes, Info.DeadBytes,
-                Info.PoolNames, Info.PoolBytes, Segs.c_str(),
+                Info.PoolNames, Info.PoolBytes, Kinds.c_str(), Segs.c_str(),
                 jsonEscape(Info.Error).c_str());
     return Info.Ok ? 0 : 1;
   }
@@ -601,6 +660,12 @@ int storeInspect(const std::string &Dir, const std::string &Format) {
   if (Info.PoolNames || Info.PoolBytes)
     std::printf("pool: %zu names, %zu bytes\n", Info.PoolNames,
                 Info.PoolBytes);
+  if (!Info.LiveKindCounts.empty()) {
+    std::printf("live records:");
+    for (const auto &[Kind, Count] : Info.LiveKindCounts)
+      std::printf(" %s=%zu", kindLabel(Kind).c_str(), Count);
+    std::printf("\n");
+  }
   for (const StoreSegmentInfo &S : Info.Segments)
     std::printf("segment %s: records %zu live %zu live_bytes %zu "
                 "dead_bytes %zu corrupt %zu file_bytes %zu\n",
