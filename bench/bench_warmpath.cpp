@@ -44,7 +44,6 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -57,18 +56,13 @@ constexpr unsigned kSamples = 3;
 
 struct RunResult {
   double WallSecs = 0;
-  std::map<std::string, double> Phases;
-  uint64_t ParseCalls = 0;
-  uint64_t Encodes = 0;
-  uint64_t Decodes = 0;
+  // PhaseTimes::snapshot() is already sorted by phase name (a documented
+  // contract, pinned by tests/support/StatsTest.cpp) — keep it verbatim
+  // instead of re-sorting through a std::map.
+  std::vector<std::pair<std::string, double>> Phases;
+  CounterSnapshot Counters; ///< delta over the run
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
-  uint64_t GenHits = 0;
-  uint64_t GenMisses = 0;
-  uint64_t StoreHits = 0;
-  uint64_t StoreCopies = 0;
-  uint64_t PoolBindHits = 0;
-  uint64_t VerifierChecks = 0;
   uint64_t SccsScheduled = 0;
   uint64_t BatchesFormed = 0;
   uint64_t MaxReadyQueue = 0;
@@ -83,6 +77,7 @@ RunResult timedRun(const SynthProgram &P, const Lattice &Lat,
   Opts.Cache = Cache;
   PhaseTimes::reset();
   EventCounters::reset();
+  const CounterSnapshot Counters0 = CounterSnapshot::take();
   uint64_t Hits0 = Cache ? Cache->hits() : 0;
   uint64_t Misses0 = Cache ? Cache->misses() : 0;
   auto T0 = std::chrono::steady_clock::now();
@@ -96,22 +91,8 @@ RunResult timedRun(const SynthProgram &P, const Lattice &Lat,
   Out.WallSecs = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - T0)
                      .count();
-  for (const auto &[Phase, Secs] : PhaseTimes::snapshot())
-    Out.Phases[Phase] = Secs;
-  Out.ParseCalls =
-      EventCounters::ConstraintParseCalls.load(std::memory_order_relaxed);
-  Out.Encodes = EventCounters::SchemeEncodes.load(std::memory_order_relaxed);
-  Out.Decodes = EventCounters::SchemeDecodes.load(std::memory_order_relaxed);
-  Out.GenHits = EventCounters::GenCacheHits.load(std::memory_order_relaxed);
-  Out.GenMisses =
-      EventCounters::GenCacheMisses.load(std::memory_order_relaxed);
-  Out.StoreHits = EventCounters::StoreHits.load(std::memory_order_relaxed);
-  Out.StoreCopies =
-      EventCounters::StorePayloadCopies.load(std::memory_order_relaxed);
-  Out.PoolBindHits =
-      EventCounters::PoolBindHits.load(std::memory_order_relaxed);
-  Out.VerifierChecks =
-      EventCounters::VerifierChecks.load(std::memory_order_relaxed);
+  Out.Phases = PhaseTimes::snapshot();
+  Out.Counters = Counters0.delta();
   if (Cache) {
     Out.CacheHits = Cache->hits() - Hits0;
     Out.CacheMisses = Cache->misses() - Misses0;
@@ -120,8 +101,13 @@ RunResult timedRun(const SynthProgram &P, const Lattice &Lat,
 }
 
 double phase(const RunResult &R, const char *Name) {
-  auto It = R.Phases.find(Name);
-  return It == R.Phases.end() ? 0.0 : It->second;
+  // Phases is sorted by name (snapshot() contract), so binary search.
+  auto It = std::lower_bound(
+      R.Phases.begin(), R.Phases.end(), Name,
+      [](const std::pair<std::string, double> &E, const char *N) {
+        return E.first < N;
+      });
+  return It != R.Phases.end() && It->first == Name ? It->second : 0.0;
 }
 
 void printRun(const char *Title, const RunResult &R) {
@@ -129,16 +115,16 @@ void printRun(const char *Title, const RunResult &R) {
   for (const auto &[Name, Secs] : R.Phases)
     std::printf("    %-22s %8.4f s\n", Name.c_str(), Secs);
   std::printf("    %-22s %8llu\n", "constraint parses",
-              static_cast<unsigned long long>(R.ParseCalls));
+              static_cast<unsigned long long>(R.Counters.ConstraintParseCalls));
   std::printf("    %-22s %8llu / %llu\n", "scheme encodes/decodes",
-              static_cast<unsigned long long>(R.Encodes),
-              static_cast<unsigned long long>(R.Decodes));
+              static_cast<unsigned long long>(R.Counters.SchemeEncodes),
+              static_cast<unsigned long long>(R.Counters.SchemeDecodes));
   std::printf("    %-22s %8llu / %llu\n", "cache hits/misses",
               static_cast<unsigned long long>(R.CacheHits),
               static_cast<unsigned long long>(R.CacheMisses));
   std::printf("    %-22s %8llu / %llu\n", "gen-cache hits/misses",
-              static_cast<unsigned long long>(R.GenHits),
-              static_cast<unsigned long long>(R.GenMisses));
+              static_cast<unsigned long long>(R.Counters.GenCacheHits),
+              static_cast<unsigned long long>(R.Counters.GenCacheMisses));
 }
 
 void emitPhases(FILE *J, const RunResult &R, const char *Indent) {
@@ -165,6 +151,7 @@ void emitPhases(FILE *J, const RunResult &R, const char *Indent) {
                "%s\"store_payload_copies\": %llu,\n"
                "%s\"pool_bind_hits\": %llu,\n"
                "%s\"verifier_checks\": %llu,\n"
+               "%s\"trace_events\": %llu,\n"
                "%s\"sccs_scheduled\": %llu,\n"
                "%s\"batches_formed\": %llu,\n"
                "%s\"max_ready_queue\": %llu,\n"
@@ -179,18 +166,24 @@ void emitPhases(FILE *J, const RunResult &R, const char *Indent) {
                Indent, phase(R, "gencache.key"), Indent,
                phase(R, "cache.encode"), Indent,
                phase(R, "cache.decode"), Indent, phase(R, "parser.parse"),
-               Indent, static_cast<unsigned long long>(R.ParseCalls), Indent,
-               static_cast<unsigned long long>(R.Encodes), Indent,
-               static_cast<unsigned long long>(R.Decodes), Indent,
-               static_cast<unsigned long long>(R.CacheHits), Indent,
+               Indent,
+               static_cast<unsigned long long>(R.Counters.ConstraintParseCalls),
+               Indent,
+               static_cast<unsigned long long>(R.Counters.SchemeEncodes),
+               Indent,
+               static_cast<unsigned long long>(R.Counters.SchemeDecodes),
+               Indent, static_cast<unsigned long long>(R.CacheHits), Indent,
                static_cast<unsigned long long>(R.CacheMisses), Indent,
-               static_cast<unsigned long long>(R.GenHits), Indent,
-               static_cast<unsigned long long>(R.GenMisses), Indent,
-               static_cast<unsigned long long>(R.StoreHits), Indent,
-               static_cast<unsigned long long>(R.StoreCopies), Indent,
-               static_cast<unsigned long long>(R.PoolBindHits), Indent,
-               static_cast<unsigned long long>(R.VerifierChecks), Indent,
-               static_cast<unsigned long long>(R.SccsScheduled), Indent,
+               static_cast<unsigned long long>(R.Counters.GenCacheHits), Indent,
+               static_cast<unsigned long long>(R.Counters.GenCacheMisses),
+               Indent, static_cast<unsigned long long>(R.Counters.StoreHits),
+               Indent,
+               static_cast<unsigned long long>(R.Counters.StorePayloadCopies),
+               Indent, static_cast<unsigned long long>(R.Counters.PoolBindHits),
+               Indent,
+               static_cast<unsigned long long>(R.Counters.VerifierChecks),
+               Indent, static_cast<unsigned long long>(R.Counters.TraceEvents),
+               Indent, static_cast<unsigned long long>(R.SccsScheduled), Indent,
                static_cast<unsigned long long>(R.BatchesFormed), Indent,
                static_cast<unsigned long long>(R.MaxReadyQueue), Indent,
                static_cast<unsigned long long>(R.CommitStalls), Indent,
@@ -293,14 +286,20 @@ int main(int argc, char **argv) {
   std::printf("warm generate-phase speedup vs no-cache: %.2fx "
               "(per-phase min over %u samples)\n",
               GenSpeedup, kSamples);
-  // The bench never sets --verify, so the verifier must be provably
-  // absent from the measured path: not one check may have run.
-  bool WarmClean = Warm.ParseCalls == 0 && Warm.CacheMisses == 0 &&
-                   Warm.CacheHits > 0 && Warm.GenMisses == 0 &&
-                   Warm.GenHits > 0 && Warm.VerifierChecks == 0 &&
-                   NoCache.VerifierChecks == 0 && Cold.VerifierChecks == 0;
+  // The bench never sets --verify or --trace, so the verifier AND the
+  // trace recorder must be provably absent from the measured path: not
+  // one check and not one trace event may have been recorded. This is
+  // the zero-cost-when-off contract as a gated number.
+  bool WarmClean =
+      Warm.Counters.ConstraintParseCalls == 0 && Warm.CacheMisses == 0 &&
+      Warm.CacheHits > 0 && Warm.Counters.GenCacheMisses == 0 &&
+      Warm.Counters.GenCacheHits > 0 && Warm.Counters.VerifierChecks == 0 &&
+      NoCache.Counters.VerifierChecks == 0 &&
+      Cold.Counters.VerifierChecks == 0 && Warm.Counters.TraceEvents == 0 &&
+      NoCache.Counters.TraceEvents == 0 && Cold.Counters.TraceEvents == 0;
   std::printf("warm path clean (0 parses, 0 misses, hits > 0, "
-              "0 gen misses, gen hits > 0, 0 verifier checks): %s\n",
+              "0 gen misses, gen hits > 0, 0 verifier checks, "
+              "0 trace events): %s\n",
               WarmClean ? "yes" : "NO");
 
   // ---- Store-warm: a fresh process over the mmapped artifact store -----
@@ -332,16 +331,20 @@ int main(int argc, char **argv) {
   double StoreDecode = minPhase(StoreRuns, "cache.decode");
   if (DecodeBudget <= 0)
     DecodeBudget = 1.0e-6 * static_cast<double>(P.M.instructionCount());
-  bool StoreClean =
-      StoreWarm.ParseCalls == 0 && StoreWarm.CacheMisses == 0 &&
-      StoreWarm.GenMisses == 0 && StoreWarm.StoreHits > 0 &&
-      StoreWarm.StoreCopies == 0 && StoreWarm.PoolBindHits > 0 &&
-      StoreWarm.VerifierChecks == 0 && StoreDecode <= DecodeBudget;
+  bool StoreClean = StoreWarm.Counters.ConstraintParseCalls == 0 &&
+                    StoreWarm.CacheMisses == 0 &&
+                    StoreWarm.Counters.GenCacheMisses == 0 &&
+                    StoreWarm.Counters.StoreHits > 0 &&
+                    StoreWarm.Counters.StorePayloadCopies == 0 &&
+                    StoreWarm.Counters.PoolBindHits > 0 &&
+                    StoreWarm.Counters.VerifierChecks == 0 &&
+                    StoreWarm.Counters.TraceEvents == 0 &&
+                    StoreDecode <= DecodeBudget;
   std::printf("store-warm decode: %.4f s (budget %.4f s)\n", StoreDecode,
               DecodeBudget);
   std::printf("store-warm clean (0 parses, 0 misses, store hits > 0, "
-              "0 payload copies, pool-bind hits > 0, decode in budget): "
-              "%s\n",
+              "0 payload copies, pool-bind hits > 0, 0 trace events, "
+              "decode in budget): %s\n",
               StoreClean ? "yes" : "NO");
   fs::remove_all(Dir);
 

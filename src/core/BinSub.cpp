@@ -4,6 +4,8 @@
 
 #include "core/ShapeGraph.h"
 
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <deque>
 #include <map>
@@ -30,6 +32,11 @@ constexpr size_t kDecomposeFactor = 4;
 TypeScheme BinSubBackend::simplify(
     const ConstraintSet &C, TypeVariable ProcVar,
     const std::unordered_set<TypeVariable> &Interesting) const {
+  trace::TraceSpan Span("binsub.simplify", "backend");
+  if (Span.active()) {
+    Span.Args.Backend = "binsub";
+    Span.Args.Constraints = static_cast<int64_t>(C.size());
+  }
   auto IsInteresting = [&](TypeVariable V) {
     return V.isConstant() || V == ProcVar || Interesting.count(V) != 0;
   };
@@ -266,6 +273,11 @@ struct ClassInfo {
 
 SketchSolution BinSubBackend::solve(const ConstraintSet &C,
                                     std::span<const TypeVariable> Wanted) const {
+  trace::TraceSpan Span("binsub.solve", "backend");
+  if (Span.active()) {
+    Span.Args.Backend = "binsub";
+    Span.Args.Constraints = static_cast<int64_t>(C.size());
+  }
   ShapeGraph Shapes(C);
 
   // ---- Lattice bounds, attached class-locally ----------------------------

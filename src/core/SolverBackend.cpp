@@ -3,6 +3,7 @@
 #include "core/SolverBackend.h"
 
 #include "core/BinSub.h"
+#include "support/Trace.h"
 
 using namespace retypd;
 
@@ -41,12 +42,22 @@ public:
   TypeScheme
   simplify(const ConstraintSet &C, TypeVariable ProcVar,
            const std::unordered_set<TypeVariable> &Interesting) const override {
+    trace::TraceSpan Span("retypd.simplify", "backend");
+    if (Span.active()) {
+      Span.Args.Backend = "retypd";
+      Span.Args.Constraints = static_cast<int64_t>(C.size());
+    }
     Simplifier Simp(Syms, Lat, Opts);
     return Simp.simplify(C, ProcVar, Interesting);
   }
 
   SketchSolution solve(const ConstraintSet &C,
                        std::span<const TypeVariable> Wanted) const override {
+    trace::TraceSpan Span("retypd.solve", "backend");
+    if (Span.active()) {
+      Span.Args.Backend = "retypd";
+      Span.Args.Constraints = static_cast<int64_t>(C.size());
+    }
     return SketchSolver(Lat).solve(C, Wanted);
   }
 

@@ -3,6 +3,7 @@
 #include "core/SummaryCache.h"
 
 #include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -132,8 +133,10 @@ SummaryCache::poolBindingFor(SymbolTable &Syms, const Lattice &Lat) const {
       ++Added;
     });
   }
-  if (Added)
+  if (Added) {
     EventCounters::PoolBinds.fetch_add(Added, std::memory_order_relaxed);
+    trace::instant("pool.bind", "store", static_cast<int64_t>(Added));
+  }
   std::lock_guard<std::mutex> L(BindingM);
   // Keep whichever binding is further along (a racing builder may have
   // published a longer table while we interned).

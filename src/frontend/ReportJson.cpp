@@ -57,7 +57,8 @@ std::string numField(const char *Name, double V) {
 
 } // namespace
 
-std::string retypd::statsJson(const PipelineStats &S) {
+std::string retypd::statsJson(const PipelineStats &S,
+                              const std::string &ProfileJson) {
   std::string J = "{";
   J += "\"backend\": " + quoted(S.Backend) + ", ";
   J += numField("generate_secs", S.GenerateSecs) + ", ";
@@ -88,6 +89,8 @@ std::string retypd::statsJson(const PipelineStats &S) {
   J += "\"batches_formed\": " + std::to_string(S.BatchesFormed) + ", ";
   J += "\"max_ready_queue\": " + std::to_string(S.MaxReadyQueue) + ", ";
   J += "\"commit_stalls\": " + std::to_string(S.CommitStalls);
+  if (!ProfileJson.empty())
+    J += ", \"profile\": " + ProfileJson;
   J += "}";
   return J;
 }
@@ -137,7 +140,7 @@ std::string retypd::renderReportJson(const TypeReport &R, const Module &M,
 
   if (Opts.Stats) {
     J += ",\n  \"stats\": ";
-    J += statsJson(R.Stats);
+    J += statsJson(R.Stats, Opts.ProfileJson);
   }
   J += "\n}\n";
   return J;

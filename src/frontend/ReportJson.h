@@ -52,6 +52,10 @@ struct ReportJsonOptions {
                          ///< run, so identity-sensitive consumers leave
                          ///< this off)
   unsigned SketchDepth = 4;
+  /// Pre-rendered per-SCC profile rows (trace::profileJson) appended as
+  /// the "profile" member of the stats object. Empty = omitted. Implies
+  /// nothing unless Stats is also set.
+  std::string ProfileJson;
 };
 
 /// Renders the full report as a single JSON object (trailing newline
@@ -63,7 +67,10 @@ std::string renderReportJson(const TypeReport &R, const Module &M,
 
 /// Renders one PipelineStats as a JSON object (no trailing newline); the
 /// "stats" member of renderReportJson, also reused by the benchmarks.
-std::string statsJson(const PipelineStats &S);
+/// \p ProfileJson, when non-empty, is appended verbatim as a "profile"
+/// member (a pre-rendered trace::profileJson array).
+std::string statsJson(const PipelineStats &S,
+                      const std::string &ProfileJson = std::string());
 
 /// Escapes a string for inclusion in JSON (quotes not included).
 std::string jsonEscape(const std::string &S);

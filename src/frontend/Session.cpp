@@ -41,6 +41,7 @@
 #include "mir/AsmParser.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <atomic>
@@ -393,8 +394,10 @@ std::optional<TypeScheme> AnalysisSession::summarize(
     const std::function<const ConstraintSet *()> &Constraints,
     const Hash128 &SetHash, TypeVariable ProcVar,
     const std::unordered_set<TypeVariable> &Keep, const SolverBackend &Backend,
-    SummaryCache *Cache) {
+    SummaryCache *Cache, bool *FromCache) {
   SymbolTable &S = *Syms;
+  if (FromCache)
+    *FromCache = false;
   SummaryKey Key;
   if (Cache) {
     std::vector<std::string> Names;
@@ -408,8 +411,11 @@ std::optional<TypeScheme> AnalysisSession::summarize(
     // text and never touches the constraint set. Corrupt entries
     // self-heal inside lookup() (dropped + counted as a miss) so the
     // recomputed insert below overwrites them.
-    if (auto Hit = Cache->lookup(Key, S, Lat))
+    if (auto Hit = Cache->lookup(Key, S, Lat)) {
+      if (FromCache)
+        *FromCache = true;
       return std::move(*Hit);
+    }
   }
 
   const ConstraintSet *C = Constraints();
@@ -430,25 +436,40 @@ std::optional<TypeScheme> AnalysisSession::summarize(
 //===----------------------------------------------------------------------===//
 
 Sketch AnalysisSession::refineSketch(Sketch Sk, uint32_t FuncId,
-                                     const std::vector<Sketch> &Actuals) const {
+                                     const std::vector<Sketch> &Actuals,
+                                     uint64_t *JoinOps) const {
   if (!Opts.RefineParameters || Actuals.empty())
     return Sk;
   const FunctionTypes *FT = Report.typesOf(FuncId);
   if (!FT)
     return Sk;
+  auto CountOp = [&] {
+    if (JoinOps)
+      ++*JoinOps;
+  };
   for (unsigned K = 0; K < FT->NumParams; ++K) {
     std::optional<Sketch> Acc;
     for (const Sketch &CallSk : Actuals) {
       auto ActualIn = CallSk.subsketch(Label::in(K));
       if (!ActualIn)
         continue;
-      Acc = Acc ? Sketch::join(*Acc, *ActualIn, Lat) : std::move(*ActualIn);
+      if (Acc) {
+        CountOp();
+        Acc = Sketch::join(*Acc, *ActualIn, Lat);
+      } else {
+        Acc = std::move(*ActualIn);
+      }
     }
     if (!Acc)
       continue;
     auto FormalIn = Sk.subsketch(Label::in(K));
-    Sketch Refined =
-        FormalIn ? Sketch::meet(*FormalIn, *Acc, Lat) : std::move(*Acc);
+    Sketch Refined;
+    if (FormalIn) {
+      CountOp();
+      Refined = Sketch::meet(*FormalIn, *Acc, Lat);
+    } else {
+      Refined = std::move(*Acc);
+    }
     Sk = Sk.withChild(Label::in(K), Refined);
   }
   // Outputs: the capabilities every caller exercises on the returned value
@@ -460,13 +481,22 @@ Sketch AnalysisSession::refineSketch(Sketch Sk, uint32_t FuncId,
       auto ActualOut = CallSk.subsketch(Label::out());
       if (!ActualOut)
         continue;
-      AccOut = AccOut ? Sketch::join(*AccOut, *ActualOut, Lat)
-                      : std::move(*ActualOut);
+      if (AccOut) {
+        CountOp();
+        AccOut = Sketch::join(*AccOut, *ActualOut, Lat);
+      } else {
+        AccOut = std::move(*ActualOut);
+      }
     }
     if (AccOut) {
       auto FormalOut = Sk.subsketch(Label::out());
-      Sketch Refined = FormalOut ? Sketch::meet(*FormalOut, *AccOut, Lat)
-                                 : std::move(*AccOut);
+      Sketch Refined;
+      if (FormalOut) {
+        CountOp();
+        Refined = Sketch::meet(*FormalOut, *AccOut, Lat);
+      } else {
+        Refined = std::move(*AccOut);
+      }
       Sk = Sk.withChild(Label::out(), Refined);
     }
   }
@@ -580,6 +610,7 @@ const TypeReport &AnalysisSession::analyze() {
   std::unordered_map<uint32_t, TypeScheme> Schemes;
   {
     ScopedPhaseTimer Timer("pipeline.phase0");
+    trace::TraceSpan Span("phase0", "phase");
     recoverInterfaces(M);
     registerKnownFunctions(M, S, Lat, Schemes);
   }
@@ -610,12 +641,9 @@ const TypeReport &AnalysisSession::analyze() {
 
   const uint64_t Hits0 = Cache ? Cache->hits() : 0;
   const uint64_t Misses0 = Cache ? Cache->misses() : 0;
-  const uint64_t StoreHits0 =
-      EventCounters::StoreHits.load(std::memory_order_relaxed);
-  const uint64_t StoreAppends0 =
-      EventCounters::StoreAppends.load(std::memory_order_relaxed);
-  const uint64_t PoolBindHits0 =
-      EventCounters::PoolBindHits.load(std::memory_order_relaxed);
+  // SummaryCache hits/misses are instance counters (snapshotted above);
+  // everything process-global goes through one CounterSnapshot.
+  const CounterSnapshot Counters0 = CounterSnapshot::take();
 
   // ---- Edit detection -------------------------------------------------
   const bool HadHistory = !Snapshots.empty();
@@ -699,6 +727,7 @@ const TypeReport &AnalysisSession::analyze() {
   // scheduling. Workers only simplify: each writes its own slot,
   // publishes it, and never touches shared session state.
   {
+    trace::TraceSpan PhaseSpan("phase1", "phase");
     const std::vector<uint32_t> &Seq = CG.bottomUpOrder();
     std::vector<uint32_t> SeqOf(NumSccs, 0);
     for (uint32_t I = 0; I < Seq.size(); ++I)
@@ -742,6 +771,14 @@ const TypeReport &AnalysisSession::analyze() {
     auto simplifyItem = [&](P1Item &Item) -> bool {
       const std::vector<uint32_t> &AllMembers = CG.sccs()[Item.Scc];
       Item.Schemes.resize(Item.Members.size());
+      trace::TraceSpan Span("simplify", "scc");
+      size_t SchemeCacheHits = 0;
+      if (Span.active()) {
+        Span.Args.Scc = Item.Scc;
+        Span.Args.Fn = Item.MemberNames.front();
+        Span.Args.Backend = Backend->name();
+        Span.Args.Constraints = static_cast<int64_t>(Item.ConstraintCount);
+      }
       // The residual decode, run at most once per SCC and only when a
       // member's scheme probe misses: the fully warm path hands every
       // member a cache hit and never touches the constraint set.
@@ -764,12 +801,20 @@ const TypeReport &AnalysisSession::analyze() {
         for (uint32_t Mate : AllMembers)
           if (Mate != F)
             Keep.insert(Gen.procVar(Mate));
+        bool FromCache = false;
         auto Scheme = summarize(Constraints, Item.SetHash, Gen.procVar(F),
-                                Keep, *Backend, Cache);
+                                Keep, *Backend, Cache,
+                                Span.active() ? &FromCache : nullptr);
         if (!Scheme)
           return false;
+        if (FromCache)
+          ++SchemeCacheHits;
         Item.Schemes[I] = std::move(*Scheme);
       }
+      if (Span.active())
+        Span.Args.Cache = SchemeCacheHits == Item.Members.size() ? "hit"
+                          : SchemeCacheHits == 0                 ? "miss"
+                                                                 : "partial";
       return true;
     };
 
@@ -796,8 +841,10 @@ const TypeReport &AnalysisSession::analyze() {
             HasErr.store(true, std::memory_order_relaxed);
           }
           Item.SimplifySecs = secondsSince(T0);
-          if (SeqOf[Scc] != NextCommit.load(std::memory_order_relaxed))
+          if (SeqOf[Scc] != NextCommit.load(std::memory_order_relaxed)) {
             Stalls.fetch_add(1, std::memory_order_relaxed);
+            trace::instant("commit-stall", "sched", 1, Scc);
+          }
           Done[Scc].store(1, std::memory_order_release);
         }
         // Lock-then-notify so a publish cannot slip between the drainer's
@@ -909,6 +956,12 @@ const TypeReport &AnalysisSession::analyze() {
       Clock::time_point T0 = Clock::now();
       {
         ScopedPhaseTimer Timer("pipeline.generate");
+        trace::TraceSpan GenSpan("generate", "scc");
+        if (GenSpan.active()) {
+          GenSpan.Args.Scc = Scc;
+          GenSpan.Args.Fn = Item.MemberNames.front();
+          GenSpan.Args.Backend = Backend->name();
+        }
         std::set<uint32_t> Mates(AllMembers.begin(), AllMembers.end());
         auto schemeHashFor = [&](uint32_t Callee) -> const Hash128 * {
           auto SchemeIt = Schemes.find(Callee);
@@ -997,6 +1050,12 @@ const TypeReport &AnalysisSession::analyze() {
             Cache->insertGen(Item.GenKey, Item.Combined, Item.SetHash,
                              Interesting, Callsites, S, Lat);
           }
+        }
+        if (GenSpan.active()) {
+          GenSpan.Args.Constraints =
+              static_cast<int64_t>(Item.ConstraintCount);
+          if (Item.HasGenKey)
+            GenSpan.Args.Cache = Item.Meta ? "hit" : "miss";
         }
         Report.ConstraintsGenerated += Item.ConstraintCount;
       }
@@ -1124,6 +1183,7 @@ const TypeReport &AnalysisSession::analyze() {
         break;
       }
       }
+      trace::instant("commit", "sched", -1, Scc);
       for (uint32_t Caller : CG.sccCallers(Scc))
         if (--DepCount[Caller] == 0)
           pushReady(Caller);
@@ -1197,6 +1257,7 @@ const TypeReport &AnalysisSession::analyze() {
   // receive callsite sketches in exactly the historical push order, and
   // the sequence-ordered commit is what pins that for every --jobs value.
   {
+    trace::TraceSpan PhaseSpan("phase2", "phase");
     const std::vector<uint32_t> &Seq = CG.topDownOrder();
     std::vector<uint32_t> SeqOf(NumSccs, 0);
     for (uint32_t I = 0; I < Seq.size(); ++I)
@@ -1234,14 +1295,26 @@ const TypeReport &AnalysisSession::analyze() {
     // Solves one slot (worker side). Warm probe and cold solve both run
     // here, so bundle decodes parallelize exactly like solves do.
     auto solveItem = [&](P2Item &Item) {
+      trace::TraceSpan Span("solve", "scc");
+      if (Span.active()) {
+        Span.Args.Scc = Item.Scc;
+        Span.Args.Fn = M.Funcs[Item.Members.front()].Name;
+        Span.Args.Backend = Backend->name();
+        Span.Args.Constraints =
+            static_cast<int64_t>(ArtOfScc[Item.Scc]->ConstraintCount);
+      }
       if (Item.ProbeCache) {
         if (auto Bindings =
                 Cache->lookupSolution(Item.SolveKey, *Syms, Lat)) {
           for (auto &[V, Sk] : *Bindings)
             Item.Sol.Sketches.emplace(V, std::move(Sk));
           Item.SolFromCache = true;
+          if (Span.active())
+            Span.Args.Cache = "hit";
           return;
         }
+        if (Span.active())
+          Span.Args.Cache = "miss";
       }
       SccArtifact *Art = ArtOfScc[Item.Scc];
       // Residual decode: the solution probe missed, so the solver really
@@ -1279,8 +1352,10 @@ const TypeReport &AnalysisSession::analyze() {
             HasErr.store(true, std::memory_order_relaxed);
           }
           Item.SolveSecs = secondsSince(T0);
-          if (SeqOf[Scc] != NextCommit.load(std::memory_order_relaxed))
+          if (SeqOf[Scc] != NextCommit.load(std::memory_order_relaxed)) {
             Stalls.fetch_add(1, std::memory_order_relaxed);
+            trace::instant("commit-stall", "sched", 1, Scc);
+          }
           Done[Scc].store(1, std::memory_order_release);
         }
         { std::lock_guard<std::mutex> Lock(SchedMu); }
@@ -1509,21 +1584,34 @@ const TypeReport &AnalysisSession::analyze() {
 
         Art->RawSketches.clear();
         Art->FinalSketches.clear();
-        for (uint32_t F : Item.Members) {
-          Sketch Raw = Item.Sol.sketchFor(Gen.procVar(F));
-          if (KeepHist)
-            Art->RawSketches.push_back(Raw);
-          auto ActIt = ActualSketches.find(F);
-          static const std::vector<Sketch> None;
-          Sketch Final = refineSketch(
-              std::move(Raw), F,
-              ActIt == ActualSketches.end() ? None : ActIt->second);
-          if (VL != VerifyLevel::Off)
-            verifySketch(Final, Lat,
-                         "phase2 sketch '" + M.Funcs[F].Name + "'", VDiags);
-          if (KeepHist)
-            Art->FinalSketches.push_back(Final);
-          Report.Funcs[F].FuncSketch = std::move(Final);
+        {
+          trace::TraceSpan RefineSpan("refine", "scc");
+          uint64_t Joins = 0;
+          if (RefineSpan.active()) {
+            RefineSpan.Args.Scc = Scc;
+            RefineSpan.Args.Fn = M.Funcs[Item.Members.front()].Name;
+            RefineSpan.Args.Backend = Backend->name();
+          }
+          for (uint32_t F : Item.Members) {
+            Sketch Raw = Item.Sol.sketchFor(Gen.procVar(F));
+            if (KeepHist)
+              Art->RawSketches.push_back(Raw);
+            auto ActIt = ActualSketches.find(F);
+            static const std::vector<Sketch> None;
+            Sketch Final = refineSketch(
+                std::move(Raw), F,
+                ActIt == ActualSketches.end() ? None : ActIt->second,
+                RefineSpan.active() ? &Joins : nullptr);
+            if (VL != VerifyLevel::Off)
+              verifySketch(Final, Lat,
+                           "phase2 sketch '" + M.Funcs[F].Name + "'",
+                           VDiags);
+            if (KeepHist)
+              Art->FinalSketches.push_back(Final);
+            Report.Funcs[F].FuncSketch = std::move(Final);
+          }
+          if (RefineSpan.active())
+            RefineSpan.Args.JoinOps = static_cast<int64_t>(Joins);
         }
         for (size_t I = 0; I < Item.CallsiteVars.size(); ++I)
           ActualSketches[Item.CallsiteVars[I].first].push_back(
@@ -1540,19 +1628,30 @@ const TypeReport &AnalysisSession::analyze() {
       }
       case P2Mode::RefineOnly: {
         ++Report.Stats.SccsRefinedOnly;
+        trace::TraceSpan RefineSpan("refine", "scc");
+        uint64_t Joins = 0;
+        if (RefineSpan.active()) {
+          RefineSpan.Args.Scc = Scc;
+          RefineSpan.Args.Fn = M.Funcs[Item.Members.front()].Name;
+          RefineSpan.Args.Backend = Backend->name();
+          RefineSpan.Args.Cache = "refine-only";
+        }
         for (size_t I = 0; I < Item.Members.size(); ++I) {
           uint32_t F = Item.Members[I];
           auto ActIt = ActualSketches.find(F);
           static const std::vector<Sketch> None;
           Sketch Final = refineSketch(
               Art->RawSketches[I], F,
-              ActIt == ActualSketches.end() ? None : ActIt->second);
+              ActIt == ActualSketches.end() ? None : ActIt->second,
+              RefineSpan.active() ? &Joins : nullptr);
           if (VL != VerifyLevel::Off)
             verifySketch(Final, Lat,
                          "phase2 sketch '" + M.Funcs[F].Name + "'", VDiags);
           Art->FinalSketches[I] = Final;
           Report.Funcs[F].FuncSketch = std::move(Final);
         }
+        if (RefineSpan.active())
+          RefineSpan.Args.JoinOps = static_cast<int64_t>(Joins);
         // Replay pushes resolve callee names against the current module;
         // safe because artifact replay never happens under duplicate names
         // (DupNames forces AllDirty, so every SCC takes the Solve path).
@@ -1579,6 +1678,7 @@ const TypeReport &AnalysisSession::analyze() {
         break;
       }
       }
+      trace::instant("commit", "sched", -1, Scc);
       for (uint32_t T : CG.sccCallees(Scc))
         if (--DepCount[T] == 0)
           pushReady(T);
@@ -1639,6 +1739,7 @@ const TypeReport &AnalysisSession::analyze() {
   {
     Clock::time_point T0 = Clock::now();
     ScopedPhaseTimer Timer("pipeline.convert");
+    trace::TraceSpan Span("convert", "phase");
     CTypeConverter Conv(Report.Pool, Lat, Opts.Conversion);
     for (auto &[F, FT] : Report.Funcs)
       FT.CType = Conv.convertFunction(FT.FuncSketch);
@@ -1678,6 +1779,7 @@ const TypeReport &AnalysisSession::analyze() {
   // error: it re-appends everything the store is missing, so the failed
   // attempt leaves no lasting gap.
   if (Cache && Cache->store()) {
+    trace::TraceSpan Span("store.flush", "store");
     std::string FlushErr;
     if (Cache->flushToStore(&FlushErr))
       StoreError.clear();
@@ -1685,14 +1787,10 @@ const TypeReport &AnalysisSession::analyze() {
       StoreError = FlushErr;
   }
   Report.StoreError = StoreError;
-  Report.Stats.StoreHits =
-      EventCounters::StoreHits.load(std::memory_order_relaxed) - StoreHits0;
-  Report.Stats.StoreAppends =
-      EventCounters::StoreAppends.load(std::memory_order_relaxed) -
-      StoreAppends0;
-  Report.Stats.PoolBindHits =
-      EventCounters::PoolBindHits.load(std::memory_order_relaxed) -
-      PoolBindHits0;
+  const CounterSnapshot CounterDelta = Counters0.delta();
+  Report.Stats.StoreHits = CounterDelta.StoreHits;
+  Report.Stats.StoreAppends = CounterDelta.StoreAppends;
+  Report.Stats.PoolBindHits = CounterDelta.PoolBindHits;
   Report.VerifyErrors = std::move(VDiags.Errors);
 
   Analyzed = true;

@@ -324,13 +324,19 @@ private:
   /// can no longer be materialized (cache entry evicted since the meta
   /// probe), in which case summarize returns nullopt and the caller
   /// regenerates.
+  /// \p FromCache, when non-null, reports whether the scheme came from the
+  /// cache (the tracer uses it to attribute per-SCC hit/miss kind).
   std::optional<TypeScheme>
   summarize(const std::function<const ConstraintSet *()> &Constraints,
             const Hash128 &SetHash, TypeVariable ProcVar,
             const std::unordered_set<TypeVariable> &Keep,
-            const SolverBackend &Backend, SummaryCache *Cache);
+            const SolverBackend &Backend, SummaryCache *Cache,
+            bool *FromCache = nullptr);
+  /// \p JoinOps, when non-null, accumulates the number of sketch
+  /// join/meet operations performed (the open-item-4 diagnostic).
   Sketch refineSketch(Sketch Sk, uint32_t FuncId,
-                      const std::vector<Sketch> &Actuals) const;
+                      const std::vector<Sketch> &Actuals,
+                      uint64_t *JoinOps = nullptr) const;
   SessionQuery<std::string> queryGate(uint32_t FuncId) const;
   void markDirtyName(const std::string &Name);
 

@@ -5,6 +5,7 @@
 #include "support/Crc32c.h"
 #include "support/Endian.h"
 #include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <atomic>
@@ -1184,6 +1185,8 @@ bool Store::writePendingLocked(std::string *Err) {
     Index[R.Key] = Loc{SegIdx, Base + R.BodyOff, R.BodyLen};
   EventCounters::StoreAppends.fetch_add(Pending.size(),
                                         std::memory_order_relaxed);
+  trace::instant("store.append", "store",
+                 static_cast<int64_t>(Pending.size()));
   Pending.clear();
   PendingBytes.clear();
   PendingBytes.shrink_to_fit();
@@ -1348,6 +1351,7 @@ Store::compactImpl(const std::function<bool(const Hash128 &, size_t)> *Keep,
   if (!loadViewLocked(Err))
     return std::nullopt;
   EventCounters::StoreCompactions.fetch_add(1, std::memory_order_relaxed);
+  trace::instant("store.compact", "store", 1);
   return Out;
 }
 

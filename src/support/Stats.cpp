@@ -43,6 +43,7 @@ std::atomic<uint64_t> EventCounters::SegmentValidates{0};
 std::atomic<uint64_t> EventCounters::PoolBinds{0};
 std::atomic<uint64_t> EventCounters::PoolBindHits{0};
 std::atomic<uint64_t> EventCounters::VerifierChecks{0};
+std::atomic<uint64_t> EventCounters::TraceEvents{0};
 
 void EventCounters::reset() {
   ConstraintParseCalls.store(0, std::memory_order_relaxed);
@@ -58,6 +59,54 @@ void EventCounters::reset() {
   PoolBinds.store(0, std::memory_order_relaxed);
   PoolBindHits.store(0, std::memory_order_relaxed);
   VerifierChecks.store(0, std::memory_order_relaxed);
+  TraceEvents.store(0, std::memory_order_relaxed);
+}
+
+CounterSnapshot CounterSnapshot::take() {
+  CounterSnapshot S;
+  S.ConstraintParseCalls =
+      EventCounters::ConstraintParseCalls.load(std::memory_order_relaxed);
+  S.SchemeDecodes =
+      EventCounters::SchemeDecodes.load(std::memory_order_relaxed);
+  S.SchemeEncodes =
+      EventCounters::SchemeEncodes.load(std::memory_order_relaxed);
+  S.GenCacheHits = EventCounters::GenCacheHits.load(std::memory_order_relaxed);
+  S.GenCacheMisses =
+      EventCounters::GenCacheMisses.load(std::memory_order_relaxed);
+  S.StoreHits = EventCounters::StoreHits.load(std::memory_order_relaxed);
+  S.StoreAppends = EventCounters::StoreAppends.load(std::memory_order_relaxed);
+  S.StoreCompactions =
+      EventCounters::StoreCompactions.load(std::memory_order_relaxed);
+  S.StorePayloadCopies =
+      EventCounters::StorePayloadCopies.load(std::memory_order_relaxed);
+  S.SegmentValidates =
+      EventCounters::SegmentValidates.load(std::memory_order_relaxed);
+  S.PoolBinds = EventCounters::PoolBinds.load(std::memory_order_relaxed);
+  S.PoolBindHits = EventCounters::PoolBindHits.load(std::memory_order_relaxed);
+  S.VerifierChecks =
+      EventCounters::VerifierChecks.load(std::memory_order_relaxed);
+  S.TraceEvents = EventCounters::TraceEvents.load(std::memory_order_relaxed);
+  return S;
+}
+
+CounterSnapshot CounterSnapshot::delta() const {
+  CounterSnapshot Now = take();
+  CounterSnapshot D;
+  D.ConstraintParseCalls = Now.ConstraintParseCalls - ConstraintParseCalls;
+  D.SchemeDecodes = Now.SchemeDecodes - SchemeDecodes;
+  D.SchemeEncodes = Now.SchemeEncodes - SchemeEncodes;
+  D.GenCacheHits = Now.GenCacheHits - GenCacheHits;
+  D.GenCacheMisses = Now.GenCacheMisses - GenCacheMisses;
+  D.StoreHits = Now.StoreHits - StoreHits;
+  D.StoreAppends = Now.StoreAppends - StoreAppends;
+  D.StoreCompactions = Now.StoreCompactions - StoreCompactions;
+  D.StorePayloadCopies = Now.StorePayloadCopies - StorePayloadCopies;
+  D.SegmentValidates = Now.SegmentValidates - SegmentValidates;
+  D.PoolBinds = Now.PoolBinds - PoolBinds;
+  D.PoolBindHits = Now.PoolBindHits - PoolBindHits;
+  D.VerifierChecks = Now.VerifierChecks - VerifierChecks;
+  D.TraceEvents = Now.TraceEvents - TraceEvents;
+  return D;
 }
 
 namespace {

@@ -84,9 +84,41 @@ struct EventCounters {
   /// verifier adds no work to the hot path — and bench_warmpath asserts
   /// it.
   static std::atomic<uint64_t> VerifierChecks;
+  /// Events recorded by the structured tracer (support/Trace.h). With
+  /// tracing off this must stay ZERO — same zero-cost-off contract as
+  /// VerifierChecks — and bench_warmpath asserts it.
+  static std::atomic<uint64_t> TraceEvents;
 
   /// Zeroes every counter. Call between measured runs.
   static void reset();
+};
+
+/// Point-in-time copy of every EventCounters value. Replaces the ad-hoc
+/// `uint64_t StoreHits0 = EventCounters::StoreHits.load(...)` before/after
+/// pairs: take() one snapshot before a measured region, then delta() against
+/// the live counters afterwards.
+struct CounterSnapshot {
+  uint64_t ConstraintParseCalls = 0;
+  uint64_t SchemeDecodes = 0;
+  uint64_t SchemeEncodes = 0;
+  uint64_t GenCacheHits = 0;
+  uint64_t GenCacheMisses = 0;
+  uint64_t StoreHits = 0;
+  uint64_t StoreAppends = 0;
+  uint64_t StoreCompactions = 0;
+  uint64_t StorePayloadCopies = 0;
+  uint64_t SegmentValidates = 0;
+  uint64_t PoolBinds = 0;
+  uint64_t PoolBindHits = 0;
+  uint64_t VerifierChecks = 0;
+  uint64_t TraceEvents = 0;
+
+  /// Copies the current EventCounters values (relaxed loads).
+  static CounterSnapshot take();
+
+  /// Member-wise (current counters) - (this snapshot). Call on the
+  /// snapshot taken BEFORE the measured region.
+  CounterSnapshot delta() const;
 };
 
 /// Process-wide named wall-clock accumulators for pipeline stages. Worker
@@ -99,7 +131,10 @@ public:
   /// first use). Thread safe.
   static void add(const char *Phase, double Seconds);
 
-  /// Snapshot of (phase, accumulated seconds), sorted by phase name.
+  /// Snapshot of (phase, accumulated seconds). CONTRACT: the result is
+  /// sorted ascending by phase name (the registry is an ordered map), so
+  /// consumers must NOT re-sort it — tests/support/StatsTest.cpp pins
+  /// this.
   static std::vector<std::pair<std::string, double>> snapshot();
 
   /// Zeroes every counter. Call between measured runs.

@@ -30,6 +30,8 @@
 #ifndef RETYPD_SUPPORT_THREADPOOL_H
 #define RETYPD_SUPPORT_THREADPOOL_H
 
+#include "support/Trace.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -188,6 +190,10 @@ private:
   }
 
   void workerLoop(unsigned Self) {
+    // Name the trace lane once per thread; an SSO string set, negligible
+    // whether or not a recording is active.
+    trace::setCurrentThreadName(
+        ("worker-" + std::to_string(Self + 1)).c_str());
     std::unique_lock<std::mutex> Lock(Mutex);
     while (true) {
       if (std::function<void()> Fn = takeLocked(Self)) {

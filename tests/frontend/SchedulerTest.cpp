@@ -15,6 +15,7 @@
 #include "frontend/ReportPrinter.h"
 #include "frontend/Session.h"
 #include "mir/AsmParser.h"
+#include "support/Trace.h"
 
 #include <gtest/gtest.h>
 
@@ -185,6 +186,39 @@ TEST(SchedulerTest, StarExposesWideReadyQueue) {
   RunOutput R = runShape(M, 4, 0); // unbatched: queue width is visible
   // All 300 leaves are ready before any commit retires them.
   EXPECT_GE(R.Stats.MaxReadyQueue, 300u);
+}
+
+TEST(SchedulerTest, TracingNeverPerturbsReports) {
+  // Recording a trace must be pure observation: the text and JSON reports
+  // stay byte-identical to an untraced run, at every jobs setting, and
+  // the recording actually captured the per-SCC work.
+  Module M = parseProgram(diamondAsm(8));
+  RunOutput Off1 = runShape(M, 1);
+  RunOutput Off4 = runShape(M, 4);
+  ASSERT_EQ(Off4.Text, Off1.Text);
+
+  for (unsigned Jobs : {1u, 4u}) {
+    trace::start();
+    RunOutput On = runShape(M, Jobs);
+    trace::stop();
+    EXPECT_EQ(On.Text, Off1.Text) << "jobs=" << Jobs;
+    EXPECT_EQ(On.Json, Off1.Json) << "jobs=" << Jobs;
+
+    std::vector<trace::Event> Events = trace::collect();
+    EXPECT_GT(Events.size(), 0u);
+    size_t SccSpans = 0;
+    for (const trace::Event &E : Events)
+      if (E.Ph == 'X' && std::string(E.Cat) == "scc")
+        ++SccSpans;
+    // Every scheduled SCC shows up at least once (simplify or solve).
+    EXPECT_GE(SccSpans, static_cast<size_t>(On.Stats.SccsScheduled))
+        << "jobs=" << Jobs;
+    // And the profile attributes it to named functions.
+    auto Rows = trace::buildProfile(Events);
+    EXPECT_GT(Rows.size(), 0u);
+    for (const trace::ProfileRow &Row : Rows)
+      EXPECT_FALSE(Row.Fn.empty()) << "scc " << Row.Scc;
+  }
 }
 
 TEST(SchedulerTest, DirtyConeSeedsDependencyCounts) {

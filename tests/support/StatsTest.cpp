@@ -1,0 +1,102 @@
+//===- StatsTest.cpp - PhaseTimes + CounterSnapshot tests -----------------===//
+//
+// Pins the PhaseTimes::snapshot() ordering contract (sorted ascending by
+// phase name — consumers like bench_warmpath binary-search it instead of
+// re-sorting) and covers the CounterSnapshot take()/delta() pair that
+// replaced the ad-hoc `uint64_t X0 = EventCounters::X.load()` snapshots.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace retypd;
+
+TEST(StatsTest, SnapshotIsSortedByPhaseName) {
+  PhaseTimes::reset();
+  // Register deliberately out of order; the snapshot must come back
+  // sorted regardless of insertion or accumulation order.
+  PhaseTimes::add("zeta.last", 1.0);
+  PhaseTimes::add("alpha.first", 2.0);
+  PhaseTimes::add("mid.phase", 3.0);
+  PhaseTimes::add("alpha.first", 0.5); // accumulate, not duplicate
+
+  auto Snap = PhaseTimes::snapshot();
+  ASSERT_EQ(Snap.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      Snap.begin(), Snap.end(),
+      [](const auto &A, const auto &B) { return A.first < B.first; }));
+  EXPECT_EQ(Snap[0].first, "alpha.first");
+  EXPECT_DOUBLE_EQ(Snap[0].second, 2.5);
+  EXPECT_EQ(Snap[1].first, "mid.phase");
+  EXPECT_EQ(Snap[2].first, "zeta.last");
+  PhaseTimes::reset();
+}
+
+TEST(StatsTest, CounterSnapshotDeltaIsolatesTheMeasuredRegion) {
+  EventCounters::reset();
+  EventCounters::StoreHits.fetch_add(5, std::memory_order_relaxed);
+  EventCounters::PoolBinds.fetch_add(2, std::memory_order_relaxed);
+
+  const CounterSnapshot Before = CounterSnapshot::take();
+  EXPECT_EQ(Before.StoreHits, 5u);
+
+  // The "measured region".
+  EventCounters::StoreHits.fetch_add(3, std::memory_order_relaxed);
+  EventCounters::TraceEvents.fetch_add(7, std::memory_order_relaxed);
+  EventCounters::GenCacheMisses.fetch_add(1, std::memory_order_relaxed);
+
+  const CounterSnapshot D = Before.delta();
+  EXPECT_EQ(D.StoreHits, 3u);       // pre-region hits excluded
+  EXPECT_EQ(D.TraceEvents, 7u);
+  EXPECT_EQ(D.GenCacheMisses, 1u);
+  EXPECT_EQ(D.PoolBinds, 0u);       // untouched counters delta to zero
+  EXPECT_EQ(D.ConstraintParseCalls, 0u);
+  EXPECT_EQ(D.VerifierChecks, 0u);
+  EventCounters::reset();
+}
+
+TEST(StatsTest, CounterSnapshotCoversEveryCounter) {
+  // Bump every counter by a distinct amount and check take() sees each —
+  // a new EventCounters member added without a CounterSnapshot field (or
+  // take()/delta() wiring) shows up here as a miscount.
+  EventCounters::reset();
+  EventCounters::ConstraintParseCalls.fetch_add(1);
+  EventCounters::SchemeDecodes.fetch_add(2);
+  EventCounters::SchemeEncodes.fetch_add(3);
+  EventCounters::GenCacheHits.fetch_add(4);
+  EventCounters::GenCacheMisses.fetch_add(5);
+  EventCounters::StoreHits.fetch_add(6);
+  EventCounters::StoreAppends.fetch_add(7);
+  EventCounters::StoreCompactions.fetch_add(8);
+  EventCounters::StorePayloadCopies.fetch_add(9);
+  EventCounters::SegmentValidates.fetch_add(10);
+  EventCounters::PoolBinds.fetch_add(11);
+  EventCounters::PoolBindHits.fetch_add(12);
+  EventCounters::VerifierChecks.fetch_add(13);
+  EventCounters::TraceEvents.fetch_add(14);
+
+  const CounterSnapshot S = CounterSnapshot::take();
+  EXPECT_EQ(S.ConstraintParseCalls, 1u);
+  EXPECT_EQ(S.SchemeDecodes, 2u);
+  EXPECT_EQ(S.SchemeEncodes, 3u);
+  EXPECT_EQ(S.GenCacheHits, 4u);
+  EXPECT_EQ(S.GenCacheMisses, 5u);
+  EXPECT_EQ(S.StoreHits, 6u);
+  EXPECT_EQ(S.StoreAppends, 7u);
+  EXPECT_EQ(S.StoreCompactions, 8u);
+  EXPECT_EQ(S.StorePayloadCopies, 9u);
+  EXPECT_EQ(S.SegmentValidates, 10u);
+  EXPECT_EQ(S.PoolBinds, 11u);
+  EXPECT_EQ(S.PoolBindHits, 12u);
+  EXPECT_EQ(S.VerifierChecks, 13u);
+  EXPECT_EQ(S.TraceEvents, 14u);
+
+  EventCounters::reset();
+  const CounterSnapshot Z = CounterSnapshot::take();
+  EXPECT_EQ(Z.StoreCompactions, 0u);
+  EXPECT_EQ(Z.TraceEvents, 0u);
+}

@@ -578,6 +578,98 @@ TEST(CliTest, BackendFlagSelectsAndMisspellingExitsTwo) {
   EXPECT_EQ(R.Exit, 0) << R.Out;
 }
 
+//===----------------------------------------------------------------------===//
+// Tracing & profiling (--trace, --profile)
+//===----------------------------------------------------------------------===//
+
+TEST(CliTest, TraceWritesChromeJsonWithoutPerturbingTheReport) {
+  fs::path TraceFile = fs::temp_directory_path() / "cli_trace.json";
+  fs::remove(TraceFile);
+
+  CmdResult Plain = runCli("analyze " + goldenAsm("list_traverse.asm"));
+  CmdResult Traced = runCli("analyze --trace " + TraceFile.string() + " " +
+                            goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(Traced.Exit, 0) << Traced.Out;
+  EXPECT_EQ(Traced.Out, Plain.Out) << "--trace changed the report";
+
+  std::string Json = slurpFile(TraceFile);
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"thread_name\""), std::string::npos);
+  // Per-SCC spans carry the structured args the profiler aggregates.
+  EXPECT_NE(Json.find("\"cat\":\"scc\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"backend\":\"retypd\""), std::string::npos);
+  EXPECT_NE(Json.find("\"constraints\":"), std::string::npos);
+
+  // --trace=FILE spelling works too, and reanalyze records both runs.
+  fs::path TraceFile2 = fs::temp_directory_path() / "cli_trace2.json";
+  CmdResult Re = runCli("reanalyze --trace=" + TraceFile2.string() + " " +
+                        goldenAsm("list_traverse.asm") + " " +
+                        goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(Re.Exit, 0) << Re.Out;
+  EXPECT_NE(slurpFile(TraceFile2).find("\"traceEvents\""), std::string::npos);
+
+  fs::remove(TraceFile);
+  fs::remove(TraceFile2);
+}
+
+TEST(CliTest, TraceToUnwritablePathFailsLoudlyBeforeAnalyzing) {
+  // An unwritable trace path must be a loud up-front exit 1 — never a
+  // full analysis whose recording is then silently dropped.
+  CmdResult R = runCli("analyze --trace /nonexistent-dir/trace.json " +
+                       goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(R.Exit, 1) << R.Out;
+  EXPECT_NE(R.Out.find("cannot write trace file"), std::string::npos)
+      << R.Out;
+  // Fail-fast: no report was printed.
+  EXPECT_EQ(R.Out.find("struct"), std::string::npos) << R.Out;
+}
+
+TEST(CliTest, ProfilePrintsTableAndJsonStats) {
+  // Text mode: the per-SCC attribution table goes to stderr; the report
+  // on stdout stays byte-identical to an unprofiled run.
+  CmdResult Plain = runCli("analyze " + goldenAsm("list_traverse.asm"));
+  std::string Cmd = std::string(RETYPD_CLI_PATH) + " analyze --profile " +
+                    goldenAsm("list_traverse.asm") + " 2>/dev/null";
+  CmdResult StdoutOnly;
+  {
+    FILE *P = popen(Cmd.c_str(), "r");
+    ASSERT_NE(P, nullptr);
+    char Buf[4096];
+    size_t N;
+    while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+      StdoutOnly.Out.append(Buf, N);
+    int Status = pclose(P);
+    StdoutOnly.Exit = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  }
+  EXPECT_EQ(StdoutOnly.Exit, 0);
+  EXPECT_EQ(StdoutOnly.Out, Plain.Out) << "--profile changed stdout";
+
+  CmdResult R = runCli("analyze --profile " + goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("profile: top"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("attributed"), std::string::npos) << R.Out;
+
+  // JSON mode: --profile implies stats and adds the "profile" member with
+  // per-SCC attribution fields.
+  R = runCli("analyze --profile --format=json " +
+             goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("\"stats\": {"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("\"profile\": ["), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("\"join_ops\""), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("\"total_secs\""), std::string::npos) << R.Out;
+
+  // --profile=N caps the table; a bogus N exits 2.
+  R = runCli("analyze --profile=1 " + goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("profile: top 1 of"), std::string::npos) << R.Out;
+  R = runCli("analyze --profile=banana " + goldenAsm("list_traverse.asm"));
+  EXPECT_EQ(R.Exit, 2);
+  EXPECT_NE(R.Out.find("--profile expects a non-negative row count"),
+            std::string::npos)
+      << R.Out;
+}
+
 TEST(CliTest, CacheInspectAttributesBackends) {
   // A store fed by both backends is attributed per backend in both the
   // text and JSON renderings of `cache inspect`.

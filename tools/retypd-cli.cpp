@@ -48,6 +48,15 @@
 //                                boundaries (phase) and additionally on
 //                                cache/store-replayed artifacts (full);
 //                                violations go to stderr, exit 2
+//   --trace FILE                 write a Chrome trace-event JSON recording
+//                                of the run (load in Perfetto); diagnostic
+//                                output, excluded from the determinism
+//                                contract
+//   --profile[=N]                print the top-N hottest SCCs (per-SCC
+//                                generate/simplify/solve/refine seconds,
+//                                constraint counts, sketch-join ops, cache
+//                                hit kinds) to stderr; with --format=json
+//                                also a "profile" member in "stats"
 // analyze only:
 //   --strip                      stripped-binary round trip first
 //   --engine=retypd|unify|interval   baseline engines (text only)
@@ -64,8 +73,10 @@
 #include "loader/BinaryImage.h"
 #include "mir/AsmParser.h"
 #include "mir/Verifier.h"
+#include "support/Trace.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -157,7 +168,7 @@ int usage(FILE *Out = stderr) {
       "analyze/reanalyze options:\n"
       "  --schemes --sketches --stats --jobs N --summary-cache FILE\n"
       "  --store DIR --format=text|json --verify=off|phase|full\n"
-      "  --backend=retypd|binsub\n"
+      "  --backend=retypd|binsub --trace FILE --profile[=N]\n"
       "analyze only: --strip --engine=retypd|unify|interval\n"
       "\n"
       "'retypd-cli [options] prog.asm' without a command means 'analyze'.\n");
@@ -187,12 +198,15 @@ bool parseJobs(const char *Text, unsigned &Jobs) {
 
 struct AnalyzeOpts {
   bool Schemes = false, Sketches = false, Strip = false, Stats = false;
+  bool Profile = false;
+  unsigned ProfileTop = 10; ///< --profile=N; 0 = every SCC
   unsigned Jobs = 1;
   VerifyLevel Verify = VerifyLevel::Off;
   BackendKind Backend = BackendKind::Retypd;
   std::string Engine = "retypd";
   std::string CachePath;
   std::string StoreDir;
+  std::string TracePath;
   std::string Format = "text";
   std::vector<std::string> Paths;
 };
@@ -200,10 +214,11 @@ struct AnalyzeOpts {
 const std::vector<std::string> kAnalyzeFlags = {
     "--schemes", "--sketches",      "--strip",   "--stats",  "--jobs",
     "--summary-cache", "--store", "--engine=", "--format=", "--verify=",
-    "--backend="};
+    "--backend=", "--trace", "--profile"};
 const std::vector<std::string> kReanalyzeFlags = {
     "--schemes", "--sketches", "--stats", "--jobs",
-    "--summary-cache", "--store", "--format=", "--verify=", "--backend="};
+    "--summary-cache", "--store", "--format=", "--verify=", "--backend=",
+    "--trace", "--profile"};
 
 /// Parses analyze/reanalyze arguments from argv[Start..). Returns 0 on
 /// success, 2 on a usage error (already reported).
@@ -220,7 +235,7 @@ int parseAnalyzeArgs(int argc, char **argv, int Start, const char *Command,
     else if (Arg == "--stats")
       O.Stats = true;
     else if (Arg == "--jobs" || Arg == "--summary-cache" ||
-             Arg == "--store") {
+             Arg == "--store" || Arg == "--trace") {
       if (I + 1 >= argc) {
         std::fprintf(stderr, "error: option '%s' requires a value\n",
                      Arg.c_str());
@@ -231,6 +246,8 @@ int parseAnalyzeArgs(int argc, char **argv, int Start, const char *Command,
           return 2;
       } else if (Arg == "--summary-cache")
         O.CachePath = argv[++I];
+      else if (Arg == "--trace")
+        O.TracePath = argv[++I];
       else
         O.StoreDir = argv[++I];
     } else if (Arg.rfind("--jobs=", 0) == 0) {
@@ -240,6 +257,25 @@ int parseAnalyzeArgs(int argc, char **argv, int Start, const char *Command,
       O.CachePath = Arg.substr(16);
     else if (Arg.rfind("--store=", 0) == 0)
       O.StoreDir = Arg.substr(8);
+    else if (Arg.rfind("--trace=", 0) == 0)
+      O.TracePath = Arg.substr(8);
+    else if (Arg == "--profile")
+      O.Profile = true;
+    else if (Arg.rfind("--profile=", 0) == 0) {
+      errno = 0;
+      char *End = nullptr;
+      unsigned long V = std::strtoul(Arg.c_str() + 10, &End, 10);
+      if (End == Arg.c_str() + 10 || *End != '\0' || Arg[10] == '-' ||
+          Arg[10] == '+' || errno == ERANGE || V > 1000000) {
+        std::fprintf(stderr,
+                     "error: --profile expects a non-negative row count, "
+                     "got '%s'\n",
+                     Arg.c_str() + 10);
+        return 2;
+      }
+      O.Profile = true;
+      O.ProfileTop = static_cast<unsigned>(V);
+    }
     else if (Arg.rfind("--engine=", 0) == 0 && AllowEngine) {
       O.Engine = Arg.substr(9);
       if (O.Engine != "retypd" && O.Engine != "unify" &&
@@ -344,14 +380,78 @@ std::optional<Module> loadAsm(const std::string &Path, int &Rc) {
   return M;
 }
 
+/// --trace / --profile lifecycle around the analyze() call(s). The trace
+/// file is opened BEFORE the run: an unwritable path must fail loudly up
+/// front (exit 1), never record a whole run and then drop it silently.
+struct TraceRun {
+  FILE *Out = nullptr;
+  bool Active = false;
+  std::chrono::steady_clock::time_point Start;
+  double WallSecs = 0;
+  std::string ProfileJson; ///< rendered rows for the stats "profile" member
+};
+
+int beginTrace(const AnalyzeOpts &O, TraceRun &T) {
+  if (O.TracePath.empty() && !O.Profile)
+    return 0;
+  if (!O.TracePath.empty()) {
+    T.Out = std::fopen(O.TracePath.c_str(), "w");
+    if (!T.Out) {
+      std::fprintf(stderr, "error: cannot write trace file %s: %s\n",
+                   O.TracePath.c_str(), std::strerror(errno));
+      return 1;
+    }
+  }
+  trace::start();
+  T.Active = true;
+  T.Start = std::chrono::steady_clock::now();
+  return 0;
+}
+
+/// Stops the recording, writes the Chrome JSON (when --trace was given),
+/// and renders the per-SCC profile (when --profile was given). Returns 1
+/// if the trace file could not be written out.
+int endTrace(const AnalyzeOpts &O, TraceRun &T) {
+  if (!T.Active)
+    return 0;
+  T.WallSecs = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - T.Start)
+                   .count();
+  trace::stop();
+  std::vector<trace::Event> Events = trace::collect();
+  int Rc = 0;
+  if (T.Out) {
+    std::string Json = trace::writeChromeJson(Events);
+    size_t Written = std::fwrite(Json.data(), 1, Json.size(), T.Out);
+    if (Written != Json.size() || std::fclose(T.Out) != 0) {
+      std::fprintf(stderr, "error: cannot write trace file %s: %s\n",
+                   O.TracePath.c_str(), std::strerror(errno));
+      Rc = 1;
+    }
+    T.Out = nullptr;
+  }
+  if (O.Profile) {
+    std::vector<trace::ProfileRow> Rows = trace::buildProfile(Events);
+    std::string Table =
+        trace::renderProfileTable(Rows, O.ProfileTop, T.WallSecs);
+    std::fwrite(Table.data(), 1, Table.size(), stderr);
+    T.ProfileJson = trace::profileJson(Rows, O.ProfileTop);
+  }
+  return Rc;
+}
+
 /// Renders the session's last report in the requested format and appends
 /// stats when asked.
-void printReport(AnalysisSession &S, const AnalyzeOpts &O) {
+void printReport(AnalysisSession &S, const AnalyzeOpts &O,
+                 const std::string &ProfileJson = std::string()) {
   if (O.Format == "json") {
     ReportJsonOptions JOpts;
     JOpts.Schemes = O.Schemes;
     JOpts.Sketches = O.Sketches;
-    JOpts.Stats = O.Stats;
+    // --profile implies stats in JSON mode: the profile rows live inside
+    // the stats object.
+    JOpts.Stats = O.Stats || O.Profile;
+    JOpts.ProfileJson = ProfileJson;
     std::string Text =
         renderReportJson(*S.report(), S.module(), S.lattice(), JOpts);
     std::fwrite(Text.data(), 1, Text.size(), stdout);
@@ -522,12 +622,17 @@ int cmdAnalyze(int argc, char **argv, int Start, const char *Command) {
   AnalysisSession S(makeDefaultLattice(), sessionOptsFor(O, false));
   if (int Rc = checkStore(S, O))
     return Rc;
+  TraceRun T;
+  if (int Rc = beginTrace(O, T))
+    return Rc;
   loadCacheIfAsked(S, O);
   S.loadModule(std::move(*M));
   S.analyze();
   warnStoreFlush(S, O);
   saveCacheIfAsked(S, O);
-  printReport(S, O);
+  if (int Rc = endTrace(O, T))
+    return Rc;
+  printReport(S, O, T.ProfileJson);
   return checkVerify(S, O);
 }
 
@@ -554,6 +659,11 @@ int cmdReanalyze(int argc, char **argv, int Start) {
   AnalysisSession S(makeDefaultLattice(), sessionOptsFor(O, true));
   if (int Rc = checkStore(S, O))
     return Rc;
+  // One recording spans both runs: the trace shows the cold run followed
+  // by the warm one, which is exactly the incremental-reuse picture.
+  TraceRun T;
+  if (int Rc = beginTrace(O, T))
+    return Rc;
   loadCacheIfAsked(S, O);
   S.loadModule(std::move(*Base));
   S.analyze();
@@ -561,7 +671,9 @@ int cmdReanalyze(int argc, char **argv, int Start) {
   S.analyze();
   warnStoreFlush(S, O);
   saveCacheIfAsked(S, O);
-  printReport(S, O);
+  if (int Rc = endTrace(O, T))
+    return Rc;
+  printReport(S, O, T.ProfileJson);
   return checkVerify(S, O);
 }
 
